@@ -1,0 +1,79 @@
+/**
+ * @file
+ * E7: duplicate-handling ablation (§2.2/§3 of the paper).
+ *
+ * The paper chose, by analysis rather than measurement, to eliminate
+ * duplicates in the term extractors (private hash set per file,
+ * en-bloc insertion) instead of inserting every occurrence into the
+ * index and scanning posting lists for duplicates. This bench
+ * measures both designs and quantifies what the analysis predicted:
+ * the linear duplicate scan and the per-occurrence locking make
+ * immediate insertion far slower.
+ */
+
+#include <iostream>
+#include <thread>
+
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
+#include "util/stats.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace dsearch;
+
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned repeats = 3;
+
+    // Small corpus: the immediate mode is intentionally the slow
+    // design being demonstrated.
+    CorpusSpec spec = CorpusSpec::paperScaled(0.015);
+    auto fs = CorpusGenerator(spec).generateInMemory();
+
+    Table table("E7 — duplicate handling (real runs, "
+                + std::to_string(cores) + "-core host, "
+                + formatBytes(fs->totalBytes()) + ", mean of "
+                + std::to_string(repeats) + ")");
+    table.setColumns({"duplicate handling", "implementation",
+                      "time (s)", "slowdown"});
+
+    for (Implementation impl : {Implementation::Sequential,
+                                Implementation::SharedLocked}) {
+        double en_bloc_time = 0.0;
+        for (bool en_bloc : {true, false}) {
+            Config cfg;
+            cfg.impl = impl;
+            cfg.extractors =
+                impl == Implementation::Sequential ? 1 : cores;
+            cfg.updaters =
+                impl == Implementation::SharedLocked ? 1 : 0;
+            cfg.en_bloc = en_bloc;
+            RunningStat stat;
+            for (unsigned r = 0; r < repeats; ++r) {
+                IndexGenerator generator(*fs, "/", cfg);
+                stat.push(generator.build().times.total);
+            }
+            if (en_bloc)
+                en_bloc_time = stat.mean();
+            table.addRow(
+                {en_bloc ? "en-bloc, dedup in extractor (paper)"
+                         : "immediate, dup scan in index",
+                 name(impl), formatDouble(stat.mean(), 3),
+                 en_bloc ? "1.00x"
+                         : formatDouble(stat.mean() / en_bloc_time, 2)
+                               + "x"});
+        }
+        table.addSeparator();
+    }
+
+    table.render(std::cout);
+    std::cout << "Expected shape (paper §2.2 analysis): immediate "
+                 "insertion is several\ntimes slower — every "
+                 "occurrence pays a posting-list scan, and under\n"
+                 "Implementation 1 also a lock acquisition.\n";
+    return 0;
+}

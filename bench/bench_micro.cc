@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Substrate micro-benchmarks (google-benchmark): FNV hashing, the
+ * open-addressing containers against their std counterparts, the
+ * tokenizer, the Zipf sampler, the blocking queue, and en-bloc index
+ * insertion. These locate the constants behind the cost model in
+ * sim/platform.cc.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.hh"
+#include "pipeline/blocking_queue.hh"
+#include "text/tokenizer.hh"
+#include "util/fnv_hash.hh"
+#include "util/hash_map.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace {
+
+using namespace dsearch;
+
+std::vector<std::string>
+wordKeys(std::size_t n)
+{
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    Rng rng(42);
+    ZipfDistribution zipf(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back("word" + std::to_string(i));
+    return keys;
+}
+
+void
+BM_Fnv1a64(benchmark::State &state)
+{
+    std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fnv1a_64(data.data(), data.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_Fnv1a64)->Arg(8)->Arg(64)->Arg(4096);
+
+void
+BM_HashMapInsert(benchmark::State &state)
+{
+    auto keys = wordKeys(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        HashMap<std::string, int> map;
+        for (const std::string &key : keys)
+            map.insert(key, 1);
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_HashMapInsert)->Arg(1000)->Arg(100000);
+
+void
+BM_StdUnorderedMapInsert(benchmark::State &state)
+{
+    auto keys = wordKeys(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::unordered_map<std::string, int> map;
+        for (const std::string &key : keys)
+            map.emplace(key, 1);
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * state.range(0));
+}
+BENCHMARK(BM_StdUnorderedMapInsert)->Arg(1000)->Arg(100000);
+
+void
+BM_HashMapLookup(benchmark::State &state)
+{
+    auto keys = wordKeys(static_cast<std::size_t>(state.range(0)));
+    HashMap<std::string, int> map;
+    for (const std::string &key : keys)
+        map.insert(key, 1);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.find(keys[i]));
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashMapLookup)->Arg(100000);
+
+void
+BM_StdUnorderedMapLookup(benchmark::State &state)
+{
+    auto keys = wordKeys(static_cast<std::size_t>(state.range(0)));
+    std::unordered_map<std::string, int> map;
+    for (const std::string &key : keys)
+        map.emplace(key, 1);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.find(keys[i]));
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdUnorderedMapLookup)->Arg(100000);
+
+void
+BM_TokenizerThroughput(benchmark::State &state)
+{
+    // Representative document text.
+    Rng rng(7);
+    ZipfDistribution zipf(20000, 1.0);
+    std::string text;
+    while (text.size() < static_cast<std::size_t>(state.range(0))) {
+        text += "w" + std::to_string(zipf.sample(rng));
+        text += ' ';
+    }
+    Tokenizer tokenizer;
+    for (auto _ : state) {
+        std::size_t count = 0;
+        tokenizer.forEachToken(text,
+                               [&count](std::string_view) { ++count; });
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_TokenizerThroughput)->Arg(1 << 14)->Arg(1 << 20);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)),
+                          1.0);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(120000);
+
+void
+BM_BlockingQueuePingPong(benchmark::State &state)
+{
+    BlockingQueue<int> queue(64);
+    for (auto _ : state) {
+        queue.push(1);
+        int out;
+        queue.pop(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockingQueuePingPong);
+
+void
+BM_IndexAddBlock(benchmark::State &state)
+{
+    // Per-file en-bloc insertion: the Stage 3 unit of work.
+    const std::size_t terms_per_block =
+        static_cast<std::size_t>(state.range(0));
+    TermBlock block;
+    for (std::size_t t = 0; t < terms_per_block; ++t)
+        block.terms.push_back("term" + std::to_string(t));
+    DocId doc = 0;
+    InvertedIndex index;
+    for (auto _ : state) {
+        block.doc = doc++;
+        index.addBlock(block);
+        benchmark::DoNotOptimize(index.postingCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(terms_per_block));
+}
+BENCHMARK(BM_IndexAddBlock)->Arg(64)->Arg(512);
+
+void
+BM_IndexMerge(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        InvertedIndex a, b;
+        TermBlock block;
+        for (int t = 0; t < 2000; ++t)
+            block.terms.push_back("t" + std::to_string(t));
+        block.doc = 0;
+        a.addBlock(block);
+        block.doc = 1;
+        b.addBlock(block);
+        state.ResumeTiming();
+        a.merge(std::move(b));
+        benchmark::DoNotOptimize(a.postingCount());
+    }
+}
+BENCHMARK(BM_IndexMerge);
+
+} // namespace
+
+BENCHMARK_MAIN();

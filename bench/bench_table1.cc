@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduction of the paper's Table 1: execution times for sequential
+ * index generation, decomposed into filename generation, reading,
+ * reading + term extraction, and index update.
+ *
+ * The three paper platforms are simulated (calibrated cost models —
+ * this host has neither the machines nor the 869 MB corpus); a fourth
+ * row measures the real single-threaded pipeline on this host over a
+ * scaled synthetic corpus served from memory, as ground truth for the
+ * stage *ordering*.
+ */
+
+#include <iostream>
+
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
+#include "sim/pipeline_sim.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace dsearch;
+
+struct PaperStageRow
+{
+    const char *label;
+    PlatformSpec platform;
+    double fname, read, read_extract, index, seq_total;
+};
+
+void
+addComparisonRows(Table &table, const char *label,
+                  const StageTimes &sim, double seq_sim,
+                  const PaperStageRow &paper)
+{
+    table.addRow({std::string(label) + " (paper)",
+                  formatDouble(paper.fname, 1),
+                  formatDouble(paper.read, 1),
+                  formatDouble(paper.read_extract, 1),
+                  formatDouble(paper.index, 1),
+                  formatDouble(paper.seq_total, 1)});
+    table.addRow({std::string(label) + " (simulated)",
+                  formatDouble(sim.filename_generation, 1),
+                  formatDouble(sim.read_files, 1),
+                  formatDouble(sim.read_and_extract, 1),
+                  formatDouble(sim.index_update, 1),
+                  formatDouble(seq_sim, 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    const PaperStageRow rows[] = {
+        {"4-core", PlatformSpec::quadCore2010(), 5.0, 77.0, 88.0,
+         22.0, 220.0},
+        {"8-core", PlatformSpec::octCore2010(), 4.0, 47.0, 61.0, 29.0,
+         105.0},
+        {"32-core", PlatformSpec::manyCore2010(), 5.0, 73.0, 80.0,
+         28.0, 90.0},
+    };
+
+    Table table(
+        "Table 1 — execution times (s) for sequential index "
+        "generation\n(read/read+extract/index measured as dedicated "
+        "passes; 'seq total' is the interleaved sequential program)");
+    table.setColumns({"platform", "filename gen", "read files",
+                      "read+extract", "index update", "seq total"});
+
+    WorkloadModel workload =
+        WorkloadModel::fromCorpusSpec(CorpusSpec::paper());
+    for (const PaperStageRow &row : rows) {
+        PipelineSim sim(row.platform, workload);
+        StageTimes stages = sim.measureStages();
+        double seq = sim.run(Config::sequential()).total_sec;
+        addComparisonRows(table, row.label, stages, seq, row);
+        table.addSeparator();
+    }
+
+    // Host ground truth: real pipeline, scaled corpus, in-memory FS.
+    const double scale = 0.05;
+    auto fs = CorpusGenerator(CorpusSpec::paperScaled(scale))
+                  .generateInMemory();
+    StageTimes host = IndexGenerator::measureSequentialStages(*fs, "/");
+    double host_seq =
+        IndexGenerator(*fs, "/", Config::sequential())
+            .build()
+            .times.total;
+    table.addRow({"host, real, " + formatBytes(fs->totalBytes())
+                      + " in-memory corpus",
+                  formatDouble(host.filename_generation, 2),
+                  formatDouble(host.read_files, 2),
+                  formatDouble(host.read_and_extract, 2),
+                  formatDouble(host.index_update, 2),
+                  formatDouble(host_seq, 2)});
+
+    table.render(std::cout);
+    std::cout
+        << "Expected shape: read >> extract-only delta; index is a "
+           "fraction of read;\nfilename generation is 2-5% of total; "
+           "the interleaved sequential total exceeds\nthe sum of "
+           "dedicated passes on disk-backed platforms (readahead "
+           "loss).\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared harness for the Table 2/3/4 reproductions.
+ *
+ * Each table bench describes its platform, the paper's published
+ * numbers, and a sweep box; the harness sweeps every configuration of
+ * every implementation through the platform simulator (averaging five
+ * noisy runs per configuration, like the paper), picks the best per
+ * implementation, and prints the paper's rows next to the simulated
+ * ones.
+ */
+
+#ifndef DSEARCH_BENCH_TABLE_SWEEP_HH
+#define DSEARCH_BENCH_TABLE_SWEEP_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "fs/corpus.hh"
+#include "sim/pipeline_sim.hh"
+#include "tune/tuner.hh"
+#include "util/stats.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+namespace dsearch {
+
+/** Paper-published row for one implementation. */
+struct PaperRow
+{
+    Implementation impl;
+    const char *config;
+    double exec_sec;
+    double speedup;
+};
+
+/** Everything one table bench needs. */
+struct TableBenchSpec
+{
+    const char *table_name;
+    PlatformSpec platform;
+    double paper_seq_sec;
+    PaperRow rows[3];
+    unsigned max_x;
+    unsigned max_y;
+    unsigned max_z;
+};
+
+/** Run the sweep and print the paper-vs-simulated table. */
+inline void
+runTableBench(const TableBenchSpec &spec)
+{
+    WorkloadModel workload =
+        WorkloadModel::fromCorpusSpec(CorpusSpec::paper());
+    workload.coarsen(6);
+    PipelineSim sim(spec.platform, workload);
+
+    double seq_sim = sim.run(Config::sequential()).total_sec;
+
+    Table table(std::string(spec.table_name) + " — "
+                + spec.platform.name
+                + "\n(paper values vs. simulated platform; config = "
+                  "(x, y, z) threads for extract/update/join; "
+                  "best of exhaustive sweep, 5 noisy runs averaged)");
+    table.setColumns({"implementation", "paper cfg", "sim cfg",
+                      "paper t(s)", "sim t(s)", "paper S", "sim S",
+                      "paper var", "sim var"});
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", spec.paper_seq_sec);
+    std::string paper_seq = buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", seq_sim);
+    table.addRow({"Sequential", "-", "-", paper_seq, buf, "-", "-",
+                  "-", "-"});
+    table.addSeparator();
+
+    double impl1_speedup_paper = 0.0;
+    double impl1_speedup_sim = 0.0;
+    std::size_t total_evals = 0;
+
+    for (const PaperRow &row : spec.rows) {
+        ConfigSpace space = ConfigSpace::paperTable(
+            row.impl, spec.max_x, spec.max_y, spec.max_z);
+        SimCostEvaluator evaluator(sim, 5, 0.01,
+                                   0x5eed ^ spec.platform.cores);
+        TuneResult best = ExhaustiveTuner().tune(evaluator, space);
+        total_evals += best.evaluations;
+
+        double sim_speedup = speedup(seq_sim, best.best_sec);
+        if (row.impl == Implementation::SharedLocked) {
+            impl1_speedup_paper = row.speedup;
+            impl1_speedup_sim = sim_speedup;
+        }
+        double var_paper =
+            percentDelta(row.speedup, impl1_speedup_paper);
+        double var_sim =
+            percentDelta(sim_speedup, impl1_speedup_sim);
+
+        table.addRow({name(row.impl), row.config,
+                      best.best.tupleString(),
+                      formatDouble(row.exec_sec, 1),
+                      formatDouble(best.best_sec, 1),
+                      formatDouble(row.speedup, 2),
+                      formatDouble(sim_speedup, 2),
+                      formatDouble(var_paper, 1) + "%",
+                      formatDouble(var_sim, 1) + "%"});
+    }
+
+    table.render(std::cout);
+    std::cout << "swept " << total_evals
+              << " configurations; workload: "
+              << workload.fileCount() << " files, "
+              << formatBytes(workload.totalBytes()) << ", "
+              << workload.totalTerms() << " unique postings\n\n";
+}
+
+} // namespace dsearch
+
+#endif // DSEARCH_BENCH_TABLE_SWEEP_HH

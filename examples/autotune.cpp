@@ -1,0 +1,135 @@
+/**
+ * @file
+ * autotune — step 6 of the paper's recommended process: "Use an
+ * auto-tuner to speed up exploring the design space."
+ *
+ * Compares the three search strategies (exhaustive, random, hill
+ * climbing) on the same tuning problem and shows how many evaluations
+ * each needs to find (or approach) the best configuration. The cost
+ * oracle is either the platform simulator (default; reproduces the
+ * paper's setting) or the real generator on an in-memory corpus
+ * (--real).
+ *
+ *   ./autotune
+ *   ./autotune --platform many --impl 3
+ *   ./autotune --real --scale 0.03
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
+#include "tune/tuner.hh"
+#include "util/options.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsearch;
+
+    OptionParser options("autotune",
+                         "compare configuration-search strategies");
+    options.addString("platform", "quad | oct | many", "oct");
+    options.addInt("impl", "implementation to tune (1, 2 or 3)", 3);
+    options.addFlag("real",
+                    "tune the real generator instead of the simulator");
+    options.addDouble("scale", "corpus scale for --real", 0.03);
+    options.addInt("max-x", "max extractor threads", 10);
+    options.addInt("max-y", "max updater threads", 6);
+    options.parse(argc, argv);
+
+    Implementation impl;
+    switch (options.intValue("impl")) {
+      case 1:
+        impl = Implementation::SharedLocked;
+        break;
+      case 2:
+        impl = Implementation::ReplicatedJoin;
+        break;
+      case 3:
+        impl = Implementation::ReplicatedNoJoin;
+        break;
+      default:
+        fatal("--impl must be 1, 2 or 3");
+    }
+
+    ConfigSpace space = ConfigSpace::paperTable(
+        impl, static_cast<unsigned>(options.intValue("max-x")),
+        static_cast<unsigned>(options.intValue("max-y")),
+        impl == Implementation::ReplicatedJoin ? 2 : 0);
+
+    // Assemble the cost oracle.
+    std::unique_ptr<MemoryFs> fs;
+    std::unique_ptr<PipelineSim> sim;
+    auto new_evaluator = [&]() -> std::unique_ptr<CostEvaluator> {
+        if (options.flag("real")) {
+            if (!fs) {
+                fs = CorpusGenerator(CorpusSpec::paperScaled(
+                                         options.doubleValue("scale")))
+                         .generateInMemory();
+                std::cout << "real oracle: "
+                          << formatBytes(fs->totalBytes())
+                          << " in-memory corpus\n";
+            }
+            return std::make_unique<RealCostEvaluator>(*fs, "/", 3);
+        }
+        if (!sim) {
+            const std::string which = options.stringValue("platform");
+            PlatformSpec platform =
+                which == "quad"  ? PlatformSpec::quadCore2010()
+                : which == "many" ? PlatformSpec::manyCore2010()
+                                  : PlatformSpec::octCore2010();
+            WorkloadModel model =
+                WorkloadModel::fromCorpusSpec(CorpusSpec::paper());
+            model.coarsen(6);
+            sim = std::make_unique<PipelineSim>(platform, model);
+            std::cout << "simulated oracle: " << platform.name
+                      << "\n";
+        }
+        return std::make_unique<SimCostEvaluator>(*sim, 5, 0.01);
+    };
+
+    std::cout << "tuning " << name(impl) << " over " << space.size()
+              << " configurations\n\n";
+
+    Table table("Auto-tuner strategy comparison");
+    table.setColumns({"strategy", "best config", "best time (s)",
+                      "evaluations"});
+
+    {
+        auto evaluator = new_evaluator();
+        TuneResult r = ExhaustiveTuner().tune(*evaluator, space);
+        table.addRow({"exhaustive", r.best.tupleString(),
+                      formatDouble(r.best_sec, 2),
+                      std::to_string(r.evaluations)});
+    }
+    {
+        auto evaluator = new_evaluator();
+        std::size_t budget = std::max<std::size_t>(
+            8, space.size() / 4);
+        TuneResult r =
+            RandomTuner(budget).tune(*evaluator, space);
+        table.addRow({"random (1/4 budget)", r.best.tupleString(),
+                      formatDouble(r.best_sec, 2),
+                      std::to_string(r.evaluations)});
+    }
+    {
+        auto evaluator = new_evaluator();
+        TuneResult r =
+            HillClimbTuner(3, 64).tune(*evaluator, space);
+        table.addRow({"hill climb (3 restarts)",
+                      r.best.tupleString(),
+                      formatDouble(r.best_sec, 2),
+                      std::to_string(r.evaluations)});
+    }
+
+    table.render(std::cout);
+    std::cout << "Hill climbing typically reaches the exhaustive "
+                 "optimum with a fraction of\nthe evaluations — the "
+                 "reason the paper recommends an auto-tuner for "
+                 "this\ndesign space.\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * platform_study — the paper's core experiment as an interactive
+ * tool: pick a (simulated) platform, sweep the three implementations
+ * over the configuration space, and print the resulting table plus a
+ * bottleneck analysis for the winning configurations.
+ *
+ *   ./platform_study                     # all three paper platforms
+ *   ./platform_study --platform oct      # one platform
+ *   ./platform_study --scale 0.25        # smaller corpus, faster
+ *   ./platform_study --max-x 16          # wider sweep
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "fs/corpus.hh"
+#include "sim/pipeline_sim.hh"
+#include "tune/tuner.hh"
+#include "util/options.hh"
+#include "util/stats.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace dsearch;
+
+void
+studyPlatform(const PlatformSpec &platform, const WorkloadModel &model,
+              unsigned max_x, unsigned max_y)
+{
+    PipelineSim sim(platform, model);
+    double seq = sim.run(Config::sequential()).total_sec;
+
+    Table table("Platform study — " + platform.name);
+    table.setColumns({"implementation", "best config", "time (s)",
+                      "speed-up", "disk busy", "cpu busy",
+                      "lock wait"});
+    table.addRow({"Sequential", "-", formatDouble(seq, 1), "-", "-",
+                  "-", "-"});
+    table.addSeparator();
+
+    for (Implementation impl :
+         {Implementation::SharedLocked, Implementation::ReplicatedJoin,
+          Implementation::ReplicatedNoJoin}) {
+        ConfigSpace space = ConfigSpace::paperTable(
+            impl, max_x, max_y,
+            impl == Implementation::ReplicatedJoin ? 2 : 0);
+        SimCostEvaluator evaluator(sim, 5, 0.01);
+        TuneResult best = ExhaustiveTuner().tune(evaluator, space);
+
+        SimResult detail = sim.run(best.best);
+        table.addRow({name(impl), best.best.tupleString(),
+                      formatDouble(best.best_sec, 1),
+                      formatDouble(speedup(seq, best.best_sec), 2),
+                      formatDuration(detail.disk_busy_sec),
+                      formatDuration(detail.cpu_busy_sec),
+                      formatDuration(detail.lock_wait_sec)});
+    }
+    table.render(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsearch;
+
+    OptionParser options(
+        "platform_study",
+        "sweep generator configurations on simulated platforms");
+    options.addString("platform",
+                      "quad | oct | many | all (default all)", "all");
+    options.addDouble("scale", "corpus scale factor vs the paper's "
+                               "51k files / 869 MB", 1.0);
+    options.addInt("max-x", "max extractor threads to sweep", 10);
+    options.addInt("max-y", "max updater threads to sweep", 6);
+    options.addInt("coarsen", "workload coarsening factor", 6);
+    options.parse(argc, argv);
+
+    CorpusSpec spec =
+        options.doubleValue("scale") >= 1.0
+            ? CorpusSpec::paper()
+            : CorpusSpec::paperScaled(options.doubleValue("scale"));
+    WorkloadModel model = WorkloadModel::fromCorpusSpec(spec);
+    model.coarsen(
+        static_cast<std::size_t>(options.intValue("coarsen")));
+    std::cout << "workload: " << model.fileCount() << " files, "
+              << formatBytes(model.totalBytes()) << ", "
+              << model.totalTerms() << " unique postings\n\n";
+
+    std::vector<PlatformSpec> platforms;
+    const std::string which = options.stringValue("platform");
+    if (which == "quad" || which == "all")
+        platforms.push_back(PlatformSpec::quadCore2010());
+    if (which == "oct" || which == "all")
+        platforms.push_back(PlatformSpec::octCore2010());
+    if (which == "many" || which == "all")
+        platforms.push_back(PlatformSpec::manyCore2010());
+    if (platforms.empty())
+        fatal("unknown --platform '" + which
+              + "' (quad | oct | many | all)");
+
+    const auto max_x =
+        static_cast<unsigned>(options.intValue("max-x"));
+    const auto max_y =
+        static_cast<unsigned>(options.intValue("max-y"));
+    for (const PlatformSpec &platform : platforms)
+        studyPlatform(platform, model, max_x, max_y);
+    return 0;
+}

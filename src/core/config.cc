@@ -1,0 +1,128 @@
+#include "core/config.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+const char *
+name(Implementation impl)
+{
+    switch (impl) {
+      case Implementation::Sequential:
+        return "Sequential";
+      case Implementation::SharedLocked:
+        return "Implementation 1";
+      case Implementation::ReplicatedJoin:
+        return "Implementation 2";
+      case Implementation::ReplicatedNoJoin:
+        return "Implementation 3";
+    }
+    return "unknown";
+}
+
+std::string
+Config::tupleString() const
+{
+    std::ostringstream oss;
+    oss << '(' << extractors << ", " << updaters << ", " << joiners
+        << ')';
+    return oss.str();
+}
+
+std::string
+Config::describe() const
+{
+    if (impl == Implementation::Sequential)
+        return "Sequential";
+    return std::string(name(impl)) + " " + tupleString();
+}
+
+std::size_t
+Config::replicaCount() const
+{
+    return updaters > 0 ? updaters : extractors;
+}
+
+void
+Config::validate() const
+{
+    if (extractors == 0)
+        fatal("Config: need at least one extractor thread (x >= 1)");
+    if (queue_capacity == 0 || filename_queue_capacity == 0)
+        fatal("Config: queue capacities must be >= 1");
+    if (lock_shards == 0)
+        fatal("Config: lock_shards must be >= 1");
+    if (lock_shards > 1 && impl != Implementation::SharedLocked)
+        fatal("Config: lock sharding only applies to "
+              "Implementation 1");
+    if (lock_shards > 1 && !en_bloc)
+        fatal("Config: immediate mode with sharded locks is not "
+              "supported");
+
+    switch (impl) {
+      case Implementation::Sequential:
+        if (extractors != 1 || updaters != 0 || joiners != 0)
+            fatal("Config: the sequential baseline is (1, 0, 0), got "
+                  + tupleString());
+        if (pipelined_stage1)
+            fatal("Config: pipelined Stage 1 needs a parallel "
+                  "implementation");
+        break;
+      case Implementation::SharedLocked:
+        if (joiners != 0)
+            fatal("Config: Implementation 1 has nothing to join "
+                  "(z must be 0), got " + tupleString());
+        break;
+      case Implementation::ReplicatedJoin:
+        if (joiners == 0)
+            fatal("Config: Implementation 2 joins replicas "
+                  "(z >= 1), got " + tupleString());
+        break;
+      case Implementation::ReplicatedNoJoin:
+        if (joiners != 0)
+            fatal("Config: Implementation 3 never joins "
+                  "(z must be 0), got " + tupleString());
+        break;
+    }
+}
+
+Config
+Config::sharedLocked(unsigned x, unsigned y)
+{
+    Config cfg;
+    cfg.impl = Implementation::SharedLocked;
+    cfg.extractors = x;
+    cfg.updaters = y;
+    return cfg;
+}
+
+Config
+Config::replicatedJoin(unsigned x, unsigned y, unsigned z)
+{
+    Config cfg;
+    cfg.impl = Implementation::ReplicatedJoin;
+    cfg.extractors = x;
+    cfg.updaters = y;
+    cfg.joiners = z;
+    return cfg;
+}
+
+Config
+Config::replicatedNoJoin(unsigned x, unsigned y)
+{
+    Config cfg;
+    cfg.impl = Implementation::ReplicatedNoJoin;
+    cfg.extractors = x;
+    cfg.updaters = y;
+    return cfg;
+}
+
+Config
+Config::sequential()
+{
+    return Config{};
+}
+
+} // namespace dsearch

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Index generator configuration.
+ *
+ * A configuration is the paper's tuple (x, y, z) — threads for term
+ * extraction, index update, and index join — plus the implementation
+ * choice (§4):
+ *
+ *  - Implementation 1 (SharedLocked): one shared index, locked on
+ *    update.
+ *  - Implementation 2 (ReplicatedJoin): replicated indices, joined at
+ *    the end.
+ *  - Implementation 3 (ReplicatedNoJoin): replicated indices, never
+ *    joined.
+ *
+ * plus the ablation knobs the paper discusses in the text: the work
+ * distribution strategy (§2.1), pipelined Stage 1 (§3), and en-bloc
+ * versus immediate duplicate handling (§2.2).
+ */
+
+#ifndef DSEARCH_CORE_CONFIG_HH
+#define DSEARCH_CORE_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "pipeline/distribution.hh"
+
+namespace dsearch {
+
+/** Which of the paper's generator organizations to run. */
+enum class Implementation {
+    Sequential,       ///< The paper's baseline program.
+    SharedLocked,     ///< Implementation 1.
+    ReplicatedJoin,   ///< Implementation 2.
+    ReplicatedNoJoin, ///< Implementation 3.
+};
+
+/** @return Human-readable implementation name. */
+const char *name(Implementation impl);
+
+/** Full generator configuration; see the file comment. */
+struct Config
+{
+    Implementation impl = Implementation::Sequential;
+
+    /** x: term extraction threads (>= 1). */
+    unsigned extractors = 1;
+
+    /**
+     * y: index update threads. 0 means extractors update the index
+     * themselves (no buffer); >= 1 inserts a bounded block queue
+     * between the stages with y consumer threads.
+     */
+    unsigned updaters = 0;
+
+    /** z: index join threads (Implementation 2 only, >= 1 there). */
+    unsigned joiners = 0;
+
+    /** How files are handed to extractors (§2.1). */
+    DistributionKind distribution = DistributionKind::RoundRobin;
+
+    /**
+     * Run Stage 1 concurrently with Stage 2 through a shared locked
+     * filename queue — the variant the paper measured as "highly
+     * inefficient" (ablation E6). When set, `distribution` is
+     * irrelevant: files are consumed from the shared queue.
+     */
+    bool pipelined_stage1 = false;
+
+    /**
+     * True (paper's choice): extractors deduplicate per file and pass
+     * unique terms en bloc. False (ablation E7): every occurrence is
+     * inserted and the index performs the linear duplicate scan.
+     */
+    bool en_bloc = true;
+
+    /**
+     * Lock granularity for Implementation 1: 1 (the paper's design)
+     * guards the whole index with one mutex; > 1 splits the index
+     * into hash shards with one lock each, so updates to different
+     * shards proceed concurrently. Rounded up to a power of two.
+     * Answers §2.3's "Is synchronization the bottleneck?" directly.
+     */
+    std::size_t lock_shards = 1;
+
+    /** Capacity of the extractor->updater block queue (when y >= 1). */
+    std::size_t queue_capacity = 256;
+
+    /** Capacity of the shared filename queue (pipelined Stage 1). */
+    std::size_t filename_queue_capacity = 128;
+
+    /** @return The paper's "(x, y, z)" tuple notation. */
+    std::string tupleString() const;
+
+    /** @return "Implementation 2 (3, 5, 1)"-style description. */
+    std::string describe() const;
+
+    /**
+     * Number of index replicas a replicated configuration builds:
+     * y when updaters exist, else x (one per extractor).
+     */
+    std::size_t replicaCount() const;
+
+    /** fatal() when the tuple is inconsistent with the implementation. */
+    void validate() const;
+
+    /** Convenience factory for Implementation 1. */
+    static Config sharedLocked(unsigned x, unsigned y = 0);
+
+    /** Convenience factory for Implementation 2. */
+    static Config replicatedJoin(unsigned x, unsigned y, unsigned z);
+
+    /** Convenience factory for Implementation 3. */
+    static Config replicatedNoJoin(unsigned x, unsigned y = 0);
+
+    /** Convenience factory for the sequential baseline. */
+    static Config sequential();
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_CORE_CONFIG_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The index generator — the system the paper builds and parallelizes.
+ *
+ * Pipeline (§2):
+ *   Stage 1  filename generation   traverse the directory hierarchy
+ *   Stage 2  term extraction       read files, extract unique terms
+ *   Stage 3  index update          insert term blocks into the index
+ *
+ * build() runs the configured organization once:
+ *
+ *  - Sequential: the baseline program — one thread, per file:
+ *    read -> extract -> insert, no overlap.
+ *  - SharedLocked (Implementation 1): x extractors feed one shared,
+ *    locked index, either directly (y = 0) or through a bounded block
+ *    queue drained by y updater threads.
+ *  - ReplicatedJoin (Implementation 2): as above but each updater (or
+ *    extractor when y = 0) owns a private index; after a barrier the
+ *    replicas are joined by z threads ("Join Forces").
+ *  - ReplicatedNoJoin (Implementation 3): same, but the replicas are
+ *    kept and queried in parallel (see search/multi_searcher.hh).
+ *
+ * measureSequentialStages() reproduces the paper's Table 1
+ * decomposition, including the "empty scanner" read-only pass.
+ */
+
+#ifndef DSEARCH_CORE_INDEX_GENERATOR_HH
+#define DSEARCH_CORE_INDEX_GENERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/stage_times.hh"
+#include "fs/file_system.hh"
+#include "index/doc_table.hh"
+#include "index/inverted_index.hh"
+#include "text/term_extractor.hh"
+#include "text/tokenizer.hh"
+
+namespace dsearch {
+
+/** Everything a build run produces. */
+struct BuildResult
+{
+    /** The configuration that produced this result. */
+    Config config;
+
+    /** Document table assigned during Stage 1. */
+    DocTable docs;
+
+    /**
+     * The built index (one entry), or the unjoined replicas
+     * (Implementation 3: replicaCount() entries, some possibly empty).
+     */
+    std::vector<InvertedIndex> indices;
+
+    /** Stage timing breakdown. */
+    StageTimes times;
+
+    /** Aggregated extractor counters. */
+    ExtractorStats extraction;
+
+    /** @return The single index of non-replicated results. */
+    InvertedIndex &primary();
+    const InvertedIndex &primary() const;
+};
+
+/** Configurable index generator; see the file comment. */
+class IndexGenerator
+{
+  public:
+    /**
+     * @param fs   Filesystem holding the corpus (must outlive the
+     *             generator; read concurrently during build).
+     * @param root Directory to index.
+     * @param cfg  Organization and thread counts; validated here
+     *             (fatal on inconsistent tuples).
+     * @param opts Tokenizer settings shared by all extractors.
+     */
+    IndexGenerator(const FileSystem &fs, std::string root, Config cfg,
+                   TokenizerOptions opts = {});
+
+    /** Run the build once. Reentrant; each call is independent. */
+    BuildResult build();
+
+    /**
+     * The paper's Table 1 measurement: time (a) filename generation,
+     * (b) an empty-scanner read of every file, (c) read + term
+     * extraction, and (d) index update alone, all single-threaded.
+     */
+    static StageTimes measureSequentialStages(const FileSystem &fs,
+                                              const std::string &root,
+                                              TokenizerOptions opts
+                                              = {});
+
+  private:
+    BuildResult buildSequential();
+    BuildResult buildParallel();
+
+    const FileSystem &_fs;
+    std::string _root;
+    Config _cfg;
+    TokenizerOptions _opts;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_CORE_INDEX_GENERATOR_HH

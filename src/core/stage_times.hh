@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Per-stage timing record — the row format of the paper's Table 1.
+ */
+
+#ifndef DSEARCH_CORE_STAGE_TIMES_HH
+#define DSEARCH_CORE_STAGE_TIMES_HH
+
+namespace dsearch {
+
+/**
+ * Wall-clock seconds attributed to each pipeline stage.
+ *
+ * For sequential runs the extract/update fields are accumulated
+ * per-file phase times; for parallel runs they are the wall time of
+ * the corresponding phase (extraction until the last extractor
+ * finished; update for the extra drain time after that; join for the
+ * reduction).
+ *
+ * `read_files` is only filled by the dedicated Table 1 measurement
+ * (the "empty scanner" pass); ordinary builds leave it 0 because
+ * reading and extraction are fused there.
+ */
+struct StageTimes
+{
+    double filename_generation = 0.0; ///< Stage 1.
+    double read_files = 0.0;          ///< Empty-scanner read pass.
+    double read_and_extract = 0.0;    ///< Stage 2 (includes reads).
+    double index_update = 0.0;        ///< Stage 3 insert time.
+    double join = 0.0;                ///< Implementation 2 join.
+    double total = 0.0;               ///< End-to-end build time.
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_CORE_STAGE_TIMES_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Umbrella header for the dsearch library.
+ *
+ * dsearch reproduces Meder & Tichy, "Parallelizing an Index Generator
+ * for Desktop Search" (Karlsruhe Reports in Informatics 2010-9): a
+ * three-stage index-generation pipeline (filename generation, term
+ * extraction, index update) with the paper's three parallel
+ * organizations, plus the search, simulation and auto-tuning
+ * subsystems built around it.
+ *
+ * Typical use:
+ *
+ *     #include "dsearch.hh"
+ *     using namespace dsearch;
+ *
+ *     DiskFs fs("/home/me/documents");
+ *     IndexGenerator gen(fs, "/", Config::replicatedJoin(3, 2, 1));
+ *     BuildResult built = gen.build();
+ *     Searcher search(built.primary(), built.docs.docCount());
+ *     DocSet hits = search.run(Query::parse("report AND 2010"));
+ *
+ * Subsystem map (see DESIGN.md for the full inventory):
+ *  - core/      the generator and its (x, y, z) configuration
+ *  - fs/        storage backends and the synthetic corpus
+ *  - text/      tokenizer and term extraction
+ *  - index/     inverted index, joins, persistence, maintenance
+ *  - search/    boolean, ranked and multi-replica query engines
+ *  - pipeline/  queues, pools, barriers, work distribution
+ *  - sim/       calibrated platform simulator (paper Tables 1-4)
+ *  - tune/      configuration auto-tuner
+ */
+
+#ifndef DSEARCH_DSEARCH_HH
+#define DSEARCH_DSEARCH_HH
+
+#include "core/config.hh"
+#include "core/index_generator.hh"
+#include "core/stage_times.hh"
+
+#include "fs/corpus.hh"
+#include "fs/disk_fs.hh"
+#include "fs/file_system.hh"
+#include "fs/flaky_fs.hh"
+#include "fs/memory_fs.hh"
+#include "fs/traversal.hh"
+
+#include "text/term_extractor.hh"
+#include "text/tokenizer.hh"
+
+#include "index/doc_table.hh"
+#include "index/index_join.hh"
+#include "index/inverted_index.hh"
+#include "index/maintainer.hh"
+#include "index/serialize.hh"
+#include "index/shared_index.hh"
+
+#include "search/multi_searcher.hh"
+#include "search/query.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+
+#include "pipeline/barrier.hh"
+#include "pipeline/blocking_queue.hh"
+#include "pipeline/distribution.hh"
+#include "pipeline/thread_pool.hh"
+
+#include "sim/pipeline_sim.hh"
+#include "sim/platform.hh"
+
+#include "tune/config_space.hh"
+#include "tune/tuner.hh"
+
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/stats.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+#endif // DSEARCH_DSEARCH_HH

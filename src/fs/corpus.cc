@@ -1,0 +1,291 @@
+#include "fs/corpus.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace dsearch {
+
+CorpusSpec
+CorpusSpec::paper()
+{
+    CorpusSpec spec;
+    spec.file_count = 51000;
+    spec.total_bytes = 869ull << 20;
+    spec.large_file_count = 5;
+    spec.large_file_share = 0.30;
+    spec.vocabulary_size = 120000;
+    spec.zipf_skew = 1.0;
+    spec.directory_count = 1200;
+    spec.directory_fanout = 12;
+    return spec;
+}
+
+CorpusSpec
+CorpusSpec::paperScaled(double factor)
+{
+    if (factor <= 0.0 || factor > 1.0)
+        fatal("CorpusSpec::paperScaled: factor must be in (0, 1]");
+    CorpusSpec spec = paper();
+    spec.file_count = std::max<std::size_t>(
+        spec.large_file_count + 1,
+        static_cast<std::size_t>(
+            static_cast<double>(spec.file_count) * factor));
+    spec.total_bytes = std::max<std::uint64_t>(
+        1 << 20,
+        static_cast<std::uint64_t>(
+            static_cast<double>(spec.total_bytes) * factor));
+    spec.directory_count = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                static_cast<double>(spec.directory_count) * factor));
+    spec.vocabulary_size = std::max<std::size_t>(
+        5000, static_cast<std::size_t>(
+                  static_cast<double>(spec.vocabulary_size) * factor));
+    return spec;
+}
+
+CorpusSpec
+CorpusSpec::tiny(std::uint64_t seed)
+{
+    CorpusSpec spec;
+    spec.file_count = 240;
+    spec.total_bytes = 320u << 10;
+    spec.large_file_count = 2;
+    spec.large_file_share = 0.25;
+    spec.vocabulary_size = 2000;
+    spec.directory_count = 12;
+    spec.directory_fanout = 4;
+    spec.seed = seed;
+    return spec;
+}
+
+void
+CorpusSpec::validate() const
+{
+    if (file_count == 0)
+        fatal("CorpusSpec: file_count must be >= 1");
+    if (large_file_count >= file_count)
+        fatal("CorpusSpec: need more files than large files");
+    if (large_file_share < 0.0 || large_file_share >= 1.0)
+        fatal("CorpusSpec: large_file_share must be in [0, 1)");
+    if (large_file_count == 0 && large_file_share > 0.0)
+        fatal("CorpusSpec: large_file_share > 0 needs large files");
+    if (vocabulary_size == 0)
+        fatal("CorpusSpec: vocabulary_size must be >= 1");
+    if (directory_count == 0 || directory_fanout == 0)
+        fatal("CorpusSpec: directory tree must be non-empty");
+    if (zipf_skew < 0.0)
+        fatal("CorpusSpec: zipf_skew must be >= 0");
+    if (root.empty() || root.front() != '/')
+        fatal("CorpusSpec: root must be an absolute virtual path");
+}
+
+DiskWriter::DiskWriter(std::string host_root)
+    : _host_root(std::move(host_root))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_host_root, ec);
+    if (ec)
+        fatal("DiskWriter: cannot create '" + _host_root + "': "
+              + ec.message());
+}
+
+void
+DiskWriter::addFile(const std::string &path, std::string content)
+{
+    std::filesystem::path host = _host_root + path;
+    std::error_code ec;
+    std::filesystem::create_directories(host.parent_path(), ec);
+    if (ec)
+        fatal("DiskWriter: cannot create directories for '"
+              + host.string() + "': " + ec.message());
+    std::ofstream out(host, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("DiskWriter: cannot open '" + host.string() + "'");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out)
+        fatal("DiskWriter: short write to '" + host.string() + "'");
+}
+
+CorpusGenerator::CorpusGenerator(CorpusSpec spec) : _spec(std::move(spec))
+{
+    _spec.validate();
+}
+
+std::string
+CorpusGenerator::wordForRank(std::size_t rank)
+{
+    // Bijective numeration over consonant-vowel syllables: words are
+    // pronounceable, unique per rank, and short for frequent ranks.
+    static constexpr char consonants[] = "bcdfghjklmnprstvz";
+    static constexpr char vowels[] = "aeiou";
+    constexpr std::size_t n_cons = sizeof(consonants) - 1;
+    constexpr std::size_t n_vow = sizeof(vowels) - 1;
+    constexpr std::size_t base = n_cons * n_vow;
+
+    std::string word;
+    std::size_t n = rank + 1;
+    while (n > 0) {
+        n -= 1;
+        std::size_t syllable = n % base;
+        word.insert(word.begin(), vowels[syllable % n_vow]);
+        word.insert(word.begin(), consonants[syllable / n_vow]);
+        n /= base;
+    }
+    return word;
+}
+
+std::string
+CorpusGenerator::directoryPath(std::size_t dir) const
+{
+    if (dir == 0)
+        return _spec.root;
+    std::size_t parent = (dir - 1) / _spec.directory_fanout;
+    char name[32];
+    std::snprintf(name, sizeof(name), "d%04zu", dir);
+    return joinPath(directoryPath(parent), name);
+}
+
+bool
+CorpusGenerator::isLargeIndex(std::size_t index) const
+{
+    // Large files sit at evenly spaced interior positions so every
+    // round-robin shard sees at most a few of them.
+    for (std::size_t j = 0; j < _spec.large_file_count; ++j) {
+        std::size_t pos =
+            (j + 1) * _spec.file_count / (_spec.large_file_count + 1);
+        if (index == pos)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::uint64_t>
+CorpusGenerator::fileSizes() const
+{
+    const std::size_t n = _spec.file_count;
+    const std::size_t n_large = _spec.large_file_count;
+    const double large_total =
+        static_cast<double>(_spec.total_bytes) * _spec.large_file_share;
+    const double small_total =
+        static_cast<double>(_spec.total_bytes) - large_total;
+    const std::size_t n_small = n - n_large;
+
+    // Log-normal small-file sizes, then a deterministic rescale so the
+    // sum hits the target.
+    Rng rng(_spec.seed ^ 0x51e5u);
+    std::vector<double> raw(n, 0.0);
+    double raw_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (isLargeIndex(i))
+            continue;
+        // Box-Muller standard normal.
+        double u1 = rng.nextDouble();
+        double u2 = rng.nextDouble();
+        while (u1 <= 0.0)
+            u1 = rng.nextDouble();
+        double z = std::sqrt(-2.0 * std::log(u1))
+                   * std::cos(6.28318530717958648 * u2);
+        raw[i] = std::exp(_spec.size_sigma * z);
+        raw_sum += raw[i];
+    }
+
+    std::vector<std::uint64_t> sizes(n, 0);
+    const double scale = raw_sum > 0.0 ? small_total / raw_sum : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (isLargeIndex(i)) {
+            sizes[i] = static_cast<std::uint64_t>(
+                large_total / static_cast<double>(n_large));
+        } else {
+            // Clamp so every file holds at least a few terms.
+            sizes[i] = std::max<std::uint64_t>(
+                64, static_cast<std::uint64_t>(raw[i] * scale));
+        }
+    }
+    (void)n_small;
+    return sizes;
+}
+
+std::string
+CorpusGenerator::makeText(std::size_t index,
+                          std::uint64_t target_bytes) const
+{
+    // Per-file generator stream: file content is independent of the
+    // order files are generated in.
+    Rng rng(_spec.seed ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+    ZipfDistribution zipf(_spec.vocabulary_size, _spec.zipf_skew);
+
+    std::string text;
+    text.reserve(target_bytes + 16);
+    std::size_t words_on_line = 0;
+    while (text.size() < target_bytes) {
+        if (rng.bernoulli(0.02)) {
+            // Occasional numeric token; desktop documents contain
+            // dates, versions and page numbers.
+            char num[16];
+            std::snprintf(num, sizeof(num), "%llu",
+                          static_cast<unsigned long long>(
+                              rng.uniform(0, 9999)));
+            text += num;
+        } else {
+            text += wordForRank(zipf.sample(rng));
+        }
+        if (++words_on_line >= 12) {
+            text += '\n';
+            words_on_line = 0;
+        } else {
+            text += ' ';
+        }
+    }
+    if (text.empty() || text.back() != '\n')
+        text += '\n';
+    return text;
+}
+
+CorpusManifest
+CorpusGenerator::generate(CorpusWriter &writer) const
+{
+    CorpusManifest manifest;
+    std::vector<std::uint64_t> sizes = fileSizes();
+
+    std::size_t large_seen = 0;
+    for (std::size_t i = 0; i < _spec.file_count; ++i) {
+        std::uint64_t dir_state = _spec.seed + 0xd1c7u + i;
+        std::size_t dir = static_cast<std::size_t>(
+            splitMix64(dir_state) % _spec.directory_count);
+
+        char name[32];
+        bool large = isLargeIndex(i);
+        if (large)
+            std::snprintf(name, sizeof(name), "large%02zu.txt",
+                          large_seen++);
+        else
+            std::snprintf(name, sizeof(name), "doc%06zu.txt", i);
+
+        std::string path = joinPath(directoryPath(dir), name);
+        std::string content = makeText(i, sizes[i]);
+        manifest.total_bytes += content.size();
+        ++manifest.file_count;
+        if (large)
+            manifest.large_files.push_back(path);
+        writer.addFile(path, std::move(content));
+    }
+    return manifest;
+}
+
+std::unique_ptr<MemoryFs>
+CorpusGenerator::generateInMemory() const
+{
+    auto fs = std::make_unique<MemoryFs>();
+    MemoryFsWriter writer(*fs);
+    generate(writer);
+    return fs;
+}
+
+} // namespace dsearch

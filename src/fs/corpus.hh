@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Synthetic benchmark corpus generator.
+ *
+ * The paper's benchmark is a private set of about 51,000 ASCII text
+ * files totalling about 869 MB — "many small files and five large text
+ * files" extracted from word-processor documents. That corpus is not
+ * available, so this module generates a deterministic stand-in with
+ * the same statistical shape:
+ *
+ *  - a configurable file count and total size;
+ *  - a handful of large files holding a configurable share of the
+ *    bytes, spread evenly through the traversal order;
+ *  - log-normally distributed small-file sizes (the classic shape of
+ *    document collections);
+ *  - natural-language-like text drawn from a Zipf-distributed
+ *    vocabulary of pronounceable words, so per-file term duplication
+ *    matches what the paper's en-bloc duplicate elimination exploits;
+ *  - a directory tree with configurable width, so Stage 1 traversal
+ *    does real work.
+ *
+ * Everything is a pure function of CorpusSpec (including the seed):
+ * two runs produce byte-identical corpora on any platform.
+ */
+
+#ifndef DSEARCH_FS_CORPUS_HH
+#define DSEARCH_FS_CORPUS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/memory_fs.hh"
+
+namespace dsearch {
+
+/** Parameters describing a synthetic corpus. */
+struct CorpusSpec
+{
+    /** Number of files, large files included. */
+    std::size_t file_count = 6000;
+
+    /** Approximate total size in bytes (met within ~1%). */
+    std::uint64_t total_bytes = 48ull << 20;
+
+    /** Number of large files (the paper's corpus has five). */
+    std::size_t large_file_count = 5;
+
+    /** Fraction of total bytes held by the large files. */
+    double large_file_share = 0.25;
+
+    /** Distinct words available to the text generator. */
+    std::size_t vocabulary_size = 40000;
+
+    /** Zipf skew of word frequencies (1.0 = classic Zipf). */
+    double zipf_skew = 1.0;
+
+    /** Number of directories in the tree (>= 1). */
+    std::size_t directory_count = 128;
+
+    /** Children per directory node in the tree. */
+    std::size_t directory_fanout = 8;
+
+    /** Spread of small-file sizes (sigma of the underlying normal). */
+    double size_sigma = 1.0;
+
+    /** Master seed; every byte of the corpus derives from it. */
+    std::uint64_t seed = 0x5ea4c4;
+
+    /** Virtual root directory the corpus is placed under. */
+    std::string root = "/corpus";
+
+    /**
+     * The paper's benchmark shape: 51,000 files, 869 MB, five large
+     * files. Generating it in memory needs ~1 GB of RAM.
+     */
+    static CorpusSpec paper();
+
+    /**
+     * The paper shape scaled down by @p factor (file count and bytes),
+     * used for host-scale benchmarks.
+     */
+    static CorpusSpec paperScaled(double factor);
+
+    /** A tiny corpus for unit tests (hundreds of files, ~300 KiB). */
+    static CorpusSpec tiny(std::uint64_t seed = 1);
+
+    /** Abort via fatal() when the spec is inconsistent. */
+    void validate() const;
+};
+
+/** What a generation run produced. */
+struct CorpusManifest
+{
+    std::size_t file_count = 0;
+    std::uint64_t total_bytes = 0;
+    /** Paths of the large files, in index order. */
+    std::vector<std::string> large_files;
+};
+
+/** Destination for generated files. */
+class CorpusWriter
+{
+  public:
+    virtual ~CorpusWriter() = default;
+
+    /** Store one generated file. */
+    virtual void addFile(const std::string &path, std::string content)
+        = 0;
+};
+
+/** CorpusWriter that populates a MemoryFs. */
+class MemoryFsWriter : public CorpusWriter
+{
+  public:
+    explicit MemoryFsWriter(MemoryFs &fs) : _fs(fs) {}
+
+    void
+    addFile(const std::string &path, std::string content) override
+    {
+        _fs.addFile(path, std::move(content));
+    }
+
+  private:
+    MemoryFs &_fs;
+};
+
+/**
+ * CorpusWriter that materializes files under a host directory, for
+ * example runs against the real disk backend.
+ */
+class DiskWriter : public CorpusWriter
+{
+  public:
+    /** @param host_root Existing or creatable host directory. */
+    explicit DiskWriter(std::string host_root);
+
+    void addFile(const std::string &path, std::string content) override;
+
+  private:
+    std::string _host_root;
+};
+
+/** Deterministic corpus generator; see the file comment. */
+class CorpusGenerator
+{
+  public:
+    /** @param spec Validated on construction (fatal on nonsense). */
+    explicit CorpusGenerator(CorpusSpec spec);
+
+    /** @return The spec this generator was built from. */
+    const CorpusSpec &spec() const { return _spec; }
+
+    /**
+     * Generate every file into @p writer.
+     *
+     * @return Manifest of what was written.
+     */
+    CorpusManifest generate(CorpusWriter &writer) const;
+
+    /** Generate into a fresh in-memory filesystem. */
+    std::unique_ptr<MemoryFs> generateInMemory() const;
+
+    /**
+     * The deterministic word for a vocabulary rank: pronounceable,
+     * unique per rank, short for frequent ranks (like real language).
+     */
+    static std::string wordForRank(std::size_t rank);
+
+    /** Virtual directory path of directory index @p dir. */
+    std::string directoryPath(std::size_t dir) const;
+
+    /**
+     * Per-file target sizes (bytes), index order; exposed for the
+     * distribution-strategy benchmarks which need the size skew.
+     */
+    std::vector<std::uint64_t> fileSizes() const;
+
+  private:
+    /** Produce the body of file @p index with target size. */
+    std::string makeText(std::size_t index, std::uint64_t target_bytes)
+        const;
+
+    /** @return True when @p index is one of the large files. */
+    bool isLargeIndex(std::size_t index) const;
+
+    CorpusSpec _spec;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_FS_CORPUS_HH

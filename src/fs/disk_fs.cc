@@ -1,0 +1,98 @@
+#include "fs/disk_fs.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace stdfs = std::filesystem;
+
+DiskFs::DiskFs(std::string root) : _root(std::move(root))
+{
+    std::error_code ec;
+    if (!stdfs::is_directory(_root, ec))
+        fatal("DiskFs: '" + _root + "' is not a directory");
+    // Normalize away a trailing separator.
+    while (_root.size() > 1 && _root.back() == '/')
+        _root.pop_back();
+}
+
+std::string
+DiskFs::resolve(const std::string &path) const
+{
+    if (path.empty() || path == "/")
+        return _root;
+    if (path.front() == '/')
+        return _root + path;
+    return _root + "/" + path;
+}
+
+std::vector<DirEntry>
+DiskFs::list(const std::string &path) const
+{
+    std::vector<DirEntry> entries;
+    std::error_code ec;
+    stdfs::directory_iterator it(resolve(path), ec);
+    if (ec) {
+        warn("DiskFs: cannot list '" + path + "': " + ec.message());
+        return entries;
+    }
+    for (const stdfs::directory_entry &de : it) {
+        DirEntry entry;
+        entry.name = de.path().filename().string();
+        entry.is_dir = de.is_directory(ec) && !ec;
+        // Only regular files and directories take part in indexing;
+        // sockets, fifos and devices are skipped.
+        if (entry.is_dir || (de.is_regular_file(ec) && !ec))
+            entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const DirEntry &a, const DirEntry &b) {
+                  return a.name < b.name;
+              });
+    return entries;
+}
+
+bool
+DiskFs::isDirectory(const std::string &path) const
+{
+    std::error_code ec;
+    return stdfs::is_directory(resolve(path), ec) && !ec;
+}
+
+bool
+DiskFs::isFile(const std::string &path) const
+{
+    std::error_code ec;
+    return stdfs::is_regular_file(resolve(path), ec) && !ec;
+}
+
+std::uint64_t
+DiskFs::fileSize(const std::string &path) const
+{
+    std::error_code ec;
+    std::uintmax_t size = stdfs::file_size(resolve(path), ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+bool
+DiskFs::readFile(const std::string &path, std::string &out) const
+{
+    std::ifstream in(resolve(path), std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(0, std::ios::end);
+    std::streampos size = in.tellg();
+    if (size < 0)
+        return false;
+    out.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(out.data(), size);
+    return static_cast<bool>(in) || size == 0;
+}
+
+} // namespace dsearch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Failure-injecting filesystem decorator.
+ *
+ * Desktop search runs against a live filesystem: files vanish, lose
+ * permissions, or fail mid-read while the indexer works. FlakyFs
+ * wraps any FileSystem and makes a deterministic subset of files
+ * unreadable, so resilience tests can assert exact skip counts and —
+ * because the failing set depends only on (path, seed) — that every
+ * generator organization skips the *same* files and still produces
+ * equivalent indices.
+ */
+
+#ifndef DSEARCH_FS_FLAKY_FS_HH
+#define DSEARCH_FS_FLAKY_FS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "fs/file_system.hh"
+#include "util/fnv_hash.hh"
+
+namespace dsearch {
+
+/** Read-failure injector; see the file comment. */
+class FlakyFs : public FileSystem
+{
+  public:
+    /**
+     * @param inner        Decorated filesystem (kept by reference).
+     * @param fail_probability Fraction of files whose reads fail.
+     * @param seed         Selects which files fail.
+     */
+    FlakyFs(const FileSystem &inner, double fail_probability,
+            std::uint64_t seed = 0xbad)
+        : _inner(inner), _fail_probability(fail_probability),
+          _seed(seed)
+    {
+    }
+
+    /** @return True when reads of @p path are set up to fail. */
+    bool
+    failsOn(const std::string &path) const
+    {
+        if (_fail_probability <= 0.0)
+            return false;
+        std::uint64_t h = fnv1a_64(path) ^ _seed;
+        double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return u < _fail_probability;
+    }
+
+    /** @return Number of reads failed so far (across threads). */
+    std::uint64_t
+    failedReads() const
+    {
+        return _failed.load(std::memory_order_relaxed);
+    }
+
+    // FileSystem interface: metadata passes through (the files are
+    // visible — they just cannot be read, like a permission change
+    // between Stage 1 and Stage 2).
+    std::vector<DirEntry>
+    list(const std::string &path) const override
+    {
+        return _inner.list(path);
+    }
+
+    bool
+    isDirectory(const std::string &path) const override
+    {
+        return _inner.isDirectory(path);
+    }
+
+    bool
+    isFile(const std::string &path) const override
+    {
+        return _inner.isFile(path);
+    }
+
+    std::uint64_t
+    fileSize(const std::string &path) const override
+    {
+        return _inner.fileSize(path);
+    }
+
+    bool
+    readFile(const std::string &path, std::string &out) const override
+    {
+        if (failsOn(path)) {
+            _failed.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        return _inner.readFile(path, out);
+    }
+
+  private:
+    const FileSystem &_inner;
+    double _fail_probability;
+    std::uint64_t _seed;
+    mutable std::atomic<std::uint64_t> _failed{0};
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_FS_FLAKY_FS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * In-memory filesystem.
+ *
+ * Serves the synthetic benchmark corpus without touching the disk, so
+ * host benchmarks measure the indexing pipeline rather than the build
+ * machine's storage stack, and unit tests stay hermetic. After
+ * population it is immutable and safe for concurrent reads.
+ */
+
+#ifndef DSEARCH_FS_MEMORY_FS_HH
+#define DSEARCH_FS_MEMORY_FS_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/file_system.hh"
+
+namespace dsearch {
+
+/**
+ * Tree-structured in-memory filesystem.
+ *
+ * Mutation (addFile/mkdirs) is not thread safe; do all population
+ * before handing the filesystem to the parallel generator.
+ */
+class MemoryFs : public FileSystem
+{
+  public:
+    MemoryFs();
+    ~MemoryFs() override;
+
+    MemoryFs(const MemoryFs &) = delete;
+    MemoryFs &operator=(const MemoryFs &) = delete;
+
+    /**
+     * Create a file, making parent directories as needed.
+     *
+     * Replaces any existing file at @p path.
+     *
+     * @param path    Absolute '/'-separated path.
+     * @param content File body (moved in).
+     */
+    void addFile(const std::string &path, std::string content);
+
+    /** Create a directory chain (no-op for existing directories). */
+    void mkdirs(const std::string &path);
+
+    /** @return Number of regular files stored. */
+    std::size_t fileCount() const { return _file_count; }
+
+    /** @return Total bytes across all files. */
+    std::uint64_t totalBytes() const { return _total_bytes; }
+
+    // FileSystem interface.
+    std::vector<DirEntry> list(const std::string &path) const override;
+    bool isDirectory(const std::string &path) const override;
+    bool isFile(const std::string &path) const override;
+    std::uint64_t fileSize(const std::string &path) const override;
+    bool readFile(const std::string &path, std::string &out)
+        const override;
+
+  private:
+    struct Node;
+
+    /** @return Node at @p path, or nullptr. */
+    const Node *lookup(const std::string &path) const;
+
+    /** @return Directory node at @p path, creating missing parents. */
+    Node *makeDirs(const std::string &path);
+
+    std::unique_ptr<Node> _root;
+    std::size_t _file_count = 0;
+    std::uint64_t _total_bytes = 0;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_FS_MEMORY_FS_HH

@@ -1,0 +1,47 @@
+#include "index/doc_table.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+DocTable
+DocTable::fromFileList(const FileList &files)
+{
+    DocTable table;
+    table._paths.reserve(files.size());
+    table._sizes.reserve(files.size());
+    for (const FileEntry &file : files) {
+        if (file.doc != table._paths.size())
+            panic("DocTable::fromFileList: non-dense document IDs");
+        table._paths.push_back(file.path);
+        table._sizes.push_back(file.size);
+    }
+    return table;
+}
+
+DocId
+DocTable::add(std::string path, std::uint64_t size)
+{
+    DocId doc = static_cast<DocId>(_paths.size());
+    _paths.push_back(std::move(path));
+    _sizes.push_back(size);
+    return doc;
+}
+
+const std::string &
+DocTable::path(DocId doc) const
+{
+    if (doc >= _paths.size())
+        panic("DocTable::path: document ID out of range");
+    return _paths[doc];
+}
+
+std::uint64_t
+DocTable::sizeBytes(DocId doc) const
+{
+    if (doc >= _sizes.size())
+        panic("DocTable::sizeBytes: document ID out of range");
+    return _sizes[doc];
+}
+
+} // namespace dsearch

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Document table: the docID <-> filename mapping.
+ *
+ * Document IDs are assigned once, by the single-threaded Stage 1, so
+ * every index replica agrees on file identity and the later join is a
+ * disjoint merge. The table is immutable while the parallel stages
+ * run, which is what makes lock-free sharing of it safe.
+ */
+
+#ifndef DSEARCH_INDEX_DOC_TABLE_HH
+#define DSEARCH_INDEX_DOC_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/traversal.hh"
+
+namespace dsearch {
+
+/** Append-only docID <-> path table; see the file comment. */
+class DocTable
+{
+  public:
+    DocTable() = default;
+
+    /** Build directly from Stage 1 output (IDs must be dense). */
+    static DocTable fromFileList(const FileList &files);
+
+    /**
+     * Append a document.
+     *
+     * @param path Virtual path of the file.
+     * @param size File size in bytes.
+     * @return The assigned document ID (dense, starting at 0).
+     */
+    DocId add(std::string path, std::uint64_t size);
+
+    /** @return Number of documents. */
+    std::size_t docCount() const { return _paths.size(); }
+
+    /** @return Path of @p doc (panics on out-of-range IDs). */
+    const std::string &path(DocId doc) const;
+
+    /** @return Recorded size of @p doc in bytes. */
+    std::uint64_t sizeBytes(DocId doc) const;
+
+    /** @return True when @p doc is a valid ID for this table. */
+    bool
+    contains(DocId doc) const
+    {
+        return doc < _paths.size();
+    }
+
+  private:
+    std::vector<std::string> _paths;
+    std::vector<std::uint64_t> _sizes;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_DOC_TABLE_HH

@@ -1,0 +1,61 @@
+#include "index/index_join.hh"
+
+#include <thread>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+InvertedIndex
+joinSequential(std::vector<InvertedIndex> replicas)
+{
+    InvertedIndex result;
+    for (InvertedIndex &replica : replicas)
+        result.merge(std::move(replica));
+    return result;
+}
+
+InvertedIndex
+joinParallel(std::vector<InvertedIndex> replicas, std::size_t threads)
+{
+    if (threads == 0)
+        fatal("joinParallel: need at least one joiner thread");
+    if (replicas.empty())
+        return InvertedIndex{};
+
+    // Reduction tree: each round pairs up survivors and merges every
+    // pair concurrently, bounded by the joiner thread count.
+    std::vector<InvertedIndex> level = std::move(replicas);
+    while (level.size() > 1) {
+        std::size_t pairs = level.size() / 2;
+        std::size_t lanes = std::min(threads, pairs);
+
+        // Lane t merges pairs t, t+lanes, t+2*lanes, ... Joiner
+        // threads touch disjoint pairs, so no locks are needed —
+        // exactly the property the pattern is meant to deliver.
+        std::vector<std::thread> joiners;
+        joiners.reserve(lanes);
+        for (std::size_t t = 0; t < lanes; ++t) {
+            joiners.emplace_back([&level, pairs, lanes, t] {
+                for (std::size_t p = t; p < pairs; p += lanes) {
+                    level[2 * p].merge(std::move(level[2 * p + 1]));
+                }
+            });
+        }
+        for (std::thread &joiner : joiners)
+            joiner.join();
+
+        // Compact survivors: merged pairs plus a possible odd leftover.
+        std::vector<InvertedIndex> next;
+        next.reserve(pairs + level.size() % 2);
+        for (std::size_t p = 0; p < pairs; ++p)
+            next.push_back(std::move(level[2 * p]));
+        if (level.size() % 2 == 1)
+            next.push_back(std::move(level.back()));
+        level = std::move(next);
+    }
+    return std::move(level.front());
+}
+
+} // namespace dsearch

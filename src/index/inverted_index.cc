@@ -1,0 +1,137 @@
+#include "index/inverted_index.hh"
+
+#include <algorithm>
+
+namespace dsearch {
+
+void
+InvertedIndex::addBlock(const TermBlock &block)
+{
+    for (const std::string &term : block.terms) {
+        _map[term].push_back(block.doc);
+        ++_postings;
+    }
+}
+
+void
+InvertedIndex::addBlockRefs(DocId doc,
+                            const std::vector<const std::string *>
+                                &terms)
+{
+    for (const std::string *term : terms) {
+        _map[*term].push_back(doc);
+        ++_postings;
+    }
+}
+
+void
+InvertedIndex::addOccurrence(const std::string &term, DocId doc)
+{
+    PostingList &list = _map[term];
+    // The duplicate scan the paper's analysis rejects: without en-bloc
+    // deduplication the index must check whether (term, doc) was added
+    // before.
+    if (std::find(list.begin(), list.end(), doc) != list.end())
+        return;
+    list.push_back(doc);
+    ++_postings;
+}
+
+const PostingList *
+InvertedIndex::postings(const std::string &term) const
+{
+    return _map.find(term);
+}
+
+void
+InvertedIndex::clear()
+{
+    _map.clear();
+    _postings = 0;
+}
+
+InvertedIndex
+InvertedIndex::clone() const
+{
+    InvertedIndex copy;
+    copy._map = _map;
+    copy._postings = _postings;
+    return copy;
+}
+
+void
+InvertedIndex::merge(InvertedIndex &&other)
+{
+    for (auto &slot : other._map) {
+        PostingList *mine = _map.find(slot.key);
+        if (mine == nullptr) {
+            _map.insert(slot.key, std::move(slot.value));
+        } else {
+            mine->insert(mine->end(), slot.value.begin(),
+                         slot.value.end());
+        }
+    }
+    _postings += other._postings;
+    other.clear();
+}
+
+std::uint64_t
+InvertedIndex::removeDoc(DocId doc)
+{
+    std::uint64_t removed = 0;
+    for (auto &slot : _map) {
+        PostingList &list = slot.value;
+        auto cut = std::remove(list.begin(), list.end(), doc);
+        removed += static_cast<std::uint64_t>(list.end() - cut);
+        list.erase(cut, list.end());
+    }
+    _postings -= removed;
+    return removed;
+}
+
+std::size_t
+InvertedIndex::eraseEmptyTerms()
+{
+    // Collect first: erase() invalidates iterators (backward shift).
+    std::vector<std::string> empty;
+    for (const auto &slot : _map)
+        if (slot.value.empty())
+            empty.push_back(slot.key);
+    for (const std::string &term : empty)
+        _map.erase(term);
+    return empty.size();
+}
+
+void
+InvertedIndex::sortPostings()
+{
+    for (auto &slot : _map)
+        std::sort(slot.value.begin(), slot.value.end());
+}
+
+void
+InvertedIndex::reserveTerms(std::size_t expected_terms)
+{
+    _map.reserve(expected_terms);
+}
+
+bool
+sameContents(const InvertedIndex &a, const InvertedIndex &b)
+{
+    if (a.termCount() != b.termCount()
+        || a.postingCount() != b.postingCount()) {
+        return false;
+    }
+    bool equal = true;
+    a.forEachTerm([&b, &equal](const std::string &term,
+                               const PostingList &postings) {
+        if (!equal)
+            return;
+        const PostingList *theirs = b.postings(term);
+        if (theirs == nullptr || *theirs != postings)
+            equal = false;
+    });
+    return equal;
+}
+
+} // namespace dsearch

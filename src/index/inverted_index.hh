@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The inverted index: term -> list of documents containing the term.
+ *
+ * Implemented as the paper describes: a hash map (FNV1 hashing) from
+ * term to posting list. Two insertion paths exist:
+ *
+ *  - addBlock() takes a file's unique terms en bloc. Because each file
+ *    is scanned exactly once and duplicates were already eliminated in
+ *    the extractor, no (term, doc) duplicate check is needed — the
+ *    design choice §3 of the paper argues for.
+ *
+ *  - addOccurrence() inserts a single occurrence and performs the
+ *    linear duplicate scan the paper describes for the rejected
+ *    immediate-insertion design. It exists for ablation E7.
+ *
+ * The class itself is single-threaded; concurrent use is coordinated
+ * by SharedIndex (Implementation 1) or by giving each thread a private
+ * replica (Implementations 2 and 3).
+ */
+
+#ifndef DSEARCH_INDEX_INVERTED_INDEX_HH
+#define DSEARCH_INDEX_INVERTED_INDEX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/term_extractor.hh"
+#include "util/hash_map.hh"
+
+namespace dsearch {
+
+/** Documents containing a term, in insertion order (unsorted). */
+using PostingList = std::vector<DocId>;
+
+/** Single-threaded inverted index; see the file comment. */
+class InvertedIndex
+{
+  public:
+    InvertedIndex() = default;
+
+    InvertedIndex(const InvertedIndex &) = delete;
+    InvertedIndex &operator=(const InvertedIndex &) = delete;
+    InvertedIndex(InvertedIndex &&) = default;
+    InvertedIndex &operator=(InvertedIndex &&) = default;
+
+    /**
+     * Insert one file's unique terms en bloc (no duplicate checks;
+     * the extractor guarantees uniqueness).
+     */
+    void addBlock(const TermBlock &block);
+
+    /**
+     * En-bloc insert through term pointers: same semantics as
+     * addBlock() without copying the strings into an intermediate
+     * block. Used by the sharded-lock wrapper, which groups a block's
+     * terms by shard.
+     */
+    void addBlockRefs(DocId doc,
+                      const std::vector<const std::string *> &terms);
+
+    /**
+     * Insert one term occurrence, checking the posting list for a
+     * previous (term, doc) pair — the linear search the en-bloc
+     * design eliminates.
+     */
+    void addOccurrence(const std::string &term, DocId doc);
+
+    /**
+     * @return Posting list for @p term, or nullptr when the term is
+     *         unknown.
+     */
+    const PostingList *postings(const std::string &term) const;
+
+    /** @return Number of distinct terms. */
+    std::size_t termCount() const { return _map.size(); }
+
+    /** @return Total (term, doc) pairs across all posting lists. */
+    std::uint64_t postingCount() const { return _postings; }
+
+    /** @return True when the index holds nothing. */
+    bool empty() const { return _map.empty(); }
+
+    /** Drop all content. */
+    void clear();
+
+    /**
+     * Explicit deep copy. Indices are move-only so accidental copies
+     * of multi-million-posting tables cannot happen silently; cloning
+     * is for benchmarks and tools that need to reuse a replica set.
+     */
+    InvertedIndex clone() const;
+
+    /**
+     * Merge another index into this one (the "Join Forces" step).
+     *
+     * Posting lists for shared terms are concatenated; when document
+     * sets were disjoint (as in the generator, where each file is
+     * processed by exactly one thread) the result has no duplicates.
+     * @p other is left empty.
+     */
+    void merge(InvertedIndex &&other);
+
+    /**
+     * Remove every posting of @p doc (incremental maintenance: the
+     * file was deleted or is being re-indexed). Linear in the total
+     * posting count; desktop-scale indices tolerate that for the
+     * rare-delete case.
+     *
+     * @return Number of postings removed.
+     */
+    std::uint64_t removeDoc(DocId doc);
+
+    /**
+     * Erase terms whose posting lists became empty (after
+     * removeDoc()).
+     *
+     * @return Number of terms erased.
+     */
+    std::size_t eraseEmptyTerms();
+
+    /**
+     * Sort every posting list ascending (canonical form for
+     * comparison, serialization and search).
+     */
+    void sortPostings();
+
+    /**
+     * Visit every (term, postings) pair.
+     *
+     * @param fn Callable taking (const std::string &,
+     *           const PostingList &). Iteration order is hash order.
+     */
+    template <typename Fn>
+    void
+    forEachTerm(Fn &&fn) const
+    {
+        for (const auto &slot : _map)
+            fn(slot.key, slot.value);
+    }
+
+    /** Pre-size the term table for @p expected_terms entries. */
+    void reserveTerms(std::size_t expected_terms);
+
+  private:
+    HashMap<std::string, PostingList> _map;
+    std::uint64_t _postings = 0;
+};
+
+/**
+ * Structural equality after canonicalization: same term set, same
+ * sorted posting lists. Both arguments must already be sorted via
+ * sortPostings().
+ */
+bool sameContents(const InvertedIndex &a, const InvertedIndex &b);
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_INVERTED_INDEX_HH

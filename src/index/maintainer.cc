@@ -1,0 +1,92 @@
+#include "index/maintainer.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+IndexMaintainer::IndexMaintainer(InvertedIndex index, DocTable docs,
+                                 TokenizerOptions opts)
+    : _index(std::move(index)), _docs(std::move(docs)),
+      _alive(_docs.docCount(), true), _alive_count(_docs.docCount()),
+      _opts(opts)
+{
+}
+
+DocId
+IndexMaintainer::addDocument(const FileSystem &fs,
+                             const std::string &path)
+{
+    TermExtractor extractor(fs, _opts);
+    FileEntry entry;
+    entry.doc = static_cast<DocId>(_docs.docCount());
+    entry.path = path;
+    entry.size = fs.fileSize(path);
+    TermBlock block;
+    if (!extractor.extract(entry, block))
+        return invalid_doc;
+
+    DocId doc = _docs.add(path, entry.size);
+    _alive.push_back(true);
+    ++_alive_count;
+    _index.addBlock(block);
+    return doc;
+}
+
+bool
+IndexMaintainer::removeDocument(DocId doc)
+{
+    if (doc >= _alive.size() || !_alive[doc])
+        return false;
+    _index.removeDoc(doc);
+    _alive[doc] = false;
+    --_alive_count;
+    return true;
+}
+
+bool
+IndexMaintainer::refreshDocument(const FileSystem &fs, DocId doc)
+{
+    if (doc >= _alive.size() || !_alive[doc])
+        return false;
+    _index.removeDoc(doc);
+
+    TermExtractor extractor(fs, _opts);
+    FileEntry entry;
+    entry.doc = doc;
+    entry.path = _docs.path(doc);
+    entry.size = fs.fileSize(entry.path);
+    TermBlock block;
+    if (!extractor.extract(entry, block)) {
+        // The file is gone mid-refresh: it becomes a removal.
+        _alive[doc] = false;
+        --_alive_count;
+        return false;
+    }
+    _index.addBlock(block);
+    return true;
+}
+
+bool
+IndexMaintainer::alive(DocId doc) const
+{
+    return doc < _alive.size() && _alive[doc];
+}
+
+std::vector<DocId>
+IndexMaintainer::aliveDocs() const
+{
+    std::vector<DocId> docs;
+    docs.reserve(_alive_count);
+    for (DocId doc = 0; doc < _alive.size(); ++doc)
+        if (_alive[doc])
+            docs.push_back(doc);
+    return docs;
+}
+
+std::size_t
+IndexMaintainer::vacuum()
+{
+    return _index.eraseEmptyTerms();
+}
+
+} // namespace dsearch

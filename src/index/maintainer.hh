@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Incremental index maintenance.
+ *
+ * The paper builds the index in one batch; a deployed desktop search
+ * keeps it alive while files appear, change and vanish. The
+ * IndexMaintainer owns a built index + document table and applies
+ * single-document updates:
+ *
+ *  - addDocument()     index a new file (new doc id);
+ *  - removeDocument()  drop a deleted file's postings (the id and
+ *                      path stay in the table, marked dead);
+ *  - refreshDocument() re-extract a modified file under its id.
+ *
+ * Document IDs are never reused, so saved query results and logs stay
+ * meaningful across updates. aliveDocs() provides the universe for
+ * NOT queries after deletions (see Searcher's universe constructor).
+ *
+ * Single-threaded by design: updates are rare compared to queries,
+ * and a deployment serializes them through one maintenance thread.
+ */
+
+#ifndef DSEARCH_INDEX_MAINTAINER_HH
+#define DSEARCH_INDEX_MAINTAINER_HH
+
+#include <vector>
+
+#include "index/doc_table.hh"
+#include "index/inverted_index.hh"
+#include "text/term_extractor.hh"
+#include "text/tokenizer.hh"
+
+namespace dsearch {
+
+/** Incremental index owner; see the file comment. */
+class IndexMaintainer
+{
+  public:
+    /**
+     * Take ownership of a built index.
+     *
+     * @param index Built index (moved in).
+     * @param docs  Matching document table (moved in); every existing
+     *              document starts alive.
+     * @param opts  Tokenizer settings for future extractions (must
+     *              match the ones the index was built with).
+     */
+    IndexMaintainer(InvertedIndex index, DocTable docs,
+                    TokenizerOptions opts = {});
+
+    /**
+     * Index a new file.
+     *
+     * @param fs   Filesystem to read from.
+     * @param path File to index.
+     * @return The new document ID, or invalid_doc when the file could
+     *         not be read (nothing is modified in that case).
+     */
+    DocId addDocument(const FileSystem &fs, const std::string &path);
+
+    /**
+     * Remove a document's postings and mark it dead.
+     *
+     * @return False when @p doc is unknown or already dead.
+     */
+    bool removeDocument(DocId doc);
+
+    /**
+     * Re-extract a changed file under its existing ID.
+     *
+     * @return False when @p doc is unknown/dead or the file is
+     *         unreadable (the document is left dead in that case —
+     *         its old content is gone either way).
+     */
+    bool refreshDocument(const FileSystem &fs, DocId doc);
+
+    /** @return True when @p doc exists and is alive. */
+    bool alive(DocId doc) const;
+
+    /** @return Number of alive documents. */
+    std::size_t aliveCount() const { return _alive_count; }
+
+    /** @return Sorted alive-document universe for NOT queries. */
+    std::vector<DocId> aliveDocs() const;
+
+    /**
+     * Drop terms whose posting lists were emptied by removals.
+     *
+     * @return Terms erased.
+     */
+    std::size_t vacuum();
+
+    /** @return The maintained index (valid until the next update). */
+    const InvertedIndex &index() const { return _index; }
+
+    /** @return The document table (IDs are never reused). */
+    const DocTable &docs() const { return _docs; }
+
+    /** Move the index out (ends maintenance). */
+    InvertedIndex releaseIndex() { return std::move(_index); }
+
+  private:
+    InvertedIndex _index;
+    DocTable _docs;
+    std::vector<bool> _alive;
+    std::size_t _alive_count = 0;
+    TokenizerOptions _opts;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_MAINTAINER_HH

@@ -1,0 +1,276 @@
+#include "index/serialize.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/fnv_hash.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+constexpr char magic[4] = {'D', 'S', 'I', 'X'};
+constexpr std::uint32_t format_version = 1;
+
+void
+putU32(std::string &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putString(std::string &buf, const std::string &s)
+{
+    putU32(buf, static_cast<std::uint32_t>(s.size()));
+    buf.append(s);
+}
+
+/** Cursor-based reader over the loaded payload. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &buf) : _buf(buf) {}
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (_pos + 4 > _buf.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(_buf[_pos + i]))
+                 << (8 * i);
+        _pos += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        if (_pos + 8 > _buf.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(_buf[_pos + i]))
+                 << (8 * i);
+        _pos += 8;
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint32_t len;
+        if (!u32(len) || _pos + len > _buf.size())
+            return false;
+        s.assign(_buf, _pos, len);
+        _pos += len;
+        return true;
+    }
+
+    bool done() const { return _pos == _buf.size(); }
+
+  private:
+    const std::string &_buf;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
+{
+    index.sortPostings();
+
+    std::string payload;
+
+    // Document table.
+    putU64(payload, docs.docCount());
+    for (DocId doc = 0; doc < docs.docCount(); ++doc) {
+        putString(payload, docs.path(doc));
+        putU64(payload, docs.sizeBytes(doc));
+    }
+
+    // Terms in lexicographic order so equal contents serialize
+    // identically regardless of insertion history.
+    std::vector<const std::string *> terms;
+    terms.reserve(index.termCount());
+    index.forEachTerm(
+        [&terms](const std::string &term, const PostingList &) {
+            terms.push_back(&term);
+        });
+    std::sort(terms.begin(), terms.end(),
+              [](const std::string *a, const std::string *b) {
+                  return *a < *b;
+              });
+
+    putU64(payload, terms.size());
+    for (const std::string *term : terms) {
+        const PostingList *list = index.postings(*term);
+        putString(payload, *term);
+        putU32(payload, static_cast<std::uint32_t>(list->size()));
+        for (DocId doc : *list)
+            putU32(payload, doc);
+    }
+
+    std::uint64_t checksum = fnv1a_64(payload.data(), payload.size());
+
+    out.write(magic, sizeof(magic));
+    std::string header;
+    putU32(header, format_version);
+    putU64(header, payload.size());
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    std::string trailer;
+    putU64(trailer, checksum);
+    out.write(trailer.data(),
+              static_cast<std::streamsize>(trailer.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+saveIndexFile(InvertedIndex &index, const DocTable &docs,
+              const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("saveIndexFile: cannot open '" + path + "'");
+        return false;
+    }
+    return saveIndex(index, docs, out);
+}
+
+bool
+loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in)
+{
+    index.clear();
+    docs = DocTable{};
+
+    char file_magic[4];
+    in.read(file_magic, sizeof(file_magic));
+    if (!in || std::memcmp(file_magic, magic, sizeof(magic)) != 0) {
+        warn("loadIndex: bad magic");
+        return false;
+    }
+
+    std::string header(12, '\0');
+    in.read(header.data(), 12);
+    if (!in) {
+        warn("loadIndex: truncated header");
+        return false;
+    }
+    Reader header_reader(header);
+    std::uint32_t version = 0;
+    std::uint64_t payload_size = 0;
+    if (!header_reader.u32(version)
+        || !header_reader.u64(payload_size)) {
+        warn("loadIndex: malformed header");
+        return false;
+    }
+    if (version != format_version) {
+        warn("loadIndex: unsupported format version "
+             + std::to_string(version));
+        return false;
+    }
+
+    std::string payload(payload_size, '\0');
+    in.read(payload.data(),
+            static_cast<std::streamsize>(payload_size));
+    std::string trailer(8, '\0');
+    in.read(trailer.data(), 8);
+    if (!in) {
+        warn("loadIndex: truncated payload");
+        return false;
+    }
+    Reader trailer_reader(trailer);
+    std::uint64_t stored_checksum = 0;
+    if (!trailer_reader.u64(stored_checksum)) {
+        warn("loadIndex: malformed trailer");
+        return false;
+    }
+    if (fnv1a_64(payload.data(), payload.size()) != stored_checksum) {
+        warn("loadIndex: checksum mismatch");
+        return false;
+    }
+
+    Reader reader(payload);
+    std::uint64_t doc_count;
+    if (!reader.u64(doc_count))
+        return false;
+    for (std::uint64_t d = 0; d < doc_count; ++d) {
+        std::string path;
+        std::uint64_t size;
+        if (!reader.str(path) || !reader.u64(size)) {
+            warn("loadIndex: corrupt document table");
+            index.clear();
+            docs = DocTable{};
+            return false;
+        }
+        docs.add(std::move(path), size);
+    }
+
+    std::uint64_t term_count;
+    if (!reader.u64(term_count))
+        return false;
+    index.reserveTerms(term_count);
+    TermBlock scratch;
+    for (std::uint64_t t = 0; t < term_count; ++t) {
+        std::string term;
+        std::uint32_t posting_count;
+        if (!reader.str(term) || !reader.u32(posting_count)) {
+            warn("loadIndex: corrupt term table");
+            index.clear();
+            docs = DocTable{};
+            return false;
+        }
+        scratch.terms.assign(1, term);
+        for (std::uint32_t p = 0; p < posting_count; ++p) {
+            std::uint32_t doc;
+            if (!reader.u32(doc)) {
+                warn("loadIndex: corrupt posting list");
+                index.clear();
+                docs = DocTable{};
+                return false;
+            }
+            scratch.doc = doc;
+            index.addBlock(scratch);
+        }
+    }
+    if (!reader.done()) {
+        warn("loadIndex: trailing bytes in payload");
+        index.clear();
+        docs = DocTable{};
+        return false;
+    }
+    return true;
+}
+
+bool
+loadIndexFile(InvertedIndex &index, DocTable &docs,
+              const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("loadIndexFile: cannot open '" + path + "'");
+        return false;
+    }
+    return loadIndex(index, docs, in);
+}
+
+} // namespace dsearch

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary persistence for an index + document table.
+ *
+ * A desktop-search deployment builds the index once and serves many
+ * queries from it, so the index must survive process restarts. The
+ * format is versioned, little-endian, and carries an FNV-1a checksum
+ * of the payload so truncated or corrupted files are detected on
+ * load.
+ */
+
+#ifndef DSEARCH_INDEX_SERIALIZE_HH
+#define DSEARCH_INDEX_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "index/doc_table.hh"
+#include "index/inverted_index.hh"
+
+namespace dsearch {
+
+/**
+ * Write @p index and @p docs to a stream.
+ *
+ * Posting lists are written sorted, so the on-disk form is canonical:
+ * two indices with equal contents serialize identically.
+ *
+ * @param index Index to save (sorted internally; the in-memory object
+ *              is canonicalized as a side effect).
+ * @param docs  Document table the postings refer to.
+ * @param out   Destination stream (binary).
+ * @return False on stream failure.
+ */
+bool saveIndex(InvertedIndex &index, const DocTable &docs,
+               std::ostream &out);
+
+/** Convenience overload writing to a file path. */
+bool saveIndexFile(InvertedIndex &index, const DocTable &docs,
+                   const std::string &path);
+
+/**
+ * Read an index + document table written by saveIndex().
+ *
+ * @param index Receives the index (replaced).
+ * @param docs  Receives the document table (replaced).
+ * @param in    Source stream (binary).
+ * @return False on stream failure, bad magic/version, or checksum
+ *         mismatch; the outputs are left empty in that case.
+ */
+bool loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in);
+
+/** Convenience overload reading from a file path. */
+bool loadIndexFile(InvertedIndex &index, DocTable &docs,
+                   const std::string &path);
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_SERIALIZE_HH

@@ -1,0 +1,116 @@
+#include "index/shared_index.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+void
+SharedIndex::addBlock(const TermBlock &block)
+{
+    std::scoped_lock lock(_mutex);
+    _index.addBlock(block);
+}
+
+void
+SharedIndex::addOccurrence(const std::string &term, DocId doc)
+{
+    std::scoped_lock lock(_mutex);
+    _index.addOccurrence(term, doc);
+}
+
+std::size_t
+SharedIndex::termCount() const
+{
+    std::scoped_lock lock(_mutex);
+    return _index.termCount();
+}
+
+std::uint64_t
+SharedIndex::postingCount() const
+{
+    std::scoped_lock lock(_mutex);
+    return _index.postingCount();
+}
+
+InvertedIndex
+SharedIndex::release()
+{
+    std::scoped_lock lock(_mutex);
+    return std::move(_index);
+}
+
+ShardedIndex::ShardedIndex(std::size_t shard_count)
+{
+    std::size_t n = 1;
+    while (n < shard_count)
+        n <<= 1;
+    _shards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        _shards.push_back(std::make_unique<Shard>());
+}
+
+std::size_t
+ShardedIndex::shardOf(const std::string &term) const
+{
+    return FnvHash<std::string>{}(term) & (_shards.size() - 1);
+}
+
+void
+ShardedIndex::addBlock(const TermBlock &block)
+{
+    if (_shards.size() == 1) {
+        Shard &shard = *_shards[0];
+        std::scoped_lock lock(shard.mutex);
+        shard.index.addBlock(block);
+        return;
+    }
+
+    // Group the block by shard so each shard lock is taken at most
+    // once per block (preserving the paper's "large chunks" benefit).
+    // Pointers, not copies: grouping must stay cheap relative to the
+    // lock contention it avoids.
+    std::vector<std::vector<const std::string *>> per_shard(
+        _shards.size());
+    for (const std::string &term : block.terms)
+        per_shard[shardOf(term)].push_back(&term);
+    for (std::size_t s = 0; s < _shards.size(); ++s) {
+        if (per_shard[s].empty())
+            continue;
+        Shard &shard = *_shards[s];
+        std::scoped_lock lock(shard.mutex);
+        shard.index.addBlockRefs(block.doc, per_shard[s]);
+    }
+}
+
+std::size_t
+ShardedIndex::termCount() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : _shards) {
+        std::scoped_lock lock(shard->mutex);
+        total += shard->index.termCount();
+    }
+    return total;
+}
+
+std::uint64_t
+ShardedIndex::postingCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : _shards) {
+        std::scoped_lock lock(shard->mutex);
+        total += shard->index.postingCount();
+    }
+    return total;
+}
+
+void
+ShardedIndex::joinInto(InvertedIndex &out)
+{
+    for (auto &shard : _shards) {
+        std::scoped_lock lock(shard->mutex);
+        out.merge(std::move(shard->index));
+    }
+}
+
+} // namespace dsearch

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Concurrent index wrappers.
+ *
+ * SharedIndex is Implementation 1 of the paper: one index for all
+ * threads, locked on every update. ShardedIndex is a finer-grained
+ * alternative (per-term-hash shard locks) built for the lock
+ * granularity ablation; the paper discusses the single lock only.
+ */
+
+#ifndef DSEARCH_INDEX_SHARED_INDEX_HH
+#define DSEARCH_INDEX_SHARED_INDEX_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "index/inverted_index.hh"
+#include "util/fnv_hash.hh"
+
+namespace dsearch {
+
+/**
+ * One shared inverted index guarded by one mutex (Implementation 1).
+ *
+ * The mutex lives next to the data it guards (CP.50); all accessors
+ * take it internally, and the unguarded index is only reachable after
+ * the owner is done building via release().
+ */
+class SharedIndex
+{
+  public:
+    SharedIndex() = default;
+
+    /** Locked en-bloc insert. */
+    void addBlock(const TermBlock &block);
+
+    /** Locked immediate-mode insert (ablation E7). */
+    void addOccurrence(const std::string &term, DocId doc);
+
+    /** Locked snapshot of the term count. */
+    std::size_t termCount() const;
+
+    /** Locked snapshot of the posting count. */
+    std::uint64_t postingCount() const;
+
+    /**
+     * Move the built index out. Only valid once all writer threads
+     * have been joined.
+     */
+    InvertedIndex release();
+
+  private:
+    mutable std::mutex _mutex;
+    InvertedIndex _index; ///< Guarded by _mutex.
+};
+
+/**
+ * Sharded-lock index: term hashes select one of 2^k shards, each with
+ * its own lock, so concurrent updates to different shards do not
+ * contend. joinInto() produces a plain InvertedIndex afterwards.
+ */
+class ShardedIndex
+{
+  public:
+    /** @param shard_count Rounded up to a power of two, >= 1. */
+    explicit ShardedIndex(std::size_t shard_count);
+
+    /** @return Actual shard count (power of two). */
+    std::size_t shardCount() const { return _shards.size(); }
+
+    /**
+     * En-bloc insert; locks each shard at most once per block by
+     * grouping the block's terms by shard first.
+     */
+    void addBlock(const TermBlock &block);
+
+    /** Total terms across shards (locks each shard briefly). */
+    std::size_t termCount() const;
+
+    /** Total postings across shards. */
+    std::uint64_t postingCount() const;
+
+    /**
+     * Merge every shard into @p out (single-threaded; call after all
+     * writers joined).
+     */
+    void joinInto(InvertedIndex &out);
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        InvertedIndex index; ///< Guarded by mutex.
+    };
+
+    std::size_t shardOf(const std::string &term) const;
+
+    std::vector<std::unique_ptr<Shard>> _shards;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_SHARED_INDEX_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reusable synchronization barrier.
+ *
+ * The "Join Forces" pattern needs exactly one barrier: all index
+ * updaters arrive before the join threads start merging replicas. A
+ * generation counter makes the barrier reusable across phases.
+ */
+
+#ifndef DSEARCH_PIPELINE_BARRIER_HH
+#define DSEARCH_PIPELINE_BARRIER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+/** Classic counting barrier for a fixed set of participants. */
+class Barrier
+{
+  public:
+    /** @param parties Number of threads that must arrive (>= 1). */
+    explicit
+    Barrier(std::size_t parties)
+        : _parties(parties), _waiting(0), _generation(0)
+    {
+        if (parties == 0)
+            fatal("Barrier: need at least one party");
+    }
+
+    Barrier(const Barrier &) = delete;
+    Barrier &operator=(const Barrier &) = delete;
+
+    /**
+     * Arrive and block until all parties have arrived.
+     *
+     * The last arriver releases everyone and resets the barrier for
+     * the next generation.
+     */
+    void
+    arriveAndWait()
+    {
+        std::unique_lock lock(_mutex);
+        std::size_t my_generation = _generation;
+        if (++_waiting == _parties) {
+            _waiting = 0;
+            ++_generation;
+            lock.unlock();
+            _all_arrived.notify_all();
+            return;
+        }
+        _all_arrived.wait(lock, [this, my_generation] {
+            return _generation != my_generation;
+        });
+    }
+
+  private:
+    std::mutex _mutex;
+    std::condition_variable _all_arrived;
+    const std::size_t _parties;
+    std::size_t _waiting;
+    std::size_t _generation;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_PIPELINE_BARRIER_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Bounded blocking MPMC queue.
+ *
+ * This is the buffer between term extractors and index updaters in
+ * Implementations 1-3 (when y >= 1), and the shared filename queue of
+ * the pipelined-Stage-1 ablation. Bounding matters: it provides the
+ * back-pressure that makes extractor stalls observable, which is the
+ * effect the paper's measurements hinge on.
+ *
+ * Locking follows the Core Guidelines: RAII locks only, all condition
+ * waits use predicates, and close() wakes every waiter exactly once.
+ */
+
+#ifndef DSEARCH_PIPELINE_BLOCKING_QUEUE_HH
+#define DSEARCH_PIPELINE_BLOCKING_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dsearch {
+
+/**
+ * Multi-producer multi-consumer bounded queue.
+ *
+ * @tparam T Element type; moved through the queue by value (CP.31).
+ */
+template <typename T>
+class BlockingQueue
+{
+  public:
+    /**
+     * @param capacity Maximum queued elements; 0 means unbounded.
+     */
+    explicit
+    BlockingQueue(std::size_t capacity = 0)
+        : _capacity(capacity)
+    {
+    }
+
+    BlockingQueue(const BlockingQueue &) = delete;
+    BlockingQueue &operator=(const BlockingQueue &) = delete;
+
+    /**
+     * Enqueue an element, blocking while the queue is full.
+     *
+     * @return False when the queue was closed (the element is
+     *         dropped); producers should stop on false.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock lock(_mutex);
+        _not_full.wait(lock, [this] {
+            return _closed || _capacity == 0
+                   || _items.size() < _capacity;
+        });
+        if (_closed)
+            return false;
+        _items.push_back(std::move(item));
+        lock.unlock();
+        _not_empty.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue an element, blocking while the queue is empty.
+     *
+     * @param out Receives the element on success.
+     * @return False when the queue is closed and fully drained;
+     *         consumers should stop on false.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock lock(_mutex);
+        _not_empty.wait(lock,
+                        [this] { return _closed || !_items.empty(); });
+        if (_items.empty())
+            return false; // closed and drained
+        out = std::move(_items.front());
+        _items.pop_front();
+        lock.unlock();
+        _not_full.notify_one();
+        return true;
+    }
+
+    /**
+     * Non-blocking dequeue.
+     *
+     * @return True when an element was taken.
+     */
+    bool
+    tryPop(T &out)
+    {
+        std::unique_lock lock(_mutex);
+        if (_items.empty())
+            return false;
+        out = std::move(_items.front());
+        _items.pop_front();
+        lock.unlock();
+        _not_full.notify_one();
+        return true;
+    }
+
+    /**
+     * Close the queue: subsequent pushes fail, pops drain the
+     * remaining elements and then fail. Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::scoped_lock lock(_mutex);
+            _closed = true;
+        }
+        _not_empty.notify_all();
+        _not_full.notify_all();
+    }
+
+    /** @return True once close() has been called. */
+    bool
+    closed() const
+    {
+        std::scoped_lock lock(_mutex);
+        return _closed;
+    }
+
+    /** @return Current number of queued elements. */
+    std::size_t
+    size() const
+    {
+        std::scoped_lock lock(_mutex);
+        return _items.size();
+    }
+
+    /** @return The capacity this queue was built with (0 = unbounded). */
+    std::size_t capacity() const { return _capacity; }
+
+  private:
+    mutable std::mutex _mutex;
+    std::condition_variable _not_full;
+    std::condition_variable _not_empty;
+    std::deque<T> _items;
+    const std::size_t _capacity;
+    bool _closed = false;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_PIPELINE_BLOCKING_QUEUE_HH

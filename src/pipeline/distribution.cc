@@ -1,0 +1,187 @@
+#include "pipeline/distribution.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+const char *
+name(DistributionKind kind)
+{
+    switch (kind) {
+      case DistributionKind::RoundRobin:
+        return "round-robin";
+      case DistributionKind::SizeBalanced:
+        return "size-balanced";
+      case DistributionKind::SharedQueue:
+        return "shared-queue";
+      case DistributionKind::WorkStealing:
+        return "work-stealing";
+    }
+    return "unknown";
+}
+
+std::vector<FileList>
+distributeRoundRobin(const FileList &files, std::size_t k)
+{
+    if (k == 0)
+        fatal("distributeRoundRobin: need at least one shard");
+    std::vector<FileList> shards(k);
+    for (FileList &shard : shards)
+        shard.reserve(files.size() / k + 1);
+    for (std::size_t i = 0; i < files.size(); ++i)
+        shards[i % k].push_back(files[i]);
+    return shards;
+}
+
+std::vector<FileList>
+distributeSizeBalanced(const FileList &files, std::size_t k)
+{
+    if (k == 0)
+        fatal("distributeSizeBalanced: need at least one shard");
+
+    // Longest-processing-time greedy: biggest file first, always into
+    // the lightest shard.
+    std::vector<std::size_t> order(files.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&files](std::size_t a, std::size_t b) {
+                         return files[a].size > files[b].size;
+                     });
+
+    using Load = std::pair<std::uint64_t, std::size_t>; // (bytes, shard)
+    std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
+    for (std::size_t j = 0; j < k; ++j)
+        heap.emplace(0, j);
+
+    std::vector<FileList> shards(k);
+    for (std::size_t idx : order) {
+        auto [load, shard] = heap.top();
+        heap.pop();
+        shards[shard].push_back(files[idx]);
+        heap.emplace(load + files[idx].size, shard);
+    }
+    return shards;
+}
+
+std::vector<std::uint64_t>
+shardLoads(const std::vector<FileList> &shards)
+{
+    std::vector<std::uint64_t> loads;
+    loads.reserve(shards.size());
+    for (const FileList &shard : shards) {
+        std::uint64_t bytes = 0;
+        for (const FileEntry &file : shard)
+            bytes += file.size;
+        loads.push_back(bytes);
+    }
+    return loads;
+}
+
+VectorSource::VectorSource(std::vector<FileList> shards)
+    : _shards(std::move(shards)), _cursor(_shards.size(), 0)
+{
+}
+
+bool
+VectorSource::next(std::size_t worker, FileEntry &out)
+{
+    if (worker >= _shards.size())
+        panic("VectorSource: worker index out of range");
+    std::size_t &cur = _cursor[worker];
+    if (cur >= _shards[worker].size())
+        return false;
+    out = _shards[worker][cur++];
+    return true;
+}
+
+SharedQueueSource::SharedQueueSource(const FileList &files)
+    : _files(files)
+{
+}
+
+bool
+SharedQueueSource::next(std::size_t, FileEntry &out)
+{
+    std::scoped_lock lock(_mutex);
+    if (_cursor >= _files.size())
+        return false;
+    out = _files[_cursor++];
+    return true;
+}
+
+WorkStealingSource::WorkStealingSource(const FileList &files,
+                                       std::size_t workers)
+{
+    if (workers == 0)
+        fatal("WorkStealingSource: need at least one worker");
+    _deques.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _deques.push_back(std::make_unique<Deque>());
+    for (std::size_t i = 0; i < files.size(); ++i)
+        _deques[i % workers]->items.push_back(files[i]);
+}
+
+bool
+WorkStealingSource::next(std::size_t worker, FileEntry &out)
+{
+    if (worker >= _deques.size())
+        panic("WorkStealingSource: worker index out of range");
+
+    // Own work first: take from the back of the private deque.
+    {
+        Deque &own = *_deques[worker];
+        std::scoped_lock lock(own.mutex);
+        if (!own.items.empty()) {
+            out = std::move(own.items.back());
+            own.items.pop_back();
+            return true;
+        }
+    }
+
+    // Steal from the front of another deque. Items only ever leave
+    // the deques after construction, so one full scan that finds
+    // every victim empty proves no work remains.
+    for (std::size_t offset = 1; offset < _deques.size(); ++offset) {
+        std::size_t victim = (worker + offset) % _deques.size();
+        Deque &target = *_deques[victim];
+        std::scoped_lock lock(target.mutex);
+        if (target.items.empty())
+            continue;
+        out = std::move(target.items.front());
+        target.items.pop_front();
+        _steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+WorkStealingSource::stealCount() const
+{
+    return _steals.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<FileSource>
+makeFileSource(DistributionKind kind, const FileList &files,
+               std::size_t workers)
+{
+    switch (kind) {
+      case DistributionKind::RoundRobin:
+        return std::make_unique<VectorSource>(
+            distributeRoundRobin(files, workers));
+      case DistributionKind::SizeBalanced:
+        return std::make_unique<VectorSource>(
+            distributeSizeBalanced(files, workers));
+      case DistributionKind::SharedQueue:
+        return std::make_unique<SharedQueueSource>(files);
+      case DistributionKind::WorkStealing:
+        return std::make_unique<WorkStealingSource>(files, workers);
+    }
+    panic("makeFileSource: unknown distribution kind");
+}
+
+} // namespace dsearch

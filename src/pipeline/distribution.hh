@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Work-distribution strategies for Stage 2.
+ *
+ * §2.1 of the paper lists the options considered for handing files to
+ * term extractors: work queues, round-robin distribution, assignment
+ * based on file lengths, and work stealing. The paper measured simple
+ * round-robin into k private vectors as fastest; the other three are
+ * implemented here so that claim can be re-measured (ablation E5).
+ *
+ * Two families:
+ *  - static partitioning (round-robin, size-balanced) produces k
+ *    private FileLists up front — extractors then run with zero
+ *    synchronization;
+ *  - dynamic sources (shared queue, work stealing) hand out files at
+ *    run time through a FileSource.
+ */
+
+#ifndef DSEARCH_PIPELINE_DISTRIBUTION_HH
+#define DSEARCH_PIPELINE_DISTRIBUTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fs/traversal.hh"
+
+namespace dsearch {
+
+/** Strategy selector used by the generator configuration. */
+enum class DistributionKind {
+    RoundRobin,   ///< Paper's choice: file i goes to shard i mod k.
+    SizeBalanced, ///< Greedy LPT on file sizes.
+    SharedQueue,  ///< One locked queue, workers pull one file at a time.
+    WorkStealing  ///< Per-worker deques; idle workers steal.
+};
+
+/** @return Human-readable strategy name. */
+const char *name(DistributionKind kind);
+
+/**
+ * Static round-robin partition.
+ *
+ * @param files Stage 1 output.
+ * @param k     Shard count (>= 1).
+ * @return k shards; shard j holds files j, j+k, j+2k, ...
+ */
+std::vector<FileList> distributeRoundRobin(const FileList &files,
+                                           std::size_t k);
+
+/**
+ * Static size-balanced partition (greedy longest-processing-time):
+ * files sorted by descending size, each assigned to the currently
+ * lightest shard.
+ */
+std::vector<FileList> distributeSizeBalanced(const FileList &files,
+                                             std::size_t k);
+
+/** Sum of file sizes per shard (for balance assertions in tests). */
+std::vector<std::uint64_t>
+shardLoads(const std::vector<FileList> &shards);
+
+/**
+ * Runtime source of files for extractor threads.
+ *
+ * Implementations are constructed with the full file list and handed
+ * to x workers; next() is called concurrently.
+ */
+class FileSource
+{
+  public:
+    virtual ~FileSource() = default;
+
+    /**
+     * Fetch the next file for @p worker.
+     *
+     * @param worker Caller's worker index in [0, workers).
+     * @param out    Receives the file entry.
+     * @return False when no work is left anywhere.
+     */
+    virtual bool next(std::size_t worker, FileEntry &out) = 0;
+};
+
+/**
+ * FileSource over a static partition: each worker consumes its private
+ * shard with no synchronization at all (the paper's design).
+ */
+class VectorSource : public FileSource
+{
+  public:
+    explicit VectorSource(std::vector<FileList> shards);
+
+    bool next(std::size_t worker, FileEntry &out) override;
+
+  private:
+    std::vector<FileList> _shards;
+    std::vector<std::size_t> _cursor;
+};
+
+/**
+ * FileSource over one shared locked queue — the contended alternative
+ * the paper warns about ("concurrent access to ... the work queues was
+ * likely to slow everything down").
+ */
+class SharedQueueSource : public FileSource
+{
+  public:
+    explicit SharedQueueSource(const FileList &files);
+
+    bool next(std::size_t worker, FileEntry &out) override;
+
+  private:
+    std::mutex _mutex;
+    const FileList &_files;
+    std::size_t _cursor = 0;
+};
+
+/**
+ * FileSource with per-worker deques and stealing: a worker takes from
+ * the back of its own deque and steals from the front of the longest
+ * other deque when empty. Deques are mutex-guarded (CP.100: no
+ * lock-free machinery for a cold path — steals are rare at file
+ * granularity).
+ */
+class WorkStealingSource : public FileSource
+{
+  public:
+    /**
+     * @param files   Stage 1 output, dealt round-robin to the deques.
+     * @param workers Number of workers (>= 1).
+     */
+    WorkStealingSource(const FileList &files, std::size_t workers);
+
+    bool next(std::size_t worker, FileEntry &out) override;
+
+    /** @return Number of successful steals (observability for tests). */
+    std::uint64_t stealCount() const;
+
+  private:
+    struct Deque
+    {
+        std::mutex mutex;
+        std::deque<FileEntry> items;
+    };
+
+    std::vector<std::unique_ptr<Deque>> _deques;
+    std::atomic<std::uint64_t> _steals{0};
+};
+
+/**
+ * Build the FileSource matching a strategy.
+ *
+ * @param kind    Strategy to use.
+ * @param files   Stage 1 output.
+ * @param workers Extractor count.
+ */
+std::unique_ptr<FileSource> makeFileSource(DistributionKind kind,
+                                           const FileList &files,
+                                           std::size_t workers);
+
+} // namespace dsearch
+
+#endif // DSEARCH_PIPELINE_DISTRIBUTION_HH

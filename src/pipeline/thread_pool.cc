@@ -1,0 +1,71 @@
+#include "pipeline/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0)
+        fatal("ThreadPool: need at least one worker");
+    _workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::scoped_lock lock(_mutex);
+        _shutdown = true;
+    }
+    _work_ready.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::scoped_lock lock(_mutex);
+        if (_shutdown)
+            panic("ThreadPool::submit after shutdown");
+        _tasks.push_back(std::move(task));
+    }
+    _work_ready.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(_mutex);
+    _idle.wait(lock,
+               [this] { return _tasks.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock lock(_mutex);
+    while (true) {
+        _work_ready.wait(lock, [this] {
+            return _shutdown || !_tasks.empty();
+        });
+        if (_tasks.empty()) {
+            // Shutdown with nothing left to do.
+            return;
+        }
+        std::function<void()> task = std::move(_tasks.front());
+        _tasks.pop_front();
+        ++_active;
+        lock.unlock();
+        task();
+        lock.lock();
+        --_active;
+        if (_tasks.empty() && _active == 0)
+            _idle.notify_all();
+    }
+}
+
+} // namespace dsearch

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Joining thread pool.
+ *
+ * Used by the parallel query engine and the parallel reduction join,
+ * where task counts exceed thread counts. The index generator itself
+ * spawns dedicated per-stage threads instead (matching the system the
+ * paper describes), so thread placement is part of the configuration
+ * tuple being studied.
+ */
+
+#ifndef DSEARCH_PIPELINE_THREAD_POOL_HH
+#define DSEARCH_PIPELINE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsearch {
+
+/**
+ * Fixed-size pool of worker threads executing submitted tasks in FIFO
+ * order. Workers are joined in the destructor (CP.25); tasks submitted
+ * after shutdown are rejected via panic (library-use bug).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Number of worker threads (>= 1; fatal otherwise).
+     */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return Number of worker threads. */
+    std::size_t workerCount() const { return _workers.size(); }
+
+    /**
+     * Enqueue a task for execution.
+     *
+     * Tasks must not throw; exceptions escaping a task terminate the
+     * process (tasks run under noexcept workers by design).
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has finished.
+     *
+     * Concurrent submit() from other threads while waiting is allowed;
+     * wait() returns once the pool is momentarily idle.
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex _mutex;
+    std::condition_variable _work_ready; ///< Signals queued work.
+    std::condition_variable _idle;       ///< Signals pool drained.
+    std::deque<std::function<void()>> _tasks;
+    std::vector<std::thread> _workers;
+    std::size_t _active = 0; ///< Tasks currently executing.
+    bool _shutdown = false;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_PIPELINE_THREAD_POOL_HH

@@ -1,0 +1,96 @@
+#include "search/multi_searcher.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pipeline/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+MultiSearcher::MultiSearcher(const std::vector<InvertedIndex> &replicas,
+                             std::size_t doc_count)
+    : _replicas(replicas)
+{
+    _owned.reserve(replicas.size());
+    for (const InvertedIndex &replica : replicas) {
+        DocSet owned;
+        replica.forEachTerm(
+            [&owned](const std::string &, const PostingList &postings) {
+                owned.insert(owned.end(), postings.begin(),
+                             postings.end());
+            });
+        std::sort(owned.begin(), owned.end());
+        owned.erase(std::unique(owned.begin(), owned.end()),
+                    owned.end());
+        _owned.push_back(std::move(owned));
+    }
+
+    // Orphans: the global universe minus every replica's docs.
+    DocSet universe(doc_count);
+    std::iota(universe.begin(), universe.end(), 0);
+    DocSet all_owned;
+    for (const DocSet &owned : _owned)
+        all_owned = uniteSets(all_owned, owned);
+    _orphans = subtractSets(universe, all_owned);
+}
+
+const DocSet &
+MultiSearcher::ownedDocs(std::size_t i) const
+{
+    if (i >= _owned.size())
+        panic("MultiSearcher::ownedDocs: replica index out of range");
+    return _owned[i];
+}
+
+DocSet
+MultiSearcher::combine(const Query &query,
+                       std::vector<DocSet> partial) const
+{
+    DocSet result;
+    for (DocSet &set : partial)
+        result = uniteSets(result, set);
+
+    // Documents that appear in no replica match NOT-style queries.
+    if (!_orphans.empty() && matchesEmptyDocument(query.root()))
+        result = uniteSets(result, _orphans);
+    return result;
+}
+
+DocSet
+MultiSearcher::run(const Query &query, std::size_t threads) const
+{
+    if (!query.valid())
+        return {};
+
+    if (threads <= 1 || _replicas.size() <= 1) {
+        std::vector<DocSet> partial(_replicas.size());
+        for (std::size_t i = 0; i < _replicas.size(); ++i)
+            partial[i] =
+                evalQueryNode(_replicas[i], _owned[i], query.root());
+        return combine(query, std::move(partial));
+    }
+    ThreadPool pool(std::min(threads, _replicas.size()));
+    return run(query, pool);
+}
+
+DocSet
+MultiSearcher::run(const Query &query, ThreadPool &pool) const
+{
+    if (!query.valid())
+        return {};
+
+    // One task per replica; partial[i] is written by exactly one
+    // task, so no synchronization beyond the pool's own is needed.
+    std::vector<DocSet> partial(_replicas.size());
+    for (std::size_t i = 0; i < _replicas.size(); ++i) {
+        pool.submit([this, &partial, &query, i] {
+            partial[i] =
+                evalQueryNode(_replicas[i], _owned[i], query.root());
+        });
+    }
+    pool.wait();
+    return combine(query, std::move(partial));
+}
+
+} // namespace dsearch

@@ -1,0 +1,252 @@
+#include "search/query.hh"
+
+#include "util/logging.hh"
+#include "util/string_util.hh"
+
+namespace dsearch {
+
+namespace {
+
+/** Lexer token. */
+struct Token
+{
+    enum class Kind { Term, And, Or, Not, LParen, RParen, End };
+    Kind kind = Kind::End;
+    std::string text;
+};
+
+/** Lex a query string into terms, operators and parentheses. */
+std::vector<Token>
+lex(const std::string &text)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (c == '(') {
+            tokens.push_back({Token::Kind::LParen, "("});
+            ++i;
+        } else if (c == ')') {
+            tokens.push_back({Token::Kind::RParen, ")"});
+            ++i;
+        } else if (isAsciiAlpha(c) || isAsciiDigit(c)) {
+            std::size_t start = i;
+            while (i < text.size()
+                   && (isAsciiAlpha(text[i]) || isAsciiDigit(text[i])))
+                ++i;
+            std::string word =
+                toLowerAscii(text.substr(start, i - start));
+            if (word == "and")
+                tokens.push_back({Token::Kind::And, word});
+            else if (word == "or")
+                tokens.push_back({Token::Kind::Or, word});
+            else if (word == "not")
+                tokens.push_back({Token::Kind::Not, word});
+            else
+                tokens.push_back({Token::Kind::Term, word});
+        } else {
+            ++i; // separators and punctuation
+        }
+    }
+    tokens.push_back({Token::Kind::End, ""});
+    return tokens;
+}
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : _tokens(std::move(tokens))
+    {
+    }
+
+    /** @return True on success; false with error() set. */
+    bool
+    parse(QueryNode &out)
+    {
+        if (!parseOr(out))
+            return false;
+        if (peek().kind != Token::Kind::End) {
+            _error = "unexpected '" + peek().text + "'";
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &error() const { return _error; }
+
+  private:
+    const Token &peek() const { return _tokens[_pos]; }
+    void advance() { ++_pos; }
+
+    bool
+    parseOr(QueryNode &out)
+    {
+        QueryNode first;
+        if (!parseAnd(first))
+            return false;
+        if (peek().kind != Token::Kind::Or) {
+            out = std::move(first);
+            return true;
+        }
+        out.kind = QueryNode::Kind::Or;
+        out.children.push_back(std::move(first));
+        while (peek().kind == Token::Kind::Or) {
+            advance();
+            QueryNode next;
+            if (!parseAnd(next))
+                return false;
+            out.children.push_back(std::move(next));
+        }
+        return true;
+    }
+
+    bool
+    startsUnary() const
+    {
+        switch (peek().kind) {
+          case Token::Kind::Term:
+          case Token::Kind::Not:
+          case Token::Kind::LParen:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    parseAnd(QueryNode &out)
+    {
+        QueryNode first;
+        if (!parseUnary(first))
+            return false;
+        bool explicit_and = peek().kind == Token::Kind::And;
+        if (!explicit_and && !startsUnary()) {
+            out = std::move(first);
+            return true;
+        }
+        out.kind = QueryNode::Kind::And;
+        out.children.push_back(std::move(first));
+        while (true) {
+            if (peek().kind == Token::Kind::And)
+                advance();
+            else if (!startsUnary())
+                break;
+            QueryNode next;
+            if (!parseUnary(next))
+                return false;
+            out.children.push_back(std::move(next));
+        }
+        return true;
+    }
+
+    bool
+    parseUnary(QueryNode &out)
+    {
+        switch (peek().kind) {
+          case Token::Kind::Not: {
+            advance();
+            QueryNode child;
+            if (!parseUnary(child))
+                return false;
+            out.kind = QueryNode::Kind::Not;
+            out.children.push_back(std::move(child));
+            return true;
+          }
+          case Token::Kind::LParen: {
+            advance();
+            if (!parseOr(out))
+                return false;
+            if (peek().kind != Token::Kind::RParen) {
+                _error = "missing ')'";
+                return false;
+            }
+            advance();
+            return true;
+          }
+          case Token::Kind::Term:
+            out.kind = QueryNode::Kind::Term;
+            out.term = peek().text;
+            advance();
+            return true;
+          default:
+            _error = peek().kind == Token::Kind::End
+                         ? "unexpected end of query"
+                         : "unexpected '" + peek().text + "'";
+            return false;
+        }
+    }
+
+    std::vector<Token> _tokens;
+    std::size_t _pos = 0;
+    std::string _error;
+};
+
+void
+render(const QueryNode &node, std::string &out)
+{
+    switch (node.kind) {
+      case QueryNode::Kind::Term:
+        out += node.term;
+        return;
+      case QueryNode::Kind::Not:
+        out += "(NOT ";
+        render(node.children.front(), out);
+        out += ')';
+        return;
+      case QueryNode::Kind::And:
+      case QueryNode::Kind::Or: {
+        const char *op =
+            node.kind == QueryNode::Kind::And ? " AND " : " OR ";
+        out += '(';
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+            if (i > 0)
+                out += op;
+            render(node.children[i], out);
+        }
+        out += ')';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+Query
+Query::parse(const std::string &text)
+{
+    Query query;
+    std::vector<Token> tokens = lex(text);
+    if (tokens.size() == 1) { // only End
+        query._error = "empty query";
+        return query;
+    }
+    Parser parser(std::move(tokens));
+    if (!parser.parse(query._root)) {
+        query._error = parser.error();
+        return query;
+    }
+    query._valid = true;
+    return query;
+}
+
+const QueryNode &
+Query::root() const
+{
+    if (!_valid)
+        panic("Query::root on invalid query");
+    return _root;
+}
+
+std::string
+Query::toString() const
+{
+    if (!_valid)
+        return "<invalid: " + _error + ">";
+    std::string out;
+    render(_root, out);
+    return out;
+}
+
+} // namespace dsearch

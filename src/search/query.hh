@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Boolean query language for desktop search.
+ *
+ * The paper's future-work section names integrating and parallelizing
+ * the search-query side; this module provides it. Grammar:
+ *
+ *   query := or
+ *   or    := and ("OR" and)*
+ *   and   := unary ("AND"? unary)*        (adjacency = implicit AND)
+ *   unary := "NOT" unary | "(" or ")" | TERM
+ *
+ * Terms are lexed with the same rules as the indexer (ASCII letters
+ * and digits, case-folded), so a query term always matches the index's
+ * vocabulary form. The words "and", "or", "not" are reserved
+ * operators and cannot be searched for.
+ */
+
+#ifndef DSEARCH_SEARCH_QUERY_HH
+#define DSEARCH_SEARCH_QUERY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsearch {
+
+/** One node of a parsed query tree. */
+struct QueryNode
+{
+    enum class Kind { Term, And, Or, Not };
+
+    Kind kind = Kind::Term;
+
+    /** The search term (Kind::Term only). */
+    std::string term;
+
+    /** Operands: 2+ for And/Or, exactly 1 for Not. */
+    std::vector<QueryNode> children;
+};
+
+/**
+ * A parsed boolean query.
+ *
+ * Parsing never throws: an unparsable string yields an invalid Query
+ * carrying an error message (bad queries are user input, not bugs).
+ */
+class Query
+{
+  public:
+    /**
+     * Parse @p text.
+     *
+     * @return A valid query, or an invalid one with error() set.
+     */
+    static Query parse(const std::string &text);
+
+    /** @return True when the query parsed and is non-empty. */
+    bool valid() const { return _valid; }
+
+    /** @return Parse error description (empty when valid). */
+    const std::string &error() const { return _error; }
+
+    /** @return Root node; panics on invalid queries. */
+    const QueryNode &root() const;
+
+    /** @return Canonical text form, fully parenthesized. */
+    std::string toString() const;
+
+  private:
+    Query() = default;
+
+    QueryNode _root;
+    bool _valid = false;
+    std::string _error;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_QUERY_HH

@@ -1,0 +1,114 @@
+#include "search/ranked.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash_set.hh"
+
+namespace dsearch {
+
+namespace {
+
+void
+collect(const QueryNode &node, bool positive,
+        std::vector<std::string> &out, HashSet<std::string> &seen)
+{
+    switch (node.kind) {
+      case QueryNode::Kind::Term:
+        if (positive && seen.insert(node.term))
+            out.push_back(node.term);
+        return;
+      case QueryNode::Kind::Not:
+        collect(node.children.front(), !positive, out, seen);
+        return;
+      case QueryNode::Kind::And:
+      case QueryNode::Kind::Or:
+        for (const QueryNode &child : node.children)
+            collect(child, positive, out, seen);
+        return;
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+positiveTerms(const QueryNode &root)
+{
+    std::vector<std::string> terms;
+    HashSet<std::string> seen;
+    collect(root, true, terms, seen);
+    return terms;
+}
+
+RankedSearcher::RankedSearcher(const InvertedIndex &index,
+                               const DocTable &docs)
+    : _index(index), _docs(docs), _boolean(index, docs.docCount())
+{
+}
+
+double
+RankedSearcher::idf(const std::string &term) const
+{
+    const PostingList *postings = _index.postings(term);
+    if (postings == nullptr || postings->empty())
+        return 0.0;
+    double n = static_cast<double>(_docs.docCount());
+    double df = static_cast<double>(postings->size());
+    return std::log(1.0 + n / df);
+}
+
+std::vector<ScoredHit>
+RankedSearcher::topK(const Query &query, std::size_t k) const
+{
+    std::vector<ScoredHit> hits;
+    if (!query.valid() || k == 0)
+        return hits;
+
+    DocSet matches = _boolean.run(query);
+    if (matches.empty())
+        return hits;
+
+    // Per positive term: its sorted doc set and idf weight.
+    struct Weighted
+    {
+        DocSet docs;
+        double idf;
+    };
+    std::vector<Weighted> weighted;
+    for (const std::string &term : positiveTerms(query.root())) {
+        const PostingList *postings = _index.postings(term);
+        if (postings == nullptr)
+            continue;
+        Weighted w;
+        w.docs.assign(postings->begin(), postings->end());
+        std::sort(w.docs.begin(), w.docs.end());
+        w.idf = idf(term);
+        weighted.push_back(std::move(w));
+    }
+
+    hits.reserve(matches.size());
+    for (DocId doc : matches) {
+        double score = 0.0;
+        for (const Weighted &w : weighted) {
+            if (std::binary_search(w.docs.begin(), w.docs.end(), doc))
+                score += w.idf;
+        }
+        double penalty = std::log(
+            2.0 + static_cast<double>(_docs.sizeBytes(doc)));
+        hits.push_back(ScoredHit{doc, score / penalty});
+    }
+
+    // Highest score first; ties toward lower doc ids (stable,
+    // deterministic output).
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const ScoredHit &a, const ScoredHit &b) {
+                         if (a.score != b.score)
+                             return a.score > b.score;
+                         return a.doc < b.doc;
+                     });
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+} // namespace dsearch

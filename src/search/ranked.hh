@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ranked retrieval on top of the boolean engine.
+ *
+ * The paper's future work names integrating and parallelizing search;
+ * plain boolean answers are unordered, but desktop-search users
+ * expect the best files first. This module scores the boolean match
+ * set:
+ *
+ *   score(d) = sum over positive query terms t present in d of
+ *              idf(t) / lengthPenalty(d)
+ *
+ * where idf(t) = ln(1 + N / df(t)) rewards rare terms and the length
+ * penalty ln(2 + bytes(d)) keeps huge files from matching everything.
+ * The index stores document sets (not frequencies) — exactly what the
+ * paper's generator produces — so scoring is coordinate-level: it
+ * counts which query terms match, not how often.
+ *
+ * Terms under an odd number of NOTs do not contribute score (their
+ * absence is required, not rewarded).
+ */
+
+#ifndef DSEARCH_SEARCH_RANKED_HH
+#define DSEARCH_SEARCH_RANKED_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "index/doc_table.hh"
+#include "index/inverted_index.hh"
+#include "search/query.hh"
+#include "search/searcher.hh"
+
+namespace dsearch {
+
+/** One scored result. */
+struct ScoredHit
+{
+    DocId doc = invalid_doc;
+    double score = 0.0;
+};
+
+/**
+ * Collect the query's positive-context terms (those not under an odd
+ * number of NOTs), deduplicated, in first-appearance order. Exposed
+ * for tests.
+ */
+std::vector<std::string> positiveTerms(const QueryNode &root);
+
+/** Ranked query engine over one index; see the file comment. */
+class RankedSearcher
+{
+  public:
+    /**
+     * @param index Index to query (kept by reference).
+     * @param docs  Document table for length normalization (kept by
+     *              reference; doc count defines the universe).
+     */
+    RankedSearcher(const InvertedIndex &index, const DocTable &docs);
+
+    /**
+     * Run a query and return the best @p k hits, highest score
+     * first; ties break toward lower document IDs (deterministic).
+     *
+     * @return At most @p k scored hits; empty for invalid queries.
+     */
+    std::vector<ScoredHit> topK(const Query &query,
+                                std::size_t k) const;
+
+    /** Inverse document frequency of @p term in this index. */
+    double idf(const std::string &term) const;
+
+  private:
+    const InvertedIndex &_index;
+    const DocTable &_docs;
+    Searcher _boolean;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_RANKED_HH

@@ -1,0 +1,143 @@
+#include "search/searcher.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+DocSet
+intersectSets(const DocSet &a, const DocSet &b)
+{
+    DocSet out;
+    out.reserve(std::min(a.size(), b.size()));
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+DocSet
+uniteSets(const DocSet &a, const DocSet &b)
+{
+    DocSet out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+DocSet
+subtractSets(const DocSet &a, const DocSet &b)
+{
+    DocSet out;
+    out.reserve(a.size());
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+    return out;
+}
+
+namespace {
+
+/** Sorted, deduplicated copy of a term's posting list. */
+DocSet
+termDocs(const InvertedIndex &index, const std::string &term)
+{
+    const PostingList *postings = index.postings(term);
+    if (postings == nullptr)
+        return {};
+    DocSet docs(postings->begin(), postings->end());
+    std::sort(docs.begin(), docs.end());
+    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+    return docs;
+}
+
+} // namespace
+
+DocSet
+evalQueryNode(const InvertedIndex &index, const DocSet &universe,
+              const QueryNode &node)
+{
+    switch (node.kind) {
+      case QueryNode::Kind::Term:
+        // Terms outside the universe (e.g. a replica's slice) are
+        // clipped so NOT/AND algebra stays consistent.
+        return intersectSets(termDocs(index, node.term), universe);
+      case QueryNode::Kind::And: {
+        if (node.children.empty())
+            panic("evalQueryNode: AND without operands");
+        DocSet acc =
+            evalQueryNode(index, universe, node.children.front());
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+            if (acc.empty())
+                break;
+            acc = intersectSets(
+                acc, evalQueryNode(index, universe, node.children[i]));
+        }
+        return acc;
+      }
+      case QueryNode::Kind::Or: {
+        if (node.children.empty())
+            panic("evalQueryNode: OR without operands");
+        DocSet acc;
+        for (const QueryNode &child : node.children)
+            acc = uniteSets(acc, evalQueryNode(index, universe, child));
+        return acc;
+      }
+      case QueryNode::Kind::Not:
+        if (node.children.size() != 1)
+            panic("evalQueryNode: NOT needs exactly one operand");
+        return subtractSets(
+            universe,
+            evalQueryNode(index, universe, node.children.front()));
+    }
+    panic("evalQueryNode: unknown node kind");
+}
+
+bool
+matchesEmptyDocument(const QueryNode &node)
+{
+    switch (node.kind) {
+      case QueryNode::Kind::Term:
+        return false;
+      case QueryNode::Kind::And:
+        for (const QueryNode &child : node.children)
+            if (!matchesEmptyDocument(child))
+                return false;
+        return true;
+      case QueryNode::Kind::Or:
+        for (const QueryNode &child : node.children)
+            if (matchesEmptyDocument(child))
+                return true;
+        return false;
+      case QueryNode::Kind::Not:
+        return !matchesEmptyDocument(node.children.front());
+    }
+    panic("matchesEmptyDocument: unknown node kind");
+}
+
+Searcher::Searcher(const InvertedIndex &index, std::size_t doc_count)
+    : _index(index), _universe(doc_count)
+{
+    std::iota(_universe.begin(), _universe.end(), 0);
+}
+
+Searcher::Searcher(const InvertedIndex &index, DocSet universe)
+    : _index(index), _universe(std::move(universe))
+{
+    if (!std::is_sorted(_universe.begin(), _universe.end())
+        || std::adjacent_find(_universe.begin(), _universe.end())
+               != _universe.end()) {
+        panic("Searcher: universe must be sorted and duplicate-free");
+    }
+}
+
+DocSet
+Searcher::run(const Query &query) const
+{
+    if (!query.valid())
+        return {};
+    return evalQueryNode(_index, _universe, query.root());
+}
+
+} // namespace dsearch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Boolean query evaluation over a single inverted index.
+ *
+ * Evaluation works on sorted document sets: a term resolves to its
+ * (sorted, deduplicated) posting list; AND intersects, OR unites, and
+ * NOT complements against the document universe. All set operations
+ * are linear merges.
+ */
+
+#ifndef DSEARCH_SEARCH_SEARCHER_HH
+#define DSEARCH_SEARCH_SEARCHER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "index/inverted_index.hh"
+#include "search/query.hh"
+
+namespace dsearch {
+
+/** Sorted, duplicate-free set of matching documents. */
+using DocSet = std::vector<DocId>;
+
+/** Sorted-merge intersection of two DocSets. */
+DocSet intersectSets(const DocSet &a, const DocSet &b);
+
+/** Sorted-merge union of two DocSets. */
+DocSet uniteSets(const DocSet &a, const DocSet &b);
+
+/** Sorted-merge difference a \ b. */
+DocSet subtractSets(const DocSet &a, const DocSet &b);
+
+/**
+ * Evaluate @p node against @p index with NOT complemented against
+ * @p universe (a sorted DocSet).
+ *
+ * Shared by the single-index and multi-index searchers; exposed for
+ * tests.
+ */
+DocSet evalQueryNode(const InvertedIndex &index, const DocSet &universe,
+                     const QueryNode &node);
+
+/**
+ * Does the query match a document containing no terms at all? Needed
+ * by the multi-index searcher for documents that appear in no replica
+ * (empty files), and true only for NOT-dominated queries.
+ */
+bool matchesEmptyDocument(const QueryNode &node);
+
+/** Query engine over one index. */
+class Searcher
+{
+  public:
+    /**
+     * @param index     Index to query (kept by reference; must
+     *                  outlive the searcher).
+     * @param doc_count Document universe size; NOT complements
+     *                  against [0, doc_count).
+     */
+    Searcher(const InvertedIndex &index, std::size_t doc_count);
+
+    /**
+     * Construct with an explicit universe (sorted, duplicate-free),
+     * e.g. the alive documents of an incrementally maintained index:
+     * NOT then complements against exactly that set, and term hits
+     * are clipped to it.
+     */
+    Searcher(const InvertedIndex &index, DocSet universe);
+
+    /**
+     * Run a query.
+     *
+     * @return Sorted matching document IDs; empty for invalid
+     *         queries.
+     */
+    DocSet run(const Query &query) const;
+
+  private:
+    const InvertedIndex &_index;
+    DocSet _universe;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_SEARCHER_HH

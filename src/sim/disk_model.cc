@@ -1,0 +1,76 @@
+#include "sim/disk_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+DiskModel::DiskModel(EventQueue &eq, DiskParams params,
+                     std::uint64_t seed)
+    : _params(params), _seed(seed),
+      // One server: the head serves one request at a time. Queue
+      // depth (bounded by the NCQ window, `channels`) only shortens
+      // positioning, it never parallelizes transfers.
+      _channels(eq, "disk", 1)
+{
+}
+
+bool
+DiskModel::cached(std::size_t index) const
+{
+    if (_params.cached_fraction <= 0.0)
+        return false;
+    std::uint64_t state = _seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+    double u = static_cast<double>(splitMix64(state) >> 11) * 0x1.0p-53;
+    return u < _params.cached_fraction;
+}
+
+SimTime
+DiskModel::serviceTime(std::uint64_t bytes, double count,
+                       ReadMode mode, std::size_t depth) const
+{
+    double seek_ms = 0.0;
+    switch (mode) {
+      case ReadMode::Interleaved:
+        seek_ms = _params.seek_interleaved_ms;
+        break;
+      case ReadMode::Scan:
+        seek_ms = _params.seek_scan_ms;
+        break;
+      case ReadMode::Parallel: {
+        // Elevator/NCQ effect: positioning falls from the scan cost
+        // toward the floor as the visible queue deepens — until the
+        // head starts thrashing between too many streams. The
+        // scheduler only sees the NCQ window.
+        double d = static_cast<double>(
+            std::min<std::size_t>(depth, _params.channels));
+        seek_ms = _params.seek_floor_ms
+                  + (_params.seek_scan_ms - _params.seek_floor_ms)
+                        / (1.0 + d / _params.depth_half);
+        if (d > _params.thrash_depth) {
+            seek_ms += (d - _params.thrash_depth)
+                       * _params.thrash_ms_per_extra;
+        }
+        break;
+      }
+    }
+    double transfer_ms = static_cast<double>(bytes)
+                         / (_params.bandwidth_mbps * 1048.576);
+    // bandwidth_mbps is MiB/s; bytes / (MiB/s * 1048.576) gives ms.
+    double total_ms = seek_ms * count + transfer_ms;
+    return secToSim(total_ms * 1e-3);
+}
+
+void
+DiskModel::read(std::uint64_t bytes, double count,
+                ReadMode mode, EventQueue::Callback done)
+{
+    // Depth as seen when the request is issued: everything already
+    // queued or in flight.
+    std::size_t depth = _channels.load();
+    SimTime service = serviceTime(bytes, count, mode, depth);
+    _channels.use(service, std::move(done));
+}
+
+} // namespace dsearch

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+void
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    if (when < _now)
+        panic("EventQueue::schedule into the past");
+    _events.push(Event{when, _next_seq++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Callback cb)
+{
+    schedule(_now + delay, std::move(cb));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_events.empty())
+        return false;
+    // priority_queue::top is const; the event is copied out so the
+    // callback may schedule freely.
+    Event event = _events.top();
+    _events.pop();
+    _now = event.when;
+    ++_executed;
+    event.cb();
+    return true;
+}
+
+std::size_t
+EventQueue::runAll(std::size_t max_events)
+{
+    std::size_t n = 0;
+    while (runOne()) {
+        if (++n > max_events)
+            panic("EventQueue::runAll exceeded the event budget; "
+                  "likely a scheduling loop");
+    }
+    return n;
+}
+
+} // namespace dsearch

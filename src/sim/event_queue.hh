@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: a time-ordered event queue.
+ *
+ * The platform simulator replays the index-generation pipeline on
+ * modelled hardware (the paper's 4-, 8- and 32-core machines). Time is
+ * in integer microseconds; events at equal times run in scheduling
+ * (FIFO) order, which makes every simulation deterministic.
+ */
+
+#ifndef DSEARCH_SIM_EVENT_QUEUE_HH
+#define DSEARCH_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dsearch {
+
+/** Simulated time in microseconds. */
+using SimTime = std::uint64_t;
+
+/** Convert simulated time to seconds. */
+constexpr double
+simToSec(SimTime t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** Convert (non-negative) seconds to simulated time. */
+constexpr SimTime
+secToSim(double sec)
+{
+    return sec <= 0.0 ? 0 : static_cast<SimTime>(sec * 1e6 + 0.5);
+}
+
+/** Deterministic time-ordered event queue; see the file comment. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule a callback at absolute time @p when (>= now; panics on
+     * scheduling into the past).
+     */
+    void schedule(SimTime when, Callback cb);
+
+    /** Schedule a callback @p delay after the current time. */
+    void scheduleAfter(SimTime delay, Callback cb);
+
+    /** @return Current simulated time. */
+    SimTime now() const { return _now; }
+
+    /**
+     * Run the earliest event.
+     *
+     * @return False when no events remain.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains.
+     *
+     * @param max_events Safety valve against runaway simulations
+     *                   (panics when exceeded).
+     * @return Number of events executed.
+     */
+    std::size_t runAll(std::size_t max_events = 500000000);
+
+    /** @return Number of scheduled, not-yet-run events. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** @return Total events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq; ///< Tie-breaker: FIFO among equal times.
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    SimTime _now = 0;
+    std::uint64_t _next_seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SIM_EVENT_QUEUE_HH

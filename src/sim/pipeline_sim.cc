@@ -1,0 +1,537 @@
+#include "sim/pipeline_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/resource.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+/** Average bytes per token of the synthetic corpus (word + space). */
+constexpr double bytes_per_token = 4.7;
+
+/** Species-accumulation coefficient for unique-term saturation. */
+constexpr double dedup_coefficient = 0.45;
+
+constexpr double bytes_per_mb = 1048576.0;
+
+} // namespace
+
+WorkloadModel
+WorkloadModel::fromCorpusSpec(const CorpusSpec &spec)
+{
+    CorpusGenerator generator(spec);
+    std::vector<std::uint64_t> sizes = generator.fileSizes();
+
+    WorkloadModel model;
+    model._files.reserve(sizes.size());
+    const double vocab = static_cast<double>(spec.vocabulary_size);
+    for (std::uint64_t bytes : sizes) {
+        FileModel file;
+        file.bytes = bytes;
+        file.tokens = static_cast<std::uint64_t>(
+            static_cast<double>(bytes) / bytes_per_token);
+        // Unique terms saturate against the vocabulary as the file
+        // grows (Heaps-like behaviour of the Zipf-drawn corpus).
+        double unique =
+            vocab
+            * (1.0
+               - std::exp(-dedup_coefficient
+                          * static_cast<double>(file.tokens) / vocab));
+        file.terms = static_cast<std::uint32_t>(unique);
+        file.count = 1;
+        model._file_count += 1;
+        model._total_bytes += file.bytes;
+        model._total_tokens += file.tokens;
+        model._total_terms += file.terms;
+        model._files.push_back(file);
+    }
+    return model;
+}
+
+void
+WorkloadModel::coarsen(std::size_t factor)
+{
+    if (factor <= 1 || _files.empty())
+        return;
+    const std::uint64_t mean_bytes =
+        _total_bytes / std::max<std::uint64_t>(1, _file_count);
+    const std::uint64_t large_threshold = mean_bytes * 10;
+
+    std::vector<FileModel> merged;
+    merged.reserve(_files.size() / factor + 8);
+    FileModel group;
+    std::uint32_t in_group = 0;
+    auto flush = [&merged, &group, &in_group] {
+        if (in_group > 0) {
+            merged.push_back(group);
+            group = FileModel{};
+            in_group = 0;
+        }
+    };
+    for (const FileModel &file : _files) {
+        if (file.bytes > large_threshold) {
+            // Large files stay their own entries so the round-robin
+            // balance effects survive coarsening.
+            flush();
+            merged.push_back(file);
+            continue;
+        }
+        group.bytes += file.bytes;
+        group.tokens += file.tokens;
+        group.terms += file.terms;
+        group.count += in_group == 0 ? 0 : 1;
+        if (in_group == 0)
+            group.count = 1;
+        ++in_group;
+        if (in_group >= factor)
+            flush();
+    }
+    flush();
+    // Re-derive counts: the loop above kept count = files merged.
+    _files = std::move(merged);
+}
+
+PipelineSim::PipelineSim(PlatformSpec platform, WorkloadModel workload)
+    : _platform(std::move(platform)), _workload(std::move(workload))
+{
+}
+
+namespace {
+
+/** Microseconds of CPU to scan (tokenize + dedup) an entry. */
+double
+scanUs(const PlatformSpec &p, const FileModel &f)
+{
+    return static_cast<double>(f.bytes) / bytes_per_mb
+           * p.scan_us_per_mb;
+}
+
+/** Microseconds of CPU spent issuing/copying an uncached read. */
+double
+readCpuUs(const PlatformSpec &p, const FileModel &f)
+{
+    return static_cast<double>(f.bytes) / bytes_per_mb
+           * p.read_cpu_us_per_mb;
+}
+
+/** Microseconds of CPU to copy an entry out of the page cache. */
+double
+cacheCopyUs(const PlatformSpec &p, const FileModel &f)
+{
+    return static_cast<double>(f.bytes) / bytes_per_mb
+           * p.cache_copy_us_per_mb;
+}
+
+/**
+ * Microseconds of CPU to insert an entry's block(s) into an index.
+ * En-bloc mode pays per unique term; immediate mode pays the
+ * duplicate-scan-inflated cost per occurrence.
+ */
+double
+insertUs(const PlatformSpec &p, const Config &cfg, const FileModel &f)
+{
+    if (cfg.en_bloc)
+        return static_cast<double>(f.terms) * p.insert_us_per_term;
+    return static_cast<double>(f.tokens) * p.insert_us_per_term
+           * p.dup_scan_factor;
+}
+
+/** Lock-overhead microseconds per entry under Implementation 1. */
+double
+lockUs(const PlatformSpec &p, const Config &cfg, const FileModel &f)
+{
+    // En-bloc: one lock pair per block; immediate: one per occurrence
+    // ("overwhelm the index with locking requests").
+    double ops = cfg.en_bloc ? static_cast<double>(f.count)
+                             : static_cast<double>(f.tokens);
+    return ops * p.lock_us;
+}
+
+/**
+ * Analytic "Join Forces" reduction: merge replica masses pairwise,
+ * z lanes per level (LPT), until one replica remains.
+ *
+ * @param masses  Unique postings per replica.
+ * @param z       Joiner threads.
+ * @param join_us Cost per source posting moved.
+ * @return Seconds spent joining.
+ */
+double
+joinSeconds(std::vector<double> masses, unsigned z, double join_us)
+{
+    if (masses.size() <= 1 || z == 0)
+        return 0.0;
+    double total_sec = 0.0;
+    while (masses.size() > 1) {
+        std::size_t pairs = masses.size() / 2;
+        std::size_t lanes = std::min<std::size_t>(z, pairs);
+
+        // Cost of merging pair p = moving the source replica.
+        std::vector<double> costs(pairs);
+        for (std::size_t p = 0; p < pairs; ++p)
+            costs[p] = masses[2 * p + 1] * join_us;
+
+        // LPT assignment onto the lanes.
+        std::sort(costs.rbegin(), costs.rend());
+        std::vector<double> lane_time(lanes, 0.0);
+        for (double cost : costs) {
+            auto lightest =
+                std::min_element(lane_time.begin(), lane_time.end());
+            *lightest += cost;
+        }
+        total_sec +=
+            *std::max_element(lane_time.begin(), lane_time.end())
+            * 1e-6;
+
+        std::vector<double> next;
+        next.reserve(pairs + masses.size() % 2);
+        for (std::size_t p = 0; p < pairs; ++p)
+            next.push_back(masses[2 * p] + masses[2 * p + 1]);
+        if (masses.size() % 2 == 1)
+            next.push_back(masses.back());
+        masses = std::move(next);
+    }
+    return total_sec;
+}
+
+/** All mutable state of one parallel DES run. */
+struct DesRun
+{
+    const PlatformSpec &p;
+    const WorkloadModel &w;
+    const Config &cfg;
+
+    EventQueue eq;
+    Resource cores;
+    Resource lock;
+    DiskModel disk;
+    SimQueue queue;
+
+    std::vector<std::vector<std::size_t>> shards; ///< Per extractor.
+    std::vector<std::size_t> cursor;
+    std::vector<double> masses; ///< Postings per replica.
+
+    unsigned extractors_done = 0;
+    unsigned updaters_done = 0;
+    SimTime stage2_end = 0;
+    SimTime stage3_end = 0;
+
+    bool shared_impl;
+    double insert_inflation; ///< Multiplier on shared-index inserts.
+    double updater_cold;     ///< Multiplier on handed-off inserts.
+
+    DesRun(const PlatformSpec &platform, const WorkloadModel &workload,
+           const Config &config)
+        : p(platform), w(workload), cfg(config),
+          cores(eq, "cores", platform.cores),
+          lock(eq, "index-lock", 1),
+          disk(eq, platform.disk, platform.cache_seed),
+          queue(eq, config.queue_capacity),
+          shared_impl(config.impl == Implementation::SharedLocked)
+    {
+        const unsigned x = cfg.extractors;
+        const unsigned y = cfg.updaters;
+
+        // Round-robin deal of workload entries (the paper's chosen
+        // distribution).
+        shards.assign(x, {});
+        for (std::size_t i = 0; i < w.files().size(); ++i)
+            shards[i % x].push_back(i);
+        cursor.assign(x, 0);
+
+        if (!shared_impl)
+            masses.assign(cfg.replicaCount(), 0.0);
+
+        // Shared-index insert inflation: with direct extractor
+        // inserts (y = 0) the writers' caches fight (coherence);
+        // with dedicated updaters every block arrives cache-cold.
+        if (shared_impl && y == 0) {
+            insert_inflation =
+                1.0 + p.coherence_factor * static_cast<double>(x - 1);
+        } else {
+            insert_inflation = 1.0;
+        }
+        updater_cold = y > 0 ? p.cold_insert_factor : 1.0;
+    }
+
+    void
+    start()
+    {
+        for (unsigned u = 0; u < cfg.updaters; ++u)
+            updaterLoop(u);
+        for (unsigned x = 0; x < cfg.extractors; ++x)
+            extractorNext(x);
+    }
+
+    /** Advance extractor @p e to its next file (or finish). */
+    void
+    extractorNext(unsigned e)
+    {
+        if (cursor[e] >= shards[e].size()) {
+            if (++extractors_done == cfg.extractors) {
+                stage2_end = eq.now();
+                queue.close();
+                if (cfg.updaters == 0)
+                    stage3_end = eq.now();
+            }
+            return;
+        }
+        std::size_t entry = shards[e][cursor[e]++];
+        const FileModel &file = w.files()[entry];
+
+        // Expected cached/uncached split: the cached share of the
+        // entry's bytes is a page-cache copy on the CPU, the rest is
+        // fetched from the device (coarsening-stable, deterministic).
+        const double fc = p.disk.cached_fraction;
+        const auto uncached_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(file.bytes) * (1.0 - fc));
+        const double cached_mb =
+            static_cast<double>(file.bytes - uncached_bytes)
+            / bytes_per_mb;
+        const double cache_cpu_us =
+            cached_mb * p.cache_copy_us_per_mb;
+
+        if (uncached_bytes == 0) {
+            cpuPhase(e, entry, cache_cpu_us);
+        } else {
+            const double uncached_mb =
+                static_cast<double>(uncached_bytes) / bytes_per_mb;
+            const double read_cpu_us =
+                uncached_mb * p.read_cpu_us_per_mb;
+            disk.read(uncached_bytes,
+                      static_cast<double>(file.count) * (1.0 - fc),
+                      ReadMode::Parallel,
+                      [this, e, entry, cache_cpu_us, read_cpu_us] {
+                          cpuPhase(e, entry,
+                                   cache_cpu_us + read_cpu_us);
+                      });
+        }
+    }
+
+    /** Scan burst (plus read/copy CPU) on a core, then delivery. */
+    void
+    cpuPhase(unsigned e, std::size_t entry, double io_cpu_us)
+    {
+        const FileModel &file = w.files()[entry];
+        SimTime burst = secToSim((io_cpu_us + scanUs(p, file)) * 1e-6);
+        cores.use(burst, [this, e, entry] { deliver(e, entry); });
+    }
+
+    /** Hand the extracted block to Stage 3. */
+    void
+    deliver(unsigned e, std::size_t entry)
+    {
+        const FileModel &file = w.files()[entry];
+        if (cfg.updaters > 0) {
+            // Push into the bounded buffer; blocks when full (the
+            // back-pressure that stalls extractors and idles the
+            // disk).
+            queue.push(entry, [this, e] { extractorNext(e); });
+            return;
+        }
+        if (shared_impl) {
+            // Direct insert under the global lock.
+            SimTime burst = secToSim(
+                (insertUs(p, cfg, file) * insert_inflation
+                 + lockUs(p, cfg, file))
+                * 1e-6);
+            lock.acquire([this, e, burst] {
+                cores.use(burst, [this, e] {
+                    lock.release();
+                    extractorNext(e);
+                });
+            });
+            return;
+        }
+        // Private replica: no lock at all.
+        masses[e] += static_cast<double>(file.terms);
+        SimTime burst = secToSim(insertUs(p, cfg, file) * 1e-6);
+        cores.use(burst, [this, e] { extractorNext(e); });
+    }
+
+    /** One updater's pop-insert loop. */
+    void
+    updaterLoop(unsigned u)
+    {
+        queue.pop([this, u](bool ok, std::size_t entry) {
+            if (!ok) {
+                if (++updaters_done == cfg.updaters)
+                    stage3_end = eq.now();
+                return;
+            }
+            const FileModel &file = w.files()[entry];
+            double queue_cpu =
+                static_cast<double>(file.count) * p.queue_op_us;
+            if (shared_impl) {
+                SimTime burst = secToSim(
+                    (queue_cpu
+                     + insertUs(p, cfg, file) * updater_cold
+                     + lockUs(p, cfg, file))
+                    * 1e-6);
+                lock.acquire([this, u, burst] {
+                    cores.use(burst, [this, u] {
+                        lock.release();
+                        updaterLoop(u);
+                    });
+                });
+            } else {
+                masses[u] += static_cast<double>(file.terms);
+                SimTime burst = secToSim(
+                    (queue_cpu
+                     + insertUs(p, cfg, file) * updater_cold)
+                    * 1e-6);
+                cores.use(burst, [this, u] { updaterLoop(u); });
+            }
+        });
+    }
+};
+
+} // namespace
+
+SimResult
+PipelineSim::run(const Config &cfg) const
+{
+    cfg.validate();
+    if (cfg.impl == Implementation::Sequential)
+        return runSequential();
+    return runParallel(cfg);
+}
+
+SimResult
+PipelineSim::runSequential() const
+{
+    // The sequential program needs no DES: one thread, no overlap —
+    // per file: (interleaved) read, scan, insert; all serial.
+    const PlatformSpec &p = _platform;
+    Config cfg = Config::sequential();
+
+    EventQueue eq; // only for the cache draw
+    DiskModel disk(eq, p.disk, p.cache_seed);
+
+    SimResult result;
+    const double fc = p.disk.cached_fraction;
+    double read_sec = 0.0, scan_sec = 0.0, insert_sec = 0.0;
+    for (std::size_t i = 0; i < _workload.files().size(); ++i) {
+        const FileModel &file = _workload.files()[i];
+        const auto uncached_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(file.bytes) * (1.0 - fc));
+        const double cached_mb =
+            static_cast<double>(file.bytes - uncached_bytes)
+            / bytes_per_mb;
+        read_sec += cached_mb * p.cache_copy_us_per_mb * 1e-6;
+        if (uncached_bytes > 0) {
+            const double uncached_mb =
+                static_cast<double>(uncached_bytes) / bytes_per_mb;
+            read_sec +=
+                simToSec(disk.serviceTime(
+                    uncached_bytes,
+                    static_cast<double>(file.count) * (1.0 - fc),
+                    ReadMode::Interleaved, 0))
+                + uncached_mb * p.read_cpu_us_per_mb * 1e-6;
+        }
+        scan_sec += scanUs(p, file) * 1e-6;
+        insert_sec += insertUs(p, cfg, file) * 1e-6;
+    }
+
+    result.stages.filename_generation =
+        static_cast<double>(_workload.fileCount())
+        * p.fname_us_per_file * 1e-6;
+    result.stages.read_and_extract = read_sec + scan_sec;
+    result.stages.index_update = insert_sec;
+    result.stages.total = result.stages.filename_generation
+                          + result.stages.read_and_extract
+                          + result.stages.index_update;
+    result.total_sec = result.stages.total;
+    result.disk_busy_sec = read_sec;
+    result.cpu_busy_sec = scan_sec + insert_sec;
+    return result;
+}
+
+SimResult
+PipelineSim::runParallel(const Config &cfg) const
+{
+    if (cfg.pipelined_stage1)
+        fatal("PipelineSim: pipelined Stage 1 is a host-measured "
+              "ablation, not modelled");
+    if (cfg.distribution != DistributionKind::RoundRobin)
+        fatal("PipelineSim: only round-robin distribution is "
+              "modelled");
+
+    DesRun run(_platform, _workload, cfg);
+    run.start();
+    run.eq.runAll();
+
+    if (run.extractors_done != cfg.extractors
+        || (cfg.updaters > 0 && run.updaters_done != cfg.updaters)) {
+        panic("PipelineSim: simulation ended with live actors");
+    }
+
+    const PlatformSpec &p = _platform;
+    SimResult result;
+    result.events = run.eq.executed();
+
+    double fname_sec = static_cast<double>(_workload.fileCount())
+                       * p.fname_us_per_file * 1e-6;
+    double spawn_sec =
+        static_cast<double>(cfg.extractors + cfg.updaters
+                            + cfg.joiners)
+        * p.thread_spawn_us * 1e-6;
+
+    double join_sec = 0.0;
+    if (cfg.impl == Implementation::ReplicatedJoin)
+        join_sec =
+            joinSeconds(run.masses, cfg.joiners, p.join_us_per_term);
+
+    result.stages.filename_generation = fname_sec;
+    result.stages.read_and_extract = simToSec(run.stage2_end);
+    result.stages.index_update =
+        simToSec(run.stage3_end) - simToSec(run.stage2_end);
+    result.stages.join = join_sec;
+    result.total_sec = fname_sec + spawn_sec
+                       + simToSec(run.stage3_end) + join_sec;
+    result.stages.total = result.total_sec;
+
+    result.disk_busy_sec = run.disk.busySeconds();
+    result.disk_wait_sec = run.disk.waitSeconds();
+    result.cpu_busy_sec = run.cores.busySeconds();
+    result.lock_wait_sec = run.lock.waitSeconds();
+    return result;
+}
+
+StageTimes
+PipelineSim::measureStages() const
+{
+    // Table 1 passes are first-run (cold) measurements: dedicated
+    // scan-mode reads, no page-cache hits.
+    const PlatformSpec &p = _platform;
+    Config cfg = Config::sequential();
+
+    StageTimes times;
+    times.filename_generation =
+        static_cast<double>(_workload.fileCount())
+        * p.fname_us_per_file * 1e-6;
+
+    EventQueue eq;
+    DiskModel disk(eq, p.disk, p.cache_seed);
+    double read_sec = 0.0, scan_sec = 0.0, insert_sec = 0.0;
+    for (const FileModel &file : _workload.files()) {
+        read_sec += simToSec(disk.serviceTime(file.bytes, file.count,
+                                              ReadMode::Scan, 0))
+                    + readCpuUs(p, file) * 1e-6;
+        scan_sec += scanUs(p, file) * 1e-6;
+        insert_sec += insertUs(p, cfg, file) * 1e-6;
+    }
+    times.read_files = read_sec;
+    times.read_and_extract = read_sec + scan_sec;
+    times.index_update = insert_sec;
+    times.total = times.filename_generation + times.read_and_extract
+                  + times.index_update;
+    return times;
+}
+
+} // namespace dsearch

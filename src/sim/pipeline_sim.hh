@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Discrete-event simulation of the index-generation pipeline.
+ *
+ * Replays a workload (file sizes + per-file unique-term counts derived
+ * from a CorpusSpec) through the three-stage pipeline on a modelled
+ * platform, for any (implementation, x, y, z) configuration. This is
+ * the substitute for the paper's 4-, 8- and 32-core machines: the
+ * benchmark harnesses sweep configurations through this simulator to
+ * regenerate Tables 2-4, while the real threaded generator runs on the
+ * build host for ground truth.
+ *
+ * Model summary (see DESIGN.md §2 for the rationale):
+ *  - one FIFO resource with `cores` servers models the CPUs
+ *    (non-preemptive, file-granularity bursts);
+ *  - DiskModel serves uncached reads with queue-depth-dependent
+ *    positioning costs; cached files cost a CPU copy instead;
+ *  - Implementation 1 funnels inserts through a 1-server lock
+ *    resource; blocks handed to dedicated updaters are inserted
+ *    cache-cold (cold_insert_factor);
+ *  - the extractor->updater buffer is a bounded SimQueue with the
+ *    same close-and-drain semantics as the real BlockingQueue;
+ *  - the Implementation 2 join is evaluated analytically from the
+ *    replica masses accumulated during the run (LPT over z lanes per
+ *    reduction level).
+ */
+
+#ifndef DSEARCH_SIM_PIPELINE_SIM_HH
+#define DSEARCH_SIM_PIPELINE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/stage_times.hh"
+#include "fs/corpus.hh"
+#include "sim/platform.hh"
+
+namespace dsearch {
+
+/** One (possibly coarsened) workload entry. */
+struct FileModel
+{
+    std::uint64_t bytes = 0;  ///< Total bytes of the entry.
+    std::uint64_t tokens = 0; ///< Term occurrences.
+    std::uint32_t terms = 0;  ///< Unique terms (postings produced).
+    std::uint32_t count = 1;  ///< Real files behind this entry.
+};
+
+/**
+ * Derived per-file workload statistics for the simulator.
+ *
+ * Token counts follow the synthetic corpus's bytes-per-token ratio;
+ * unique terms follow a species-accumulation law against the
+ * vocabulary (Heaps-like saturation), matching what the real
+ * extractor produces on the synthetic corpus.
+ */
+class WorkloadModel
+{
+  public:
+    /** Build from a corpus spec (no text is generated — fast). */
+    static WorkloadModel fromCorpusSpec(const CorpusSpec &spec);
+
+    /**
+     * Merge runs of up to @p factor small files into single entries
+     * to cut simulation cost. Per-file costs (seeks, stage-1 work,
+     * lock/queue operations) are preserved via the entries' counts;
+     * large files are never merged.
+     */
+    void coarsen(std::size_t factor);
+
+    /** @return Workload entries in corpus order. */
+    const std::vector<FileModel> &files() const { return _files; }
+
+    /** @return Real file count (sum of entry counts). */
+    std::uint64_t fileCount() const { return _file_count; }
+
+    /** @return Total bytes. */
+    std::uint64_t totalBytes() const { return _total_bytes; }
+
+    /** @return Total token occurrences. */
+    std::uint64_t totalTokens() const { return _total_tokens; }
+
+    /** @return Total unique postings. */
+    std::uint64_t totalTerms() const { return _total_terms; }
+
+  private:
+    std::vector<FileModel> _files;
+    std::uint64_t _file_count = 0;
+    std::uint64_t _total_bytes = 0;
+    std::uint64_t _total_tokens = 0;
+    std::uint64_t _total_terms = 0;
+};
+
+/** What one simulated run produced. */
+struct SimResult
+{
+    double total_sec = 0.0; ///< End-to-end build time.
+    StageTimes stages;      ///< Stage decomposition.
+    double disk_busy_sec = 0.0; ///< Device busy time.
+    double disk_wait_sec = 0.0; ///< Requests queued at the device.
+    double cpu_busy_sec = 0.0;  ///< Core busy time (all cores).
+    double lock_wait_sec = 0.0; ///< Time blocked on the index lock.
+    std::uint64_t events = 0;   ///< DES events executed.
+};
+
+/** Simulator facade; construct once per (platform, workload) pair. */
+class PipelineSim
+{
+  public:
+    PipelineSim(PlatformSpec platform, WorkloadModel workload);
+
+    /** @return The platform being modelled. */
+    const PlatformSpec &platform() const { return _platform; }
+
+    /** @return The workload being replayed. */
+    const WorkloadModel &workload() const { return _workload; }
+
+    /**
+     * Simulate one build.
+     *
+     * Restrictions vs. the real generator: only round-robin
+     * distribution is modelled and pipelined Stage 1 is not (both are
+     * host-measured ablations); fatal() otherwise.
+     */
+    SimResult run(const Config &cfg) const;
+
+    /**
+     * The paper's Table 1 decomposition: sequential stage times
+     * measured cold (first-run behaviour, no page-cache hits).
+     */
+    StageTimes measureStages() const;
+
+  private:
+    SimResult runSequential() const;
+    SimResult runParallel(const Config &cfg) const;
+
+    PlatformSpec _platform;
+    WorkloadModel _workload;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SIM_PIPELINE_SIM_HH

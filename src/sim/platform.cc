@@ -1,0 +1,193 @@
+#include "sim/platform.hh"
+
+#include <thread>
+
+namespace dsearch {
+
+/*
+ * Calibration notes
+ * -----------------
+ * Constants below are fitted against the paper's published numbers
+ * for the ~51,000-file / 869 MB benchmark corpus:
+ *
+ *   Table 1 (sequential stage times, seconds)
+ *                 fname  read   read+extract  index
+ *     4-core       5.0   77.0      88.0        22.0
+ *     8-core       4.0   47.0      61.0        29.0
+ *     32-core      5.0   73.0      80.0        28.0
+ *
+ *   Sequential totals: 220 s / 105 s / 90 s.
+ *
+ * Derivations (workload model: ~194 M tokens, ~59 M unique postings —
+ * see WorkloadModel::fromCorpusSpec):
+ *
+ *  - fname_us_per_file     = Table1 fname / 51,000 files.
+ *  - scan_us_per_mb        = (read+extract - read) / 869 MB.
+ *  - insert_us_per_term    = Table1 index / total postings.
+ *  - seek_scan_ms          : read = 51,000 * seek_scan + 869/bw
+ *                            + read CPU.
+ *  - seek_interleaved_ms   : sequential total = fname + interleaved
+ *                            read + scan + index. The interleaved
+ *                            read is far slower than the dedicated
+ *                            scan because per-file think time defeats
+ *                            readahead — this is what makes the
+ *                            4-core sequential program take 220 s
+ *                            although its parts sum to 115 s.
+ *  - cached_fraction       : only the 32-core machine (8 GB RAM,
+ *                            five averaged runs) sees page-cache
+ *                            hits; fitted so the sequential total is
+ *                            90 s although the cold parts sum to
+ *                            113 s.
+ *  - cold_insert_factor    : fitted from Implementation 1's best
+ *                            time (its updates serialize on the
+ *                            index lock, so best-time / Table1-index
+ *                            bounds the factor): 59.5/29 = 2.05 on
+ *                            the FSB-based 8-core, 45.9/28 = 1.64 on
+ *                            the 32-core, masked by the disk on the
+ *                            4-core (1.6 assumed).
+ *  - join_us_per_term      : fitted from Implementation 2 minus
+ *                            Implementation 3 at the paper's best
+ *                            configurations (8.2 s for one 29.5 M
+ *                            posting merge on the 8-core; 10.7 s for
+ *                            44 M moved postings on the 32-core; the
+ *                            4-core's measured join cost is ~0.2 s —
+ *                            see EXPERIMENTS.md for the discussion).
+ */
+
+PlatformSpec
+PlatformSpec::quadCore2010()
+{
+    PlatformSpec p;
+    p.name = "4-core Intel (Q6600, 2.4 GHz, Windows 7)";
+    p.cores = 4;
+    p.clock_ghz = 2.4;
+
+    p.disk.seek_interleaved_ms = 3.25;
+    p.disk.seek_scan_ms = 1.19;
+    p.disk.seek_floor_ms = 0.35;
+    p.disk.depth_half = 0.8;
+    p.disk.thrash_depth = 3.0;
+    p.disk.thrash_ms_per_extra = 0.30;
+    p.disk.bandwidth_mbps = 55.0;
+    p.disk.channels = 8;
+    p.disk.cached_fraction = 0.0;
+
+    p.fname_us_per_file = 98.0;
+    p.read_cpu_us_per_mb = 500.0;
+    p.cache_copy_us_per_mb = 800.0;
+    p.scan_us_per_mb = 12660.0;
+    p.insert_us_per_term = 0.362;
+    p.dup_scan_factor = 3.0;
+    p.lock_us = 1.0;
+    p.coherence_factor = 0.8;
+    p.cold_insert_factor = 1.6;
+    p.queue_op_us = 1.5;
+    p.join_us_per_term = 0.02;
+    p.thread_spawn_us = 300.0;
+    return p;
+}
+
+PlatformSpec
+PlatformSpec::octCore2010()
+{
+    PlatformSpec p;
+    p.name = "8-core Intel (Xeon E5320, 1.86 GHz, Ubuntu 8.10)";
+    p.cores = 8;
+    p.clock_ghz = 1.86;
+
+    p.disk.seek_interleaved_ms = 0.75;
+    p.disk.seek_scan_ms = 0.53;
+    p.disk.seek_floor_ms = 0.46;
+    p.disk.depth_half = 1.2;
+    p.disk.thrash_depth = 8.0;
+    p.disk.thrash_ms_per_extra = 0.10;
+    p.disk.bandwidth_mbps = 45.0;
+    p.disk.channels = 8;
+    p.disk.cached_fraction = 0.0;
+
+    p.fname_us_per_file = 78.4;
+    p.read_cpu_us_per_mb = 600.0;
+    p.cache_copy_us_per_mb = 900.0;
+    p.scan_us_per_mb = 16110.0;
+    p.insert_us_per_term = 0.477;
+    p.dup_scan_factor = 3.0;
+    p.lock_us = 1.0;
+    p.coherence_factor = 1.0;
+    p.cold_insert_factor = 1.95;
+    p.queue_op_us = 1.8;
+    p.join_us_per_term = 0.28;
+    p.thread_spawn_us = 350.0;
+    return p;
+}
+
+PlatformSpec
+PlatformSpec::manyCore2010()
+{
+    PlatformSpec p;
+    p.name = "32-core Intel (Xeon X7560, 2.27 GHz, RHEL 4)";
+    p.cores = 32;
+    p.clock_ghz = 2.27;
+
+    p.disk.seek_interleaved_ms = 1.40;
+    p.disk.seek_scan_ms = 0.94;
+    p.disk.seek_floor_ms = 0.25;
+    p.disk.depth_half = 1.5;
+    p.disk.thrash_depth = 8.0;
+    p.disk.thrash_ms_per_extra = 0.05;
+    p.disk.bandwidth_mbps = 35.0;
+    p.disk.channels = 16;
+    p.disk.cached_fraction = 0.488;
+
+    p.fname_us_per_file = 98.0;
+    p.read_cpu_us_per_mb = 450.0;
+    p.cache_copy_us_per_mb = 800.0;
+    p.scan_us_per_mb = 8055.0;
+    p.insert_us_per_term = 0.461;
+    p.dup_scan_factor = 3.0;
+    p.lock_us = 0.9;
+    p.coherence_factor = 0.1;
+    p.cold_insert_factor = 1.47;
+    p.queue_op_us = 1.5;
+    p.join_us_per_term = 0.242;
+    p.thread_spawn_us = 400.0;
+    return p;
+}
+
+PlatformSpec
+PlatformSpec::host(unsigned cores)
+{
+    PlatformSpec p;
+    p.name = "build host (in-memory corpus)";
+    p.cores = cores != 0
+                  ? cores
+                  : std::max(1u, std::thread::hardware_concurrency());
+    p.clock_ghz = 2.0;
+
+    // MemoryFs: "reads" are memory copies — no positioning cost, no
+    // queue-depth effects, effectively infinite bandwidth.
+    p.disk.seek_interleaved_ms = 0.0;
+    p.disk.seek_scan_ms = 0.0;
+    p.disk.seek_floor_ms = 0.0;
+    p.disk.depth_half = 1.0;
+    p.disk.thrash_depth = 1e9;
+    p.disk.thrash_ms_per_extra = 0.0;
+    p.disk.bandwidth_mbps = 8000.0;
+    p.disk.channels = 64;
+    p.disk.cached_fraction = 0.0;
+
+    p.fname_us_per_file = 2.0;
+    p.read_cpu_us_per_mb = 120.0;
+    p.cache_copy_us_per_mb = 120.0;
+    p.scan_us_per_mb = 9000.0;
+    p.insert_us_per_term = 0.25;
+    p.dup_scan_factor = 3.0;
+    p.lock_us = 0.05;
+    p.coherence_factor = 0.4;
+    p.cold_insert_factor = 1.3;
+    p.queue_op_us = 0.3;
+    p.join_us_per_term = 0.15;
+    p.thread_spawn_us = 60.0;
+    return p;
+}
+
+} // namespace dsearch

@@ -1,0 +1,172 @@
+#include "sim/resource.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+Resource::Resource(EventQueue &eq, std::string name, unsigned servers)
+    : _eq(eq), _name(std::move(name)), _servers(servers)
+{
+    if (servers == 0)
+        panic("Resource '" + _name + "': need at least one server");
+}
+
+void
+Resource::accumulate()
+{
+    _busy_integral += static_cast<SimTime>(_busy)
+                      * (_eq.now() - _last_change);
+    _last_change = _eq.now();
+}
+
+void
+Resource::acquire(EventQueue::Callback grant_cb)
+{
+    if (_busy < _servers) {
+        accumulate();
+        ++_busy;
+        ++_grants;
+        _eq.schedule(_eq.now(), std::move(grant_cb));
+        return;
+    }
+    _waiting.push_back(Waiter{std::move(grant_cb), _eq.now()});
+}
+
+void
+Resource::release()
+{
+    if (_busy == 0)
+        panic("Resource '" + _name + "': release without acquire");
+    accumulate();
+    if (_waiting.empty()) {
+        --_busy;
+        return;
+    }
+    // Hand the server straight to the longest waiter; busy count is
+    // unchanged.
+    Waiter next = std::move(_waiting.front());
+    _waiting.pop_front();
+    _wait_integral += _eq.now() - next.since;
+    ++_grants;
+    _eq.schedule(_eq.now(), std::move(next.cb));
+}
+
+void
+Resource::use(SimTime service, EventQueue::Callback done_cb)
+{
+    acquire([this, service, done_cb = std::move(done_cb)]() mutable {
+        _eq.scheduleAfter(service,
+                          [this, done_cb = std::move(done_cb)] {
+                              release();
+                              done_cb();
+                          });
+    });
+}
+
+double
+Resource::busySeconds() const
+{
+    SimTime integral = _busy_integral
+                       + static_cast<SimTime>(_busy)
+                             * (_eq.now() - _last_change);
+    return simToSec(integral);
+}
+
+void
+SimSemaphore::p(EventQueue::Callback cb)
+{
+    if (_count > 0) {
+        --_count;
+        _eq.schedule(_eq.now(), std::move(cb));
+        return;
+    }
+    _waiting.push_back(std::move(cb));
+}
+
+void
+SimSemaphore::v()
+{
+    if (!_waiting.empty()) {
+        EventQueue::Callback cb = std::move(_waiting.front());
+        _waiting.pop_front();
+        _eq.schedule(_eq.now(), std::move(cb));
+        return;
+    }
+    ++_count;
+}
+
+void
+SimQueue::wakeConsumers()
+{
+    while (!_items.empty() && !_empty_waiters.empty()) {
+        std::size_t item = _items.front();
+        _items.pop_front();
+        PopCallback cb = std::move(_empty_waiters.front());
+        _empty_waiters.pop_front();
+        _eq.schedule(_eq.now(),
+                     [cb = std::move(cb), item] { cb(true, item); });
+    }
+    if (_closed && _items.empty()) {
+        while (!_empty_waiters.empty()) {
+            PopCallback cb = std::move(_empty_waiters.front());
+            _empty_waiters.pop_front();
+            _eq.schedule(_eq.now(),
+                         [cb = std::move(cb)] { cb(false, 0); });
+        }
+    }
+}
+
+void
+SimQueue::push(std::size_t item, EventQueue::Callback done)
+{
+    if (_closed)
+        panic("SimQueue: push after close");
+    if (_items.size() < _capacity) {
+        _items.push_back(item);
+        _eq.schedule(_eq.now(), std::move(done));
+        wakeConsumers();
+        return;
+    }
+    // Queue full: park the producer; the push completes when a pop
+    // frees a slot.
+    _full_waiters.push_back(
+        [this, item, done = std::move(done)]() mutable {
+            _items.push_back(item);
+            _eq.schedule(_eq.now(), std::move(done));
+            wakeConsumers();
+        });
+}
+
+void
+SimQueue::pop(PopCallback cb)
+{
+    if (!_items.empty()) {
+        std::size_t item = _items.front();
+        _items.pop_front();
+        _eq.schedule(_eq.now(),
+                     [cb = std::move(cb), item] { cb(true, item); });
+        if (!_full_waiters.empty()) {
+            EventQueue::Callback admit =
+                std::move(_full_waiters.front());
+            _full_waiters.pop_front();
+            admit();
+        }
+        return;
+    }
+    if (_closed) {
+        _eq.schedule(_eq.now(), [cb = std::move(cb)] { cb(false, 0); });
+        return;
+    }
+    _empty_waiters.push_back(std::move(cb));
+}
+
+void
+SimQueue::close()
+{
+    if (!_full_waiters.empty())
+        panic("SimQueue: closed while producers were still blocked");
+    _closed = true;
+    wakeConsumers();
+}
+
+} // namespace dsearch

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Simulated contended resources.
+ *
+ * Three primitives cover everything the pipeline model needs:
+ *
+ *  - Resource: a FIFO k-server (CPU cores, disk channels, the index
+ *    lock as a 1-server resource) with a busy-time integral for
+ *    utilization reporting.
+ *  - SimSemaphore: counting semaphore (building block of SimQueue).
+ *  - SimQueue: the simulated bounded block queue between extractors
+ *    and updaters, with the same close-and-drain semantics as the real
+ *    BlockingQueue.
+ */
+
+#ifndef DSEARCH_SIM_RESOURCE_HH
+#define DSEARCH_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/event_queue.hh"
+
+namespace dsearch {
+
+/** FIFO k-server resource; see the file comment. */
+class Resource
+{
+  public:
+    /**
+     * @param eq      Owning event queue.
+     * @param name    Diagnostic name.
+     * @param servers Number of concurrent holders (>= 1).
+     */
+    Resource(EventQueue &eq, std::string name, unsigned servers);
+
+    /**
+     * Request one server.
+     *
+     * @param grant_cb Runs (as a scheduled event, never inline) once a
+     *                 server is available; the caller holds it until
+     *                 release().
+     */
+    void acquire(EventQueue::Callback grant_cb);
+
+    /** Return a server; grants the longest-waiting requester. */
+    void release();
+
+    /**
+     * Convenience: acquire, hold for @p service, release, then run
+     * @p done_cb.
+     */
+    void use(SimTime service, EventQueue::Callback done_cb);
+
+    /** @return Servers currently held. */
+    unsigned busy() const { return _busy; }
+
+    /** @return Requests waiting for a server. */
+    std::size_t queueLength() const { return _waiting.size(); }
+
+    /** @return busy()+queueLength(): demand visible to newcomers. */
+    std::size_t
+    load() const
+    {
+        return _busy + _waiting.size();
+    }
+
+    /** @return Total grants so far. */
+    std::uint64_t grants() const { return _grants; }
+
+    /**
+     * @return Busy-server seconds integrated up to "now" (divide by
+     *         servers * elapsed for utilization).
+     */
+    double busySeconds() const;
+
+    /** @return Total time requests spent waiting, in seconds. */
+    double waitSeconds() const { return simToSec(_wait_integral); }
+
+    /** @return Diagnostic name. */
+    const std::string &name() const { return _name; }
+
+  private:
+    struct Waiter
+    {
+        EventQueue::Callback cb;
+        SimTime since;
+    };
+
+    void accumulate();
+
+    EventQueue &_eq;
+    std::string _name;
+    unsigned _servers;
+    unsigned _busy = 0;
+    std::deque<Waiter> _waiting;
+    std::uint64_t _grants = 0;
+    SimTime _busy_integral = 0; ///< busy-count * time, microseconds.
+    SimTime _wait_integral = 0;
+    SimTime _last_change = 0;
+};
+
+/** Counting semaphore over the event queue. */
+class SimSemaphore
+{
+  public:
+    /**
+     * @param eq      Owning event queue.
+     * @param initial Initial count.
+     */
+    SimSemaphore(EventQueue &eq, std::uint64_t initial)
+        : _eq(eq), _count(initial)
+    {
+    }
+
+    /** Acquire one unit; @p cb runs once a unit is held. */
+    void p(EventQueue::Callback cb);
+
+    /** Release one unit, waking the longest waiter. */
+    void v();
+
+    /** @return Currently available units. */
+    std::uint64_t count() const { return _count; }
+
+    /** @return Waiting acquirers. */
+    std::size_t waiting() const { return _waiting.size(); }
+
+  private:
+    EventQueue &_eq;
+    std::uint64_t _count;
+    std::deque<EventQueue::Callback> _waiting;
+};
+
+/**
+ * Simulated bounded FIFO of workload-entry indices with close
+ * semantics, mirroring pipeline/blocking_queue.hh.
+ */
+class SimQueue
+{
+  public:
+    /** Pop outcome delivered to the consumer callback. */
+    using PopCallback = std::function<void(bool ok, std::size_t item)>;
+
+    /**
+     * @param eq       Owning event queue.
+     * @param capacity Maximum queued items (>= 1).
+     */
+    SimQueue(EventQueue &eq, std::size_t capacity)
+        : _eq(eq), _capacity(capacity)
+    {
+    }
+
+    /** Enqueue @p item; @p done runs once space was available. */
+    void push(std::size_t item, EventQueue::Callback done);
+
+    /**
+     * Dequeue; @p cb receives (true, item) or (false, 0) once the
+     * queue is closed and drained.
+     */
+    void pop(PopCallback cb);
+
+    /** No further pushes; drain then fail waiting/future pops. */
+    void close();
+
+    /** @return Items currently queued. */
+    std::size_t size() const { return _items.size(); }
+
+  private:
+    void wakeConsumers();
+
+    EventQueue &_eq;
+    std::size_t _capacity;
+    std::deque<std::size_t> _items;
+    std::deque<EventQueue::Callback> _full_waiters; ///< Producers.
+    std::deque<PopCallback> _empty_waiters;         ///< Consumers.
+    bool _closed = false;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SIM_RESOURCE_HH

@@ -1,0 +1,61 @@
+#include "text/term_extractor.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+TermExtractor::TermExtractor(const FileSystem &fs, TokenizerOptions opts)
+    : _fs(fs), _tokenizer(opts)
+{
+}
+
+bool
+TermExtractor::extract(const FileEntry &file, TermBlock &block)
+{
+    block.doc = file.doc;
+    block.terms.clear();
+
+    if (!_fs.readFile(file.path, _content)) {
+        ++_stats.read_errors;
+        warn("TermExtractor: cannot read '" + file.path
+             + "', skipping");
+        return false;
+    }
+
+    _seen.clear();
+    _tokenizer.forEachToken(_content, [this, &block](
+                                          std::string_view term) {
+        ++_stats.tokens;
+        std::string owned(term);
+        if (_seen.insert(owned))
+            block.terms.push_back(std::move(owned));
+    });
+
+    ++_stats.files;
+    _stats.bytes += _content.size();
+    _stats.unique_terms += block.terms.size();
+    return true;
+}
+
+bool
+TermExtractor::extractOccurrences(const FileEntry &file,
+                                  std::vector<std::string> &terms)
+{
+    terms.clear();
+    if (!_fs.readFile(file.path, _content)) {
+        ++_stats.read_errors;
+        warn("TermExtractor: cannot read '" + file.path
+             + "', skipping");
+        return false;
+    }
+    _tokenizer.forEachToken(_content,
+                            [this, &terms](std::string_view term) {
+                                ++_stats.tokens;
+                                terms.emplace_back(term);
+                            });
+    ++_stats.files;
+    _stats.bytes += _content.size();
+    return true;
+}
+
+} // namespace dsearch

@@ -1,0 +1,15 @@
+#include "text/tokenizer.hh"
+
+namespace dsearch {
+
+std::vector<std::string>
+Tokenizer::tokens(std::string_view text)
+{
+    std::vector<std::string> out;
+    forEachToken(text, [&out](std::string_view term) {
+        out.emplace_back(term);
+    });
+    return out;
+}
+
+} // namespace dsearch

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ASCII term scanner (the core of Stage 2).
+ *
+ * The paper indexes plain ASCII text ("handling complex word processor
+ * formats directly in the term extractor would have been too
+ * distracting"), so terms are maximal runs of letters and digits,
+ * case-folded to lower case. The scanner is allocation-free: callers
+ * receive a string_view into an internal scratch buffer that is only
+ * valid for the duration of the callback.
+ */
+
+#ifndef DSEARCH_TEXT_TOKENIZER_HH
+#define DSEARCH_TEXT_TOKENIZER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/string_util.hh"
+
+namespace dsearch {
+
+/** Tokenizer behaviour knobs. */
+struct TokenizerOptions
+{
+    /** Tokens shorter than this are dropped. */
+    std::size_t min_length = 1;
+
+    /** Tokens longer than this are truncated (guards the index
+     *  against pathological inputs such as base64 blobs). */
+    std::size_t max_length = 64;
+
+    /** Fold ASCII upper case to lower case. */
+    bool fold_case = true;
+
+    /** Treat digits as term characters (else they split terms). */
+    bool include_digits = true;
+};
+
+/**
+ * Splits text into terms.
+ *
+ * Thread safety: each thread must use its own Tokenizer instance (the
+ * scratch buffer is per-instance state).
+ */
+class Tokenizer
+{
+  public:
+    explicit Tokenizer(TokenizerOptions opts = {}) : _opts(opts) {}
+
+    /** @return The options this tokenizer was built with. */
+    const TokenizerOptions &options() const { return _opts; }
+
+    /**
+     * Invoke @p fn once per term in @p text.
+     *
+     * The string_view argument points into an internal buffer and is
+     * invalidated by the next token; copy it if you keep it.
+     */
+    template <typename Fn>
+    void
+    forEachToken(std::string_view text, Fn &&fn)
+    {
+        std::size_t i = 0;
+        const std::size_t n = text.size();
+        while (i < n) {
+            // Skip separator bytes.
+            while (i < n && !isTermChar(text[i]))
+                ++i;
+            std::size_t start = i;
+            while (i < n && isTermChar(text[i]))
+                ++i;
+            std::size_t len = i - start;
+            if (len < _opts.min_length)
+                continue;
+            if (len > _opts.max_length)
+                len = _opts.max_length;
+            if (_opts.fold_case) {
+                _scratch.assign(text.data() + start, len);
+                for (char &c : _scratch)
+                    c = toLowerAscii(c);
+                fn(std::string_view(_scratch));
+            } else {
+                fn(text.substr(start, len));
+            }
+        }
+    }
+
+    /** Collect all terms as owned strings (convenience for tests). */
+    std::vector<std::string> tokens(std::string_view text);
+
+  private:
+    bool
+    isTermChar(char c) const
+    {
+        return isAsciiAlpha(c)
+               || (_opts.include_digits && isAsciiDigit(c));
+    }
+
+    TokenizerOptions _opts;
+    std::string _scratch;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_TEXT_TOKENIZER_HH

@@ -1,0 +1,150 @@
+#include "tune/config_space.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+ConfigSpace
+ConfigSpace::paperTable(Implementation impl, unsigned max_x,
+                        unsigned max_y, unsigned max_z)
+{
+    ConfigSpace space;
+    space.impl = impl;
+    space.min_extractors = 1;
+    space.max_extractors = max_x;
+    space.min_updaters = 1;
+    space.max_updaters = max_y;
+    if (impl == Implementation::ReplicatedJoin) {
+        space.min_joiners = 1;
+        space.max_joiners = max_z;
+    } else {
+        space.min_joiners = 0;
+        space.max_joiners = 0;
+    }
+    return space;
+}
+
+void
+ConfigSpace::validate() const
+{
+    if (impl == Implementation::Sequential)
+        fatal("ConfigSpace: nothing to tune for the sequential "
+              "baseline");
+    if (min_extractors == 0 || min_extractors > max_extractors)
+        fatal("ConfigSpace: bad extractor range");
+    if (min_updaters > max_updaters)
+        fatal("ConfigSpace: bad updater range");
+    if (impl == Implementation::ReplicatedJoin) {
+        if (min_joiners == 0 || min_joiners > max_joiners)
+            fatal("ConfigSpace: Implementation 2 needs z >= 1");
+    } else if (min_joiners != 0 || max_joiners != 0) {
+        fatal("ConfigSpace: joiners only apply to Implementation 2");
+    }
+    if (queue_capacity == 0)
+        fatal("ConfigSpace: queue capacity must be >= 1");
+}
+
+Config
+ConfigSpace::make(unsigned x, unsigned y, unsigned z) const
+{
+    Config cfg;
+    cfg.impl = impl;
+    cfg.extractors = x;
+    cfg.updaters = y;
+    cfg.joiners = z;
+    cfg.queue_capacity = queue_capacity;
+    return cfg;
+}
+
+std::vector<Config>
+ConfigSpace::enumerate() const
+{
+    validate();
+    std::vector<Config> configs;
+    configs.reserve(size());
+    for (unsigned x = min_extractors; x <= max_extractors; ++x) {
+        for (unsigned y = min_updaters; y <= max_updaters; ++y) {
+            if (impl == Implementation::ReplicatedJoin) {
+                for (unsigned z = min_joiners; z <= max_joiners; ++z)
+                    configs.push_back(make(x, y, z));
+            } else {
+                configs.push_back(make(x, y, 0));
+            }
+        }
+    }
+    return configs;
+}
+
+std::size_t
+ConfigSpace::size() const
+{
+    std::size_t x_span = max_extractors - min_extractors + 1;
+    std::size_t y_span = max_updaters - min_updaters + 1;
+    std::size_t z_span = impl == Implementation::ReplicatedJoin
+                             ? max_joiners - min_joiners + 1
+                             : 1;
+    return x_span * y_span * z_span;
+}
+
+bool
+ConfigSpace::contains(const Config &cfg) const
+{
+    if (cfg.impl != impl)
+        return false;
+    if (cfg.extractors < min_extractors
+        || cfg.extractors > max_extractors)
+        return false;
+    if (cfg.updaters < min_updaters || cfg.updaters > max_updaters)
+        return false;
+    if (impl == Implementation::ReplicatedJoin) {
+        if (cfg.joiners < min_joiners || cfg.joiners > max_joiners)
+            return false;
+    } else if (cfg.joiners != 0) {
+        return false;
+    }
+    return true;
+}
+
+Config
+ConfigSpace::randomConfig(Rng &rng) const
+{
+    validate();
+    unsigned x = static_cast<unsigned>(
+        rng.uniform(min_extractors, max_extractors));
+    unsigned y = static_cast<unsigned>(
+        rng.uniform(min_updaters, max_updaters));
+    unsigned z = 0;
+    if (impl == Implementation::ReplicatedJoin)
+        z = static_cast<unsigned>(
+            rng.uniform(min_joiners, max_joiners));
+    return make(x, y, z);
+}
+
+std::vector<Config>
+ConfigSpace::neighbors(const Config &cfg) const
+{
+    std::vector<Config> out;
+    auto try_add = [this, &out](int x, int y, int z) {
+        if (x < 0 || y < 0 || z < 0)
+            return;
+        Config candidate = make(static_cast<unsigned>(x),
+                                static_cast<unsigned>(y),
+                                static_cast<unsigned>(z));
+        if (contains(candidate))
+            out.push_back(candidate);
+    };
+    int x = static_cast<int>(cfg.extractors);
+    int y = static_cast<int>(cfg.updaters);
+    int z = static_cast<int>(cfg.joiners);
+    try_add(x - 1, y, z);
+    try_add(x + 1, y, z);
+    try_add(x, y - 1, z);
+    try_add(x, y + 1, z);
+    if (impl == Implementation::ReplicatedJoin) {
+        try_add(x, y, z - 1);
+        try_add(x, y, z + 1);
+    }
+    return out;
+}
+
+} // namespace dsearch

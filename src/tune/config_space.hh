@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Enumerable configuration space for the auto-tuner.
+ *
+ * The paper explored "any combination of thread counts" per
+ * implementation with the help of Schäfer et al.'s auto-tuner (which
+ * was C# and could not drive their C++ generator throughout). This
+ * reproduction carries its own tuner; a ConfigSpace describes the
+ * (x, y, z) box it searches for one implementation.
+ */
+
+#ifndef DSEARCH_TUNE_CONFIG_SPACE_HH
+#define DSEARCH_TUNE_CONFIG_SPACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+
+/** Axis-aligned box of valid configurations; see the file comment. */
+struct ConfigSpace
+{
+    Implementation impl = Implementation::SharedLocked;
+
+    unsigned min_extractors = 1;
+    unsigned max_extractors = 8;
+
+    unsigned min_updaters = 0;
+    unsigned max_updaters = 6;
+
+    /** Joiner range; only meaningful for Implementation 2. */
+    unsigned min_joiners = 1;
+    unsigned max_joiners = 2;
+
+    /** Queue capacity used by every generated config. */
+    std::size_t queue_capacity = 256;
+
+    /**
+     * The sweep used for the paper's Tables 2-4: x in [1, max_x],
+     * y in [1, max_y] (the paper's tuned system always had dedicated
+     * updater threads), z in [1, max_z] for Implementation 2.
+     */
+    static ConfigSpace paperTable(Implementation impl, unsigned max_x,
+                                  unsigned max_y, unsigned max_z);
+
+    /** All configurations, x-major then y then z (deterministic). */
+    std::vector<Config> enumerate() const;
+
+    /** @return Number of configurations in the box. */
+    std::size_t size() const;
+
+    /** @return True when @p cfg lies inside the box. */
+    bool contains(const Config &cfg) const;
+
+    /** Uniform random configuration from the box. */
+    Config randomConfig(Rng &rng) const;
+
+    /**
+     * Axis neighbours of @p cfg (each thread count +-1, clipped to
+     * the box), for hill climbing.
+     */
+    std::vector<Config> neighbors(const Config &cfg) const;
+
+    /** fatal() when the box is empty or inconsistent. */
+    void validate() const;
+
+  private:
+    Config make(unsigned x, unsigned y, unsigned z) const;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_TUNE_CONFIG_SPACE_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fowler/Noll/Vo hash functions.
+ *
+ * The paper's index uses a Boost hash map and hash set with the FNV1
+ * hash function (reference [3] in the paper, Landon Curt Noll's page).
+ * Both the historical FNV-1 and the recommended FNV-1a variants are
+ * provided, in 32- and 64-bit widths, all constexpr.
+ */
+
+#ifndef DSEARCH_UTIL_FNV_HASH_HH
+#define DSEARCH_UTIL_FNV_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace dsearch {
+
+/// FNV offset basis, 32-bit.
+inline constexpr std::uint32_t fnv32_offset = 0x811c9dc5u;
+/// FNV prime, 32-bit.
+inline constexpr std::uint32_t fnv32_prime = 0x01000193u;
+/// FNV offset basis, 64-bit.
+inline constexpr std::uint64_t fnv64_offset = 0xcbf29ce484222325ull;
+/// FNV prime, 64-bit.
+inline constexpr std::uint64_t fnv64_prime = 0x00000100000001b3ull;
+
+/**
+ * FNV-1 over a byte range (multiply, then xor), 32-bit.
+ *
+ * @param data Bytes to hash.
+ * @param size Number of bytes.
+ * @return 32-bit hash value.
+ */
+constexpr std::uint32_t
+fnv1_32(const char *data, std::size_t size)
+{
+    std::uint32_t h = fnv32_offset;
+    for (std::size_t i = 0; i < size; ++i) {
+        h *= fnv32_prime;
+        h ^= static_cast<std::uint8_t>(data[i]);
+    }
+    return h;
+}
+
+/** FNV-1a over a byte range (xor, then multiply), 32-bit. */
+constexpr std::uint32_t
+fnv1a_32(const char *data, std::size_t size)
+{
+    std::uint32_t h = fnv32_offset;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<std::uint8_t>(data[i]);
+        h *= fnv32_prime;
+    }
+    return h;
+}
+
+/** FNV-1 over a byte range, 64-bit. */
+constexpr std::uint64_t
+fnv1_64(const char *data, std::size_t size)
+{
+    std::uint64_t h = fnv64_offset;
+    for (std::size_t i = 0; i < size; ++i) {
+        h *= fnv64_prime;
+        h ^= static_cast<std::uint8_t>(data[i]);
+    }
+    return h;
+}
+
+/** FNV-1a over a byte range, 64-bit. */
+constexpr std::uint64_t
+fnv1a_64(const char *data, std::size_t size)
+{
+    std::uint64_t h = fnv64_offset;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<std::uint8_t>(data[i]);
+        h *= fnv64_prime;
+    }
+    return h;
+}
+
+/** Convenience overloads for string views. */
+constexpr std::uint32_t
+fnv1_32(std::string_view s)
+{
+    return fnv1_32(s.data(), s.size());
+}
+
+constexpr std::uint32_t
+fnv1a_32(std::string_view s)
+{
+    return fnv1a_32(s.data(), s.size());
+}
+
+constexpr std::uint64_t
+fnv1_64(std::string_view s)
+{
+    return fnv1_64(s.data(), s.size());
+}
+
+constexpr std::uint64_t
+fnv1a_64(std::string_view s)
+{
+    return fnv1a_64(s.data(), s.size());
+}
+
+/**
+ * Default hash functor for dsearch containers.
+ *
+ * Strings hash their characters with FNV-1a (64-bit); trivially
+ * copyable scalar types hash their object representation the same way,
+ * which is what the original Boost-based index effectively did.
+ */
+template <typename Key>
+struct FnvHash
+{
+    std::size_t
+    operator()(const Key &key) const
+    {
+        if constexpr (std::is_convertible_v<const Key &,
+                                            std::string_view>) {
+            return static_cast<std::size_t>(
+                fnv1a_64(std::string_view(key)));
+        } else {
+            static_assert(std::is_trivially_copyable_v<Key>,
+                          "FnvHash requires string-like or trivially "
+                          "copyable keys");
+            char bytes[sizeof(Key)] = {};
+            __builtin_memcpy(bytes, &key, sizeof(Key));
+            return static_cast<std::size_t>(fnv1a_64(bytes, sizeof(Key)));
+        }
+    }
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_FNV_HASH_HH

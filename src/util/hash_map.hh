@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Open-addressing hash map used for the inverted index.
+ *
+ * The paper implements its index with the Boost hash map and the FNV1
+ * hash function. To keep the reproduction self-contained this is a
+ * from-scratch open-addressing table: power-of-two capacity, linear
+ * probing, and backward-shift deletion (no tombstones), with FnvHash
+ * as the default hash functor.
+ *
+ * Requirements: Key and Value must be default-constructible and
+ * movable. Iterators are invalidated by insert(), erase() and
+ * rehashing. The container is not thread safe; concurrent use is
+ * coordinated by the index layer (see index/shared_index.hh).
+ */
+
+#ifndef DSEARCH_UTIL_HASH_MAP_HH
+#define DSEARCH_UTIL_HASH_MAP_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/fnv_hash.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+/**
+ * Hash map with open addressing and linear probing.
+ *
+ * @tparam Key   Key type (default-constructible, movable, equality
+ *               comparable).
+ * @tparam Value Mapped type (default-constructible, movable).
+ * @tparam Hash  Hash functor; defaults to FNV-1a via FnvHash.
+ */
+template <typename Key, typename Value, typename Hash = FnvHash<Key>>
+class HashMap
+{
+  public:
+    /** One table slot; exposed (read-only key) through iterators. */
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool occupied = false;
+    };
+
+    /** Minimum non-empty table size; always a power of two. */
+    static constexpr std::size_t minCapacity = 16;
+
+    HashMap() = default;
+
+    /**
+     * Construct with room for at least @p expected elements without
+     * rehashing.
+     */
+    explicit
+    HashMap(std::size_t expected)
+    {
+        reserve(expected);
+    }
+
+    /** @return Number of elements stored. */
+    std::size_t size() const { return _size; }
+
+    /** @return True when the map holds no elements. */
+    bool empty() const { return _size == 0; }
+
+    /** @return Current number of slots (0 until first insert). */
+    std::size_t capacity() const { return _slots.size(); }
+
+    /** @return Occupied fraction of the table, 0 when empty. */
+    double
+    loadFactor() const
+    {
+        return _slots.empty()
+            ? 0.0
+            : static_cast<double>(_size)
+                  / static_cast<double>(_slots.size());
+    }
+
+    /** Remove all elements, keeping the allocated table. */
+    void
+    clear()
+    {
+        for (Slot &slot : _slots)
+            slot = Slot{};
+        _size = 0;
+    }
+
+    /**
+     * Ensure capacity for @p expected elements without rehashing.
+     */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t needed = minCapacity;
+        while (needed * maxLoadNum < expected * maxLoadDen)
+            needed <<= 1;
+        if (needed > _slots.size())
+            rehash(needed);
+    }
+
+    /**
+     * Insert a key/value pair if the key is absent.
+     *
+     * @return True if inserted, false if the key already existed (the
+     *         stored value is left untouched).
+     */
+    bool
+    insert(const Key &key, Value value)
+    {
+        growIfNeeded();
+        std::size_t pos = probe(key);
+        if (_slots[pos].occupied)
+            return false;
+        place(pos, key, std::move(value));
+        return true;
+    }
+
+    /**
+     * Find or default-construct the value for @p key.
+     *
+     * Mirrors std::unordered_map::operator[].
+     */
+    Value &
+    operator[](const Key &key)
+    {
+        growIfNeeded();
+        std::size_t pos = probe(key);
+        if (!_slots[pos].occupied)
+            place(pos, key, Value{});
+        return _slots[pos].value;
+    }
+
+    /**
+     * Look up @p key.
+     *
+     * @return Pointer to the mapped value, or nullptr when absent.
+     */
+    Value *
+    find(const Key &key)
+    {
+        if (_slots.empty())
+            return nullptr;
+        std::size_t pos = probe(key);
+        return _slots[pos].occupied ? &_slots[pos].value : nullptr;
+    }
+
+    /** Const overload of find(). */
+    const Value *
+    find(const Key &key) const
+    {
+        if (_slots.empty())
+            return nullptr;
+        std::size_t pos = probe(key);
+        return _slots[pos].occupied ? &_slots[pos].value : nullptr;
+    }
+
+    /** @return True when @p key is present. */
+    bool contains(const Key &key) const { return find(key) != nullptr; }
+
+    /**
+     * Remove @p key using backward-shift deletion.
+     *
+     * @return True if an element was removed.
+     */
+    bool
+    erase(const Key &key)
+    {
+        if (_slots.empty())
+            return false;
+        std::size_t hole = probe(key);
+        if (!_slots[hole].occupied)
+            return false;
+
+        // Shift the following probe-chain entries back over the hole
+        // so lookups never need tombstones.
+        std::size_t mask = _slots.size() - 1;
+        std::size_t next = (hole + 1) & mask;
+        while (_slots[next].occupied) {
+            std::size_t home = bucketOf(_slots[next].key);
+            // The entry can fill the hole iff its home bucket lies at
+            // or before the hole along its probe path.
+            if (((next - home) & mask) >= ((next - hole) & mask)) {
+                _slots[hole] = std::move(_slots[next]);
+                _slots[next] = Slot{};
+                hole = next;
+            }
+            next = (next + 1) & mask;
+        }
+        _slots[hole] = Slot{};
+        --_size;
+        return true;
+    }
+
+    /**
+     * Forward iterator over occupied slots.
+     *
+     * Dereferences to a Slot with a key that must not be modified.
+     */
+    template <bool Const>
+    class IteratorImpl
+    {
+      public:
+        using table_type =
+            std::conditional_t<Const, const HashMap, HashMap>;
+        using slot_type = std::conditional_t<Const, const Slot, Slot>;
+
+        IteratorImpl(table_type *table, std::size_t pos)
+            : _table(table), _pos(pos)
+        {
+            skipEmpty();
+        }
+
+        slot_type &operator*() const { return _table->_slots[_pos]; }
+        slot_type *operator->() const { return &_table->_slots[_pos]; }
+
+        IteratorImpl &
+        operator++()
+        {
+            ++_pos;
+            skipEmpty();
+            return *this;
+        }
+
+        bool
+        operator==(const IteratorImpl &other) const
+        {
+            return _table == other._table && _pos == other._pos;
+        }
+
+      private:
+        void
+        skipEmpty()
+        {
+            while (_pos < _table->_slots.size()
+                   && !_table->_slots[_pos].occupied) {
+                ++_pos;
+            }
+        }
+
+        table_type *_table;
+        std::size_t _pos;
+    };
+
+    using iterator = IteratorImpl<false>;
+    using const_iterator = IteratorImpl<true>;
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, _slots.size()); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const
+    {
+        return const_iterator(this, _slots.size());
+    }
+
+  private:
+    // Grow at 5/8 occupancy. Linear probing degrades sharply with
+    // load: expected probes per insert are ~4 at 0.625 but ~32 at
+    // 0.875, and the benchmark corpus pushes every table through its
+    // growth threshold repeatedly.
+    static constexpr std::size_t maxLoadNum = 5;
+    static constexpr std::size_t maxLoadDen = 8;
+
+    std::size_t
+    bucketOf(const Key &key) const
+    {
+        return _hash(key) & (_slots.size() - 1);
+    }
+
+    /**
+     * Probe for @p key.
+     *
+     * @return Index of the slot holding the key, or of the first empty
+     *         slot on its probe path.
+     */
+    std::size_t
+    probe(const Key &key) const
+    {
+        std::size_t mask = _slots.size() - 1;
+        std::size_t pos = bucketOf(key);
+        while (_slots[pos].occupied && !(_slots[pos].key == key))
+            pos = (pos + 1) & mask;
+        return pos;
+    }
+
+    void
+    place(std::size_t pos, const Key &key, Value value)
+    {
+        _slots[pos].key = key;
+        _slots[pos].value = std::move(value);
+        _slots[pos].occupied = true;
+        ++_size;
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (_slots.empty()) {
+            rehash(minCapacity);
+            return;
+        }
+        if ((_size + 1) * maxLoadDen > _slots.size() * maxLoadNum)
+            rehash(_slots.size() * 2);
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        if ((new_capacity & (new_capacity - 1)) != 0)
+            panic("HashMap capacity must be a power of two");
+        std::vector<Slot> old = std::move(_slots);
+        _slots.assign(new_capacity, Slot{});
+        _size = 0;
+        for (Slot &slot : old) {
+            if (slot.occupied) {
+                std::size_t pos = probe(slot.key);
+                place(pos, std::move(slot.key), std::move(slot.value));
+            }
+        }
+    }
+
+    std::vector<Slot> _slots;
+    std::size_t _size = 0;
+    Hash _hash{};
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_HASH_MAP_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hash set built on the open-addressing HashMap.
+ *
+ * The paper's term extractors eliminate per-file duplicate terms with
+ * a Boost hash set (FNV1 hashing); this adapter provides the same role
+ * on top of dsearch's own table.
+ */
+
+#ifndef DSEARCH_UTIL_HASH_SET_HH
+#define DSEARCH_UTIL_HASH_SET_HH
+
+#include <cstddef>
+
+#include "util/hash_map.hh"
+
+namespace dsearch {
+
+/**
+ * Unordered set of keys with FNV hashing.
+ *
+ * @tparam Key  Element type (default-constructible, movable).
+ * @tparam Hash Hash functor; defaults to FnvHash.
+ */
+template <typename Key, typename Hash = FnvHash<Key>>
+class HashSet
+{
+  public:
+    /** Zero-size mapped type for the underlying map slots. */
+    struct Empty {};
+
+    using map_type = HashMap<Key, Empty, Hash>;
+
+    HashSet() = default;
+
+    /** Construct with room for @p expected elements. */
+    explicit HashSet(std::size_t expected) : _map(expected) {}
+
+    /** @return Number of elements stored. */
+    std::size_t size() const { return _map.size(); }
+
+    /** @return True when the set is empty. */
+    bool empty() const { return _map.empty(); }
+
+    /** Remove all elements, keeping the allocated table. */
+    void clear() { _map.clear(); }
+
+    /** Ensure capacity for @p expected elements without rehashing. */
+    void reserve(std::size_t expected) { _map.reserve(expected); }
+
+    /**
+     * Insert @p key.
+     *
+     * @return True if the key was new.
+     */
+    bool insert(const Key &key) { return _map.insert(key, Empty{}); }
+
+    /** @return True when @p key is present. */
+    bool contains(const Key &key) const { return _map.contains(key); }
+
+    /**
+     * Remove @p key.
+     *
+     * @return True if an element was removed.
+     */
+    bool erase(const Key &key) { return _map.erase(key); }
+
+    /**
+     * Iterator over elements; dereferences to the underlying map slot
+     * whose `key` member is the element.
+     */
+    using const_iterator = typename map_type::const_iterator;
+
+    const_iterator begin() const { return _map.begin(); }
+    const_iterator end() const { return _map.end(); }
+
+  private:
+    map_type _map;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_HASH_SET_HH

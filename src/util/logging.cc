@@ -1,0 +1,91 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace dsearch {
+
+namespace {
+
+/** Guards the sink and level; log calls may race across threads. */
+std::mutex log_mutex;
+LogLevel log_level = LogLevel::Info;
+LogSink log_sink;
+
+void
+emitDefault(LogLevel level, const std::string &msg)
+{
+    const char *tag = level == LogLevel::Warn ? "warn" : "info";
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    LogSink sink;
+    {
+        std::scoped_lock lock(log_mutex);
+        if (static_cast<int>(level) > static_cast<int>(log_level))
+            return;
+        sink = log_sink;
+    }
+    if (sink)
+        sink(level, msg);
+    else
+        emitDefault(level, msg);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    std::scoped_lock lock(log_mutex);
+    log_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    std::scoped_lock lock(log_mutex);
+    return log_level;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::scoped_lock lock(log_mutex);
+    LogSink old = std::move(log_sink);
+    log_sink = std::move(sink);
+    return old;
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    emit(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    emit(LogLevel::Info, msg);
+}
+
+} // namespace dsearch

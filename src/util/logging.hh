@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status and error reporting for the dsearch library.
+ *
+ * Follows the gem5 convention: panic() marks internal bugs (conditions
+ * that must never happen regardless of user input) and aborts; fatal()
+ * marks unrecoverable user errors (bad configuration, missing files)
+ * and exits with status 1; warn() and inform() report conditions the
+ * user should know about without stopping the program.
+ *
+ * All non-fatal messages flow through a replaceable sink so tests can
+ * capture them.
+ */
+
+#ifndef DSEARCH_UTIL_LOGGING_HH
+#define DSEARCH_UTIL_LOGGING_HH
+
+#include <functional>
+#include <string>
+
+namespace dsearch {
+
+/** Severity of a log message, ordered from most to least severe. */
+enum class LogLevel {
+    Silent, ///< Suppress everything below panic/fatal.
+    Error,  ///< Only error text from panic/fatal paths.
+    Warn,   ///< Warnings and above.
+    Info    ///< Everything, including inform().
+};
+
+/**
+ * Set the global verbosity threshold.
+ *
+ * @param level Messages less severe than this are dropped.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return The current global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Replaceable destination for warn()/inform() messages.
+ *
+ * The sink receives the severity and the fully formatted message
+ * (without trailing newline).
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install a log sink, returning the previous one.
+ *
+ * Passing an empty function restores the default stderr sink. Intended
+ * for tests that assert on emitted warnings.
+ */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use for conditions that indicate a bug in dsearch itself, never for
+ * bad user input.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ *
+ * Use for bad configuration, unreadable inputs, and similar conditions
+ * that are the caller's fault rather than a library bug.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a suspicious but survivable condition. */
+void warn(const std::string &msg);
+
+/** Report normal operating status. */
+void inform(const std::string &msg);
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_LOGGING_HH

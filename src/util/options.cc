@@ -1,0 +1,209 @@
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+OptionParser::OptionParser(std::string program, std::string description)
+    : _program(std::move(program)), _description(std::move(description))
+{
+}
+
+void
+OptionParser::addFlag(const std::string &name, const std::string &help,
+                      bool default_value)
+{
+    Option opt;
+    opt.name = name;
+    opt.help = help;
+    opt.kind = Kind::Flag;
+    opt.bool_value = default_value;
+    _options.push_back(std::move(opt));
+}
+
+void
+OptionParser::addInt(const std::string &name, const std::string &help,
+                     std::int64_t default_value)
+{
+    Option opt;
+    opt.name = name;
+    opt.help = help;
+    opt.kind = Kind::Int;
+    opt.int_value = default_value;
+    _options.push_back(std::move(opt));
+}
+
+void
+OptionParser::addDouble(const std::string &name, const std::string &help,
+                        double default_value)
+{
+    Option opt;
+    opt.name = name;
+    opt.help = help;
+    opt.kind = Kind::Double;
+    opt.double_value = default_value;
+    _options.push_back(std::move(opt));
+}
+
+void
+OptionParser::addString(const std::string &name, const std::string &help,
+                        std::string default_value)
+{
+    Option opt;
+    opt.name = name;
+    opt.help = help;
+    opt.kind = Kind::String;
+    opt.string_value = std::move(default_value);
+    _options.push_back(std::move(opt));
+}
+
+OptionParser::Option *
+OptionParser::findOption(const std::string &name)
+{
+    for (Option &opt : _options)
+        if (opt.name == name)
+            return &opt;
+    return nullptr;
+}
+
+const OptionParser::Option &
+OptionParser::requireOption(const std::string &name, Kind kind) const
+{
+    for (const Option &opt : _options) {
+        if (opt.name == name) {
+            if (opt.kind != kind)
+                panic("option --" + name + " queried with wrong type");
+            return opt;
+        }
+    }
+    panic("option --" + name + " was never registered");
+}
+
+void
+OptionParser::assign(Option &opt, const std::string &text)
+{
+    char *end = nullptr;
+    switch (opt.kind) {
+      case Kind::Flag:
+        panic("flag --" + opt.name + " does not take a value");
+      case Kind::Int:
+        opt.int_value = std::strtoll(text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            fatal("option --" + opt.name + " expects an integer, got '"
+                  + text + "'");
+        break;
+      case Kind::Double:
+        opt.double_value = std::strtod(text.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fatal("option --" + opt.name + " expects a number, got '"
+                  + text + "'");
+        break;
+      case Kind::String:
+        opt.string_value = text;
+        break;
+    }
+}
+
+void
+OptionParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(helpText().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            _positional.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        Option *opt = findOption(name);
+        if (opt == nullptr)
+            fatal("unknown option --" + name + " (try --help)");
+        if (opt->kind == Kind::Flag) {
+            if (has_value)
+                fatal("flag --" + name + " does not take a value");
+            opt->bool_value = true;
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                fatal("option --" + name + " needs a value");
+            value = argv[++i];
+        }
+        assign(*opt, value);
+    }
+}
+
+bool
+OptionParser::flag(const std::string &name) const
+{
+    return requireOption(name, Kind::Flag).bool_value;
+}
+
+std::int64_t
+OptionParser::intValue(const std::string &name) const
+{
+    return requireOption(name, Kind::Int).int_value;
+}
+
+double
+OptionParser::doubleValue(const std::string &name) const
+{
+    return requireOption(name, Kind::Double).double_value;
+}
+
+const std::string &
+OptionParser::stringValue(const std::string &name) const
+{
+    return requireOption(name, Kind::String).string_value;
+}
+
+const std::vector<std::string> &
+OptionParser::positional() const
+{
+    return _positional;
+}
+
+std::string
+OptionParser::helpText() const
+{
+    std::ostringstream oss;
+    oss << _program << " - " << _description << "\n\nOptions:\n";
+    for (const Option &opt : _options) {
+        oss << "  --" << opt.name;
+        switch (opt.kind) {
+          case Kind::Flag:
+            oss << " (flag, default "
+                << (opt.bool_value ? "on" : "off") << ")";
+            break;
+          case Kind::Int:
+            oss << " <int, default " << opt.int_value << ">";
+            break;
+          case Kind::Double:
+            oss << " <num, default " << opt.double_value << ">";
+            break;
+          case Kind::String:
+            oss << " <str, default '" << opt.string_value << "'>";
+            break;
+        }
+        oss << "\n      " << opt.help << "\n";
+    }
+    oss << "  --help\n      Show this message.\n";
+    return oss.str();
+}
+
+} // namespace dsearch

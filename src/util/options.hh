@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal command-line option parser for the example programs and
+ * benchmark harnesses.
+ *
+ * Supports `--name value`, `--name=value`, boolean flags (`--verbose`)
+ * and `--help`. Unknown options are fatal (user error), so typos never
+ * silently fall back to defaults.
+ */
+
+#ifndef DSEARCH_UTIL_OPTIONS_HH
+#define DSEARCH_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsearch {
+
+/** Declarative command-line parser; register options, then parse(). */
+class OptionParser
+{
+  public:
+    /**
+     * @param program     Program name for the usage line.
+     * @param description One-line summary printed by --help.
+     */
+    OptionParser(std::string program, std::string description);
+
+    /** Register a boolean flag (present => true). */
+    void addFlag(const std::string &name, const std::string &help,
+                 bool default_value = false);
+
+    /** Register an integer option. */
+    void addInt(const std::string &name, const std::string &help,
+                std::int64_t default_value);
+
+    /** Register a floating-point option. */
+    void addDouble(const std::string &name, const std::string &help,
+                   double default_value);
+
+    /** Register a string option. */
+    void addString(const std::string &name, const std::string &help,
+                   std::string default_value);
+
+    /**
+     * Parse the command line.
+     *
+     * Exits with a usage message on `--help`; calls fatal() on unknown
+     * or malformed options. Non-option arguments are collected into
+     * positional().
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** @return Value of a registered flag. */
+    bool flag(const std::string &name) const;
+
+    /** @return Value of a registered integer option. */
+    std::int64_t intValue(const std::string &name) const;
+
+    /** @return Value of a registered double option. */
+    double doubleValue(const std::string &name) const;
+
+    /** @return Value of a registered string option. */
+    const std::string &stringValue(const std::string &name) const;
+
+    /** @return Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const;
+
+    /** @return The generated --help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { Flag, Int, Double, String };
+
+    struct Option
+    {
+        std::string name;
+        std::string help;
+        Kind kind;
+        bool bool_value = false;
+        std::int64_t int_value = 0;
+        double double_value = 0.0;
+        std::string string_value;
+    };
+
+    Option *findOption(const std::string &name);
+    const Option &requireOption(const std::string &name,
+                                Kind kind) const;
+    void assign(Option &opt, const std::string &text);
+
+    std::string _program;
+    std::string _description;
+    std::vector<Option> _options;
+    std::vector<std::string> _positional;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_OPTIONS_HH

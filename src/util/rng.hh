@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Synthetic corpora must be reproducible across runs and platforms, so
+ * dsearch carries its own generator instead of relying on unspecified
+ * standard-library engines: SplitMix64 for seeding and xoshiro256**
+ * for the stream. The class satisfies UniformRandomBitGenerator, so it
+ * also works with <algorithm> shuffles.
+ */
+
+#ifndef DSEARCH_UTIL_RNG_HH
+#define DSEARCH_UTIL_RNG_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+/**
+ * SplitMix64 step; used to expand a single seed into generator state.
+ *
+ * @param state Seed state, advanced in place.
+ * @return Next 64-bit output.
+ */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator (Blackman & Vigna), deterministic across
+ * platforms.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded with SplitMix64. */
+    explicit
+    Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull)
+    {
+        std::uint64_t sm = seed;
+        for (std::uint64_t &word : _state)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** @return Next raw 64-bit value. */
+    result_type
+    operator()()
+    {
+        return nextU64();
+    }
+
+    /** @return Next raw 64-bit value. */
+    std::uint64_t
+    nextU64()
+    {
+        std::uint64_t *s = _state;
+        std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** @return Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Uniform integer in the inclusive range [lo, hi].
+     *
+     * Uses Lemire's multiply-shift rejection method, so results are
+     * unbiased.
+     */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::uniform: lo > hi");
+        std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 2^64 range
+            return nextU64();
+        // Rejection sampling on the top bits.
+        std::uint64_t threshold = (0 - span) % span;
+        while (true) {
+            std::uint64_t r = nextU64();
+            __uint128_t m = static_cast<__uint128_t>(r) * span;
+            if (static_cast<std::uint64_t>(m) >= threshold)
+                return lo + static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Split off an independent child generator.
+     *
+     * Parallel corpus writers each take a split so their streams never
+     * overlap regardless of scheduling.
+     */
+    Rng
+    split()
+    {
+        return Rng(nextU64() ^ 0xa02e90f9d0e0497bull);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_RNG_HH

@@ -1,0 +1,79 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+namespace dsearch {
+
+void
+RunningStat::push(double x)
+{
+    ++_count;
+    _sum += x;
+    if (_count == 1) {
+        _mean = x;
+        _m2 = 0.0;
+        _min = x;
+        _max = x;
+        return;
+    }
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+    if (x < _min)
+        _min = x;
+    if (x > _max)
+        _max = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::clear()
+{
+    *this = RunningStat{};
+}
+
+Summary
+summarize(const std::vector<double> &sample)
+{
+    RunningStat stat;
+    for (double x : sample)
+        stat.push(x);
+    Summary s;
+    s.count = stat.count();
+    s.mean = stat.mean();
+    s.stddev = stat.stddev();
+    s.min = stat.min();
+    s.max = stat.max();
+    return s;
+}
+
+double
+speedup(double baseline_sec, double measured_sec)
+{
+    if (measured_sec <= 0.0)
+        return 0.0;
+    return baseline_sec / measured_sec;
+}
+
+double
+percentDelta(double value, double reference)
+{
+    if (reference <= 0.0)
+        return 0.0;
+    return (value - reference) / reference * 100.0;
+}
+
+} // namespace dsearch

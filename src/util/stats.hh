@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Statistics helpers for repeated-run measurements.
+ *
+ * The paper reports, for each configuration, the average of five runs
+ * plus a "variance" column expressing the speed-up delta relative to
+ * Implementation 1 in percent. These helpers compute both.
+ */
+
+#ifndef DSEARCH_UTIL_STATS_HH
+#define DSEARCH_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dsearch {
+
+/**
+ * Incremental mean/variance accumulator (Welford's algorithm).
+ *
+ * Numerically stable for long observation streams; used by the DES
+ * resources and the benchmark harnesses alike.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    /** @return Number of observations so far. */
+    std::size_t count() const { return _count; }
+
+    /** @return Arithmetic mean, 0 when empty. */
+    double mean() const { return _mean; }
+
+    /** @return Unbiased sample variance, 0 with < 2 observations. */
+    double variance() const;
+
+    /** @return Sample standard deviation. */
+    double stddev() const;
+
+    /** @return Smallest observation, 0 when empty. */
+    double min() const { return _count ? _min : 0.0; }
+
+    /** @return Largest observation, 0 when empty. */
+    double max() const { return _count ? _max : 0.0; }
+
+    /** @return Sum of all observations. */
+    double sum() const { return _sum; }
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    std::size_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Five-number-style summary of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Summarize a sample in one pass. */
+Summary summarize(const std::vector<double> &sample);
+
+/**
+ * Speed-up of a measured time against a baseline time.
+ *
+ * @param baseline_sec Sequential (or reference) execution time.
+ * @param measured_sec Parallel execution time.
+ * @return baseline / measured; 0 when measured is non-positive.
+ */
+double speedup(double baseline_sec, double measured_sec);
+
+/**
+ * The paper's "variance" column: percentage difference of @p value
+ * against @p reference ((value - reference) / reference * 100).
+ *
+ * @return Signed percentage; 0 when the reference is non-positive.
+ */
+double percentDelta(double value, double reference);
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_STATS_HH

@@ -1,0 +1,88 @@
+#include "util/string_util.hh"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace dsearch {
+
+std::string
+toLowerAscii(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(toLowerAscii(c));
+    return out;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    auto is_space = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && is_space(s[begin]))
+        ++begin;
+    while (end > begin && is_space(s[end - 1]))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos)
+            pos = s.size();
+        if (pos > start)
+            fields.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[64];
+    if (unit == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", value, units[unit]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+    return buf;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    return buf;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace dsearch

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small string helpers shared across the library: ASCII case folding
+ * for the tokenizer, splitting/trimming for the query parser and CLI,
+ * and human-readable byte/duration formatting for reports.
+ */
+
+#ifndef DSEARCH_UTIL_STRING_UTIL_HH
+#define DSEARCH_UTIL_STRING_UTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsearch {
+
+/** @return True for ASCII 'a'-'z' or 'A'-'Z'. */
+constexpr bool
+isAsciiAlpha(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+/** @return True for ASCII '0'-'9'. */
+constexpr bool
+isAsciiDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/** @return The lower-case form of an ASCII letter, else @p c. */
+constexpr char
+toLowerAscii(char c)
+{
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/** Lower-case a whole string (ASCII only, locale independent). */
+std::string toLowerAscii(std::string_view s);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/**
+ * Split @p s on @p sep, omitting empty fields.
+ *
+ * @param s   Input string.
+ * @param sep Separator character.
+ */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Format a byte count as "869.0 MiB"-style text. */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a duration in seconds as "46.7 s" / "12.3 ms" text. */
+std::string formatDuration(double seconds);
+
+/** Format a double with fixed precision (no locale surprises). */
+std::string formatDouble(double value, int precision);
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_STRING_UTIL_HH

@@ -1,0 +1,125 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+Table::Table(std::string title) : _title(std::move(title)) {}
+
+void
+Table::setColumns(std::vector<std::string> headers)
+{
+    _headers = std::move(headers);
+    _aligns.assign(_headers.size(), Align::Right);
+    if (!_aligns.empty())
+        _aligns[0] = Align::Left;
+    _rows.clear();
+}
+
+void
+Table::setAlignments(std::vector<Align> alignments)
+{
+    if (alignments.size() != _headers.size())
+        panic("Table::setAlignments: alignment/column count mismatch");
+    _aligns = std::move(alignments);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        panic("Table::addRow: cell/column count mismatch");
+    _rows.push_back(Row{std::move(cells), false});
+}
+
+void
+Table::addSeparator()
+{
+    _rows.push_back(Row{{}, true});
+}
+
+std::size_t
+Table::rowCount() const
+{
+    std::size_t n = 0;
+    for (const Row &row : _rows)
+        if (!row.separator)
+            ++n;
+    return n;
+}
+
+namespace {
+
+void
+renderRule(std::ostream &os, const std::vector<std::size_t> &widths)
+{
+    os << '+';
+    for (std::size_t w : widths)
+        os << std::string(w + 2, '-') << '+';
+    os << '\n';
+}
+
+void
+renderCells(std::ostream &os, const std::vector<std::string> &cells,
+            const std::vector<std::size_t> &widths,
+            const std::vector<Align> &aligns)
+{
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string &cell = i < cells.size() ? cells[i] : "";
+        std::size_t pad = widths[i] - cell.size();
+        os << ' ';
+        if (aligns[i] == Align::Right)
+            os << std::string(pad, ' ') << cell;
+        else
+            os << cell << std::string(pad, ' ');
+        os << " |";
+    }
+    os << '\n';
+}
+
+} // namespace
+
+void
+Table::render(std::ostream &os) const
+{
+    if (_headers.empty())
+        panic("Table::render: no columns defined");
+
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t i = 0; i < _headers.size(); ++i)
+        widths[i] = _headers[i].size();
+    for (const Row &row : _rows) {
+        if (row.separator)
+            continue;
+        for (std::size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+
+    if (!_title.empty())
+        os << _title << '\n';
+    renderRule(os, widths);
+    renderCells(os, _headers, widths, _aligns);
+    renderRule(os, widths);
+    for (const Row &row : _rows) {
+        if (row.separator)
+            renderRule(os, widths);
+        else
+            renderCells(os, row.cells, widths, _aligns);
+    }
+    renderRule(os, widths);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    render(oss);
+    return oss.str();
+}
+
+} // namespace dsearch

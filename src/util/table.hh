@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ASCII table renderer.
+ *
+ * Every benchmark harness prints its results in the same row/column
+ * layout as the paper's tables, so reproduction output can be compared
+ * against the publication side by side.
+ */
+
+#ifndef DSEARCH_UTIL_TABLE_HH
+#define DSEARCH_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsearch {
+
+/** Horizontal alignment of a table column. */
+enum class Align { Left, Right };
+
+/**
+ * Simple monospace table with a title, column headers and string
+ * cells. Column widths are computed from content at render time.
+ */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title);
+
+    /**
+     * Define the columns.
+     *
+     * Must be called before addRow(); resets any existing rows.
+     *
+     * @param headers One header per column.
+     */
+    void setColumns(std::vector<std::string> headers);
+
+    /**
+     * Set per-column alignment (default: first column left, remaining
+     * columns right — the layout used for all paper-style tables).
+     */
+    void setAlignments(std::vector<Align> alignments);
+
+    /**
+     * Append one row.
+     *
+     * @param cells Must match the column count.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** @return Number of data rows (separators excluded). */
+    std::size_t rowCount() const;
+
+    /** Render to a stream with box-drawing ASCII. */
+    void render(std::ostream &os) const;
+
+    /** Render to a string (convenience for tests). */
+    std::string toString() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string _title;
+    std::vector<std::string> _headers;
+    std::vector<Align> _aligns;
+    std::vector<Row> _rows;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_TABLE_HH

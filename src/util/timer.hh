@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the instrumented index generator
+ * and the benchmark harnesses.
+ */
+
+#ifndef DSEARCH_UTIL_TIMER_HH
+#define DSEARCH_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace dsearch {
+
+/** Monotonic stopwatch; starts running on construction. */
+class Timer
+{
+  public:
+    using clock = std::chrono::steady_clock;
+
+    Timer() : _start(clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { _start = clock::now(); }
+
+    /** @return Seconds elapsed since construction or last reset(). */
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(clock::now() - _start)
+            .count();
+    }
+
+    /** @return Microseconds elapsed, as a 64-bit count. */
+    std::int64_t
+    elapsedUsec() const
+    {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   clock::now() - _start)
+            .count();
+    }
+
+  private:
+    clock::time_point _start;
+};
+
+/**
+ * Adds the scope's duration to an accumulator on destruction.
+ *
+ * Used to attribute time to pipeline stages without littering the
+ * generator with explicit stop calls.
+ */
+class ScopedTimer
+{
+  public:
+    /** @param accumulator_sec Target accumulator, in seconds. */
+    explicit ScopedTimer(double &accumulator_sec)
+        : _acc(accumulator_sec)
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { _acc += _timer.elapsedSec(); }
+
+  private:
+    double &_acc;
+    Timer _timer;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_TIMER_HH

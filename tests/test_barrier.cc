@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the reusable barrier (pipeline/barrier.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "pipeline/barrier.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Barrier, SinglePartyNeverBlocks)
+{
+    Barrier barrier(1);
+    for (int i = 0; i < 5; ++i)
+        barrier.arriveAndWait();
+    SUCCEED();
+}
+
+TEST(Barrier, AllThreadsPassTogether)
+{
+    const int parties = 4;
+    Barrier barrier(parties);
+    std::atomic<int> before{0}, after{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < parties; ++t) {
+        threads.emplace_back([&] {
+            ++before;
+            barrier.arriveAndWait();
+            // Every thread must observe all arrivals.
+            EXPECT_EQ(before.load(), parties);
+            ++after;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(after.load(), parties);
+}
+
+TEST(Barrier, ReusableAcrossGenerations)
+{
+    const int parties = 3;
+    const int rounds = 50;
+    Barrier barrier(parties);
+    std::atomic<int> phase_sum{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < parties; ++t) {
+        threads.emplace_back([&] {
+            for (int round = 0; round < rounds; ++round) {
+                ++phase_sum;
+                barrier.arriveAndWait();
+                // Between barriers the sum is a full multiple.
+                EXPECT_EQ(phase_sum.load() % parties, 0);
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(phase_sum.load(), parties * rounds);
+}
+
+TEST(BarrierDeath, ZeroPartiesIsFatal)
+{
+    EXPECT_EXIT(Barrier(0), ::testing::ExitedWithCode(1),
+                "at least one party");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit and concurrency tests for BlockingQueue
+ * (pipeline/blocking_queue.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "pipeline/blocking_queue.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(BlockingQueue, FifoOrderSingleThread)
+{
+    BlockingQueue<int> queue;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(queue.push(i));
+    int out;
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(queue.pop(out));
+        EXPECT_EQ(out, i);
+    }
+}
+
+TEST(BlockingQueue, SizeTracksContents)
+{
+    BlockingQueue<int> queue;
+    EXPECT_EQ(queue.size(), 0u);
+    queue.push(1);
+    queue.push(2);
+    EXPECT_EQ(queue.size(), 2u);
+    int out;
+    queue.pop(out);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BlockingQueue, TryPopNonBlocking)
+{
+    BlockingQueue<int> queue;
+    int out = -1;
+    EXPECT_FALSE(queue.tryPop(out));
+    queue.push(5);
+    EXPECT_TRUE(queue.tryPop(out));
+    EXPECT_EQ(out, 5);
+    EXPECT_FALSE(queue.tryPop(out));
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItems)
+{
+    BlockingQueue<int> queue;
+    queue.push(1);
+    queue.push(2);
+    queue.close();
+    int out;
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BlockingQueue, PushAfterCloseFails)
+{
+    BlockingQueue<int> queue;
+    queue.close();
+    EXPECT_FALSE(queue.push(1));
+    EXPECT_TRUE(queue.closed());
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush)
+{
+    BlockingQueue<int> queue;
+    int received = -1;
+    std::thread consumer([&queue, &received] {
+        int out;
+        if (queue.pop(out))
+            received = out;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(42);
+    consumer.join();
+    EXPECT_EQ(received, 42);
+}
+
+TEST(BlockingQueue, BoundedPushBlocksUntilPop)
+{
+    BlockingQueue<int> queue(2);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+
+    std::atomic<bool> third_pushed{false};
+    std::thread producer([&queue, &third_pushed] {
+        queue.push(3);
+        third_pushed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(third_pushed.load());
+
+    int out;
+    ASSERT_TRUE(queue.pop(out));
+    producer.join();
+    EXPECT_TRUE(third_pushed.load());
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer)
+{
+    BlockingQueue<int> queue;
+    std::atomic<bool> finished{false};
+    std::thread consumer([&queue, &finished] {
+        int out;
+        EXPECT_FALSE(queue.pop(out));
+        finished = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    consumer.join();
+    EXPECT_TRUE(finished.load());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedProducer)
+{
+    BlockingQueue<int> queue(1);
+    queue.push(1);
+    std::atomic<bool> finished{false};
+    std::thread producer([&queue, &finished] {
+        EXPECT_FALSE(queue.push(2)); // blocked, then closed
+        finished = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    producer.join();
+    EXPECT_TRUE(finished.load());
+}
+
+TEST(BlockingQueue, MpmcNoLossNoDuplication)
+{
+    // 4 producers x 2000 items through a small buffer into 4
+    // consumers: every value must arrive exactly once.
+    const int producers = 4;
+    const int per_producer = 2000;
+    BlockingQueue<int> queue(16);
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&queue, p] {
+            for (int i = 0; i < per_producer; ++i)
+                ASSERT_TRUE(queue.push(p * per_producer + i));
+        });
+    }
+
+    std::vector<std::vector<int>> received(4);
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 4; ++c) {
+        consumers.emplace_back([&queue, &received, c] {
+            int out;
+            while (queue.pop(out))
+                received[c].push_back(out);
+        });
+    }
+
+    for (std::thread &t : threads)
+        t.join();
+    queue.close();
+    for (std::thread &t : consumers)
+        t.join();
+
+    std::vector<int> all;
+    for (const auto &chunk : received)
+        all.insert(all.end(), chunk.begin(), chunk.end());
+    ASSERT_EQ(all.size(),
+              static_cast<std::size_t>(producers * per_producer));
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < producers * per_producer; ++i)
+        ASSERT_EQ(all[i], i) << "value lost or duplicated";
+}
+
+TEST(BlockingQueue, PerProducerOrderPreserved)
+{
+    BlockingQueue<std::pair<int, int>> queue(8);
+    const int per_producer = 1000;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = 0; i < per_producer; ++i)
+                queue.push({p, i});
+        });
+    }
+    std::vector<int> last_seen(2, -1);
+    std::thread consumer([&queue, &last_seen] {
+        std::pair<int, int> item;
+        while (queue.pop(item)) {
+            ASSERT_GT(item.second, last_seen[item.first])
+                << "per-producer FIFO violated";
+            last_seen[item.first] = item.second;
+        }
+    });
+    for (std::thread &t : producers)
+        t.join();
+    queue.close();
+    consumer.join();
+    EXPECT_EQ(last_seen[0], per_producer - 1);
+    EXPECT_EQ(last_seen[1], per_producer - 1);
+}
+
+TEST(BlockingQueue, MoveOnlyElements)
+{
+    BlockingQueue<std::unique_ptr<int>> queue;
+    queue.push(std::make_unique<int>(9));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(queue.pop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 9);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for generator configuration (core/config.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Config, ImplementationNames)
+{
+    EXPECT_STREQ(name(Implementation::Sequential), "Sequential");
+    EXPECT_STREQ(name(Implementation::SharedLocked),
+                 "Implementation 1");
+    EXPECT_STREQ(name(Implementation::ReplicatedJoin),
+                 "Implementation 2");
+    EXPECT_STREQ(name(Implementation::ReplicatedNoJoin),
+                 "Implementation 3");
+}
+
+TEST(Config, TupleStringMatchesPaperNotation)
+{
+    Config cfg = Config::replicatedJoin(3, 5, 1);
+    EXPECT_EQ(cfg.tupleString(), "(3, 5, 1)");
+    EXPECT_EQ(cfg.describe(), "Implementation 2 (3, 5, 1)");
+    EXPECT_EQ(Config::sequential().describe(), "Sequential");
+}
+
+TEST(Config, FactoriesProduceValidConfigs)
+{
+    Config::sequential().validate();
+    Config::sharedLocked(3, 1).validate();
+    Config::sharedLocked(4).validate(); // y = 0: direct insert
+    Config::replicatedJoin(6, 2, 1).validate();
+    Config::replicatedNoJoin(9, 4).validate();
+    SUCCEED();
+}
+
+TEST(Config, ReplicaCount)
+{
+    EXPECT_EQ(Config::replicatedNoJoin(6, 2).replicaCount(), 2u);
+    EXPECT_EQ(Config::replicatedNoJoin(6, 0).replicaCount(), 6u);
+    EXPECT_EQ(Config::replicatedJoin(3, 5, 1).replicaCount(), 5u);
+}
+
+TEST(ConfigDeath, ZeroExtractorsIsFatal)
+{
+    Config cfg = Config::sharedLocked(1);
+    cfg.extractors = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "x >= 1");
+}
+
+TEST(ConfigDeath, SequentialMustBeSingleThreaded)
+{
+    Config cfg = Config::sequential();
+    cfg.extractors = 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "sequential");
+}
+
+TEST(ConfigDeath, SequentialCannotPipelineStage1)
+{
+    Config cfg = Config::sequential();
+    cfg.pipelined_stage1 = true;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "parallel");
+}
+
+TEST(ConfigDeath, Impl1CannotJoin)
+{
+    Config cfg = Config::sharedLocked(3, 1);
+    cfg.joiners = 1;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "nothing to join");
+}
+
+TEST(ConfigDeath, Impl2NeedsJoiners)
+{
+    Config cfg = Config::replicatedJoin(3, 2, 1);
+    cfg.joiners = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "z >= 1");
+}
+
+TEST(ConfigDeath, Impl3CannotJoin)
+{
+    Config cfg = Config::replicatedNoJoin(3, 2);
+    cfg.joiners = 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "never joins");
+}
+
+TEST(ConfigDeath, ZeroQueueCapacityIsFatal)
+{
+    Config cfg = Config::sharedLocked(2, 1);
+    cfg.queue_capacity = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "capacities");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the synthetic corpus generator (fs/corpus.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "fs/corpus.hh"
+#include "fs/traversal.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(CorpusSpec, TinyValidates)
+{
+    CorpusSpec::tiny().validate();
+    SUCCEED();
+}
+
+TEST(CorpusSpec, PaperShape)
+{
+    CorpusSpec spec = CorpusSpec::paper();
+    EXPECT_EQ(spec.file_count, 51000u);
+    EXPECT_EQ(spec.total_bytes, 869ull << 20);
+    EXPECT_EQ(spec.large_file_count, 5u);
+    spec.validate();
+}
+
+TEST(CorpusSpec, PaperScaledKeepsShape)
+{
+    CorpusSpec spec = CorpusSpec::paperScaled(0.1);
+    EXPECT_NEAR(static_cast<double>(spec.file_count), 5100.0, 1.0);
+    EXPECT_EQ(spec.large_file_count, 5u);
+    spec.validate();
+}
+
+TEST(CorpusSpecDeath, InvalidSpecsAreFatal)
+{
+    CorpusSpec spec = CorpusSpec::tiny();
+    spec.file_count = 0;
+    EXPECT_EXIT(spec.validate(), ::testing::ExitedWithCode(1), "");
+
+    spec = CorpusSpec::tiny();
+    spec.large_file_count = spec.file_count;
+    EXPECT_EXIT(spec.validate(), ::testing::ExitedWithCode(1), "");
+
+    spec = CorpusSpec::tiny();
+    spec.large_file_share = 1.5;
+    EXPECT_EXIT(spec.validate(), ::testing::ExitedWithCode(1), "");
+
+    spec = CorpusSpec::tiny();
+    spec.root = "no-slash";
+    EXPECT_EXIT(spec.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(CorpusWords, UniquePerRank)
+{
+    std::set<std::string> words;
+    for (std::size_t r = 0; r < 30000; ++r) {
+        auto [it, fresh] =
+            words.insert(CorpusGenerator::wordForRank(r));
+        ASSERT_TRUE(fresh) << "collision at rank " << r << ": " << *it;
+    }
+}
+
+TEST(CorpusWords, FrequentRanksAreShort)
+{
+    EXPECT_EQ(CorpusGenerator::wordForRank(0).size(), 2u);
+    EXPECT_EQ(CorpusGenerator::wordForRank(84).size(), 2u);
+    EXPECT_EQ(CorpusGenerator::wordForRank(85).size(), 4u);
+    EXPECT_LE(CorpusGenerator::wordForRank(200000).size(), 6u);
+}
+
+TEST(CorpusWords, OnlyLowercaseLetters)
+{
+    for (std::size_t r : {0u, 10u, 1000u, 50000u}) {
+        for (char c : CorpusGenerator::wordForRank(r)) {
+            ASSERT_GE(c, 'a');
+            ASSERT_LE(c, 'z');
+        }
+    }
+}
+
+TEST(Corpus, ManifestMatchesSpec)
+{
+    CorpusSpec spec = CorpusSpec::tiny();
+    CorpusGenerator generator(spec);
+    MemoryFs fs;
+    MemoryFsWriter writer(fs);
+    CorpusManifest manifest = generator.generate(writer);
+
+    EXPECT_EQ(manifest.file_count, spec.file_count);
+    EXPECT_EQ(fs.fileCount(), spec.file_count);
+    EXPECT_EQ(manifest.large_files.size(), spec.large_file_count);
+    // Total bytes within 20% of the target (clamping skews small
+    // corpora slightly).
+    double ratio = static_cast<double>(manifest.total_bytes)
+                   / static_cast<double>(spec.total_bytes);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.2);
+}
+
+TEST(Corpus, DeterministicAcrossRuns)
+{
+    CorpusGenerator generator(CorpusSpec::tiny(77));
+    auto fs1 = generator.generateInMemory();
+    auto fs2 = generator.generateInMemory();
+
+    FileList files1 = generateFilenames(*fs1, "/");
+    FileList files2 = generateFilenames(*fs2, "/");
+    ASSERT_EQ(files1.size(), files2.size());
+    for (std::size_t i = 0; i < files1.size(); ++i) {
+        ASSERT_EQ(files1[i].path, files2[i].path);
+        std::string c1, c2;
+        ASSERT_TRUE(fs1->readFile(files1[i].path, c1));
+        ASSERT_TRUE(fs2->readFile(files2[i].path, c2));
+        ASSERT_EQ(c1, c2) << "content differs: " << files1[i].path;
+    }
+}
+
+TEST(Corpus, DifferentSeedsDiffer)
+{
+    auto fs1 = CorpusGenerator(CorpusSpec::tiny(1)).generateInMemory();
+    auto fs2 = CorpusGenerator(CorpusSpec::tiny(2)).generateInMemory();
+    FileList files1 = generateFilenames(*fs1, "/");
+    FileList files2 = generateFilenames(*fs2, "/");
+    bool any_difference = files1.size() != files2.size();
+    for (std::size_t i = 0;
+         !any_difference && i < std::min(files1.size(), files2.size());
+         ++i) {
+        std::string c1, c2;
+        fs1->readFile(files1[i].path, c1);
+        fs2->readFile(files2[i].path, c2);
+        any_difference = c1 != c2 || files1[i].path != files2[i].path;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Corpus, LargeFilesAreActuallyLarge)
+{
+    CorpusSpec spec = CorpusSpec::tiny();
+    CorpusGenerator generator(spec);
+    MemoryFs fs;
+    MemoryFsWriter writer(fs);
+    CorpusManifest manifest = generator.generate(writer);
+
+    std::uint64_t mean = manifest.total_bytes / manifest.file_count;
+    for (const std::string &path : manifest.large_files) {
+        EXPECT_GT(fs.fileSize(path), mean * 5)
+            << "large file not large: " << path;
+    }
+}
+
+TEST(Corpus, FileSizesSumCloseToTarget)
+{
+    CorpusSpec spec = CorpusSpec::tiny();
+    CorpusGenerator generator(spec);
+    std::vector<std::uint64_t> sizes = generator.fileSizes();
+    ASSERT_EQ(sizes.size(), spec.file_count);
+    std::uint64_t total = 0;
+    for (std::uint64_t s : sizes)
+        total += s;
+    double ratio = static_cast<double>(total)
+                   / static_cast<double>(spec.total_bytes);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.2);
+}
+
+TEST(Corpus, TextLooksLikeWords)
+{
+    CorpusGenerator generator(CorpusSpec::tiny());
+    auto fs = generator.generateInMemory();
+    FileList files = generateFilenames(*fs, "/");
+    ASSERT_FALSE(files.empty());
+    std::string content;
+    ASSERT_TRUE(fs->readFile(files[0].path, content));
+    ASSERT_FALSE(content.empty());
+    // Only lowercase letters, digits, spaces and newlines.
+    for (char c : content) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+                  || c == ' ' || c == '\n';
+        ASSERT_TRUE(ok) << "unexpected byte "
+                        << static_cast<int>(c);
+    }
+}
+
+TEST(Corpus, DirectoryTreeIsUsed)
+{
+    CorpusGenerator generator(CorpusSpec::tiny());
+    auto fs = generator.generateInMemory();
+    // Root must contain subdirectories, not a flat pile of files.
+    auto entries = fs->list("/corpus");
+    bool has_dir = false;
+    for (const DirEntry &entry : entries)
+        has_dir |= entry.is_dir;
+    EXPECT_TRUE(has_dir);
+}
+
+TEST(Corpus, DiskWriterRoundTrip)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path root =
+        stdfs::temp_directory_path()
+        / ("dsearch_corpus_test_" + std::to_string(::getpid()));
+
+    CorpusSpec spec = CorpusSpec::tiny();
+    spec.file_count = 30;
+    spec.total_bytes = 30 << 10;
+    spec.large_file_count = 1;
+    CorpusGenerator generator(spec);
+
+    DiskWriter writer(root.string());
+    CorpusManifest manifest = generator.generate(writer);
+    EXPECT_EQ(manifest.file_count, 30u);
+
+    // The same corpus in memory must match the disk copy.
+    auto mem = generator.generateInMemory();
+    std::size_t checked = 0;
+    FileList files = generateFilenames(*mem, "/");
+    for (const FileEntry &file : files) {
+        stdfs::path on_disk = root / file.path.substr(1);
+        ASSERT_TRUE(stdfs::exists(on_disk)) << on_disk;
+        EXPECT_EQ(stdfs::file_size(on_disk), file.size);
+        ++checked;
+    }
+    EXPECT_EQ(checked, 30u);
+    stdfs::remove_all(root);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the real-disk backend (fs/disk_fs.hh), using a
+ * temporary directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fs/disk_fs.hh"
+
+namespace dsearch {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+class DiskFsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _root = stdfs::temp_directory_path()
+                / ("dsearch_diskfs_test_"
+                   + std::to_string(::getpid()));
+        stdfs::create_directories(_root / "sub");
+        write(_root / "a.txt", "alpha content");
+        write(_root / "sub" / "b.txt", "beta");
+    }
+
+    void TearDown() override { stdfs::remove_all(_root); }
+
+    static void
+    write(const stdfs::path &path, const std::string &content)
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << content;
+    }
+
+    stdfs::path _root;
+};
+
+TEST_F(DiskFsTest, ListsRootSorted)
+{
+    DiskFs fs(_root.string());
+    auto entries = fs.list("/");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "a.txt");
+    EXPECT_FALSE(entries[0].is_dir);
+    EXPECT_EQ(entries[1].name, "sub");
+    EXPECT_TRUE(entries[1].is_dir);
+}
+
+TEST_F(DiskFsTest, ReadsFileContent)
+{
+    DiskFs fs(_root.string());
+    std::string content;
+    ASSERT_TRUE(fs.readFile("/a.txt", content));
+    EXPECT_EQ(content, "alpha content");
+    ASSERT_TRUE(fs.readFile("/sub/b.txt", content));
+    EXPECT_EQ(content, "beta");
+}
+
+TEST_F(DiskFsTest, FileSizeAndTypeQueries)
+{
+    DiskFs fs(_root.string());
+    EXPECT_TRUE(fs.isFile("/a.txt"));
+    EXPECT_FALSE(fs.isDirectory("/a.txt"));
+    EXPECT_TRUE(fs.isDirectory("/sub"));
+    EXPECT_FALSE(fs.isFile("/sub"));
+    EXPECT_EQ(fs.fileSize("/a.txt"), 13u);
+}
+
+TEST_F(DiskFsTest, MissingFileReadFails)
+{
+    DiskFs fs(_root.string());
+    std::string content;
+    EXPECT_FALSE(fs.readFile("/nope.txt", content));
+    EXPECT_FALSE(fs.isFile("/nope.txt"));
+    EXPECT_EQ(fs.fileSize("/nope.txt"), 0u);
+}
+
+TEST_F(DiskFsTest, EmptyFileReads)
+{
+    write(_root / "empty.txt", "");
+    DiskFs fs(_root.string());
+    std::string content = "sentinel";
+    ASSERT_TRUE(fs.readFile("/empty.txt", content));
+    EXPECT_TRUE(content.empty());
+}
+
+TEST_F(DiskFsTest, BinaryContentRoundTrips)
+{
+    std::string binary("\x00\x01\xFF\x7F bin", 8);
+    write(_root / "bin.dat", binary);
+    DiskFs fs(_root.string());
+    std::string content;
+    ASSERT_TRUE(fs.readFile("/bin.dat", content));
+    EXPECT_EQ(content, binary);
+}
+
+TEST_F(DiskFsTest, TrailingSlashRootNormalized)
+{
+    DiskFs fs(_root.string() + "/");
+    EXPECT_TRUE(fs.isFile("/a.txt"));
+}
+
+TEST(DiskFsDeath, MissingRootIsFatal)
+{
+    EXPECT_EXIT(DiskFs("/definitely/not/a/real/path/xyz"),
+                ::testing::ExitedWithCode(1), "not a directory");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the storage model (sim/disk_model.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/disk_model.hh"
+
+namespace dsearch {
+namespace {
+
+DiskParams
+testParams()
+{
+    DiskParams p;
+    p.seek_interleaved_ms = 3.0;
+    p.seek_scan_ms = 1.0;
+    p.seek_floor_ms = 0.4;
+    p.depth_half = 1.0;
+    p.thrash_depth = 4.0;
+    p.thrash_ms_per_extra = 0.5;
+    p.bandwidth_mbps = 100.0;
+    p.channels = 4;
+    p.cached_fraction = 0.0;
+    return p;
+}
+
+TEST(DiskModel, ModeOrderingAtDepthZero)
+{
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 1);
+    SimTime interleaved =
+        disk.serviceTime(4096, 1, ReadMode::Interleaved, 0);
+    SimTime scan = disk.serviceTime(4096, 1, ReadMode::Scan, 0);
+    SimTime parallel =
+        disk.serviceTime(4096, 1, ReadMode::Parallel, 0);
+    EXPECT_GT(interleaved, scan);
+    // At depth 0 the parallel seek equals the scan seek.
+    EXPECT_EQ(parallel, scan);
+}
+
+TEST(DiskModel, DeeperQueueReducesSeek)
+{
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 1);
+    SimTime d0 = disk.serviceTime(4096, 1, ReadMode::Parallel, 0);
+    SimTime d2 = disk.serviceTime(4096, 1, ReadMode::Parallel, 2);
+    SimTime d4 = disk.serviceTime(4096, 1, ReadMode::Parallel, 4);
+    EXPECT_GT(d0, d2);
+    EXPECT_GT(d2, d4);
+}
+
+TEST(DiskModel, ThrashingBeyondThreshold)
+{
+    DiskParams params = testParams();
+    params.channels = 16; // window wide enough to observe thrashing
+    EventQueue eq;
+    DiskModel disk(eq, params, 1);
+    SimTime at_knee = disk.serviceTime(4096, 1, ReadMode::Parallel, 4);
+    SimTime past_knee =
+        disk.serviceTime(4096, 1, ReadMode::Parallel, 10);
+    EXPECT_GT(past_knee, at_knee);
+}
+
+TEST(DiskModel, TransferScalesWithBytes)
+{
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 1);
+    SimTime small = disk.serviceTime(1 << 10, 1, ReadMode::Scan, 0);
+    SimTime large = disk.serviceTime(100 << 20, 1, ReadMode::Scan, 0);
+    EXPECT_GT(large, small);
+    // 100 MiB at 100 MiB/s is about a second.
+    EXPECT_NEAR(simToSec(large), 1.0, 0.1);
+}
+
+TEST(DiskModel, CoarsenedEntriesPaySeekPerFile)
+{
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 1);
+    SimTime one = disk.serviceTime(4096, 1, ReadMode::Scan, 0);
+    SimTime four = disk.serviceTime(4096, 4, ReadMode::Scan, 0);
+    // Three extra seeks at 1 ms each.
+    EXPECT_NEAR(simToSec(four) - simToSec(one), 0.003, 1e-4);
+}
+
+TEST(DiskModel, CacheResidencyDeterministic)
+{
+    DiskParams p = testParams();
+    p.cached_fraction = 0.5;
+    EventQueue eq1, eq2;
+    DiskModel a(eq1, p, 99), b(eq2, p, 99);
+    for (std::size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.cached(i), b.cached(i));
+}
+
+TEST(DiskModel, CacheFractionApproximatelyHonored)
+{
+    DiskParams p = testParams();
+    p.cached_fraction = 0.3;
+    EventQueue eq;
+    DiskModel disk(eq, p, 7);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (disk.cached(i))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(DiskModel, ZeroCacheFractionNeverCached)
+{
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 7);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(disk.cached(i));
+}
+
+TEST(DiskModel, ServesOneRequestAtATime)
+{
+    // The head is a single server: four 1 ms requests finish at
+    // 1, 2, 3, 4 ms regardless of the NCQ window.
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 1);
+    std::vector<SimTime> finish;
+    for (int i = 0; i < 4; ++i)
+        disk.read(0, 1, ReadMode::Scan,
+                  [&eq, &finish] { finish.push_back(eq.now()); });
+    eq.runAll();
+    ASSERT_EQ(finish.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(finish[i], static_cast<SimTime>((i + 1) * 1000));
+    EXPECT_NEAR(disk.busySeconds(), 0.004, 1e-6);
+}
+
+TEST(DiskModel, SeekDiscountCapsAtNcqWindow)
+{
+    DiskParams p = testParams();
+    p.channels = 3;
+    p.thrash_depth = 100.0; // isolate the cap from thrashing
+    EventQueue eq;
+    DiskModel disk(eq, p, 1);
+    SimTime at_window = disk.serviceTime(0, 1, ReadMode::Parallel, 3);
+    SimTime past_window =
+        disk.serviceTime(0, 1, ReadMode::Parallel, 30);
+    EXPECT_EQ(at_window, past_window);
+}
+
+TEST(DiskModel, FractionalCountsScaleSeeks)
+{
+    EventQueue eq;
+    DiskModel disk(eq, testParams(), 1);
+    SimTime half = disk.serviceTime(0, 0.5, ReadMode::Scan, 0);
+    SimTime full = disk.serviceTime(0, 1.0, ReadMode::Scan, 0);
+    EXPECT_NEAR(simToSec(full), 2.0 * simToSec(half), 1e-9);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit and property tests for work-distribution strategies
+ * (pipeline/distribution.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "pipeline/distribution.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+FileList
+makeFiles(std::size_t n, std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    FileList files;
+    for (std::size_t i = 0; i < n; ++i) {
+        FileEntry entry;
+        entry.doc = static_cast<DocId>(i);
+        entry.path = "/f" + std::to_string(i);
+        entry.size = rng.uniform(10, 50000);
+        files.push_back(std::move(entry));
+    }
+    return files;
+}
+
+TEST(Distribution, RoundRobinAssignment)
+{
+    FileList files = makeFiles(10);
+    auto shards = distributeRoundRobin(files, 3);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(shards[0].size(), 4u); // 0, 3, 6, 9
+    EXPECT_EQ(shards[1].size(), 3u);
+    EXPECT_EQ(shards[2].size(), 3u);
+    EXPECT_EQ(shards[0][1].doc, 3u);
+    EXPECT_EQ(shards[2][0].doc, 2u);
+}
+
+TEST(Distribution, RoundRobinCoversEveryFileOnce)
+{
+    FileList files = makeFiles(101);
+    auto shards = distributeRoundRobin(files, 7);
+    std::set<DocId> seen;
+    for (const FileList &shard : shards)
+        for (const FileEntry &file : shard)
+            EXPECT_TRUE(seen.insert(file.doc).second);
+    EXPECT_EQ(seen.size(), 101u);
+}
+
+TEST(Distribution, SizeBalancedIsMoreEvenOnSkewedSizes)
+{
+    // One giant file plus many small: round-robin puts the giant on
+    // one shard and also splits the rest evenly — LPT compensates.
+    FileList files = makeFiles(40);
+    files[0].size = 1'000'000;
+    auto rr = shardLoads(distributeRoundRobin(files, 4));
+    auto lpt = shardLoads(distributeSizeBalanced(files, 4));
+    auto spread = [](const std::vector<std::uint64_t> &loads) {
+        auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+        return *hi - *lo;
+    };
+    EXPECT_LE(spread(lpt), spread(rr));
+}
+
+TEST(Distribution, SizeBalancedCoversEveryFileOnce)
+{
+    FileList files = makeFiles(57);
+    auto shards = distributeSizeBalanced(files, 5);
+    std::set<DocId> seen;
+    for (const FileList &shard : shards)
+        for (const FileEntry &file : shard)
+            EXPECT_TRUE(seen.insert(file.doc).second);
+    EXPECT_EQ(seen.size(), 57u);
+}
+
+TEST(Distribution, MoreShardsThanFiles)
+{
+    FileList files = makeFiles(2);
+    auto shards = distributeRoundRobin(files, 8);
+    ASSERT_EQ(shards.size(), 8u);
+    EXPECT_EQ(shards[0].size(), 1u);
+    EXPECT_EQ(shards[1].size(), 1u);
+    for (std::size_t s = 2; s < 8; ++s)
+        EXPECT_TRUE(shards[s].empty());
+}
+
+TEST(Distribution, EmptyFileList)
+{
+    FileList files;
+    auto shards = distributeRoundRobin(files, 3);
+    for (const FileList &shard : shards)
+        EXPECT_TRUE(shard.empty());
+}
+
+TEST(Distribution, StrategyNames)
+{
+    EXPECT_STREQ(name(DistributionKind::RoundRobin), "round-robin");
+    EXPECT_STREQ(name(DistributionKind::SizeBalanced),
+                 "size-balanced");
+    EXPECT_STREQ(name(DistributionKind::SharedQueue), "shared-queue");
+    EXPECT_STREQ(name(DistributionKind::WorkStealing),
+                 "work-stealing");
+}
+
+TEST(Distribution, VectorSourceDrainsPrivateShards)
+{
+    FileList files = makeFiles(9);
+    VectorSource source(distributeRoundRobin(files, 3));
+    FileEntry out;
+    // Worker 1 sees exactly files 1, 4, 7 in order.
+    ASSERT_TRUE(source.next(1, out));
+    EXPECT_EQ(out.doc, 1u);
+    ASSERT_TRUE(source.next(1, out));
+    EXPECT_EQ(out.doc, 4u);
+    ASSERT_TRUE(source.next(1, out));
+    EXPECT_EQ(out.doc, 7u);
+    EXPECT_FALSE(source.next(1, out));
+}
+
+TEST(Distribution, SharedQueueSourceServesAllOnce)
+{
+    FileList files = makeFiles(20);
+    SharedQueueSource source(files);
+    std::set<DocId> seen;
+    FileEntry out;
+    while (source.next(0, out))
+        EXPECT_TRUE(seen.insert(out.doc).second);
+    EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Distribution, WorkStealingDrainsEverything)
+{
+    FileList files = makeFiles(30);
+    WorkStealingSource source(files, 3);
+    std::set<DocId> seen;
+    FileEntry out;
+    // Worker 0 alone must be able to drain all deques via steals.
+    while (source.next(0, out))
+        EXPECT_TRUE(seen.insert(out.doc).second);
+    EXPECT_EQ(seen.size(), 30u);
+    EXPECT_GT(source.stealCount(), 0u);
+}
+
+/**
+ * Property: every strategy delivers each file exactly once under
+ * concurrent consumption.
+ */
+class FileSourceProperty
+    : public ::testing::TestWithParam<DistributionKind>
+{
+};
+
+TEST_P(FileSourceProperty, ConcurrentExactlyOnceDelivery)
+{
+    const std::size_t n_files = 5000;
+    const std::size_t workers = 4;
+    FileList files = makeFiles(n_files);
+    auto source = makeFileSource(GetParam(), files, workers);
+
+    std::vector<std::vector<DocId>> received(workers);
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&source, &received, w] {
+            FileEntry out;
+            while (source->next(w, out))
+                received[w].push_back(out.doc);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    std::vector<DocId> all;
+    for (const auto &chunk : received)
+        all.insert(all.end(), chunk.begin(), chunk.end());
+    ASSERT_EQ(all.size(), n_files);
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < n_files; ++i)
+        ASSERT_EQ(all[i], static_cast<DocId>(i))
+            << "file lost or duplicated under "
+            << name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, FileSourceProperty,
+    ::testing::Values(DistributionKind::RoundRobin,
+                      DistributionKind::SizeBalanced,
+                      DistributionKind::SharedQueue,
+                      DistributionKind::WorkStealing),
+    [](const ::testing::TestParamInfo<DistributionKind> &info) {
+        switch (info.param) {
+          case DistributionKind::RoundRobin:
+            return std::string("RoundRobin");
+          case DistributionKind::SizeBalanced:
+            return std::string("SizeBalanced");
+          case DistributionKind::SharedQueue:
+            return std::string("SharedQueue");
+          case DistributionKind::WorkStealing:
+            return std::string("WorkStealing");
+        }
+        return std::string("Unknown");
+    });
+
+TEST(DistributionDeath, ZeroShardsIsFatal)
+{
+    FileList files = makeFiles(3);
+    EXPECT_EXIT(distributeRoundRobin(files, 0),
+                ::testing::ExitedWithCode(1), "at least one shard");
+    EXPECT_EXIT(distributeSizeBalanced(files, 0),
+                ::testing::ExitedWithCode(1), "at least one shard");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the document table (index/doc_table.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "index/doc_table.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(DocTable, StartsEmpty)
+{
+    DocTable table;
+    EXPECT_EQ(table.docCount(), 0u);
+    EXPECT_FALSE(table.contains(0));
+}
+
+TEST(DocTable, AddAssignsDenseIds)
+{
+    DocTable table;
+    EXPECT_EQ(table.add("/a", 10), 0u);
+    EXPECT_EQ(table.add("/b", 20), 1u);
+    EXPECT_EQ(table.add("/c", 30), 2u);
+    EXPECT_EQ(table.docCount(), 3u);
+}
+
+TEST(DocTable, LookupByDocId)
+{
+    DocTable table;
+    table.add("/path/x.txt", 123);
+    EXPECT_EQ(table.path(0), "/path/x.txt");
+    EXPECT_EQ(table.sizeBytes(0), 123u);
+    EXPECT_TRUE(table.contains(0));
+    EXPECT_FALSE(table.contains(1));
+}
+
+TEST(DocTable, FromFileList)
+{
+    FileList files;
+    for (int i = 0; i < 5; ++i) {
+        FileEntry entry;
+        entry.doc = static_cast<DocId>(i);
+        entry.path = "/f" + std::to_string(i);
+        entry.size = i * 100;
+        files.push_back(std::move(entry));
+    }
+    DocTable table = DocTable::fromFileList(files);
+    EXPECT_EQ(table.docCount(), 5u);
+    EXPECT_EQ(table.path(3), "/f3");
+    EXPECT_EQ(table.sizeBytes(4), 400u);
+}
+
+TEST(DocTableDeath, NonDenseFileListPanics)
+{
+    FileList files;
+    FileEntry entry;
+    entry.doc = 7; // should be 0
+    entry.path = "/x";
+    files.push_back(entry);
+    EXPECT_DEATH(DocTable::fromFileList(files), "non-dense");
+}
+
+TEST(DocTableDeath, OutOfRangeLookupPanics)
+{
+    DocTable table;
+    table.add("/a", 1);
+    EXPECT_DEATH((void)table.path(1), "out of range");
+    EXPECT_DEATH((void)table.sizeBytes(9), "out of range");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the DES kernel (sim/event_queue.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&order] { order.push_back(3); });
+    eq.schedule(10, [&order] { order.push_back(1); });
+    eq.schedule(20, [&order] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimesRunFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime fired_at = 0;
+    eq.schedule(100, [&eq, &fired_at] {
+        eq.scheduleAfter(50, [&eq, &fired_at] { fired_at = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 5)
+            eq.scheduleAfter(10, step);
+    };
+    eq.schedule(0, step);
+    std::size_t executed = eq.runAll();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(executed, 5u);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, NowAdvancesMonotonically)
+{
+    EventQueue eq;
+    SimTime last = 0;
+    bool monotone = true;
+    for (SimTime t : {40u, 10u, 30u, 10u, 20u}) {
+        eq.schedule(t, [&eq, &last, &monotone] {
+            monotone &= eq.now() >= last;
+            last = eq.now();
+        });
+    }
+    eq.runAll();
+    EXPECT_TRUE(monotone);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, RunOneStepsExactlyOneEvent)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&count] { ++count; });
+    eq.schedule(2, [&count] { ++count; });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueueDeath, RunawayLoopHitsBudget)
+{
+    EventQueue eq;
+    std::function<void()> forever = [&] {
+        eq.scheduleAfter(1, forever);
+    };
+    eq.schedule(0, forever);
+    EXPECT_DEATH(eq.runAll(1000), "budget");
+}
+
+TEST(SimTimeConversions, RoundTrip)
+{
+    EXPECT_EQ(secToSim(1.0), 1000000u);
+    EXPECT_EQ(secToSim(0.0), 0u);
+    EXPECT_EQ(secToSim(-5.0), 0u);
+    EXPECT_DOUBLE_EQ(simToSec(2500000), 2.5);
+    EXPECT_NEAR(simToSec(secToSim(46.7)), 46.7, 1e-6);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Failure-injection tests: the generator must survive unreadable
+ * files (fs/flaky_fs.hh) in every organization, skipping exactly the
+ * same deterministic set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
+#include "fs/flaky_fs.hh"
+#include "index/index_join.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+class FlakyFsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _inner = CorpusGenerator(CorpusSpec::tiny(321))
+                     .generateInMemory();
+        setLogLevel(LogLevel::Silent); // expected warnings
+    }
+
+    void TearDown() override { setLogLevel(LogLevel::Info); }
+
+    std::unique_ptr<MemoryFs> _inner;
+};
+
+TEST_F(FlakyFsTest, MetadataPassesThrough)
+{
+    FlakyFs flaky(*_inner, 1.0); // every read fails
+    EXPECT_EQ(flaky.list("/corpus").size(),
+              _inner->list("/corpus").size());
+    FileList files = generateFilenames(flaky, "/");
+    EXPECT_EQ(files.size(), _inner->fileCount());
+}
+
+TEST_F(FlakyFsTest, ZeroProbabilityNeverFails)
+{
+    FlakyFs flaky(*_inner, 0.0);
+    FileList files = generateFilenames(flaky, "/");
+    std::string content;
+    for (const FileEntry &file : files)
+        ASSERT_TRUE(flaky.readFile(file.path, content));
+    EXPECT_EQ(flaky.failedReads(), 0u);
+}
+
+TEST_F(FlakyFsTest, FullProbabilityAlwaysFails)
+{
+    FlakyFs flaky(*_inner, 1.0);
+    std::string content;
+    FileList files = generateFilenames(flaky, "/");
+    for (const FileEntry &file : files)
+        ASSERT_FALSE(flaky.readFile(file.path, content));
+    EXPECT_EQ(flaky.failedReads(), files.size());
+}
+
+TEST_F(FlakyFsTest, FailureSetIsDeterministic)
+{
+    FlakyFs a(*_inner, 0.3, 9);
+    FlakyFs b(*_inner, 0.3, 9);
+    FileList files = generateFilenames(*_inner, "/");
+    for (const FileEntry &file : files)
+        EXPECT_EQ(a.failsOn(file.path), b.failsOn(file.path));
+}
+
+TEST_F(FlakyFsTest, FailureRateApproximatelyHonored)
+{
+    FlakyFs flaky(*_inner, 0.3, 5);
+    FileList files = generateFilenames(*_inner, "/");
+    std::size_t failing = 0;
+    for (const FileEntry &file : files)
+        if (flaky.failsOn(file.path))
+            ++failing;
+    double rate =
+        static_cast<double>(failing) / static_cast<double>(files.size());
+    EXPECT_NEAR(rate, 0.3, 0.1);
+}
+
+TEST_F(FlakyFsTest, SequentialBuildSkipsAndSurvives)
+{
+    FlakyFs flaky(*_inner, 0.25, 7);
+    IndexGenerator generator(flaky, "/", Config::sequential());
+    BuildResult result = generator.build();
+
+    FileList files = generateFilenames(*_inner, "/");
+    std::size_t expected_failures = 0;
+    for (const FileEntry &file : files)
+        if (flaky.failsOn(file.path))
+            ++expected_failures;
+
+    EXPECT_EQ(result.extraction.read_errors, expected_failures);
+    EXPECT_EQ(result.extraction.files,
+              files.size() - expected_failures);
+    EXPECT_GT(result.primary().termCount(), 0u);
+}
+
+/**
+ * Property: with deterministic failures, every organization builds
+ * the same (reduced) index.
+ */
+class FlakyEquivalence : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FlakyEquivalence, AllImplementationsAgreeUnderFailures)
+{
+    setLogLevel(LogLevel::Silent);
+    auto inner = CorpusGenerator(CorpusSpec::tiny(55))
+                     .generateInMemory();
+    FlakyFs flaky(*inner, GetParam(), 13);
+
+    IndexGenerator sequential(flaky, "/", Config::sequential());
+    InvertedIndex reference =
+        std::move(sequential.build().indices.front());
+    reference.sortPostings();
+
+    for (Config cfg :
+         {Config::sharedLocked(3, 1), Config::replicatedJoin(3, 2, 1),
+          Config::replicatedNoJoin(4, 0)}) {
+        IndexGenerator generator(flaky, "/", cfg);
+        BuildResult result = generator.build();
+        InvertedIndex merged =
+            joinSequential(std::move(result.indices));
+        merged.sortPostings();
+        EXPECT_TRUE(sameContents(merged, reference))
+            << cfg.describe() << " diverged at failure rate "
+            << GetParam();
+    }
+    setLogLevel(LogLevel::Info);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureRates, FlakyEquivalence,
+                         ::testing::Values(0.05, 0.25, 0.75));
+
+} // namespace
+} // namespace dsearch

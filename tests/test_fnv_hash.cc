@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the FNV hash functions (util/fnv_hash.hh).
+ *
+ * Reference values are the published FNV test vectors from Noll's
+ * page (the paper's reference [3]).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "util/fnv_hash.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(FnvHash, Fnv1a32KnownVectors)
+{
+    // Published vectors for FNV-1a 32-bit.
+    EXPECT_EQ(fnv1a_32(""), 0x811c9dc5u);
+    EXPECT_EQ(fnv1a_32("a"), 0xe40c292cu);
+    EXPECT_EQ(fnv1a_32("foobar"), 0xbf9cf968u);
+}
+
+TEST(FnvHash, Fnv1_32KnownVectors)
+{
+    // Published vectors for historic FNV-1 32-bit.
+    EXPECT_EQ(fnv1_32(""), 0x811c9dc5u);
+    EXPECT_EQ(fnv1_32("a"), 0x050c5d7eu);
+    EXPECT_EQ(fnv1_32("foobar"), 0x31f0b262u);
+}
+
+TEST(FnvHash, Fnv1a64KnownVectors)
+{
+    EXPECT_EQ(fnv1a_64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a_64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a_64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(FnvHash, Fnv1_64KnownVectors)
+{
+    EXPECT_EQ(fnv1_64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1_64("a"), 0xaf63bd4c8601b7beull);
+    EXPECT_EQ(fnv1_64("foobar"), 0x340d8765a4dda9c2ull);
+}
+
+TEST(FnvHash, VariantsDiffer)
+{
+    EXPECT_NE(fnv1_32("hello"), fnv1a_32("hello"));
+    EXPECT_NE(fnv1_64("hello"), fnv1a_64("hello"));
+}
+
+TEST(FnvHash, ConstexprUsable)
+{
+    constexpr std::uint32_t h = fnv1a_32("compile-time");
+    static_assert(h != 0, "constexpr evaluation must work");
+    EXPECT_EQ(h, fnv1a_32(std::string_view("compile-time")));
+}
+
+TEST(FnvHash, ByteRangeMatchesStringView)
+{
+    const char data[] = {'a', 'b', 'c'};
+    EXPECT_EQ(fnv1a_64(data, 3), fnv1a_64(std::string_view("abc")));
+}
+
+TEST(FnvHash, FunctorOnStrings)
+{
+    FnvHash<std::string> hasher;
+    EXPECT_EQ(hasher(std::string("term")),
+              static_cast<std::size_t>(fnv1a_64("term")));
+}
+
+TEST(FnvHash, FunctorOnIntegers)
+{
+    FnvHash<int> hasher;
+    EXPECT_NE(hasher(1), hasher(2));
+    EXPECT_EQ(hasher(42), hasher(42));
+}
+
+TEST(FnvHash, EmbeddedNulBytesHashDistinctly)
+{
+    std::string a("a\0b", 3);
+    std::string b("a\0c", 3);
+    EXPECT_NE(fnv1a_64(a), fnv1a_64(b));
+}
+
+TEST(FnvHash, LowCollisionRateOnWordLikeKeys)
+{
+    std::unordered_set<std::uint64_t> hashes;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hashes.insert(fnv1a_64("word" + std::to_string(i)));
+    // 64-bit FNV-1a should not collide at this scale.
+    EXPECT_EQ(hashes.size(), static_cast<std::size_t>(n));
+}
+
+TEST(FnvHash, PrefixSensitivity)
+{
+    EXPECT_NE(fnv1a_64("abcd"), fnv1a_64("abce"));
+    EXPECT_NE(fnv1a_64("abcd"), fnv1a_64("bbcd"));
+    EXPECT_NE(fnv1a_64("ab"), fnv1a_64("abab"));
+}
+
+} // namespace
+} // namespace dsearch

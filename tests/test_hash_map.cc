@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Unit and property tests for the open-addressing HashMap
+ * (util/hash_map.hh), including randomized model-based comparison
+ * against std::unordered_map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash_map.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+using Map = HashMap<std::string, int>;
+
+TEST(HashMap, StartsEmpty)
+{
+    Map map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_EQ(map.find("missing"), nullptr);
+    EXPECT_FALSE(map.contains("missing"));
+}
+
+TEST(HashMap, InsertAndFind)
+{
+    Map map;
+    EXPECT_TRUE(map.insert("alpha", 1));
+    EXPECT_TRUE(map.insert("beta", 2));
+    ASSERT_NE(map.find("alpha"), nullptr);
+    EXPECT_EQ(*map.find("alpha"), 1);
+    ASSERT_NE(map.find("beta"), nullptr);
+    EXPECT_EQ(*map.find("beta"), 2);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(HashMap, InsertDuplicateKeepsOriginal)
+{
+    Map map;
+    EXPECT_TRUE(map.insert("key", 1));
+    EXPECT_FALSE(map.insert("key", 99));
+    EXPECT_EQ(*map.find("key"), 1);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, SubscriptDefaultConstructs)
+{
+    Map map;
+    EXPECT_EQ(map["new"], 0);
+    map["new"] = 7;
+    EXPECT_EQ(map["new"], 7);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, EraseExisting)
+{
+    Map map;
+    map.insert("a", 1);
+    map.insert("b", 2);
+    EXPECT_TRUE(map.erase("a"));
+    EXPECT_EQ(map.find("a"), nullptr);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_NE(map.find("b"), nullptr);
+}
+
+TEST(HashMap, EraseMissingReturnsFalse)
+{
+    Map map;
+    map.insert("a", 1);
+    EXPECT_FALSE(map.erase("zz"));
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, EraseOnEmptyMap)
+{
+    Map map;
+    EXPECT_FALSE(map.erase("anything"));
+}
+
+TEST(HashMap, ClearKeepsCapacity)
+{
+    Map map;
+    for (int i = 0; i < 100; ++i)
+        map.insert("k" + std::to_string(i), i);
+    std::size_t cap = map.capacity();
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find("k5"), nullptr);
+}
+
+TEST(HashMap, ReserveAvoidsRehash)
+{
+    Map map;
+    map.reserve(1000);
+    std::size_t cap = map.capacity();
+    for (int i = 0; i < 1000; ++i)
+        map.insert("k" + std::to_string(i), i);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(HashMap, GrowsPastInitialCapacity)
+{
+    Map map;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        map.insert("key" + std::to_string(i), i);
+    EXPECT_EQ(map.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        ASSERT_NE(map.find("key" + std::to_string(i)), nullptr)
+            << "lost key " << i;
+        EXPECT_EQ(*map.find("key" + std::to_string(i)), i);
+    }
+}
+
+TEST(HashMap, LoadFactorStaysBelowGrowthBound)
+{
+    Map map;
+    for (int i = 0; i < 10000; ++i) {
+        map.insert("k" + std::to_string(i), i);
+        ASSERT_LE(map.loadFactor(), 5.0 / 8.0 + 1e-9);
+    }
+}
+
+TEST(HashMap, IterationVisitsEveryElementOnce)
+{
+    Map map;
+    for (int i = 0; i < 300; ++i)
+        map.insert("k" + std::to_string(i), i);
+    std::unordered_map<std::string, int> seen;
+    for (const auto &slot : map) {
+        EXPECT_TRUE(seen.emplace(slot.key, slot.value).second)
+            << "duplicate visit of " << slot.key;
+    }
+    EXPECT_EQ(seen.size(), 300u);
+    for (const auto &[key, value] : seen)
+        EXPECT_EQ(key, "k" + std::to_string(value));
+}
+
+TEST(HashMap, IterationOnEmptyMap)
+{
+    Map map;
+    EXPECT_TRUE(map.begin() == map.end());
+}
+
+TEST(HashMap, MutationThroughIterator)
+{
+    Map map;
+    map.insert("a", 1);
+    map.insert("b", 2);
+    for (auto &slot : map)
+        slot.value *= 10;
+    EXPECT_EQ(*map.find("a"), 10);
+    EXPECT_EQ(*map.find("b"), 20);
+}
+
+/** Colliding hash to force long probe chains. */
+struct DegenerateHash
+{
+    std::size_t operator()(const int &) const { return 42; }
+};
+
+TEST(HashMap, SurvivesFullCollisionChains)
+{
+    HashMap<int, int, DegenerateHash> map;
+    for (int i = 0; i < 64; ++i)
+        map.insert(i, i * 2);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_NE(map.find(i), nullptr);
+        EXPECT_EQ(*map.find(i), i * 2);
+    }
+    // Backward-shift erase inside one long chain.
+    EXPECT_TRUE(map.erase(10));
+    EXPECT_TRUE(map.erase(40));
+    for (int i = 0; i < 64; ++i) {
+        if (i == 10 || i == 40) {
+            EXPECT_EQ(map.find(i), nullptr);
+        } else {
+            ASSERT_NE(map.find(i), nullptr) << "chain broken at " << i;
+        }
+    }
+}
+
+TEST(HashMap, MoveConstructible)
+{
+    Map map;
+    map.insert("x", 1);
+    Map moved(std::move(map));
+    ASSERT_NE(moved.find("x"), nullptr);
+    EXPECT_EQ(*moved.find("x"), 1);
+}
+
+TEST(HashMap, VectorValues)
+{
+    HashMap<std::string, std::vector<int>> map;
+    map["list"].push_back(1);
+    map["list"].push_back(2);
+    ASSERT_NE(map.find("list"), nullptr);
+    EXPECT_EQ(map.find("list")->size(), 2u);
+}
+
+/**
+ * Model-based property test: a random operation stream must keep the
+ * HashMap equivalent to std::unordered_map.
+ */
+class HashMapModelTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HashMapModelTest, MatchesStdUnorderedMap)
+{
+    Rng rng(GetParam());
+    Map map;
+    std::unordered_map<std::string, int> model;
+
+    for (int step = 0; step < 4000; ++step) {
+        // Small key space forces collisions of intent (insert over
+        // existing, erase of present keys).
+        std::string key = "k" + std::to_string(rng.uniform(0, 200));
+        switch (rng.uniform(0, 3)) {
+          case 0: { // insert
+            int value = static_cast<int>(rng.uniform(0, 1 << 20));
+            bool inserted = map.insert(key, value);
+            bool model_inserted = model.emplace(key, value).second;
+            ASSERT_EQ(inserted, model_inserted);
+            break;
+          }
+          case 1: { // erase
+            ASSERT_EQ(map.erase(key), model.erase(key) > 0);
+            break;
+          }
+          case 2: { // lookup
+            const int *found = map.find(key);
+            auto it = model.find(key);
+            ASSERT_EQ(found != nullptr, it != model.end());
+            if (found != nullptr)
+                ASSERT_EQ(*found, it->second);
+            break;
+          }
+          case 3: { // subscript write
+            int value = static_cast<int>(rng.uniform(0, 1 << 20));
+            map[key] = value;
+            model[key] = value;
+            break;
+          }
+        }
+        ASSERT_EQ(map.size(), model.size());
+    }
+
+    // Final full sweep both directions.
+    for (const auto &[key, value] : model) {
+        ASSERT_NE(map.find(key), nullptr);
+        ASSERT_EQ(*map.find(key), value);
+    }
+    std::size_t visited = 0;
+    for (const auto &slot : map) {
+        auto it = model.find(slot.key);
+        ASSERT_NE(it, model.end());
+        ASSERT_EQ(it->second, slot.value);
+        ++visited;
+    }
+    ASSERT_EQ(visited, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, HashMapModelTest,
+                         ::testing::Values(1, 2, 3, 7, 1234, 99999));
+
+} // namespace
+} // namespace dsearch

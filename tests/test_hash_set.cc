@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for HashSet (util/hash_set.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "util/hash_set.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(HashSet, StartsEmpty)
+{
+    HashSet<std::string> set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.contains("x"));
+}
+
+TEST(HashSet, InsertReportsNovelty)
+{
+    HashSet<std::string> set;
+    EXPECT_TRUE(set.insert("term"));
+    EXPECT_FALSE(set.insert("term"));
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_TRUE(set.contains("term"));
+}
+
+TEST(HashSet, EraseRemovesElement)
+{
+    HashSet<std::string> set;
+    set.insert("a");
+    set.insert("b");
+    EXPECT_TRUE(set.erase("a"));
+    EXPECT_FALSE(set.erase("a"));
+    EXPECT_FALSE(set.contains("a"));
+    EXPECT_TRUE(set.contains("b"));
+}
+
+TEST(HashSet, ClearRemovesEverything)
+{
+    HashSet<std::string> set;
+    for (int i = 0; i < 50; ++i)
+        set.insert(std::to_string(i));
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains("25"));
+    // Reusable after clear (the extractor's per-file pattern).
+    EXPECT_TRUE(set.insert("25"));
+}
+
+TEST(HashSet, IterationVisitsAllElements)
+{
+    HashSet<std::string> set;
+    for (int i = 0; i < 100; ++i)
+        set.insert("e" + std::to_string(i));
+    std::unordered_set<std::string> seen;
+    for (const auto &slot : set)
+        EXPECT_TRUE(seen.insert(slot.key).second);
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(HashSet, IntegerElements)
+{
+    HashSet<int> set;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(set.insert(i));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(set.contains(i));
+    EXPECT_FALSE(set.contains(1000));
+}
+
+TEST(HashSet, ReserveThenFill)
+{
+    HashSet<int> set;
+    set.reserve(500);
+    for (int i = 0; i < 500; ++i)
+        set.insert(i);
+    EXPECT_EQ(set.size(), 500u);
+}
+
+TEST(HashSet, DeduplicationStream)
+{
+    // The extractor's exact usage pattern: many duplicate insertions,
+    // count of unique survivors matters.
+    HashSet<std::string> set;
+    Rng rng(7);
+    std::unordered_set<std::string> model;
+    for (int i = 0; i < 5000; ++i) {
+        std::string word = "w" + std::to_string(rng.uniform(0, 300));
+        EXPECT_EQ(set.insert(word), model.insert(word).second);
+    }
+    EXPECT_EQ(set.size(), model.size());
+}
+
+} // namespace
+} // namespace dsearch

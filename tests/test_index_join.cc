@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for the "Join Forces" pattern
+ * (index/index_join.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "index/index_join.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+/** r replicas over n docs; doc i lives in replica i % r. */
+std::vector<InvertedIndex>
+makeReplicas(std::size_t r, std::size_t n_docs)
+{
+    std::vector<InvertedIndex> replicas(r);
+    for (DocId doc = 0; doc < n_docs; ++doc) {
+        std::vector<std::string> terms;
+        for (int t = 0; t < 6; ++t)
+            terms.push_back("w" + std::to_string((doc * 13 + t) % 80));
+        std::sort(terms.begin(), terms.end());
+        terms.erase(std::unique(terms.begin(), terms.end()),
+                    terms.end());
+        replicas[doc % r].addBlock(block(doc, std::move(terms)));
+    }
+    return replicas;
+}
+
+InvertedIndex
+referenceIndex(std::size_t n_docs)
+{
+    auto replicas = makeReplicas(1, n_docs);
+    InvertedIndex index = std::move(replicas.front());
+    index.sortPostings();
+    return index;
+}
+
+TEST(IndexJoin, SequentialJoinMatchesReference)
+{
+    InvertedIndex joined = joinSequential(makeReplicas(4, 200));
+    joined.sortPostings();
+    EXPECT_TRUE(sameContents(joined, referenceIndex(200)));
+}
+
+TEST(IndexJoin, EmptyReplicaList)
+{
+    InvertedIndex joined = joinSequential({});
+    EXPECT_TRUE(joined.empty());
+}
+
+TEST(IndexJoin, SingleReplicaPassesThrough)
+{
+    InvertedIndex joined = joinSequential(makeReplicas(1, 50));
+    joined.sortPostings();
+    EXPECT_TRUE(sameContents(joined, referenceIndex(50)));
+}
+
+TEST(IndexJoin, ReplicasWithEmptyMembers)
+{
+    // More replicas than docs: some replicas are empty.
+    InvertedIndex joined = joinSequential(makeReplicas(10, 4));
+    joined.sortPostings();
+    EXPECT_TRUE(sameContents(joined, referenceIndex(4)));
+}
+
+TEST(IndexJoin, PostingCountPreserved)
+{
+    auto replicas = makeReplicas(5, 300);
+    std::uint64_t total = 0;
+    for (const InvertedIndex &replica : replicas)
+        total += replica.postingCount();
+    InvertedIndex joined = joinSequential(std::move(replicas));
+    EXPECT_EQ(joined.postingCount(), total);
+}
+
+/** Property: parallel join == sequential join for any z. */
+class ParallelJoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ParallelJoinProperty, MatchesSequentialJoin)
+{
+    auto [replica_count, joiners] = GetParam();
+    InvertedIndex parallel = joinParallel(
+        makeReplicas(replica_count, 240),
+        static_cast<std::size_t>(joiners));
+    parallel.sortPostings();
+    EXPECT_TRUE(sameContents(parallel, referenceIndex(240)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReplicaAndJoinerSweep, ParallelJoinProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(IndexJoinDeath, ZeroJoinersIsFatal)
+{
+    EXPECT_EXIT(joinParallel(makeReplicas(2, 10), 0),
+                ::testing::ExitedWithCode(1), "at least one joiner");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end integration tests: corpus -> build -> (serialize) ->
+ * search, across storage backends and generator organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dsearch.hh"
+
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
+#include "fs/disk_fs.hh"
+#include "index/serialize.hh"
+#include "search/multi_searcher.hh"
+#include "search/searcher.hh"
+#include "tune/tuner.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Integration, BuildAndSearchInMemory)
+{
+    MemoryFs fs;
+    fs.addFile("/docs/report.txt",
+               "quarterly revenue grew while costs fell");
+    fs.addFile("/docs/memo.txt", "revenue targets for the quarter");
+    fs.addFile("/docs/notes.txt", "lunch menu and parking costs");
+
+    IndexGenerator generator(fs, "/docs", Config::sharedLocked(2, 1));
+    BuildResult result = generator.build();
+    Searcher searcher(result.primary(), result.docs.docCount());
+
+    DocSet hits = searcher.run(Query::parse("revenue"));
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(result.docs.path(hits[0]), "/docs/memo.txt");
+    EXPECT_EQ(result.docs.path(hits[1]), "/docs/report.txt");
+
+    hits = searcher.run(Query::parse("costs AND NOT revenue"));
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(result.docs.path(hits[0]), "/docs/notes.txt");
+}
+
+TEST(Integration, BuildSerializeReloadSearch)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(55)).generateInMemory();
+    IndexGenerator generator(*fs, "/",
+                             Config::replicatedJoin(3, 2, 1));
+    BuildResult result = generator.build();
+
+    std::string path = "/tmp/dsearch_integration_"
+                       + std::to_string(::getpid()) + ".idx";
+    ASSERT_TRUE(saveIndexFile(result.primary(), result.docs, path));
+
+    InvertedIndex loaded;
+    DocTable docs;
+    ASSERT_TRUE(loadIndexFile(loaded, docs, path));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(docs.docCount(), result.docs.docCount());
+    Searcher before(result.primary(), result.docs.docCount());
+    Searcher after(loaded, docs.docCount());
+    for (const char *text : {"ba", "be OR bi", "NOT ba", "ba AND bi"}) {
+        Query q = Query::parse(text);
+        EXPECT_EQ(before.run(q), after.run(q)) << text;
+    }
+}
+
+TEST(Integration, DiskBackendEndToEnd)
+{
+    namespace stdfs = std::filesystem;
+    stdfs::path root =
+        stdfs::temp_directory_path()
+        / ("dsearch_integration_" + std::to_string(::getpid()));
+
+    CorpusSpec spec = CorpusSpec::tiny(77);
+    spec.file_count = 60;
+    spec.total_bytes = 60 << 10;
+    spec.large_file_count = 1;
+    CorpusGenerator corpus(spec);
+    DiskWriter writer(root.string());
+    corpus.generate(writer);
+
+    DiskFs disk(root.string());
+    IndexGenerator generator(disk, "/", Config::replicatedNoJoin(2, 2));
+    BuildResult result = generator.build();
+    EXPECT_EQ(result.docs.docCount(), 60u);
+
+    // The same corpus indexed in memory must agree.
+    auto mem = corpus.generateInMemory();
+    IndexGenerator mem_generator(*mem, "/", Config::sequential());
+    BuildResult mem_result = mem_generator.build();
+
+    MultiSearcher disk_search(result.indices, result.docs.docCount());
+    Searcher mem_search(mem_result.primary(),
+                        mem_result.docs.docCount());
+    for (const char *text : {"ba", "bi AND bo", "NOT ba"}) {
+        Query q = Query::parse(text);
+        EXPECT_EQ(disk_search.run(q, 2), mem_search.run(q)) << text;
+    }
+    stdfs::remove_all(root);
+}
+
+TEST(Integration, TuneThenBuildWithBestConfig)
+{
+    // Tune on the simulator, then run the real generator with the
+    // winning configuration — the workflow the paper's process
+    // recommends (measure, explore, then build).
+    PipelineSim sim(PlatformSpec::host(4),
+                    WorkloadModel::fromCorpusSpec(
+                        CorpusSpec::paperScaled(0.01)));
+    SimCostEvaluator evaluator(sim);
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedNoJoin, 4, 2, 0);
+    TuneResult tuned = ExhaustiveTuner().tune(evaluator, space);
+
+    auto fs = CorpusGenerator(CorpusSpec::tiny(99)).generateInMemory();
+    IndexGenerator generator(*fs, "/", tuned.best);
+    BuildResult result = generator.build();
+    EXPECT_EQ(result.docs.docCount(),
+              CorpusSpec::tiny(99).file_count);
+    EXPECT_FALSE(result.indices.empty());
+}
+
+TEST(Integration, SearchAcrossAllImplementationsAgrees)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(13)).generateInMemory();
+    std::size_t docs = 0;
+    std::vector<DocSet> answers;
+    Query query = Query::parse("(ba OR be) AND NOT bi");
+
+    for (Config cfg :
+         {Config::sequential(), Config::sharedLocked(3, 1),
+          Config::replicatedJoin(3, 2, 1),
+          Config::replicatedNoJoin(3, 2)}) {
+        IndexGenerator generator(*fs, "/", cfg);
+        BuildResult result = generator.build();
+        docs = result.docs.docCount();
+        if (result.indices.size() == 1) {
+            Searcher searcher(result.primary(), docs);
+            answers.push_back(searcher.run(query));
+        } else {
+            MultiSearcher searcher(result.indices, docs);
+            answers.push_back(searcher.run(query, 2));
+        }
+    }
+    for (std::size_t i = 1; i < answers.size(); ++i)
+        EXPECT_EQ(answers[i], answers[0])
+            << "implementation " << i << " disagrees";
+    EXPECT_FALSE(answers[0].empty());
+}
+
+TEST(Integration, UmbrellaHeaderCompiles)
+{
+    // The umbrella header must pull in every public subsystem; this
+    // test exists so a missing include breaks the build, not a user.
+    SUCCEED();
+}
+
+TEST(Integration, MediumCorpusAllImplementationsAgree)
+{
+    // Larger-than-unit-test corpus: 510 files, ~8.7 MiB — enough for
+    // real thread interleaving inside every organization.
+    auto fs = CorpusGenerator(CorpusSpec::paperScaled(0.01))
+                  .generateInMemory();
+
+    IndexGenerator sequential(*fs, "/", Config::sequential());
+    InvertedIndex reference =
+        std::move(sequential.build().indices.front());
+    reference.sortPostings();
+    ASSERT_GT(reference.postingCount(), 100000u);
+
+    for (Config cfg :
+         {Config::sharedLocked(4, 2), Config::replicatedJoin(4, 3, 2),
+          Config::replicatedNoJoin(4, 2)}) {
+        IndexGenerator generator(*fs, "/", cfg);
+        BuildResult result = generator.build();
+        InvertedIndex merged =
+            joinSequential(std::move(result.indices));
+        merged.sortPostings();
+        ASSERT_TRUE(sameContents(merged, reference))
+            << cfg.describe();
+    }
+}
+
+TEST(Integration, WarningsDoNotBreakBuilds)
+{
+    // A file that vanishes between Stage 1 and Stage 2 (simulated by
+    // a dangling entry) must be skipped, not crash the build.
+    MemoryFs fs;
+    fs.addFile("/a.txt", "alpha beta");
+    FileList files = generateFilenames(fs, "/");
+    files.push_back(FileEntry{1, "/ghost.txt", 10});
+
+    setLogLevel(LogLevel::Silent);
+    TermExtractor extractor(fs);
+    TermBlock block;
+    EXPECT_TRUE(extractor.extract(files[0], block));
+    EXPECT_FALSE(extractor.extract(files[1], block));
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(extractor.stats().read_errors, 1u);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the inverted index (index/inverted_index.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/inverted_index.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+TEST(InvertedIndex, StartsEmpty)
+{
+    InvertedIndex index;
+    EXPECT_TRUE(index.empty());
+    EXPECT_EQ(index.termCount(), 0u);
+    EXPECT_EQ(index.postingCount(), 0u);
+    EXPECT_EQ(index.postings("anything"), nullptr);
+}
+
+TEST(InvertedIndex, AddBlockCreatesPostings)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {"alpha", "beta"}));
+    index.addBlock(block(1, {"beta", "gamma"}));
+
+    ASSERT_NE(index.postings("beta"), nullptr);
+    EXPECT_EQ(*index.postings("beta"), (PostingList{0, 1}));
+    EXPECT_EQ(*index.postings("alpha"), (PostingList{0}));
+    EXPECT_EQ(index.termCount(), 3u);
+    EXPECT_EQ(index.postingCount(), 4u);
+}
+
+TEST(InvertedIndex, AddOccurrenceDeduplicates)
+{
+    InvertedIndex index;
+    index.addOccurrence("term", 0);
+    index.addOccurrence("term", 0); // duplicate (term, doc)
+    index.addOccurrence("term", 1);
+    ASSERT_NE(index.postings("term"), nullptr);
+    EXPECT_EQ(*index.postings("term"), (PostingList{0, 1}));
+    EXPECT_EQ(index.postingCount(), 2u);
+}
+
+TEST(InvertedIndex, BlockAndOccurrencePathsAgree)
+{
+    InvertedIndex en_bloc, immediate;
+    en_bloc.addBlock(block(0, {"a", "b"}));
+    en_bloc.addBlock(block(1, {"b"}));
+
+    // Occurrence stream with duplicates.
+    for (const char *t : {"a", "b", "a", "b"})
+        immediate.addOccurrence(t, 0);
+    immediate.addOccurrence("b", 1);
+
+    en_bloc.sortPostings();
+    immediate.sortPostings();
+    EXPECT_TRUE(sameContents(en_bloc, immediate));
+}
+
+TEST(InvertedIndex, MergeDisjointDocs)
+{
+    InvertedIndex a, b;
+    a.addBlock(block(0, {"x", "shared"}));
+    b.addBlock(block(1, {"y", "shared"}));
+    a.merge(std::move(b));
+
+    EXPECT_EQ(a.termCount(), 3u);
+    EXPECT_EQ(a.postingCount(), 4u);
+    a.sortPostings();
+    EXPECT_EQ(*a.postings("shared"), (PostingList{0, 1}));
+    EXPECT_EQ(*a.postings("x"), (PostingList{0}));
+    EXPECT_EQ(*a.postings("y"), (PostingList{1}));
+}
+
+TEST(InvertedIndex, MergeLeavesSourceEmpty)
+{
+    InvertedIndex a, b;
+    b.addBlock(block(0, {"t"}));
+    a.merge(std::move(b));
+    EXPECT_TRUE(b.empty()); // NOLINT(bugprone-use-after-move): documented
+    EXPECT_EQ(b.postingCount(), 0u);
+}
+
+TEST(InvertedIndex, MergeIntoEmpty)
+{
+    InvertedIndex a, b;
+    b.addBlock(block(3, {"only"}));
+    a.merge(std::move(b));
+    ASSERT_NE(a.postings("only"), nullptr);
+    EXPECT_EQ(*a.postings("only"), (PostingList{3}));
+}
+
+TEST(InvertedIndex, SortPostingsCanonicalizes)
+{
+    InvertedIndex index;
+    index.addBlock(block(5, {"t"}));
+    index.addBlock(block(1, {"t"}));
+    index.addBlock(block(3, {"t"}));
+    index.sortPostings();
+    EXPECT_EQ(*index.postings("t"), (PostingList{1, 3, 5}));
+}
+
+TEST(InvertedIndex, SameContentsDetectsEquality)
+{
+    InvertedIndex a, b;
+    a.addBlock(block(0, {"p", "q"}));
+    b.addBlock(block(0, {"q", "p"})); // different insertion order
+    a.sortPostings();
+    b.sortPostings();
+    EXPECT_TRUE(sameContents(a, b));
+    EXPECT_TRUE(sameContents(b, a));
+}
+
+TEST(InvertedIndex, SameContentsDetectsDifferences)
+{
+    InvertedIndex a, b, c, d;
+    a.addBlock(block(0, {"p"}));
+    b.addBlock(block(1, {"p"}));    // different doc
+    c.addBlock(block(0, {"r"}));    // different term
+    d.addBlock(block(0, {"p", "q"})); // extra term
+    for (InvertedIndex *idx : {&a, &b, &c, &d})
+        idx->sortPostings();
+    EXPECT_FALSE(sameContents(a, b));
+    EXPECT_FALSE(sameContents(a, c));
+    EXPECT_FALSE(sameContents(a, d));
+    EXPECT_FALSE(sameContents(d, a));
+}
+
+TEST(InvertedIndex, ClearResets)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {"a", "b"}));
+    index.clear();
+    EXPECT_TRUE(index.empty());
+    EXPECT_EQ(index.postingCount(), 0u);
+    EXPECT_EQ(index.postings("a"), nullptr);
+}
+
+TEST(InvertedIndex, ForEachTermVisitsAll)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {"a", "b", "c"}));
+    std::vector<std::string> terms;
+    index.forEachTerm(
+        [&terms](const std::string &term, const PostingList &) {
+            terms.push_back(term);
+        });
+    std::sort(terms.begin(), terms.end());
+    EXPECT_EQ(terms, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(InvertedIndex, CloneIsDeepAndEqual)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {"a", "b"}));
+    index.addBlock(block(1, {"b"}));
+    InvertedIndex copy = index.clone();
+
+    index.sortPostings();
+    copy.sortPostings();
+    EXPECT_TRUE(sameContents(index, copy));
+
+    // Mutating the copy must not touch the original.
+    copy.addBlock(block(2, {"c"}));
+    EXPECT_EQ(copy.termCount(), 3u);
+    EXPECT_EQ(index.termCount(), 2u);
+    EXPECT_EQ(index.postings("c"), nullptr);
+}
+
+TEST(InvertedIndex, MoveSemantics)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {"m"}));
+    InvertedIndex moved = std::move(index);
+    ASSERT_NE(moved.postings("m"), nullptr);
+    EXPECT_EQ(moved.postingCount(), 1u);
+}
+
+TEST(InvertedIndex, EmptyBlockIsNoOp)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {}));
+    EXPECT_TRUE(index.empty());
+}
+
+TEST(InvertedIndex, ManyTermsStressGrowth)
+{
+    InvertedIndex index;
+    for (DocId doc = 0; doc < 50; ++doc) {
+        TermBlock b;
+        b.doc = doc;
+        for (int t = 0; t < 100; ++t)
+            b.terms.push_back("term" + std::to_string(t * 7 % 400));
+        // Blocks carry unique terms per file; dedup within block.
+        std::sort(b.terms.begin(), b.terms.end());
+        b.terms.erase(std::unique(b.terms.begin(), b.terms.end()),
+                      b.terms.end());
+        index.addBlock(b);
+    }
+    EXPECT_GT(index.termCount(), 0u);
+    EXPECT_GT(index.postingCount(), index.termCount());
+}
+
+} // namespace
+} // namespace dsearch

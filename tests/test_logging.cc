@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for logging (util/logging.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+/** Restores sink and level after each test. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _old = setLogSink([this](LogLevel level, const std::string &m) {
+            _messages.emplace_back(level, m);
+        });
+        setLogLevel(LogLevel::Info);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(std::move(_old));
+        setLogLevel(LogLevel::Info);
+    }
+
+    std::vector<std::pair<LogLevel, std::string>> _messages;
+    LogSink _old;
+};
+
+TEST_F(LoggingTest, WarnReachesSink)
+{
+    warn("trouble ahead");
+    ASSERT_EQ(_messages.size(), 1u);
+    EXPECT_EQ(_messages[0].first, LogLevel::Warn);
+    EXPECT_EQ(_messages[0].second, "trouble ahead");
+}
+
+TEST_F(LoggingTest, InformReachesSink)
+{
+    inform("status update");
+    ASSERT_EQ(_messages.size(), 1u);
+    EXPECT_EQ(_messages[0].first, LogLevel::Info);
+}
+
+TEST_F(LoggingTest, LevelFiltersInform)
+{
+    setLogLevel(LogLevel::Warn);
+    inform("should be dropped");
+    warn("should pass");
+    ASSERT_EQ(_messages.size(), 1u);
+    EXPECT_EQ(_messages[0].second, "should pass");
+}
+
+TEST_F(LoggingTest, SilentDropsEverything)
+{
+    setLogLevel(LogLevel::Silent);
+    inform("no");
+    warn("no");
+    EXPECT_TRUE(_messages.empty());
+}
+
+TEST_F(LoggingTest, LogLevelReadback)
+{
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+}
+
+TEST_F(LoggingTest, SinkSwapReturnsPrevious)
+{
+    LogSink mine = setLogSink(nullptr); // default stderr
+    // Restore our capture and make sure it still works.
+    setLogSink(std::move(mine));
+    warn("captured again");
+    ASSERT_EQ(_messages.size(), 1u);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal bug"), "panic: internal bug");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user error"), ::testing::ExitedWithCode(1),
+                "fatal: user error");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for incremental index maintenance
+ * (index/maintainer.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/index_generator.hh"
+#include "fs/memory_fs.hh"
+#include "index/maintainer.hh"
+#include "search/searcher.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+/** Builds an initial 3-file index owned by a maintainer. */
+class MaintainerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _fs.addFile("/a.txt", "apple banana");
+        _fs.addFile("/b.txt", "banana cherry");
+        _fs.addFile("/c.txt", "cherry date");
+        IndexGenerator generator(_fs, "/", Config::sequential());
+        BuildResult result = generator.build();
+        _maintainer = std::make_unique<IndexMaintainer>(
+            std::move(result.indices.front()),
+            std::move(result.docs));
+    }
+
+    DocSet
+    search(const std::string &text)
+    {
+        Searcher searcher(_maintainer->index(),
+                          _maintainer->aliveDocs());
+        return searcher.run(Query::parse(text));
+    }
+
+    MemoryFs _fs;
+    std::unique_ptr<IndexMaintainer> _maintainer;
+};
+
+TEST_F(MaintainerTest, StartsWithEverythingAlive)
+{
+    EXPECT_EQ(_maintainer->aliveCount(), 3u);
+    EXPECT_TRUE(_maintainer->alive(0));
+    EXPECT_TRUE(_maintainer->alive(2));
+    EXPECT_FALSE(_maintainer->alive(3));
+    EXPECT_EQ(_maintainer->aliveDocs(), (std::vector<DocId>{0, 1, 2}));
+}
+
+TEST_F(MaintainerTest, AddDocumentIndexesNewFile)
+{
+    _fs.addFile("/d.txt", "date elderberry");
+    DocId doc = _maintainer->addDocument(_fs, "/d.txt");
+    ASSERT_EQ(doc, 3u);
+    EXPECT_EQ(_maintainer->aliveCount(), 4u);
+    EXPECT_EQ(_maintainer->docs().path(doc), "/d.txt");
+    EXPECT_EQ(search("elderberry"), (DocSet{3}));
+    EXPECT_EQ(search("date"), (DocSet{2, 3}));
+}
+
+TEST_F(MaintainerTest, AddUnreadableFileChangesNothing)
+{
+    setLogLevel(LogLevel::Silent);
+    DocId doc = _maintainer->addDocument(_fs, "/missing.txt");
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(doc, invalid_doc);
+    EXPECT_EQ(_maintainer->aliveCount(), 3u);
+    EXPECT_EQ(_maintainer->docs().docCount(), 3u);
+}
+
+TEST_F(MaintainerTest, RemoveDocumentDropsItsPostings)
+{
+    ASSERT_TRUE(_maintainer->removeDocument(1));
+    EXPECT_FALSE(_maintainer->alive(1));
+    EXPECT_EQ(_maintainer->aliveCount(), 2u);
+    EXPECT_EQ(search("banana"), (DocSet{0}));
+    EXPECT_TRUE(search("banana AND cherry").empty());
+    // NOT queries use the alive universe: doc 1 must not reappear.
+    EXPECT_EQ(search("NOT apple"), (DocSet{2}));
+}
+
+TEST_F(MaintainerTest, RemoveTwiceFails)
+{
+    EXPECT_TRUE(_maintainer->removeDocument(1));
+    EXPECT_FALSE(_maintainer->removeDocument(1));
+    EXPECT_FALSE(_maintainer->removeDocument(99));
+}
+
+TEST_F(MaintainerTest, RefreshPicksUpNewContent)
+{
+    _fs.addFile("/b.txt", "banana fig"); // replaces the old body
+    ASSERT_TRUE(_maintainer->refreshDocument(_fs, 1));
+    EXPECT_EQ(search("fig"), (DocSet{1}));
+    EXPECT_TRUE(search("cherry AND banana").empty());
+    EXPECT_EQ(search("cherry"), (DocSet{2}));
+    EXPECT_EQ(_maintainer->aliveCount(), 3u);
+}
+
+TEST_F(MaintainerTest, RefreshOfVanishedFileBecomesRemoval)
+{
+    // Simulate deletion by pointing the maintainer at a fresh FS
+    // without /b.txt.
+    MemoryFs bare;
+    bare.addFile("/a.txt", "apple banana");
+    setLogLevel(LogLevel::Silent);
+    EXPECT_FALSE(_maintainer->refreshDocument(bare, 1));
+    setLogLevel(LogLevel::Info);
+    EXPECT_FALSE(_maintainer->alive(1));
+    EXPECT_EQ(search("banana"), (DocSet{0}));
+}
+
+TEST_F(MaintainerTest, DocIdsNeverReused)
+{
+    _maintainer->removeDocument(2);
+    _fs.addFile("/new.txt", "fresh");
+    DocId doc = _maintainer->addDocument(_fs, "/new.txt");
+    EXPECT_EQ(doc, 3u); // not the freed 2
+    EXPECT_EQ(_maintainer->docs().path(2), "/c.txt"); // history kept
+}
+
+TEST_F(MaintainerTest, VacuumErasesEmptiedTerms)
+{
+    std::size_t before = _maintainer->index().termCount();
+    _maintainer->removeDocument(0); // apple's only doc
+    EXPECT_EQ(_maintainer->index().termCount(), before);
+    std::size_t erased = _maintainer->vacuum();
+    EXPECT_GE(erased, 1u); // at least "apple"
+    EXPECT_EQ(_maintainer->index().postings("apple"), nullptr);
+    // banana survives (doc 1 still has it).
+    EXPECT_NE(_maintainer->index().postings("banana"), nullptr);
+}
+
+TEST_F(MaintainerTest, RemoveAllThenSearchEmpty)
+{
+    for (DocId doc = 0; doc < 3; ++doc)
+        _maintainer->removeDocument(doc);
+    EXPECT_EQ(_maintainer->aliveCount(), 0u);
+    EXPECT_TRUE(search("banana").empty());
+    EXPECT_TRUE(search("NOT banana").empty()); // empty universe
+    EXPECT_EQ(_maintainer->index().postingCount(), 0u);
+}
+
+TEST_F(MaintainerTest, EquivalentToFreshRebuild)
+{
+    // A sequence of updates must leave the index equal to building
+    // from the final filesystem state (modulo dead doc ids).
+    _fs.addFile("/d.txt", "elderberry");
+    _maintainer->addDocument(_fs, "/d.txt");
+    _fs.addFile("/a.txt", "apricot banana");
+    _maintainer->refreshDocument(_fs, 0);
+    _maintainer->removeDocument(2);
+    _maintainer->vacuum();
+
+    // Rebuild from scratch over the same content minus /c.txt.
+    MemoryFs fresh;
+    fresh.addFile("/a.txt", "apricot banana");
+    fresh.addFile("/b.txt", "banana cherry");
+    fresh.addFile("/d.txt", "elderberry");
+    IndexGenerator generator(fresh, "/", Config::sequential());
+    BuildResult rebuilt = generator.build();
+    Searcher fresh_search(rebuilt.primary(),
+                          rebuilt.docs.docCount());
+
+    // Compare by query answers mapped through paths.
+    for (const char *text :
+         {"banana", "apricot", "cherry", "elderberry",
+          "banana AND cherry", "NOT banana"}) {
+        Query q = Query::parse(text);
+        std::vector<std::string> maintained_paths;
+        for (DocId doc : search(text))
+            maintained_paths.push_back(_maintainer->docs().path(doc));
+        std::vector<std::string> rebuilt_paths;
+        for (DocId doc : fresh_search.run(q))
+            rebuilt_paths.push_back(rebuilt.docs.path(doc));
+        std::sort(maintained_paths.begin(), maintained_paths.end());
+        std::sort(rebuilt_paths.begin(), rebuilt_paths.end());
+        EXPECT_EQ(maintained_paths, rebuilt_paths) << text;
+    }
+}
+
+TEST(MaintainerUniverse, SearcherRejectsBadUniverse)
+{
+    InvertedIndex index;
+    EXPECT_DEATH(Searcher(index, DocSet{3, 1, 2}), "sorted");
+    EXPECT_DEATH(Searcher(index, DocSet{1, 1}), "duplicate");
+}
+
+} // namespace
+} // namespace dsearch

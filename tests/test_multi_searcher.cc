@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit and property tests for parallel multi-index search
+ * (search/multi_searcher.hh).
+ *
+ * The key property: searching the unjoined replica set must give the
+ * same answer as searching the joined index, for every query shape —
+ * that is what makes Implementation 3 a legitimate design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
+#include "index/index_join.hh"
+#include "pipeline/thread_pool.hh"
+#include "search/multi_searcher.hh"
+#include "search/searcher.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+TEST(MultiSearcher, SingleReplicaMatchesPlainSearcher)
+{
+    std::vector<InvertedIndex> replicas(1);
+    replicas[0].addBlock(block(0, {"a"}));
+    replicas[0].addBlock(block(1, {"b"}));
+
+    MultiSearcher multi(replicas, 2);
+    Searcher single(replicas[0], 2);
+    for (const char *text : {"a", "b", "a OR b", "a AND b", "NOT a"}) {
+        Query q = Query::parse(text);
+        EXPECT_EQ(multi.run(q), single.run(q)) << text;
+    }
+}
+
+TEST(MultiSearcher, TermSpanningReplicas)
+{
+    std::vector<InvertedIndex> replicas(2);
+    replicas[0].addBlock(block(0, {"shared", "only0"}));
+    replicas[1].addBlock(block(1, {"shared", "only1"}));
+    MultiSearcher multi(replicas, 2);
+    EXPECT_EQ(multi.run(Query::parse("shared")), (DocSet{0, 1}));
+    EXPECT_EQ(multi.run(Query::parse("only1")), (DocSet{1}));
+}
+
+TEST(MultiSearcher, NotQueryRestrictedPerReplica)
+{
+    // Docs 0,2 in replica 0; docs 1,3 in replica 1.
+    std::vector<InvertedIndex> replicas(2);
+    replicas[0].addBlock(block(0, {"cat"}));
+    replicas[0].addBlock(block(2, {"dog"}));
+    replicas[1].addBlock(block(1, {"cat", "dog"}));
+    replicas[1].addBlock(block(3, {"fish"}));
+
+    MultiSearcher multi(replicas, 4);
+    // NOT cat over the full universe = {2, 3}.
+    EXPECT_EQ(multi.run(Query::parse("NOT cat")), (DocSet{2, 3}));
+    // dog AND NOT cat = {2}.
+    EXPECT_EQ(multi.run(Query::parse("dog AND NOT cat")),
+              (DocSet{2}));
+}
+
+TEST(MultiSearcher, OrphanDocsMatchNotQueries)
+{
+    // Doc 2 has no terms at all (empty file): in no replica.
+    std::vector<InvertedIndex> replicas(2);
+    replicas[0].addBlock(block(0, {"a"}));
+    replicas[1].addBlock(block(1, {"b"}));
+
+    MultiSearcher multi(replicas, 3);
+    EXPECT_EQ(multi.orphanDocs(), (DocSet{2}));
+    EXPECT_EQ(multi.run(Query::parse("NOT a")), (DocSet{1, 2}));
+    EXPECT_EQ(multi.run(Query::parse("NOT a AND NOT b")),
+              (DocSet{2}));
+    EXPECT_TRUE(multi.run(Query::parse("a AND NOT a")).empty());
+}
+
+TEST(MultiSearcher, OwnedDocsComputed)
+{
+    std::vector<InvertedIndex> replicas(2);
+    replicas[0].addBlock(block(0, {"x"}));
+    replicas[0].addBlock(block(5, {"y"}));
+    replicas[1].addBlock(block(3, {"z"}));
+    MultiSearcher multi(replicas, 6);
+    EXPECT_EQ(multi.ownedDocs(0), (DocSet{0, 5}));
+    EXPECT_EQ(multi.ownedDocs(1), (DocSet{3}));
+}
+
+TEST(MultiSearcher, InvalidQueryIsEmpty)
+{
+    std::vector<InvertedIndex> replicas(1);
+    replicas[0].addBlock(block(0, {"a"}));
+    MultiSearcher multi(replicas, 1);
+    EXPECT_TRUE(multi.run(Query::parse("(")).empty());
+}
+
+TEST(MultiSearcher, ParallelThreadsGiveSameAnswer)
+{
+    std::vector<InvertedIndex> replicas(4);
+    for (DocId doc = 0; doc < 100; ++doc) {
+        replicas[doc % 4].addBlock(block(
+            doc, {"w" + std::to_string(doc % 7),
+                  "w" + std::to_string(doc % 11)}));
+    }
+    MultiSearcher multi(replicas, 100);
+    Query q = Query::parse("w1 OR (w2 AND NOT w3)");
+    DocSet serial = multi.run(q, 1);
+    DocSet parallel = multi.run(q, 4);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_FALSE(serial.empty());
+}
+
+TEST(MultiSearcher, PersistentPoolGivesSameAnswer)
+{
+    std::vector<InvertedIndex> replicas(3);
+    for (DocId doc = 0; doc < 60; ++doc) {
+        replicas[doc % 3].addBlock(block(
+            doc, {"w" + std::to_string(doc % 5),
+                  "w" + std::to_string(doc % 9)}));
+    }
+    MultiSearcher multi(replicas, 60);
+    ThreadPool pool(2);
+    for (const char *text :
+         {"w1", "w2 AND w3", "NOT w4", "w0 OR (w1 AND NOT w2)"}) {
+        Query q = Query::parse(text);
+        EXPECT_EQ(multi.run(q, pool), multi.run(q, 1)) << text;
+    }
+}
+
+/**
+ * Property: for a real generator run with Implementation 3, querying
+ * the replicas equals querying the joined index — across query shapes
+ * and replica counts.
+ */
+class MultiVsJoined : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MultiVsJoined, EquivalentForAllQueryShapes)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(101)).generateInMemory();
+    Config cfg = Config::replicatedNoJoin(GetParam(), 0);
+    IndexGenerator generator(*fs, "/", cfg);
+    BuildResult result = generator.build();
+
+    std::size_t doc_count = result.docs.docCount();
+    MultiSearcher multi(result.indices, doc_count);
+
+    // Joined copy for the reference searcher. Rebuild rather than
+    // merging the result's replicas (they are still needed).
+    Config joined_cfg = Config::replicatedJoin(2, 2, 1);
+    BuildResult joined = IndexGenerator(*fs, "/", joined_cfg).build();
+    Searcher reference(joined.primary(), doc_count);
+
+    // Frequent corpus words: short ranks from the word generator.
+    const char *queries[] = {
+        "ba",
+        "be OR bi",
+        "ba AND be",
+        "ba AND NOT be",
+        "NOT ba",
+        "(ba OR be) AND (bi OR bo)",
+        "NOT (ba AND be)",
+        "missingterm",
+        "NOT missingterm",
+        "ba be bi",
+    };
+    for (const char *text : queries) {
+        Query q = Query::parse(text);
+        ASSERT_TRUE(q.valid()) << text;
+        EXPECT_EQ(multi.run(q, 2), reference.run(q))
+            << "query '" << text << "' with "
+            << GetParam() << " replicas";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicaCounts, MultiVsJoined,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the CLI option parser (util/options.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/options.hh"
+
+namespace dsearch {
+namespace {
+
+OptionParser
+makeParser()
+{
+    OptionParser parser("prog", "test program");
+    parser.addFlag("verbose", "chatty output");
+    parser.addInt("threads", "worker count", 4);
+    parser.addDouble("scale", "corpus scale", 0.1);
+    parser.addString("root", "corpus root", "/corpus");
+    return parser;
+}
+
+TEST(Options, DefaultsWithoutArguments)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog"};
+    parser.parse(1, argv);
+    EXPECT_FALSE(parser.flag("verbose"));
+    EXPECT_EQ(parser.intValue("threads"), 4);
+    EXPECT_DOUBLE_EQ(parser.doubleValue("scale"), 0.1);
+    EXPECT_EQ(parser.stringValue("root"), "/corpus");
+    EXPECT_TRUE(parser.positional().empty());
+}
+
+TEST(Options, SpaceSeparatedValues)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--threads", "8", "--root", "/tmp/x"};
+    parser.parse(5, argv);
+    EXPECT_EQ(parser.intValue("threads"), 8);
+    EXPECT_EQ(parser.stringValue("root"), "/tmp/x");
+}
+
+TEST(Options, EqualsSeparatedValues)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--threads=16", "--scale=0.5"};
+    parser.parse(3, argv);
+    EXPECT_EQ(parser.intValue("threads"), 16);
+    EXPECT_DOUBLE_EQ(parser.doubleValue("scale"), 0.5);
+}
+
+TEST(Options, FlagPresence)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--verbose"};
+    parser.parse(2, argv);
+    EXPECT_TRUE(parser.flag("verbose"));
+}
+
+TEST(Options, PositionalArguments)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "query", "--threads", "2", "terms"};
+    parser.parse(5, argv);
+    ASSERT_EQ(parser.positional().size(), 2u);
+    EXPECT_EQ(parser.positional()[0], "query");
+    EXPECT_EQ(parser.positional()[1], "terms");
+}
+
+TEST(Options, NegativeNumbers)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--threads=-2", "--scale=-0.5"};
+    parser.parse(3, argv);
+    EXPECT_EQ(parser.intValue("threads"), -2);
+    EXPECT_DOUBLE_EQ(parser.doubleValue("scale"), -0.5);
+}
+
+TEST(Options, HelpTextListsOptions)
+{
+    OptionParser parser = makeParser();
+    std::string help = parser.helpText();
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+    EXPECT_NE(help.find("--threads"), std::string::npos);
+    EXPECT_NE(help.find("worker count"), std::string::npos);
+    EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(OptionsDeath, UnknownOptionIsFatal)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--bogus"};
+    EXPECT_EXIT(parser.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(OptionsDeath, MalformedIntegerIsFatal)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--threads", "abc"};
+    EXPECT_EXIT(parser.parse(3, argv), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(OptionsDeath, MissingValueIsFatal)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--threads"};
+    EXPECT_EXIT(parser.parse(2, argv), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(OptionsDeath, FlagWithValueIsFatal)
+{
+    OptionParser parser = makeParser();
+    const char *argv[] = {"prog", "--verbose=yes"};
+    EXPECT_EXIT(parser.parse(2, argv), ::testing::ExitedWithCode(1),
+                "does not take a value");
+}
+
+TEST(OptionsDeath, QueryingUnregisteredOptionPanics)
+{
+    OptionParser parser = makeParser();
+    EXPECT_DEATH((void)parser.intValue("nonexistent"),
+                 "never registered");
+}
+
+TEST(OptionsDeath, WrongTypeQueryPanics)
+{
+    OptionParser parser = makeParser();
+    EXPECT_DEATH((void)parser.intValue("verbose"), "wrong type");
+}
+
+} // namespace
+} // namespace dsearch

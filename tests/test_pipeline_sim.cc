@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit and behaviour tests for the pipeline simulator
+ * (sim/pipeline_sim.hh).
+ *
+ * These check mechanisms (determinism, conservation, qualitative
+ * orderings); the quantitative reproduction of the paper's tables is
+ * the benchmark harnesses' job and recorded in EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_sim.hh"
+#include "util/stats.hh"
+
+namespace dsearch {
+namespace {
+
+/** Small workload: the paper corpus scaled down 50x. */
+const WorkloadModel &
+smallWorkload()
+{
+    static WorkloadModel model =
+        WorkloadModel::fromCorpusSpec(CorpusSpec::paperScaled(0.02));
+    return model;
+}
+
+TEST(WorkloadModel, DerivedCountsConsistent)
+{
+    const WorkloadModel &w = smallWorkload();
+    EXPECT_EQ(w.fileCount(), w.files().size());
+    EXPECT_GT(w.totalBytes(), 0u);
+    EXPECT_GT(w.totalTokens(), 0u);
+    EXPECT_GT(w.totalTerms(), 0u);
+    // Dedup can only shrink.
+    EXPECT_LT(w.totalTerms(), w.totalTokens());
+    std::uint64_t bytes = 0;
+    for (const FileModel &f : w.files())
+        bytes += f.bytes;
+    EXPECT_EQ(bytes, w.totalBytes());
+}
+
+TEST(WorkloadModel, TermsSaturateForLargeFiles)
+{
+    const WorkloadModel &w = smallWorkload();
+    const CorpusSpec spec = CorpusSpec::paperScaled(0.02);
+    for (const FileModel &f : w.files())
+        EXPECT_LE(f.terms, spec.vocabulary_size);
+}
+
+TEST(WorkloadModel, CoarsenPreservesTotals)
+{
+    WorkloadModel w = smallWorkload();
+    std::uint64_t files = w.fileCount();
+    std::uint64_t bytes = w.totalBytes();
+    std::uint64_t tokens = w.totalTokens();
+    std::uint64_t terms = w.totalTerms();
+    std::size_t entries_before = w.files().size();
+
+    w.coarsen(4);
+    EXPECT_LT(w.files().size(), entries_before);
+    EXPECT_EQ(w.totalBytes(), bytes);
+    EXPECT_EQ(w.totalTokens(), tokens);
+    EXPECT_EQ(w.totalTerms(), terms);
+
+    std::uint64_t count = 0;
+    for (const FileModel &f : w.files())
+        count += f.count;
+    EXPECT_EQ(count, files);
+}
+
+TEST(WorkloadModel, CoarsenFactorOneIsNoOp)
+{
+    WorkloadModel w = smallWorkload();
+    std::size_t entries = w.files().size();
+    w.coarsen(1);
+    EXPECT_EQ(w.files().size(), entries);
+}
+
+TEST(PipelineSim, SequentialDeterministic)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    SimResult a = sim.run(Config::sequential());
+    SimResult b = sim.run(Config::sequential());
+    EXPECT_DOUBLE_EQ(a.total_sec, b.total_sec);
+    EXPECT_GT(a.total_sec, 0.0);
+}
+
+TEST(PipelineSim, ParallelDeterministic)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    Config cfg = Config::sharedLocked(3, 1);
+    SimResult a = sim.run(cfg);
+    SimResult b = sim.run(cfg);
+    EXPECT_DOUBLE_EQ(a.total_sec, b.total_sec);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_GT(a.events, 0u);
+}
+
+TEST(PipelineSim, ParallelBeatsSequential)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    double seq = sim.run(Config::sequential()).total_sec;
+    double par = sim.run(Config::sharedLocked(3, 1)).total_sec;
+    EXPECT_LT(par, seq);
+    EXPECT_GT(speedup(seq, par), 1.5);
+}
+
+TEST(PipelineSim, StageTimesAreConsistent)
+{
+    PipelineSim sim(PlatformSpec::octCore2010(), smallWorkload());
+    SimResult r = sim.run(Config::replicatedJoin(4, 2, 1));
+    EXPECT_GT(r.stages.read_and_extract, 0.0);
+    EXPECT_GE(r.stages.index_update, 0.0);
+    EXPECT_GE(r.stages.join, 0.0);
+    EXPECT_GE(r.total_sec, r.stages.read_and_extract);
+    EXPECT_NEAR(r.stages.total, r.total_sec, 1e-9);
+}
+
+TEST(PipelineSim, MeasureStagesMatchesTable1Shape)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(),
+                    WorkloadModel::fromCorpusSpec(
+                        CorpusSpec::paperScaled(0.05)));
+    StageTimes t = sim.measureStages();
+    // Qualitative Table 1 shape: reading dominates extraction;
+    // filename generation is small; index update is a fraction of
+    // reading.
+    EXPECT_GT(t.read_files, t.filename_generation);
+    EXPECT_GT(t.read_and_extract, t.read_files);
+    EXPECT_GT(t.index_update, 0.0);
+    EXPECT_LT(t.index_update, t.read_files);
+}
+
+TEST(PipelineSim, MoreExtractorsReduceTimeUpToAPoint)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    double x1 = sim.run(Config::sharedLocked(1, 1)).total_sec;
+    double x3 = sim.run(Config::sharedLocked(3, 1)).total_sec;
+    EXPECT_LT(x3, x1);
+}
+
+TEST(PipelineSim, TooManyExtractorsThrashTheDisk)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    double x3 = sim.run(Config::replicatedNoJoin(3, 1)).total_sec;
+    double x12 = sim.run(Config::replicatedNoJoin(12, 1)).total_sec;
+    EXPECT_GT(x12, x3);
+}
+
+TEST(PipelineSim, Impl3NotSlowerThanImpl1OnOctCore)
+{
+    // The paper's 8-core headline: replicated private indices beat
+    // the single locked index.
+    PipelineSim sim(PlatformSpec::octCore2010(), smallWorkload());
+    double impl1 = sim.run(Config::sharedLocked(6, 2)).total_sec;
+    double impl3 = sim.run(Config::replicatedNoJoin(6, 2)).total_sec;
+    EXPECT_LT(impl3, impl1);
+}
+
+TEST(PipelineSim, Impl2PaysForTheJoin)
+{
+    PipelineSim sim(PlatformSpec::octCore2010(), smallWorkload());
+    double impl2 =
+        sim.run(Config::replicatedJoin(6, 2, 1)).total_sec;
+    double impl3 = sim.run(Config::replicatedNoJoin(6, 2)).total_sec;
+    EXPECT_GT(impl2, impl3);
+}
+
+TEST(PipelineSim, ImmediateModeSlowerThanEnBloc)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    Config en_bloc = Config::sharedLocked(3, 1);
+    Config immediate = en_bloc;
+    immediate.en_bloc = false;
+    EXPECT_GT(sim.run(immediate).total_sec,
+              sim.run(en_bloc).total_sec);
+}
+
+TEST(PipelineSim, UtilizationAccountingPlausible)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    SimResult r = sim.run(Config::sharedLocked(3, 1));
+    EXPECT_GT(r.disk_busy_sec, 0.0);
+    EXPECT_GT(r.cpu_busy_sec, 0.0);
+    // Busy time cannot exceed capacity x wall time.
+    EXPECT_LE(r.disk_busy_sec, r.total_sec * 8 + 1e-9);
+    EXPECT_LE(r.cpu_busy_sec, r.total_sec * 4 + 1e-9);
+}
+
+TEST(PipelineSim, CoarseningBarelyChangesResults)
+{
+    WorkloadModel fine = smallWorkload();
+    WorkloadModel coarse = smallWorkload();
+    coarse.coarsen(4);
+    PipelineSim sim_fine(PlatformSpec::octCore2010(), fine);
+    PipelineSim sim_coarse(PlatformSpec::octCore2010(), coarse);
+    Config cfg = Config::replicatedNoJoin(4, 2);
+    double a = sim_fine.run(cfg).total_sec;
+    double b = sim_coarse.run(cfg).total_sec;
+    EXPECT_NEAR(a, b, a * 0.15) << "coarsening distorted the result";
+}
+
+TEST(PipelineSim, InterleavedSequentialSlowerThanScanPasses)
+{
+    // The paper's anomaly: the sequential program exceeds the sum of
+    // its dedicated passes on disk-backed platforms.
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    StageTimes passes = sim.measureStages();
+    double seq = sim.run(Config::sequential()).total_sec;
+    double pass_sum = passes.filename_generation
+                      + passes.read_and_extract + passes.index_update;
+    EXPECT_GT(seq, pass_sum * 1.2);
+}
+
+TEST(PipelineSim, TinyQueueCapacityAddsBackPressure)
+{
+    PipelineSim sim(PlatformSpec::manyCore2010(), smallWorkload());
+    Config roomy = Config::sharedLocked(6, 2);
+    roomy.queue_capacity = 512;
+    Config cramped = Config::sharedLocked(6, 2);
+    cramped.queue_capacity = 1;
+    // A 1-slot buffer can only stall extractors more, never less.
+    EXPECT_GE(sim.run(cramped).total_sec,
+              sim.run(roomy).total_sec * 0.999);
+}
+
+TEST(PipelineSim, ImmediateModeWithUpdatersSimulates)
+{
+    PipelineSim sim(PlatformSpec::octCore2010(), smallWorkload());
+    Config cfg = Config::sharedLocked(3, 2);
+    cfg.en_bloc = false;
+    SimResult r = sim.run(cfg);
+    EXPECT_GT(r.total_sec, 0.0);
+    // Immediate mode must cost more than en-bloc on the same tuple.
+    EXPECT_GT(r.total_sec,
+              sim.run(Config::sharedLocked(3, 2)).total_sec);
+}
+
+TEST(PipelineSim, ReplicatedJoinMoreJoinersNeverSlower)
+{
+    PipelineSim sim(PlatformSpec::manyCore2010(), smallWorkload());
+    Config z1 = Config::replicatedJoin(8, 4, 1);
+    Config z4 = Config::replicatedJoin(8, 4, 4);
+    // The analytic reduction is parallel: more lanes cannot hurt.
+    EXPECT_LE(sim.run(z4).stages.join,
+              sim.run(z1).stages.join + 1e-9);
+}
+
+TEST(PipelineSim, LockWaitOnlyUnderSharedImplementation)
+{
+    PipelineSim sim(PlatformSpec::octCore2010(), smallWorkload());
+    SimResult shared = sim.run(Config::sharedLocked(6, 2));
+    SimResult replicated = sim.run(Config::replicatedNoJoin(6, 2));
+    EXPECT_GT(shared.lock_wait_sec, 0.0);
+    EXPECT_EQ(replicated.lock_wait_sec, 0.0);
+}
+
+TEST(PipelineSimDeath, PipelinedStage1Rejected)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    Config cfg = Config::sharedLocked(2, 1);
+    cfg.pipelined_stage1 = true;
+    EXPECT_EXIT(sim.run(cfg), ::testing::ExitedWithCode(1),
+                "not modelled");
+}
+
+TEST(PipelineSimDeath, NonRoundRobinRejected)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(), smallWorkload());
+    Config cfg = Config::sharedLocked(2, 1);
+    cfg.distribution = DistributionKind::WorkStealing;
+    EXPECT_EXIT(sim.run(cfg), ::testing::ExitedWithCode(1),
+                "round-robin");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the platform registry (sim/platform.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Platform, PaperPlatformCoreCounts)
+{
+    EXPECT_EQ(PlatformSpec::quadCore2010().cores, 4u);
+    EXPECT_EQ(PlatformSpec::octCore2010().cores, 8u);
+    EXPECT_EQ(PlatformSpec::manyCore2010().cores, 32u);
+}
+
+TEST(Platform, NamesIdentifyMachines)
+{
+    EXPECT_NE(PlatformSpec::quadCore2010().name.find("4-core"),
+              std::string::npos);
+    EXPECT_NE(PlatformSpec::octCore2010().name.find("8-core"),
+              std::string::npos);
+    EXPECT_NE(PlatformSpec::manyCore2010().name.find("32-core"),
+              std::string::npos);
+}
+
+TEST(Platform, AllCostsPositive)
+{
+    for (const PlatformSpec &p :
+         {PlatformSpec::quadCore2010(), PlatformSpec::octCore2010(),
+          PlatformSpec::manyCore2010(), PlatformSpec::host(2)}) {
+        EXPECT_GT(p.cores, 0u) << p.name;
+        EXPECT_GT(p.scan_us_per_mb, 0.0) << p.name;
+        EXPECT_GT(p.insert_us_per_term, 0.0) << p.name;
+        EXPECT_GE(p.lock_us, 0.0) << p.name;
+        EXPECT_GT(p.disk.bandwidth_mbps, 0.0) << p.name;
+        EXPECT_GT(p.disk.channels, 0u) << p.name;
+        EXPECT_GE(p.disk.cached_fraction, 0.0) << p.name;
+        EXPECT_LE(p.disk.cached_fraction, 1.0) << p.name;
+        EXPECT_GE(p.cold_insert_factor, 1.0) << p.name;
+        EXPECT_GE(p.dup_scan_factor, 1.0) << p.name;
+    }
+}
+
+TEST(Platform, InterleavedSeekExceedsScanSeek)
+{
+    // The whole sequential-slowness story requires this ordering.
+    for (const PlatformSpec &p :
+         {PlatformSpec::quadCore2010(), PlatformSpec::octCore2010(),
+          PlatformSpec::manyCore2010()}) {
+        EXPECT_GT(p.disk.seek_interleaved_ms, p.disk.seek_scan_ms)
+            << p.name;
+        EXPECT_GT(p.disk.seek_scan_ms, p.disk.seek_floor_ms)
+            << p.name;
+    }
+}
+
+TEST(Platform, OnlyManyCoreSeesPageCache)
+{
+    EXPECT_EQ(PlatformSpec::quadCore2010().disk.cached_fraction, 0.0);
+    EXPECT_EQ(PlatformSpec::octCore2010().disk.cached_fraction, 0.0);
+    EXPECT_GT(PlatformSpec::manyCore2010().disk.cached_fraction, 0.0);
+}
+
+TEST(Platform, HostDetectsOrOverridesCores)
+{
+    EXPECT_EQ(PlatformSpec::host(6).cores, 6u);
+    EXPECT_GE(PlatformSpec::host(0).cores, 1u);
+}
+
+TEST(Platform, HostDiskIsMemoryLike)
+{
+    PlatformSpec host = PlatformSpec::host(2);
+    EXPECT_EQ(host.disk.seek_scan_ms, 0.0);
+    EXPECT_GT(host.disk.bandwidth_mbps, 1000.0);
+}
+
+} // namespace
+} // namespace dsearch

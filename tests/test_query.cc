@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the query parser (search/query.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "search/query.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Query, SingleTerm)
+{
+    Query q = Query::parse("hello");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::Term);
+    EXPECT_EQ(q.root().term, "hello");
+    EXPECT_EQ(q.toString(), "hello");
+}
+
+TEST(Query, TermsAreCaseFolded)
+{
+    Query q = Query::parse("HeLLo");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().term, "hello");
+}
+
+TEST(Query, ExplicitAnd)
+{
+    Query q = Query::parse("cats AND dogs");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::And);
+    ASSERT_EQ(q.root().children.size(), 2u);
+    EXPECT_EQ(q.root().children[0].term, "cats");
+    EXPECT_EQ(q.root().children[1].term, "dogs");
+}
+
+TEST(Query, ImplicitAndFromAdjacency)
+{
+    Query q = Query::parse("cats dogs birds");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::And);
+    EXPECT_EQ(q.root().children.size(), 3u);
+    EXPECT_EQ(q.toString(), "(cats AND dogs AND birds)");
+}
+
+TEST(Query, OrChain)
+{
+    Query q = Query::parse("a OR b OR c");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::Or);
+    EXPECT_EQ(q.root().children.size(), 3u);
+}
+
+TEST(Query, AndBindsTighterThanOr)
+{
+    Query q = Query::parse("a b OR c");
+    ASSERT_TRUE(q.valid());
+    ASSERT_EQ(q.root().kind, QueryNode::Kind::Or);
+    ASSERT_EQ(q.root().children.size(), 2u);
+    EXPECT_EQ(q.root().children[0].kind, QueryNode::Kind::And);
+    EXPECT_EQ(q.root().children[1].kind, QueryNode::Kind::Term);
+    EXPECT_EQ(q.toString(), "((a AND b) OR c)");
+}
+
+TEST(Query, NotUnary)
+{
+    Query q = Query::parse("NOT spam");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::Not);
+    ASSERT_EQ(q.root().children.size(), 1u);
+    EXPECT_EQ(q.root().children[0].term, "spam");
+}
+
+TEST(Query, NotBindsToNearestOperand)
+{
+    Query q = Query::parse("ham AND NOT spam");
+    ASSERT_TRUE(q.valid());
+    ASSERT_EQ(q.root().kind, QueryNode::Kind::And);
+    EXPECT_EQ(q.root().children[1].kind, QueryNode::Kind::Not);
+}
+
+TEST(Query, DoubleNegation)
+{
+    Query q = Query::parse("NOT NOT x");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::Not);
+    EXPECT_EQ(q.root().children[0].kind, QueryNode::Kind::Not);
+}
+
+TEST(Query, ParenthesesOverridePrecedence)
+{
+    Query q = Query::parse("a AND (b OR c)");
+    ASSERT_TRUE(q.valid());
+    ASSERT_EQ(q.root().kind, QueryNode::Kind::And);
+    EXPECT_EQ(q.root().children[1].kind, QueryNode::Kind::Or);
+    EXPECT_EQ(q.toString(), "(a AND (b OR c))");
+}
+
+TEST(Query, NestedParentheses)
+{
+    Query q = Query::parse("((a))");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::Term);
+    EXPECT_EQ(q.root().term, "a");
+}
+
+TEST(Query, OperatorsAreCaseInsensitive)
+{
+    Query q = Query::parse("a and b or not c");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().kind, QueryNode::Kind::Or);
+}
+
+TEST(Query, PunctuationIgnoredInTerms)
+{
+    Query q = Query::parse("c++ rocks!");
+    ASSERT_TRUE(q.valid());
+    ASSERT_EQ(q.root().kind, QueryNode::Kind::And);
+    EXPECT_EQ(q.root().children[0].term, "c");
+    EXPECT_EQ(q.root().children[1].term, "rocks");
+}
+
+TEST(Query, EmptyQueryInvalid)
+{
+    Query q = Query::parse("");
+    EXPECT_FALSE(q.valid());
+    EXPECT_EQ(q.error(), "empty query");
+    Query q2 = Query::parse("   .,!  ");
+    EXPECT_FALSE(q2.valid());
+}
+
+TEST(Query, MissingOperandInvalid)
+{
+    EXPECT_FALSE(Query::parse("a AND").valid());
+    EXPECT_FALSE(Query::parse("OR b").valid());
+    EXPECT_FALSE(Query::parse("NOT").valid());
+}
+
+TEST(Query, UnbalancedParensInvalid)
+{
+    EXPECT_FALSE(Query::parse("(a AND b").valid());
+    EXPECT_FALSE(Query::parse("a)").valid());
+    EXPECT_FALSE(Query::parse("()").valid());
+}
+
+TEST(Query, InvalidQueryToStringMentionsError)
+{
+    Query q = Query::parse("(");
+    ASSERT_FALSE(q.valid());
+    EXPECT_NE(q.toString().find("invalid"), std::string::npos);
+}
+
+TEST(QueryDeath, RootOfInvalidQueryPanics)
+{
+    Query q = Query::parse("");
+    EXPECT_DEATH((void)q.root(), "invalid query");
+}
+
+TEST(Query, NumericTerms)
+{
+    Query q = Query::parse("2010 AND report");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.root().children[0].term, "2010");
+}
+
+TEST(Query, ComplexQueryRoundTrip)
+{
+    Query q = Query::parse("(alpha OR beta) AND NOT (gamma delta)");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.toString(),
+              "((alpha OR beta) AND (NOT (gamma AND delta)))");
+}
+
+} // namespace
+} // namespace dsearch

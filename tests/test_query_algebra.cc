@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Property tests for boolean query evaluation against a brute-force
+ * oracle, plus algebraic laws (De Morgan, double negation,
+ * commutativity, absorption) checked on randomly generated queries
+ * over randomly generated indices.
+ *
+ * The oracle evaluates the query per document by set membership —
+ * an independent implementation of the semantics the posting-list
+ * algebra in search/searcher.cc must match.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "search/searcher.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+constexpr std::size_t vocab = 8;
+constexpr std::size_t doc_count = 64;
+
+std::string
+word(std::size_t v)
+{
+    return "w" + std::to_string(v);
+}
+
+/** Random index: each doc gets a random subset of the vocabulary. */
+struct Fixture
+{
+    InvertedIndex index;
+    std::vector<std::set<std::string>> doc_terms;
+
+    explicit
+    Fixture(std::uint64_t seed)
+        : doc_terms(doc_count)
+    {
+        Rng rng(seed);
+        for (DocId doc = 0; doc < doc_count; ++doc) {
+            TermBlock block;
+            block.doc = doc;
+            for (std::size_t v = 0; v < vocab; ++v) {
+                if (rng.bernoulli(0.4)) {
+                    block.terms.push_back(word(v));
+                    doc_terms[doc].insert(word(v));
+                }
+            }
+            index.addBlock(block);
+        }
+    }
+};
+
+/** Brute-force per-document evaluation. */
+bool
+oracleMatches(const QueryNode &node,
+              const std::set<std::string> &terms)
+{
+    switch (node.kind) {
+      case QueryNode::Kind::Term:
+        return terms.count(node.term) > 0;
+      case QueryNode::Kind::And:
+        for (const QueryNode &child : node.children)
+            if (!oracleMatches(child, terms))
+                return false;
+        return true;
+      case QueryNode::Kind::Or:
+        for (const QueryNode &child : node.children)
+            if (oracleMatches(child, terms))
+                return true;
+        return false;
+      case QueryNode::Kind::Not:
+        return !oracleMatches(node.children.front(), terms);
+    }
+    return false;
+}
+
+DocSet
+oracleRun(const Fixture &fixture, const Query &query)
+{
+    DocSet out;
+    for (DocId doc = 0; doc < doc_count; ++doc)
+        if (oracleMatches(query.root(), fixture.doc_terms[doc]))
+            out.push_back(doc);
+    return out;
+}
+
+/** Random query text of bounded depth. */
+std::string
+randomQuery(Rng &rng, int depth)
+{
+    if (depth <= 0 || rng.bernoulli(0.4))
+        return word(rng.uniform(0, vocab)); // vocab index may miss
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        return "(" + randomQuery(rng, depth - 1) + " AND "
+               + randomQuery(rng, depth - 1) + ")";
+      case 1:
+        return "(" + randomQuery(rng, depth - 1) + " OR "
+               + randomQuery(rng, depth - 1) + ")";
+      default:
+        return "(NOT " + randomQuery(rng, depth - 1) + ")";
+    }
+}
+
+class QueryAlgebra : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(QueryAlgebra, SearcherMatchesBruteForceOracle)
+{
+    Fixture fixture(GetParam());
+    Searcher searcher(fixture.index, doc_count);
+    Rng rng(GetParam() * 31 + 7);
+    for (int i = 0; i < 60; ++i) {
+        std::string text = randomQuery(rng, 3);
+        Query query = Query::parse(text);
+        ASSERT_TRUE(query.valid()) << text;
+        ASSERT_EQ(searcher.run(query), oracleRun(fixture, query))
+            << "oracle mismatch for: " << text;
+    }
+}
+
+TEST_P(QueryAlgebra, DeMorganLaws)
+{
+    Fixture fixture(GetParam());
+    Searcher searcher(fixture.index, doc_count);
+    Rng rng(GetParam() * 17 + 3);
+    for (int i = 0; i < 30; ++i) {
+        std::string a = randomQuery(rng, 2);
+        std::string b = randomQuery(rng, 2);
+        Query lhs_and =
+            Query::parse("NOT (" + a + " AND " + b + ")");
+        Query rhs_and =
+            Query::parse("(NOT " + a + ") OR (NOT " + b + ")");
+        ASSERT_EQ(searcher.run(lhs_and), searcher.run(rhs_and))
+            << "De Morgan (AND) failed: " << a << " / " << b;
+
+        Query lhs_or = Query::parse("NOT (" + a + " OR " + b + ")");
+        Query rhs_or =
+            Query::parse("(NOT " + a + ") AND (NOT " + b + ")");
+        ASSERT_EQ(searcher.run(lhs_or), searcher.run(rhs_or))
+            << "De Morgan (OR) failed: " << a << " / " << b;
+    }
+}
+
+TEST_P(QueryAlgebra, DoubleNegationIsIdentity)
+{
+    Fixture fixture(GetParam());
+    Searcher searcher(fixture.index, doc_count);
+    Rng rng(GetParam() * 13 + 1);
+    for (int i = 0; i < 30; ++i) {
+        std::string a = randomQuery(rng, 2);
+        ASSERT_EQ(searcher.run(Query::parse("NOT NOT " + a)),
+                  searcher.run(Query::parse(a)))
+            << a;
+    }
+}
+
+TEST_P(QueryAlgebra, CommutativityAndIdempotence)
+{
+    Fixture fixture(GetParam());
+    Searcher searcher(fixture.index, doc_count);
+    Rng rng(GetParam() * 11 + 5);
+    for (int i = 0; i < 30; ++i) {
+        std::string a = randomQuery(rng, 2);
+        std::string b = randomQuery(rng, 2);
+        ASSERT_EQ(
+            searcher.run(Query::parse("(" + a + " AND " + b + ")")),
+            searcher.run(Query::parse("(" + b + " AND " + a + ")")));
+        ASSERT_EQ(
+            searcher.run(Query::parse("(" + a + " OR " + b + ")")),
+            searcher.run(Query::parse("(" + b + " OR " + a + ")")));
+        ASSERT_EQ(
+            searcher.run(Query::parse("(" + a + " AND " + a + ")")),
+            searcher.run(Query::parse(a)));
+        ASSERT_EQ(
+            searcher.run(Query::parse("(" + a + " OR " + a + ")")),
+            searcher.run(Query::parse(a)));
+    }
+}
+
+TEST_P(QueryAlgebra, AbsorptionAndComplement)
+{
+    Fixture fixture(GetParam());
+    Searcher searcher(fixture.index, doc_count);
+    Rng rng(GetParam() * 7 + 11);
+    for (int i = 0; i < 30; ++i) {
+        std::string a = randomQuery(rng, 2);
+        std::string b = randomQuery(rng, 2);
+        // a AND (a OR b) == a
+        ASSERT_EQ(searcher.run(Query::parse(
+                      "(" + a + " AND (" + a + " OR " + b + "))")),
+                  searcher.run(Query::parse(a)));
+        // a AND NOT a == empty
+        ASSERT_TRUE(searcher
+                        .run(Query::parse("(" + a + " AND NOT " + a
+                                          + ")"))
+                        .empty());
+        // a OR NOT a == universe
+        ASSERT_EQ(searcher
+                      .run(Query::parse("(" + a + " OR NOT " + a
+                                        + ")"))
+                      .size(),
+                  doc_count);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryAlgebra,
+                         ::testing::Values(1, 2, 3, 42, 2010));
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for ranked retrieval (search/ranked.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/ranked.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+/**
+ * Fixture: 4 docs of equal size.
+ *   0: common rare      2: common
+ *   1: common           3: common rare other
+ */
+class RankedTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (int d = 0; d < 4; ++d)
+            _docs.add("/f" + std::to_string(d), 1000);
+        _index.addBlock(block(0, {"common", "rare"}));
+        _index.addBlock(block(1, {"common"}));
+        _index.addBlock(block(2, {"common"}));
+        _index.addBlock(block(3, {"common", "rare", "other"}));
+        _ranked = std::make_unique<RankedSearcher>(_index, _docs);
+    }
+
+    InvertedIndex _index;
+    DocTable _docs;
+    std::unique_ptr<RankedSearcher> _ranked;
+};
+
+TEST_F(RankedTest, RareTermsScoreHigher)
+{
+    auto hits = _ranked->topK(Query::parse("common OR rare"), 10);
+    ASSERT_EQ(hits.size(), 4u);
+    // Docs containing the rare term outrank common-only docs.
+    EXPECT_TRUE(hits[0].doc == 0 || hits[0].doc == 3);
+    EXPECT_TRUE(hits[1].doc == 0 || hits[1].doc == 3);
+    EXPECT_GT(hits[1].score, hits[2].score);
+}
+
+TEST_F(RankedTest, KTruncates)
+{
+    auto hits = _ranked->topK(Query::parse("common"), 2);
+    EXPECT_EQ(hits.size(), 2u);
+    EXPECT_TRUE(_ranked->topK(Query::parse("common"), 0).empty());
+}
+
+TEST_F(RankedTest, ScoresDescendTiesByDocId)
+{
+    auto hits = _ranked->topK(Query::parse("common"), 10);
+    ASSERT_EQ(hits.size(), 4u);
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+        EXPECT_TRUE(hits[i - 1].score > hits[i].score
+                    || (hits[i - 1].score == hits[i].score
+                        && hits[i - 1].doc < hits[i].doc));
+    }
+    // Docs 1 and 2 have identical content and size: tie by id.
+    auto only_common = _ranked->topK(Query::parse("common"), 10);
+    std::size_t pos1 = 99, pos2 = 99;
+    for (std::size_t i = 0; i < only_common.size(); ++i) {
+        if (only_common[i].doc == 1)
+            pos1 = i;
+        if (only_common[i].doc == 2)
+            pos2 = i;
+    }
+    EXPECT_LT(pos1, pos2);
+}
+
+TEST_F(RankedTest, MatchSetEqualsBooleanSearch)
+{
+    Searcher boolean(_index, _docs.docCount());
+    for (const char *text :
+         {"common", "rare", "common AND NOT rare", "rare OR other"}) {
+        Query q = Query::parse(text);
+        auto hits = _ranked->topK(q, 100);
+        DocSet ranked_docs;
+        for (const ScoredHit &hit : hits)
+            ranked_docs.push_back(hit.doc);
+        std::sort(ranked_docs.begin(), ranked_docs.end());
+        EXPECT_EQ(ranked_docs, boolean.run(q)) << text;
+    }
+}
+
+TEST_F(RankedTest, NegatedTermsDoNotScore)
+{
+    // "common AND NOT rare" matches docs 1, 2; 'rare' must not
+    // contribute score (it cannot: matches lack it), and 'common'
+    // alone gives equal scores.
+    auto hits = _ranked->topK(Query::parse("common AND NOT rare"), 10);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_DOUBLE_EQ(hits[0].score, hits[1].score);
+}
+
+TEST_F(RankedTest, LengthPenaltyPrefersShorterDocs)
+{
+    InvertedIndex index;
+    DocTable docs;
+    docs.add("/short", 100);
+    docs.add("/long", 1000000);
+    index.addBlock(block(0, {"term"}));
+    index.addBlock(block(1, {"term"}));
+    RankedSearcher ranked(index, docs);
+    auto hits = ranked.topK(Query::parse("term"), 10);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].doc, 0u);
+    EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST_F(RankedTest, InvalidQueryEmpty)
+{
+    EXPECT_TRUE(_ranked->topK(Query::parse("("), 10).empty());
+}
+
+TEST_F(RankedTest, IdfValues)
+{
+    // common: df 4 of 4 -> ln(2); rare: df 2 of 4 -> ln(3).
+    EXPECT_NEAR(_ranked->idf("common"), std::log(2.0), 1e-12);
+    EXPECT_NEAR(_ranked->idf("rare"), std::log(3.0), 1e-12);
+    EXPECT_EQ(_ranked->idf("nonexistent"), 0.0);
+}
+
+TEST(PositiveTerms, CollectsOnlyPositiveContext)
+{
+    Query q = Query::parse("a AND NOT b OR (c AND NOT NOT d)");
+    auto terms = positiveTerms(q.root());
+    EXPECT_EQ(terms,
+              (std::vector<std::string>{"a", "c", "d"}));
+}
+
+TEST(PositiveTerms, Deduplicates)
+{
+    Query q = Query::parse("x OR x OR (x AND y)");
+    auto terms = positiveTerms(q.root());
+    EXPECT_EQ(terms, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(PositiveTerms, AllNegatedYieldsNothing)
+{
+    Query q = Query::parse("NOT (a OR b)");
+    EXPECT_TRUE(positiveTerms(q.root()).empty());
+}
+
+} // namespace
+} // namespace dsearch

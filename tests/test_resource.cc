@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for simulated resources (sim/resource.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Resource, GrantsUpToServerCount)
+{
+    EventQueue eq;
+    Resource res(eq, "cpu", 2);
+    int granted = 0;
+    res.acquire([&granted] { ++granted; });
+    res.acquire([&granted] { ++granted; });
+    res.acquire([&granted] { ++granted; }); // must wait
+    eq.runAll();
+    EXPECT_EQ(granted, 2);
+    EXPECT_EQ(res.busy(), 2u);
+    EXPECT_EQ(res.queueLength(), 1u);
+}
+
+TEST(Resource, ReleaseHandsOverFifo)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    std::vector<int> order;
+    res.acquire([&] { order.push_back(0); });
+    res.acquire([&] { order.push_back(1); });
+    res.acquire([&] { order.push_back(2); });
+    eq.runAll();
+    ASSERT_EQ(order.size(), 1u);
+
+    res.release();
+    eq.runAll();
+    res.release();
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(res.busy(), 1u);
+    res.release();
+    EXPECT_EQ(res.busy(), 0u);
+}
+
+TEST(Resource, UseHoldsForServiceTime)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    SimTime done_at = 0;
+    res.use(500, [&eq, &done_at] { done_at = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(done_at, 500u);
+    EXPECT_EQ(res.busy(), 0u);
+}
+
+TEST(Resource, SerialUseQueues)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    std::vector<SimTime> finish;
+    for (int i = 0; i < 3; ++i)
+        res.use(100, [&eq, &finish] { finish.push_back(eq.now()); });
+    eq.runAll();
+    ASSERT_EQ(finish.size(), 3u);
+    EXPECT_EQ(finish[0], 100u);
+    EXPECT_EQ(finish[1], 200u);
+    EXPECT_EQ(finish[2], 300u);
+}
+
+TEST(Resource, ParallelServersOverlap)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 3);
+    std::vector<SimTime> finish;
+    for (int i = 0; i < 3; ++i)
+        res.use(100, [&eq, &finish] { finish.push_back(eq.now()); });
+    eq.runAll();
+    for (SimTime t : finish)
+        EXPECT_EQ(t, 100u);
+}
+
+TEST(Resource, BusySecondsIntegrates)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 2);
+    res.use(1000000, [] {});
+    res.use(500000, [] {});
+    eq.runAll();
+    EXPECT_NEAR(res.busySeconds(), 1.5, 1e-9);
+    EXPECT_EQ(res.grants(), 2u);
+}
+
+TEST(Resource, WaitSecondsAccumulates)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    res.use(1000000, [] {});
+    res.use(1000000, [] {}); // waits 1 s
+    eq.runAll();
+    EXPECT_NEAR(res.waitSeconds(), 1.0, 1e-9);
+}
+
+TEST(ResourceDeath, ReleaseWithoutAcquirePanics)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    EXPECT_DEATH(res.release(), "release without acquire");
+}
+
+TEST(ResourceDeath, ZeroServersPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(Resource(eq, "r", 0), "at least one server");
+}
+
+TEST(SimSemaphore, CountsDownThenBlocks)
+{
+    EventQueue eq;
+    SimSemaphore sem(eq, 2);
+    int acquired = 0;
+    sem.p([&acquired] { ++acquired; });
+    sem.p([&acquired] { ++acquired; });
+    sem.p([&acquired] { ++acquired; });
+    eq.runAll();
+    EXPECT_EQ(acquired, 2);
+    EXPECT_EQ(sem.waiting(), 1u);
+    sem.v();
+    eq.runAll();
+    EXPECT_EQ(acquired, 3);
+}
+
+TEST(SimSemaphore, VWithoutWaitersIncrementsCount)
+{
+    EventQueue eq;
+    SimSemaphore sem(eq, 0);
+    sem.v();
+    EXPECT_EQ(sem.count(), 1u);
+    int acquired = 0;
+    sem.p([&acquired] { ++acquired; });
+    eq.runAll();
+    EXPECT_EQ(acquired, 1);
+}
+
+TEST(SimQueue, PushPopFifo)
+{
+    EventQueue eq;
+    SimQueue queue(eq, 4);
+    std::vector<std::size_t> received;
+    queue.push(11, [] {});
+    queue.push(22, [] {});
+    queue.pop([&](bool ok, std::size_t item) {
+        EXPECT_TRUE(ok);
+        received.push_back(item);
+    });
+    queue.pop([&](bool ok, std::size_t item) {
+        EXPECT_TRUE(ok);
+        received.push_back(item);
+    });
+    eq.runAll();
+    EXPECT_EQ(received, (std::vector<std::size_t>{11, 22}));
+}
+
+TEST(SimQueue, BoundedPushBlocksUntilPop)
+{
+    EventQueue eq;
+    SimQueue queue(eq, 1);
+    int pushes_done = 0;
+    queue.push(1, [&pushes_done] { ++pushes_done; });
+    queue.push(2, [&pushes_done] { ++pushes_done; }); // blocked
+    eq.runAll();
+    EXPECT_EQ(pushes_done, 1);
+
+    std::size_t got = 0;
+    queue.pop([&got](bool ok, std::size_t item) {
+        EXPECT_TRUE(ok);
+        got = item;
+    });
+    eq.runAll();
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(pushes_done, 2); // the parked push completed
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(SimQueue, PopBlocksUntilPush)
+{
+    EventQueue eq;
+    SimQueue queue(eq, 4);
+    std::size_t got = 999;
+    queue.pop([&got](bool ok, std::size_t item) {
+        EXPECT_TRUE(ok);
+        got = item;
+    });
+    eq.runAll();
+    EXPECT_EQ(got, 999u); // still waiting
+    queue.push(7, [] {});
+    eq.runAll();
+    EXPECT_EQ(got, 7u);
+}
+
+TEST(SimQueue, CloseDrainsThenFails)
+{
+    EventQueue eq;
+    SimQueue queue(eq, 4);
+    queue.push(1, [] {});
+    queue.close();
+
+    std::vector<bool> oks;
+    queue.pop([&oks](bool ok, std::size_t) { oks.push_back(ok); });
+    queue.pop([&oks](bool ok, std::size_t) { oks.push_back(ok); });
+    eq.runAll();
+    ASSERT_EQ(oks.size(), 2u);
+    EXPECT_TRUE(oks[0]);
+    EXPECT_FALSE(oks[1]);
+}
+
+TEST(SimQueue, CloseWakesWaitingConsumers)
+{
+    EventQueue eq;
+    SimQueue queue(eq, 4);
+    int failed = 0;
+    queue.pop([&failed](bool ok, std::size_t) {
+        if (!ok)
+            ++failed;
+    });
+    queue.pop([&failed](bool ok, std::size_t) {
+        if (!ok)
+            ++failed;
+    });
+    eq.runAll();
+    queue.close();
+    eq.runAll();
+    EXPECT_EQ(failed, 2);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for boolean query evaluation (search/searcher.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "search/searcher.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+/**
+ * Fixture index over 6 documents:
+ *   0: cat dog        3: cat
+ *   1: cat fish       4: dog fish
+ *   2: dog            5: (empty)
+ */
+class SearcherTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _index.addBlock(block(0, {"cat", "dog"}));
+        _index.addBlock(block(1, {"cat", "fish"}));
+        _index.addBlock(block(2, {"dog"}));
+        _index.addBlock(block(3, {"cat"}));
+        _index.addBlock(block(4, {"dog", "fish"}));
+        _searcher = std::make_unique<Searcher>(_index, 6);
+    }
+
+    DocSet
+    run(const std::string &text)
+    {
+        Query query = Query::parse(text);
+        EXPECT_TRUE(query.valid()) << text << ": " << query.error();
+        return _searcher->run(query);
+    }
+
+    InvertedIndex _index;
+    std::unique_ptr<Searcher> _searcher;
+};
+
+TEST_F(SearcherTest, SingleTerm)
+{
+    EXPECT_EQ(run("cat"), (DocSet{0, 1, 3}));
+    EXPECT_EQ(run("dog"), (DocSet{0, 2, 4}));
+    EXPECT_EQ(run("fish"), (DocSet{1, 4}));
+}
+
+TEST_F(SearcherTest, UnknownTermIsEmpty)
+{
+    EXPECT_TRUE(run("unicorn").empty());
+}
+
+TEST_F(SearcherTest, AndIntersects)
+{
+    EXPECT_EQ(run("cat AND dog"), (DocSet{0}));
+    EXPECT_EQ(run("cat dog"), (DocSet{0}));
+    EXPECT_EQ(run("dog AND fish"), (DocSet{4}));
+    EXPECT_TRUE(run("cat AND dog AND fish").empty());
+}
+
+TEST_F(SearcherTest, OrUnites)
+{
+    EXPECT_EQ(run("cat OR dog"), (DocSet{0, 1, 2, 3, 4}));
+    EXPECT_EQ(run("fish OR unicorn"), (DocSet{1, 4}));
+}
+
+TEST_F(SearcherTest, NotComplements)
+{
+    EXPECT_EQ(run("NOT cat"), (DocSet{2, 4, 5}));
+    EXPECT_EQ(run("NOT unicorn"), (DocSet{0, 1, 2, 3, 4, 5}));
+}
+
+TEST_F(SearcherTest, AndNotCombination)
+{
+    EXPECT_EQ(run("dog AND NOT cat"), (DocSet{2, 4}));
+    EXPECT_EQ(run("cat AND NOT fish"), (DocSet{0, 3}));
+}
+
+TEST_F(SearcherTest, PrecedenceAndParentheses)
+{
+    // cat AND fish = {1}; dog alone adds {0,2,4}.
+    EXPECT_EQ(run("cat fish OR dog"), (DocSet{0, 1, 2, 4}));
+    // cat AND (fish OR dog) = {0, 1}.
+    EXPECT_EQ(run("cat (fish OR dog)"), (DocSet{0, 1}));
+}
+
+TEST_F(SearcherTest, DoubleNegationIsIdentity)
+{
+    EXPECT_EQ(run("NOT NOT cat"), run("cat"));
+}
+
+TEST_F(SearcherTest, InvalidQueryYieldsEmpty)
+{
+    Query bad = Query::parse("(unclosed");
+    ASSERT_FALSE(bad.valid());
+    EXPECT_TRUE(_searcher->run(bad).empty());
+}
+
+TEST_F(SearcherTest, ResultsAreSortedAndUnique)
+{
+    DocSet docs = run("cat OR dog OR fish");
+    for (std::size_t i = 1; i < docs.size(); ++i)
+        EXPECT_LT(docs[i - 1], docs[i]);
+}
+
+TEST(SearcherSetOps, IntersectUnionSubtract)
+{
+    DocSet a{1, 3, 5, 7};
+    DocSet b{3, 4, 5};
+    EXPECT_EQ(intersectSets(a, b), (DocSet{3, 5}));
+    EXPECT_EQ(uniteSets(a, b), (DocSet{1, 3, 4, 5, 7}));
+    EXPECT_EQ(subtractSets(a, b), (DocSet{1, 7}));
+    EXPECT_EQ(intersectSets(a, {}), DocSet{});
+    EXPECT_EQ(uniteSets({}, b), b);
+    EXPECT_EQ(subtractSets({}, b), DocSet{});
+}
+
+TEST(SearcherSetOps, UnsortedPostingListsAreNormalized)
+{
+    // The index stores postings in insertion order; eval must sort.
+    InvertedIndex index;
+    index.addBlock(block(5, {"t"}));
+    index.addBlock(block(2, {"t"}));
+    index.addBlock(block(9, {"t"}));
+    Searcher searcher(index, 10);
+    EXPECT_EQ(searcher.run(Query::parse("t")), (DocSet{2, 5, 9}));
+}
+
+TEST(SearcherEmptyDoc, MatchesEmptyDocumentPredicate)
+{
+    EXPECT_FALSE(matchesEmptyDocument(Query::parse("a").root()));
+    EXPECT_TRUE(matchesEmptyDocument(Query::parse("NOT a").root()));
+    EXPECT_FALSE(
+        matchesEmptyDocument(Query::parse("a AND NOT b").root()));
+    EXPECT_TRUE(
+        matchesEmptyDocument(Query::parse("NOT a OR b").root()));
+    EXPECT_TRUE(matchesEmptyDocument(
+        Query::parse("NOT a AND NOT b").root()));
+    EXPECT_FALSE(matchesEmptyDocument(
+        Query::parse("NOT NOT a").root()));
+}
+
+TEST(SearcherUniverse, EmptyIndexNotQuery)
+{
+    InvertedIndex index;
+    Searcher searcher(index, 3);
+    EXPECT_EQ(searcher.run(Query::parse("NOT anything")),
+              (DocSet{0, 1, 2}));
+    EXPECT_TRUE(searcher.run(Query::parse("anything")).empty());
+}
+
+TEST(SearcherUniverse, ZeroDocuments)
+{
+    InvertedIndex index;
+    Searcher searcher(index, 0);
+    EXPECT_TRUE(searcher.run(Query::parse("NOT x")).empty());
+}
+
+} // namespace
+} // namespace dsearch

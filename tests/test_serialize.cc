@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for index persistence (index/serialize.hh), including
+ * corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "index/serialize.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+/** Small fixture index + doc table. */
+void
+makeSample(InvertedIndex &index, DocTable &docs)
+{
+    docs.add("/a.txt", 100);
+    docs.add("/b.txt", 200);
+    docs.add("/c.txt", 300);
+    index.addBlock(block(0, {"alpha", "beta"}));
+    index.addBlock(block(1, {"beta", "gamma"}));
+    index.addBlock(block(2, {"alpha", "gamma", "delta"}));
+}
+
+std::string
+serializeToString(InvertedIndex &index, const DocTable &docs)
+{
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(saveIndex(index, docs, out));
+    return out.str();
+}
+
+TEST(Serialize, RoundTripPreservesContents)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    std::string bytes = serializeToString(index, docs);
+
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadIndex(loaded, loaded_docs, in));
+
+    loaded.sortPostings();
+    index.sortPostings();
+    EXPECT_TRUE(sameContents(index, loaded));
+    ASSERT_EQ(loaded_docs.docCount(), 3u);
+    EXPECT_EQ(loaded_docs.path(1), "/b.txt");
+    EXPECT_EQ(loaded_docs.sizeBytes(2), 300u);
+}
+
+TEST(Serialize, CanonicalBytesIndependentOfInsertionOrder)
+{
+    InvertedIndex a, b;
+    DocTable docs;
+    docs.add("/x", 1);
+    docs.add("/y", 2);
+    a.addBlock(block(0, {"p", "q"}));
+    a.addBlock(block(1, {"q", "r"}));
+    // Same content, different insertion history.
+    b.addBlock(block(1, {"r", "q"}));
+    b.addBlock(block(0, {"q", "p"}));
+
+    EXPECT_EQ(serializeToString(a, docs), serializeToString(b, docs));
+}
+
+TEST(Serialize, EmptyIndexRoundTrips)
+{
+    InvertedIndex index;
+    DocTable docs;
+    std::string bytes = serializeToString(index, docs);
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadIndex(loaded, loaded_docs, in));
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded_docs.docCount(), 0u);
+}
+
+TEST(Serialize, DetectsBadMagic)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    std::string bytes = serializeToString(index, docs);
+    bytes[0] = 'X';
+
+    setLogLevel(LogLevel::Silent);
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_FALSE(loadIndex(loaded, loaded_docs, in));
+    setLogLevel(LogLevel::Info);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, DetectsPayloadCorruption)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    std::string bytes = serializeToString(index, docs);
+    // Flip one payload byte (well past the 16-byte header).
+    bytes[bytes.size() / 2] ^= 0x40;
+
+    setLogLevel(LogLevel::Silent);
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_FALSE(loadIndex(loaded, loaded_docs, in));
+    setLogLevel(LogLevel::Info);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded_docs.docCount(), 0u);
+}
+
+TEST(Serialize, DetectsTruncation)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    std::string bytes = serializeToString(index, docs);
+
+    setLogLevel(LogLevel::Silent);
+    for (std::size_t keep :
+         {std::size_t(2), bytes.size() / 2, bytes.size() - 1}) {
+        InvertedIndex loaded;
+        DocTable loaded_docs;
+        std::istringstream in(bytes.substr(0, keep),
+                              std::ios::binary);
+        EXPECT_FALSE(loadIndex(loaded, loaded_docs, in))
+            << "accepted truncation to " << keep << " bytes";
+    }
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(Serialize, DetectsEmptyStream)
+{
+    setLogLevel(LogLevel::Silent);
+    InvertedIndex loaded;
+    DocTable docs;
+    std::istringstream in("", std::ios::binary);
+    EXPECT_FALSE(loadIndex(loaded, docs, in));
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    std::string path = "/tmp/dsearch_serialize_test_"
+                       + std::to_string(::getpid()) + ".idx";
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    ASSERT_TRUE(saveIndexFile(index, docs, path));
+
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    ASSERT_TRUE(loadIndexFile(loaded, loaded_docs, path));
+    loaded.sortPostings();
+    EXPECT_TRUE(sameContents(index, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFailsGracefully)
+{
+    setLogLevel(LogLevel::Silent);
+    InvertedIndex loaded;
+    DocTable docs;
+    EXPECT_FALSE(
+        loadIndexFile(loaded, docs, "/no/such/dir/file.idx"));
+    InvertedIndex index;
+    EXPECT_FALSE(saveIndexFile(index, docs, "/no/such/dir/file.idx"));
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(Serialize, LargePostingListsSurvive)
+{
+    InvertedIndex index;
+    DocTable docs;
+    TermBlock b;
+    b.terms = {"common"};
+    for (DocId doc = 0; doc < 5000; ++doc) {
+        docs.add("/f" + std::to_string(doc), doc);
+        b.doc = doc;
+        index.addBlock(b);
+    }
+    std::string bytes = serializeToString(index, docs);
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadIndex(loaded, loaded_docs, in));
+    ASSERT_NE(loaded.postings("common"), nullptr);
+    EXPECT_EQ(loaded.postings("common")->size(), 5000u);
+}
+
+} // namespace
+} // namespace dsearch

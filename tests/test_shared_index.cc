@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit and concurrency tests for the shared and sharded indices
+ * (index/shared_index.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "index/shared_index.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    b.terms = std::move(terms);
+    return b;
+}
+
+/** Reference index built sequentially from the same blocks. */
+InvertedIndex
+reference(const std::vector<TermBlock> &blocks)
+{
+    InvertedIndex index;
+    for (const TermBlock &b : blocks)
+        index.addBlock(b);
+    index.sortPostings();
+    return index;
+}
+
+std::vector<TermBlock>
+makeBlocks(std::size_t n)
+{
+    std::vector<TermBlock> blocks;
+    for (DocId doc = 0; doc < n; ++doc) {
+        std::vector<std::string> terms;
+        for (int t = 0; t < 8; ++t)
+            terms.push_back("w" + std::to_string((doc * 31 + t * 7)
+                                                 % 200));
+        std::sort(terms.begin(), terms.end());
+        terms.erase(std::unique(terms.begin(), terms.end()),
+                    terms.end());
+        blocks.push_back(block(doc, std::move(terms)));
+    }
+    return blocks;
+}
+
+TEST(SharedIndex, SingleThreadBehavesLikePlainIndex)
+{
+    auto blocks = makeBlocks(50);
+    SharedIndex shared;
+    for (const TermBlock &b : blocks)
+        shared.addBlock(b);
+    EXPECT_EQ(shared.termCount(), reference(blocks).termCount());
+    InvertedIndex out = shared.release();
+    out.sortPostings();
+    EXPECT_TRUE(sameContents(out, reference(blocks)));
+}
+
+TEST(SharedIndex, ConcurrentBlocksMatchSequential)
+{
+    auto blocks = makeBlocks(800);
+    SharedIndex shared;
+    const int writers = 4;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([&blocks, &shared, w] {
+            for (std::size_t i = w; i < blocks.size(); i += writers)
+                shared.addBlock(blocks[i]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    InvertedIndex out = shared.release();
+    out.sortPostings();
+    EXPECT_TRUE(sameContents(out, reference(blocks)));
+}
+
+TEST(SharedIndex, ConcurrentOccurrences)
+{
+    SharedIndex shared;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 4; ++w) {
+        threads.emplace_back([&shared, w] {
+            for (int i = 0; i < 500; ++i)
+                shared.addOccurrence("t" + std::to_string(i % 40),
+                                     static_cast<DocId>(w));
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    // 40 terms x 4 docs; duplicates eliminated by the linear scan.
+    EXPECT_EQ(shared.termCount(), 40u);
+    EXPECT_EQ(shared.postingCount(), 160u);
+}
+
+TEST(ShardedIndex, RoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(ShardedIndex(1).shardCount(), 1u);
+    EXPECT_EQ(ShardedIndex(3).shardCount(), 4u);
+    EXPECT_EQ(ShardedIndex(8).shardCount(), 8u);
+    EXPECT_EQ(ShardedIndex(9).shardCount(), 16u);
+}
+
+TEST(ShardedIndex, JoinMatchesSequential)
+{
+    auto blocks = makeBlocks(300);
+    ShardedIndex sharded(8);
+    for (const TermBlock &b : blocks)
+        sharded.addBlock(b);
+
+    EXPECT_EQ(sharded.termCount(), reference(blocks).termCount());
+    EXPECT_EQ(sharded.postingCount(),
+              reference(blocks).postingCount());
+
+    InvertedIndex joined;
+    sharded.joinInto(joined);
+    joined.sortPostings();
+    EXPECT_TRUE(sameContents(joined, reference(blocks)));
+}
+
+TEST(ShardedIndex, ConcurrentWritersMatchSequential)
+{
+    auto blocks = makeBlocks(600);
+    ShardedIndex sharded(16);
+    const int writers = 4;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([&blocks, &sharded, w] {
+            for (std::size_t i = w; i < blocks.size(); i += writers)
+                sharded.addBlock(blocks[i]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    InvertedIndex joined;
+    sharded.joinInto(joined);
+    joined.sortPostings();
+    EXPECT_TRUE(sameContents(joined, reference(blocks)));
+}
+
+TEST(ShardedIndex, SingleShardDegenerate)
+{
+    auto blocks = makeBlocks(40);
+    ShardedIndex sharded(1);
+    for (const TermBlock &b : blocks)
+        sharded.addBlock(b);
+    InvertedIndex joined;
+    sharded.joinInto(joined);
+    joined.sortPostings();
+    EXPECT_TRUE(sameContents(joined, reference(blocks)));
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for string helpers (util/string_util.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(StringUtil, CharClassification)
+{
+    EXPECT_TRUE(isAsciiAlpha('a'));
+    EXPECT_TRUE(isAsciiAlpha('Z'));
+    EXPECT_FALSE(isAsciiAlpha('1'));
+    EXPECT_FALSE(isAsciiAlpha(' '));
+    EXPECT_FALSE(isAsciiAlpha('\xFF'));
+    EXPECT_TRUE(isAsciiDigit('0'));
+    EXPECT_TRUE(isAsciiDigit('9'));
+    EXPECT_FALSE(isAsciiDigit('a'));
+}
+
+TEST(StringUtil, ToLowerChar)
+{
+    EXPECT_EQ(toLowerAscii('A'), 'a');
+    EXPECT_EQ(toLowerAscii('Z'), 'z');
+    EXPECT_EQ(toLowerAscii('a'), 'a');
+    EXPECT_EQ(toLowerAscii('5'), '5');
+    EXPECT_EQ(toLowerAscii('['), '[');
+}
+
+TEST(StringUtil, ToLowerString)
+{
+    EXPECT_EQ(toLowerAscii(std::string_view("MiXeD Case 42!")),
+              "mixed case 42!");
+    EXPECT_EQ(toLowerAscii(std::string_view("")), "");
+}
+
+TEST(StringUtil, TrimWhitespace)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nword\r\n"), "word");
+    EXPECT_EQ(trim("nospace"), "nospace");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StringUtil, SplitBasic)
+{
+    auto fields = split("a/b/c", '/');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StringUtil, SplitSkipsEmptyFields)
+{
+    auto fields = split("//a//b//", '/');
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_TRUE(split("", '/').empty());
+    EXPECT_TRUE(split("///", '/').empty());
+}
+
+TEST(StringUtil, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(0), "0 B");
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1024), "1.0 KiB");
+    EXPECT_EQ(formatBytes(911212544ull), "869.0 MiB");
+    EXPECT_EQ(formatBytes(1ull << 30), "1.0 GiB");
+}
+
+TEST(StringUtil, FormatDuration)
+{
+    EXPECT_EQ(formatDuration(46.7), "46.7 s");
+    EXPECT_EQ(formatDuration(0.0123), "12.3 ms");
+    EXPECT_EQ(formatDuration(0.0000457), "45.7 us");
+}
+
+TEST(StringUtil, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(4.712, 2), "4.71");
+    EXPECT_EQ(formatDouble(4.0, 1), "4.0");
+    EXPECT_EQ(formatDouble(-0.21, 2), "-0.21");
+    EXPECT_EQ(formatDouble(0.85, 0), "1");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer (util/table.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table table("Results");
+    table.setColumns({"config", "time (s)"});
+    table.addRow({"(3, 1, 0)", "46.7"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("Results"), std::string::npos);
+    EXPECT_NE(out.find("config"), std::string::npos);
+    EXPECT_NE(out.find("(3, 1, 0)"), std::string::npos);
+    EXPECT_NE(out.find("46.7"), std::string::npos);
+}
+
+TEST(Table, ColumnWidthsFitLongestCell)
+{
+    Table table("");
+    table.setColumns({"a", "b"});
+    table.addRow({"averyverylongcell", "x"});
+    std::string out = table.toString();
+    // Every rendered line must have the same length.
+    std::istringstream iss(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(iss, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << "ragged line: " << line;
+    }
+}
+
+TEST(Table, DefaultAlignmentFirstLeftRestRight)
+{
+    Table table("");
+    table.setColumns({"name", "value"});
+    table.addRow({"x", "1"});
+    std::string out = table.toString();
+    // "x" padded on the right, "1" padded on the left.
+    EXPECT_NE(out.find("| x    |"), std::string::npos);
+    EXPECT_NE(out.find("|     1 |"), std::string::npos);
+}
+
+TEST(Table, ExplicitAlignment)
+{
+    Table table("");
+    table.setColumns({"col1", "col2"});
+    table.setAlignments({Align::Right, Align::Left});
+    table.addRow({"r", "l"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("|    r |"), std::string::npos);
+    EXPECT_NE(out.find("| l    |"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows)
+{
+    Table table("");
+    table.setColumns({"a"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    std::string out = table.toString();
+    // Rule lines: top, under header, separator, bottom = 4.
+    int rules = 0;
+    std::istringstream iss(out);
+    std::string line;
+    while (std::getline(iss, line))
+        if (!line.empty() && line[0] == '+')
+            ++rules;
+    EXPECT_EQ(rules, 4);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, RowCountExcludesSeparators)
+{
+    Table table("t");
+    table.setColumns({"a", "b"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({"1", "2"});
+    table.addSeparator();
+    EXPECT_EQ(table.rowCount(), 1u);
+}
+
+TEST(TableDeath, MismatchedRowPanics)
+{
+    Table table("t");
+    table.setColumns({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "mismatch");
+}
+
+TEST(TableDeath, RenderWithoutColumnsPanics)
+{
+    Table table("t");
+    EXPECT_DEATH(table.toString(), "no columns");
+}
+
+TEST(TableDeath, MismatchedAlignmentsPanics)
+{
+    Table table("t");
+    table.setColumns({"a", "b"});
+    EXPECT_DEATH(table.setAlignments({Align::Left}), "mismatch");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for Stage 2 term extraction (text/term_extractor.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fs/memory_fs.hh"
+#include "text/term_extractor.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+FileEntry
+entry(DocId doc, const std::string &path, std::uint64_t size)
+{
+    FileEntry e;
+    e.doc = doc;
+    e.path = path;
+    e.size = size;
+    return e;
+}
+
+TEST(TermExtractor, ExtractsUniqueTerms)
+{
+    MemoryFs fs;
+    fs.addFile("/f.txt", "the cat and the hat and the cat");
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(7, "/f.txt", 31), block));
+    EXPECT_EQ(block.doc, 7u);
+    std::vector<std::string> terms = block.terms;
+    std::sort(terms.begin(), terms.end());
+    std::vector<std::string> expected = {"and", "cat", "hat", "the"};
+    EXPECT_EQ(terms, expected);
+}
+
+TEST(TermExtractor, StatsCountTokensAndUniques)
+{
+    MemoryFs fs;
+    fs.addFile("/f.txt", "a a a b b c");
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(0, "/f.txt", 11), block));
+    EXPECT_EQ(extractor.stats().files, 1u);
+    EXPECT_EQ(extractor.stats().tokens, 6u);
+    EXPECT_EQ(extractor.stats().unique_terms, 3u);
+    EXPECT_EQ(extractor.stats().bytes, 11u);
+    EXPECT_EQ(extractor.stats().read_errors, 0u);
+}
+
+TEST(TermExtractor, BlockReusedAcrossFiles)
+{
+    MemoryFs fs;
+    fs.addFile("/1.txt", "alpha beta");
+    fs.addFile("/2.txt", "gamma");
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(0, "/1.txt", 10), block));
+    EXPECT_EQ(block.terms.size(), 2u);
+    ASSERT_TRUE(extractor.extract(entry(1, "/2.txt", 5), block));
+    EXPECT_EQ(block.doc, 1u);
+    ASSERT_EQ(block.terms.size(), 1u);
+    EXPECT_EQ(block.terms[0], "gamma");
+}
+
+TEST(TermExtractor, DedupIsPerFileNotGlobal)
+{
+    MemoryFs fs;
+    fs.addFile("/1.txt", "shared unique1");
+    fs.addFile("/2.txt", "shared unique2");
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(0, "/1.txt", 14), block));
+    EXPECT_EQ(block.terms.size(), 2u);
+    // "shared" must appear again for the second file.
+    ASSERT_TRUE(extractor.extract(entry(1, "/2.txt", 14), block));
+    EXPECT_EQ(block.terms.size(), 2u);
+    EXPECT_NE(std::find(block.terms.begin(), block.terms.end(),
+                        "shared"),
+              block.terms.end());
+}
+
+TEST(TermExtractor, MissingFileSkippedWithWarning)
+{
+    MemoryFs fs;
+    TermExtractor extractor(fs);
+    TermBlock block;
+
+    int warnings = 0;
+    LogSink old = setLogSink(
+        [&warnings](LogLevel level, const std::string &) {
+            if (level == LogLevel::Warn)
+                ++warnings;
+        });
+    EXPECT_FALSE(extractor.extract(entry(0, "/gone.txt", 10), block));
+    setLogSink(std::move(old));
+
+    EXPECT_EQ(warnings, 1);
+    EXPECT_EQ(extractor.stats().read_errors, 1u);
+    EXPECT_EQ(extractor.stats().files, 0u);
+}
+
+TEST(TermExtractor, EmptyFileYieldsEmptyBlock)
+{
+    MemoryFs fs;
+    fs.addFile("/empty.txt", "");
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(3, "/empty.txt", 0), block));
+    EXPECT_EQ(block.doc, 3u);
+    EXPECT_TRUE(block.terms.empty());
+}
+
+TEST(TermExtractor, OccurrenceModeKeepsDuplicatesInOrder)
+{
+    MemoryFs fs;
+    fs.addFile("/f.txt", "b a b c a");
+    TermExtractor extractor(fs);
+    std::vector<std::string> occurrences;
+    ASSERT_TRUE(extractor.extractOccurrences(entry(0, "/f.txt", 9),
+                                             occurrences));
+    std::vector<std::string> expected = {"b", "a", "b", "c", "a"};
+    EXPECT_EQ(occurrences, expected);
+}
+
+TEST(TermExtractor, OccurrenceModeMissingFile)
+{
+    MemoryFs fs;
+    TermExtractor extractor(fs);
+    std::vector<std::string> occurrences;
+    setLogLevel(LogLevel::Silent);
+    EXPECT_FALSE(extractor.extractOccurrences(
+        entry(0, "/gone.txt", 1), occurrences));
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(extractor.stats().read_errors, 1u);
+}
+
+TEST(TermExtractor, StatsAddCombines)
+{
+    ExtractorStats a, b;
+    a.files = 2;
+    a.bytes = 100;
+    a.tokens = 50;
+    a.unique_terms = 20;
+    a.read_errors = 1;
+    b.files = 3;
+    b.bytes = 200;
+    b.tokens = 70;
+    b.unique_terms = 30;
+    b.read_errors = 0;
+    a.add(b);
+    EXPECT_EQ(a.files, 5u);
+    EXPECT_EQ(a.bytes, 300u);
+    EXPECT_EQ(a.tokens, 120u);
+    EXPECT_EQ(a.unique_terms, 50u);
+    EXPECT_EQ(a.read_errors, 1u);
+}
+
+TEST(TermExtractor, TokenizerOptionsRespected)
+{
+    MemoryFs fs;
+    fs.addFile("/f.txt", "a bb ccc");
+    TokenizerOptions opts;
+    opts.min_length = 2;
+    TermExtractor extractor(fs, opts);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(0, "/f.txt", 8), block));
+    EXPECT_EQ(block.terms.size(), 2u);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the thread pool (pipeline/thread_pool.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "pipeline/thread_pool.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WorkerCount)
+{
+    ThreadPool pool(5);
+    EXPECT_EQ(pool.workerCount(), 5u);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, TasksRunOnMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&mutex, &ids] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            std::scoped_lock lock(mutex);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++counter;
+            });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WaitSeesTasksSubmittedFromTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&pool, &counter] {
+        ++counter;
+        pool.submit([&counter] { ++counter; });
+    });
+    // Give the nested submit a chance to land before waiting.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ManyWaitCycles)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPoolDeath, ZeroWorkersIsFatal)
+{
+    EXPECT_EXIT(ThreadPool(0), ::testing::ExitedWithCode(1),
+                "at least one worker");
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for timing helpers (util/timer.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/timer.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    double sec = timer.elapsedSec();
+    EXPECT_GE(sec, 0.015);
+    EXPECT_LT(sec, 2.0);
+    EXPECT_GE(timer.elapsedUsec(), 15000);
+}
+
+TEST(Timer, ResetRestartsTheClock)
+{
+    Timer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    timer.reset();
+    EXPECT_LT(timer.elapsedSec(), 0.015);
+}
+
+TEST(Timer, MonotoneNonDecreasing)
+{
+    Timer timer;
+    double last = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        double now = timer.elapsedSec();
+        EXPECT_GE(now, last);
+        last = now;
+    }
+}
+
+TEST(ScopedTimer, AccumulatesIntoTarget)
+{
+    double acc = 0.0;
+    {
+        ScopedTimer t(acc);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(acc, 0.008);
+    double first = acc;
+    {
+        ScopedTimer t(acc);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GT(acc, first); // accumulates, not overwrites
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the term scanner (text/tokenizer.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Tokenizer, SplitsOnNonTermCharacters)
+{
+    Tokenizer tok;
+    auto terms = tok.tokens("hello, world! foo-bar");
+    ASSERT_EQ(terms.size(), 4u);
+    EXPECT_EQ(terms[0], "hello");
+    EXPECT_EQ(terms[1], "world");
+    EXPECT_EQ(terms[2], "foo");
+    EXPECT_EQ(terms[3], "bar");
+}
+
+TEST(Tokenizer, FoldsCaseByDefault)
+{
+    Tokenizer tok;
+    auto terms = tok.tokens("Hello WORLD MiXeD");
+    ASSERT_EQ(terms.size(), 3u);
+    EXPECT_EQ(terms[0], "hello");
+    EXPECT_EQ(terms[1], "world");
+    EXPECT_EQ(terms[2], "mixed");
+}
+
+TEST(Tokenizer, CaseFoldingCanBeDisabled)
+{
+    TokenizerOptions opts;
+    opts.fold_case = false;
+    Tokenizer tok(opts);
+    auto terms = tok.tokens("Hello");
+    ASSERT_EQ(terms.size(), 1u);
+    EXPECT_EQ(terms[0], "Hello");
+}
+
+TEST(Tokenizer, DigitsIncludedByDefault)
+{
+    Tokenizer tok;
+    auto terms = tok.tokens("version 42 x86 2010");
+    ASSERT_EQ(terms.size(), 4u);
+    EXPECT_EQ(terms[1], "42");
+    EXPECT_EQ(terms[2], "x86");
+}
+
+TEST(Tokenizer, DigitsCanSplitTerms)
+{
+    TokenizerOptions opts;
+    opts.include_digits = false;
+    Tokenizer tok(opts);
+    auto terms = tok.tokens("x86 foo2bar");
+    ASSERT_EQ(terms.size(), 3u);
+    EXPECT_EQ(terms[0], "x");
+    EXPECT_EQ(terms[1], "foo");
+    EXPECT_EQ(terms[2], "bar");
+}
+
+TEST(Tokenizer, MinLengthFilters)
+{
+    TokenizerOptions opts;
+    opts.min_length = 3;
+    Tokenizer tok(opts);
+    auto terms = tok.tokens("a bb ccc dddd");
+    ASSERT_EQ(terms.size(), 2u);
+    EXPECT_EQ(terms[0], "ccc");
+    EXPECT_EQ(terms[1], "dddd");
+}
+
+TEST(Tokenizer, MaxLengthTruncates)
+{
+    TokenizerOptions opts;
+    opts.max_length = 4;
+    Tokenizer tok(opts);
+    auto terms = tok.tokens("abcdefgh xy");
+    ASSERT_EQ(terms.size(), 2u);
+    EXPECT_EQ(terms[0], "abcd");
+    EXPECT_EQ(terms[1], "xy");
+}
+
+TEST(Tokenizer, EmptyAndSeparatorOnlyInputs)
+{
+    Tokenizer tok;
+    EXPECT_TRUE(tok.tokens("").empty());
+    EXPECT_TRUE(tok.tokens("  \n\t ,.;!").empty());
+}
+
+TEST(Tokenizer, SingleTokenNoSeparators)
+{
+    Tokenizer tok;
+    auto terms = tok.tokens("lonely");
+    ASSERT_EQ(terms.size(), 1u);
+    EXPECT_EQ(terms[0], "lonely");
+}
+
+TEST(Tokenizer, LeadingAndTrailingSeparators)
+{
+    Tokenizer tok;
+    auto terms = tok.tokens("...start middle end...");
+    ASSERT_EQ(terms.size(), 3u);
+    EXPECT_EQ(terms[0], "start");
+    EXPECT_EQ(terms[2], "end");
+}
+
+TEST(Tokenizer, NonAsciiBytesAreSeparators)
+{
+    Tokenizer tok;
+    std::string text = "caf\xC3\xA9 men\xC3\xBC end";
+    auto terms = tok.tokens(text);
+    // UTF-8 multibyte sequences act as separators (ASCII-only index).
+    ASSERT_EQ(terms.size(), 3u);
+    EXPECT_EQ(terms[0], "caf");
+    EXPECT_EQ(terms[1], "men");
+    EXPECT_EQ(terms[2], "end");
+}
+
+TEST(Tokenizer, CallbackViewIsStablePerToken)
+{
+    Tokenizer tok;
+    std::vector<std::string> collected;
+    tok.forEachToken("One Two", [&](std::string_view term) {
+        collected.emplace_back(term);
+    });
+    ASSERT_EQ(collected.size(), 2u);
+    EXPECT_EQ(collected[0], "one");
+    EXPECT_EQ(collected[1], "two");
+}
+
+TEST(Tokenizer, CountMatchesOnLargeInput)
+{
+    Tokenizer tok;
+    std::string text;
+    for (int i = 0; i < 1000; ++i)
+        text += "word" + std::to_string(i) + " ";
+    std::size_t count = 0;
+    tok.forEachToken(text, [&count](std::string_view) { ++count; });
+    EXPECT_EQ(count, 1000u);
+}
+
+TEST(Tokenizer, ReusableAcrossCalls)
+{
+    Tokenizer tok;
+    EXPECT_EQ(tok.tokens("first call").size(), 2u);
+    EXPECT_EQ(tok.tokens("second").size(), 1u);
+    EXPECT_EQ(tok.tokens("").size(), 0u);
+}
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for Stage 1 traversal (fs/traversal.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/memory_fs.hh"
+#include "fs/traversal.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+std::unique_ptr<MemoryFs>
+makeTree()
+{
+    auto fs = std::make_unique<MemoryFs>();
+    fs->addFile("/root/a.txt", "aaa");
+    fs->addFile("/root/b.txt", "bb");
+    fs->addFile("/root/sub1/c.txt", "c");
+    fs->addFile("/root/sub1/deep/d.txt", "dddd");
+    fs->addFile("/root/sub2/e.txt", "");
+    fs->mkdirs("/root/emptydir");
+    return fs;
+}
+
+TEST(Traversal, FindsEveryFile)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    FileList files = generateFilenames(fs, "/root");
+    ASSERT_EQ(files.size(), 5u);
+}
+
+TEST(Traversal, DocIdsAreDenseAndOrdered)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    FileList files = generateFilenames(fs, "/root");
+    for (std::size_t i = 0; i < files.size(); ++i)
+        EXPECT_EQ(files[i].doc, static_cast<DocId>(i));
+}
+
+TEST(Traversal, DeterministicDepthFirstOrder)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    FileList files = generateFilenames(fs, "/root");
+    std::vector<std::string> expected = {
+        "/root/a.txt",
+        "/root/b.txt",
+        "/root/sub1/c.txt",
+        "/root/sub1/deep/d.txt",
+        "/root/sub2/e.txt",
+    };
+    ASSERT_EQ(files.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(files[i].path, expected[i]);
+}
+
+TEST(Traversal, SizesRecorded)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    FileList files = generateFilenames(fs, "/root");
+    EXPECT_EQ(files[0].size, 3u);
+    EXPECT_EQ(files[1].size, 2u);
+    EXPECT_EQ(files[4].size, 0u);
+}
+
+TEST(Traversal, SingleFileRoot)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    FileList files = generateFilenames(fs, "/root/a.txt");
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files[0].path, "/root/a.txt");
+    EXPECT_EQ(files[0].doc, 0u);
+}
+
+TEST(Traversal, MissingRootWarnsAndReturnsEmpty)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    int warnings = 0;
+    LogSink old = setLogSink(
+        [&warnings](LogLevel level, const std::string &) {
+            if (level == LogLevel::Warn)
+                ++warnings;
+        });
+    FileList files = generateFilenames(fs, "/nonexistent");
+    setLogSink(std::move(old));
+    EXPECT_TRUE(files.empty());
+    EXPECT_EQ(warnings, 1);
+}
+
+TEST(Traversal, EmptyDirectoryYieldsNothing)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    FileList files = generateFilenames(fs, "/root/emptydir");
+    EXPECT_TRUE(files.empty());
+}
+
+TEST(Traversal, CallbackFormMatchesListForm)
+{
+    auto fs_ptr = makeTree();
+    MemoryFs &fs = *fs_ptr;
+    std::vector<std::string> visited;
+    traverseFiles(fs, "/root",
+                  [&visited](const std::string &path, std::uint64_t) {
+                      visited.push_back(path);
+                  });
+    FileList files = generateFilenames(fs, "/root");
+    ASSERT_EQ(visited.size(), files.size());
+    for (std::size_t i = 0; i < visited.size(); ++i)
+        EXPECT_EQ(visited[i], files[i].path);
+}
+
+} // namespace
+} // namespace dsearch

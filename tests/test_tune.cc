@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the auto-tuner (tune/tuner.hh, tune/config_space.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fs/corpus.hh"
+#include "tune/tuner.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(ConfigSpace, EnumerationCountsMatchSize)
+{
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedJoin, 4, 3, 2);
+    auto configs = space.enumerate();
+    EXPECT_EQ(configs.size(), space.size());
+    EXPECT_EQ(configs.size(), 4u * 3u * 2u);
+    for (const Config &cfg : configs) {
+        cfg.validate();
+        EXPECT_TRUE(space.contains(cfg));
+    }
+}
+
+TEST(ConfigSpace, NonJoinImplementationsHaveNoJoinerAxis)
+{
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::SharedLocked, 3, 2, 5);
+    EXPECT_EQ(space.size(), 6u);
+    for (const Config &cfg : space.enumerate())
+        EXPECT_EQ(cfg.joiners, 0u);
+}
+
+TEST(ConfigSpace, EnumerationIsXMajorDeterministic)
+{
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedNoJoin, 2, 2, 0);
+    auto configs = space.enumerate();
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_EQ(configs[0].tupleString(), "(1, 1, 0)");
+    EXPECT_EQ(configs[1].tupleString(), "(1, 2, 0)");
+    EXPECT_EQ(configs[2].tupleString(), "(2, 1, 0)");
+    EXPECT_EQ(configs[3].tupleString(), "(2, 2, 0)");
+}
+
+TEST(ConfigSpace, RandomConfigStaysInBox)
+{
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedJoin, 5, 4, 2);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        Config cfg = space.randomConfig(rng);
+        EXPECT_TRUE(space.contains(cfg));
+        cfg.validate();
+    }
+}
+
+TEST(ConfigSpace, NeighborsAreAdjacentAndValid)
+{
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedJoin, 5, 4, 2);
+    Config center = Config::replicatedJoin(3, 2, 1);
+    auto neighbors = space.neighbors(center);
+    EXPECT_FALSE(neighbors.empty());
+    for (const Config &n : neighbors) {
+        EXPECT_TRUE(space.contains(n));
+        int dist =
+            std::abs(static_cast<int>(n.extractors)
+                     - static_cast<int>(center.extractors))
+            + std::abs(static_cast<int>(n.updaters)
+                       - static_cast<int>(center.updaters))
+            + std::abs(static_cast<int>(n.joiners)
+                       - static_cast<int>(center.joiners));
+        EXPECT_EQ(dist, 1);
+    }
+}
+
+TEST(ConfigSpace, NeighborsClippedAtBoundary)
+{
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedNoJoin, 3, 2, 0);
+    Config corner = Config::replicatedNoJoin(1, 1);
+    auto neighbors = space.neighbors(corner);
+    // Only +x and +y remain.
+    EXPECT_EQ(neighbors.size(), 2u);
+}
+
+TEST(ConfigSpaceDeath, EmptyBoxIsFatal)
+{
+    ConfigSpace space;
+    space.min_extractors = 5;
+    space.max_extractors = 2;
+    EXPECT_EXIT(space.validate(), ::testing::ExitedWithCode(1),
+                "extractor range");
+}
+
+/** Synthetic convex evaluator with known optimum at (4, 2, 1). */
+class BowlEvaluator : public CostEvaluator
+{
+  public:
+    double
+    evaluate(const Config &cfg) override
+    {
+        ++_evaluations;
+        double dx = static_cast<double>(cfg.extractors) - 4.0;
+        double dy = static_cast<double>(cfg.updaters) - 2.0;
+        double dz = static_cast<double>(cfg.joiners) - 1.0;
+        return 10.0 + dx * dx + dy * dy + dz * dz;
+    }
+};
+
+TEST(ExhaustiveTuner, FindsGlobalOptimum)
+{
+    BowlEvaluator evaluator;
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedJoin, 8, 4, 2);
+    TuneResult result = ExhaustiveTuner().tune(evaluator, space);
+    EXPECT_EQ(result.best.tupleString(), "(4, 2, 1)");
+    EXPECT_NEAR(result.best_sec, 10.0, 1e-12);
+    EXPECT_EQ(result.evaluations, space.size());
+    EXPECT_EQ(result.history.size(), space.size());
+}
+
+TEST(HillClimbTuner, FindsOptimumOnConvexSurface)
+{
+    BowlEvaluator evaluator;
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedJoin, 8, 4, 2);
+    TuneResult result = HillClimbTuner(3, 64, 5).tune(evaluator, space);
+    EXPECT_EQ(result.best.tupleString(), "(4, 2, 1)");
+    // Must be cheaper than exhaustive search.
+    EXPECT_LT(result.evaluations, space.size());
+}
+
+TEST(RandomTuner, RespectsBudgetAndFindsGoodPoint)
+{
+    BowlEvaluator evaluator;
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedJoin, 8, 4, 2);
+    TuneResult result = RandomTuner(40, 7).tune(evaluator, space);
+    EXPECT_EQ(result.evaluations, 40u);
+    // 40 of 64 points sampled: close to optimal with high odds.
+    EXPECT_LE(result.best_sec, 12.0);
+}
+
+TEST(SimCostEvaluator, DeterministicWithoutNoise)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(),
+                    WorkloadModel::fromCorpusSpec(
+                        CorpusSpec::paperScaled(0.01)));
+    SimCostEvaluator evaluator(sim, 1, 0.0);
+    Config cfg = Config::sharedLocked(3, 1);
+    EXPECT_DOUBLE_EQ(evaluator.evaluate(cfg), evaluator.evaluate(cfg));
+    EXPECT_EQ(evaluator.evaluations(), 2u);
+}
+
+TEST(SimCostEvaluator, NoiseAveragesOut)
+{
+    PipelineSim sim(PlatformSpec::quadCore2010(),
+                    WorkloadModel::fromCorpusSpec(
+                        CorpusSpec::paperScaled(0.01)));
+    Config cfg = Config::sharedLocked(3, 1);
+    double truth = sim.run(cfg).total_sec;
+
+    SimCostEvaluator noisy(sim, 25, 0.05, 11);
+    double estimate = noisy.evaluate(cfg);
+    EXPECT_NEAR(estimate, truth, truth * 0.05);
+}
+
+TEST(TunerOnSimulator, ExhaustiveBeatsWorstConfig)
+{
+    PipelineSim sim(PlatformSpec::octCore2010(),
+                    WorkloadModel::fromCorpusSpec(
+                        CorpusSpec::paperScaled(0.01)));
+    SimCostEvaluator evaluator(sim);
+    ConfigSpace space = ConfigSpace::paperTable(
+        Implementation::ReplicatedNoJoin, 6, 3, 0);
+    TuneResult result = ExhaustiveTuner().tune(evaluator, space);
+
+    double worst = 0.0;
+    for (const Evaluated &e : result.history)
+        worst = std::max(worst, e.seconds);
+    EXPECT_LT(result.best_sec, worst);
+    EXPECT_GT(result.best.extractors, 1u)
+        << "tuner should use parallelism on the 8-core platform";
+}
+
+TEST(RealCostEvaluator, RunsTheRealGenerator)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(3)).generateInMemory();
+    RealCostEvaluator evaluator(*fs, "/", 1);
+    double t1 = evaluator.evaluate(Config::sharedLocked(1, 0));
+    double t2 = evaluator.evaluate(Config::sharedLocked(2, 1));
+    EXPECT_GT(t1, 0.0);
+    EXPECT_GT(t2, 0.0);
+    EXPECT_EQ(evaluator.evaluations(), 2u);
+}
+
+TEST(TunerDeath, InvalidBudgetsAreFatal)
+{
+    EXPECT_EXIT(RandomTuner(0), ::testing::ExitedWithCode(1),
+                "budget");
+    EXPECT_EXIT(HillClimbTuner(0, 10), ::testing::ExitedWithCode(1),
+                "restarts");
+}
+
+} // namespace
+} // namespace dsearch

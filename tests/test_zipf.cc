@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the Zipf sampler (util/zipf.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/zipf.hh"
+
+namespace dsearch {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfDistribution zipf(1000, 1.0);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < zipf.size(); ++r)
+        sum += zipf.probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityMonotoneDecreasing)
+{
+    ZipfDistribution zipf(500, 1.2);
+    for (std::size_t r = 1; r < zipf.size(); ++r)
+        EXPECT_LE(zipf.probability(r), zipf.probability(r - 1) + 1e-12);
+}
+
+TEST(Zipf, ClassicRatioBetweenRanks)
+{
+    // With s = 1, p(0)/p(1) = 2.
+    ZipfDistribution zipf(100, 1.0);
+    EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    ZipfDistribution zipf(50, 0.0);
+    for (std::size_t r = 0; r < zipf.size(); ++r)
+        EXPECT_NEAR(zipf.probability(r), 1.0 / 50.0, 1e-12);
+}
+
+TEST(Zipf, OutOfRangeProbabilityIsZero)
+{
+    ZipfDistribution zipf(10, 1.0);
+    EXPECT_EQ(zipf.probability(10), 0.0);
+    EXPECT_EQ(zipf.probability(1000), 0.0);
+}
+
+TEST(Zipf, SingleRank)
+{
+    ZipfDistribution zipf(1, 1.0);
+    EXPECT_NEAR(zipf.probability(0), 1.0, 1e-12);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, SamplesWithinRange)
+{
+    ZipfDistribution zipf(200, 1.0);
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_LT(zipf.sample(rng), 200u);
+}
+
+TEST(Zipf, SampleFrequenciesMatchProbabilities)
+{
+    const std::size_t n = 20;
+    ZipfDistribution zipf(n, 1.0);
+    Rng rng(9);
+    std::vector<int> counts(n, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t r = 0; r < n; ++r) {
+        double expected = zipf.probability(r) * draws;
+        // 5-sigma-ish binomial tolerance.
+        double tolerance = 5.0 * std::sqrt(expected) + 5.0;
+        EXPECT_NEAR(counts[r], expected, tolerance)
+            << "rank " << r;
+    }
+}
+
+TEST(Zipf, DeterministicAcrossInstances)
+{
+    ZipfDistribution a(100, 1.0), b(100, 1.0);
+    Rng ra(3), rb(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.sample(ra), b.sample(rb));
+}
+
+} // namespace
+} // namespace dsearch
