@@ -5,21 +5,72 @@
  * tokenizer, the Zipf sampler, the blocking queue, and en-bloc index
  * insertion. These locate the constants behind the cost model in
  * sim/platform.cc.
+ *
+ * Before the google-benchmark suite runs, main() measures the full
+ * Stage 2+3 pipeline (read + extract + index update) twice over the
+ * same in-memory corpus — once through a faithful replica of the
+ * seed's string-copying containers (per-token std::string, hash
+ * recomputed on every probe and rehash) and once through the
+ * zero-copy arena/hash-once path — and writes the comparison to
+ * BENCH_micro.json (tokens/sec, postings/sec, bytes allocated per
+ * block) so subsequent PRs can track the perf trajectory.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/index_generator.hh"
+#include "fs/corpus.hh"
 #include "index/inverted_index.hh"
 #include "pipeline/blocking_queue.hh"
 #include "text/tokenizer.hh"
 #include "util/fnv_hash.hh"
 #include "util/hash_map.hh"
 #include "util/rng.hh"
+#include "util/timer.hh"
 #include "util/zipf.hh"
+
+// ----------------------------------------------------------------------
+// Allocation instrumentation: every global new is counted so the
+// Stage 2+3 comparison can report bytes allocated per block.
+// ----------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -99,6 +150,30 @@ BM_HashMapLookup(benchmark::State &state)
 BENCHMARK(BM_HashMapLookup)->Arg(100000);
 
 void
+BM_HashMapLookupHashed(benchmark::State &state)
+{
+    // The Stage-3 probe as the zero-copy pipeline issues it: a
+    // string_view with its hash already in hand.
+    auto keys = wordKeys(static_cast<std::size_t>(state.range(0)));
+    HashMap<std::string, int> map;
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(keys.size());
+    for (const std::string &key : keys) {
+        map.insert(key, 1);
+        hashes.push_back(fnv1a_64(key));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.findHashed(
+            hashes[i], std::string_view(keys[i])));
+        i = (i + 1) % keys.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashMapLookupHashed)->Arg(100000);
+
+void
 BM_StdUnorderedMapLookup(benchmark::State &state)
 {
     auto keys = wordKeys(static_cast<std::size_t>(state.range(0)));
@@ -173,7 +248,7 @@ BM_IndexAddBlock(benchmark::State &state)
         static_cast<std::size_t>(state.range(0));
     TermBlock block;
     for (std::size_t t = 0; t < terms_per_block; ++t)
-        block.terms.push_back("term" + std::to_string(t));
+        block.addTerm("term" + std::to_string(t));
     DocId doc = 0;
     InvertedIndex index;
     for (auto _ : state) {
@@ -195,7 +270,7 @@ BM_IndexMerge(benchmark::State &state)
         InvertedIndex a, b;
         TermBlock block;
         for (int t = 0; t < 2000; ++t)
-            block.terms.push_back("t" + std::to_string(t));
+            block.addTerm("t" + std::to_string(t));
         block.doc = 0;
         a.addBlock(block);
         block.doc = 1;
@@ -207,6 +282,260 @@ BM_IndexMerge(benchmark::State &state)
 }
 BENCHMARK(BM_IndexMerge);
 
+// ----------------------------------------------------------------------
+// Stage 2+3 comparison: seed-style string pipeline vs the zero-copy
+// arena pipeline, over the same corpus. The legacy containers below
+// faithfully replicate the seed's behaviour: no cached hashes (every
+// probe and every rehash re-hashes the key), no heterogeneous lookup
+// (every token becomes a std::string before dedup), and blocks as
+// vector<std::string>.
+// ----------------------------------------------------------------------
+
+/** Seed-replica open-addressing map: string keys, hash-per-probe. */
+template <typename Value>
+class LegacyMap
+{
+  public:
+    Value &
+    operator[](const std::string &key)
+    {
+        growIfNeeded();
+        std::size_t pos = probe(key);
+        if (!_slots[pos].occupied) {
+            _slots[pos].key = key;
+            _slots[pos].occupied = true;
+            ++_size;
+        }
+        return _slots[pos].value;
+    }
+
+    bool
+    insert(const std::string &key)
+    {
+        growIfNeeded();
+        std::size_t pos = probe(key);
+        if (_slots[pos].occupied)
+            return false;
+        _slots[pos].key = key;
+        _slots[pos].occupied = true;
+        ++_size;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (auto &slot : _slots)
+            slot = Slot{};
+        _size = 0;
+    }
+
+    std::size_t size() const { return _size; }
+
+  private:
+    struct Slot
+    {
+        std::string key{};
+        Value value{};
+        bool occupied = false;
+    };
+
+    std::size_t
+    probe(const std::string &key) const
+    {
+        // The seed's probe: hash computed here, full string compares
+        // along the chain.
+        std::size_t mask = _slots.size() - 1;
+        std::size_t pos = fnv1a_64(key) & mask;
+        while (_slots[pos].occupied && !(_slots[pos].key == key))
+            pos = (pos + 1) & mask;
+        return pos;
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (_slots.empty()) {
+            _slots.assign(16, Slot{});
+            return;
+        }
+        if ((_size + 1) * 8 > _slots.size() * 5) {
+            std::vector<Slot> old = std::move(_slots);
+            _slots.assign(old.size() * 2, Slot{});
+            for (Slot &slot : old) {
+                if (slot.occupied) {
+                    // Seed rehash: re-hashes every key.
+                    std::size_t pos = probe(slot.key);
+                    _slots[pos] = std::move(slot);
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> _slots;
+    std::size_t _size = 0;
+};
+
+struct StageMetrics
+{
+    double seconds = 0;
+    std::uint64_t tokens = 0;
+    std::uint64_t postings = 0;
+    std::uint64_t files = 0;
+    std::uint64_t alloc_bytes = 0;
+    std::uint64_t alloc_calls = 0;
+
+    double tokensPerSec() const { return tokens / seconds; }
+    double postingsPerSec() const { return postings / seconds; }
+    double
+    allocBytesPerBlock() const
+    {
+        return files ? static_cast<double>(alloc_bytes) / files : 0.0;
+    }
+    double
+    allocsPerToken() const
+    {
+        return tokens ? static_cast<double>(alloc_calls) / tokens : 0.0;
+    }
+};
+
+/** Seed-style Stage 2+3 over @p files: string dedup + string map. */
+StageMetrics
+runLegacy(const FileSystem &fs, const FileList &files)
+{
+    StageMetrics m;
+    Tokenizer tokenizer;
+    LegacyMap<char> seen;
+    LegacyMap<PostingList> index;
+    std::string content;
+    std::uint64_t alloc_bytes0 = g_alloc_bytes.load();
+    std::uint64_t alloc_calls0 = g_alloc_calls.load();
+    Timer timer;
+    for (const FileEntry &file : files) {
+        if (!fs.readFile(file.path, content))
+            continue;
+        seen.clear();
+        std::vector<std::string> terms;
+        tokenizer.forEachToken(content, [&](std::string_view term) {
+            ++m.tokens;
+            std::string owned(term);
+            if (seen.insert(owned))
+                terms.push_back(std::move(owned));
+        });
+        for (const std::string &term : terms) {
+            index[term].push_back(file.doc);
+            ++m.postings;
+        }
+        ++m.files;
+    }
+    m.seconds = timer.elapsedSec();
+    m.alloc_bytes = g_alloc_bytes.load() - alloc_bytes0;
+    m.alloc_calls = g_alloc_calls.load() - alloc_calls0;
+    benchmark::DoNotOptimize(index.size());
+    return m;
+}
+
+/** Zero-copy Stage 2+3 over @p files: arena blocks + hashed inserts. */
+StageMetrics
+runZeroCopy(const FileSystem &fs, const FileList &files)
+{
+    StageMetrics m;
+    TermExtractor extractor(fs);
+    InvertedIndex index;
+    TermBlock block;
+    std::uint64_t alloc_bytes0 = g_alloc_bytes.load();
+    std::uint64_t alloc_calls0 = g_alloc_calls.load();
+    Timer timer;
+    for (const FileEntry &file : files) {
+        if (!extractor.extract(file, block))
+            continue;
+        index.addBlock(block);
+    }
+    m.seconds = timer.elapsedSec();
+    m.tokens = extractor.stats().tokens;
+    m.postings = index.postingCount();
+    m.files = extractor.stats().files;
+    m.alloc_bytes = g_alloc_bytes.load() - alloc_bytes0;
+    m.alloc_calls = g_alloc_calls.load() - alloc_calls0;
+    benchmark::DoNotOptimize(index.termCount());
+    return m;
+}
+
+void
+writeJson(std::ostream &out, const StageMetrics &legacy,
+          const StageMetrics &zero_copy, std::size_t corpus_files,
+          std::uint64_t corpus_bytes)
+{
+    auto section = [&out](const char *name, const StageMetrics &m,
+                          const char *trailing) {
+        out << "  \"" << name << "\": {\n"
+            << "    \"seconds\": " << m.seconds << ",\n"
+            << "    \"tokens_per_sec\": " << m.tokensPerSec() << ",\n"
+            << "    \"postings_per_sec\": " << m.postingsPerSec()
+            << ",\n"
+            << "    \"alloc_bytes_per_block\": "
+            << m.allocBytesPerBlock() << ",\n"
+            << "    \"allocs_per_token\": " << m.allocsPerToken()
+            << "\n  }" << trailing << "\n";
+    };
+    out << "{\n"
+        << "  \"bench\": \"stage23_micro\",\n"
+        << "  \"corpus\": {\"files\": " << corpus_files
+        << ", \"bytes\": " << corpus_bytes << "},\n";
+    section("legacy", legacy, ",");
+    section("zero_copy", zero_copy, ",");
+    out << "  \"speedup\": "
+        << legacy.seconds / zero_copy.seconds << ",\n"
+        << "  \"alloc_bytes_per_block_ratio\": "
+        << (zero_copy.allocBytesPerBlock() > 0
+                ? legacy.allocBytesPerBlock()
+                      / zero_copy.allocBytesPerBlock()
+                : 0.0)
+        << "\n}\n";
+}
+
+/** Run the Stage 2+3 comparison and write BENCH_micro.json. */
+void
+runStage23Comparison()
+{
+    CorpusSpec spec = CorpusSpec::paperScaled(0.02);
+    CorpusGenerator generator(spec);
+    auto fs = generator.generateInMemory();
+    FileList files = generateFilenames(*fs, spec.root);
+
+    // Warm-up pass each, then best-of-three timed passes.
+    StageMetrics legacy, zero_copy;
+    runLegacy(*fs, files);
+    runZeroCopy(*fs, files);
+    for (int pass = 0; pass < 3; ++pass) {
+        StageMetrics l = runLegacy(*fs, files);
+        StageMetrics z = runZeroCopy(*fs, files);
+        if (pass == 0 || l.seconds < legacy.seconds)
+            legacy = l;
+        if (pass == 0 || z.seconds < zero_copy.seconds)
+            zero_copy = z;
+    }
+
+    std::uint64_t corpus_bytes = 0;
+    for (const FileEntry &file : files)
+        corpus_bytes += file.size;
+
+    std::ofstream json("BENCH_micro.json");
+    writeJson(json, legacy, zero_copy, files.size(), corpus_bytes);
+    writeJson(std::cout, legacy, zero_copy, files.size(),
+              corpus_bytes);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    runStage23Comparison();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -140,14 +140,16 @@ IndexGenerator::buildParallel()
     ExtractorStats stats_total; // guarded by stats_mutex
 
     // Insert one block into a private index, honouring the duplicate
-    // handling mode.
+    // handling mode. Immediate mode reuses the span hashes the
+    // extractor computed.
     auto insert_private = [this](InvertedIndex &target,
                                  const TermBlock &block) {
         if (_cfg.en_bloc) {
             target.addBlock(block);
         } else {
-            for (const std::string &term : block.terms)
-                target.addOccurrence(term, block.doc);
+            for (std::size_t i = 0; i < block.spans.size(); ++i)
+                target.addOccurrenceHashed(block.hashAt(i),
+                                           block.term(i), block.doc);
         }
     };
 
@@ -163,8 +165,9 @@ IndexGenerator::buildParallel()
         } else if (_cfg.en_bloc) {
             shared.addBlock(block);
         } else {
-            for (const std::string &term : block.terms)
-                shared.addOccurrence(term, block.doc);
+            for (std::size_t i = 0; i < block.spans.size(); ++i)
+                shared.addOccurrenceHashed(block.hashAt(i),
+                                           block.term(i), block.doc);
         }
     };
 
@@ -173,14 +176,19 @@ IndexGenerator::buildParallel()
     // ------------------------------------------------------------------
     std::vector<std::thread> updaters;
     updaters.reserve(y);
+    // Updaters drain the queue in batches: one lock round-trip and
+    // one producer wake-up amortized over up to updaterBatch blocks.
+    constexpr std::size_t updaterBatch = 16;
     for (unsigned u = 0; u < y; ++u) {
         updaters.emplace_back([&, u] {
-            TermBlock block;
-            while (block_queue.pop(block)) {
-                if (shared_impl)
-                    insert_shared(block);
-                else
-                    insert_private(replicas[u], block);
+            std::vector<TermBlock> batch;
+            while (block_queue.popBatch(batch, updaterBatch)) {
+                for (const TermBlock &block : batch) {
+                    if (shared_impl)
+                        insert_shared(block);
+                    else
+                        insert_private(replicas[u], block);
+                }
             }
         });
     }
@@ -202,8 +210,8 @@ IndexGenerator::buildParallel()
                                              : source->next(w, file);
             };
 
+            TermBlock block;
             while (next_file()) {
-                TermBlock block;
                 bool ok;
                 if (_cfg.en_bloc) {
                     ok = extractor.extract(file, block);
@@ -211,8 +219,12 @@ IndexGenerator::buildParallel()
                     ok = extractor.extractOccurrences(file,
                                                       occurrences);
                     if (ok) {
+                        // Immediate mode ships every occurrence,
+                        // duplicates included, hashed once here.
                         block.doc = file.doc;
-                        block.terms = occurrences;
+                        block.clear();
+                        for (const std::string &term : occurrences)
+                            block.addTerm(term);
                     }
                 }
                 if (!ok)

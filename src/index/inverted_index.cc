@@ -7,27 +7,37 @@ namespace dsearch {
 void
 InvertedIndex::addBlock(const TermBlock &block)
 {
-    for (const std::string &term : block.terms) {
-        _map[term].push_back(block.doc);
+    for (std::size_t i = 0; i < block.spans.size(); ++i) {
+        _map.findOrEmplaceHashed(block.spans[i].hash, block.term(i))
+            .push_back(block.doc);
         ++_postings;
     }
 }
 
 void
-InvertedIndex::addBlockRefs(DocId doc,
-                            const std::vector<const std::string *>
-                                &terms)
+InvertedIndex::addBlockSpans(const TermBlock &block,
+                             const std::uint32_t *indices,
+                             std::size_t count)
 {
-    for (const std::string *term : terms) {
-        _map[*term].push_back(doc);
+    for (std::size_t n = 0; n < count; ++n) {
+        const std::uint32_t i = indices[n];
+        _map.findOrEmplaceHashed(block.spans[i].hash, block.term(i))
+            .push_back(block.doc);
         ++_postings;
     }
 }
 
 void
-InvertedIndex::addOccurrence(const std::string &term, DocId doc)
+InvertedIndex::addOccurrence(std::string_view term, DocId doc)
 {
-    PostingList &list = _map[term];
+    addOccurrenceHashed(fnv1a_64(term), term, doc);
+}
+
+void
+InvertedIndex::addOccurrenceHashed(std::uint64_t hash,
+                                   std::string_view term, DocId doc)
+{
+    PostingList &list = _map.findOrEmplaceHashed(hash, term);
     // The duplicate scan the paper's analysis rejects: without en-bloc
     // deduplication the index must check whether (term, doc) was added
     // before.
@@ -38,7 +48,7 @@ InvertedIndex::addOccurrence(const std::string &term, DocId doc)
 }
 
 const PostingList *
-InvertedIndex::postings(const std::string &term) const
+InvertedIndex::postings(std::string_view term) const
 {
     return _map.find(term);
 }
@@ -63,9 +73,10 @@ void
 InvertedIndex::merge(InvertedIndex &&other)
 {
     for (auto &slot : other._map) {
-        PostingList *mine = _map.find(slot.key);
+        PostingList *mine = _map.findHashed(slot.hash, slot.key);
         if (mine == nullptr) {
-            _map.insert(slot.key, std::move(slot.value));
+            _map.insertHashed(slot.hash, std::move(slot.key),
+                              std::move(slot.value));
         } else {
             mine->insert(mine->end(), slot.value.begin(),
                          slot.value.end());

@@ -14,6 +14,14 @@
  *    linear duplicate scan the paper describes for the rejected
  *    immediate-insertion design. It exists for ablation E7.
  *
+ * Zero-copy / hash-once contract: TermBlock spans carry the FNV-1a
+ * hash the extractor computed, and every insert path hands that hash
+ * to the map (findOrEmplaceHashed), so Stage 3 never re-hashes a term
+ * and only materializes a std::string key the first time a term is
+ * seen globally. merge() — the Join Forces step — likewise moves
+ * slots between maps with their cached hashes, so a term is hashed
+ * exactly once in the lifetime of a build, in the extractor.
+ *
  * The class itself is single-threaded; concurrent use is coordinated
  * by SharedIndex (Implementation 1) or by giving each thread a private
  * replica (Implementations 2 and 3).
@@ -24,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "text/term_extractor.hh"
@@ -47,31 +56,37 @@ class InvertedIndex
 
     /**
      * Insert one file's unique terms en bloc (no duplicate checks;
-     * the extractor guarantees uniqueness).
+     * the extractor guarantees uniqueness). Reuses the hashes cached
+     * in the block's spans.
      */
     void addBlock(const TermBlock &block);
 
     /**
-     * En-bloc insert through term pointers: same semantics as
-     * addBlock() without copying the strings into an intermediate
-     * block. Used by the sharded-lock wrapper, which groups a block's
-     * terms by shard.
+     * En-bloc insert of a subset of a block's terms, given by span
+     * indices: same semantics as addBlock() restricted to those spans.
+     * Used by the sharded-lock wrapper, which groups a block's terms
+     * by shard.
      */
-    void addBlockRefs(DocId doc,
-                      const std::vector<const std::string *> &terms);
+    void addBlockSpans(const TermBlock &block,
+                       const std::uint32_t *indices, std::size_t count);
 
     /**
      * Insert one term occurrence, checking the posting list for a
      * previous (term, doc) pair — the linear search the en-bloc
      * design eliminates.
      */
-    void addOccurrence(const std::string &term, DocId doc);
+    void addOccurrence(std::string_view term, DocId doc);
+
+    /** addOccurrence() with a caller-supplied term hash. */
+    void addOccurrenceHashed(std::uint64_t hash, std::string_view term,
+                             DocId doc);
 
     /**
      * @return Posting list for @p term, or nullptr when the term is
-     *         unknown.
+     *         unknown. Heterogeneous: no std::string is allocated for
+     *         the probe.
      */
-    const PostingList *postings(const std::string &term) const;
+    const PostingList *postings(std::string_view term) const;
 
     /** @return Number of distinct terms. */
     std::size_t termCount() const { return _map.size(); }
@@ -98,6 +113,7 @@ class InvertedIndex
      * Posting lists for shared terms are concatenated; when document
      * sets were disjoint (as in the generator, where each file is
      * processed by exactly one thread) the result has no duplicates.
+     * Slots move over with their cached hashes — no term is re-hashed.
      * @p other is left empty.
      */
     void merge(InvertedIndex &&other);

@@ -239,7 +239,8 @@ loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in)
             docs = DocTable{};
             return false;
         }
-        scratch.terms.assign(1, term);
+        scratch.clear();
+        scratch.addTerm(term); // hashed once for the whole list
         for (std::uint32_t p = 0; p < posting_count; ++p) {
             std::uint32_t doc;
             if (!reader.u32(doc)) {

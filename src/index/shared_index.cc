@@ -12,10 +12,17 @@ SharedIndex::addBlock(const TermBlock &block)
 }
 
 void
-SharedIndex::addOccurrence(const std::string &term, DocId doc)
+SharedIndex::addOccurrence(std::string_view term, DocId doc)
+{
+    addOccurrenceHashed(fnv1a_64(term), term, doc);
+}
+
+void
+SharedIndex::addOccurrenceHashed(std::uint64_t hash,
+                                 std::string_view term, DocId doc)
 {
     std::scoped_lock lock(_mutex);
-    _index.addOccurrence(term, doc);
+    _index.addOccurrenceHashed(hash, term, doc);
 }
 
 std::size_t
@@ -42,17 +49,17 @@ SharedIndex::release()
 ShardedIndex::ShardedIndex(std::size_t shard_count)
 {
     std::size_t n = 1;
-    while (n < shard_count)
+    unsigned bits = 0;
+    while (n < shard_count) {
         n <<= 1;
+        ++bits;
+    }
+    _shard_shift = 64 - bits;
+    if (bits == 0)
+        _shard_shift = 0; // n == 1: shardOf masks to 0 anyway
     _shards.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         _shards.push_back(std::make_unique<Shard>());
-}
-
-std::size_t
-ShardedIndex::shardOf(const std::string &term) const
-{
-    return FnvHash<std::string>{}(term) & (_shards.size() - 1);
 }
 
 void
@@ -65,20 +72,27 @@ ShardedIndex::addBlock(const TermBlock &block)
         return;
     }
 
-    // Group the block by shard so each shard lock is taken at most
-    // once per block (preserving the paper's "large chunks" benefit).
-    // Pointers, not copies: grouping must stay cheap relative to the
-    // lock contention it avoids.
-    std::vector<std::vector<const std::string *>> per_shard(
-        _shards.size());
-    for (const std::string &term : block.terms)
-        per_shard[shardOf(term)].push_back(&term);
+    // Group the block's span indices by shard so each shard lock is
+    // taken at most once per block (preserving the paper's "large
+    // chunks" benefit). Span indices, not string copies, and the
+    // grouping scratch is reused across calls from the same thread:
+    // grouping must stay cheap relative to the lock contention it
+    // avoids.
+    thread_local std::vector<std::vector<std::uint32_t>> per_shard;
+    per_shard.resize(_shards.size());
+    for (auto &group : per_shard)
+        group.clear();
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(block.spans.size()); ++i) {
+        per_shard[shardOf(block.spans[i].hash)].push_back(i);
+    }
     for (std::size_t s = 0; s < _shards.size(); ++s) {
         if (per_shard[s].empty())
             continue;
         Shard &shard = *_shards[s];
         std::scoped_lock lock(shard.mutex);
-        shard.index.addBlockRefs(block.doc, per_shard[s]);
+        shard.index.addBlockSpans(block, per_shard[s].data(),
+                                  per_shard[s].size());
     }
 }
 

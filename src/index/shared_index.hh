@@ -6,6 +6,12 @@
  * threads, locked on every update. ShardedIndex is a finer-grained
  * alternative (per-term-hash shard locks) built for the lock
  * granularity ablation; the paper discusses the single lock only.
+ *
+ * Shard selection reuses the FNV hash cached in each TermBlock span —
+ * no term is re-hashed here — and takes it from the *high* bits of
+ * the hash, because the per-shard HashMaps bucket on the low bits:
+ * selecting shards by the same low bits would leave each shard's map
+ * with only every 2^k-th bucket reachable.
  */
 
 #ifndef DSEARCH_INDEX_SHARED_INDEX_HH
@@ -14,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "index/inverted_index.hh"
@@ -37,7 +44,11 @@ class SharedIndex
     void addBlock(const TermBlock &block);
 
     /** Locked immediate-mode insert (ablation E7). */
-    void addOccurrence(const std::string &term, DocId doc);
+    void addOccurrence(std::string_view term, DocId doc);
+
+    /** Locked immediate-mode insert with a precomputed hash. */
+    void addOccurrenceHashed(std::uint64_t hash, std::string_view term,
+                             DocId doc);
 
     /** Locked snapshot of the term count. */
     std::size_t termCount() const;
@@ -72,7 +83,8 @@ class ShardedIndex
 
     /**
      * En-bloc insert; locks each shard at most once per block by
-     * grouping the block's terms by shard first.
+     * grouping the block's span indices by shard first. Shard choice
+     * reuses the span hashes (see the file comment).
      */
     void addBlock(const TermBlock &block);
 
@@ -95,9 +107,16 @@ class ShardedIndex
         InvertedIndex index; ///< Guarded by mutex.
     };
 
-    std::size_t shardOf(const std::string &term) const;
+    /** Shard of a hash: top log2(shardCount) bits. */
+    std::size_t
+    shardOf(std::uint64_t hash) const
+    {
+        return static_cast<std::size_t>(hash >> _shard_shift)
+               & (_shards.size() - 1);
+    }
 
     std::vector<std::unique_ptr<Shard>> _shards;
+    unsigned _shard_shift = 0;
 };
 
 } // namespace dsearch

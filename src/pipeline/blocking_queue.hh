@@ -15,11 +15,13 @@
 #ifndef DSEARCH_PIPELINE_BLOCKING_QUEUE_HH
 #define DSEARCH_PIPELINE_BLOCKING_QUEUE_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace dsearch {
 
@@ -85,6 +87,42 @@ class BlockingQueue
         _items.pop_front();
         lock.unlock();
         _not_full.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue up to @p max elements in one critical section,
+     * blocking while the queue is empty. Amortizes lock and notify
+     * traffic for consumers that can process elements in batches (the
+     * Stage-3 updater loop).
+     *
+     * @param out Cleared, then receives 1..max elements on success.
+     * @param max Maximum batch size (>= 1).
+     * @return False when the queue is closed and fully drained (out
+     *         left empty); consumers should stop on false.
+     */
+    bool
+    popBatch(std::vector<T> &out, std::size_t max)
+    {
+        out.clear();
+        if (max == 0)
+            max = 1;
+        std::unique_lock lock(_mutex);
+        _not_empty.wait(lock,
+                        [this] { return _closed || !_items.empty(); });
+        if (_items.empty())
+            return false; // closed and drained
+        std::size_t take = std::min(max, _items.size());
+        out.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(std::move(_items.front()));
+            _items.pop_front();
+        }
+        lock.unlock();
+        // Each freed slot can admit exactly one blocked producer;
+        // notify_all here would wake every producer per batch.
+        for (std::size_t i = 0; i < take; ++i)
+            _not_full.notify_one();
         return true;
     }
 

@@ -113,24 +113,39 @@ fnv1a_64(std::string_view s)
  * Strings hash their characters with FNV-1a (64-bit); trivially
  * copyable scalar types hash their object representation the same way,
  * which is what the original Boost-based index effectively did.
+ *
+ * The functor is transparent: anything convertible to string_view
+ * (std::string, string_view, char literals) hashes to the same value,
+ * so the containers can probe with a string_view without materializing
+ * a std::string first.
  */
 template <typename Key>
 struct FnvHash
 {
+    using is_transparent = void;
+
+    template <typename K = Key>
     std::size_t
-    operator()(const Key &key) const
+    operator()(const K &key) const
     {
-        if constexpr (std::is_convertible_v<const Key &,
+        if constexpr (std::is_convertible_v<const K &,
                                             std::string_view>) {
             return static_cast<std::size_t>(
                 fnv1a_64(std::string_view(key)));
         } else {
-            static_assert(std::is_trivially_copyable_v<Key>,
+            // Heterogeneous probes are only sound for string-likes,
+            // which normalize through string_view; a scalar of a
+            // different width would hash different bytes than the
+            // stored Key and silently miss.
+            static_assert(std::is_same_v<K, Key>,
+                          "FnvHash: non-string keys must be probed "
+                          "with the exact Key type");
+            static_assert(std::is_trivially_copyable_v<K>,
                           "FnvHash requires string-like or trivially "
                           "copyable keys");
-            char bytes[sizeof(Key)] = {};
-            __builtin_memcpy(bytes, &key, sizeof(Key));
-            return static_cast<std::size_t>(fnv1a_64(bytes, sizeof(Key)));
+            char bytes[sizeof(K)] = {};
+            __builtin_memcpy(bytes, &key, sizeof(K));
+            return static_cast<std::size_t>(fnv1a_64(bytes, sizeof(K)));
         }
     }
 };

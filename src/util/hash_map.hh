@@ -8,10 +8,27 @@
  * probing, and backward-shift deletion (no tombstones), with FnvHash
  * as the default hash functor.
  *
+ * Hash caching: every occupied slot stores the full hash of its key.
+ * Probes compare the cached hash before touching the key, so a miss
+ * along a probe chain costs one integer compare instead of a string
+ * compare; rehashing and backward-shift deletion re-place slots by
+ * their cached hash and never invoke the hash functor again. The
+ * invariant is slot.hash == Hash{}(slot.key) for every occupied slot.
+ *
+ * Heterogeneous lookup: the lookup methods are templated over the key
+ * argument, so a HashMap<std::string, V> can be probed with a
+ * std::string_view (or char literal) without materializing a
+ * std::string. The *Hashed variants additionally take a precomputed
+ * hash, letting callers that already know a term's hash (TermBlock
+ * spans, merge) skip hashing entirely. A std::string key is only
+ * constructed when a new slot is actually placed.
+ *
  * Requirements: Key and Value must be default-constructible and
- * movable. Iterators are invalidated by insert(), erase() and
- * rehashing. The container is not thread safe; concurrent use is
- * coordinated by the index layer (see index/shared_index.hh).
+ * movable; a heterogeneous lookup type K must hash identically to the
+ * Key it equals (FnvHash guarantees this for string-likes). Iterators
+ * are invalidated by insert(), erase() and rehashing. The container is
+ * not thread safe; concurrent use is coordinated by the index layer
+ * (see index/shared_index.hh).
  */
 
 #ifndef DSEARCH_UTIL_HASH_MAP_HH
@@ -27,7 +44,7 @@
 namespace dsearch {
 
 /**
- * Hash map with open addressing and linear probing.
+ * Hash map with open addressing, linear probing and cached hashes.
  *
  * @tparam Key   Key type (default-constructible, movable, equality
  *               comparable).
@@ -43,6 +60,7 @@ class HashMap
     {
         Key key{};
         Value value{};
+        std::size_t hash = 0; ///< Cached Hash{}(key) while occupied.
         bool occupied = false;
     };
 
@@ -103,19 +121,46 @@ class HashMap
     }
 
     /**
-     * Insert a key/value pair if the key is absent.
+     * Insert a key/value pair if the key is absent. Heterogeneous: a
+     * Key is materialized only when the pair is actually inserted.
      *
      * @return True if inserted, false if the key already existed (the
      *         stored value is left untouched).
      */
+    template <typename K>
     bool
-    insert(const Key &key, Value value)
+    insert(const K &key, Value value)
+    {
+        return insertHashed(_hash(key), key, std::move(value));
+    }
+
+    /**
+     * Insert with a precomputed hash; @p key may be any type a Key is
+     * constructible from (a Key is materialized only on insertion).
+     *
+     * @return True if inserted, false if the key already existed.
+     */
+    template <typename K>
+    bool
+    insertHashed(std::size_t hash, const K &key, Value value)
     {
         growIfNeeded();
-        std::size_t pos = probe(key);
+        std::size_t pos = probe(hash, key);
         if (_slots[pos].occupied)
             return false;
-        place(pos, key, std::move(value));
+        place(pos, Key(key), std::move(value), hash);
+        return true;
+    }
+
+    /** Overload taking ownership of an already-materialized key. */
+    bool
+    insertHashed(std::size_t hash, Key &&key, Value value)
+    {
+        growIfNeeded();
+        std::size_t pos = probe(hash, key);
+        if (_slots[pos].occupied)
+            return false;
+        place(pos, std::move(key), std::move(value), hash);
         return true;
     }
 
@@ -127,51 +172,87 @@ class HashMap
     Value &
     operator[](const Key &key)
     {
+        return findOrEmplaceHashed(_hash(key), key);
+    }
+
+    /**
+     * Hash-reusing operator[]: find or default-construct the value for
+     * @p key, probing with the caller-supplied @p hash. The hot path of
+     * Stage 3 — every en-bloc insert lands here with the hash the
+     * extractor already computed.
+     */
+    template <typename K>
+    Value &
+    findOrEmplaceHashed(std::size_t hash, const K &key)
+    {
         growIfNeeded();
-        std::size_t pos = probe(key);
+        std::size_t pos = probe(hash, key);
         if (!_slots[pos].occupied)
-            place(pos, key, Value{});
+            place(pos, Key(key), Value{}, hash);
         return _slots[pos].value;
     }
 
     /**
-     * Look up @p key.
+     * Look up @p key; heterogeneous (string_view probes a string map
+     * without allocating).
      *
      * @return Pointer to the mapped value, or nullptr when absent.
      */
+    template <typename K>
     Value *
-    find(const Key &key)
+    find(const K &key)
     {
-        if (_slots.empty())
-            return nullptr;
-        std::size_t pos = probe(key);
-        return _slots[pos].occupied ? &_slots[pos].value : nullptr;
+        return findHashed(_hash(key), key);
     }
 
     /** Const overload of find(). */
+    template <typename K>
     const Value *
-    find(const Key &key) const
+    find(const K &key) const
+    {
+        return findHashed(_hash(key), key);
+    }
+
+    /** Lookup with a precomputed hash. */
+    template <typename K>
+    Value *
+    findHashed(std::size_t hash, const K &key)
     {
         if (_slots.empty())
             return nullptr;
-        std::size_t pos = probe(key);
+        std::size_t pos = probe(hash, key);
         return _slots[pos].occupied ? &_slots[pos].value : nullptr;
     }
 
-    /** @return True when @p key is present. */
-    bool contains(const Key &key) const { return find(key) != nullptr; }
+    /** Const overload of findHashed(). */
+    template <typename K>
+    const Value *
+    findHashed(std::size_t hash, const K &key) const
+    {
+        if (_slots.empty())
+            return nullptr;
+        std::size_t pos = probe(hash, key);
+        return _slots[pos].occupied ? &_slots[pos].value : nullptr;
+    }
+
+    /** @return True when @p key is present (heterogeneous). */
+    template <typename K>
+    bool contains(const K &key) const { return find(key) != nullptr; }
 
     /**
-     * Remove @p key using backward-shift deletion.
+     * Remove @p key using backward-shift deletion (heterogeneous).
+     * Shifted entries are re-homed by their cached hash; no key is
+     * ever re-hashed.
      *
      * @return True if an element was removed.
      */
+    template <typename K>
     bool
-    erase(const Key &key)
+    erase(const K &key)
     {
         if (_slots.empty())
             return false;
-        std::size_t hole = probe(key);
+        std::size_t hole = probe(_hash(key), key);
         if (!_slots[hole].occupied)
             return false;
 
@@ -180,7 +261,7 @@ class HashMap
         std::size_t mask = _slots.size() - 1;
         std::size_t next = (hole + 1) & mask;
         while (_slots[next].occupied) {
-            std::size_t home = bucketOf(_slots[next].key);
+            std::size_t home = _slots[next].hash & mask;
             // The entry can fill the hole iff its home bucket lies at
             // or before the hole along its probe path.
             if (((next - home) & mask) >= ((next - hole) & mask)) {
@@ -264,33 +345,33 @@ class HashMap
     static constexpr std::size_t maxLoadNum = 5;
     static constexpr std::size_t maxLoadDen = 8;
 
-    std::size_t
-    bucketOf(const Key &key) const
-    {
-        return _hash(key) & (_slots.size() - 1);
-    }
-
     /**
-     * Probe for @p key.
+     * Probe for a key with a known hash. Cached hashes are compared
+     * before keys, so chain misses cost an integer compare.
      *
      * @return Index of the slot holding the key, or of the first empty
      *         slot on its probe path.
      */
+    template <typename K>
     std::size_t
-    probe(const Key &key) const
+    probe(std::size_t hash, const K &key) const
     {
         std::size_t mask = _slots.size() - 1;
-        std::size_t pos = bucketOf(key);
-        while (_slots[pos].occupied && !(_slots[pos].key == key))
+        std::size_t pos = hash & mask;
+        while (_slots[pos].occupied
+               && !(_slots[pos].hash == hash
+                    && _slots[pos].key == key)) {
             pos = (pos + 1) & mask;
+        }
         return pos;
     }
 
     void
-    place(std::size_t pos, const Key &key, Value value)
+    place(std::size_t pos, Key key, Value value, std::size_t hash)
     {
-        _slots[pos].key = key;
+        _slots[pos].key = std::move(key);
         _slots[pos].value = std::move(value);
+        _slots[pos].hash = hash;
         _slots[pos].occupied = true;
         ++_size;
     }
@@ -306,6 +387,11 @@ class HashMap
             rehash(_slots.size() * 2);
     }
 
+    /**
+     * Resize the table, re-placing every slot by its cached hash. The
+     * hash functor is never called: all stored keys are distinct, so
+     * each slot goes to the first empty position on its probe path.
+     */
     void
     rehash(std::size_t new_capacity)
     {
@@ -313,12 +399,14 @@ class HashMap
             panic("HashMap capacity must be a power of two");
         std::vector<Slot> old = std::move(_slots);
         _slots.assign(new_capacity, Slot{});
-        _size = 0;
+        std::size_t mask = new_capacity - 1;
         for (Slot &slot : old) {
-            if (slot.occupied) {
-                std::size_t pos = probe(slot.key);
-                place(pos, std::move(slot.key), std::move(slot.value));
-            }
+            if (!slot.occupied)
+                continue;
+            std::size_t pos = slot.hash & mask;
+            while (_slots[pos].occupied)
+                pos = (pos + 1) & mask;
+            _slots[pos] = std::move(slot);
         }
     }
 

@@ -49,21 +49,42 @@ class HashSet
     void reserve(std::size_t expected) { _map.reserve(expected); }
 
     /**
-     * Insert @p key.
+     * Insert @p key. Heterogeneous: a string set accepts a
+     * string_view and materializes a Key only when the element is new.
      *
      * @return True if the key was new.
      */
-    bool insert(const Key &key) { return _map.insert(key, Empty{}); }
+    template <typename K>
+    bool
+    insert(const K &key)
+    {
+        return _map.insert(key, Empty{});
+    }
 
-    /** @return True when @p key is present. */
-    bool contains(const Key &key) const { return _map.contains(key); }
+    /**
+     * Insert with a precomputed hash (must equal the functor's hash of
+     * @p key).
+     *
+     * @return True if the key was new.
+     */
+    template <typename K>
+    bool
+    insertHashed(std::size_t hash, const K &key)
+    {
+        return _map.insertHashed(hash, key, Empty{});
+    }
+
+    /** @return True when @p key is present (heterogeneous). */
+    template <typename K>
+    bool contains(const K &key) const { return _map.contains(key); }
 
     /**
      * Remove @p key.
      *
      * @return True if an element was removed.
      */
-    bool erase(const Key &key) { return _map.erase(key); }
+    template <typename K>
+    bool erase(const K &key) { return _map.erase(key); }
 
     /**
      * Iterator over elements; dereferences to the underlying map slot

@@ -53,6 +53,13 @@ logLevel()
     return log_level;
 }
 
+bool
+wouldLog(LogLevel level)
+{
+    std::scoped_lock lock(log_mutex);
+    return static_cast<int>(level) <= static_cast<int>(log_level);
+}
+
 LogSink
 setLogSink(LogSink sink)
 {

@@ -39,6 +39,13 @@ void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 /**
+ * @return True when a message of @p level would reach the sink.
+ *
+ * Lets hot paths skip building a message that emit() would drop.
+ */
+bool wouldLog(LogLevel level);
+
+/**
  * Replaceable destination for warn()/inform() messages.
  *
  * The sink receives the severity and the fully formatted message

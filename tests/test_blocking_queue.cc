@@ -65,6 +65,103 @@ TEST(BlockingQueue, CloseDrainsRemainingItems)
     EXPECT_FALSE(queue.pop(out));
 }
 
+TEST(BlockingQueue, PopBatchDrainsUpToMax)
+{
+    BlockingQueue<int> queue;
+    for (int i = 0; i < 10; ++i)
+        queue.push(i);
+
+    std::vector<int> batch;
+    ASSERT_TRUE(queue.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    ASSERT_TRUE(queue.popBatch(batch, 100));
+    EXPECT_EQ(batch.size(), 6u); // takes what is there, FIFO
+    EXPECT_EQ(batch.front(), 4);
+    EXPECT_EQ(batch.back(), 9);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BlockingQueue, PopBatchStopsWhenClosedAndDrained)
+{
+    BlockingQueue<int> queue;
+    queue.push(7);
+    queue.close();
+    std::vector<int> batch;
+    ASSERT_TRUE(queue.popBatch(batch, 8));
+    EXPECT_EQ(batch, (std::vector<int>{7}));
+    EXPECT_FALSE(queue.popBatch(batch, 8));
+    EXPECT_TRUE(batch.empty());
+}
+
+TEST(BlockingQueue, PopBatchBlocksUntilPush)
+{
+    BlockingQueue<int> queue;
+    std::vector<int> received;
+    std::thread consumer([&queue, &received] {
+        std::vector<int> batch;
+        if (queue.popBatch(batch, 16))
+            received = batch;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(42);
+    consumer.join();
+    EXPECT_EQ(received, (std::vector<int>{42}));
+}
+
+TEST(BlockingQueue, PopBatchUnblocksBoundedProducers)
+{
+    BlockingQueue<int> queue(2);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+
+    // Two producers blocked on a full queue; one batched pop must
+    // free room for both.
+    std::atomic<int> pushed{0};
+    std::thread p1([&] { queue.push(3); ++pushed; });
+    std::thread p2([&] { queue.push(4); ++pushed; });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(pushed.load(), 0);
+
+    std::vector<int> batch;
+    ASSERT_TRUE(queue.popBatch(batch, 2));
+    EXPECT_EQ(batch.size(), 2u);
+    p1.join();
+    p2.join();
+    EXPECT_EQ(pushed.load(), 2);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BlockingQueue, BatchedConsumersSeeEveryElement)
+{
+    BlockingQueue<int> queue(32);
+    constexpr int n = 5000;
+    std::atomic<long long> sum{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&queue, &sum] {
+            std::vector<int> batch;
+            long long local = 0;
+            while (queue.popBatch(batch, 7))
+                for (int v : batch)
+                    local += v;
+            sum += local;
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (int i = p; i < n; i += 2)
+                queue.push(i);
+        });
+    }
+    for (auto &producer : producers)
+        producer.join();
+    queue.close();
+    for (auto &consumer : consumers)
+        consumer.join();
+    EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
 TEST(BlockingQueue, PushAfterCloseFails)
 {
     BlockingQueue<int> queue;

@@ -207,6 +207,110 @@ TEST(HashMap, VectorValues)
     EXPECT_EQ(map.find("list")->size(), 2u);
 }
 
+TEST(HashMap, HeterogeneousStringViewLookup)
+{
+    Map map;
+    map.insert("alpha", 1);
+    map.insert("beta", 2);
+
+    // Probe with string_view and char literals; no std::string needed.
+    std::string_view alpha_view("alpha");
+    ASSERT_NE(map.find(alpha_view), nullptr);
+    EXPECT_EQ(*map.find(alpha_view), 1);
+    EXPECT_TRUE(map.contains(std::string_view("beta")));
+    EXPECT_FALSE(map.contains(std::string_view("gamma")));
+    EXPECT_TRUE(map.erase(std::string_view("alpha")));
+    EXPECT_EQ(map.find(alpha_view), nullptr);
+}
+
+TEST(HashMap, HeterogeneousInsertMaterializesOnlyWhenNew)
+{
+    Map map;
+    std::string backing = "term0";
+    EXPECT_TRUE(map.insert(std::string_view(backing), 7));
+    // Re-inserting through a view of different backing storage must
+    // dedup against the stored std::string.
+    std::string other = "term0";
+    EXPECT_FALSE(map.insert(std::string_view(other), 9));
+    EXPECT_EQ(*map.find("term0"), 7);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMap, HashedApiMatchesPlainApi)
+{
+    Map map;
+    FnvHash<std::string> hasher;
+    std::string_view key("precomputed");
+    std::size_t hash = hasher(key);
+
+    EXPECT_TRUE(map.insertHashed(hash, key, 3));
+    EXPECT_FALSE(map.insertHashed(hash, key, 4));
+    ASSERT_NE(map.findHashed(hash, key), nullptr);
+    EXPECT_EQ(*map.findHashed(hash, key), 3);
+    EXPECT_EQ(map.find("precomputed"), map.findHashed(hash, key));
+
+    map.findOrEmplaceHashed(hash, key) = 11;
+    EXPECT_EQ(*map.find("precomputed"), 11);
+}
+
+TEST(HashMap, CachedHashInvariantAcrossRehashAndErase)
+{
+    Map map;
+    FnvHash<std::string> hasher;
+    // Grow through several rehashes.
+    for (int i = 0; i < 2000; ++i)
+        map.insert("key" + std::to_string(i), i);
+    // Backward-shift erase of a third of the keys.
+    for (int i = 0; i < 2000; i += 3)
+        ASSERT_TRUE(map.erase("key" + std::to_string(i)));
+
+    std::size_t visited = 0;
+    for (const auto &slot : map) {
+        ASSERT_EQ(slot.hash, hasher(slot.key))
+            << "stale cached hash for " << slot.key;
+        ++visited;
+    }
+    EXPECT_EQ(visited, map.size());
+    for (int i = 0; i < 2000; ++i) {
+        const int *found = map.find("key" + std::to_string(i));
+        if (i % 3 == 0)
+            EXPECT_EQ(found, nullptr);
+        else
+            ASSERT_NE(found, nullptr);
+    }
+}
+
+/** Counts invocations to prove rehashing never re-hashes keys. */
+struct CountingHash
+{
+    static inline std::size_t calls = 0;
+
+    template <typename K>
+    std::size_t
+    operator()(const K &key) const
+    {
+        ++calls;
+        return FnvHash<std::string>{}(key);
+    }
+};
+
+TEST(HashMap, RehashNeverInvokesHashFunctor)
+{
+    HashMap<std::string, int, CountingHash> map;
+    CountingHash::calls = 0;
+    const int n = 5000; // forces many growth rehashes from capacity 16
+    for (int i = 0; i < n; ++i)
+        map.insert("key" + std::to_string(i), i);
+    // Exactly one hash per insert call; rehashes reuse cached hashes.
+    EXPECT_EQ(CountingHash::calls, static_cast<std::size_t>(n));
+
+    CountingHash::calls = 0;
+    for (int i = 0; i < n; i += 7)
+        map.erase("key" + std::to_string(i));
+    // One hash per erase; backward-shifting re-homes by cached hash.
+    EXPECT_EQ(CountingHash::calls, static_cast<std::size_t>(n / 7 + 1));
+}
+
 /**
  * Model-based property test: a random operation stream must keep the
  * HashMap equivalent to std::unordered_map.

@@ -6,13 +6,42 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <unordered_set>
 
+#include "util/fnv_hash.hh"
 #include "util/hash_set.hh"
 #include "util/rng.hh"
 
 namespace dsearch {
 namespace {
+
+TEST(HashSet, HeterogeneousStringViewInsertAndContains)
+{
+    HashSet<std::string> set;
+    std::string buffer = "the cat sat";
+    std::string_view cat = std::string_view(buffer).substr(4, 3);
+
+    EXPECT_TRUE(set.insert(cat)); // materializes "cat" on first sight
+    EXPECT_FALSE(set.insert(cat));
+    EXPECT_FALSE(set.insert(std::string("cat"))); // dedups across types
+    EXPECT_TRUE(set.contains(std::string_view("cat")));
+    EXPECT_TRUE(set.contains("cat"));
+    EXPECT_FALSE(set.contains(std::string_view("ca")));
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(HashSet, InsertHashedReusesCallerHash)
+{
+    HashSet<std::string> set;
+    std::string_view term("precomputed");
+    std::size_t hash = FnvHash<std::string>{}(term);
+    EXPECT_TRUE(set.insertHashed(hash, term));
+    EXPECT_FALSE(set.insertHashed(hash, term));
+    EXPECT_TRUE(set.contains(term));
+    EXPECT_TRUE(set.erase(term));
+    EXPECT_FALSE(set.contains(term));
+}
 
 TEST(HashSet, StartsEmpty)
 {

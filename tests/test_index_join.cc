@@ -16,7 +16,8 @@ block(DocId doc, std::vector<std::string> terms)
 {
     TermBlock b;
     b.doc = doc;
-    b.terms = std::move(terms);
+    for (const std::string &term : terms)
+        b.addTerm(term);
     return b;
 }
 

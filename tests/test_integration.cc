@@ -172,8 +172,11 @@ TEST(Integration, MediumCorpusAllImplementationsAgree)
     reference.sortPostings();
     ASSERT_GT(reference.postingCount(), 100000u);
 
+    Config sharded = Config::sharedLocked(4, 2);
+    sharded.lock_shards = 8;
     for (Config cfg :
-         {Config::sharedLocked(4, 2), Config::replicatedJoin(4, 3, 2),
+         {Config::sharedLocked(4, 2), sharded,
+          Config::replicatedJoin(4, 3, 2),
           Config::replicatedNoJoin(4, 2)}) {
         IndexGenerator generator(*fs, "/", cfg);
         BuildResult result = generator.build();

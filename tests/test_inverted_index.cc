@@ -17,7 +17,8 @@ block(DocId doc, std::vector<std::string> terms)
 {
     TermBlock b;
     b.doc = doc;
-    b.terms = std::move(terms);
+    for (const std::string &term : terms)
+        b.addTerm(term);
     return b;
 }
 
@@ -200,15 +201,14 @@ TEST(InvertedIndex, ManyTermsStressGrowth)
 {
     InvertedIndex index;
     for (DocId doc = 0; doc < 50; ++doc) {
-        TermBlock b;
-        b.doc = doc;
-        for (int t = 0; t < 100; ++t)
-            b.terms.push_back("term" + std::to_string(t * 7 % 400));
         // Blocks carry unique terms per file; dedup within block.
-        std::sort(b.terms.begin(), b.terms.end());
-        b.terms.erase(std::unique(b.terms.begin(), b.terms.end()),
-                      b.terms.end());
-        index.addBlock(b);
+        std::vector<std::string> terms;
+        for (int t = 0; t < 100; ++t)
+            terms.push_back("term" + std::to_string(t * 7 % 400));
+        std::sort(terms.begin(), terms.end());
+        terms.erase(std::unique(terms.begin(), terms.end()),
+                    terms.end());
+        index.addBlock(block(doc, std::move(terms)));
     }
     EXPECT_GT(index.termCount(), 0u);
     EXPECT_GT(index.postingCount(), index.termCount());

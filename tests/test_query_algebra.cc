@@ -47,7 +47,7 @@ struct Fixture
             block.doc = doc;
             for (std::size_t v = 0; v < vocab; ++v) {
                 if (rng.bernoulli(0.4)) {
-                    block.terms.push_back(word(v));
+                    block.addTerm(word(v));
                     doc_terms[doc].insert(word(v));
                 }
             }

@@ -19,7 +19,8 @@ block(DocId doc, std::vector<std::string> terms)
 {
     TermBlock b;
     b.doc = doc;
-    b.terms = std::move(terms);
+    for (const std::string &term : terms)
+        b.addTerm(term);
     return b;
 }
 
@@ -191,7 +192,7 @@ TEST(Serialize, LargePostingListsSurvive)
     InvertedIndex index;
     DocTable docs;
     TermBlock b;
-    b.terms = {"common"};
+    b.addTerm("common");
     for (DocId doc = 0; doc < 5000; ++doc) {
         docs.add("/f" + std::to_string(doc), doc);
         b.doc = doc;

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "fs/memory_fs.hh"
+#include "pipeline/blocking_queue.hh"
 #include "text/term_extractor.hh"
+#include "util/fnv_hash.hh"
 #include "util/logging.hh"
 
 namespace dsearch {
@@ -32,7 +35,7 @@ TEST(TermExtractor, ExtractsUniqueTerms)
     TermBlock block;
     ASSERT_TRUE(extractor.extract(entry(7, "/f.txt", 31), block));
     EXPECT_EQ(block.doc, 7u);
-    std::vector<std::string> terms = block.terms;
+    std::vector<std::string> terms = block.termStrings();
     std::sort(terms.begin(), terms.end());
     std::vector<std::string> expected = {"and", "cat", "hat", "the"};
     EXPECT_EQ(terms, expected);
@@ -60,11 +63,11 @@ TEST(TermExtractor, BlockReusedAcrossFiles)
     TermExtractor extractor(fs);
     TermBlock block;
     ASSERT_TRUE(extractor.extract(entry(0, "/1.txt", 10), block));
-    EXPECT_EQ(block.terms.size(), 2u);
+    EXPECT_EQ(block.termCount(), 2u);
     ASSERT_TRUE(extractor.extract(entry(1, "/2.txt", 5), block));
     EXPECT_EQ(block.doc, 1u);
-    ASSERT_EQ(block.terms.size(), 1u);
-    EXPECT_EQ(block.terms[0], "gamma");
+    ASSERT_EQ(block.termCount(), 1u);
+    EXPECT_EQ(block.term(0), "gamma");
 }
 
 TEST(TermExtractor, DedupIsPerFileNotGlobal)
@@ -75,13 +78,13 @@ TEST(TermExtractor, DedupIsPerFileNotGlobal)
     TermExtractor extractor(fs);
     TermBlock block;
     ASSERT_TRUE(extractor.extract(entry(0, "/1.txt", 14), block));
-    EXPECT_EQ(block.terms.size(), 2u);
+    EXPECT_EQ(block.termCount(), 2u);
     // "shared" must appear again for the second file.
     ASSERT_TRUE(extractor.extract(entry(1, "/2.txt", 14), block));
-    EXPECT_EQ(block.terms.size(), 2u);
-    EXPECT_NE(std::find(block.terms.begin(), block.terms.end(),
-                        "shared"),
-              block.terms.end());
+    EXPECT_EQ(block.termCount(), 2u);
+    std::vector<std::string> terms = block.termStrings();
+    EXPECT_NE(std::find(terms.begin(), terms.end(), "shared"),
+              terms.end());
 }
 
 TEST(TermExtractor, MissingFileSkippedWithWarning)
@@ -112,7 +115,7 @@ TEST(TermExtractor, EmptyFileYieldsEmptyBlock)
     TermBlock block;
     ASSERT_TRUE(extractor.extract(entry(3, "/empty.txt", 0), block));
     EXPECT_EQ(block.doc, 3u);
-    EXPECT_TRUE(block.terms.empty());
+    EXPECT_TRUE(block.empty());
 }
 
 TEST(TermExtractor, OccurrenceModeKeepsDuplicatesInOrder)
@@ -160,6 +163,118 @@ TEST(TermExtractor, StatsAddCombines)
     EXPECT_EQ(a.read_errors, 1u);
 }
 
+TEST(TermBlock, ArenaLayoutIsFlatAndHashed)
+{
+    TermBlock block;
+    block.doc = 4;
+    block.addTerm("alpha");
+    block.addTerm("beta", fnv1a_64("beta"));
+    block.addTerm("c");
+
+    ASSERT_EQ(block.termCount(), 3u);
+    EXPECT_EQ(block.term(0), "alpha");
+    EXPECT_EQ(block.term(1), "beta");
+    EXPECT_EQ(block.term(2), "c");
+    // Terms live back to back in one buffer.
+    EXPECT_EQ(block.arena, "alphabetac");
+    // Every span carries the term's FNV-1a hash.
+    for (std::size_t i = 0; i < block.termCount(); ++i)
+        EXPECT_EQ(block.hashAt(i), fnv1a_64(block.term(i)));
+
+    block.clear();
+    EXPECT_TRUE(block.empty());
+    EXPECT_TRUE(block.arena.empty());
+}
+
+TEST(TermBlock, ExtractedSpansCarryCorrectHashes)
+{
+    MemoryFs fs;
+    fs.addFile("/f.txt", "zeta epsilon zeta OMEGA");
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(entry(0, "/f.txt", 23), block));
+    ASSERT_EQ(block.termCount(), 3u);
+    for (std::size_t i = 0; i < block.termCount(); ++i)
+        EXPECT_EQ(block.hashAt(i), fnv1a_64(block.term(i)));
+}
+
+TEST(TermBlock, RoundTripsThroughBlockingQueue)
+{
+    MemoryFs fs;
+    fs.addFile("/a.txt", "cat dog cat bird");
+    fs.addFile("/b.txt", "fish");
+    TermExtractor extractor(fs);
+
+    BlockingQueue<TermBlock> queue(4);
+    std::thread producer([&] {
+        TermBlock block;
+        ASSERT_TRUE(extractor.extract(entry(1, "/a.txt", 16), block));
+        queue.push(std::move(block));
+        ASSERT_TRUE(extractor.extract(entry(2, "/b.txt", 4), block));
+        queue.push(std::move(block));
+        queue.close();
+    });
+
+    TermBlock out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.doc, 1u);
+    std::vector<std::string> terms = out.termStrings();
+    std::sort(terms.begin(), terms.end());
+    EXPECT_EQ(terms, (std::vector<std::string>{"bird", "cat", "dog"}));
+    for (std::size_t i = 0; i < out.termCount(); ++i)
+        EXPECT_EQ(out.hashAt(i), fnv1a_64(out.term(i)));
+
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.doc, 2u);
+    ASSERT_EQ(out.termCount(), 1u);
+    EXPECT_EQ(out.term(0), "fish");
+
+    EXPECT_FALSE(queue.pop(out));
+    producer.join();
+}
+
+TEST(TermExtractor, DedupSurvivesTableGrowth)
+{
+    // More unique terms than the initial dedup table can hold without
+    // growing, with every term repeated, so growth happens mid-file
+    // while duplicates keep arriving.
+    std::string text;
+    for (int i = 0; i < 2000; ++i) {
+        std::string word = "w" + std::to_string(i);
+        text += word + " " + word + " ";
+    }
+    MemoryFs fs;
+    fs.addFile("/big.txt", text);
+    TermExtractor extractor(fs);
+    TermBlock block;
+    ASSERT_TRUE(extractor.extract(
+        entry(0, "/big.txt", text.size()), block));
+    EXPECT_EQ(block.termCount(), 2000u);
+    EXPECT_EQ(extractor.stats().tokens, 4000u);
+
+    std::vector<std::string> terms = block.termStrings();
+    std::sort(terms.begin(), terms.end());
+    EXPECT_EQ(std::unique(terms.begin(), terms.end()), terms.end());
+}
+
+TEST(TermExtractor, SilencedWarningsSkipMessageConstruction)
+{
+    // With the level below Warn no sink must be invoked, and errors
+    // are still counted.
+    MemoryFs fs;
+    TermExtractor extractor(fs);
+    TermBlock block;
+    int sink_calls = 0;
+    LogSink old = setLogSink(
+        [&sink_calls](LogLevel, const std::string &) { ++sink_calls; });
+    setLogLevel(LogLevel::Silent);
+    EXPECT_FALSE(extractor.extract(entry(0, "/gone.txt", 1), block));
+    setLogLevel(LogLevel::Info);
+    setLogSink(std::move(old));
+    EXPECT_EQ(sink_calls, 0);
+    EXPECT_EQ(extractor.stats().read_errors, 1u);
+}
+
 TEST(TermExtractor, TokenizerOptionsRespected)
 {
     MemoryFs fs;
@@ -169,7 +284,7 @@ TEST(TermExtractor, TokenizerOptionsRespected)
     TermExtractor extractor(fs, opts);
     TermBlock block;
     ASSERT_TRUE(extractor.extract(entry(0, "/f.txt", 8), block));
-    EXPECT_EQ(block.terms.size(), 2u);
+    EXPECT_EQ(block.termCount(), 2u);
 }
 
 } // namespace
