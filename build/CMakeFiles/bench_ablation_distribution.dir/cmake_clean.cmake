@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_distribution.dir/bench/bench_ablation_distribution.cc.o"
+  "CMakeFiles/bench_ablation_distribution.dir/bench/bench_ablation_distribution.cc.o.d"
+  "bench_ablation_distribution"
+  "bench_ablation_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_speedup.dir/bench/bench_host_speedup.cc.o"
+  "CMakeFiles/bench_host_speedup.dir/bench/bench_host_speedup.cc.o.d"
+  "bench_host_speedup"
+  "bench_host_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

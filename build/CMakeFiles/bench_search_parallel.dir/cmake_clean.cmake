@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_parallel.dir/bench/bench_search_parallel.cc.o"
+  "CMakeFiles/bench_search_parallel.dir/bench/bench_search_parallel.cc.o.d"
+  "bench_search_parallel"
+  "bench_search_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_4core.dir/bench/bench_table2_4core.cc.o"
+  "CMakeFiles/bench_table2_4core.dir/bench/bench_table2_4core.cc.o.d"
+  "bench_table2_4core"
+  "bench_table2_4core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_4core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

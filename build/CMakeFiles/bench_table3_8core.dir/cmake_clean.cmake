@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_8core.dir/bench/bench_table3_8core.cc.o"
+  "CMakeFiles/bench_table3_8core.dir/bench/bench_table3_8core.cc.o.d"
+  "bench_table3_8core"
+  "bench_table3_8core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_8core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_32core.dir/bench/bench_table4_32core.cc.o"
+  "CMakeFiles/bench_table4_32core.dir/bench/bench_table4_32core.cc.o.d"
+  "bench_table4_32core"
+  "bench_table4_32core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_32core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

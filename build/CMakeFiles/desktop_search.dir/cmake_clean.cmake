@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desktop_search.dir/examples/desktop_search.cpp.o"
+  "CMakeFiles/desktop_search.dir/examples/desktop_search.cpp.o.d"
+  "desktop_search"
+  "desktop_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desktop_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "CMakeFiles/dsearch.dir/src/core/config.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/core/config.cc.o.d"
+  "/root/repo/src/core/index_generator.cc" "CMakeFiles/dsearch.dir/src/core/index_generator.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/core/index_generator.cc.o.d"
+  "/root/repo/src/fs/corpus.cc" "CMakeFiles/dsearch.dir/src/fs/corpus.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/fs/corpus.cc.o.d"
+  "/root/repo/src/fs/disk_fs.cc" "CMakeFiles/dsearch.dir/src/fs/disk_fs.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/fs/disk_fs.cc.o.d"
+  "/root/repo/src/fs/memory_fs.cc" "CMakeFiles/dsearch.dir/src/fs/memory_fs.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/fs/memory_fs.cc.o.d"
+  "/root/repo/src/fs/traversal.cc" "CMakeFiles/dsearch.dir/src/fs/traversal.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/fs/traversal.cc.o.d"
+  "/root/repo/src/index/doc_table.cc" "CMakeFiles/dsearch.dir/src/index/doc_table.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/index/doc_table.cc.o.d"
+  "/root/repo/src/index/index_join.cc" "CMakeFiles/dsearch.dir/src/index/index_join.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/index/index_join.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "CMakeFiles/dsearch.dir/src/index/inverted_index.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/maintainer.cc" "CMakeFiles/dsearch.dir/src/index/maintainer.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/index/maintainer.cc.o.d"
+  "/root/repo/src/index/serialize.cc" "CMakeFiles/dsearch.dir/src/index/serialize.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/index/serialize.cc.o.d"
+  "/root/repo/src/index/shared_index.cc" "CMakeFiles/dsearch.dir/src/index/shared_index.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/index/shared_index.cc.o.d"
+  "/root/repo/src/pipeline/distribution.cc" "CMakeFiles/dsearch.dir/src/pipeline/distribution.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/pipeline/distribution.cc.o.d"
+  "/root/repo/src/pipeline/thread_pool.cc" "CMakeFiles/dsearch.dir/src/pipeline/thread_pool.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/pipeline/thread_pool.cc.o.d"
+  "/root/repo/src/search/multi_searcher.cc" "CMakeFiles/dsearch.dir/src/search/multi_searcher.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/search/multi_searcher.cc.o.d"
+  "/root/repo/src/search/query.cc" "CMakeFiles/dsearch.dir/src/search/query.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/search/query.cc.o.d"
+  "/root/repo/src/search/ranked.cc" "CMakeFiles/dsearch.dir/src/search/ranked.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/search/ranked.cc.o.d"
+  "/root/repo/src/search/searcher.cc" "CMakeFiles/dsearch.dir/src/search/searcher.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/search/searcher.cc.o.d"
+  "/root/repo/src/sim/disk_model.cc" "CMakeFiles/dsearch.dir/src/sim/disk_model.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/sim/disk_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/dsearch.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/pipeline_sim.cc" "CMakeFiles/dsearch.dir/src/sim/pipeline_sim.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/sim/pipeline_sim.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "CMakeFiles/dsearch.dir/src/sim/platform.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/sim/platform.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "CMakeFiles/dsearch.dir/src/sim/resource.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/sim/resource.cc.o.d"
+  "/root/repo/src/text/term_extractor.cc" "CMakeFiles/dsearch.dir/src/text/term_extractor.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/text/term_extractor.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "CMakeFiles/dsearch.dir/src/text/tokenizer.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/text/tokenizer.cc.o.d"
+  "/root/repo/src/tune/config_space.cc" "CMakeFiles/dsearch.dir/src/tune/config_space.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/tune/config_space.cc.o.d"
+  "/root/repo/src/tune/tuner.cc" "CMakeFiles/dsearch.dir/src/tune/tuner.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/tune/tuner.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/dsearch.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/options.cc" "CMakeFiles/dsearch.dir/src/util/options.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/util/options.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/dsearch.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/dsearch.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/dsearch.dir/src/util/table.cc.o" "gcc" "CMakeFiles/dsearch.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

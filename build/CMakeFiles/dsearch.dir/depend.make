@@ -1,0 +1,2 @@
+# Empty dependencies file for dsearch.
+# This may be replaced when dependencies are built.

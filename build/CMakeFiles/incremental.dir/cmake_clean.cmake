@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental.dir/examples/incremental.cpp.o"
+  "CMakeFiles/incremental.dir/examples/incremental.cpp.o.d"
+  "incremental"
+  "incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_study.dir/examples/platform_study.cpp.o"
+  "CMakeFiles/platform_study.dir/examples/platform_study.cpp.o.d"
+  "platform_study"
+  "platform_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking_queue.dir/tests/test_blocking_queue.cc.o"
+  "CMakeFiles/test_blocking_queue.dir/tests/test_blocking_queue.cc.o.d"
+  "test_blocking_queue"
+  "test_blocking_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_fs.dir/tests/test_disk_fs.cc.o"
+  "CMakeFiles/test_disk_fs.dir/tests/test_disk_fs.cc.o.d"
+  "test_disk_fs"
+  "test_disk_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

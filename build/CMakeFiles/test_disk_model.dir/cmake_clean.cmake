@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_model.dir/tests/test_disk_model.cc.o"
+  "CMakeFiles/test_disk_model.dir/tests/test_disk_model.cc.o.d"
+  "test_disk_model"
+  "test_disk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doc_table.dir/tests/test_doc_table.cc.o"
+  "CMakeFiles/test_doc_table.dir/tests/test_doc_table.cc.o.d"
+  "test_doc_table"
+  "test_doc_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doc_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

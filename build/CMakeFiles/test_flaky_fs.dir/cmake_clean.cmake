@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flaky_fs.dir/tests/test_flaky_fs.cc.o"
+  "CMakeFiles/test_flaky_fs.dir/tests/test_flaky_fs.cc.o.d"
+  "test_flaky_fs"
+  "test_flaky_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flaky_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fnv_hash.dir/tests/test_fnv_hash.cc.o"
+  "CMakeFiles/test_fnv_hash.dir/tests/test_fnv_hash.cc.o.d"
+  "test_fnv_hash"
+  "test_fnv_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fnv_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_set.dir/tests/test_hash_set.cc.o"
+  "CMakeFiles/test_hash_set.dir/tests/test_hash_set.cc.o.d"
+  "test_hash_set"
+  "test_hash_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_generator.dir/tests/test_index_generator.cc.o"
+  "CMakeFiles/test_index_generator.dir/tests/test_index_generator.cc.o.d"
+  "test_index_generator"
+  "test_index_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

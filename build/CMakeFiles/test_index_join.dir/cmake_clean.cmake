@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_join.dir/tests/test_index_join.cc.o"
+  "CMakeFiles/test_index_join.dir/tests/test_index_join.cc.o.d"
+  "test_index_join"
+  "test_index_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverted_index.dir/tests/test_inverted_index.cc.o"
+  "CMakeFiles/test_inverted_index.dir/tests/test_inverted_index.cc.o.d"
+  "test_inverted_index"
+  "test_inverted_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverted_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maintainer.dir/tests/test_maintainer.cc.o"
+  "CMakeFiles/test_maintainer.dir/tests/test_maintainer.cc.o.d"
+  "test_maintainer"
+  "test_maintainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maintainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_fs.dir/tests/test_memory_fs.cc.o"
+  "CMakeFiles/test_memory_fs.dir/tests/test_memory_fs.cc.o.d"
+  "test_memory_fs"
+  "test_memory_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

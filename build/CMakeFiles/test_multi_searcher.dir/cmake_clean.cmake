@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_searcher.dir/tests/test_multi_searcher.cc.o"
+  "CMakeFiles/test_multi_searcher.dir/tests/test_multi_searcher.cc.o.d"
+  "test_multi_searcher"
+  "test_multi_searcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_searcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

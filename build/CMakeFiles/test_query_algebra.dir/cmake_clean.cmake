@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_algebra.dir/tests/test_query_algebra.cc.o"
+  "CMakeFiles/test_query_algebra.dir/tests/test_query_algebra.cc.o.d"
+  "test_query_algebra"
+  "test_query_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranked.dir/tests/test_ranked.cc.o"
+  "CMakeFiles/test_ranked.dir/tests/test_ranked.cc.o.d"
+  "test_ranked"
+  "test_ranked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

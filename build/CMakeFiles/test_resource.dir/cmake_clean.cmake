@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource.dir/tests/test_resource.cc.o"
+  "CMakeFiles/test_resource.dir/tests/test_resource.cc.o.d"
+  "test_resource"
+  "test_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_searcher.dir/tests/test_searcher.cc.o"
+  "CMakeFiles/test_searcher.dir/tests/test_searcher.cc.o.d"
+  "test_searcher"
+  "test_searcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_searcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

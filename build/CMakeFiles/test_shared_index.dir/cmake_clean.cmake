@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_index.dir/tests/test_shared_index.cc.o"
+  "CMakeFiles/test_shared_index.dir/tests/test_shared_index.cc.o.d"
+  "test_shared_index"
+  "test_shared_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

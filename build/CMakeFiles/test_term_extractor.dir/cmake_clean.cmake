@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_term_extractor.dir/tests/test_term_extractor.cc.o"
+  "CMakeFiles/test_term_extractor.dir/tests/test_term_extractor.cc.o.d"
+  "test_term_extractor"
+  "test_term_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_term_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

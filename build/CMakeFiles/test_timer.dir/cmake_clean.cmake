@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer.dir/tests/test_timer.cc.o"
+  "CMakeFiles/test_timer.dir/tests/test_timer.cc.o.d"
+  "test_timer"
+  "test_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokenizer.dir/tests/test_tokenizer.cc.o"
+  "CMakeFiles/test_tokenizer.dir/tests/test_tokenizer.cc.o.d"
+  "test_tokenizer"
+  "test_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

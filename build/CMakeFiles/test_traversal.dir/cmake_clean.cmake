@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traversal.dir/tests/test_traversal.cc.o"
+  "CMakeFiles/test_traversal.dir/tests/test_traversal.cc.o.d"
+  "test_traversal"
+  "test_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zipf.dir/tests/test_zipf.cc.o"
+  "CMakeFiles/test_zipf.dir/tests/test_zipf.cc.o.d"
+  "test_zipf"
+  "test_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
