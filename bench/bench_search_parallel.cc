@@ -17,7 +17,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/index_generator.hh"
+#include "core/engine.hh"
 #include "fs/corpus.hh"
 #include "pipeline/thread_pool.hh"
 #include "search/multi_searcher.hh"
@@ -68,19 +68,25 @@ main()
     auto fs = CorpusGenerator(CorpusSpec::paperScaled(0.05))
                   .generateInMemory();
 
-    // Implementation 3 output: replicas (one per core) ...
-    Config repl_cfg = Config::replicatedNoJoin(cores, cores);
-    BuildResult replicas = IndexGenerator(*fs, "/", repl_cfg).build();
+    // Implementation 3 output: replica segments (one per core) ...
+    Engine::Result replicas =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedNoJoin)
+            .threads(cores, cores)
+            .build();
     const std::size_t doc_count = replicas.docs.docCount();
 
     // ... and Implementation 2 output: the joined index.
-    Config join_cfg = Config::replicatedJoin(cores, cores, 1);
-    BuildResult joined = IndexGenerator(*fs, "/", join_cfg).build();
+    Engine::Result joined =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(cores, cores, 1)
+            .build();
 
     std::vector<Query> queries = makeQueries();
 
-    Searcher single(joined.primary(), doc_count);
-    MultiSearcher multi(replicas.indices, doc_count);
+    Searcher single(joined.snapshot, doc_count);
+    MultiSearcher multi(replicas.snapshot, doc_count);
 
     // Equivalence guard before timing anything.
     for (const Query &query : queries) {
@@ -94,7 +100,7 @@ main()
     Table table("E11 — query evaluation (real runs, "
                 + std::to_string(cores) + "-core host, "
                 + std::to_string(doc_count) + " docs, "
-                + std::to_string(replicas.indices.size())
+                + std::to_string(replicas.snapshot.segmentCount())
                 + " replicas, " + std::to_string(queries.size())
                 + "-query batch x " + std::to_string(rounds)
                 + " rounds)");

@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "core/engine.hh"
 #include "core/index_generator.hh"
 #include "fs/corpus.hh"
 #include "sim/pipeline_sim.hh"
@@ -85,10 +86,10 @@ main()
     auto fs = CorpusGenerator(CorpusSpec::paperScaled(scale))
                   .generateInMemory();
     StageTimes host = IndexGenerator::measureSequentialStages(*fs, "/");
-    double host_seq =
-        IndexGenerator(*fs, "/", Config::sequential())
-            .build()
-            .times.total;
+    double host_seq = Engine::open(*fs, "/")
+                          .organization(Implementation::Sequential)
+                          .build()
+                          .times.total;
     table.addRow({"host, real, " + formatBytes(fs->totalBytes())
                       + " in-memory corpus",
                   formatDouble(host.filename_generation, 2),

@@ -21,7 +21,7 @@
 #include <filesystem>
 #include <iostream>
 
-#include "core/index_generator.hh"
+#include "core/engine.hh"
 #include "fs/corpus.hh"
 #include "fs/disk_fs.hh"
 #include "index/serialize.hh"
@@ -35,26 +35,27 @@ namespace {
 using namespace dsearch;
 
 /** Build an index over a host directory with the given thread count. */
-BuildResult
+Engine::Result
 buildFromDisk(const std::string &root, unsigned threads)
 {
     DiskFs fs(root);
-    Config cfg = Config::replicatedJoin(
-        threads, std::max(1u, threads / 2), 1);
-    IndexGenerator generator(fs, "/", cfg);
-    BuildResult result = generator.build();
-    std::cout << "indexed " << result.docs.docCount() << " files ("
-              << formatBytes(result.extraction.bytes) << ") in "
-              << formatDuration(result.times.total) << " using "
-              << cfg.describe() << "\n";
-    if (result.extraction.read_errors > 0)
-        std::cout << "skipped " << result.extraction.read_errors
+    Engine::Result built =
+        Engine::open(fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(threads, std::max(1u, threads / 2), 1)
+            .build();
+    std::cout << "indexed " << built.docs.docCount() << " files ("
+              << formatBytes(built.extraction.bytes) << ") in "
+              << formatDuration(built.times.total) << " using "
+              << built.config.describe() << "\n";
+    if (built.extraction.read_errors > 0)
+        std::cout << "skipped " << built.extraction.read_errors
                   << " unreadable files\n";
-    return result;
+    return built;
 }
 
 void
-runQuery(const InvertedIndex &index, const DocTable &docs,
+runQuery(const IndexSnapshot &snapshot, const DocTable &docs,
          const std::string &text, std::size_t limit, bool ranked)
 {
     Query query = Query::parse(text);
@@ -63,7 +64,7 @@ runQuery(const InvertedIndex &index, const DocTable &docs,
         return;
     }
     if (ranked) {
-        RankedSearcher searcher(index, docs);
+        RankedSearcher searcher(snapshot, docs);
         auto hits = searcher.topK(query, limit);
         std::cout << query.toString() << " -> top " << hits.size()
                   << " files (ranked)\n";
@@ -72,7 +73,7 @@ runQuery(const InvertedIndex &index, const DocTable &docs,
                       << docs.path(hit.doc) << "\n";
         return;
     }
-    Searcher searcher(index, docs.docCount());
+    Searcher searcher(snapshot, docs.docCount());
     DocSet hits = searcher.run(query);
     std::cout << query.toString() << " -> " << hits.size()
               << " files\n";
@@ -113,26 +114,26 @@ main(int argc, char **argv)
     const bool ranked = options.flag("ranked");
 
     if (!load.empty()) {
-        InvertedIndex index;
+        IndexSnapshot snapshot;
         DocTable docs;
-        if (!loadIndexFile(index, docs, load))
+        if (!loadSnapshotFile(snapshot, docs, load))
             fatal("cannot load index from '" + load + "'");
-        std::cout << "loaded " << index.termCount() << " terms over "
-                  << docs.docCount() << " files\n";
+        std::cout << "loaded " << snapshot.termCount()
+                  << " terms over " << docs.docCount() << " files\n";
         if (!query.empty())
-            runQuery(index, docs, query, limit, ranked);
+            runQuery(snapshot, docs, query, limit, ranked);
         return 0;
     }
 
     if (!root.empty()) {
-        BuildResult result = buildFromDisk(root, threads);
+        Engine::Result built = buildFromDisk(root, threads);
         if (!save.empty()) {
-            if (!saveIndexFile(result.primary(), result.docs, save))
+            if (!saveSnapshotFile(built.snapshot, built.docs, save))
                 fatal("cannot save index to '" + save + "'");
             std::cout << "saved index to " << save << "\n";
         }
         if (!query.empty())
-            runQuery(result.primary(), result.docs, query, limit,
+            runQuery(built.snapshot, built.docs, query, limit,
                      ranked);
         return 0;
     }
@@ -149,10 +150,9 @@ main(int argc, char **argv)
     DiskWriter writer(demo_root.string());
     CorpusGenerator(spec).generate(writer);
 
-    BuildResult result = buildFromDisk(demo_root.string(), threads);
-    runQuery(result.primary(), result.docs, "ba AND be", limit,
-             false);
-    runQuery(result.primary(), result.docs, "bi OR bo", 5, true);
+    Engine::Result built = buildFromDisk(demo_root.string(), threads);
+    runQuery(built.snapshot, built.docs, "ba AND be", limit, false);
+    runQuery(built.snapshot, built.docs, "bi OR bo", 5, true);
     stdfs::remove_all(demo_root);
     return 0;
 }

@@ -26,7 +26,9 @@ using namespace dsearch;
 void
 show(const IndexMaintainer &maintainer, const std::string &text)
 {
-    Searcher searcher(maintainer.index(), maintainer.aliveDocs());
+    // Seal the current maintenance state for querying. A deployment
+    // would snapshot once per update batch, not per query.
+    Searcher searcher(maintainer.snapshot(), maintainer.aliveDocs());
     DocSet hits = searcher.run(Query::parse(text));
     std::cout << "  " << text << " -> ";
     for (std::size_t i = 0; i < hits.size(); ++i)
@@ -50,6 +52,9 @@ main()
     fs.addFile("/notes/todo.txt", "fix bug write report");
 
     // Batch build (Implementation 2), then switch to maintenance.
+    // Maintenance mutates, so this is the one place that uses the
+    // generator's mutable BuildResult instead of Engine's sealed
+    // snapshot; queries below still go through snapshots.
     IndexGenerator generator(fs, "/notes",
                              Config::replicatedJoin(2, 1, 1));
     BuildResult result = generator.build();

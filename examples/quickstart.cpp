@@ -1,7 +1,8 @@
 /**
  * @file
  * Quickstart: generate a small corpus, build the index in parallel
- * with the "Join Forces" organization, and answer a few queries.
+ * with the "Join Forces" organization through the Engine facade, and
+ * answer a few queries from the sealed snapshot.
  *
  * Everything runs in memory and finishes in well under a second:
  *
@@ -10,7 +11,7 @@
 
 #include <iostream>
 
-#include "core/index_generator.hh"
+#include "core/engine.hh"
 #include "fs/corpus.hh"
 #include "search/searcher.hh"
 #include "util/string_util.hh"
@@ -27,18 +28,21 @@ main()
     std::cout << "corpus: " << fs->fileCount() << " files, "
               << formatBytes(fs->totalBytes()) << "\n";
 
-    // 2. Build the inverted index: Implementation 2 of the paper —
-    //    3 extractors, 2 private index replicas, joined by 1 thread.
-    Config cfg = Config::replicatedJoin(/*x=*/3, /*y=*/2, /*z=*/1);
-    IndexGenerator generator(*fs, "/", cfg);
-    BuildResult result = generator.build();
-    std::cout << "built " << result.config.describe() << " in "
-              << formatDuration(result.times.total) << ": "
-              << result.primary().termCount() << " terms, "
-              << result.primary().postingCount() << " postings\n";
+    // 2. Build the index: Implementation 2 of the paper — 3
+    //    extractors, 2 private index replicas, joined by 1 thread —
+    //    sealed into an immutable snapshot.
+    Engine::Result built =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(/*x=*/3, /*y=*/2, /*z=*/1)
+            .build();
+    std::cout << "built " << built.config.describe() << " in "
+              << formatDuration(built.times.total) << ": "
+              << built.snapshot.termCount() << " terms, "
+              << built.snapshot.postingCount() << " postings\n";
 
     // 3. Query it.
-    Searcher searcher(result.primary(), result.docs.docCount());
+    Searcher searcher(built.snapshot, built.docs.docCount());
     for (const char *text : {"ba", "ba AND be", "bi OR bo",
                              "ba AND NOT be"}) {
         Query query = Query::parse(text);
@@ -46,7 +50,7 @@ main()
         std::cout << "query " << query.toString() << " -> "
                   << hits.size() << " files";
         if (!hits.empty())
-            std::cout << " (first: " << result.docs.path(hits[0])
+            std::cout << " (first: " << built.docs.path(hits[0])
                       << ")";
         std::cout << "\n";
     }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_micro.json.
+
+Runs the bench_micro binary (JSON-emit mode: the google-benchmark
+suite is filtered out, only the Stage 2+3 comparison runs), then
+compares the fresh numbers against the committed baseline and fails
+on a throughput regression beyond the threshold.
+
+Gated metrics (higher is better):
+  zero_copy.tokens_per_sec
+  zero_copy.postings_per_sec
+
+Advisory metrics (reported, never fatal — they compare two *ratios*
+that move with machine load): speedup, alloc_bytes_per_block_ratio.
+
+The binary is run --repeats times and the best run is kept, which
+filters scheduler noise out of the gate.
+
+Usage:
+  check_bench.py --baseline BENCH_micro.json --bench ./bench_micro \
+                 [--threshold 0.10] [--repeats 2]
+
+Exit status: 0 ok, 1 regression, 2 harness failure.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATED = [
+    ("zero_copy", "tokens_per_sec"),
+    ("zero_copy", "postings_per_sec"),
+]
+ADVISORY = ["speedup", "alloc_bytes_per_block_ratio"]
+
+
+def run_bench(bench, workdir):
+    """Run bench_micro in workdir; return its parsed JSON output."""
+    cmd = [os.path.abspath(bench), "--benchmark_filter=^$"]
+    result = subprocess.run(
+        cmd, cwd=workdir, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, timeout=600)
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout.decode(errors="replace"))
+        raise RuntimeError(f"{cmd} exited {result.returncode}")
+    path = os.path.join(workdir, "BENCH_micro.json")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def best_of(runs):
+    """Keep the run with the highest primary gated throughput."""
+    return max(runs, key=lambda r: r["zero_copy"]["tokens_per_sec"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_micro.json")
+    parser.add_argument("--bench", required=True,
+                        help="bench_micro binary")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fatal relative regression (default 0.10)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="bench runs; best one is gated")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    try:
+        with tempfile.TemporaryDirectory() as workdir:
+            runs = [run_bench(args.bench, workdir)
+                    for _ in range(max(1, args.repeats))]
+    except Exception as exc:  # noqa: BLE001 - harness failure path
+        print(f"check_bench: could not run bench: {exc}",
+              file=sys.stderr)
+        return 2
+    fresh = best_of(runs)
+
+    failures = []
+    for section, metric in GATED:
+        base = baseline[section][metric]
+        now = fresh[section][metric]
+        delta = (now - base) / base
+        status = "OK"
+        if delta < -args.threshold:
+            status = "REGRESSION"
+            failures.append(f"{section}.{metric}")
+        print(f"{section}.{metric}: baseline {base:.3g} -> "
+              f"fresh {now:.3g} ({delta:+.1%}) {status}")
+
+    for metric in ADVISORY:
+        base = baseline.get(metric)
+        now = fresh.get(metric)
+        if base is None or now is None:
+            continue
+        print(f"{metric} (advisory): baseline {base:.3g} -> "
+              f"fresh {now:.3g}")
+
+    if failures:
+        print(f"check_bench: throughput regressed >"
+              f"{args.threshold:.0%} on: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("check_bench: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,7 @@
 #include <thread>
 
 #include "fs/traversal.hh"
-#include "index/index_join.hh"
-#include "index/shared_index.hh"
+#include "index/index_backend.hh"
 #include "pipeline/blocking_queue.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -29,6 +28,12 @@ BuildResult::primary() const
     return indices.front();
 }
 
+IndexSnapshot
+BuildResult::sealIndices()
+{
+    return IndexSnapshot::seal(std::move(indices));
+}
+
 IndexGenerator::IndexGenerator(const FileSystem &fs, std::string root,
                                Config cfg, TokenizerOptions opts)
     : _fs(fs), _root(std::move(root)), _cfg(cfg), _opts(opts)
@@ -44,6 +49,25 @@ IndexGenerator::build()
     return buildParallel();
 }
 
+namespace {
+
+/**
+ * Turn an immediate-mode occurrence list into a block, hashing each
+ * occurrence once here (duplicates included — that is the point of
+ * ablation E7).
+ */
+void
+occurrencesToBlock(const std::vector<std::string> &occurrences,
+                   DocId doc, TermBlock &block)
+{
+    block.doc = doc;
+    block.clear();
+    for (const std::string &term : occurrences)
+        block.addTerm(term);
+}
+
+} // namespace
+
 BuildResult
 IndexGenerator::buildSequential()
 {
@@ -58,38 +82,32 @@ IndexGenerator::buildSequential()
     result.docs = DocTable::fromFileList(files);
 
     // Stages 2+3 interleaved per file — the unoverlapped program the
-    // paper's speed-ups are measured against.
-    InvertedIndex index;
+    // paper's speed-ups are measured against. Stage 3 goes through
+    // the backend like every other organization.
+    std::unique_ptr<IndexBackend> backend = makeBackend(_cfg);
     TermExtractor extractor(_fs, _opts);
     TermBlock block;
     std::vector<std::string> occurrences;
     for (const FileEntry &file : files) {
-        if (_cfg.en_bloc) {
-            bool ok;
-            {
-                ScopedTimer t(result.times.read_and_extract);
+        bool ok;
+        {
+            ScopedTimer t(result.times.read_and_extract);
+            if (_cfg.en_bloc) {
                 ok = extractor.extract(file, block);
-            }
-            if (!ok)
-                continue;
-            ScopedTimer t(result.times.index_update);
-            index.addBlock(block);
-        } else {
-            bool ok;
-            {
-                ScopedTimer t(result.times.read_and_extract);
+            } else {
                 ok = extractor.extractOccurrences(file, occurrences);
+                if (ok)
+                    occurrencesToBlock(occurrences, file.doc, block);
             }
-            if (!ok)
-                continue;
-            ScopedTimer t(result.times.index_update);
-            for (const std::string &term : occurrences)
-                index.addOccurrence(term, file.doc);
         }
+        if (!ok)
+            continue;
+        ScopedTimer t(result.times.index_update);
+        backend->addBlock(std::move(block), 0);
     }
 
     result.extraction = extractor.stats();
-    result.indices.push_back(std::move(index));
+    result.indices = backend->release();
     result.times.total = total.elapsedSec();
     return result;
 }
@@ -104,9 +122,6 @@ IndexGenerator::buildParallel()
     const unsigned x = _cfg.extractors;
     const unsigned y = _cfg.updaters;
     const bool buffered = y > 0;
-    const bool shared_impl = _cfg.impl == Implementation::SharedLocked;
-    const std::size_t replica_count =
-        shared_impl ? 0 : _cfg.replicaCount();
 
     // ------------------------------------------------------------------
     // Stage 1. Default: run to completion on this thread, then
@@ -125,54 +140,19 @@ IndexGenerator::buildParallel()
     }
 
     // ------------------------------------------------------------------
-    // Shared structures. The replica vector is sized before any thread
-    // starts and never resized, so replicas[i] is touched by exactly
-    // one thread.
+    // The organization of the index itself lives behind the backend;
+    // this function only decides which lane each writer owns. Lanes
+    // are fixed before any thread starts, so a lane is touched by
+    // exactly one thread.
     // ------------------------------------------------------------------
-    SharedIndex shared;
-    std::unique_ptr<ShardedIndex> sharded;
-    if (shared_impl && _cfg.lock_shards > 1)
-        sharded = std::make_unique<ShardedIndex>(_cfg.lock_shards);
-    std::vector<InvertedIndex> replicas(replica_count);
+    std::unique_ptr<IndexBackend> backend = makeBackend(_cfg);
     BlockingQueue<TermBlock> block_queue(_cfg.queue_capacity);
 
     std::mutex stats_mutex;
     ExtractorStats stats_total; // guarded by stats_mutex
 
-    // Insert one block into a private index, honouring the duplicate
-    // handling mode. Immediate mode reuses the span hashes the
-    // extractor computed.
-    auto insert_private = [this](InvertedIndex &target,
-                                 const TermBlock &block) {
-        if (_cfg.en_bloc) {
-            target.addBlock(block);
-        } else {
-            for (std::size_t i = 0; i < block.spans.size(); ++i)
-                target.addOccurrenceHashed(block.hashAt(i),
-                                           block.term(i), block.doc);
-        }
-    };
-
-    // Insert one block into the shared index. In immediate mode the
-    // lock is taken per occurrence — the "overwhelm the index with
-    // locking requests" behaviour §2.2 warns about. With sharded
-    // locks (lock_shards > 1) each block locks only the shards its
-    // terms hash to.
-    auto insert_shared = [this, &shared, &sharded](
-                             const TermBlock &block) {
-        if (sharded) {
-            sharded->addBlock(block);
-        } else if (_cfg.en_bloc) {
-            shared.addBlock(block);
-        } else {
-            for (std::size_t i = 0; i < block.spans.size(); ++i)
-                shared.addOccurrenceHashed(block.hashAt(i),
-                                           block.term(i), block.doc);
-        }
-    };
-
     // ------------------------------------------------------------------
-    // Stage 3: y updater threads drain the block queue.
+    // Stage 3: y updater threads drain the block queue into lane u.
     // ------------------------------------------------------------------
     std::vector<std::thread> updaters;
     updaters.reserve(y);
@@ -183,18 +163,15 @@ IndexGenerator::buildParallel()
         updaters.emplace_back([&, u] {
             std::vector<TermBlock> batch;
             while (block_queue.popBatch(batch, updaterBatch)) {
-                for (const TermBlock &block : batch) {
-                    if (shared_impl)
-                        insert_shared(block);
-                    else
-                        insert_private(replicas[u], block);
-                }
+                for (TermBlock &block : batch)
+                    backend->addBlock(std::move(block), u);
             }
         });
     }
 
     // ------------------------------------------------------------------
-    // Stage 2: x extractor threads.
+    // Stage 2: x extractor threads; unbuffered runs write lane w
+    // directly.
     // ------------------------------------------------------------------
     Timer stage2;
     std::vector<std::thread> extractors;
@@ -218,24 +195,17 @@ IndexGenerator::buildParallel()
                 } else {
                     ok = extractor.extractOccurrences(file,
                                                       occurrences);
-                    if (ok) {
-                        // Immediate mode ships every occurrence,
-                        // duplicates included, hashed once here.
-                        block.doc = file.doc;
-                        block.clear();
-                        for (const std::string &term : occurrences)
-                            block.addTerm(term);
-                    }
+                    if (ok)
+                        occurrencesToBlock(occurrences, file.doc,
+                                           block);
                 }
                 if (!ok)
                     continue;
 
                 if (buffered)
                     block_queue.push(std::move(block));
-                else if (shared_impl)
-                    insert_shared(block);
                 else
-                    insert_private(replicas[w], block);
+                    backend->addBlock(std::move(block), w);
             }
 
             std::scoped_lock lock(stats_mutex);
@@ -279,34 +249,10 @@ IndexGenerator::buildParallel()
         result.extraction = stats_total;
     }
 
-    // ------------------------------------------------------------------
-    // Finalize per implementation.
-    // ------------------------------------------------------------------
-    switch (_cfg.impl) {
-      case Implementation::SharedLocked:
-        if (sharded) {
-            InvertedIndex joined;
-            sharded->joinInto(joined);
-            result.indices.push_back(std::move(joined));
-        } else {
-            result.indices.push_back(shared.release());
-        }
-        break;
-      case Implementation::ReplicatedJoin: {
-        // The barrier of the "Join Forces" pattern is implicit in the
-        // joins above: every updater finished before this point.
-        Timer join_timer;
-        result.indices.push_back(
-            joinParallel(std::move(replicas), _cfg.joiners));
-        result.times.join = join_timer.elapsedSec();
-        break;
-      }
-      case Implementation::ReplicatedNoJoin:
-        result.indices = std::move(replicas);
-        break;
-      case Implementation::Sequential:
-        panic("buildParallel called with sequential config");
-    }
+    // Finalize per organization — entirely the backend's business
+    // (the "Join Forces" barrier is implicit: every writer joined
+    // above).
+    result.indices = backend->release(&result.times.join);
 
     result.times.total = total.elapsedSec();
     return result;

@@ -20,8 +20,18 @@
  *  - ReplicatedNoJoin (Implementation 3): same, but the replicas are
  *    kept and queried in parallel (see search/multi_searcher.hh).
  *
+ * Stage 3 is driven entirely through the IndexBackend interface
+ * (index/index_backend.hh): the generator owns the thread topology —
+ * who extracts, who drains the queue, which lane each writer uses —
+ * while the backend owns the organization of the index itself. New
+ * organizations slot in via makeBackend() without touching the loop.
+ *
  * measureSequentialStages() reproduces the paper's Table 1
  * decomposition, including the "empty scanner" read-only pass.
+ *
+ * Note: prefer the dsearch::Engine facade (core/engine.hh) for new
+ * code; it wraps this class and seals the result into the
+ * IndexSnapshot read API.
  */
 
 #ifndef DSEARCH_CORE_INDEX_GENERATOR_HH
@@ -34,6 +44,7 @@
 #include "core/stage_times.hh"
 #include "fs/file_system.hh"
 #include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
 #include "text/term_extractor.hh"
 #include "text/tokenizer.hh"
@@ -64,6 +75,15 @@ struct BuildResult
     /** @return The single index of non-replicated results. */
     InvertedIndex &primary();
     const InvertedIndex &primary() const;
+
+    /**
+     * Move the built indices into an immutable IndexSnapshot (one
+     * segment per index; postings canonicalized). `indices` is left
+     * empty; everything else in the result stays valid. This is what
+     * Engine::build() returns — call it directly when using the
+     * generator but querying through the snapshot API.
+     */
+    IndexSnapshot sealIndices();
 };
 
 /** Configurable index generator; see the file comment. */

@@ -9,23 +9,44 @@
  * organizations, plus the search, simulation and auto-tuning
  * subsystems built around it.
  *
- * Typical use:
+ * Typical use — the Engine facade builds through a pluggable
+ * IndexBackend and seals the result into an immutable IndexSnapshot,
+ * which is what every searcher consumes:
  *
  *     #include "dsearch.hh"
  *     using namespace dsearch;
  *
  *     DiskFs fs("/home/me/documents");
- *     IndexGenerator gen(fs, "/", Config::replicatedJoin(3, 2, 1));
- *     BuildResult built = gen.build();
- *     Searcher search(built.primary(), built.docs.docCount());
+ *     Engine::Result built =
+ *         Engine::open(fs, "/")
+ *             .organization(Implementation::ReplicatedJoin)
+ *             .threads(3, 2, 1)
+ *             .build();
+ *     Searcher search(built.snapshot, built.docs.docCount());
  *     DocSet hits = search.run(Query::parse("report AND 2010"));
  *
+ * An Implementation 3 build keeps its replicas as snapshot segments;
+ * query those with MultiSearcher(built.snapshot, ...). Persist and
+ * reload with saveSnapshotFile()/loadSnapshotFile(). Per-term reads
+ * everywhere go through PostingCursor (next()/seekGE()/count()), so
+ * the posting representation can change behind the snapshot without
+ * touching query code.
+ *
+ * Deprecation path: constructing IndexGenerator directly and binding
+ * searchers to a concrete InvertedIndex (the pre-Engine API) still
+ * works for build-side code — BuildResult::sealIndices() bridges into
+ * the snapshot world — but Searcher/RankedSearcher/MultiSearcher no
+ * longer accept raw indices; seal first via IndexSnapshot::seal().
+ * New code should start at Engine and never touch InvertedIndex.
+ *
  * Subsystem map (see DESIGN.md for the full inventory):
- *  - core/      the generator and its (x, y, z) configuration
+ *  - core/      Engine facade, the generator, (x, y, z) configuration
  *  - fs/        storage backends and the synthetic corpus
  *  - text/      tokenizer and term extraction
- *  - index/     inverted index, joins, persistence, maintenance
- *  - search/    boolean, ranked and multi-replica query engines
+ *  - index/     IndexBackend write side; IndexSnapshot/PostingCursor
+ *               read side; joins, persistence, maintenance
+ *  - search/    boolean, ranked and multi-segment query engines
+ *               (snapshot consumers only)
  *  - pipeline/  queues, pools, barriers, work distribution
  *  - sim/       calibrated platform simulator (paper Tables 1-4)
  *  - tune/      configuration auto-tuner
@@ -35,6 +56,7 @@
 #define DSEARCH_DSEARCH_HH
 
 #include "core/config.hh"
+#include "core/engine.hh"
 #include "core/index_generator.hh"
 #include "core/stage_times.hh"
 
@@ -49,9 +71,12 @@
 #include "text/tokenizer.hh"
 
 #include "index/doc_table.hh"
+#include "index/index_backend.hh"
 #include "index/index_join.hh"
+#include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
 #include "index/maintainer.hh"
+#include "index/posting_cursor.hh"
 #include "index/serialize.hh"
 #include "index/shared_index.hh"
 

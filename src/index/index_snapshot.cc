@@ -1,0 +1,102 @@
+#include "index/index_snapshot.hh"
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+PostingCursor
+SegmentReader::cursor(std::string_view term) const
+{
+    if (_segment == nullptr)
+        return {};
+    const PostingList *list = _segment->postings(term);
+    if (list == nullptr)
+        return {};
+    return PostingCursor(list->data(), list->size());
+}
+
+std::size_t
+SegmentReader::termCount() const
+{
+    return _segment == nullptr ? 0 : _segment->termCount();
+}
+
+std::uint64_t
+SegmentReader::postingCount() const
+{
+    return _segment == nullptr ? 0 : _segment->postingCount();
+}
+
+IndexSnapshot
+IndexSnapshot::seal(InvertedIndex &&index)
+{
+    index.sortPostings();
+    IndexSnapshot snapshot;
+    snapshot._segments.push_back(
+        std::make_shared<InvertedIndex>(std::move(index)));
+    return snapshot;
+}
+
+IndexSnapshot
+IndexSnapshot::seal(std::vector<InvertedIndex> &&replicas)
+{
+    IndexSnapshot snapshot;
+    snapshot._segments.reserve(replicas.size());
+    for (InvertedIndex &replica : replicas) {
+        replica.sortPostings();
+        snapshot._segments.push_back(
+            std::make_shared<InvertedIndex>(std::move(replica)));
+    }
+    replicas.clear();
+    return snapshot;
+}
+
+SegmentReader
+IndexSnapshot::segment(std::size_t i) const
+{
+    if (i >= _segments.size())
+        panic("IndexSnapshot::segment: index out of range");
+    return SegmentReader(_segments[i].get());
+}
+
+SegmentReader
+IndexSnapshot::unifiedReader() const
+{
+    if (_segments.empty())
+        return SegmentReader();
+    if (_segments.size() > 1) {
+        panic("IndexSnapshot: multi-segment snapshot used where a "
+              "unified index is required (join the build or use "
+              "MultiSearcher)");
+    }
+    return SegmentReader(_segments.front().get());
+}
+
+PostingCursor
+IndexSnapshot::cursor(std::string_view term) const
+{
+    return unifiedReader().cursor(term);
+}
+
+std::size_t
+IndexSnapshot::termCount() const
+{
+    return unifiedReader().termCount();
+}
+
+std::uint64_t
+IndexSnapshot::postingCount() const
+{
+    return unifiedReader().postingCount();
+}
+
+bool
+IndexSnapshot::empty() const
+{
+    for (const auto &segment : _segments)
+        if (!segment->empty())
+            return false;
+    return true;
+}
+
+} // namespace dsearch

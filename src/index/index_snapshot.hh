@@ -1,0 +1,159 @@
+/**
+ * @file
+ * IndexSnapshot: the immutable read side of a built index.
+ *
+ * Sealing separates the build organization (IndexBackend) from the
+ * query-time reader: whatever organization produced the postings —
+ * shared-locked, sharded, replicated-joined or unjoined replicas —
+ * queries see only a snapshot of one or more *segments*, each an
+ * immutable, canonicalized (sorted, duplicate-free posting lists)
+ * index whose per-term access is a PostingCursor.
+ *
+ *  - Joined organizations seal to a single segment; Searcher and
+ *    RankedSearcher require that (unified()).
+ *  - Implementation 3 seals its unjoined replicas to one segment per
+ *    replica; MultiSearcher evaluates segments in parallel.
+ *
+ * Snapshots share segments by reference: copying a snapshot is two
+ * pointer copies, and every copy (and every cursor vended from it)
+ * stays valid for as long as any copy lives. That replaces the old
+ * "searcher holds a reference, caller must keep the index alive"
+ * contract.
+ */
+
+#ifndef DSEARCH_INDEX_INDEX_SNAPSHOT_HH
+#define DSEARCH_INDEX_INDEX_SNAPSHOT_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.hh"
+#include "index/posting_cursor.hh"
+
+namespace dsearch {
+
+/**
+ * Non-owning reader over one sealed segment. Cheap to copy; valid as
+ * long as the snapshot that vended it (or a copy) lives.
+ */
+class SegmentReader
+{
+  public:
+    /** A reader over nothing (zero terms). */
+    SegmentReader() = default;
+
+    /** @param segment Sealed segment (may be null = empty). */
+    explicit SegmentReader(const InvertedIndex *segment)
+        : _segment(segment)
+    {
+    }
+
+    /**
+     * @return Cursor over @p term's postings; an exhausted cursor when
+     *         the term is unknown. Heterogeneous probe (no std::string
+     *         allocated).
+     */
+    PostingCursor cursor(std::string_view term) const;
+
+    /** @return Distinct terms in this segment. */
+    std::size_t termCount() const;
+
+    /** @return Total (term, doc) postings in this segment. */
+    std::uint64_t postingCount() const;
+
+    /** @return True when the segment holds nothing. */
+    bool empty() const { return termCount() == 0; }
+
+    /**
+     * Visit every (term, cursor) pair; @p fn takes
+     * (const std::string &, PostingCursor). Iteration order is hash
+     * order.
+     */
+    template <typename Fn>
+    void
+    forEachTerm(Fn &&fn) const
+    {
+        if (_segment == nullptr)
+            return;
+        _segment->forEachTerm(
+            [&fn](const std::string &term, const PostingList &list) {
+                fn(term, PostingCursor(list.data(), list.size()));
+            });
+    }
+
+  private:
+    const InvertedIndex *_segment = nullptr;
+};
+
+/** Immutable multi-segment read view; see the file comment. */
+class IndexSnapshot
+{
+  public:
+    /** An empty snapshot: zero segments, unified, no terms. */
+    IndexSnapshot() = default;
+
+    /**
+     * Seal one index into a single-segment snapshot. Posting lists
+     * are sorted here (canonical form); every generator write path
+     * already guarantees they are duplicate-free.
+     */
+    static IndexSnapshot seal(InvertedIndex &&index);
+
+    /**
+     * Seal a replica set, one segment per replica (empty replicas
+     * keep their position so segment i is still replica i's slice).
+     */
+    static IndexSnapshot seal(std::vector<InvertedIndex> &&replicas);
+
+    /** @return Number of segments (0 for an empty snapshot). */
+    std::size_t segmentCount() const { return _segments.size(); }
+
+    /** @return Reader over segment @p i (panics out of range). */
+    SegmentReader segment(std::size_t i) const;
+
+    /**
+     * @return True when single-index query code (Searcher,
+     *         RankedSearcher, serialization) can use this snapshot
+     *         directly: at most one segment.
+     */
+    bool unified() const { return _segments.size() <= 1; }
+
+    // ------------------------------------------------------------------
+    // Single-segment conveniences; all panic on multi-segment
+    // snapshots (use segment(i) / MultiSearcher there).
+    // ------------------------------------------------------------------
+
+    /** @return Cursor over @p term in the unified segment. */
+    PostingCursor cursor(std::string_view term) const;
+
+    /** @return Distinct terms in the unified segment. */
+    std::size_t termCount() const;
+
+    /** @return Total postings in the unified segment. */
+    std::uint64_t postingCount() const;
+
+    /** @return True when the snapshot holds no postings at all. */
+    bool empty() const;
+
+    /** forEachTerm() of the unified segment. */
+    template <typename Fn>
+    void
+    forEachTerm(Fn &&fn) const
+    {
+        unifiedReader().forEachTerm(std::forward<Fn>(fn));
+    }
+
+  private:
+    /** The single segment's reader (panics when not unified()). */
+    SegmentReader unifiedReader() const;
+
+    /** Shared, immutable segments (never mutated after sealing). */
+    std::vector<std::shared_ptr<const InvertedIndex>> _segments;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_INDEX_SNAPSHOT_HH

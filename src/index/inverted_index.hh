@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "text/term_extractor.hh"
@@ -51,8 +52,22 @@ class InvertedIndex
 
     InvertedIndex(const InvertedIndex &) = delete;
     InvertedIndex &operator=(const InvertedIndex &) = delete;
-    InvertedIndex(InvertedIndex &&) = default;
-    InvertedIndex &operator=(InvertedIndex &&) = default;
+
+    // Explicit moves so the moved-from index reads as empty (the
+    // defaulted ones would copy the posting counter).
+    InvertedIndex(InvertedIndex &&other) noexcept
+        : _map(std::move(other._map)),
+          _postings(std::exchange(other._postings, 0))
+    {
+    }
+
+    InvertedIndex &
+    operator=(InvertedIndex &&other) noexcept
+    {
+        _map = std::move(other._map);
+        _postings = std::exchange(other._postings, 0);
+        return *this;
+    }
 
     /**
      * Insert one file's unique terms en bloc (no duplicate checks;

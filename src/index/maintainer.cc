@@ -89,4 +89,10 @@ IndexMaintainer::vacuum()
     return _index.eraseEmptyTerms();
 }
 
+IndexSnapshot
+IndexMaintainer::snapshot() const
+{
+    return IndexSnapshot::seal(_index.clone());
+}
+
 } // namespace dsearch

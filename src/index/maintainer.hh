@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
 #include "text/term_extractor.hh"
 #include "text/tokenizer.hh"
@@ -92,6 +93,15 @@ class IndexMaintainer
 
     /** @return The maintained index (valid until the next update). */
     const InvertedIndex &index() const { return _index; }
+
+    /**
+     * Seal the current state into an immutable snapshot for the
+     * searchers. Deep-copies the index (the maintained one keeps
+     * mutating), so this is a per-update-batch operation, not a
+     * per-query one: take a snapshot after applying a batch of
+     * changes and serve queries from it until the next batch.
+     */
+    IndexSnapshot snapshot() const;
 
     /** @return The document table (IDs are never reused). */
     const DocTable &docs() const { return _docs; }

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * PostingCursor: the per-term read primitive of the snapshot API.
+ *
+ * A cursor is a forward iterator over one term's posting list in a
+ * sealed IndexSnapshot — sorted ascending, duplicate-free. Query code
+ * (search/, serialize) consumes postings exclusively through cursors:
+ *
+ *     for (PostingCursor c = snapshot.cursor("term"); c.valid();
+ *          c.next())
+ *         use(c.doc());
+ *
+ * seekGE() advances to the first document >= a target (galloping +
+ * binary search), which is what makes cursor-vs-set intersection
+ * sublinear on skewed lists.
+ *
+ * The cursor is the representation seam: today it walks a raw sorted
+ * DocId array; a compressed posting layout (delta + varint blocks)
+ * replaces the internals of this class and of sealing without touching
+ * anything that consumes cursors.
+ */
+
+#ifndef DSEARCH_INDEX_POSTING_CURSOR_HH
+#define DSEARCH_INDEX_POSTING_CURSOR_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "fs/file_system.hh"
+
+namespace dsearch {
+
+/** Forward cursor over one sorted posting list; see file comment. */
+class PostingCursor
+{
+  public:
+    /** An exhausted cursor over nothing (unknown terms). */
+    PostingCursor() = default;
+
+    /**
+     * Cursor over @p count documents starting at @p data. The range
+     * must stay alive for the cursor's lifetime (the snapshot
+     * guarantees this for cursors it vends) and be sorted ascending
+     * without duplicates.
+     */
+    PostingCursor(const DocId *data, std::size_t count)
+        : _pos(data), _end(data + count), _count(count)
+    {
+    }
+
+    /** @return True while the cursor is on a document. */
+    bool valid() const { return _pos != _end; }
+
+    /** @return The current document (only when valid()). */
+    DocId doc() const { return *_pos; }
+
+    /** Advance to the next document (only when valid()). */
+    void next() { ++_pos; }
+
+    /**
+     * Advance to the first document >= @p target (no-op when already
+     * there). Gallops, so seeking through a long list costs
+     * O(log distance) per call.
+     *
+     * @return True when such a document exists (cursor is valid).
+     */
+    bool
+    seekGE(DocId target)
+    {
+        if (_pos == _end || *_pos >= target)
+            return _pos != _end;
+        // Gallop to bracket the target, then binary-search the
+        // bracket.
+        std::size_t step = 1;
+        const DocId *probe = _pos;
+        while (_end - probe > static_cast<std::ptrdiff_t>(step)
+               && probe[step] < target) {
+            probe += step;
+            step <<= 1;
+        }
+        const DocId *limit = std::min(probe + step + 1, _end);
+        _pos = std::lower_bound(probe, limit, target);
+        return _pos != _end;
+    }
+
+    /** @return Total postings in the underlying list (not remaining). */
+    std::size_t count() const { return _count; }
+
+    /** @return Documents not yet consumed (including the current). */
+    std::size_t
+    remaining() const
+    {
+        return static_cast<std::size_t>(_end - _pos);
+    }
+
+    /**
+     * Drain the rest of the cursor into a sorted DocId vector
+     * (convenience for code that needs a materialized set).
+     */
+    std::vector<DocId>
+    toDocSet()
+    {
+        std::vector<DocId> out(_pos, _end);
+        _pos = _end;
+        return out;
+    }
+
+  private:
+    const DocId *_pos = nullptr;
+    const DocId *_end = nullptr;
+    std::size_t _count = 0;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_POSTING_CURSOR_HH

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
 
+#include "index/posting_cursor.hh"
 #include "util/fnv_hash.hh"
 #include "util/logging.hh"
 
@@ -89,13 +91,15 @@ class Reader
     std::size_t _pos = 0;
 };
 
-} // namespace
-
+/**
+ * Write one sealed segment + docs through the cursor API. The
+ * segment's posting lists must be canonical (sorted) — true for
+ * anything a snapshot vends.
+ */
 bool
-saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
+writeSegment(const SegmentReader &segment, const DocTable &docs,
+             std::ostream &out)
 {
-    index.sortPostings();
-
     std::string payload;
 
     // Document table.
@@ -108,9 +112,9 @@ saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
     // Terms in lexicographic order so equal contents serialize
     // identically regardless of insertion history.
     std::vector<const std::string *> terms;
-    terms.reserve(index.termCount());
-    index.forEachTerm(
-        [&terms](const std::string &term, const PostingList &) {
+    terms.reserve(segment.termCount());
+    segment.forEachTerm(
+        [&terms](const std::string &term, PostingCursor) {
             terms.push_back(&term);
         });
     std::sort(terms.begin(), terms.end(),
@@ -120,11 +124,11 @@ saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
 
     putU64(payload, terms.size());
     for (const std::string *term : terms) {
-        const PostingList *list = index.postings(*term);
+        PostingCursor cursor = segment.cursor(*term);
         putString(payload, *term);
-        putU32(payload, static_cast<std::uint32_t>(list->size()));
-        for (DocId doc : *list)
-            putU32(payload, doc);
+        putU32(payload, static_cast<std::uint32_t>(cursor.count()));
+        for (; cursor.valid(); cursor.next())
+            putU32(payload, cursor.doc());
     }
 
     std::uint64_t checksum = fnv1a_64(payload.data(), payload.size());
@@ -144,6 +148,40 @@ saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
     return static_cast<bool>(out);
 }
 
+} // namespace
+
+bool
+saveSnapshot(const IndexSnapshot &snapshot, const DocTable &docs,
+             std::ostream &out)
+{
+    if (!snapshot.unified())
+        panic("saveSnapshot: multi-segment snapshot; join the build "
+              "before persisting");
+    const SegmentReader segment = snapshot.segmentCount() == 0
+                                      ? SegmentReader()
+                                      : snapshot.segment(0);
+    return writeSegment(segment, docs, out);
+}
+
+bool
+saveSnapshotFile(const IndexSnapshot &snapshot, const DocTable &docs,
+                 const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("saveSnapshotFile: cannot open '" + path + "'");
+        return false;
+    }
+    return saveSnapshot(snapshot, docs, out);
+}
+
+bool
+saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
+{
+    index.sortPostings();
+    return writeSegment(SegmentReader(&index), docs, out);
+}
+
 bool
 saveIndexFile(InvertedIndex &index, const DocTable &docs,
               const std::string &path)
@@ -154,6 +192,31 @@ saveIndexFile(InvertedIndex &index, const DocTable &docs,
         return false;
     }
     return saveIndex(index, docs, out);
+}
+
+bool
+loadSnapshot(IndexSnapshot &snapshot, DocTable &docs, std::istream &in)
+{
+    InvertedIndex index;
+    if (!loadIndex(index, docs, in)) {
+        snapshot = IndexSnapshot();
+        return false;
+    }
+    snapshot = IndexSnapshot::seal(std::move(index));
+    return true;
+}
+
+bool
+loadSnapshotFile(IndexSnapshot &snapshot, DocTable &docs,
+                 const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("loadSnapshotFile: cannot open '" + path + "'");
+        snapshot = IndexSnapshot();
+        return false;
+    }
+    return loadSnapshot(snapshot, docs, in);
 }
 
 bool

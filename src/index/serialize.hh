@@ -7,6 +7,16 @@
  * format is versioned, little-endian, and carries an FNV-1a checksum
  * of the payload so truncated or corrupted files are detected on
  * load.
+ *
+ * The write side consumes postings exclusively through PostingCursor
+ * (terms in lexicographic order, cursors walked front to back), so
+ * the on-disk form is canonical — two equal indices serialize
+ * identically — and the writer is independent of the in-memory
+ * posting representation.
+ *
+ * saveSnapshot()/loadSnapshot() are the primary entry points; the
+ * InvertedIndex overloads remain for code that still holds mutable
+ * indices (they canonicalize in place as a side effect).
  */
 
 #ifndef DSEARCH_INDEX_SERIALIZE_HH
@@ -16,21 +26,47 @@
 #include <string>
 
 #include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
 
 namespace dsearch {
 
 /**
- * Write @p index and @p docs to a stream.
+ * Write a sealed snapshot and @p docs to a stream.
  *
- * Posting lists are written sorted, so the on-disk form is canonical:
- * two indices with equal contents serialize identically.
- *
- * @param index Index to save (sorted internally; the in-memory object
- *              is canonicalized as a side effect).
- * @param docs  Document table the postings refer to.
- * @param out   Destination stream (binary).
+ * @param snapshot Unified snapshot (panics when multi-segment; join
+ *                 the build before persisting).
+ * @param docs     Document table the postings refer to.
+ * @param out      Destination stream (binary).
  * @return False on stream failure.
+ */
+bool saveSnapshot(const IndexSnapshot &snapshot, const DocTable &docs,
+                  std::ostream &out);
+
+/** Convenience overload writing to a file path. */
+bool saveSnapshotFile(const IndexSnapshot &snapshot,
+                      const DocTable &docs, const std::string &path);
+
+/**
+ * Read a snapshot + document table written by saveSnapshot() (or
+ * saveIndex()).
+ *
+ * @param snapshot Receives the sealed index (replaced).
+ * @param docs     Receives the document table (replaced).
+ * @param in       Source stream (binary).
+ * @return False on stream failure, bad magic/version, or checksum
+ *         mismatch; the outputs are left empty in that case.
+ */
+bool loadSnapshot(IndexSnapshot &snapshot, DocTable &docs,
+                  std::istream &in);
+
+/** Convenience overload reading from a file path. */
+bool loadSnapshotFile(IndexSnapshot &snapshot, DocTable &docs,
+                      const std::string &path);
+
+/**
+ * Write @p index and @p docs to a stream (mutable-index overload;
+ * the index is canonicalized in place as a side effect).
  */
 bool saveIndex(InvertedIndex &index, const DocTable &docs,
                std::ostream &out);
@@ -40,13 +76,8 @@ bool saveIndexFile(InvertedIndex &index, const DocTable &docs,
                    const std::string &path);
 
 /**
- * Read an index + document table written by saveIndex().
- *
- * @param index Receives the index (replaced).
- * @param docs  Receives the document table (replaced).
- * @param in    Source stream (binary).
- * @return False on stream failure, bad magic/version, or checksum
- *         mismatch; the outputs are left empty in that case.
+ * Read an index + document table into a mutable InvertedIndex (for
+ * incremental maintenance; prefer loadSnapshot() for querying).
  */
 bool loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in);
 

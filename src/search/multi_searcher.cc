@@ -8,17 +8,17 @@
 
 namespace dsearch {
 
-MultiSearcher::MultiSearcher(const std::vector<InvertedIndex> &replicas,
+MultiSearcher::MultiSearcher(IndexSnapshot snapshot,
                              std::size_t doc_count)
-    : _replicas(replicas)
+    : _snapshot(std::move(snapshot))
 {
-    _owned.reserve(replicas.size());
-    for (const InvertedIndex &replica : replicas) {
+    _owned.reserve(_snapshot.segmentCount());
+    for (std::size_t i = 0; i < _snapshot.segmentCount(); ++i) {
         DocSet owned;
-        replica.forEachTerm(
-            [&owned](const std::string &, const PostingList &postings) {
-                owned.insert(owned.end(), postings.begin(),
-                             postings.end());
+        _snapshot.segment(i).forEachTerm(
+            [&owned](const std::string &, PostingCursor cursor) {
+                for (; cursor.valid(); cursor.next())
+                    owned.push_back(cursor.doc());
             });
         std::sort(owned.begin(), owned.end());
         owned.erase(std::unique(owned.begin(), owned.end()),
@@ -26,7 +26,7 @@ MultiSearcher::MultiSearcher(const std::vector<InvertedIndex> &replicas,
         _owned.push_back(std::move(owned));
     }
 
-    // Orphans: the global universe minus every replica's docs.
+    // Orphans: the global universe minus every segment's docs.
     DocSet universe(doc_count);
     std::iota(universe.begin(), universe.end(), 0);
     DocSet all_owned;
@@ -39,7 +39,7 @@ const DocSet &
 MultiSearcher::ownedDocs(std::size_t i) const
 {
     if (i >= _owned.size())
-        panic("MultiSearcher::ownedDocs: replica index out of range");
+        panic("MultiSearcher::ownedDocs: segment index out of range");
     return _owned[i];
 }
 
@@ -51,7 +51,7 @@ MultiSearcher::combine(const Query &query,
     for (DocSet &set : partial)
         result = uniteSets(result, set);
 
-    // Documents that appear in no replica match NOT-style queries.
+    // Documents that appear in no segment match NOT-style queries.
     if (!_orphans.empty() && matchesEmptyDocument(query.root()))
         result = uniteSets(result, _orphans);
     return result;
@@ -63,14 +63,15 @@ MultiSearcher::run(const Query &query, std::size_t threads) const
     if (!query.valid())
         return {};
 
-    if (threads <= 1 || _replicas.size() <= 1) {
-        std::vector<DocSet> partial(_replicas.size());
-        for (std::size_t i = 0; i < _replicas.size(); ++i)
-            partial[i] =
-                evalQueryNode(_replicas[i], _owned[i], query.root());
+    const std::size_t segments = _snapshot.segmentCount();
+    if (threads <= 1 || segments <= 1) {
+        std::vector<DocSet> partial(segments);
+        for (std::size_t i = 0; i < segments; ++i)
+            partial[i] = evalQueryNode(_snapshot.segment(i),
+                                       _owned[i], query.root());
         return combine(query, std::move(partial));
     }
-    ThreadPool pool(std::min(threads, _replicas.size()));
+    ThreadPool pool(std::min(threads, segments));
     return run(query, pool);
 }
 
@@ -80,13 +81,13 @@ MultiSearcher::run(const Query &query, ThreadPool &pool) const
     if (!query.valid())
         return {};
 
-    // One task per replica; partial[i] is written by exactly one
+    // One task per segment; partial[i] is written by exactly one
     // task, so no synchronization beyond the pool's own is needed.
-    std::vector<DocSet> partial(_replicas.size());
-    for (std::size_t i = 0; i < _replicas.size(); ++i) {
+    std::vector<DocSet> partial(_snapshot.segmentCount());
+    for (std::size_t i = 0; i < partial.size(); ++i) {
         pool.submit([this, &partial, &query, i] {
-            partial[i] =
-                evalQueryNode(_replicas[i], _owned[i], query.root());
+            partial[i] = evalQueryNode(_snapshot.segment(i),
+                                       _owned[i], query.root());
         });
     }
     pool.wait();

@@ -5,13 +5,15 @@
  * This is what makes Implementation 3 a complete design rather than an
  * unfinished Implementation 2: the paper keeps the replicas separate
  * "because the search can work with multiple indices in parallel".
+ * Replicas arrive as the segments of a multi-segment IndexSnapshot
+ * (what a ReplicatedNoJoin build seals to).
  *
  * Correctness rests on a structural invariant of the generator: every
  * document is processed by exactly one thread, so all of a document's
- * postings live in exactly one replica. A boolean query can therefore
- * be evaluated independently per replica — restricted to the documents
- * that replica owns — and the per-replica results unioned. Documents
- * owned by no replica (files with no terms at all) match exactly when
+ * postings live in exactly one segment. A boolean query can therefore
+ * be evaluated independently per segment — restricted to the documents
+ * that segment owns — and the per-segment results unioned. Documents
+ * owned by no segment (files with no terms at all) match exactly when
  * the query matches an empty document (NOT-dominated queries).
  */
 
@@ -21,7 +23,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "index/inverted_index.hh"
+#include "index/index_snapshot.hh"
 #include "search/query.hh"
 #include "search/searcher.hh"
 
@@ -29,20 +31,20 @@ namespace dsearch {
 
 class ThreadPool;
 
-/** Query engine over a replica set; see the file comment. */
+/** Query engine over a replica-set snapshot; see the file comment. */
 class MultiSearcher
 {
   public:
     /**
-     * @param replicas  Unjoined replicas from Implementation 3 (kept
-     *                  by reference; must outlive the searcher).
+     * @param snapshot  Snapshot whose segments are the unjoined
+     *                  replicas (kept by value; a unified snapshot
+     *                  works too and degenerates to serial search).
      * @param doc_count Global document universe size.
      */
-    MultiSearcher(const std::vector<InvertedIndex> &replicas,
-                  std::size_t doc_count);
+    MultiSearcher(IndexSnapshot snapshot, std::size_t doc_count);
 
     /**
-     * Run a query across all replicas.
+     * Run a query across all segments.
      *
      * @param query   Query to evaluate.
      * @param threads Worker threads (1 = evaluate serially; > 1
@@ -59,10 +61,16 @@ class MultiSearcher
      */
     DocSet run(const Query &query, ThreadPool &pool) const;
 
-    /** @return Documents owned by replica @p i (sorted). */
+    /** @return Number of segments queried in parallel. */
+    std::size_t segmentCount() const
+    {
+        return _snapshot.segmentCount();
+    }
+
+    /** @return Documents owned by segment @p i (sorted). */
     const DocSet &ownedDocs(std::size_t i) const;
 
-    /** @return Documents owned by no replica (sorted). */
+    /** @return Documents owned by no segment (sorted). */
     const DocSet &orphanDocs() const { return _orphans; }
 
   private:
@@ -70,8 +78,8 @@ class MultiSearcher
     DocSet combine(const Query &query,
                    std::vector<DocSet> partial) const;
 
-    const std::vector<InvertedIndex> &_replicas;
-    std::vector<DocSet> _owned;  ///< Per-replica universes.
+    IndexSnapshot _snapshot;
+    std::vector<DocSet> _owned;  ///< Per-segment universes.
     DocSet _orphans;             ///< Docs with no postings anywhere.
 };
 

@@ -40,20 +40,21 @@ positiveTerms(const QueryNode &root)
     return terms;
 }
 
-RankedSearcher::RankedSearcher(const InvertedIndex &index,
+RankedSearcher::RankedSearcher(IndexSnapshot snapshot,
                                const DocTable &docs)
-    : _index(index), _docs(docs), _boolean(index, docs.docCount())
+    : _snapshot(std::move(snapshot)), _docs(docs),
+      _boolean(_snapshot, docs.docCount())
 {
 }
 
 double
 RankedSearcher::idf(const std::string &term) const
 {
-    const PostingList *postings = _index.postings(term);
-    if (postings == nullptr || postings->empty())
+    PostingCursor cursor = _snapshot.cursor(term);
+    if (cursor.count() == 0)
         return 0.0;
     double n = static_cast<double>(_docs.docCount());
-    double df = static_cast<double>(postings->size());
+    double df = static_cast<double>(cursor.count());
     return std::log(1.0 + n / df);
 }
 
@@ -68,7 +69,8 @@ RankedSearcher::topK(const Query &query, std::size_t k) const
     if (matches.empty())
         return hits;
 
-    // Per positive term: its sorted doc set and idf weight.
+    // Per positive term: its sorted doc set and idf weight. Sealed
+    // cursors are already sorted, so no per-query sort is needed.
     struct Weighted
     {
         DocSet docs;
@@ -76,12 +78,11 @@ RankedSearcher::topK(const Query &query, std::size_t k) const
     };
     std::vector<Weighted> weighted;
     for (const std::string &term : positiveTerms(query.root())) {
-        const PostingList *postings = _index.postings(term);
-        if (postings == nullptr)
+        PostingCursor cursor = _snapshot.cursor(term);
+        if (cursor.count() == 0)
             continue;
         Weighted w;
-        w.docs.assign(postings->begin(), postings->end());
-        std::sort(w.docs.begin(), w.docs.end());
+        w.docs = cursor.toDocSet();
         w.idf = idf(term);
         weighted.push_back(std::move(w));
     }

@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "index/doc_table.hh"
-#include "index/inverted_index.hh"
+#include "index/index_snapshot.hh"
 #include "search/query.hh"
 #include "search/searcher.hh"
 
@@ -48,16 +48,16 @@ struct ScoredHit
  */
 std::vector<std::string> positiveTerms(const QueryNode &root);
 
-/** Ranked query engine over one index; see the file comment. */
+/** Ranked query engine over one unified snapshot. */
 class RankedSearcher
 {
   public:
     /**
-     * @param index Index to query (kept by reference).
-     * @param docs  Document table for length normalization (kept by
-     *              reference; doc count defines the universe).
+     * @param snapshot Unified snapshot to query (kept by value).
+     * @param docs     Document table for length normalization (kept
+     *                 by reference; doc count defines the universe).
      */
-    RankedSearcher(const InvertedIndex &index, const DocTable &docs);
+    RankedSearcher(IndexSnapshot snapshot, const DocTable &docs);
 
     /**
      * Run a query and return the best @p k hits, highest score
@@ -72,7 +72,7 @@ class RankedSearcher
     double idf(const std::string &term) const;
 
   private:
-    const InvertedIndex &_index;
+    IndexSnapshot _snapshot;
     const DocTable &_docs;
     Searcher _boolean;
 };

@@ -37,42 +37,46 @@ subtractSets(const DocSet &a, const DocSet &b)
     return out;
 }
 
-namespace {
-
-/** Sorted, deduplicated copy of a term's posting list. */
 DocSet
-termDocs(const InvertedIndex &index, const std::string &term)
+intersectCursor(PostingCursor cursor, const DocSet &universe)
 {
-    const PostingList *postings = index.postings(term);
-    if (postings == nullptr)
-        return {};
-    DocSet docs(postings->begin(), postings->end());
-    std::sort(docs.begin(), docs.end());
-    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
-    return docs;
+    DocSet out;
+    out.reserve(std::min(cursor.remaining(), universe.size()));
+    auto it = universe.begin();
+    while (it != universe.end() && cursor.seekGE(*it)) {
+        const DocId doc = cursor.doc();
+        it = std::lower_bound(it, universe.end(), doc);
+        if (it == universe.end())
+            break;
+        if (*it == doc) {
+            out.push_back(doc);
+            ++it;
+            cursor.next();
+        }
+    }
+    return out;
 }
 
-} // namespace
-
 DocSet
-evalQueryNode(const InvertedIndex &index, const DocSet &universe,
+evalQueryNode(const SegmentReader &segment, const DocSet &universe,
               const QueryNode &node)
 {
     switch (node.kind) {
       case QueryNode::Kind::Term:
         // Terms outside the universe (e.g. a replica's slice) are
         // clipped so NOT/AND algebra stays consistent.
-        return intersectSets(termDocs(index, node.term), universe);
+        return intersectCursor(segment.cursor(node.term), universe);
       case QueryNode::Kind::And: {
         if (node.children.empty())
             panic("evalQueryNode: AND without operands");
         DocSet acc =
-            evalQueryNode(index, universe, node.children.front());
+            evalQueryNode(segment, universe, node.children.front());
         for (std::size_t i = 1; i < node.children.size(); ++i) {
             if (acc.empty())
                 break;
             acc = intersectSets(
-                acc, evalQueryNode(index, universe, node.children[i]));
+                acc,
+                evalQueryNode(segment, universe, node.children[i]));
         }
         return acc;
       }
@@ -81,7 +85,8 @@ evalQueryNode(const InvertedIndex &index, const DocSet &universe,
             panic("evalQueryNode: OR without operands");
         DocSet acc;
         for (const QueryNode &child : node.children)
-            acc = uniteSets(acc, evalQueryNode(index, universe, child));
+            acc = uniteSets(acc,
+                            evalQueryNode(segment, universe, child));
         return acc;
       }
       case QueryNode::Kind::Not:
@@ -89,7 +94,7 @@ evalQueryNode(const InvertedIndex &index, const DocSet &universe,
             panic("evalQueryNode: NOT needs exactly one operand");
         return subtractSets(
             universe,
-            evalQueryNode(index, universe, node.children.front()));
+            evalQueryNode(segment, universe, node.children.front()));
     }
     panic("evalQueryNode: unknown node kind");
 }
@@ -116,20 +121,24 @@ matchesEmptyDocument(const QueryNode &node)
     panic("matchesEmptyDocument: unknown node kind");
 }
 
-Searcher::Searcher(const InvertedIndex &index, std::size_t doc_count)
-    : _index(index), _universe(doc_count)
+Searcher::Searcher(IndexSnapshot snapshot, std::size_t doc_count)
+    : _snapshot(std::move(snapshot)), _universe(doc_count)
 {
+    if (!_snapshot.unified())
+        panic("Searcher: multi-segment snapshot; use MultiSearcher");
     std::iota(_universe.begin(), _universe.end(), 0);
 }
 
-Searcher::Searcher(const InvertedIndex &index, DocSet universe)
-    : _index(index), _universe(std::move(universe))
+Searcher::Searcher(IndexSnapshot snapshot, DocSet universe)
+    : _snapshot(std::move(snapshot)), _universe(std::move(universe))
 {
-    if (!std::is_sorted(_universe.begin(), _universe.end())
-        || std::adjacent_find(_universe.begin(), _universe.end())
-               != _universe.end()) {
+    if (!_snapshot.unified())
+        panic("Searcher: multi-segment snapshot; use MultiSearcher");
+    if (!std::is_sorted(_universe.begin(), _universe.end()))
         panic("Searcher: universe must be sorted and duplicate-free");
-    }
+    if (std::adjacent_find(_universe.begin(), _universe.end())
+        != _universe.end())
+        panic("Searcher: universe contains duplicates");
 }
 
 DocSet
@@ -137,7 +146,10 @@ Searcher::run(const Query &query) const
 {
     if (!query.valid())
         return {};
-    return evalQueryNode(_index, _universe, query.root());
+    const SegmentReader segment = _snapshot.segmentCount() == 0
+                                      ? SegmentReader()
+                                      : _snapshot.segment(0);
+    return evalQueryNode(segment, _universe, query.root());
 }
 
 } // namespace dsearch

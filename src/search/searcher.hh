@@ -1,11 +1,17 @@
 /**
  * @file
- * Boolean query evaluation over a single inverted index.
+ * Boolean query evaluation over a sealed index snapshot.
  *
- * Evaluation works on sorted document sets: a term resolves to its
- * (sorted, deduplicated) posting list; AND intersects, OR unites, and
- * NOT complements against the document universe. All set operations
- * are linear merges.
+ * Evaluation works on sorted document sets: a term resolves through a
+ * PostingCursor (sorted, duplicate-free by sealing); AND intersects,
+ * OR unites, and NOT complements against the document universe. Set
+ * operations are linear merges; the term leaf intersects its cursor
+ * against the universe with seekGE(), so skewed posting lists are
+ * skipped rather than scanned.
+ *
+ * Searchers hold their snapshot by value — snapshots are two pointer
+ * copies and keep the underlying segments alive — so there is no
+ * "index must outlive the searcher" contract to get wrong.
  */
 
 #ifndef DSEARCH_SEARCH_SEARCHER_HH
@@ -14,7 +20,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "index/inverted_index.hh"
+#include "index/index_snapshot.hh"
 #include "search/query.hh"
 
 namespace dsearch {
@@ -32,14 +38,20 @@ DocSet uniteSets(const DocSet &a, const DocSet &b);
 DocSet subtractSets(const DocSet &a, const DocSet &b);
 
 /**
- * Evaluate @p node against @p index with NOT complemented against
+ * Intersect a posting cursor with a sorted DocSet (seekGE-driven:
+ * O(|universe| log skip) rather than materialize-then-merge).
+ */
+DocSet intersectCursor(PostingCursor cursor, const DocSet &universe);
+
+/**
+ * Evaluate @p node against one segment with NOT complemented against
  * @p universe (a sorted DocSet).
  *
  * Shared by the single-index and multi-index searchers; exposed for
  * tests.
  */
-DocSet evalQueryNode(const InvertedIndex &index, const DocSet &universe,
-                     const QueryNode &node);
+DocSet evalQueryNode(const SegmentReader &segment,
+                     const DocSet &universe, const QueryNode &node);
 
 /**
  * Does the query match a document containing no terms at all? Needed
@@ -48,17 +60,18 @@ DocSet evalQueryNode(const InvertedIndex &index, const DocSet &universe,
  */
 bool matchesEmptyDocument(const QueryNode &node);
 
-/** Query engine over one index. */
+/** Query engine over one unified snapshot. */
 class Searcher
 {
   public:
     /**
-     * @param index     Index to query (kept by reference; must
-     *                  outlive the searcher).
+     * @param snapshot  Unified snapshot to query (kept by value;
+     *                  panics when multi-segment — use MultiSearcher
+     *                  for unjoined replicas).
      * @param doc_count Document universe size; NOT complements
      *                  against [0, doc_count).
      */
-    Searcher(const InvertedIndex &index, std::size_t doc_count);
+    Searcher(IndexSnapshot snapshot, std::size_t doc_count);
 
     /**
      * Construct with an explicit universe (sorted, duplicate-free),
@@ -66,7 +79,7 @@ class Searcher
      * NOT then complements against exactly that set, and term hits
      * are clipped to it.
      */
-    Searcher(const InvertedIndex &index, DocSet universe);
+    Searcher(IndexSnapshot snapshot, DocSet universe);
 
     /**
      * Run a query.
@@ -77,7 +90,7 @@ class Searcher
     DocSet run(const Query &query) const;
 
   private:
-    const InvertedIndex &_index;
+    IndexSnapshot _snapshot;
     DocSet _universe;
 };
 

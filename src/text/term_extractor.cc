@@ -51,8 +51,15 @@ TermExtractor::extract(const FileEntry &file, TermBlock &block)
         return false;
     }
 
-    if (_dedup.size() < dedupInitialSize)
-        _dedup.assign(dedupInitialSize, 0);
+    // Seed the table from the previous file's unique-term count:
+    // corpora with uniformly large files then skip the early rehash
+    // ladder entirely (grow-at-1/2-occupancy needs 2x headroom). The
+    // table never shrinks — a following small file just reuses it.
+    std::size_t want = dedupInitialSize;
+    while (want < _last_unique * 2)
+        want <<= 1;
+    if (_dedup.size() < want)
+        _dedup.assign(want, 0);
     else
         std::fill(_dedup.begin(), _dedup.end(), 0);
     std::size_t mask = _dedup.size() - 1;
@@ -97,6 +104,7 @@ TermExtractor::extract(const FileEntry &file, TermBlock &block)
     ++_stats.files;
     _stats.bytes += _content.size();
     _stats.unique_terms += block.termCount();
+    _last_unique = block.termCount();
     return true;
 }
 

@@ -176,8 +176,11 @@ class TermExtractor
      * (+1; 0 = empty) into the block under construction. Probes read
      * the hash from the span and the bytes from the arena, so the
      * table itself stores no term data and survives arena growth.
+     * Its capacity for the next file is seeded from _last_unique,
+     * the previous file's unique-term count.
      */
     std::vector<std::uint32_t> _dedup;
+    std::size_t _last_unique = 0;
 };
 
 } // namespace dsearch

@@ -79,6 +79,28 @@ class HashMap
         reserve(expected);
     }
 
+    HashMap(const HashMap &) = default;
+    HashMap &operator=(const HashMap &) = default;
+
+    // Explicit moves: the defaulted ones would move _slots but *copy*
+    // _size, leaving the moved-from map claiming its old element
+    // count over zero slots. Moved-from must read as empty.
+    HashMap(HashMap &&other) noexcept
+        : _slots(std::move(other._slots)),
+          _size(std::exchange(other._size, 0))
+    {
+        other._slots.clear();
+    }
+
+    HashMap &
+    operator=(HashMap &&other) noexcept
+    {
+        _slots = std::move(other._slots);
+        _size = std::exchange(other._size, 0);
+        other._slots.clear();
+        return *this;
+    }
+
     /** @return Number of elements stored. */
     std::size_t size() const { return _size; }
 

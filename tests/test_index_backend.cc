@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Conformance suite for the pluggable Stage 3 backends
+ * (index/index_backend.hh): every organization, fed the same blocks,
+ * must seal to a snapshot with identical per-term content — the
+ * contract that lets the generator treat organizations uniformly and
+ * lets searchers ignore how the index was built.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "core/engine.hh"
+#include "fs/corpus.hh"
+#include "index/index_backend.hh"
+#include "search/multi_searcher.hh"
+#include "search/searcher.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    for (const std::string &term : terms)
+        b.addTerm(term);
+    return b;
+}
+
+/** The corpus every backend ingests: doc -> its unique terms. */
+std::vector<std::vector<std::string>>
+corpusBlocks()
+{
+    std::vector<std::vector<std::string>> docs;
+    for (DocId doc = 0; doc < 40; ++doc) {
+        std::vector<std::string> terms;
+        terms.push_back("w" + std::to_string(doc % 7));
+        terms.push_back("w" + std::to_string(doc % 11));
+        terms.push_back("only" + std::to_string(doc));
+        std::sort(terms.begin(), terms.end());
+        terms.erase(std::unique(terms.begin(), terms.end()),
+                    terms.end());
+        docs.push_back(std::move(terms));
+    }
+    return docs;
+}
+
+/** All postings of @p term across every segment, sorted. */
+std::vector<DocId>
+allPostings(const IndexSnapshot &snapshot, const std::string &term)
+{
+    std::vector<DocId> docs;
+    for (std::size_t i = 0; i < snapshot.segmentCount(); ++i) {
+        PostingCursor cursor = snapshot.segment(i).cursor(term);
+        for (; cursor.valid(); cursor.next())
+            docs.push_back(cursor.doc());
+    }
+    std::sort(docs.begin(), docs.end());
+    return docs;
+}
+
+/** The configurations under conformance test. */
+std::vector<Config>
+conformanceConfigs()
+{
+    Config sharded = Config::sharedLocked(2, 2);
+    sharded.lock_shards = 4;
+    Config immediate = Config::sequential();
+    immediate.en_bloc = false;
+    return {Config::sequential(),
+            immediate,
+            Config::sharedLocked(2, 2),
+            sharded,
+            Config::replicatedJoin(2, 3, 2),
+            Config::replicatedNoJoin(2, 3)};
+}
+
+class BackendConformance : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    Config config() const { return conformanceConfigs()[GetParam()]; }
+};
+
+TEST_P(BackendConformance, SealsToSameContentAsReference)
+{
+    const auto docs = corpusBlocks();
+
+    // Reference: the sequential backend.
+    auto reference = makeBackend(Config::sequential());
+    for (DocId doc = 0; doc < docs.size(); ++doc)
+        reference->addBlock(block(doc, docs[doc]));
+    IndexSnapshot expected = reference->sealed();
+
+    // Backend under test: blocks spread round-robin over its lanes,
+    // one writer thread per lane (replicated backends require the
+    // lane/thread ownership the generator guarantees; shared ones
+    // exercise their locking).
+    Config cfg = config();
+    auto backend = makeBackend(cfg);
+    EXPECT_STRNE(backend->name(), "");
+    const std::size_t lanes = backend->laneCount();
+    ASSERT_GE(lanes, 1u);
+
+    std::vector<std::thread> writers;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        writers.emplace_back([&, lane] {
+            for (DocId doc = lane; doc < docs.size(); doc += lanes)
+                backend->addBlock(block(doc, docs[doc]),
+                                  static_cast<unsigned>(lane));
+        });
+    }
+    for (std::thread &writer : writers)
+        writer.join();
+
+    double join_seconds = -1.0;
+    IndexSnapshot snapshot = backend->sealed(&join_seconds);
+    EXPECT_GE(join_seconds, 0.0);
+
+    // Segment shape per organization.
+    if (cfg.impl == Implementation::ReplicatedNoJoin)
+        EXPECT_EQ(snapshot.segmentCount(), cfg.replicaCount());
+    else
+        EXPECT_TRUE(snapshot.unified());
+
+    // Identical content, term by term.
+    std::size_t expected_terms = expected.termCount();
+    std::size_t checked = 0;
+    expected.forEachTerm(
+        [&](const std::string &term, PostingCursor cursor) {
+            EXPECT_EQ(allPostings(snapshot, term), cursor.toDocSet())
+                << "term '" << term << "' under "
+                << cfg.describe();
+            ++checked;
+        });
+    EXPECT_EQ(checked, expected_terms);
+
+    // And no terms beyond the expected ones.
+    std::uint64_t postings = 0;
+    for (std::size_t i = 0; i < snapshot.segmentCount(); ++i)
+        postings += snapshot.segment(i).postingCount();
+    EXPECT_EQ(postings, expected.postingCount());
+}
+
+TEST_P(BackendConformance, ReleaseEmptiesTheBackend)
+{
+    auto backend = makeBackend(config());
+    backend->addBlock(block(0, {"a", "b"}));
+    IndexSnapshot first = backend->sealed();
+    EXPECT_FALSE(first.empty());
+    IndexSnapshot second = backend->sealed();
+    EXPECT_TRUE(second.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, BackendConformance,
+    ::testing::Range<std::size_t>(0, conformanceConfigs().size()));
+
+/**
+ * Acceptance-level property: the same synthetic corpus built through
+ * the Engine under every organization answers every query shape
+ * identically.
+ */
+TEST(BackendEquivalence, IdenticalQueryResultsAcrossOrganizations)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(42)).generateInMemory();
+
+    Config sharded = Config::sharedLocked(3, 2);
+    sharded.lock_shards = 8;
+    std::vector<Config> configs = {
+        Config::sequential(), Config::sharedLocked(3, 0),
+        Config::sharedLocked(3, 2), sharded,
+        Config::replicatedJoin(3, 2, 2),
+        Config::replicatedNoJoin(3, 2)};
+
+    const char *queries[] = {"ba", "be OR bi", "ba AND be",
+                             "ba AND NOT be", "NOT ba",
+                             "(ba OR be) AND (bi OR bo)",
+                             "missingterm", "NOT missingterm"};
+
+    std::vector<std::vector<DocSet>> answers;
+    std::size_t doc_count = 0;
+    for (const Config &cfg : configs) {
+        Engine::Result result =
+            Engine::open(*fs, "/").config(cfg).build();
+        doc_count = result.docs.docCount();
+        MultiSearcher searcher(result.snapshot, doc_count);
+        std::vector<DocSet> rows;
+        for (const char *text : queries)
+            rows.push_back(searcher.run(Query::parse(text), 2));
+        answers.push_back(std::move(rows));
+    }
+
+    for (std::size_t c = 1; c < answers.size(); ++c)
+        for (std::size_t q = 0; q < answers[c].size(); ++q)
+            EXPECT_EQ(answers[c][q], answers[0][q])
+                << configs[c].describe() << " disagrees on '"
+                << queries[q] << "'";
+    EXPECT_GT(doc_count, 0u);
+}
+
+} // namespace
+} // namespace dsearch

@@ -29,9 +29,12 @@ TEST(Integration, BuildAndSearchInMemory)
     fs.addFile("/docs/memo.txt", "revenue targets for the quarter");
     fs.addFile("/docs/notes.txt", "lunch menu and parking costs");
 
-    IndexGenerator generator(fs, "/docs", Config::sharedLocked(2, 1));
-    BuildResult result = generator.build();
-    Searcher searcher(result.primary(), result.docs.docCount());
+    Engine::Result result = Engine::open(fs, "/docs")
+                                .organization(
+                                    Implementation::SharedLocked)
+                                .threads(2, 1)
+                                .build();
+    Searcher searcher(result.snapshot, result.docs.docCount());
 
     DocSet hits = searcher.run(Query::parse("revenue"));
     ASSERT_EQ(hits.size(), 2u);
@@ -46,21 +49,24 @@ TEST(Integration, BuildAndSearchInMemory)
 TEST(Integration, BuildSerializeReloadSearch)
 {
     auto fs = CorpusGenerator(CorpusSpec::tiny(55)).generateInMemory();
-    IndexGenerator generator(*fs, "/",
-                             Config::replicatedJoin(3, 2, 1));
-    BuildResult result = generator.build();
+    Engine::Result result =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(3, 2, 1)
+            .build();
 
     std::string path = "/tmp/dsearch_integration_"
                        + std::to_string(::getpid()) + ".idx";
-    ASSERT_TRUE(saveIndexFile(result.primary(), result.docs, path));
+    ASSERT_TRUE(
+        saveSnapshotFile(result.snapshot, result.docs, path));
 
-    InvertedIndex loaded;
+    IndexSnapshot loaded;
     DocTable docs;
-    ASSERT_TRUE(loadIndexFile(loaded, docs, path));
+    ASSERT_TRUE(loadSnapshotFile(loaded, docs, path));
     std::remove(path.c_str());
 
     ASSERT_EQ(docs.docCount(), result.docs.docCount());
-    Searcher before(result.primary(), result.docs.docCount());
+    Searcher before(result.snapshot, result.docs.docCount());
     Searcher after(loaded, docs.docCount());
     for (const char *text : {"ba", "be OR bi", "NOT ba", "ba AND bi"}) {
         Query q = Query::parse(text);
@@ -84,17 +90,20 @@ TEST(Integration, DiskBackendEndToEnd)
     corpus.generate(writer);
 
     DiskFs disk(root.string());
-    IndexGenerator generator(disk, "/", Config::replicatedNoJoin(2, 2));
-    BuildResult result = generator.build();
+    Engine::Result result =
+        Engine::open(disk, "/")
+            .organization(Implementation::ReplicatedNoJoin)
+            .threads(2, 2)
+            .build();
     EXPECT_EQ(result.docs.docCount(), 60u);
 
     // The same corpus indexed in memory must agree.
     auto mem = corpus.generateInMemory();
-    IndexGenerator mem_generator(*mem, "/", Config::sequential());
-    BuildResult mem_result = mem_generator.build();
+    Engine::Result mem_result = Engine::open(*mem, "/").build();
 
-    MultiSearcher disk_search(result.indices, result.docs.docCount());
-    Searcher mem_search(mem_result.primary(),
+    MultiSearcher disk_search(result.snapshot,
+                              result.docs.docCount());
+    Searcher mem_search(mem_result.snapshot,
                         mem_result.docs.docCount());
     for (const char *text : {"ba", "bi AND bo", "NOT ba"}) {
         Query q = Query::parse(text);
@@ -117,11 +126,11 @@ TEST(Integration, TuneThenBuildWithBestConfig)
     TuneResult tuned = ExhaustiveTuner().tune(evaluator, space);
 
     auto fs = CorpusGenerator(CorpusSpec::tiny(99)).generateInMemory();
-    IndexGenerator generator(*fs, "/", tuned.best);
-    BuildResult result = generator.build();
+    Engine::Result result =
+        Engine::open(*fs, "/").config(tuned.best).build();
     EXPECT_EQ(result.docs.docCount(),
               CorpusSpec::tiny(99).file_count);
-    EXPECT_FALSE(result.indices.empty());
+    EXPECT_GE(result.snapshot.segmentCount(), 1u);
 }
 
 TEST(Integration, SearchAcrossAllImplementationsAgrees)
@@ -135,14 +144,14 @@ TEST(Integration, SearchAcrossAllImplementationsAgrees)
          {Config::sequential(), Config::sharedLocked(3, 1),
           Config::replicatedJoin(3, 2, 1),
           Config::replicatedNoJoin(3, 2)}) {
-        IndexGenerator generator(*fs, "/", cfg);
-        BuildResult result = generator.build();
+        Engine::Result result =
+            Engine::open(*fs, "/").config(cfg).build();
         docs = result.docs.docCount();
-        if (result.indices.size() == 1) {
-            Searcher searcher(result.primary(), docs);
+        if (result.snapshot.unified()) {
+            Searcher searcher(result.snapshot, docs);
             answers.push_back(searcher.run(query));
         } else {
-            MultiSearcher searcher(result.indices, docs);
+            MultiSearcher searcher(result.snapshot, docs);
             answers.push_back(searcher.run(query, 2));
         }
     }

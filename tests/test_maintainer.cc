@@ -35,7 +35,7 @@ class MaintainerTest : public ::testing::Test
     DocSet
     search(const std::string &text)
     {
-        Searcher searcher(_maintainer->index(),
+        Searcher searcher(_maintainer->snapshot(),
                           _maintainer->aliveDocs());
         return searcher.run(Query::parse(text));
     }
@@ -164,7 +164,7 @@ TEST_F(MaintainerTest, EquivalentToFreshRebuild)
     fresh.addFile("/d.txt", "elderberry");
     IndexGenerator generator(fresh, "/", Config::sequential());
     BuildResult rebuilt = generator.build();
-    Searcher fresh_search(rebuilt.primary(),
+    Searcher fresh_search(rebuilt.sealIndices(),
                           rebuilt.docs.docCount());
 
     // Compare by query answers mapped through paths.
@@ -186,9 +186,10 @@ TEST_F(MaintainerTest, EquivalentToFreshRebuild)
 
 TEST(MaintainerUniverse, SearcherRejectsBadUniverse)
 {
-    InvertedIndex index;
-    EXPECT_DEATH(Searcher(index, DocSet{3, 1, 2}), "sorted");
-    EXPECT_DEATH(Searcher(index, DocSet{1, 1}), "duplicate");
+    EXPECT_DEATH(Searcher(IndexSnapshot(), DocSet{3, 1, 2}),
+                 "sorted");
+    EXPECT_DEATH(Searcher(IndexSnapshot(), DocSet{1, 1}),
+                 "duplicate");
 }
 
 } // namespace

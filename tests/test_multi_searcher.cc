@@ -10,9 +10,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/index_generator.hh"
+#include "core/engine.hh"
 #include "fs/corpus.hh"
-#include "index/index_join.hh"
 #include "pipeline/thread_pool.hh"
 #include "search/multi_searcher.hh"
 #include "search/searcher.hh"
@@ -35,9 +34,11 @@ TEST(MultiSearcher, SingleReplicaMatchesPlainSearcher)
     std::vector<InvertedIndex> replicas(1);
     replicas[0].addBlock(block(0, {"a"}));
     replicas[0].addBlock(block(1, {"b"}));
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(replicas));
 
-    MultiSearcher multi(replicas, 2);
-    Searcher single(replicas[0], 2);
+    // A one-segment snapshot is unified: both engines accept it.
+    MultiSearcher multi(snapshot, 2);
+    Searcher single(snapshot, 2);
     for (const char *text : {"a", "b", "a OR b", "a AND b", "NOT a"}) {
         Query q = Query::parse(text);
         EXPECT_EQ(multi.run(q), single.run(q)) << text;
@@ -49,7 +50,7 @@ TEST(MultiSearcher, TermSpanningReplicas)
     std::vector<InvertedIndex> replicas(2);
     replicas[0].addBlock(block(0, {"shared", "only0"}));
     replicas[1].addBlock(block(1, {"shared", "only1"}));
-    MultiSearcher multi(replicas, 2);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)), 2);
     EXPECT_EQ(multi.run(Query::parse("shared")), (DocSet{0, 1}));
     EXPECT_EQ(multi.run(Query::parse("only1")), (DocSet{1}));
 }
@@ -63,7 +64,7 @@ TEST(MultiSearcher, NotQueryRestrictedPerReplica)
     replicas[1].addBlock(block(1, {"cat", "dog"}));
     replicas[1].addBlock(block(3, {"fish"}));
 
-    MultiSearcher multi(replicas, 4);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)), 4);
     // NOT cat over the full universe = {2, 3}.
     EXPECT_EQ(multi.run(Query::parse("NOT cat")), (DocSet{2, 3}));
     // dog AND NOT cat = {2}.
@@ -78,7 +79,7 @@ TEST(MultiSearcher, OrphanDocsMatchNotQueries)
     replicas[0].addBlock(block(0, {"a"}));
     replicas[1].addBlock(block(1, {"b"}));
 
-    MultiSearcher multi(replicas, 3);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)), 3);
     EXPECT_EQ(multi.orphanDocs(), (DocSet{2}));
     EXPECT_EQ(multi.run(Query::parse("NOT a")), (DocSet{1, 2}));
     EXPECT_EQ(multi.run(Query::parse("NOT a AND NOT b")),
@@ -92,7 +93,7 @@ TEST(MultiSearcher, OwnedDocsComputed)
     replicas[0].addBlock(block(0, {"x"}));
     replicas[0].addBlock(block(5, {"y"}));
     replicas[1].addBlock(block(3, {"z"}));
-    MultiSearcher multi(replicas, 6);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)), 6);
     EXPECT_EQ(multi.ownedDocs(0), (DocSet{0, 5}));
     EXPECT_EQ(multi.ownedDocs(1), (DocSet{3}));
 }
@@ -101,7 +102,7 @@ TEST(MultiSearcher, InvalidQueryIsEmpty)
 {
     std::vector<InvertedIndex> replicas(1);
     replicas[0].addBlock(block(0, {"a"}));
-    MultiSearcher multi(replicas, 1);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)), 1);
     EXPECT_TRUE(multi.run(Query::parse("(")).empty());
 }
 
@@ -113,7 +114,8 @@ TEST(MultiSearcher, ParallelThreadsGiveSameAnswer)
             doc, {"w" + std::to_string(doc % 7),
                   "w" + std::to_string(doc % 11)}));
     }
-    MultiSearcher multi(replicas, 100);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)),
+                        100);
     Query q = Query::parse("w1 OR (w2 AND NOT w3)");
     DocSet serial = multi.run(q, 1);
     DocSet parallel = multi.run(q, 4);
@@ -129,7 +131,8 @@ TEST(MultiSearcher, PersistentPoolGivesSameAnswer)
             doc, {"w" + std::to_string(doc % 5),
                   "w" + std::to_string(doc % 9)}));
     }
-    MultiSearcher multi(replicas, 60);
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)),
+                        60);
     ThreadPool pool(2);
     for (const char *text :
          {"w1", "w2 AND w3", "NOT w4", "w0 OR (w1 AND NOT w2)"}) {
@@ -150,18 +153,22 @@ class MultiVsJoined : public ::testing::TestWithParam<unsigned>
 TEST_P(MultiVsJoined, EquivalentForAllQueryShapes)
 {
     auto fs = CorpusGenerator(CorpusSpec::tiny(101)).generateInMemory();
-    Config cfg = Config::replicatedNoJoin(GetParam(), 0);
-    IndexGenerator generator(*fs, "/", cfg);
-    BuildResult result = generator.build();
+    Engine::Result result =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedNoJoin)
+            .threads(GetParam())
+            .build();
 
     std::size_t doc_count = result.docs.docCount();
-    MultiSearcher multi(result.indices, doc_count);
+    MultiSearcher multi(result.snapshot, doc_count);
 
-    // Joined copy for the reference searcher. Rebuild rather than
-    // merging the result's replicas (they are still needed).
-    Config joined_cfg = Config::replicatedJoin(2, 2, 1);
-    BuildResult joined = IndexGenerator(*fs, "/", joined_cfg).build();
-    Searcher reference(joined.primary(), doc_count);
+    // Joined reference build over the same corpus.
+    Engine::Result joined =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(2, 2, 1)
+            .build();
+    Searcher reference(joined.snapshot, doc_count);
 
     // Frequent corpus words: short ranks from the word generator.
     const char *queries[] = {

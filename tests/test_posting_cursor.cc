@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the snapshot read API: PostingCursor semantics
+ * (index/posting_cursor.hh) and IndexSnapshot sealing/segment access
+ * (index/index_snapshot.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "index/index_snapshot.hh"
+#include "index/posting_cursor.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    for (const std::string &term : terms)
+        b.addTerm(term);
+    return b;
+}
+
+TEST(PostingCursor, DefaultIsExhaustedAndEmpty)
+{
+    PostingCursor cursor;
+    EXPECT_FALSE(cursor.valid());
+    EXPECT_EQ(cursor.count(), 0u);
+    EXPECT_EQ(cursor.remaining(), 0u);
+    EXPECT_FALSE(cursor.seekGE(0));
+    EXPECT_TRUE(cursor.toDocSet().empty());
+}
+
+TEST(PostingCursor, ForwardIteration)
+{
+    const DocId docs[] = {1, 4, 9};
+    PostingCursor cursor(docs, 3);
+    std::vector<DocId> seen;
+    for (; cursor.valid(); cursor.next())
+        seen.push_back(cursor.doc());
+    EXPECT_EQ(seen, (std::vector<DocId>{1, 4, 9}));
+    EXPECT_EQ(cursor.remaining(), 0u);
+    EXPECT_EQ(cursor.count(), 3u); // count is total, not remaining
+}
+
+TEST(PostingCursor, SeekGE)
+{
+    const DocId docs[] = {2, 5, 8, 20, 21, 40};
+    PostingCursor cursor(docs, 6);
+
+    ASSERT_TRUE(cursor.seekGE(5)); // exact hit
+    EXPECT_EQ(cursor.doc(), 5u);
+    ASSERT_TRUE(cursor.seekGE(5)); // no-op on current
+    EXPECT_EQ(cursor.doc(), 5u);
+    ASSERT_TRUE(cursor.seekGE(9)); // between values
+    EXPECT_EQ(cursor.doc(), 20u);
+    ASSERT_TRUE(cursor.seekGE(1)); // backwards target: no-op
+    EXPECT_EQ(cursor.doc(), 20u);
+    ASSERT_TRUE(cursor.seekGE(40)); // last element
+    EXPECT_EQ(cursor.doc(), 40u);
+    EXPECT_FALSE(cursor.seekGE(41)); // past end exhausts
+    EXPECT_FALSE(cursor.valid());
+    EXPECT_FALSE(cursor.seekGE(0)); // stays exhausted
+}
+
+TEST(PostingCursor, SeekGEOnLongListGallops)
+{
+    std::vector<DocId> docs(10000);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(3 * d);
+    PostingCursor cursor(docs.data(), docs.size());
+    ASSERT_TRUE(cursor.seekGE(14998)); // 3*4999=14997 < 14998
+    EXPECT_EQ(cursor.doc(), 15000u);
+    ASSERT_TRUE(cursor.seekGE(29997));
+    EXPECT_EQ(cursor.doc(), 29997u);
+    EXPECT_EQ(cursor.remaining(), 1u);
+}
+
+TEST(PostingCursor, ToDocSetDrainsFromCurrentPosition)
+{
+    const DocId docs[] = {1, 2, 3, 4};
+    PostingCursor cursor(docs, 4);
+    cursor.next();
+    EXPECT_EQ(cursor.toDocSet(), (std::vector<DocId>{2, 3, 4}));
+    EXPECT_FALSE(cursor.valid());
+}
+
+TEST(IndexSnapshot, SealSortsPostingsForCursors)
+{
+    InvertedIndex index;
+    index.addBlock(block(7, {"t"}));
+    index.addBlock(block(2, {"t"}));
+    index.addBlock(block(5, {"t"}));
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+
+    EXPECT_TRUE(snapshot.unified());
+    EXPECT_EQ(snapshot.segmentCount(), 1u);
+    PostingCursor cursor = snapshot.cursor("t");
+    EXPECT_EQ(cursor.count(), 3u);
+    EXPECT_EQ(cursor.toDocSet(), (std::vector<DocId>{2, 5, 7}));
+}
+
+TEST(IndexSnapshot, UnknownTermAndEmptySnapshot)
+{
+    IndexSnapshot empty;
+    EXPECT_TRUE(empty.unified());
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.termCount(), 0u);
+    EXPECT_FALSE(empty.cursor("anything").valid());
+
+    InvertedIndex index;
+    index.addBlock(block(0, {"known"}));
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    EXPECT_FALSE(snapshot.cursor("unknown").valid());
+    EXPECT_EQ(snapshot.cursor("unknown").count(), 0u);
+}
+
+TEST(IndexSnapshot, ReplicaSetSealsToSegments)
+{
+    std::vector<InvertedIndex> replicas(3);
+    replicas[0].addBlock(block(0, {"a", "shared"}));
+    replicas[2].addBlock(block(1, {"b", "shared"}));
+    // replicas[1] stays empty but keeps its position.
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(replicas));
+
+    EXPECT_FALSE(snapshot.unified());
+    ASSERT_EQ(snapshot.segmentCount(), 3u);
+    EXPECT_EQ(snapshot.segment(0).cursor("shared").toDocSet(),
+              (std::vector<DocId>{0}));
+    EXPECT_TRUE(snapshot.segment(1).empty());
+    EXPECT_EQ(snapshot.segment(2).cursor("shared").toDocSet(),
+              (std::vector<DocId>{1}));
+    EXPECT_FALSE(snapshot.empty());
+}
+
+TEST(IndexSnapshot, CopiesShareSegmentsAndOutliveSource)
+{
+    IndexSnapshot copy;
+    {
+        InvertedIndex index;
+        index.addBlock(block(3, {"alive"}));
+        IndexSnapshot original =
+            IndexSnapshot::seal(std::move(index));
+        copy = original;
+    } // original destroyed
+    EXPECT_EQ(copy.cursor("alive").toDocSet(),
+              (std::vector<DocId>{3}));
+}
+
+TEST(IndexSnapshotDeath, UnifiedAccessOnMultiSegmentPanics)
+{
+    std::vector<InvertedIndex> replicas(2);
+    replicas[0].addBlock(block(0, {"a"}));
+    replicas[1].addBlock(block(1, {"b"}));
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(replicas));
+    EXPECT_DEATH(snapshot.cursor("a"), "multi-segment");
+    EXPECT_DEATH(snapshot.segment(5), "out of range");
+}
+
+} // namespace
+} // namespace dsearch

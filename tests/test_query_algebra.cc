@@ -34,7 +34,7 @@ word(std::size_t v)
 /** Random index: each doc gets a random subset of the vocabulary. */
 struct Fixture
 {
-    InvertedIndex index;
+    IndexSnapshot snapshot;
     std::vector<std::set<std::string>> doc_terms;
 
     explicit
@@ -42,6 +42,7 @@ struct Fixture
         : doc_terms(doc_count)
     {
         Rng rng(seed);
+        InvertedIndex index;
         for (DocId doc = 0; doc < doc_count; ++doc) {
             TermBlock block;
             block.doc = doc;
@@ -53,6 +54,7 @@ struct Fixture
             }
             index.addBlock(block);
         }
+        snapshot = IndexSnapshot::seal(std::move(index));
     }
 };
 
@@ -115,7 +117,7 @@ class QueryAlgebra : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(QueryAlgebra, SearcherMatchesBruteForceOracle)
 {
     Fixture fixture(GetParam());
-    Searcher searcher(fixture.index, doc_count);
+    Searcher searcher(fixture.snapshot, doc_count);
     Rng rng(GetParam() * 31 + 7);
     for (int i = 0; i < 60; ++i) {
         std::string text = randomQuery(rng, 3);
@@ -129,7 +131,7 @@ TEST_P(QueryAlgebra, SearcherMatchesBruteForceOracle)
 TEST_P(QueryAlgebra, DeMorganLaws)
 {
     Fixture fixture(GetParam());
-    Searcher searcher(fixture.index, doc_count);
+    Searcher searcher(fixture.snapshot, doc_count);
     Rng rng(GetParam() * 17 + 3);
     for (int i = 0; i < 30; ++i) {
         std::string a = randomQuery(rng, 2);
@@ -152,7 +154,7 @@ TEST_P(QueryAlgebra, DeMorganLaws)
 TEST_P(QueryAlgebra, DoubleNegationIsIdentity)
 {
     Fixture fixture(GetParam());
-    Searcher searcher(fixture.index, doc_count);
+    Searcher searcher(fixture.snapshot, doc_count);
     Rng rng(GetParam() * 13 + 1);
     for (int i = 0; i < 30; ++i) {
         std::string a = randomQuery(rng, 2);
@@ -165,7 +167,7 @@ TEST_P(QueryAlgebra, DoubleNegationIsIdentity)
 TEST_P(QueryAlgebra, CommutativityAndIdempotence)
 {
     Fixture fixture(GetParam());
-    Searcher searcher(fixture.index, doc_count);
+    Searcher searcher(fixture.snapshot, doc_count);
     Rng rng(GetParam() * 11 + 5);
     for (int i = 0; i < 30; ++i) {
         std::string a = randomQuery(rng, 2);
@@ -188,7 +190,7 @@ TEST_P(QueryAlgebra, CommutativityAndIdempotence)
 TEST_P(QueryAlgebra, AbsorptionAndComplement)
 {
     Fixture fixture(GetParam());
-    Searcher searcher(fixture.index, doc_count);
+    Searcher searcher(fixture.snapshot, doc_count);
     Rng rng(GetParam() * 7 + 11);
     for (int i = 0; i < 30; ++i) {
         std::string a = randomQuery(rng, 2);

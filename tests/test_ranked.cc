@@ -39,10 +39,12 @@ class RankedTest : public ::testing::Test
         _index.addBlock(block(1, {"common"}));
         _index.addBlock(block(2, {"common"}));
         _index.addBlock(block(3, {"common", "rare", "other"}));
-        _ranked = std::make_unique<RankedSearcher>(_index, _docs);
+        _snapshot = IndexSnapshot::seal(std::move(_index));
+        _ranked = std::make_unique<RankedSearcher>(_snapshot, _docs);
     }
 
     InvertedIndex _index;
+    IndexSnapshot _snapshot;
     DocTable _docs;
     std::unique_ptr<RankedSearcher> _ranked;
 };
@@ -87,7 +89,7 @@ TEST_F(RankedTest, ScoresDescendTiesByDocId)
 
 TEST_F(RankedTest, MatchSetEqualsBooleanSearch)
 {
-    Searcher boolean(_index, _docs.docCount());
+    Searcher boolean(_snapshot, _docs.docCount());
     for (const char *text :
          {"common", "rare", "common AND NOT rare", "rare OR other"}) {
         Query q = Query::parse(text);
@@ -118,7 +120,8 @@ TEST_F(RankedTest, LengthPenaltyPrefersShorterDocs)
     docs.add("/long", 1000000);
     index.addBlock(block(0, {"term"}));
     index.addBlock(block(1, {"term"}));
-    RankedSearcher ranked(index, docs);
+    RankedSearcher ranked(IndexSnapshot::seal(std::move(index)),
+                          docs);
     auto hits = ranked.topK(Query::parse("term"), 10);
     ASSERT_EQ(hits.size(), 2u);
     EXPECT_EQ(hits[0].doc, 0u);

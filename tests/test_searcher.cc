@@ -37,7 +37,8 @@ class SearcherTest : public ::testing::Test
         _index.addBlock(block(2, {"dog"}));
         _index.addBlock(block(3, {"cat"}));
         _index.addBlock(block(4, {"dog", "fish"}));
-        _searcher = std::make_unique<Searcher>(_index, 6);
+        _snapshot = IndexSnapshot::seal(std::move(_index));
+        _searcher = std::make_unique<Searcher>(_snapshot, 6);
     }
 
     DocSet
@@ -49,6 +50,7 @@ class SearcherTest : public ::testing::Test
     }
 
     InvertedIndex _index;
+    IndexSnapshot _snapshot;
     std::unique_ptr<Searcher> _searcher;
 };
 
@@ -131,12 +133,13 @@ TEST(SearcherSetOps, IntersectUnionSubtract)
 
 TEST(SearcherSetOps, UnsortedPostingListsAreNormalized)
 {
-    // The index stores postings in insertion order; eval must sort.
+    // The index stores postings in insertion order; sealing sorts
+    // them, so cursors walk canonical lists.
     InvertedIndex index;
     index.addBlock(block(5, {"t"}));
     index.addBlock(block(2, {"t"}));
     index.addBlock(block(9, {"t"}));
-    Searcher searcher(index, 10);
+    Searcher searcher(IndexSnapshot::seal(std::move(index)), 10);
     EXPECT_EQ(searcher.run(Query::parse("t")), (DocSet{2, 5, 9}));
 }
 
@@ -156,8 +159,7 @@ TEST(SearcherEmptyDoc, MatchesEmptyDocumentPredicate)
 
 TEST(SearcherUniverse, EmptyIndexNotQuery)
 {
-    InvertedIndex index;
-    Searcher searcher(index, 3);
+    Searcher searcher(IndexSnapshot(), 3);
     EXPECT_EQ(searcher.run(Query::parse("NOT anything")),
               (DocSet{0, 1, 2}));
     EXPECT_TRUE(searcher.run(Query::parse("anything")).empty());
@@ -165,8 +167,7 @@ TEST(SearcherUniverse, EmptyIndexNotQuery)
 
 TEST(SearcherUniverse, ZeroDocuments)
 {
-    InvertedIndex index;
-    Searcher searcher(index, 0);
+    Searcher searcher(IndexSnapshot(), 0);
     EXPECT_TRUE(searcher.run(Query::parse("NOT x")).empty());
 }
 
