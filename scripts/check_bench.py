@@ -10,8 +10,23 @@ Gated metrics (higher is better):
   zero_copy.tokens_per_sec
   zero_copy.postings_per_sec
 
-Advisory metrics (reported, never fatal — they compare two *ratios*
-that move with machine load): speedup, alloc_bytes_per_block_ratio.
+The committed baseline carries the absolute throughput of whatever
+machine produced it, so the legacy pipeline is used as a speed
+canary: when fresh legacy throughput lands within --canary of the
+baseline's, the machines are comparable and absolute throughput is
+gated. On a visibly different machine the gate falls back to the
+relative zero-copy-vs-legacy speedup, which cancels machine speed.
+
+Known blind spot: a change that slows BOTH pipelines by more than
+--canary on the baseline's own machine is indistinguishable from
+slower hardware, and the speedup fallback cancels it out. The gate
+prints a loud warning in that case; regenerate the baseline on the
+current machine (run bench_micro, commit BENCH_micro.json) to
+restore absolute gating, which does catch shared-path regressions.
+
+Advisory metrics (reported, never fatal):
+alloc_bytes_per_block_ratio, plus whichever of absolute/speedup was
+not gated.
 
 The binary is run --repeats times and the best run is kept, which
 filters scheduler noise out of the gate.
@@ -34,7 +49,8 @@ GATED = [
     ("zero_copy", "tokens_per_sec"),
     ("zero_copy", "postings_per_sec"),
 ]
-ADVISORY = ["speedup", "alloc_bytes_per_block_ratio"]
+CANARY = ("legacy", "tokens_per_sec")
+ADVISORY = ["alloc_bytes_per_block_ratio"]
 
 
 def run_bench(bench, workdir):
@@ -64,6 +80,10 @@ def main():
                         help="bench_micro binary")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="fatal relative regression (default 0.10)")
+    parser.add_argument("--canary", type=float, default=0.15,
+                        help="legacy-throughput delta beyond which "
+                             "the machines are treated as different "
+                             "and only the speedup ratio is gated")
     parser.add_argument("--repeats", type=int, default=2,
                         help="bench runs; best one is gated")
     args = parser.parse_args()
@@ -81,17 +101,47 @@ def main():
         return 2
     fresh = best_of(runs)
 
+    # Machine comparability: the legacy pipeline barely changes, so a
+    # large delta there means different hardware, not a regression.
+    canary_base = baseline[CANARY[0]][CANARY[1]]
+    canary_now = fresh[CANARY[0]][CANARY[1]]
+    canary_delta = (canary_now - canary_base) / canary_base
+    comparable = abs(canary_delta) <= args.canary
+    print(f"canary {CANARY[0]}.{CANARY[1]}: baseline "
+          f"{canary_base:.3g} -> fresh {canary_now:.3g} "
+          f"({canary_delta:+.1%}) -> machines "
+          f"{'comparable' if comparable else 'DIFFER'}")
+    if not comparable and canary_delta < 0:
+        print("check_bench: WARNING: legacy throughput dropped beyond "
+              "the canary window. If this is the machine that "
+              "produced the baseline, a shared-path regression may "
+              "be hiding behind the speedup fallback — regenerate "
+              "BENCH_micro.json here to restore absolute gating.",
+              file=sys.stderr)
+
     failures = []
     for section, metric in GATED:
         base = baseline[section][metric]
         now = fresh[section][metric]
         delta = (now - base) / base
-        status = "OK"
-        if delta < -args.threshold:
+        status = "OK" if comparable else "advisory"
+        if comparable and delta < -args.threshold:
             status = "REGRESSION"
             failures.append(f"{section}.{metric}")
         print(f"{section}.{metric}: baseline {base:.3g} -> "
               f"fresh {now:.3g} ({delta:+.1%}) {status}")
+
+    # Speedup cancels machine speed: gate it when absolute numbers
+    # cannot be trusted, report it otherwise.
+    base_speedup = baseline["speedup"]
+    now_speedup = fresh["speedup"]
+    speedup_delta = (now_speedup - base_speedup) / base_speedup
+    status = "advisory" if comparable else "OK"
+    if not comparable and speedup_delta < -args.threshold:
+        status = "REGRESSION"
+        failures.append("speedup")
+    print(f"speedup: baseline {base_speedup:.3g} -> fresh "
+          f"{now_speedup:.3g} ({speedup_delta:+.1%}) {status}")
 
     for metric in ADVISORY:
         base = baseline.get(metric)

@@ -92,17 +92,17 @@ IndexGenerator::buildSequential()
         bool ok;
         {
             ScopedTimer t(result.times.read_and_extract);
-            if (_cfg.en_bloc) {
-                ok = extractor.extract(file, block);
-            } else {
-                ok = extractor.extractOccurrences(file, occurrences);
-                if (ok)
-                    occurrencesToBlock(occurrences, file.doc, block);
-            }
+            ok = _cfg.en_bloc
+                     ? extractor.extract(file, block)
+                     : extractor.extractOccurrences(file, occurrences);
         }
         if (!ok)
             continue;
         ScopedTimer t(result.times.index_update);
+        // Immediate mode hashes its occurrences on the insert side,
+        // like the old direct addOccurrence path — Stage 3 time.
+        if (!_cfg.en_bloc)
+            occurrencesToBlock(occurrences, file.doc, block);
         backend->addBlock(std::move(block), 0);
     }
 

@@ -60,10 +60,15 @@ class IndexBackend
     virtual std::size_t laneCount() const = 0;
 
     /**
-     * Insert one file's term block. The backend consumes the block's
-     * contents but must not retain or move its buffers, so callers
-     * may clear() and reuse the block. En-bloc versus immediate
-     * duplicate handling is a property of the backend's Config.
+     * Insert one file's term block. The backend owns the rvalue: it
+     * may read from it or steal its buffers, and the caller must
+     * treat the block as moved-from afterwards (clear() before
+     * reuse, which the extractor loop does anyway). The backends in
+     * this file only read, so in practice the caller's arena
+     * capacity survives for reuse — a backend that retains buffers
+     * is correct but forfeits that optimization for its callers.
+     * En-bloc versus immediate duplicate handling is a property of
+     * the backend's Config.
      *
      * Thread safety: concurrent calls are allowed with distinct
      * lanes (replicated) or any lanes (shared, internally locked).
