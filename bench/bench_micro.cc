@@ -14,6 +14,12 @@
  * zero-copy arena/hash-once path — and writes the comparison to
  * BENCH_micro.json (tokens/sec, postings/sec, bytes allocated per
  * block) so subsequent PRs can track the perf trajectory.
+ *
+ * A third section seals the zero-copy index and reports the
+ * compressed posting storage: bytes per posting raw (one DocId each)
+ * versus sealed (delta+varint blocks + skip entries), the resulting
+ * compression ratio — gated >= 2x by scripts/check_bench.py — and
+ * seal/decode throughput in postings per second.
  */
 
 #include <benchmark/benchmark.h>
@@ -30,6 +36,7 @@
 
 #include "core/index_generator.hh"
 #include "fs/corpus.hh"
+#include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
 #include "pipeline/blocking_queue.hh"
 #include "text/tokenizer.hh"
@@ -461,10 +468,93 @@ runZeroCopy(const FileSystem &fs, const FileList &files)
     return m;
 }
 
+/** Sealed-segment storage + throughput metrics; see file comment. */
+struct SealedMetrics
+{
+    std::uint64_t postings = 0;
+    std::uint64_t raw_bytes = 0;        ///< postings * sizeof(DocId)
+    std::uint64_t compressed_bytes = 0; ///< arena + skip entries
+    double seal_seconds = 0;
+    double decode_seconds = 0;
+
+    double
+    rawBytesPerPosting() const
+    {
+        return postings ? static_cast<double>(raw_bytes) / postings
+                        : 0.0;
+    }
+    double
+    compressedBytesPerPosting() const
+    {
+        return postings
+                   ? static_cast<double>(compressed_bytes) / postings
+                   : 0.0;
+    }
+    double
+    compressionRatio() const
+    {
+        return compressed_bytes
+                   ? static_cast<double>(raw_bytes) / compressed_bytes
+                   : 0.0;
+    }
+    double sealPostingsPerSec() const
+    {
+        return postings / seal_seconds;
+    }
+    double decodePostingsPerSec() const
+    {
+        return postings / decode_seconds;
+    }
+};
+
+/**
+ * Build the index once more over @p files, then measure sealing
+ * (sort + block-encode into the segment arena) and a full decode
+ * (every term's cursor walked end to end).
+ */
+SealedMetrics
+runSealedSegment(const FileSystem &fs, const FileList &files)
+{
+    TermExtractor extractor(fs);
+    InvertedIndex index;
+    TermBlock block;
+    for (const FileEntry &file : files) {
+        if (!extractor.extract(file, block))
+            continue;
+        index.addBlock(block);
+    }
+
+    SealedMetrics m;
+    m.postings = index.postingCount();
+    m.raw_bytes = m.postings * sizeof(DocId);
+
+    Timer seal_timer;
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    m.seal_seconds = seal_timer.elapsedSec();
+    m.compressed_bytes = snapshot.segment(0).sealed()->postingBytes();
+
+    Timer decode_timer;
+    std::uint64_t decoded = 0;
+    DocId checksum = 0;
+    snapshot.forEachTerm(
+        [&decoded, &checksum](const std::string &, PostingCursor c) {
+            for (; c.valid(); c.next()) {
+                checksum ^= c.doc();
+                ++decoded;
+            }
+        });
+    m.decode_seconds = decode_timer.elapsedSec();
+    benchmark::DoNotOptimize(checksum);
+    if (decoded != m.postings)
+        std::cerr << "bench_micro: decode mismatch: " << decoded
+                  << " != " << m.postings << "\n";
+    return m;
+}
+
 void
 writeJson(std::ostream &out, const StageMetrics &legacy,
-          const StageMetrics &zero_copy, std::size_t corpus_files,
-          std::uint64_t corpus_bytes)
+          const StageMetrics &zero_copy, const SealedMetrics &sealed,
+          std::size_t corpus_files, std::uint64_t corpus_bytes)
 {
     auto section = [&out](const char *name, const StageMetrics &m,
                           const char *trailing) {
@@ -484,6 +574,18 @@ writeJson(std::ostream &out, const StageMetrics &legacy,
         << ", \"bytes\": " << corpus_bytes << "},\n";
     section("legacy", legacy, ",");
     section("zero_copy", zero_copy, ",");
+    out << "  \"sealed_segment\": {\n"
+        << "    \"postings\": " << sealed.postings << ",\n"
+        << "    \"raw_bytes_per_posting\": "
+        << sealed.rawBytesPerPosting() << ",\n"
+        << "    \"compressed_bytes_per_posting\": "
+        << sealed.compressedBytesPerPosting() << ",\n"
+        << "    \"compression_ratio\": " << sealed.compressionRatio()
+        << ",\n"
+        << "    \"seal_postings_per_sec\": "
+        << sealed.sealPostingsPerSec() << ",\n"
+        << "    \"decode_postings_per_sec\": "
+        << sealed.decodePostingsPerSec() << "\n  },\n";
     out << "  \"speedup\": "
         << legacy.seconds / zero_copy.seconds << ",\n"
         << "  \"alloc_bytes_per_block_ratio\": "
@@ -505,15 +607,20 @@ runStage23Comparison()
 
     // Warm-up pass each, then best-of-three timed passes.
     StageMetrics legacy, zero_copy;
+    SealedMetrics sealed;
     runLegacy(*fs, files);
     runZeroCopy(*fs, files);
+    runSealedSegment(*fs, files);
     for (int pass = 0; pass < 3; ++pass) {
         StageMetrics l = runLegacy(*fs, files);
         StageMetrics z = runZeroCopy(*fs, files);
+        SealedMetrics s = runSealedSegment(*fs, files);
         if (pass == 0 || l.seconds < legacy.seconds)
             legacy = l;
         if (pass == 0 || z.seconds < zero_copy.seconds)
             zero_copy = z;
+        if (pass == 0 || s.seal_seconds < sealed.seal_seconds)
+            sealed = s;
     }
 
     std::uint64_t corpus_bytes = 0;
@@ -521,8 +628,9 @@ runStage23Comparison()
         corpus_bytes += file.size;
 
     std::ofstream json("BENCH_micro.json");
-    writeJson(json, legacy, zero_copy, files.size(), corpus_bytes);
-    writeJson(std::cout, legacy, zero_copy, files.size(),
+    writeJson(json, legacy, zero_copy, sealed, files.size(),
+              corpus_bytes);
+    writeJson(std::cout, legacy, zero_copy, sealed, files.size(),
               corpus_bytes);
 }
 

@@ -24,9 +24,15 @@ prints a loud warning in that case; regenerate the baseline on the
 current machine (run bench_micro, commit BENCH_micro.json) to
 restore absolute gating, which does catch shared-path regressions.
 
+The sealed-segment compression ratio (raw bytes over delta+varint
+block bytes) is gated absolutely: it is machine-independent, so
+fresh sealed_segment.compression_ratio must stay >= --min-ratio
+(default 2.0) regardless of the canary.
+
 Advisory metrics (reported, never fatal):
-alloc_bytes_per_block_ratio, plus whichever of absolute/speedup was
-not gated.
+alloc_bytes_per_block_ratio, sealed_segment.seal_postings_per_sec,
+sealed_segment.decode_postings_per_sec, plus whichever of
+absolute/speedup was not gated.
 
 The binary is run --repeats times and the best run is kept, which
 filters scheduler noise out of the gate.
@@ -86,6 +92,9 @@ def main():
                              "and only the speedup ratio is gated")
     parser.add_argument("--repeats", type=int, default=2,
                         help="bench runs; best one is gated")
+    parser.add_argument("--min-ratio", type=float, default=2.0,
+                        help="minimum sealed-segment compression "
+                             "ratio (absolute gate, default 2.0)")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as fh:
@@ -142,6 +151,35 @@ def main():
         failures.append("speedup")
     print(f"speedup: baseline {base_speedup:.3g} -> fresh "
           f"{now_speedup:.3g} ({speedup_delta:+.1%}) {status}")
+
+    # Compression ratio: machine-independent, so gated absolutely
+    # against --min-ratio rather than against the baseline.
+    sealed = fresh.get("sealed_segment")
+    if sealed is None:
+        print("check_bench: fresh run lacks sealed_segment metrics",
+              file=sys.stderr)
+        return 2
+    ratio = sealed["compression_ratio"]
+    base_sealed = baseline.get("sealed_segment", {})
+    base_ratio = base_sealed.get("compression_ratio")
+    status = "OK"
+    if ratio < args.min_ratio:
+        status = "REGRESSION"
+        failures.append("sealed_segment.compression_ratio")
+    print(f"sealed_segment.compression_ratio: baseline "
+          f"{base_ratio if base_ratio is not None else float('nan'):.3g}"
+          f" -> fresh {ratio:.3g} (gate >= {args.min_ratio:.3g}) "
+          f"{status}")
+    for metric in ("compressed_bytes_per_posting",
+                   "seal_postings_per_sec",
+                   "decode_postings_per_sec"):
+        base = base_sealed.get(metric)
+        now = sealed.get(metric)
+        if now is None:
+            continue
+        base_text = f"{base:.3g}" if base is not None else "n/a"
+        print(f"sealed_segment.{metric} (advisory): baseline "
+              f"{base_text} -> fresh {now:.3g}")
 
     for metric in ADVISORY:
         base = baseline.get(metric)

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Configure, build and ctest a sanitizer-instrumented tree.
+#
+# Usage: scripts/check_sanitize.sh [address|thread|undefined] [build-dir]
+#
+# Defaults to AddressSanitizer in <repo>/build-asan (thread ->
+# build-tsan, undefined -> build-ubsan). The perf-labelled ctest entry
+# (check_bench) is excluded: sanitizer overhead would trip a
+# throughput gate that is only meaningful on uninstrumented builds.
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+case "$SANITIZER" in
+  address)   DEFAULT_DIR=build-asan ;;
+  thread)    DEFAULT_DIR=build-tsan ;;
+  undefined) DEFAULT_DIR=build-ubsan ;;
+  *)
+    echo "check_sanitize: unknown sanitizer '$SANITIZER'" \
+         "(want address, thread, or undefined)" >&2
+    exit 2
+    ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${2:-$ROOT/$DEFAULT_DIR}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+      -DDSEARCH_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE perf
+
+echo "check_sanitize: $SANITIZER tree clean ($BUILD_DIR)"

@@ -1,15 +1,124 @@
 #include "index/index_snapshot.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace dsearch {
 
+// ----------------------------------------------------------------------
+// PostingSegment
+// ----------------------------------------------------------------------
+
+PostingSegment
+PostingSegment::build(InvertedIndex &&index)
+{
+    InvertedIndex source = std::move(index);
+    source.sortPostings();
+
+    PostingSegment segment;
+    segment._postings = source.postingCount();
+
+    // Sizing pass: exact arena and skip-table sizes, so each is a
+    // single allocation regardless of term count.
+    std::size_t arena_bytes = 0;
+    std::size_t skip_entries = 0;
+    source.forEachTerm(
+        [&](const std::string &, const PostingList &list) {
+            arena_bytes += encodedPostingBytes(list.data(), list.size());
+            skip_entries += postingSkipCount(list.size());
+        });
+    segment.reserveSealed(source.termCount(), arena_bytes,
+                          skip_entries);
+
+    // Encoding pass: every term's blocks, back to back.
+    source.forEachTerm(
+        [&segment](const std::string &term, const PostingList &list) {
+            if (list.empty())
+                return; // removeDoc() leftovers carry no postings
+            TermEntry entry;
+            entry.offset = segment._arena.size();
+            entry.skip_begin =
+                static_cast<std::uint32_t>(segment._skips.size());
+            encodePostings(list.data(), list.size(), segment._arena,
+                           segment._skips);
+            entry.bytes = static_cast<std::uint32_t>(
+                segment._arena.size() - entry.offset);
+            entry.count = static_cast<std::uint32_t>(list.size());
+            entry.skip_count = static_cast<std::uint32_t>(
+                segment._skips.size() - entry.skip_begin);
+            segment._terms.insert(term, entry);
+        });
+
+    segment.finishSealed();
+    return segment; // `source` (the uncompressed postings) dies here
+}
+
+PostingCursor
+PostingSegment::cursor(std::string_view term) const
+{
+    const TermEntry *entry = _terms.find(term);
+    if (entry == nullptr)
+        return {};
+    return cursorFor(*entry);
+}
+
+void
+PostingSegment::reserveSealed(std::size_t terms,
+                              std::size_t arena_bytes,
+                              std::size_t skip_entries)
+{
+    _terms.reserve(terms);
+    _arena.reserve(arena_bytes);
+    _skips.reserve(skip_entries);
+}
+
+bool
+PostingSegment::addSealedTerm(std::string term, std::uint32_t count,
+                              const std::uint8_t *bytes,
+                              std::uint32_t byte_len,
+                              const SkipEntry *skips,
+                              std::uint32_t skip_count)
+{
+    TermEntry entry;
+    entry.offset = _arena.size();
+    entry.bytes = byte_len;
+    entry.count = count;
+    entry.skip_begin = static_cast<std::uint32_t>(_skips.size());
+    entry.skip_count = skip_count;
+    if (!_terms.insert(std::move(term), entry))
+        return false;
+    _arena.insert(_arena.end(), bytes, bytes + byte_len);
+    _skips.insert(_skips.end(), skips, skips + skip_count);
+    _postings += count;
+    return true;
+}
+
+void
+PostingSegment::finishSealed()
+{
+    _sorted.clear();
+    _sorted.reserve(_terms.size());
+    for (const TermSlot &slot : _terms)
+        _sorted.push_back(&slot);
+    std::sort(_sorted.begin(), _sorted.end(),
+              [](const TermSlot *a, const TermSlot *b) {
+                  return a->key < b->key;
+              });
+}
+
+// ----------------------------------------------------------------------
+// SegmentReader
+// ----------------------------------------------------------------------
+
 PostingCursor
 SegmentReader::cursor(std::string_view term) const
 {
-    if (_segment == nullptr)
+    if (_segment != nullptr)
+        return _segment->cursor(term);
+    if (_raw == nullptr)
         return {};
-    const PostingList *list = _segment->postings(term);
+    const PostingList *list = _raw->postings(term);
     if (list == nullptr)
         return {};
     return PostingCursor(list->data(), list->size());
@@ -18,22 +127,29 @@ SegmentReader::cursor(std::string_view term) const
 std::size_t
 SegmentReader::termCount() const
 {
-    return _segment == nullptr ? 0 : _segment->termCount();
+    if (_segment != nullptr)
+        return _segment->termCount();
+    return _raw == nullptr ? 0 : _raw->termCount();
 }
 
 std::uint64_t
 SegmentReader::postingCount() const
 {
-    return _segment == nullptr ? 0 : _segment->postingCount();
+    if (_segment != nullptr)
+        return _segment->postingCount();
+    return _raw == nullptr ? 0 : _raw->postingCount();
 }
+
+// ----------------------------------------------------------------------
+// IndexSnapshot
+// ----------------------------------------------------------------------
 
 IndexSnapshot
 IndexSnapshot::seal(InvertedIndex &&index)
 {
-    index.sortPostings();
     IndexSnapshot snapshot;
-    snapshot._segments.push_back(
-        std::make_shared<InvertedIndex>(std::move(index)));
+    snapshot._segments.push_back(std::make_shared<PostingSegment>(
+        PostingSegment::build(std::move(index))));
     return snapshot;
 }
 
@@ -43,11 +159,19 @@ IndexSnapshot::seal(std::vector<InvertedIndex> &&replicas)
     IndexSnapshot snapshot;
     snapshot._segments.reserve(replicas.size());
     for (InvertedIndex &replica : replicas) {
-        replica.sortPostings();
-        snapshot._segments.push_back(
-            std::make_shared<InvertedIndex>(std::move(replica)));
+        snapshot._segments.push_back(std::make_shared<PostingSegment>(
+            PostingSegment::build(std::move(replica))));
     }
     replicas.clear();
+    return snapshot;
+}
+
+IndexSnapshot
+IndexSnapshot::fromSealed(PostingSegment &&segment)
+{
+    IndexSnapshot snapshot;
+    snapshot._segments.push_back(
+        std::make_shared<PostingSegment>(std::move(segment)));
     return snapshot;
 }
 

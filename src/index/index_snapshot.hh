@@ -1,13 +1,23 @@
 /**
  * @file
- * IndexSnapshot: the immutable read side of a built index.
+ * IndexSnapshot: the immutable, compressed read side of a built index.
  *
  * Sealing separates the build organization (IndexBackend) from the
  * query-time reader: whatever organization produced the postings —
  * shared-locked, sharded, replicated-joined or unjoined replicas —
  * queries see only a snapshot of one or more *segments*, each an
- * immutable, canonicalized (sorted, duplicate-free posting lists)
- * index whose per-term access is a PostingCursor.
+ * immutable PostingSegment whose per-term access is a PostingCursor.
+ *
+ * A PostingSegment is not the build-side hash-map-of-vectors: sealing
+ * sorts every posting list, delta + varint block-encodes it (see
+ * posting_block.hh) into one contiguous per-segment arena — a single
+ * allocation holding every term's blocks back to back — and drops the
+ * per-term heap vectors. The term table maps term -> {offset, byte
+ * length, count, skip range}; the segment also caches its terms in
+ * lexicographic order so serialization and ordered iteration never
+ * re-sort. The build-side InvertedIndex stays uncompressed, so
+ * Stage-3 insert throughput is untouched; only sealed, read-only data
+ * pays the (en-masse, cache-friendly) encode.
  *
  *  - Joined organizations seal to a single segment; Searcher and
  *    RankedSearcher require that (unified()).
@@ -16,9 +26,7 @@
  *
  * Snapshots share segments by reference: copying a snapshot is two
  * pointer copies, and every copy (and every cursor vended from it)
- * stays valid for as long as any copy lives. That replaces the old
- * "searcher holds a reference, caller must keep the index alive"
- * contract.
+ * stays valid for as long as any copy lives.
  */
 
 #ifndef DSEARCH_INDEX_INDEX_SNAPSHOT_HH
@@ -28,16 +36,161 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "index/inverted_index.hh"
+#include "index/posting_block.hh"
 #include "index/posting_cursor.hh"
 
 namespace dsearch {
 
 /**
+ * One sealed segment: every term's postings block-compressed into a
+ * single contiguous arena, plus a hashed term table and the cached
+ * lexicographic term order. Immutable after build()/load; move-only
+ * (cursors and the sorted order point into its storage).
+ */
+class PostingSegment
+{
+  public:
+    /** Where one term's postings live inside the segment arenas. */
+    struct TermEntry
+    {
+        std::uint64_t offset = 0;     ///< First byte in the arena.
+        std::uint32_t bytes = 0;      ///< Encoded byte length.
+        std::uint32_t count = 0;      ///< Documents in the list.
+        std::uint32_t skip_begin = 0; ///< First entry in the skip arena.
+        std::uint32_t skip_count = 0; ///< Blocks after the first.
+    };
+
+    PostingSegment() = default;
+
+    // Move-only: _sorted points into _terms' slot storage, which
+    // vector moves preserve but copies would not.
+    PostingSegment(PostingSegment &&) noexcept = default;
+    PostingSegment &operator=(PostingSegment &&) noexcept = default;
+    PostingSegment(const PostingSegment &) = delete;
+    PostingSegment &operator=(const PostingSegment &) = delete;
+
+    /**
+     * Seal @p index: sort its posting lists, encode every term into
+     * the arena (sized exactly in a first pass, so the arena is one
+     * allocation), and cache the lexicographic term order. The index
+     * is consumed.
+     */
+    static PostingSegment build(InvertedIndex &&index);
+
+    /**
+     * @return Decoding cursor over @p term's postings; an exhausted
+     *         cursor when the term is unknown. Heterogeneous probe
+     *         (no std::string allocated).
+     */
+    PostingCursor cursor(std::string_view term) const;
+
+    /** @return Distinct terms in this segment. */
+    std::size_t termCount() const { return _terms.size(); }
+
+    /** @return Total (term, doc) postings in this segment. */
+    std::uint64_t postingCount() const { return _postings; }
+
+    /** @return True when the segment holds nothing. */
+    bool empty() const { return _terms.empty(); }
+
+    /**
+     * @return Bytes of compressed posting storage (block arena plus
+     *         skip entries); the raw equivalent is
+     *         postingCount() * sizeof(DocId).
+     */
+    std::uint64_t
+    postingBytes() const
+    {
+        return _arena.size() + _skips.size() * sizeof(SkipEntry);
+    }
+
+    /**
+     * Visit every (term, cursor) pair in lexicographic term order;
+     * @p fn takes (const std::string &, PostingCursor).
+     */
+    template <typename Fn>
+    void
+    forEachTerm(Fn &&fn) const
+    {
+        for (const TermSlot *slot : _sorted)
+            fn(slot->key, cursorFor(slot->value));
+    }
+
+    /**
+     * Visit every (term, TermEntry) pair in lexicographic term order
+     * (serialization: entries locate the raw encoded bytes).
+     */
+    template <typename Fn>
+    void
+    forEachSortedEntry(Fn &&fn) const
+    {
+        for (const TermSlot *slot : _sorted)
+            fn(slot->key, slot->value);
+    }
+
+    /** @return The shared block arena (serialization). */
+    const std::vector<std::uint8_t> &arena() const { return _arena; }
+
+    /** @return The shared skip-entry arena (serialization). */
+    const std::vector<SkipEntry> &skips() const { return _skips; }
+
+    // ------------------------------------------------------------------
+    // Loader interface (serialize.cc, v2 files): a segment is
+    // assembled term by term from on-disk blocks, then finished.
+    // ------------------------------------------------------------------
+
+    /** Pre-size the arenas and term table (one allocation each). */
+    void reserveSealed(std::size_t terms, std::size_t arena_bytes,
+                       std::size_t skip_entries);
+
+    /**
+     * Append one term whose blocks were encoded elsewhere (the v2
+     * loader; bytes/skips are validated against posting_block.hh's
+     * layout before this is called).
+     *
+     * @return False when the term already exists (corrupt input).
+     */
+    bool addSealedTerm(std::string term, std::uint32_t count,
+                       const std::uint8_t *bytes, std::uint32_t byte_len,
+                       const SkipEntry *skips, std::uint32_t skip_count);
+
+    /** Rebuild the cached lexicographic order after addSealedTerm(). */
+    void finishSealed();
+
+  private:
+    using TermMap = HashMap<std::string, TermEntry>;
+    using TermSlot = TermMap::Slot;
+
+    /** @return Cursor over @p entry's blocks. */
+    PostingCursor
+    cursorFor(const TermEntry &entry) const
+    {
+        return PostingCursor(
+            _arena.data() + entry.offset,
+            entry.skip_count != 0 ? _skips.data() + entry.skip_begin
+                                  : nullptr,
+            entry.skip_count, entry.count);
+    }
+
+    TermMap _terms;
+    std::vector<const TermSlot *> _sorted; ///< Lexicographic order.
+    std::vector<std::uint8_t> _arena;      ///< All blocks, contiguous.
+    std::vector<SkipEntry> _skips;         ///< All skip entries.
+    std::uint64_t _postings = 0;
+};
+
+/**
  * Non-owning reader over one sealed segment. Cheap to copy; valid as
  * long as the snapshot that vended it (or a copy) lives.
+ *
+ * Readers normally wrap a compressed PostingSegment; the raw
+ * InvertedIndex form exists for the legacy mutable-index persistence
+ * overloads (serialize.cc), which canonicalize in place and write
+ * through cursors without sealing first.
  */
 class SegmentReader
 {
@@ -46,10 +199,16 @@ class SegmentReader
     SegmentReader() = default;
 
     /** @param segment Sealed segment (may be null = empty). */
-    explicit SegmentReader(const InvertedIndex *segment)
+    explicit SegmentReader(const PostingSegment *segment)
         : _segment(segment)
     {
     }
+
+    /**
+     * @param raw Canonicalized (sorted posting lists) mutable index;
+     *            legacy persistence path only.
+     */
+    explicit SegmentReader(const InvertedIndex *raw) : _raw(raw) {}
 
     /**
      * @return Cursor over @p term's postings; an exhausted cursor when
@@ -68,24 +227,33 @@ class SegmentReader
     bool empty() const { return termCount() == 0; }
 
     /**
+     * @return The sealed segment, or null for the legacy raw form
+     *         (serialization switches formats on this).
+     */
+    const PostingSegment *sealed() const { return _segment; }
+
+    /**
      * Visit every (term, cursor) pair; @p fn takes
-     * (const std::string &, PostingCursor). Iteration order is hash
-     * order.
+     * (const std::string &, PostingCursor). Sealed segments iterate
+     * in lexicographic term order; the legacy raw form in hash order.
      */
     template <typename Fn>
     void
     forEachTerm(Fn &&fn) const
     {
-        if (_segment == nullptr)
-            return;
-        _segment->forEachTerm(
-            [&fn](const std::string &term, const PostingList &list) {
-                fn(term, PostingCursor(list.data(), list.size()));
-            });
+        if (_segment != nullptr) {
+            _segment->forEachTerm(std::forward<Fn>(fn));
+        } else if (_raw != nullptr) {
+            _raw->forEachTerm(
+                [&fn](const std::string &term, const PostingList &list) {
+                    fn(term, PostingCursor(list.data(), list.size()));
+                });
+        }
     }
 
   private:
-    const InvertedIndex *_segment = nullptr;
+    const PostingSegment *_segment = nullptr;
+    const InvertedIndex *_raw = nullptr;
 };
 
 /** Immutable multi-segment read view; see the file comment. */
@@ -96,9 +264,8 @@ class IndexSnapshot
     IndexSnapshot() = default;
 
     /**
-     * Seal one index into a single-segment snapshot. Posting lists
-     * are sorted here (canonical form); every generator write path
-     * already guarantees they are duplicate-free.
+     * Seal one index into a single-segment snapshot: sort, block-
+     * compress into the segment arena, drop the build-side vectors.
      */
     static IndexSnapshot seal(InvertedIndex &&index);
 
@@ -107,6 +274,12 @@ class IndexSnapshot
      * keep their position so segment i is still replica i's slice).
      */
     static IndexSnapshot seal(std::vector<InvertedIndex> &&replicas);
+
+    /**
+     * Wrap an already-sealed segment (the v2 snapshot loader, whose
+     * blocks come off disk verbatim).
+     */
+    static IndexSnapshot fromSealed(PostingSegment &&segment);
 
     /** @return Number of segments (0 for an empty snapshot). */
     std::size_t segmentCount() const { return _segments.size(); }
@@ -151,7 +324,7 @@ class IndexSnapshot
     SegmentReader unifiedReader() const;
 
     /** Shared, immutable segments (never mutated after sealing). */
-    std::vector<std::shared_ptr<const InvertedIndex>> _segments;
+    std::vector<std::shared_ptr<const PostingSegment>> _segments;
 };
 
 } // namespace dsearch

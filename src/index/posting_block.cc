@@ -1,0 +1,131 @@
+#include "index/posting_block.hh"
+
+namespace dsearch {
+
+namespace {
+
+/** @return LEB128 byte length of @p v (1..5). */
+inline std::size_t
+varintBytes(std::uint32_t v)
+{
+    std::size_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * decodeVarint32 with a hard bound: never reads at or past @p limit.
+ *
+ * @return Pointer past the varint, or nullptr when it would overrun.
+ */
+const std::uint8_t *
+decodeVarint32Bounded(const std::uint8_t *p, const std::uint8_t *limit,
+                      std::uint32_t &value)
+{
+    std::uint32_t v = 0;
+    unsigned shift = 0;
+    while (true) {
+        if (p == limit || shift > 28)
+            return nullptr;
+        std::uint32_t byte = *p++;
+        v |= (byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            break;
+        shift += 7;
+    }
+    value = v;
+    return p;
+}
+
+} // namespace
+
+std::size_t
+encodedPostingBytes(const DocId *docs, std::size_t count)
+{
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i % posting_block_docs == 0)
+            bytes += varintBytes(docs[i]);
+        else
+            bytes += varintBytes(docs[i] - docs[i - 1]);
+    }
+    return bytes;
+}
+
+void
+encodePostings(const DocId *docs, std::size_t count,
+               std::vector<std::uint8_t> &arena,
+               std::vector<SkipEntry> &skips)
+{
+    const std::size_t base = arena.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i % posting_block_docs == 0) {
+            if (i != 0) {
+                skips.push_back(SkipEntry{
+                    docs[i],
+                    static_cast<std::uint32_t>(arena.size() - base)});
+            }
+            putVarint(arena, docs[i]);
+        } else {
+            putVarint(arena, docs[i] - docs[i - 1]);
+        }
+    }
+}
+
+bool
+validatePostings(const std::uint8_t *bytes, std::uint32_t byte_len,
+                 const SkipEntry *skips, std::uint32_t skip_count,
+                 std::uint32_t count)
+{
+    if (count == 0)
+        return byte_len == 0 && skip_count == 0;
+    if (byte_len == 0
+        || skip_count != postingSkipCount(count))
+        return false;
+
+    const std::uint8_t *p = bytes;
+    const std::uint8_t *const end = bytes + byte_len;
+    std::uint64_t prev = 0; // one past the last doc seen, 0 = none
+    for (std::uint32_t b = 0; b <= skip_count; ++b) {
+        // Block boundaries come from the skip entries; the last block
+        // must end exactly at byte_len.
+        const std::uint8_t *block_end =
+            b < skip_count ? bytes + skips[b].offset : end;
+        if (block_end <= p || block_end > end)
+            return false;
+        std::size_t docs_in_block = std::min<std::size_t>(
+            posting_block_docs,
+            count - static_cast<std::size_t>(b) * posting_block_docs);
+        std::uint32_t doc = 0;
+        for (std::size_t i = 0; i < docs_in_block; ++i) {
+            std::uint32_t v;
+            p = decodeVarint32Bounded(p, block_end, v);
+            if (p == nullptr)
+                return false;
+            doc = i == 0 ? v : doc + v;
+            if (static_cast<std::uint64_t>(doc) + 1 <= prev)
+                return false; // not strictly ascending (or overflow)
+            prev = static_cast<std::uint64_t>(doc) + 1;
+            if (i == 0 && b > 0 && skips[b - 1].first_doc != doc)
+                return false; // skip entry disagrees with the data
+        }
+        if (p != block_end)
+            return false; // trailing bytes inside the block
+    }
+    return p == end;
+}
+
+} // namespace dsearch

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Delta + varint block codec for sealed posting lists.
+ *
+ * A sorted, duplicate-free posting list is encoded in fixed-size
+ * blocks of posting_block_docs documents (the last block may be
+ * shorter). Within a block the first document is stored as an
+ * absolute LEB128 varint and every following document as the varint
+ * of its delta to the predecessor (always >= 1). Typical desktop
+ * corpora encode to 1-2 bytes per posting versus 4 for a raw DocId.
+ *
+ * Every block after the first carries a SkipEntry — the block's first
+ * document and its byte offset relative to the term's first block —
+ * so a cursor can jump straight to the block that may contain a
+ * seek target and decode only that block. The first block needs no
+ * entry (offset 0, and a seek below the second block's first doc
+ * always lands in it), which keeps short lists — the overwhelming
+ * majority of terms — free of skip overhead.
+ *
+ * The encoder appends into caller-owned vectors so a whole segment's
+ * terms can share one contiguous arena (see PostingSegment); the
+ * decoder unpacks exactly one block at a time into a caller buffer
+ * (see PostingCursor).
+ */
+
+#ifndef DSEARCH_INDEX_POSTING_BLOCK_HH
+#define DSEARCH_INDEX_POSTING_BLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fs/file_system.hh"
+
+namespace dsearch {
+
+/** Documents per compressed block; the last block may be shorter. */
+inline constexpr std::size_t posting_block_docs = 128;
+
+/** Skip entry for one block after a term's first; see file comment. */
+struct SkipEntry
+{
+    /** First document of the block. */
+    DocId first_doc = 0;
+
+    /** Byte offset of the block, relative to the term's first block. */
+    std::uint32_t offset = 0;
+};
+
+/** @return Number of blocks encoding a list of @p count documents. */
+inline std::size_t
+postingBlockCount(std::size_t count)
+{
+    return (count + posting_block_docs - 1) / posting_block_docs;
+}
+
+/**
+ * @return Number of skip entries for a list of @p count documents:
+ *         one per block after the first, none for an empty list.
+ */
+inline std::size_t
+postingSkipCount(std::size_t count)
+{
+    std::size_t blocks = postingBlockCount(count);
+    return blocks == 0 ? 0 : blocks - 1;
+}
+
+/**
+ * @return Exact encoded byte size of @p docs (sorted ascending,
+ *         duplicate-free), excluding skip entries. Used for the
+ *         single-allocation sizing pass before encoding a segment.
+ */
+std::size_t encodedPostingBytes(const DocId *docs, std::size_t count);
+
+/**
+ * Append the block encoding of @p docs to @p arena and one SkipEntry
+ * per block after the first to @p skips (offsets relative to the
+ * arena position at the time of the call, i.e. the term's base).
+ *
+ * @param docs  Sorted ascending, duplicate-free documents.
+ * @param count Number of documents.
+ * @param arena Destination byte arena (appended).
+ * @param skips Destination skip arena (appended).
+ */
+void encodePostings(const DocId *docs, std::size_t count,
+                    std::vector<std::uint8_t> &arena,
+                    std::vector<SkipEntry> &skips);
+
+/**
+ * Decode one LEB128 varint at @p p.
+ *
+ * @param p     First byte of the varint.
+ * @param value Receives the decoded value.
+ * @return Pointer past the varint.
+ */
+inline const std::uint8_t *
+decodeVarint32(const std::uint8_t *p, std::uint32_t &value)
+{
+    std::uint32_t byte = *p++;
+    std::uint32_t v = byte & 0x7f;
+    unsigned shift = 7;
+    while (byte & 0x80) {
+        byte = *p++;
+        v |= (byte & 0x7f) << shift;
+        shift += 7;
+    }
+    value = v;
+    return p;
+}
+
+/**
+ * Decode one whole block of @p count documents starting at @p p into
+ * @p out. The caller supplies the count (blocks are full except the
+ * last; see PostingCursor) and a buffer of at least @p count DocIds.
+ *
+ * @return Pointer past the block's last varint.
+ */
+inline const std::uint8_t *
+decodePostingBlock(const std::uint8_t *p, std::size_t count, DocId *out)
+{
+    std::uint32_t doc = 0;
+    p = decodeVarint32(p, doc);
+    out[0] = doc;
+    for (std::size_t i = 1; i < count; ++i) {
+        std::uint32_t delta;
+        p = decodeVarint32(p, delta);
+        doc += delta;
+        out[i] = doc;
+    }
+    return p;
+}
+
+/**
+ * Structurally validate one term's encoded postings: every block
+ * decodes within its byte bounds (block boundaries taken from
+ * @p skips), documents are strictly ascending across the whole list,
+ * and skip entries agree with the decoded block firsts. Used by the
+ * snapshot loader so a corrupt (but checksum-colliding) file can
+ * never make a cursor read out of bounds.
+ *
+ * @return True when the encoding is well-formed.
+ */
+bool validatePostings(const std::uint8_t *bytes, std::uint32_t byte_len,
+                      const SkipEntry *skips, std::uint32_t skip_count,
+                      std::uint32_t count);
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_POSTING_BLOCK_HH

@@ -10,14 +10,28 @@
  *          c.next())
  *         use(c.doc());
  *
- * seekGE() advances to the first document >= a target (galloping +
- * binary search), which is what makes cursor-vs-set intersection
- * sublinear on skewed lists.
+ * seekGE() advances to the first document >= a target, which is what
+ * makes cursor-vs-set intersection sublinear on skewed lists.
  *
- * The cursor is the representation seam: today it walks a raw sorted
- * DocId array; a compressed posting layout (delta + varint blocks)
- * replaces the internals of this class and of sealing without touching
- * anything that consumes cursors.
+ * Two representations hide behind the same API:
+ *
+ *  - Raw: a pointer range over sorted DocIds (legacy mutable-index
+ *    paths, tests). next() is a pointer bump; seekGE() gallops, then
+ *    binary-searches the bracket.
+ *
+ *  - Compressed: delta + varint blocks from a sealed PostingSegment
+ *    (see posting_block.hh). The cursor decodes one block at a time
+ *    into a small stack buffer; next() walks the buffer and refills
+ *    it at block boundaries, seekGE() binary-searches the skip index
+ *    to jump to the one block that can contain the target, decodes
+ *    it, and gallops within the decoded buffer.
+ *
+ * Either way the iteration state is a [pos, end) pointer pair, so
+ * valid()/doc() are branch-free and identical for both forms. The
+ * backing storage (the raw array, or the segment arena + skip index)
+ * must stay alive for the cursor's lifetime; the snapshot guarantees
+ * this for cursors it vends. Cursors are freely copyable — a copy
+ * continues independently from the same position.
  */
 
 #ifndef DSEARCH_INDEX_POSTING_CURSOR_HH
@@ -25,9 +39,11 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "fs/file_system.hh"
+#include "index/posting_block.hh"
 
 namespace dsearch {
 
@@ -39,14 +55,43 @@ class PostingCursor
     PostingCursor() = default;
 
     /**
-     * Cursor over @p count documents starting at @p data. The range
-     * must stay alive for the cursor's lifetime (the snapshot
-     * guarantees this for cursors it vends) and be sorted ascending
-     * without duplicates.
+     * Raw cursor over @p count documents starting at @p data. The
+     * range must stay alive for the cursor's lifetime and be sorted
+     * ascending without duplicates.
      */
     PostingCursor(const DocId *data, std::size_t count)
         : _pos(data), _end(data + count), _count(count)
     {
+    }
+
+    /**
+     * Block-decoding cursor over a compressed posting list (layout of
+     * posting_block.hh). @p bytes points at the term's encoded
+     * blocks, @p skips at its skip entries (one per block after the
+     * first; may be null when @p skip_count is 0), @p doc_count is
+     * the total documents — block boundaries and byte extents all
+     * follow from those. The encoded storage must stay alive for the
+     * cursor's lifetime.
+     */
+    PostingCursor(const std::uint8_t *bytes, const SkipEntry *skips,
+                  std::uint32_t skip_count, std::uint32_t doc_count)
+        : _count(doc_count), _bytes(bytes), _skips(skips),
+          _skip_count(skip_count)
+    {
+        if (doc_count != 0)
+            loadBlock(0);
+    }
+
+    // A decoding cursor's [pos, end) points into its own _buf, so
+    // copies must rebase the pointers onto the copy's buffer.
+    PostingCursor(const PostingCursor &other) { assign(other); }
+
+    PostingCursor &
+    operator=(const PostingCursor &other)
+    {
+        if (this != &other)
+            assign(other);
+        return *this;
     }
 
     /** @return True while the cursor is on a document. */
@@ -56,32 +101,54 @@ class PostingCursor
     DocId doc() const { return *_pos; }
 
     /** Advance to the next document (only when valid()). */
-    void next() { ++_pos; }
+    void
+    next()
+    {
+        if (++_pos == _end && _tail != 0)
+            loadBlock(_block + 1);
+    }
 
     /**
      * Advance to the first document >= @p target (no-op when already
-     * there). Gallops, so seeking through a long list costs
-     * O(log distance) per call.
+     * there). Raw cursors gallop; decoding cursors consult the skip
+     * index first so at most one block beyond the current is decoded.
      *
      * @return True when such a document exists (cursor is valid).
      */
     bool
     seekGE(DocId target)
     {
-        if (_pos == _end || *_pos >= target)
-            return _pos != _end;
-        // Gallop to bracket the target, then binary-search the
-        // bracket.
-        std::size_t step = 1;
-        const DocId *probe = _pos;
-        while (_end - probe > static_cast<std::ptrdiff_t>(step)
-               && probe[step] < target) {
-            probe += step;
-            step <<= 1;
+        if (_pos == _end)
+            return false;
+        if (*_pos >= target)
+            return true;
+        if (_bytes != nullptr && _end[-1] < target) {
+            // Target is past the decoded block: jump via skips.
+            if (_tail == 0) {
+                _pos = _end;
+                return false;
+            }
+            // _skips[i] describes block i + 1. Among blocks after the
+            // current, find the last whose first doc is <= target;
+            // when even the next block starts above the target, the
+            // answer is that block's first document.
+            const SkipEntry *sbegin = _skips + _block;
+            const SkipEntry *send = _skips + _skip_count;
+            const SkipEntry *it = std::upper_bound(
+                sbegin, send, target,
+                [](DocId t, const SkipEntry &e) {
+                    return t < e.first_doc;
+                });
+            loadBlock(static_cast<std::uint32_t>(
+                it == sbegin ? _block + 1 : it - _skips));
         }
-        const DocId *limit = std::min(probe + step + 1, _end);
-        _pos = std::lower_bound(probe, limit, target);
-        return _pos != _end;
+        _pos = gallopTo(_pos, _end, target);
+        if (_pos == _end) {
+            if (_tail == 0)
+                return false;
+            loadBlock(_block + 1);
+        }
+        return true;
     }
 
     /** @return Total postings in the underlying list (not remaining). */
@@ -91,7 +158,7 @@ class PostingCursor
     std::size_t
     remaining() const
     {
-        return static_cast<std::size_t>(_end - _pos);
+        return static_cast<std::size_t>(_end - _pos) + _tail;
     }
 
     /**
@@ -101,15 +168,89 @@ class PostingCursor
     std::vector<DocId>
     toDocSet()
     {
-        std::vector<DocId> out(_pos, _end);
-        _pos = _end;
+        if (_bytes == nullptr) {
+            std::vector<DocId> out(_pos, _end);
+            _pos = _end;
+            return out;
+        }
+        std::vector<DocId> out;
+        out.reserve(remaining());
+        while (valid()) {
+            out.push_back(doc());
+            next();
+        }
         return out;
     }
 
   private:
+    /**
+     * @return First position in [pos, end) with *p >= target, or end.
+     *         Gallops to bracket the target, then binary-searches the
+     *         bracket, so seeking costs O(log distance).
+     */
+    static const DocId *
+    gallopTo(const DocId *pos, const DocId *end, DocId target)
+    {
+        std::size_t step = 1;
+        while (end - pos > static_cast<std::ptrdiff_t>(step)
+               && pos[step] < target) {
+            pos += step;
+            step <<= 1;
+        }
+        const DocId *limit = std::min(pos + step + 1, end);
+        return std::lower_bound(pos, limit, target);
+    }
+
+    /** Decode block @p b into _buf and point [_pos, _end) at it. */
+    void
+    loadBlock(std::uint32_t b)
+    {
+        _block = b;
+        const std::size_t first =
+            static_cast<std::size_t>(b) * posting_block_docs;
+        const std::size_t n =
+            std::min(posting_block_docs, _count - first);
+        const std::uint8_t *p =
+            _bytes + (b == 0 ? 0 : _skips[b - 1].offset);
+        decodePostingBlock(p, n, _buf);
+        _pos = _buf;
+        _end = _buf + n;
+        _tail = _count - first - n;
+    }
+
+    void
+    assign(const PostingCursor &other)
+    {
+        _count = other._count;
+        _bytes = other._bytes;
+        _skips = other._skips;
+        _skip_count = other._skip_count;
+        _block = other._block;
+        _tail = other._tail;
+        if (other._bytes != nullptr && other._count != 0) {
+            const std::size_t n = static_cast<std::size_t>(
+                other._end - other._buf);
+            std::memcpy(_buf, other._buf, n * sizeof(DocId));
+            _pos = _buf + (other._pos - other._buf);
+            _end = _buf + n;
+        } else {
+            _pos = other._pos;
+            _end = other._end;
+        }
+    }
+
+    // Iteration state: into the raw array, or into _buf (decoding).
     const DocId *_pos = nullptr;
     const DocId *_end = nullptr;
     std::size_t _count = 0;
+
+    // Compressed representation (null _bytes = raw cursor).
+    const std::uint8_t *_bytes = nullptr;
+    const SkipEntry *_skips = nullptr;
+    std::uint32_t _skip_count = 0;
+    std::uint32_t _block = 0;  ///< Block currently decoded in _buf.
+    std::size_t _tail = 0;     ///< Documents in blocks after _buf.
+    DocId _buf[posting_block_docs];
 };
 
 } // namespace dsearch

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <vector>
 
+#include "index/posting_block.hh"
 #include "index/posting_cursor.hh"
 #include "util/fnv_hash.hh"
 #include "util/logging.hh"
@@ -16,7 +17,8 @@ namespace dsearch {
 namespace {
 
 constexpr char magic[4] = {'D', 'S', 'I', 'X'};
-constexpr std::uint32_t format_version = 1;
+constexpr std::uint32_t format_v1 = 1;
+constexpr std::uint32_t format_v2 = 2;
 
 void
 putU32(std::string &buf, std::uint32_t v)
@@ -84,6 +86,32 @@ class Reader
         return true;
     }
 
+    /**
+     * @return Pointer to @p len raw payload bytes (advancing past
+     *         them), or nullptr when the payload is too short. The
+     *         pointer stays valid as long as the payload string.
+     */
+    const std::uint8_t *
+    bytes(std::size_t len)
+    {
+        if (len > _buf.size() - _pos)
+            return nullptr;
+        const auto *p =
+            reinterpret_cast<const std::uint8_t *>(_buf.data() + _pos);
+        _pos += len;
+        return p;
+    }
+
+    /** Skip @p len bytes; @return false when the payload is short. */
+    bool
+    skip(std::size_t len)
+    {
+        if (len > _buf.size() - _pos)
+            return false;
+        _pos += len;
+        return true;
+    }
+
     bool done() const { return _pos == _buf.size(); }
 
   private:
@@ -91,26 +119,126 @@ class Reader
     std::size_t _pos = 0;
 };
 
+/** Write magic + header + payload + checksum trailer. */
+bool
+writeFramed(std::ostream &out, std::uint32_t version,
+            const std::string &payload)
+{
+    std::uint64_t checksum = fnv1a_64(payload.data(), payload.size());
+    out.write(magic, sizeof(magic));
+    std::string header;
+    putU32(header, version);
+    putU64(header, payload.size());
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    std::string trailer;
+    putU64(trailer, checksum);
+    out.write(trailer.data(),
+              static_cast<std::streamsize>(trailer.size()));
+    return static_cast<bool>(out);
+}
+
 /**
- * Write one sealed segment + docs through the cursor API. The
- * segment's posting lists must be canonical (sorted) — true for
- * anything a snapshot vends.
+ * Read and verify the framing: magic, version, payload, checksum.
+ *
+ * @return False (with a warning) on any framing failure.
  */
 bool
-writeSegment(const SegmentReader &segment, const DocTable &docs,
-             std::ostream &out)
+readFramed(std::istream &in, std::uint32_t &version,
+           std::string &payload)
 {
-    std::string payload;
+    char file_magic[4];
+    in.read(file_magic, sizeof(file_magic));
+    if (!in || std::memcmp(file_magic, magic, sizeof(magic)) != 0) {
+        warn("loadIndex: bad magic");
+        return false;
+    }
 
-    // Document table.
+    std::string header(12, '\0');
+    in.read(header.data(), 12);
+    if (!in) {
+        warn("loadIndex: truncated header");
+        return false;
+    }
+    Reader header_reader(header);
+    std::uint64_t payload_size = 0;
+    if (!header_reader.u32(version)
+        || !header_reader.u64(payload_size)) {
+        warn("loadIndex: malformed header");
+        return false;
+    }
+    if (version != format_v1 && version != format_v2) {
+        warn("loadIndex: unsupported format version "
+             + std::to_string(version));
+        return false;
+    }
+
+    payload.assign(payload_size, '\0');
+    in.read(payload.data(),
+            static_cast<std::streamsize>(payload_size));
+    std::string trailer(8, '\0');
+    in.read(trailer.data(), 8);
+    if (!in) {
+        warn("loadIndex: truncated payload");
+        return false;
+    }
+    Reader trailer_reader(trailer);
+    std::uint64_t stored_checksum = 0;
+    if (!trailer_reader.u64(stored_checksum)) {
+        warn("loadIndex: malformed trailer");
+        return false;
+    }
+    if (fnv1a_64(payload.data(), payload.size()) != stored_checksum) {
+        warn("loadIndex: checksum mismatch");
+        return false;
+    }
+    return true;
+}
+
+void
+putDocs(std::string &payload, const DocTable &docs)
+{
     putU64(payload, docs.docCount());
     for (DocId doc = 0; doc < docs.docCount(); ++doc) {
         putString(payload, docs.path(doc));
         putU64(payload, docs.sizeBytes(doc));
     }
+}
 
-    // Terms in lexicographic order so equal contents serialize
-    // identically regardless of insertion history.
+bool
+parseDocs(Reader &reader, DocTable &docs)
+{
+    std::uint64_t doc_count;
+    if (!reader.u64(doc_count))
+        return false;
+    for (std::uint64_t d = 0; d < doc_count; ++d) {
+        std::string path;
+        std::uint64_t size;
+        if (!reader.str(path) || !reader.u64(size)) {
+            warn("loadIndex: corrupt document table");
+            return false;
+        }
+        docs.add(std::move(path), size);
+    }
+    return true;
+}
+
+/**
+ * Write one segment + docs in the version 1 (raw posting) layout,
+ * through the cursor API. Used by the legacy mutable-index overloads,
+ * whose segments carry no cached term order — terms are collected and
+ * sorted here so equal contents serialize identically regardless of
+ * insertion history. The posting lists must be canonical (sorted).
+ */
+bool
+writeSegmentV1(const SegmentReader &segment, const DocTable &docs,
+               std::ostream &out)
+{
+    std::string payload;
+    putDocs(payload, docs);
+
     std::vector<const std::string *> terms;
     terms.reserve(segment.termCount());
     segment.forEachTerm(
@@ -130,22 +258,244 @@ writeSegment(const SegmentReader &segment, const DocTable &docs,
         for (; cursor.valid(); cursor.next())
             putU32(payload, cursor.doc());
     }
+    return writeFramed(out, format_v1, payload);
+}
 
-    std::uint64_t checksum = fnv1a_64(payload.data(), payload.size());
+/**
+ * Write a sealed segment + docs in the version 2 layout: the
+ * segment's compressed blocks and skip entries verbatim, terms in
+ * the cached lexicographic order (no sort, no re-encode).
+ */
+bool
+writeSegmentV2(const PostingSegment *segment, const DocTable &docs,
+               std::ostream &out)
+{
+    std::string payload;
+    putDocs(payload, docs);
+    putU32(payload, static_cast<std::uint32_t>(posting_block_docs));
+    putU64(payload, segment == nullptr ? 0 : segment->termCount());
+    if (segment != nullptr) {
+        const std::vector<std::uint8_t> &arena = segment->arena();
+        const std::vector<SkipEntry> &skips = segment->skips();
+        segment->forEachSortedEntry(
+            [&payload, &arena, &skips](
+                const std::string &term,
+                const PostingSegment::TermEntry &entry) {
+                putString(payload, term);
+                putU32(payload, entry.count);
+                putU32(payload, entry.bytes);
+                payload.append(reinterpret_cast<const char *>(
+                                   arena.data() + entry.offset),
+                               entry.bytes);
+                for (std::uint32_t s = 0; s < entry.skip_count; ++s) {
+                    const SkipEntry &skip =
+                        skips[entry.skip_begin + s];
+                    putU32(payload, skip.first_doc);
+                    putU32(payload, skip.offset);
+                }
+            });
+    }
+    return writeFramed(out, format_v2, payload);
+}
 
-    out.write(magic, sizeof(magic));
-    std::string header;
-    putU32(header, format_version);
-    putU64(header, payload.size());
-    out.write(header.data(),
-              static_cast<std::streamsize>(header.size()));
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
-    std::string trailer;
-    putU64(trailer, checksum);
-    out.write(trailer.data(),
-              static_cast<std::streamsize>(trailer.size()));
-    return static_cast<bool>(out);
+/** Parse the version 1 term section into a mutable index. */
+bool
+parseTermsV1(Reader &reader, InvertedIndex &index)
+{
+    std::uint64_t term_count;
+    if (!reader.u64(term_count))
+        return false;
+    index.reserveTerms(term_count);
+    TermBlock scratch;
+    for (std::uint64_t t = 0; t < term_count; ++t) {
+        std::string term;
+        std::uint32_t posting_count;
+        if (!reader.str(term) || !reader.u32(posting_count)) {
+            warn("loadIndex: corrupt term table");
+            return false;
+        }
+        scratch.clear();
+        scratch.addTerm(term); // hashed once for the whole list
+        for (std::uint32_t p = 0; p < posting_count; ++p) {
+            std::uint32_t doc;
+            if (!reader.u32(doc)) {
+                warn("loadIndex: corrupt posting list");
+                return false;
+            }
+            scratch.doc = doc;
+            index.addBlock(scratch);
+        }
+    }
+    if (!reader.done()) {
+        warn("loadIndex: trailing bytes in payload");
+        return false;
+    }
+    return true;
+}
+
+/**
+ * One version 2 term record, pointing into the payload. Blocks are
+ * validated against the posting_block.hh layout before use, so
+ * cursors over them can never read out of bounds.
+ */
+struct TermRecordV2
+{
+    std::string term;
+    std::uint32_t count = 0;
+    std::uint32_t byte_len = 0;
+    const std::uint8_t *blocks = nullptr;
+    std::vector<SkipEntry> skips;
+};
+
+/** Read and validate one v2 term record. */
+bool
+readTermV2(Reader &reader, TermRecordV2 &record)
+{
+    if (!reader.str(record.term) || !reader.u32(record.count)
+        || !reader.u32(record.byte_len)) {
+        warn("loadIndex: corrupt term table");
+        return false;
+    }
+    if (record.count == 0) {
+        warn("loadIndex: empty posting list in v2 term table");
+        return false;
+    }
+    record.blocks = reader.bytes(record.byte_len);
+    if (record.blocks == nullptr) {
+        warn("loadIndex: corrupt posting blocks");
+        return false;
+    }
+    const std::size_t skip_count = postingSkipCount(record.count);
+    record.skips.clear();
+    record.skips.reserve(skip_count);
+    for (std::size_t s = 0; s < skip_count; ++s) {
+        SkipEntry skip;
+        if (!reader.u32(skip.first_doc) || !reader.u32(skip.offset)) {
+            warn("loadIndex: corrupt skip index");
+            return false;
+        }
+        record.skips.push_back(skip);
+    }
+    if (!validatePostings(record.blocks, record.byte_len,
+                          record.skips.data(),
+                          static_cast<std::uint32_t>(skip_count),
+                          record.count)) {
+        warn("loadIndex: malformed posting blocks");
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Check the v2 fixed block size and return the term count.
+ * @return False on a mismatched block size or short payload.
+ */
+bool
+parseV2Header(Reader &reader, std::uint64_t &term_count)
+{
+    std::uint32_t block_docs;
+    if (!reader.u32(block_docs) || !reader.u64(term_count)) {
+        warn("loadIndex: corrupt v2 header");
+        return false;
+    }
+    if (block_docs != posting_block_docs) {
+        warn("loadIndex: unsupported posting block size "
+             + std::to_string(block_docs));
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Pre-scan the v2 term section (a throwaway Reader copy) to size the
+ * segment arenas exactly, preserving the one-allocation property of
+ * sealed segments across a load.
+ */
+bool
+scanTermsV2(Reader reader, std::uint64_t term_count,
+            std::size_t &arena_bytes, std::size_t &skip_entries)
+{
+    arena_bytes = 0;
+    skip_entries = 0;
+    std::string term;
+    for (std::uint64_t t = 0; t < term_count; ++t) {
+        std::uint32_t count, byte_len;
+        if (!reader.str(term) || !reader.u32(count)
+            || !reader.u32(byte_len)
+            || !reader.skip(byte_len + postingSkipCount(count) * 8))
+            return false;
+        arena_bytes += byte_len;
+        skip_entries += postingSkipCount(count);
+    }
+    return reader.done();
+}
+
+/** Parse the version 2 term section into a sealed segment. */
+bool
+parseTermsV2(Reader &reader, PostingSegment &segment)
+{
+    std::uint64_t term_count;
+    if (!parseV2Header(reader, term_count))
+        return false;
+    std::size_t arena_bytes, skip_entries;
+    if (!scanTermsV2(reader, term_count, arena_bytes, skip_entries)) {
+        warn("loadIndex: corrupt term table");
+        return false;
+    }
+    segment.reserveSealed(term_count, arena_bytes, skip_entries);
+
+    TermRecordV2 record;
+    for (std::uint64_t t = 0; t < term_count; ++t) {
+        if (!readTermV2(reader, record))
+            return false;
+        if (!segment.addSealedTerm(
+                std::move(record.term), record.count, record.blocks,
+                record.byte_len, record.skips.data(),
+                static_cast<std::uint32_t>(record.skips.size()))) {
+            warn("loadIndex: duplicate term in v2 term table");
+            return false;
+        }
+    }
+    if (!reader.done()) {
+        warn("loadIndex: trailing bytes in payload");
+        return false;
+    }
+    segment.finishSealed();
+    return true;
+}
+
+/**
+ * Parse the version 2 term section into a mutable index, decoding
+ * each term's blocks through a cursor.
+ */
+bool
+parseTermsV2Index(Reader &reader, InvertedIndex &index)
+{
+    std::uint64_t term_count;
+    if (!parseV2Header(reader, term_count))
+        return false;
+    index.reserveTerms(term_count);
+    TermRecordV2 record;
+    TermBlock scratch;
+    for (std::uint64_t t = 0; t < term_count; ++t) {
+        if (!readTermV2(reader, record))
+            return false;
+        scratch.clear();
+        scratch.addTerm(record.term);
+        PostingCursor cursor(
+            record.blocks, record.skips.data(),
+            static_cast<std::uint32_t>(record.skips.size()),
+            record.count);
+        for (; cursor.valid(); cursor.next()) {
+            scratch.doc = cursor.doc();
+            index.addBlock(scratch);
+        }
+    }
+    if (!reader.done()) {
+        warn("loadIndex: trailing bytes in payload");
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -157,10 +507,10 @@ saveSnapshot(const IndexSnapshot &snapshot, const DocTable &docs,
     if (!snapshot.unified())
         panic("saveSnapshot: multi-segment snapshot; join the build "
               "before persisting");
-    const SegmentReader segment = snapshot.segmentCount() == 0
-                                      ? SegmentReader()
-                                      : snapshot.segment(0);
-    return writeSegment(segment, docs, out);
+    const PostingSegment *segment =
+        snapshot.segmentCount() == 0 ? nullptr
+                                     : snapshot.segment(0).sealed();
+    return writeSegmentV2(segment, docs, out);
 }
 
 bool
@@ -179,7 +529,7 @@ bool
 saveIndex(InvertedIndex &index, const DocTable &docs, std::ostream &out)
 {
     index.sortPostings();
-    return writeSegment(SegmentReader(&index), docs, out);
+    return writeSegmentV1(SegmentReader(&index), docs, out);
 }
 
 bool
@@ -197,12 +547,36 @@ saveIndexFile(InvertedIndex &index, const DocTable &docs,
 bool
 loadSnapshot(IndexSnapshot &snapshot, DocTable &docs, std::istream &in)
 {
-    InvertedIndex index;
-    if (!loadIndex(index, docs, in)) {
-        snapshot = IndexSnapshot();
+    snapshot = IndexSnapshot();
+    docs = DocTable{};
+
+    std::uint32_t version = 0;
+    std::string payload;
+    if (!readFramed(in, version, payload))
+        return false;
+
+    Reader reader(payload);
+    if (!parseDocs(reader, docs)) {
+        docs = DocTable{};
         return false;
     }
-    snapshot = IndexSnapshot::seal(std::move(index));
+
+    if (version == format_v1) {
+        InvertedIndex index;
+        if (!parseTermsV1(reader, index)) {
+            docs = DocTable{};
+            return false;
+        }
+        snapshot = IndexSnapshot::seal(std::move(index));
+        return true;
+    }
+
+    PostingSegment segment;
+    if (!parseTermsV2(reader, segment)) {
+        docs = DocTable{};
+        return false;
+    }
+    snapshot = IndexSnapshot::fromSealed(std::move(segment));
     return true;
 }
 
@@ -225,99 +599,17 @@ loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in)
     index.clear();
     docs = DocTable{};
 
-    char file_magic[4];
-    in.read(file_magic, sizeof(file_magic));
-    if (!in || std::memcmp(file_magic, magic, sizeof(magic)) != 0) {
-        warn("loadIndex: bad magic");
-        return false;
-    }
-
-    std::string header(12, '\0');
-    in.read(header.data(), 12);
-    if (!in) {
-        warn("loadIndex: truncated header");
-        return false;
-    }
-    Reader header_reader(header);
     std::uint32_t version = 0;
-    std::uint64_t payload_size = 0;
-    if (!header_reader.u32(version)
-        || !header_reader.u64(payload_size)) {
-        warn("loadIndex: malformed header");
+    std::string payload;
+    if (!readFramed(in, version, payload))
         return false;
-    }
-    if (version != format_version) {
-        warn("loadIndex: unsupported format version "
-             + std::to_string(version));
-        return false;
-    }
-
-    std::string payload(payload_size, '\0');
-    in.read(payload.data(),
-            static_cast<std::streamsize>(payload_size));
-    std::string trailer(8, '\0');
-    in.read(trailer.data(), 8);
-    if (!in) {
-        warn("loadIndex: truncated payload");
-        return false;
-    }
-    Reader trailer_reader(trailer);
-    std::uint64_t stored_checksum = 0;
-    if (!trailer_reader.u64(stored_checksum)) {
-        warn("loadIndex: malformed trailer");
-        return false;
-    }
-    if (fnv1a_64(payload.data(), payload.size()) != stored_checksum) {
-        warn("loadIndex: checksum mismatch");
-        return false;
-    }
 
     Reader reader(payload);
-    std::uint64_t doc_count;
-    if (!reader.u64(doc_count))
-        return false;
-    for (std::uint64_t d = 0; d < doc_count; ++d) {
-        std::string path;
-        std::uint64_t size;
-        if (!reader.str(path) || !reader.u64(size)) {
-            warn("loadIndex: corrupt document table");
-            index.clear();
-            docs = DocTable{};
-            return false;
-        }
-        docs.add(std::move(path), size);
-    }
-
-    std::uint64_t term_count;
-    if (!reader.u64(term_count))
-        return false;
-    index.reserveTerms(term_count);
-    TermBlock scratch;
-    for (std::uint64_t t = 0; t < term_count; ++t) {
-        std::string term;
-        std::uint32_t posting_count;
-        if (!reader.str(term) || !reader.u32(posting_count)) {
-            warn("loadIndex: corrupt term table");
-            index.clear();
-            docs = DocTable{};
-            return false;
-        }
-        scratch.clear();
-        scratch.addTerm(term); // hashed once for the whole list
-        for (std::uint32_t p = 0; p < posting_count; ++p) {
-            std::uint32_t doc;
-            if (!reader.u32(doc)) {
-                warn("loadIndex: corrupt posting list");
-                index.clear();
-                docs = DocTable{};
-                return false;
-            }
-            scratch.doc = doc;
-            index.addBlock(scratch);
-        }
-    }
-    if (!reader.done()) {
-        warn("loadIndex: trailing bytes in payload");
+    bool ok = parseDocs(reader, docs)
+              && (version == format_v1
+                      ? parseTermsV1(reader, index)
+                      : parseTermsV2Index(reader, index));
+    if (!ok) {
         index.clear();
         docs = DocTable{};
         return false;

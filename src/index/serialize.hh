@@ -8,15 +8,44 @@
  * of the payload so truncated or corrupted files are detected on
  * load.
  *
- * The write side consumes postings exclusively through PostingCursor
- * (terms in lexicographic order, cursors walked front to back), so
- * the on-disk form is canonical — two equal indices serialize
- * identically — and the writer is independent of the in-memory
- * posting representation.
+ * Common framing (both versions):
  *
- * saveSnapshot()/loadSnapshot() are the primary entry points; the
- * InvertedIndex overloads remain for code that still holds mutable
- * indices (they canonicalize in place as a side effect).
+ *     magic "DSIX" | u32 version | u64 payload_size
+ *     payload (payload_size bytes)
+ *     u64 fnv1a-64(payload)
+ *
+ * Version 2 payload — the sealed-segment format. Posting blocks are
+ * copied verbatim from the segment arena on save and back into an
+ * arena on load; nothing is decoded or re-encoded, and terms are
+ * written in the segment's cached lexicographic order (no save-time
+ * sort). Layout:
+ *
+ *     u64 doc_count | { str path, u64 size_bytes } * doc_count
+ *     u32 block_docs          -- posting_block_docs at write time;
+ *                                loads reject a mismatch
+ *     u64 term_count
+ *     per term, lexicographic:
+ *       str term
+ *       u32 doc_count         -- postings in the list (> 0)
+ *       u32 byte_len          -- encoded block bytes
+ *       byte_len bytes        -- delta+varint blocks, verbatim
+ *                                (posting_block.hh layout)
+ *       { u32 first_doc, u32 offset } * (ceil(doc_count /
+ *           block_docs) - 1) -- skip entries, one per block after
+ *                                the first
+ *
+ *     (str = u32 length + bytes.)
+ *
+ * Version 1 payload — the legacy raw format: same document table,
+ * then `u64 term_count` and per term `str term, u32 doc_count,
+ * u32 doc * doc_count`. Still written by the mutable-InvertedIndex
+ * overloads (which have no compressed blocks to copy and sort terms
+ * at write time) and still loaded by every load entry point.
+ *
+ * saveSnapshot()/loadSnapshot() are the primary entry points and use
+ * version 2; the InvertedIndex overloads remain for code that still
+ * holds mutable indices (they canonicalize in place as a side
+ * effect).
  */
 
 #ifndef DSEARCH_INDEX_SERIALIZE_HH
@@ -32,7 +61,9 @@
 namespace dsearch {
 
 /**
- * Write a sealed snapshot and @p docs to a stream.
+ * Write a sealed snapshot and @p docs to a stream (version 2: the
+ * segment's compressed blocks verbatim, terms in the cached
+ * lexicographic order).
  *
  * @param snapshot Unified snapshot (panics when multi-segment; join
  *                 the build before persisting).
@@ -49,13 +80,16 @@ bool saveSnapshotFile(const IndexSnapshot &snapshot,
 
 /**
  * Read a snapshot + document table written by saveSnapshot() (or
- * saveIndex()).
+ * saveIndex()). Version 2 files load straight into a sealed segment
+ * — blocks are copied, not re-encoded; version 1 files are read into
+ * a mutable index and sealed.
  *
  * @param snapshot Receives the sealed index (replaced).
  * @param docs     Receives the document table (replaced).
  * @param in       Source stream (binary).
- * @return False on stream failure, bad magic/version, or checksum
- *         mismatch; the outputs are left empty in that case.
+ * @return False on stream failure, bad magic/version, checksum
+ *         mismatch, or malformed posting blocks; the outputs are
+ *         left empty in that case.
  */
 bool loadSnapshot(IndexSnapshot &snapshot, DocTable &docs,
                   std::istream &in);
@@ -65,8 +99,8 @@ bool loadSnapshotFile(IndexSnapshot &snapshot, DocTable &docs,
                       const std::string &path);
 
 /**
- * Write @p index and @p docs to a stream (mutable-index overload;
- * the index is canonicalized in place as a side effect).
+ * Write @p index and @p docs to a stream (mutable-index overload,
+ * version 1; the index is canonicalized in place as a side effect).
  */
 bool saveIndex(InvertedIndex &index, const DocTable &docs,
                std::ostream &out);
@@ -78,6 +112,8 @@ bool saveIndexFile(InvertedIndex &index, const DocTable &docs,
 /**
  * Read an index + document table into a mutable InvertedIndex (for
  * incremental maintenance; prefer loadSnapshot() for querying).
+ * Accepts both versions; version 2 blocks are decoded back into raw
+ * posting lists.
  */
 bool loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in);
 

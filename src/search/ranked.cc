@@ -48,14 +48,18 @@ RankedSearcher::RankedSearcher(IndexSnapshot snapshot,
 }
 
 double
-RankedSearcher::idf(const std::string &term) const
+RankedSearcher::idfFromDf(std::size_t df) const
 {
-    PostingCursor cursor = _snapshot.cursor(term);
-    if (cursor.count() == 0)
+    if (df == 0)
         return 0.0;
     double n = static_cast<double>(_docs.docCount());
-    double df = static_cast<double>(cursor.count());
-    return std::log(1.0 + n / df);
+    return std::log(1.0 + n / static_cast<double>(df));
+}
+
+double
+RankedSearcher::idf(const std::string &term) const
+{
+    return idfFromDf(_snapshot.cursor(term).count());
 }
 
 std::vector<ScoredHit>
@@ -69,34 +73,40 @@ RankedSearcher::topK(const Query &query, std::size_t k) const
     if (matches.empty())
         return hits;
 
-    // Per positive term: its sorted doc set and idf weight. Sealed
-    // cursors are already sorted, so no per-query sort is needed.
-    struct Weighted
-    {
-        DocSet docs;
-        double idf;
-    };
-    std::vector<Weighted> weighted;
+    // Per positive term, stream the cursor through the sorted match
+    // set — both ascend, so one seekGE-driven pass scores every match
+    // without materializing a per-term DocId vector. The only scoring
+    // allocation is the score accumulator, parallel to `matches`.
+    std::vector<double> scores(matches.size(), 0.0);
     for (const std::string &term : positiveTerms(query.root())) {
         PostingCursor cursor = _snapshot.cursor(term);
         if (cursor.count() == 0)
             continue;
-        Weighted w;
-        w.docs = cursor.toDocSet();
-        w.idf = idf(term);
-        weighted.push_back(std::move(w));
+        const double weight = idfFromDf(cursor.count());
+        std::size_t i = 0;
+        while (i < matches.size() && cursor.seekGE(matches[i])) {
+            const DocId doc = cursor.doc();
+            i = static_cast<std::size_t>(
+                std::lower_bound(matches.begin()
+                                     + static_cast<std::ptrdiff_t>(i),
+                                 matches.end(), doc)
+                - matches.begin());
+            if (i == matches.size())
+                break;
+            if (matches[i] == doc) {
+                scores[i] += weight;
+                ++i;
+                cursor.next();
+            }
+        }
     }
 
     hits.reserve(matches.size());
-    for (DocId doc : matches) {
-        double score = 0.0;
-        for (const Weighted &w : weighted) {
-            if (std::binary_search(w.docs.begin(), w.docs.end(), doc))
-                score += w.idf;
-        }
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+        const DocId doc = matches[i];
         double penalty = std::log(
             2.0 + static_cast<double>(_docs.sizeBytes(doc)));
-        hits.push_back(ScoredHit{doc, score / penalty});
+        hits.push_back(ScoredHit{doc, scores[i] / penalty});
     }
 
     // Highest score first; ties toward lower doc ids (stable,

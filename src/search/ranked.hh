@@ -72,6 +72,9 @@ class RankedSearcher
     double idf(const std::string &term) const;
 
   private:
+    /** idf from a known document frequency (no term lookup). */
+    double idfFromDf(std::size_t df) const;
+
     IndexSnapshot _snapshot;
     const DocTable &_docs;
     Searcher _boolean;

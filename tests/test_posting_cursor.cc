@@ -1,14 +1,22 @@
 /**
  * @file
- * Unit tests for the snapshot read API: PostingCursor semantics
- * (index/posting_cursor.hh) and IndexSnapshot sealing/segment access
- * (index/index_snapshot.hh).
+ * Unit tests for the snapshot read API.
+ *
+ * The cursor conformance suite runs every PostingCursor case against
+ * both representations — a raw sorted DocId array and the delta +
+ * varint block encoding of posting_block.hh — so the two can never
+ * drift apart. Block-specific edge cases (block-boundary seekGE,
+ * max-delta varints, skip-entry layout) and a randomized
+ * raw-vs-compressed equivalence check follow, then the
+ * IndexSnapshot sealing/segment tests (index/index_snapshot.hh).
  */
 
 #include <gtest/gtest.h>
 
 #include "index/index_snapshot.hh"
+#include "index/posting_block.hh"
 #include "index/posting_cursor.hh"
+#include "util/rng.hh"
 
 namespace dsearch {
 namespace {
@@ -23,9 +31,62 @@ block(DocId doc, std::vector<std::string> terms)
     return b;
 }
 
-TEST(PostingCursor, DefaultIsExhaustedAndEmpty)
+// ----------------------------------------------------------------------
+// Cursor conformance: every case runs for both representations.
+// ----------------------------------------------------------------------
+
+enum class Rep { Raw, Compressed };
+
+/** Owns one posting list's storage in either form; vends cursors. */
+struct CursorSource
 {
-    PostingCursor cursor;
+    std::vector<DocId> docs;
+    std::vector<std::uint8_t> bytes;
+    std::vector<SkipEntry> skip_entries;
+    Rep rep = Rep::Raw;
+
+    CursorSource(Rep r, std::vector<DocId> d)
+        : docs(std::move(d)), rep(r)
+    {
+        if (rep == Rep::Compressed)
+            encodePostings(docs.data(), docs.size(), bytes,
+                           skip_entries);
+    }
+
+    PostingCursor
+    cursor() const
+    {
+        if (rep == Rep::Raw)
+            return PostingCursor(docs.data(), docs.size());
+        return PostingCursor(
+            bytes.data(),
+            skip_entries.empty() ? nullptr : skip_entries.data(),
+            static_cast<std::uint32_t>(skip_entries.size()),
+            static_cast<std::uint32_t>(docs.size()));
+    }
+};
+
+class CursorConformance : public ::testing::TestWithParam<Rep>
+{
+  protected:
+    CursorSource
+    make(std::vector<DocId> docs) const
+    {
+        return CursorSource(GetParam(), std::move(docs));
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Representations, CursorConformance,
+    ::testing::Values(Rep::Raw, Rep::Compressed),
+    [](const ::testing::TestParamInfo<Rep> &info) {
+        return info.param == Rep::Raw ? "Raw" : "Compressed";
+    });
+
+TEST_P(CursorConformance, EmptyListIsExhausted)
+{
+    CursorSource src = make({});
+    PostingCursor cursor = src.cursor();
     EXPECT_FALSE(cursor.valid());
     EXPECT_EQ(cursor.count(), 0u);
     EXPECT_EQ(cursor.remaining(), 0u);
@@ -33,10 +94,23 @@ TEST(PostingCursor, DefaultIsExhaustedAndEmpty)
     EXPECT_TRUE(cursor.toDocSet().empty());
 }
 
-TEST(PostingCursor, ForwardIteration)
+TEST_P(CursorConformance, SingleDoc)
 {
-    const DocId docs[] = {1, 4, 9};
-    PostingCursor cursor(docs, 3);
+    CursorSource src = make({42});
+    PostingCursor cursor = src.cursor();
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.doc(), 42u);
+    EXPECT_EQ(cursor.count(), 1u);
+    EXPECT_EQ(cursor.remaining(), 1u);
+    cursor.next();
+    EXPECT_FALSE(cursor.valid());
+    EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST_P(CursorConformance, ForwardIteration)
+{
+    CursorSource src = make({1, 4, 9});
+    PostingCursor cursor = src.cursor();
     std::vector<DocId> seen;
     for (; cursor.valid(); cursor.next())
         seen.push_back(cursor.doc());
@@ -45,10 +119,10 @@ TEST(PostingCursor, ForwardIteration)
     EXPECT_EQ(cursor.count(), 3u); // count is total, not remaining
 }
 
-TEST(PostingCursor, SeekGE)
+TEST_P(CursorConformance, SeekGE)
 {
-    const DocId docs[] = {2, 5, 8, 20, 21, 40};
-    PostingCursor cursor(docs, 6);
+    CursorSource src = make({2, 5, 8, 20, 21, 40});
+    PostingCursor cursor = src.cursor();
 
     ASSERT_TRUE(cursor.seekGE(5)); // exact hit
     EXPECT_EQ(cursor.doc(), 5u);
@@ -65,12 +139,13 @@ TEST(PostingCursor, SeekGE)
     EXPECT_FALSE(cursor.seekGE(0)); // stays exhausted
 }
 
-TEST(PostingCursor, SeekGEOnLongListGallops)
+TEST_P(CursorConformance, SeekGEOnLongList)
 {
     std::vector<DocId> docs(10000);
     for (std::size_t d = 0; d < docs.size(); ++d)
         docs[d] = static_cast<DocId>(3 * d);
-    PostingCursor cursor(docs.data(), docs.size());
+    CursorSource src = make(std::move(docs));
+    PostingCursor cursor = src.cursor();
     ASSERT_TRUE(cursor.seekGE(14998)); // 3*4999=14997 < 14998
     EXPECT_EQ(cursor.doc(), 15000u);
     ASSERT_TRUE(cursor.seekGE(29997));
@@ -78,16 +153,280 @@ TEST(PostingCursor, SeekGEOnLongListGallops)
     EXPECT_EQ(cursor.remaining(), 1u);
 }
 
-TEST(PostingCursor, ToDocSetDrainsFromCurrentPosition)
+TEST_P(CursorConformance, ToDocSetDrainsFromCurrentPosition)
 {
-    const DocId docs[] = {1, 2, 3, 4};
-    PostingCursor cursor(docs, 4);
+    CursorSource src = make({1, 2, 3, 4});
+    PostingCursor cursor = src.cursor();
     cursor.next();
     EXPECT_EQ(cursor.toDocSet(), (std::vector<DocId>{2, 3, 4}));
     EXPECT_FALSE(cursor.valid());
 }
 
-TEST(IndexSnapshot, SealSortsPostingsForCursors)
+TEST_P(CursorConformance, ExactlyOneBlock)
+{
+    std::vector<DocId> docs(posting_block_docs);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(2 * d + 1);
+    CursorSource src = make(docs);
+    if (GetParam() == Rep::Compressed)
+        EXPECT_TRUE(src.skip_entries.empty()); // first block: no skip
+    PostingCursor cursor = src.cursor();
+    EXPECT_EQ(cursor.toDocSet(), docs);
+}
+
+TEST_P(CursorConformance, OneBlockPlusOne)
+{
+    std::vector<DocId> docs(posting_block_docs + 1);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(5 * d);
+    CursorSource src = make(docs);
+    if (GetParam() == Rep::Compressed) {
+        ASSERT_EQ(src.skip_entries.size(), 1u);
+        EXPECT_EQ(src.skip_entries[0].first_doc, docs.back());
+    }
+    PostingCursor cursor = src.cursor();
+    std::size_t walked = 0;
+    for (; cursor.valid(); cursor.next())
+        ++walked;
+    EXPECT_EQ(walked, docs.size());
+}
+
+TEST_P(CursorConformance, RemainingAcrossBlockBoundary)
+{
+    std::vector<DocId> docs(3 * posting_block_docs + 7);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(d);
+    CursorSource src = make(docs);
+    PostingCursor cursor = src.cursor();
+    for (std::size_t step = 0; cursor.valid(); cursor.next(), ++step)
+        ASSERT_EQ(cursor.remaining(), docs.size() - step);
+    EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST_P(CursorConformance, SeekGEAtBlockBoundaries)
+{
+    // Three full blocks with stride 10, so block boundaries sit at
+    // known docs and there are gaps to land in.
+    const std::size_t n = 3 * posting_block_docs;
+    std::vector<DocId> docs(n);
+    for (std::size_t d = 0; d < n; ++d)
+        docs[d] = static_cast<DocId>(10 * d);
+    CursorSource src = make(docs);
+
+    const DocId second_first = docs[posting_block_docs];
+    const DocId third_first = docs[2 * posting_block_docs];
+
+    {
+        // Exactly the first doc of a later block.
+        PostingCursor cursor = src.cursor();
+        ASSERT_TRUE(cursor.seekGE(second_first));
+        EXPECT_EQ(cursor.doc(), second_first);
+    }
+    {
+        // Just above a block's last doc: lands on the next block's
+        // first.
+        PostingCursor cursor = src.cursor();
+        ASSERT_TRUE(cursor.seekGE(second_first - 9));
+        EXPECT_EQ(cursor.doc(), second_first);
+        ASSERT_TRUE(cursor.seekGE(third_first - 9));
+        EXPECT_EQ(cursor.doc(), third_first);
+    }
+    {
+        // Just below a later block's first doc.
+        PostingCursor cursor = src.cursor();
+        ASSERT_TRUE(cursor.seekGE(third_first - 1));
+        EXPECT_EQ(cursor.doc(), third_first);
+    }
+    {
+        // Into the middle of the last block, then past the end.
+        PostingCursor cursor = src.cursor();
+        ASSERT_TRUE(cursor.seekGE(third_first + 15));
+        EXPECT_EQ(cursor.doc(), third_first + 20);
+        EXPECT_FALSE(cursor.seekGE(docs.back() + 1));
+        EXPECT_FALSE(cursor.valid());
+    }
+    {
+        // Walk to the last doc of block 0, then step across the
+        // boundary with next().
+        PostingCursor cursor = src.cursor();
+        ASSERT_TRUE(cursor.seekGE(second_first - 10));
+        EXPECT_EQ(cursor.doc(), second_first - 10);
+        cursor.next();
+        ASSERT_TRUE(cursor.valid());
+        EXPECT_EQ(cursor.doc(), second_first);
+    }
+}
+
+TEST_P(CursorConformance, MaxDeltaVarints)
+{
+    // Deltas near 2^32 need 5-byte varints; the doc space endpoints
+    // must round-trip exactly.
+    const DocId max_doc = invalid_doc - 1; // 0xfffffffe
+    CursorSource src = make({0, max_doc});
+    PostingCursor cursor = src.cursor();
+    EXPECT_EQ(cursor.toDocSet(), (std::vector<DocId>{0, max_doc}));
+
+    CursorSource high = make({max_doc - 1, max_doc});
+    PostingCursor cursor2 = high.cursor();
+    ASSERT_TRUE(cursor2.seekGE(max_doc));
+    EXPECT_EQ(cursor2.doc(), max_doc);
+}
+
+TEST_P(CursorConformance, CopiedCursorContinuesIndependently)
+{
+    std::vector<DocId> docs(2 * posting_block_docs);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(3 * d);
+    CursorSource src = make(docs);
+    PostingCursor cursor = src.cursor();
+    for (int i = 0; i < 5; ++i)
+        cursor.next();
+
+    PostingCursor copy = cursor; // mid-block copy
+    EXPECT_EQ(copy.doc(), cursor.doc());
+    EXPECT_EQ(copy.remaining(), cursor.remaining());
+
+    // Advancing the copy across the block boundary must not disturb
+    // the original.
+    ASSERT_TRUE(copy.seekGE(docs[posting_block_docs + 2]));
+    EXPECT_EQ(copy.doc(), docs[posting_block_docs + 2]);
+    EXPECT_EQ(cursor.doc(), docs[5]);
+
+    cursor = copy; // copy-assign back
+    EXPECT_EQ(cursor.doc(), docs[posting_block_docs + 2]);
+}
+
+// ----------------------------------------------------------------------
+// Codec-level checks and randomized equivalence.
+// ----------------------------------------------------------------------
+
+TEST(PostingBlock, SizingPassMatchesEncoder)
+{
+    Rng rng(11);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<DocId> docs;
+        DocId doc = 0;
+        std::size_t n = rng.nextU64() % 1000;
+        for (std::size_t i = 0; i < n; ++i) {
+            doc += 1 + static_cast<DocId>(rng.nextU64() % 1000);
+            docs.push_back(doc);
+        }
+        std::vector<std::uint8_t> bytes;
+        std::vector<SkipEntry> skips;
+        encodePostings(docs.data(), docs.size(), bytes, skips);
+        EXPECT_EQ(bytes.size(),
+                  encodedPostingBytes(docs.data(), docs.size()));
+        EXPECT_EQ(skips.size(), postingSkipCount(docs.size()));
+        EXPECT_TRUE(validatePostings(
+            bytes.data(), static_cast<std::uint32_t>(bytes.size()),
+            skips.data(), static_cast<std::uint32_t>(skips.size()),
+            static_cast<std::uint32_t>(docs.size())));
+    }
+}
+
+TEST(PostingBlock, ValidateRejectsMalformedInput)
+{
+    std::vector<DocId> docs(posting_block_docs + 3);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(4 * d + 2);
+    std::vector<std::uint8_t> bytes;
+    std::vector<SkipEntry> skips;
+    encodePostings(docs.data(), docs.size(), bytes, skips);
+    const auto blen = static_cast<std::uint32_t>(bytes.size());
+    const auto scount = static_cast<std::uint32_t>(skips.size());
+    const auto count = static_cast<std::uint32_t>(docs.size());
+
+    // Wrong counts.
+    EXPECT_FALSE(validatePostings(bytes.data(), blen, skips.data(),
+                                  scount, count - 1));
+    EXPECT_FALSE(validatePostings(bytes.data(), blen - 1, skips.data(),
+                                  scount, count));
+    // Truncated-to-empty and skip-count mismatch.
+    EXPECT_FALSE(validatePostings(bytes.data(), blen, skips.data(), 0,
+                                  count));
+    // Skip entry disagreeing with the block data.
+    std::vector<SkipEntry> bad = skips;
+    bad[0].first_doc += 1;
+    EXPECT_FALSE(validatePostings(bytes.data(), blen, bad.data(),
+                                  scount, count));
+    bad = skips;
+    bad[0].offset += 1;
+    EXPECT_FALSE(validatePostings(bytes.data(), blen, bad.data(),
+                                  scount, count));
+    // A dangling continuation bit on the last varint must not be
+    // read past the buffer.
+    std::vector<std::uint8_t> overrun = bytes;
+    overrun.back() |= 0x80;
+    EXPECT_FALSE(validatePostings(overrun.data(), blen, skips.data(),
+                                  scount, count));
+}
+
+/** Sorted, duplicate-free random posting list. */
+std::vector<DocId>
+randomDocs(Rng &rng, std::size_t max_len, DocId max_gap)
+{
+    std::vector<DocId> docs;
+    std::size_t n = rng.nextU64() % (max_len + 1);
+    DocId doc = static_cast<DocId>(rng.nextU64() % 50);
+    for (std::size_t i = 0; i < n; ++i) {
+        docs.push_back(doc);
+        DocId gap = 1 + static_cast<DocId>(rng.nextU64() % max_gap);
+        if (doc > invalid_doc - 1 - gap)
+            break; // stay inside the doc space
+        doc += gap;
+    }
+    return docs;
+}
+
+TEST(PostingBlock, RandomizedRawVsCompressedEquivalence)
+{
+    Rng rng(20260727);
+    for (int round = 0; round < 60; ++round) {
+        // Mix densities: dense lists exercise 1-byte deltas, sparse
+        // ones multi-byte varints and skip jumps.
+        DocId max_gap = round % 3 == 0   ? 3
+                        : round % 3 == 1 ? 700
+                                         : 2'000'000;
+        std::vector<DocId> docs =
+            randomDocs(rng, 4 * posting_block_docs + 50, max_gap);
+        CursorSource raw(Rep::Raw, docs);
+        CursorSource compressed(Rep::Compressed, docs);
+
+        // Full-iteration equivalence.
+        {
+            PostingCursor a = raw.cursor();
+            PostingCursor b = compressed.cursor();
+            EXPECT_EQ(a.toDocSet(), b.toDocSet());
+        }
+
+        // Random interleaving of next() and seekGE() must keep the
+        // two cursors in lockstep.
+        PostingCursor a = raw.cursor();
+        PostingCursor b = compressed.cursor();
+        while (a.valid()) {
+            ASSERT_TRUE(b.valid());
+            ASSERT_EQ(a.doc(), b.doc());
+            ASSERT_EQ(a.remaining(), b.remaining());
+            if (rng.nextU64() % 2 == 0) {
+                a.next();
+                b.next();
+            } else {
+                DocId target =
+                    a.doc() + static_cast<DocId>(rng.nextU64() % 5000);
+                ASSERT_EQ(a.seekGE(target), b.seekGE(target));
+            }
+        }
+        EXPECT_FALSE(b.valid());
+        EXPECT_EQ(a.remaining(), 0u);
+        EXPECT_EQ(b.remaining(), 0u);
+    }
+}
+
+// ----------------------------------------------------------------------
+// IndexSnapshot sealing and segment access.
+// ----------------------------------------------------------------------
+
+TEST(IndexSnapshot, SealSortsAndCompressesPostingsForCursors)
 {
     InvertedIndex index;
     index.addBlock(block(7, {"t"}));
@@ -100,6 +439,45 @@ TEST(IndexSnapshot, SealSortsPostingsForCursors)
     PostingCursor cursor = snapshot.cursor("t");
     EXPECT_EQ(cursor.count(), 3u);
     EXPECT_EQ(cursor.toDocSet(), (std::vector<DocId>{2, 5, 7}));
+}
+
+TEST(IndexSnapshot, SealedSegmentIsBlockCompressed)
+{
+    // A long dense posting list must seal to far fewer bytes than
+    // the raw 4 bytes per posting.
+    InvertedIndex index;
+    TermBlock b;
+    b.addTerm("common");
+    for (DocId doc = 0; doc < 5000; ++doc) {
+        b.doc = doc;
+        index.addBlock(b);
+    }
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    SegmentReader reader = snapshot.segment(0);
+    ASSERT_NE(reader.sealed(), nullptr);
+    EXPECT_EQ(reader.postingCount(), 5000u);
+    // 1-byte deltas + skip entries: comfortably under half of raw.
+    EXPECT_LT(reader.sealed()->postingBytes(),
+              5000u * sizeof(DocId) / 2);
+    // And the data still reads back exactly.
+    EXPECT_EQ(snapshot.cursor("common").remaining(), 5000u);
+    PostingCursor cursor = snapshot.cursor("common");
+    ASSERT_TRUE(cursor.seekGE(4321));
+    EXPECT_EQ(cursor.doc(), 4321u);
+}
+
+TEST(IndexSnapshot, ForEachTermIteratesInLexicographicOrder)
+{
+    InvertedIndex index;
+    index.addBlock(block(0, {"delta", "alpha", "mike", "bravo"}));
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    std::vector<std::string> terms;
+    snapshot.forEachTerm(
+        [&terms](const std::string &term, PostingCursor) {
+            terms.push_back(term);
+        });
+    EXPECT_EQ(terms, (std::vector<std::string>{"alpha", "bravo",
+                                               "delta", "mike"}));
 }
 
 TEST(IndexSnapshot, UnknownTermAndEmptySnapshot)

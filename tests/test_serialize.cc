@@ -1,15 +1,24 @@
 /**
  * @file
- * Unit tests for index persistence (index/serialize.hh), including
- * corruption detection.
+ * Unit tests for index persistence (index/serialize.hh): the v2
+ * sealed-segment format (compressed blocks verbatim), the legacy v1
+ * raw format including a checked-in back-compat fixture, and
+ * corruption detection for both.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "index/serialize.hh"
 #include "util/logging.hh"
+
+#ifndef DSEARCH_TEST_DATA_DIR
+#define DSEARCH_TEST_DATA_DIR "tests/data"
+#endif
 
 namespace dsearch {
 namespace {
@@ -185,6 +194,215 @@ TEST(Serialize, MissingFileFailsGracefully)
     InvertedIndex index;
     EXPECT_FALSE(saveIndexFile(index, docs, "/no/such/dir/file.idx"));
     setLogLevel(LogLevel::Info);
+}
+
+/** All (term -> sorted docs) pairs of a unified snapshot. */
+std::vector<std::pair<std::string, std::vector<DocId>>>
+contents(const IndexSnapshot &snapshot)
+{
+    std::vector<std::pair<std::string, std::vector<DocId>>> out;
+    snapshot.forEachTerm(
+        [&out](const std::string &term, PostingCursor cursor) {
+            out.emplace_back(term, cursor.toDocSet());
+        });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+serializeSnapshotToString(const IndexSnapshot &snapshot,
+                          const DocTable &docs)
+{
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(saveSnapshot(snapshot, docs, out));
+    return out.str();
+}
+
+TEST(SerializeV2, SnapshotRoundTripPreservesContents)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    std::string bytes = serializeSnapshotToString(snapshot, docs);
+    EXPECT_EQ(bytes[4], 2); // version field
+
+    IndexSnapshot loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadSnapshot(loaded, loaded_docs, in));
+    EXPECT_EQ(contents(loaded), contents(snapshot));
+    EXPECT_EQ(loaded.postingCount(), snapshot.postingCount());
+    ASSERT_EQ(loaded_docs.docCount(), 3u);
+    EXPECT_EQ(loaded_docs.path(1), "/b.txt");
+    EXPECT_EQ(loaded_docs.sizeBytes(2), 300u);
+}
+
+TEST(SerializeV2, MultiBlockListsRoundTripLosslessly)
+{
+    // > 2 blocks, so skip entries go to disk and back.
+    InvertedIndex index;
+    DocTable docs;
+    TermBlock b;
+    b.addTerm("common");
+    for (DocId doc = 0; doc < 5000; ++doc) {
+        docs.add("/f" + std::to_string(doc), doc);
+        b.doc = doc * 3; // gaps, so deltas vary
+        index.addBlock(b);
+    }
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    std::string bytes = serializeSnapshotToString(snapshot, docs);
+
+    IndexSnapshot loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadSnapshot(loaded, loaded_docs, in));
+    EXPECT_EQ(contents(loaded), contents(snapshot));
+
+    // seekGE still works over the reloaded skip index.
+    PostingCursor cursor = loaded.cursor("common");
+    ASSERT_TRUE(cursor.seekGE(9000));
+    EXPECT_EQ(cursor.doc(), 9000u);
+}
+
+TEST(SerializeV2, CanonicalBytesIndependentOfInsertionOrder)
+{
+    InvertedIndex a, b;
+    DocTable docs;
+    docs.add("/x", 1);
+    docs.add("/y", 2);
+    a.addBlock(block(0, {"p", "q"}));
+    a.addBlock(block(1, {"q", "r"}));
+    b.addBlock(block(1, {"r", "q"}));
+    b.addBlock(block(0, {"q", "p"}));
+    EXPECT_EQ(
+        serializeSnapshotToString(IndexSnapshot::seal(std::move(a)),
+                                  docs),
+        serializeSnapshotToString(IndexSnapshot::seal(std::move(b)),
+                                  docs));
+}
+
+TEST(SerializeV2, EmptySnapshotRoundTrips)
+{
+    IndexSnapshot snapshot;
+    DocTable docs;
+    std::string bytes = serializeSnapshotToString(snapshot, docs);
+    IndexSnapshot loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadSnapshot(loaded, loaded_docs, in));
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded_docs.docCount(), 0u);
+}
+
+TEST(SerializeV2, LoadsIntoMutableIndex)
+{
+    // loadIndex() must decode v2 blocks back into raw posting lists.
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    InvertedIndex expected = index.clone();
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    std::string bytes = serializeSnapshotToString(snapshot, docs);
+
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadIndex(loaded, loaded_docs, in));
+    loaded.sortPostings();
+    expected.sortPostings();
+    EXPECT_TRUE(sameContents(expected, loaded));
+}
+
+TEST(SerializeV2, DetectsPayloadCorruptionAndTruncation)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    std::string bytes = serializeSnapshotToString(snapshot, docs);
+
+    setLogLevel(LogLevel::Silent);
+    {
+        std::string corrupt = bytes;
+        corrupt[corrupt.size() / 2] ^= 0x40;
+        IndexSnapshot loaded;
+        DocTable loaded_docs;
+        std::istringstream in(corrupt, std::ios::binary);
+        EXPECT_FALSE(loadSnapshot(loaded, loaded_docs, in));
+        EXPECT_TRUE(loaded.empty());
+        EXPECT_EQ(loaded_docs.docCount(), 0u);
+    }
+    for (std::size_t keep :
+         {std::size_t(2), bytes.size() / 2, bytes.size() - 1}) {
+        IndexSnapshot loaded;
+        DocTable loaded_docs;
+        std::istringstream in(bytes.substr(0, keep),
+                              std::ios::binary);
+        EXPECT_FALSE(loadSnapshot(loaded, loaded_docs, in))
+            << "accepted truncation to " << keep << " bytes";
+    }
+    setLogLevel(LogLevel::Info);
+}
+
+TEST(SerializeV1, CurrentWriterStillLoadsAsSnapshot)
+{
+    // The mutable-index overload still writes version 1; every load
+    // entry point must keep accepting it.
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    InvertedIndex expected = index.clone();
+    std::string bytes = serializeToString(index, docs);
+    EXPECT_EQ(bytes[4], 1); // version field
+
+    IndexSnapshot loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadSnapshot(loaded, loaded_docs, in));
+    EXPECT_EQ(contents(loaded),
+              contents(IndexSnapshot::seal(std::move(expected))));
+}
+
+TEST(SerializeV1, BackCompatFixtureLoads)
+{
+    // tests/data/v1_snapshot.idx is a checked-in version 1 file:
+    // 300 docs; "common" in every even doc, "weekly" every 7th,
+    // "third" every 3rd, "answer" only in doc 42.
+    const std::string path =
+        std::string(DSEARCH_TEST_DATA_DIR) + "/v1_snapshot.idx";
+
+    IndexSnapshot snapshot;
+    DocTable docs;
+    ASSERT_TRUE(loadSnapshotFile(snapshot, docs, path));
+    ASSERT_EQ(docs.docCount(), 300u);
+    EXPECT_EQ(docs.path(7), "/corpus/f7.txt");
+    EXPECT_EQ(docs.sizeBytes(7), 107u);
+    EXPECT_EQ(snapshot.termCount(), 4u);
+    EXPECT_EQ(snapshot.cursor("common").count(), 150u);
+    EXPECT_EQ(snapshot.cursor("answer").toDocSet(),
+              (std::vector<DocId>{42}));
+    PostingCursor weekly = snapshot.cursor("weekly");
+    ASSERT_TRUE(weekly.seekGE(100));
+    EXPECT_EQ(weekly.doc(), 105u);
+
+    // The mutable-index loader accepts it too.
+    InvertedIndex index;
+    DocTable docs2;
+    ASSERT_TRUE(loadIndexFile(index, docs2, path));
+    EXPECT_EQ(index.termCount(), 4u);
+    ASSERT_NE(index.postings("third"), nullptr);
+    EXPECT_EQ(index.postings("third")->size(), 100u);
+
+    // And a v1 file re-saved through the snapshot path upgrades to
+    // v2 with identical contents.
+    std::string v2_bytes = serializeSnapshotToString(snapshot, docs);
+    EXPECT_EQ(v2_bytes[4], 2);
+    IndexSnapshot reloaded;
+    DocTable docs3;
+    std::istringstream in(v2_bytes, std::ios::binary);
+    ASSERT_TRUE(loadSnapshot(reloaded, docs3, in));
+    EXPECT_EQ(contents(reloaded), contents(snapshot));
 }
 
 TEST(Serialize, LargePostingListsSurvive)
