@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Query-serving benchmark: sustained QPS of the persistent
+ * QueryServer against the naive per-query serving path.
+ *
+ * The deployment shape the ROADMAP asks for is a service under
+ * multi-client load, not one query at a time. This bench drives a
+ * mixed boolean/ranked query stream from 1..N closed-loop client
+ * threads (each submits, waits, submits again) and one open-loop
+ * burst, against:
+ *
+ *   - naive:  what serving looked like before the QueryServer — a
+ *     fresh single-worker ThreadPool spawned per query (thread-per-
+ *     request), torn down after the answer. Same searchers, same
+ *     queries; the only difference is per-query thread spawn.
+ *   - server: the persistent QueryServer (bounded admission queue,
+ *     batched dispatch, long-lived pool and searchers), over both
+ *     the unified snapshot and the replicated (MultiSearcher) one.
+ *
+ * Results go to stdout as a table and to BENCH_server.json in the
+ * working directory; scripts/check_bench.py merges the JSON into the
+ * BENCH_micro.json comparison and gates server_qps / naive_qps >= 1
+ * (machine-independent) plus the absolute QPS against the committed
+ * baseline when the hardware is comparable.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fs/corpus.hh"
+#include "pipeline/thread_pool.hh"
+#include "search/query_server.hh"
+#include "util/stats.hh"
+#include "util/string_util.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+namespace {
+
+using namespace dsearch;
+
+/** One query of the served mix. */
+struct Work
+{
+    Query query;
+    bool ranked = false;
+};
+
+/** Mixed, realistic query shapes over corpus vocabulary. */
+std::vector<Work>
+makeWork(bool include_ranked)
+{
+    struct Spec
+    {
+        const char *text;
+        bool ranked;
+    };
+    const Spec specs[] = {
+        {"ba", false},                    // very frequent term
+        {"zu", false},                    // rarer term
+        {"ba AND be", false},             // frequent intersection
+        {"ba AND NOT be", false},         // negation
+        {"(ba OR be) AND (bi OR bo)", false},
+        {"cido OR cida OR cide", false},  // rare unions
+        {"ba be bi bo", false},           // deep intersection
+        {"ba OR be", true},               // ranked: frequent union
+        {"zu OR cido", true},             // ranked: rare union
+        {"ba AND NOT bi", true},          // ranked: negation
+    };
+    std::vector<Work> work;
+    for (const Spec &spec : specs) {
+        if (spec.ranked && !include_ranked)
+            continue;
+        Query query = Query::parse(spec.text);
+        if (query.valid())
+            work.push_back(Work{std::move(query), spec.ranked});
+    }
+    return work;
+}
+
+/** Defeat over-optimization without perturbing timings. */
+std::atomic<std::uint64_t> g_sink{0};
+
+/**
+ * The pre-server serving path: every query spawns a fresh
+ * single-worker pool (thread-per-request), evaluates on it, tears it
+ * down. @p clients closed-loop threads share the long-lived
+ * searchers, so thread spawn is the only difference from the server.
+ */
+double
+runNaive(const Searcher &searcher, const RankedSearcher &ranked,
+         const std::vector<Work> &work, std::size_t clients,
+         std::size_t per_client)
+{
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&searcher, &ranked, &work, per_client] {
+            std::uint64_t local = 0;
+            for (std::size_t i = 0; i < per_client; ++i) {
+                const Work &item = work[i % work.size()];
+                ThreadPool pool(1); // the cost being measured
+                pool.submit([&item, &searcher, &ranked, &local] {
+                    if (item.ranked)
+                        local += ranked.topK(item.query, 10).size();
+                    else
+                        local += searcher.run(item.query).size();
+                });
+                pool.wait();
+            }
+            g_sink += local;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double seconds = timer.elapsedSec();
+    return static_cast<double>(clients * per_client) / seconds;
+}
+
+/** Closed-loop clients against a running QueryServer. */
+double
+runServerClosedLoop(QueryServer &server, const std::vector<Work> &work,
+                    std::size_t clients, std::size_t per_client)
+{
+    server.resetStats();
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&server, &work, per_client] {
+            std::uint64_t local = 0;
+            for (std::size_t i = 0; i < per_client; ++i) {
+                const Work &item = work[i % work.size()];
+                QueryResponse reply =
+                    item.ranked
+                        ? server.submitRanked(item.query, 10).get()
+                        : server.submit(item.query).get();
+                local += reply.ok
+                             ? reply.hits.size() + reply.ranked.size()
+                             : 0;
+            }
+            g_sink += local;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double seconds = timer.elapsedSec();
+    return static_cast<double>(clients * per_client) / seconds;
+}
+
+/**
+ * Open-loop burst: fire every request up front (admission back-
+ * pressure pacing the submitter), then drain. Measures the service
+ * rate with a queue that never runs empty.
+ */
+double
+runServerOpenLoop(QueryServer &server, const std::vector<Work> &work,
+                  std::size_t total)
+{
+    server.resetStats();
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(total);
+    Timer timer;
+    for (std::size_t i = 0; i < total; ++i) {
+        const Work &item = work[i % work.size()];
+        futures.push_back(item.ranked
+                              ? server.submitRanked(item.query, 10)
+                              : server.submit(item.query));
+    }
+    std::uint64_t local = 0;
+    for (auto &future : futures) {
+        QueryResponse reply = future.get();
+        local += reply.hits.size() + reply.ranked.size();
+    }
+    g_sink += local;
+    double seconds = timer.elapsedSec();
+    return static_cast<double>(total) / seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dsearch;
+
+    const std::size_t cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    // Enough queries that each timed window spans hundreds of
+    // milliseconds — per-query costs are tens of microseconds, and
+    // short windows make the QPS numbers scheduler lottery.
+    const std::size_t per_client = 2000;
+
+    auto fs = CorpusGenerator(CorpusSpec::paperScaled(0.02))
+                  .generateInMemory();
+
+    Engine::Result unified =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(static_cast<unsigned>(cores),
+                     static_cast<unsigned>(cores), 1)
+            .build();
+    Engine::Result replicas =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedNoJoin)
+            .threads(static_cast<unsigned>(cores),
+                     static_cast<unsigned>(cores))
+            .build();
+    const std::size_t doc_count = unified.docs.docCount();
+
+    // Long-lived searchers for the naive path (it shares them; only
+    // thread spawn differs from the server).
+    Searcher searcher(unified.snapshot, doc_count);
+    RankedSearcher ranked(unified.snapshot, unified.docs);
+
+    std::vector<Work> mixed = makeWork(/*include_ranked=*/true);
+    std::vector<Work> boolean_only = makeWork(/*include_ranked=*/false);
+
+    Table table("query serving — sustained QPS (" +
+                std::to_string(doc_count) + " docs, " +
+                std::to_string(cores) + "-core host, mixed " +
+                std::to_string(mixed.size()) + "-query batch, " +
+                std::to_string(per_client) + " queries/client)");
+    table.setColumns({"path", "clients", "QPS", "p95 (ms)"});
+
+    QueryServer server(unified.snapshot, unified.docs);
+    QueryServer server_replicated(replicas.snapshot,
+                                  std::move(replicas.docs));
+
+    // Warm-up: fault in postings, fill the ranked term cache, let
+    // the pools reach steady state.
+    runServerClosedLoop(server, mixed, 2, 50);
+    runServerClosedLoop(server_replicated, boolean_only, 2, 50);
+    runNaive(searcher, ranked, mixed, 2, 25);
+
+    // Closed-loop client sweep against the unified server: powers
+    // of two up to the core count, which is always included last.
+    std::vector<std::size_t> widths;
+    for (std::size_t c = 1; c < cores; c *= 2)
+        widths.push_back(c);
+    widths.push_back(cores);
+
+    double server_qps = 0.0;
+    LatencySummary latency;
+    for (std::size_t clients : widths) {
+        double qps =
+            runServerClosedLoop(server, mixed, clients, per_client);
+        ServerStats stats = server.stats();
+        table.addRow({"server (unified)", std::to_string(clients),
+                      formatDouble(qps, 0),
+                      formatDouble(stats.latency.p95 * 1e3, 3)});
+        server_qps = qps;          // ends at the widest (cores)
+        latency = stats.latency;
+    }
+
+    // Replicated snapshot at full width.
+    double server_replicated_qps = runServerClosedLoop(
+        server_replicated, boolean_only, cores, per_client);
+    table.addRow({"server (replicated)", std::to_string(cores),
+                  formatDouble(server_replicated_qps, 0),
+                  formatDouble(
+                      server_replicated.stats().latency.p95 * 1e3,
+                      3)});
+
+    // Open-loop burst at full depth.
+    double open_loop_qps =
+        runServerOpenLoop(server, mixed, cores * per_client);
+    table.addRow({"server (open loop)", "1",
+                  formatDouble(open_loop_qps, 0),
+                  formatDouble(server.stats().latency.p95 * 1e3, 3)});
+
+    // The naive path at full client width.
+    double naive_qps =
+        runNaive(searcher, ranked, mixed, cores, per_client);
+    table.addRow({"naive (pool per query)", std::to_string(cores),
+                  formatDouble(naive_qps, 0), "-"});
+
+    table.render(std::cout);
+    double speedup_vs_naive =
+        naive_qps > 0.0 ? server_qps / naive_qps : 0.0;
+    std::cout << "persistent server vs naive per-query path: "
+              << formatDouble(speedup_vs_naive, 2) << "x at " << cores
+              << " clients\n";
+
+    std::ofstream json("BENCH_server.json");
+    json << "{\n"
+         << "  \"bench\": \"search_server\",\n"
+         << "  \"search_server\": {\n"
+         << "    \"docs\": " << doc_count << ",\n"
+         << "    \"clients\": " << cores << ",\n"
+         << "    \"queries_per_client\": " << per_client << ",\n"
+         << "    \"naive_qps\": " << naive_qps << ",\n"
+         << "    \"server_qps\": " << server_qps << ",\n"
+         << "    \"server_qps_replicated\": " << server_replicated_qps
+         << ",\n"
+         << "    \"open_loop_qps\": " << open_loop_qps << ",\n"
+         << "    \"speedup_vs_naive\": " << speedup_vs_naive << ",\n"
+         << "    \"p50_ms\": " << latency.p50 * 1e3 << ",\n"
+         << "    \"p95_ms\": " << latency.p95 * 1e3 << ",\n"
+         << "    \"p99_ms\": " << latency.p99 * 1e3 << "\n"
+         << "  }\n"
+         << "}\n";
+
+    if (g_sink.load() == static_cast<std::uint64_t>(-1))
+        std::abort(); // defeat over-optimization
+    return speedup_vs_naive > 1.0 ? 0 : 1;
+}

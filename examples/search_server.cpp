@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Search-server demo: build an index, stand up a QueryServer, push a
+ * burst of multi-client traffic through it, then (when stdin is
+ * interactive or queries are passed as arguments) answer queries.
+ *
+ *     ./search_server                     # demo traffic + stdin loop
+ *     ./search_server "ba AND be" "zu"    # serve the given queries
+ *
+ * Everything runs on an in-memory synthetic corpus; swap in DiskFs
+ * to serve a real directory.
+ */
+
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fs/corpus.hh"
+#include "search/query_server.hh"
+#include "util/string_util.hh"
+
+namespace {
+
+using namespace dsearch;
+
+/** Answer one query string and print a short result line. */
+void
+serveOne(QueryServer &server, const std::string &text)
+{
+    Query query = Query::parse(text);
+    QueryResponse ranked =
+        server.submitRanked(query, 3).get();
+    if (!ranked.ok) {
+        std::cout << "  !! " << ranked.error << "\n";
+        return;
+    }
+    QueryResponse boolean = server.submit(query).get();
+    std::cout << "  " << query.toString() << " -> "
+              << boolean.hits.size() << " files in "
+              << formatDuration(boolean.latency_sec) << "\n";
+    for (const ScoredHit &hit : ranked.ranked)
+        std::cout << "    " << server.docs().path(hit.doc)
+                  << "  (score " << formatDouble(hit.score, 3)
+                  << ")\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsearch;
+
+    // 1. Build: corpus -> Engine -> sealed snapshot, handed straight
+    //    to the server (which owns it from here on).
+    auto fs = CorpusGenerator(CorpusSpec::tiny(/*seed=*/2010))
+                  .generateInMemory();
+    std::cout << "corpus: " << fs->fileCount() << " files, "
+              << formatBytes(fs->totalBytes()) << "\n";
+
+    QueryServer server(Engine::open(*fs, "/")
+                           .organization(Implementation::ReplicatedJoin)
+                           .threads(3, 2, 1)
+                           .build());
+    std::cout << "serving " << server.docCount() << " docs on "
+              << server.workerCount() << " workers\n\n";
+
+    // 2. A burst of concurrent demo traffic: four closed-loop
+    //    clients, mixed boolean and ranked queries.
+    const char *mix[] = {"ba", "ba AND be", "bi OR bo",
+                         "ba AND NOT be"};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&server, &mix, c] {
+            for (int i = 0; i < 100; ++i) {
+                const char *text = mix[(c + i) % 4];
+                if (i % 3 == 0)
+                    server.submitRanked(Query::parse(text), 3).get();
+                else
+                    server.submit(Query::parse(text)).get();
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    ServerStats stats = server.stats();
+    std::cout << "demo burst: " << stats.completed << " queries at "
+              << formatDouble(stats.qps, 0) << " QPS — p50 "
+              << formatDuration(stats.latency.p50) << ", p95 "
+              << formatDuration(stats.latency.p95) << ", p99 "
+              << formatDuration(stats.latency.p99) << "\n\n";
+
+    // 3. Caller-provided queries, or an interactive loop when stdin
+    //    is a terminal (EOF / "quit" ends it).
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            serveOne(server, argv[i]);
+        return 0;
+    }
+    std::cout << "enter queries (quit to exit):\n";
+    std::string line;
+    while (std::cout << "> " && std::getline(std::cin, line)) {
+        if (line == "quit" || line == "exit")
+            break;
+        if (!line.empty())
+            serveOne(server, line);
+    }
+    return 0;
+}

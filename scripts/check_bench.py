@@ -37,8 +37,18 @@ absolute/speedup was not gated.
 The binary is run --repeats times and the best run is kept, which
 filters scheduler noise out of the gate.
 
+With --server-bench, the query-serving benchmark (bench_search_server)
+also runs; its BENCH_server.json "search_server" section is compared
+to the committed baseline's. The serving speedup — persistent
+QueryServer QPS over the naive fresh-pool-per-query path on the same
+corpus and machine — is a ratio, so it is gated absolutely
+(>= --min-server-speedup, default 1.0); absolute server QPS is gated
+against the baseline only when the canary says the machines are
+comparable, and reported as advisory otherwise.
+
 Usage:
   check_bench.py --baseline BENCH_micro.json --bench ./bench_micro \
+                 [--server-bench ./bench_search_server] \
                  [--threshold 0.10] [--repeats 2]
 
 Exit status: 0 ok, 1 regression, 2 harness failure.
@@ -78,12 +88,86 @@ def best_of(runs):
     return max(runs, key=lambda r: r["zero_copy"]["tokens_per_sec"])
 
 
+def run_server_bench(bench, workdir):
+    """Run bench_search_server in workdir; return its JSON section.
+
+    The binary exits 1 when the server fails to beat the naive path —
+    that verdict is re-derived from the JSON by the gate below, so
+    both 0 and 1 count as a successful measurement here.
+    """
+    cmd = [os.path.abspath(bench)]
+    result = subprocess.run(
+        cmd, cwd=workdir, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, timeout=600)
+    if result.returncode not in (0, 1):
+        sys.stderr.write(result.stdout.decode(errors="replace"))
+        raise RuntimeError(f"{cmd} exited {result.returncode}")
+    path = os.path.join(workdir, "BENCH_server.json")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)["search_server"]
+
+
+def gate_server(fresh, baseline, comparable, threshold, min_speedup):
+    """Gate the search_server section; return failed metric names."""
+    failures = []
+
+    speedup_now = fresh["speedup_vs_naive"]
+    status = "OK"
+    if speedup_now < min_speedup:
+        status = "REGRESSION"
+        failures.append("search_server.speedup_vs_naive")
+    print(f"search_server.speedup_vs_naive: fresh "
+          f"{speedup_now:.3g} (gate >= {min_speedup:.3g}, "
+          f"machine-independent) {status}")
+
+    base = baseline.get("search_server")
+    if base is None:
+        print("search_server: no baseline section; absolute QPS "
+              "not compared (commit one to enable)")
+        return failures
+
+    for metric in ("server_qps", "server_qps_replicated"):
+        if metric not in base or metric not in fresh:
+            continue
+        delta = (fresh[metric] - base[metric]) / base[metric]
+        status = "OK" if comparable else "advisory"
+        if comparable and delta < -threshold:
+            status = "REGRESSION"
+            failures.append(f"search_server.{metric}")
+        print(f"search_server.{metric}: baseline {base[metric]:.3g} "
+              f"-> fresh {fresh[metric]:.3g} ({delta:+.1%}) {status}")
+
+    for metric in ("naive_qps", "open_loop_qps", "p50_ms", "p95_ms",
+                   "p99_ms"):
+        base_value = base.get(metric)
+        now = fresh.get(metric)
+        if now is None:
+            continue
+        base_text = (f"{base_value:.3g}" if base_value is not None
+                     else "n/a")
+        print(f"search_server.{metric} (advisory): baseline "
+              f"{base_text} -> fresh {now:.3g}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="committed BENCH_micro.json")
     parser.add_argument("--bench", required=True,
                         help="bench_micro binary")
+    parser.add_argument("--server-bench",
+                        help="bench_search_server binary (optional)")
+    parser.add_argument("--min-server-speedup", type=float,
+                        default=1.0,
+                        help="minimum QueryServer-vs-naive QPS ratio "
+                             "(absolute gate, default 1.0)")
+    parser.add_argument("--server-threshold", type=float,
+                        default=0.25,
+                        help="fatal relative regression for absolute "
+                             "server QPS (default 0.25: serving "
+                             "benches schedule many threads and are "
+                             "noisier than the single-thread micro)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="fatal relative regression (default 0.10)")
     parser.add_argument("--canary", type=float, default=0.15,
@@ -104,6 +188,20 @@ def main():
         with tempfile.TemporaryDirectory() as workdir:
             runs = [run_bench(args.bench, workdir)
                     for _ in range(max(1, args.repeats))]
+            server_fresh = None
+            if args.server_bench:
+                server_runs = [run_server_bench(args.server_bench,
+                                                workdir)
+                               for _ in range(max(1, args.repeats))]
+                # Per-metric best-of: the run with the best absolute
+                # QPS is not always the run with the best speedup
+                # ratio (a lucky naive window deflates it), and both
+                # gates should see the binary's best behaviour.
+                server_fresh = max(server_runs,
+                                   key=lambda r: r["server_qps"])
+                server_fresh = dict(server_fresh)
+                server_fresh["speedup_vs_naive"] = max(
+                    r["speedup_vs_naive"] for r in server_runs)
     except Exception as exc:  # noqa: BLE001 - harness failure path
         print(f"check_bench: could not run bench: {exc}",
               file=sys.stderr)
@@ -189,10 +287,17 @@ def main():
         print(f"{metric} (advisory): baseline {base:.3g} -> "
               f"fresh {now:.3g}")
 
+    if server_fresh is not None:
+        failures += gate_server(server_fresh, baseline, comparable,
+                                args.server_threshold,
+                                args.min_server_speedup)
+
     if failures:
-        print(f"check_bench: throughput regressed >"
-              f"{args.threshold:.0%} on: {', '.join(failures)}",
-              file=sys.stderr)
+        # Each metric's own line above states the gate it failed
+        # (micro --threshold, server --server-threshold, or an
+        # absolute floor); don't misattribute a single threshold.
+        print(f"check_bench: gated metrics regressed: "
+              f"{', '.join(failures)}", file=sys.stderr)
         return 1
     print("check_bench: within threshold")
     return 0

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Configure, build and ctest a sanitizer-instrumented tree.
 #
-# Usage: scripts/check_sanitize.sh [address|thread|undefined] [build-dir]
+# Usage: scripts/check_sanitize.sh [address|thread|undefined] \
+#            [build-dir] [test-name...]
 #
 # Defaults to AddressSanitizer in <repo>/build-asan (thread ->
 # build-tsan, undefined -> build-ubsan). The perf-labelled ctest entry
 # (check_bench) is excluded: sanitizer overhead would trip a
 # throughput gate that is only meaningful on uninstrumented builds.
+#
+# With test names (e.g. test_query_server test_blocking_queue), only
+# those targets are built and only those tests run — the fast path
+# the check_tsan_query_server ctest entry uses to TSan the serving
+# loop without instrumenting the whole tree. Pass "" as build-dir to
+# keep the default.
 set -euo pipefail
 
 SANITIZER="${1:-address}"
@@ -22,13 +29,24 @@ case "$SANITIZER" in
 esac
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${2:-$ROOT/$DEFAULT_DIR}"
+BUILD_DIR="${2:-}"
+[ -n "$BUILD_DIR" ] || BUILD_DIR="$ROOT/$DEFAULT_DIR"
+shift $(( $# > 2 ? 2 : $# ))
+TESTS=("$@")
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" \
       -DDSEARCH_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE perf
+
+if [ "${#TESTS[@]}" -eq 0 ]; then
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -LE perf
+else
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target "${TESTS[@]}"
+  REGEX="^($(IFS='|'; echo "${TESTS[*]}"))$"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+        -LE perf -R "$REGEX"
+fi
 
 echo "check_sanitize: $SANITIZER tree clean ($BUILD_DIR)"

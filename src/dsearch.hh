@@ -32,6 +32,18 @@
  * the posting representation can change behind the snapshot without
  * touching query code.
  *
+ * To *serve* query traffic rather than answer one-shot calls, hand
+ * the build result to a QueryServer — the serving entry point next
+ * to Engine. It keeps the snapshot and searchers resident, admits
+ * queries from any number of client threads through a bounded queue,
+ * executes them on a persistent thread pool, and reports throughput
+ * and latency percentiles:
+ *
+ *     QueryServer server(std::move(built));
+ *     auto reply = server.submit(Query::parse("report AND 2010"));
+ *     DocSet hits = reply.get().hits;   // or submitRanked() for topK
+ *     ServerStats load = server.stats();  // qps, p50/p95/p99
+ *
  * Deprecation path: constructing IndexGenerator directly and binding
  * searchers to a concrete InvertedIndex (the pre-Engine API) still
  * works for build-side code — BuildResult::sealIndices() bridges into
@@ -46,7 +58,8 @@
  *  - index/     IndexBackend write side; IndexSnapshot/PostingCursor
  *               read side; joins, persistence, maintenance
  *  - search/    boolean, ranked and multi-segment query engines
- *               (snapshot consumers only)
+ *               (snapshot consumers only), and the QueryServer
+ *               serving loop over them
  *  - pipeline/  queues, pools, barriers, work distribution
  *  - sim/       calibrated platform simulator (paper Tables 1-4)
  *  - tune/      configuration auto-tuner
@@ -82,6 +95,7 @@
 
 #include "search/multi_searcher.hh"
 #include "search/query.hh"
+#include "search/query_server.hh"
 #include "search/ranked.hh"
 #include "search/searcher.hh"
 

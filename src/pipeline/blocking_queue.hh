@@ -16,8 +16,10 @@
 #define DSEARCH_PIPELINE_BLOCKING_QUEUE_HH
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -86,7 +88,7 @@ class BlockingQueue
         out = std::move(_items.front());
         _items.pop_front();
         lock.unlock();
-        _not_full.notify_one();
+        notifyProducer();
         return true;
     }
 
@@ -122,7 +124,7 @@ class BlockingQueue
         // Each freed slot can admit exactly one blocked producer;
         // notify_all here would wake every producer per batch.
         for (std::size_t i = 0; i < take; ++i)
-            _not_full.notify_one();
+            notifyProducer();
         return true;
     }
 
@@ -140,7 +142,7 @@ class BlockingQueue
         out = std::move(_items.front());
         _items.pop_front();
         lock.unlock();
-        _not_full.notify_one();
+        notifyProducer();
         return true;
     }
 
@@ -178,12 +180,39 @@ class BlockingQueue
     /** @return The capacity this queue was built with (0 = unbounded). */
     std::size_t capacity() const { return _capacity; }
 
+    /**
+     * @return Producer wake-ups issued by the consumer side so far.
+     *
+     * Unbounded queues never block a producer, so this stays 0 there —
+     * the regression observable for the notify guard.
+     */
+    std::uint64_t
+    producerNotifyCount() const
+    {
+        return _producer_notifies.load(std::memory_order_relaxed);
+    }
+
   private:
+    /**
+     * Wake one producer after freeing a slot. Producers only ever
+     * block on _not_full when the queue is bounded, so an unbounded
+     * queue skips the (syscall-bearing) notify entirely.
+     */
+    void
+    notifyProducer()
+    {
+        if (_capacity == 0)
+            return;
+        _producer_notifies.fetch_add(1, std::memory_order_relaxed);
+        _not_full.notify_one();
+    }
+
     mutable std::mutex _mutex;
     std::condition_variable _not_full;
     std::condition_variable _not_empty;
     std::deque<T> _items;
     const std::size_t _capacity;
+    std::atomic<std::uint64_t> _producer_notifies{0};
     bool _closed = false;
 };
 

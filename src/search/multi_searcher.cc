@@ -10,7 +10,8 @@ namespace dsearch {
 
 MultiSearcher::MultiSearcher(IndexSnapshot snapshot,
                              std::size_t doc_count)
-    : _snapshot(std::move(snapshot))
+    : _snapshot(std::move(snapshot)),
+      _pool_state(std::make_unique<PoolState>())
 {
     _owned.reserve(_snapshot.segmentCount());
     for (std::size_t i = 0; i < _snapshot.segmentCount(); ++i) {
@@ -57,6 +58,25 @@ MultiSearcher::combine(const Query &query,
     return result;
 }
 
+ThreadPool &
+MultiSearcher::cachedPool(std::size_t threads) const
+{
+    PoolState &state = *_pool_state;
+    std::scoped_lock lock(state.mutex);
+    if (state.pool == nullptr) {
+        state.pool = std::make_unique<ThreadPool>(threads);
+        ++state.created;
+    }
+    return *state.pool;
+}
+
+std::size_t
+MultiSearcher::poolsCreated() const
+{
+    std::scoped_lock lock(_pool_state->mutex);
+    return _pool_state->created;
+}
+
 DocSet
 MultiSearcher::run(const Query &query, std::size_t threads) const
 {
@@ -71,6 +91,19 @@ MultiSearcher::run(const Query &query, std::size_t threads) const
                                        _owned[i], query.root());
         return combine(query, std::move(partial));
     }
+    return run(query, cachedPool(std::min(threads, segments)));
+}
+
+DocSet
+MultiSearcher::runFreshPool(const Query &query,
+                            std::size_t threads) const
+{
+    if (!query.valid())
+        return {};
+
+    const std::size_t segments = _snapshot.segmentCount();
+    if (threads <= 1 || segments <= 1)
+        return run(query, 1);
     ThreadPool pool(std::min(threads, segments));
     return run(query, pool);
 }

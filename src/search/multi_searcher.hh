@@ -21,15 +21,16 @@
 #define DSEARCH_SEARCH_MULTI_SEARCHER_HH
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "index/index_snapshot.hh"
+#include "pipeline/thread_pool.hh"
 #include "search/query.hh"
 #include "search/searcher.hh"
 
 namespace dsearch {
-
-class ThreadPool;
 
 /** Query engine over a replica-set snapshot; see the file comment. */
 class MultiSearcher
@@ -47,9 +48,11 @@ class MultiSearcher
      * Run a query across all segments.
      *
      * @param query   Query to evaluate.
-     * @param threads Worker threads (1 = evaluate serially; > 1
-     *                spawns a fresh pool — convenient, but for query
-     *                streams prefer the pool overload below).
+     * @param threads Worker threads (1 = evaluate serially; > 1 runs
+     *                on a pool cached inside this searcher — created
+     *                on the first parallel query, reused by every
+     *                later one, so a query stream never pays
+     *                per-query thread spawn).
      * @return Sorted matching document IDs; empty for invalid queries.
      */
     DocSet run(const Query &query, std::size_t threads = 1) const;
@@ -60,6 +63,24 @@ class MultiSearcher
      * paper's future-work section points at).
      */
     DocSet run(const Query &query, ThreadPool &pool) const;
+
+    /**
+     * Run a query on a freshly spawned pool that is torn down before
+     * returning. This is the pre-server behaviour of
+     * run(query, threads), kept as an explicit fallback (isolation
+     * benchmarks, one-shot queries where no pool should linger); for
+     * anything resembling a query stream use run() — per-query thread
+     * spawn is what bench_search_server measures as the naive path.
+     */
+    DocSet runFreshPool(const Query &query, std::size_t threads) const;
+
+    /**
+     * @return Cached pools created so far (0 before the first
+     *         parallel run(query, threads); 1 after, for the rest of
+     *         the searcher's life). Regression observable: a query
+     *         stream must not spawn a pool per query.
+     */
+    std::size_t poolsCreated() const;
 
     /** @return Number of segments queried in parallel. */
     std::size_t segmentCount() const
@@ -74,13 +95,33 @@ class MultiSearcher
     const DocSet &orphanDocs() const { return _orphans; }
 
   private:
+    /**
+     * Lazily created shared pool state. Boxed so the searcher stays
+     * movable (std::mutex is not); allocated once in the constructor,
+     * the pool itself on the first parallel query.
+     */
+    struct PoolState
+    {
+        std::mutex mutex;
+        std::unique_ptr<ThreadPool> pool;
+        std::size_t created = 0;
+    };
+
     /** Union partial results and add orphan matches. */
     DocSet combine(const Query &query,
                    std::vector<DocSet> partial) const;
 
+    /**
+     * The cached pool, created on first use with @p threads workers.
+     * Later calls reuse it whatever they ask for (parallelism is
+     * capped at the first request's width; segments bound it anyway).
+     */
+    ThreadPool &cachedPool(std::size_t threads) const;
+
     IndexSnapshot _snapshot;
     std::vector<DocSet> _owned;  ///< Per-segment universes.
     DocSet _orphans;             ///< Docs with no postings anywhere.
+    std::unique_ptr<PoolState> _pool_state;
 };
 
 } // namespace dsearch

@@ -1,0 +1,228 @@
+#include "search/query_server.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsearch {
+
+namespace {
+
+/** Resolve the worker-count option (0 = one per hardware thread). */
+std::size_t
+resolveWorkers(std::size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+QueryServer::QueryServer(IndexSnapshot snapshot, DocTable docs,
+                         ServerOptions options)
+    : _snapshot(std::move(snapshot)), _docs(std::move(docs)),
+      _options(options), _queue(options.queue_capacity),
+      _pool(resolveWorkers(options.workers)),
+      _window_start(Clock::now())
+{
+    if (_options.batch_size == 0)
+        _options.batch_size = 1;
+
+    if (_snapshot.unified()) {
+        _single = std::make_unique<Searcher>(_snapshot,
+                                             _docs.docCount());
+        _ranked = std::make_unique<RankedSearcher>(_snapshot, _docs);
+    } else {
+        _multi = std::make_unique<MultiSearcher>(_snapshot,
+                                                 _docs.docCount());
+    }
+
+    _dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+QueryServer::QueryServer(Engine::Result &&built, ServerOptions options)
+    : QueryServer(std::move(built.snapshot), std::move(built.docs),
+                  options)
+{
+}
+
+QueryServer::~QueryServer()
+{
+    shutdown();
+}
+
+void
+QueryServer::shutdown()
+{
+    std::call_once(_shutdown_once, [this] {
+        _queue.close();          // later submits are rejected
+        if (_dispatcher.joinable())
+            _dispatcher.join();  // queue drained into the pool
+        _pool.wait();            // every admitted query answered
+    });
+}
+
+std::future<QueryResponse>
+QueryServer::submit(Query query)
+{
+    return enqueue(std::move(query), Kind::Boolean, 0, nullptr);
+}
+
+std::future<QueryResponse>
+QueryServer::submit(Query query,
+                    std::function<void(const QueryResponse &)> callback)
+{
+    return enqueue(std::move(query), Kind::Boolean, 0,
+                   std::move(callback));
+}
+
+std::future<QueryResponse>
+QueryServer::submitRanked(Query query, std::size_t k)
+{
+    return enqueue(std::move(query), Kind::Ranked, k, nullptr);
+}
+
+std::future<QueryResponse>
+QueryServer::submitRanked(Query query, std::size_t k,
+                          std::function<void(const QueryResponse &)>
+                              callback)
+{
+    return enqueue(std::move(query), Kind::Ranked, k,
+                   std::move(callback));
+}
+
+std::future<QueryResponse>
+QueryServer::enqueue(Query query, Kind kind, std::size_t k,
+                     std::function<void(const QueryResponse &)> callback)
+{
+    auto request = std::make_shared<Request>(std::move(query));
+    request->kind = kind;
+    request->k = k;
+    request->callback = std::move(callback);
+    request->admitted = Clock::now();
+    std::future<QueryResponse> future = request->promise.get_future();
+
+    if (!request->query.valid()) {
+        std::string reason = request->query.error();
+        reject(*request,
+               reason.empty() ? "invalid query" : std::move(reason));
+        return future;
+    }
+    if (kind == Kind::Ranked && _ranked == nullptr) {
+        reject(*request,
+               "ranked queries require a unified snapshot "
+               "(replicated snapshots serve boolean queries only)");
+        return future;
+    }
+    // push() blocks while the bounded queue is full: admission
+    // back-pressure. False means the server shut down first — the
+    // queue drops its copy, so answer through the one kept here.
+    std::shared_ptr<Request> kept = request;
+    if (!_queue.push(std::move(request)))
+        reject(*kept, "server has shut down");
+    return future;
+}
+
+void
+QueryServer::reject(Request &request, std::string reason)
+{
+    QueryResponse response;
+    response.ok = false;
+    response.error = std::move(reason);
+    response.latency_sec =
+        std::chrono::duration<double>(Clock::now() - request.admitted)
+            .count();
+    // Count before resolving: a client that has seen its future
+    // ready must find itself in stats().
+    {
+        std::scoped_lock lock(_stats_mutex);
+        ++_rejected;
+    }
+    request.promise.set_value(response);
+    if (request.callback)
+        request.callback(response);
+}
+
+void
+QueryServer::dispatchLoop()
+{
+    std::vector<std::shared_ptr<Request>> batch;
+    while (_queue.popBatch(batch, _options.batch_size)) {
+        for (std::shared_ptr<Request> &request : batch) {
+            _pool.submit([this, request = std::move(request)] {
+                execute(*request);
+            });
+        }
+    }
+    // Queue closed and fully drained: every admitted request is now
+    // in the pool; shutdown()'s pool.wait() sees them through.
+}
+
+void
+QueryServer::execute(Request &request)
+{
+    QueryResponse response;
+    switch (request.kind) {
+      case Kind::Boolean:
+        // Replicated snapshots evaluate their segments serially
+        // inside this one task: pool parallelism is spent across
+        // concurrent queries, not nested within one (nesting on the
+        // same pool would deadlock its wait()).
+        response.hits = _single != nullptr
+                            ? _single->run(request.query)
+                            : _multi->run(request.query, 1);
+        break;
+      case Kind::Ranked:
+        response.ranked = _ranked->topK(request.query, request.k);
+        break;
+    }
+    response.ok = true;
+    response.latency_sec =
+        std::chrono::duration<double>(Clock::now() - request.admitted)
+            .count();
+
+    // Count before resolving: a client that has seen its future
+    // ready must find itself in stats().
+    {
+        std::scoped_lock lock(_stats_mutex);
+        _latencies.push_back(response.latency_sec);
+        ++_completed;
+    }
+    request.promise.set_value(response);
+    if (request.callback)
+        request.callback(response);
+}
+
+ServerStats
+QueryServer::stats() const
+{
+    std::vector<double> latencies;
+    ServerStats digest;
+    Clock::time_point start;
+    {
+        std::scoped_lock lock(_stats_mutex);
+        latencies = _latencies;
+        digest.completed = _completed;
+        digest.rejected = _rejected;
+        start = _window_start;
+    }
+    digest.elapsed_sec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (digest.elapsed_sec > 0.0)
+        digest.qps = static_cast<double>(digest.completed)
+                     / digest.elapsed_sec;
+    digest.latency = summarizeLatencies(std::move(latencies));
+    return digest;
+}
+
+void
+QueryServer::resetStats()
+{
+    std::scoped_lock lock(_stats_mutex);
+    _latencies.clear();
+    _completed = 0;
+    _rejected = 0;
+    _window_start = Clock::now();
+}
+
+} // namespace dsearch

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * QueryServer: the persistent query-serving loop over a sealed index.
+ *
+ * Everything below Engine::build() produces one-shot answers: a
+ * searcher is constructed, a query is evaluated, results returned.
+ * The deployment shape the ROADMAP's north star demands — and the
+ * broker/worker search engines in the related work run as — is a
+ * *service*: an index that stays resident and answers an open-ended
+ * stream of queries from many clients at once.
+ *
+ * The server owns the sealed state (snapshot + document table) and
+ * long-lived searcher instances, so per-query work is evaluation
+ * only:
+ *
+ *   clients --submit()--> BlockingQueue --dispatcher--> ThreadPool
+ *      ^                  (bounded:                     (persistent
+ *      |                   back-pressure)                workers)
+ *      +---- future / callback with QueryResponse <-----+
+ *
+ *  - Admission is a bounded BlockingQueue: when clients outrun the
+ *    workers the queue fills and submit() blocks — closed-loop
+ *    back-pressure instead of unbounded memory growth.
+ *  - A dispatcher thread drains the queue in batches (popBatch, one
+ *    lock round per batch) and fans requests out to a shared
+ *    ThreadPool sized to the machine. Threads are created once, at
+ *    server start; a query never pays thread spawn (the fatal cost
+ *    bench_search_server quantifies against the naive path).
+ *  - Results come back through a std::future, an optional callback,
+ *    or both. Every admitted query is answered, even on shutdown:
+ *    close() semantics drain the queue before the server stops.
+ *  - Per-query latency (admission to completion) feeds a latency log
+ *    digested on demand into throughput and p50/p95/p99 (util/stats).
+ *
+ * Unified snapshots are served by Searcher (boolean) and
+ * RankedSearcher (topK; its term-stats cache is shared across the
+ * stream). A replicated snapshot — Implementation 3's unjoined
+ * output — is served by MultiSearcher, each query evaluating its
+ * segments serially inside one worker task so the pool's parallelism
+ * is spent across in-flight queries rather than nested inside one.
+ * Ranked queries require a unified snapshot and are rejected (ok =
+ * false) on replicated ones.
+ */
+
+#ifndef DSEARCH_SEARCH_QUERY_SERVER_HH
+#define DSEARCH_SEARCH_QUERY_SERVER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
+#include "pipeline/blocking_queue.hh"
+#include "pipeline/thread_pool.hh"
+#include "search/multi_searcher.hh"
+#include "search/query.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+#include "util/stats.hh"
+
+namespace dsearch {
+
+/** Sizing knobs for a QueryServer. */
+struct ServerOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t workers = 0;
+
+    /**
+     * Admission queue bound (back-pressure depth). 0 means
+     * unbounded — submit() then never blocks, memory is the limit.
+     */
+    std::size_t queue_capacity = 1024;
+
+    /** Requests the dispatcher drains per queue round (>= 1). */
+    std::size_t batch_size = 8;
+};
+
+/** The answer to one served query. */
+struct QueryResponse
+{
+    /** False when the query was rejected (error says why). */
+    bool ok = false;
+
+    /** Rejection reason (empty when ok). */
+    std::string error;
+
+    /** Boolean matches (boolean queries only; sorted DocIds). */
+    DocSet hits;
+
+    /** Scored hits, best first (ranked queries only). */
+    std::vector<ScoredHit> ranked;
+
+    /** Admission-to-completion latency, seconds. */
+    double latency_sec = 0.0;
+};
+
+/** A served-traffic digest; see QueryServer::stats(). */
+struct ServerStats
+{
+    std::uint64_t completed = 0; ///< Queries answered ok.
+    std::uint64_t rejected = 0;  ///< Invalid / refused / shut down.
+    double elapsed_sec = 0.0;    ///< Since start or resetStats().
+    double qps = 0.0;            ///< completed / elapsed.
+    LatencySummary latency;      ///< p50/p95/p99 etc., seconds.
+};
+
+/** Persistent query service; see the file comment. */
+class QueryServer
+{
+  public:
+    /**
+     * Serve @p snapshot, using @p docs for ranking and the universe
+     * size. Both are owned by the server (snapshots share segments,
+     * so "owning" a snapshot is two pointer copies). Threads start
+     * immediately; the server accepts queries as soon as the
+     * constructor returns.
+     */
+    QueryServer(IndexSnapshot snapshot, DocTable docs,
+                ServerOptions options = {});
+
+    /**
+     * Serve a finished build directly — the Engine facade's hand-off:
+     *
+     *     QueryServer server(Engine::open(fs, "/").build());
+     *
+     * Takes the snapshot and document table out of @p built; the rest
+     * of the result (config, timings) is left intact.
+     */
+    explicit QueryServer(Engine::Result &&built,
+                         ServerOptions options = {});
+
+    /** Shuts down (draining admitted queries) if still running. */
+    ~QueryServer();
+
+    QueryServer(const QueryServer &) = delete;
+    QueryServer &operator=(const QueryServer &) = delete;
+
+    /**
+     * Submit a boolean query.
+     *
+     * Blocks only when the admission queue is full (back-pressure).
+     * The future always becomes ready — with ok = false for invalid
+     * queries or a server that has shut down.
+     */
+    std::future<QueryResponse> submit(Query query);
+
+    /** Submit a boolean query with a completion callback in addition
+     *  to the returned future. Served queries invoke it on a worker
+     *  thread; rejected ones (invalid, refused, shut down) invoke it
+     *  inline on the submitting thread before submit() returns. */
+    std::future<QueryResponse>
+    submit(Query query, std::function<void(const QueryResponse &)> callback);
+
+    /**
+     * Submit a ranked query for the best @p k hits. Requires a
+     * unified snapshot; rejected (ok = false) on replicated ones.
+     */
+    std::future<QueryResponse> submitRanked(Query query, std::size_t k);
+
+    /** Ranked submission with a completion callback (same threading
+     *  contract as the boolean callback overload). */
+    std::future<QueryResponse>
+    submitRanked(Query query, std::size_t k,
+                 std::function<void(const QueryResponse &)> callback);
+
+    /**
+     * Stop the server: close admission (later submits are rejected
+     * immediately), drain and answer every query already admitted,
+     * then park the workers. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    /** @return True while submit() can still admit queries. */
+    bool accepting() const { return !_queue.closed(); }
+
+    /** @return True when serving unjoined replicas (MultiSearcher). */
+    bool replicated() const { return _multi != nullptr; }
+
+    /** @return Worker threads executing queries. */
+    std::size_t workerCount() const { return _pool.workerCount(); }
+
+    /** @return Documents in the served universe. */
+    std::size_t docCount() const { return _docs.docCount(); }
+
+    /** @return The served document table (paths for result display). */
+    const DocTable &docs() const { return _docs; }
+
+    /**
+     * Digest of traffic served so far: counts, throughput, latency
+     * percentiles. Safe to call at any time, including while under
+     * load (the latency log is copied out under its lock).
+     */
+    ServerStats stats() const;
+
+    /** Restart the stats window (after warm-up, between load phases). */
+    void resetStats();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** What a query needs: boolean matches or a ranked topK. */
+    enum class Kind { Boolean, Ranked };
+
+    /** One admitted query in flight. */
+    struct Request
+    {
+        explicit Request(Query q) : query(std::move(q)) {}
+
+        Query query;
+        Kind kind = Kind::Boolean;
+        std::size_t k = 0;
+        std::promise<QueryResponse> promise;
+        std::function<void(const QueryResponse &)> callback;
+        Clock::time_point admitted;
+    };
+
+    /** Shared enqueue path behind the four submit overloads. */
+    std::future<QueryResponse>
+    enqueue(Query query, Kind kind, std::size_t k,
+            std::function<void(const QueryResponse &)> callback);
+
+    /** Resolve @p request as rejected with @p reason, count it. */
+    void reject(Request &request, std::string reason);
+
+    /** Dispatcher thread body: popBatch -> pool until drained. */
+    void dispatchLoop();
+
+    /** Worker-side evaluation of one request. */
+    void execute(Request &request);
+
+    IndexSnapshot _snapshot;
+    DocTable _docs;
+    ServerOptions _options;
+
+    // Long-lived searchers: exactly one of (_single [+ _ranked]) or
+    // _multi is set, per the snapshot's shape.
+    std::unique_ptr<Searcher> _single;
+    std::unique_ptr<RankedSearcher> _ranked;
+    std::unique_ptr<MultiSearcher> _multi;
+
+    BlockingQueue<std::shared_ptr<Request>> _queue;
+    ThreadPool _pool;
+    std::thread _dispatcher;
+    std::once_flag _shutdown_once;
+
+    // Latency log + counters, one lock (stats are off the hot lock:
+    // workers append one double per query).
+    mutable std::mutex _stats_mutex;
+    std::vector<double> _latencies;
+    std::uint64_t _completed = 0;
+    std::uint64_t _rejected = 0;
+    Clock::time_point _window_start;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_QUERY_SERVER_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 
 #include "util/hash_set.hh"
 
@@ -43,7 +45,8 @@ positiveTerms(const QueryNode &root)
 RankedSearcher::RankedSearcher(IndexSnapshot snapshot,
                                const DocTable &docs)
     : _snapshot(std::move(snapshot)), _docs(docs),
-      _boolean(_snapshot, docs.docCount())
+      _boolean(_snapshot, docs.docCount()),
+      _cache(std::make_unique<TermCache>())
 {
 }
 
@@ -56,10 +59,45 @@ RankedSearcher::idfFromDf(std::size_t df) const
     return std::log(1.0 + n / static_cast<double>(df));
 }
 
+RankedSearcher::TermStats
+RankedSearcher::termStats(const std::string &term,
+                          PostingCursor *cursor_out) const
+{
+    {
+        std::shared_lock lock(_cache->mutex);
+        if (const TermStats *hit = _cache->map.find(term)) {
+            if (cursor_out != nullptr && hit->df != 0)
+                *cursor_out = _snapshot.cursor(term);
+            return *hit;
+        }
+    }
+
+    // Miss: one snapshot probe (cursor construction decodes the
+    // first block — the cost the cache exists to amortize), shared
+    // with the caller's scoring pass via cursor_out.
+    PostingCursor cursor = _snapshot.cursor(term);
+    TermStats stats;
+    stats.df = cursor.count();
+    stats.idf = idfFromDf(stats.df);
+    if (cursor_out != nullptr && stats.df != 0)
+        *cursor_out = cursor;
+
+    std::unique_lock lock(_cache->mutex);
+    _cache->map.insert(term, stats); // a racing filler won
+    return stats;
+}
+
+std::size_t
+RankedSearcher::cachedTermCount() const
+{
+    std::shared_lock lock(_cache->mutex);
+    return _cache->map.size();
+}
+
 double
 RankedSearcher::idf(const std::string &term) const
 {
-    return idfFromDf(_snapshot.cursor(term).count());
+    return termStats(term).idf;
 }
 
 std::vector<ScoredHit>
@@ -79,10 +117,11 @@ RankedSearcher::topK(const Query &query, std::size_t k) const
     // allocation is the score accumulator, parallel to `matches`.
     std::vector<double> scores(matches.size(), 0.0);
     for (const std::string &term : positiveTerms(query.root())) {
-        PostingCursor cursor = _snapshot.cursor(term);
-        if (cursor.count() == 0)
-            continue;
-        const double weight = idfFromDf(cursor.count());
+        PostingCursor cursor;
+        const TermStats stats = termStats(term, &cursor);
+        if (stats.df == 0)
+            continue; // cache hit spares the cursor rebuild entirely
+        const double weight = stats.idf;
         std::size_t i = 0;
         while (i < matches.size() && cursor.seekGE(matches[i])) {
             const DocId doc = cursor.doc();

@@ -24,6 +24,8 @@
 #define DSEARCH_SEARCH_RANKED_HH
 
 #include <cstddef>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "index/index_snapshot.hh"
 #include "search/query.hh"
 #include "search/searcher.hh"
+#include "util/hash_map.hh"
 
 namespace dsearch {
 
@@ -71,13 +74,53 @@ class RankedSearcher
     /** Inverse document frequency of @p term in this index. */
     double idf(const std::string &term) const;
 
+    /**
+     * @return Distinct terms currently held by the term-statistics
+     *         cache (regression observable: a repeated query stream
+     *         must not grow it past its vocabulary).
+     */
+    std::size_t cachedTermCount() const;
+
   private:
+    /** Cached per-term statistics; valid while the snapshot lives. */
+    struct TermStats
+    {
+        std::size_t df = 0;  ///< Document frequency.
+        double idf = 0.0;    ///< idfFromDf(df), precomputed.
+    };
+
+    /**
+     * term -> TermStats cache. The snapshot is sealed and immutable,
+     * so an entry never goes stale; the cache is shared by every
+     * query this searcher serves (a server issues the same popular
+     * terms over and over). Boxed so the searcher stays movable;
+     * reader/writer locked so concurrent topK() calls from a server
+     * pool race neither the map nor each other.
+     */
+    struct TermCache
+    {
+        mutable std::shared_mutex mutex;
+        HashMap<std::string, TermStats> map;
+    };
+
     /** idf from a known document frequency (no term lookup). */
     double idfFromDf(std::size_t df) const;
+
+    /**
+     * Look @p term up in the cache, filling it on a miss.
+     *
+     * When @p cursor_out is non-null and the term has postings, it
+     * receives a cursor over them — built from the one snapshot
+     * probe either path performs, so scoring never constructs a
+     * second cursor for the same term.
+     */
+    TermStats termStats(const std::string &term,
+                        PostingCursor *cursor_out = nullptr) const;
 
     IndexSnapshot _snapshot;
     const DocTable &_docs;
     Searcher _boolean;
+    std::unique_ptr<TermCache> _cache;
 };
 
 } // namespace dsearch

@@ -1,5 +1,6 @@
 #include "util/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dsearch {
@@ -58,6 +59,38 @@ summarize(const std::vector<double> &sample)
     s.min = stat.min();
     s.max = stat.max();
     return s;
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LatencySummary
+summarizeLatencies(std::vector<double> sample)
+{
+    LatencySummary digest;
+    if (sample.empty())
+        return digest;
+    std::sort(sample.begin(), sample.end());
+    RunningStat stat;
+    for (double x : sample)
+        stat.push(x);
+    digest.count = stat.count();
+    digest.mean = stat.mean();
+    digest.p50 = quantileSorted(sample, 0.50);
+    digest.p95 = quantileSorted(sample, 0.95);
+    digest.p99 = quantileSorted(sample, 0.99);
+    digest.max = stat.max();
+    return digest;
 }
 
 double

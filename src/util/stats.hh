@@ -74,6 +74,36 @@ struct Summary
 Summary summarize(const std::vector<double> &sample);
 
 /**
+ * Quantile of an ascending-sorted sample with linear interpolation
+ * between ranks (the common "type 7" estimator).
+ *
+ * @param sorted Sample sorted ascending; must not be descending.
+ * @param q      Quantile in [0, 1] (clamped).
+ * @return Interpolated sample value; 0 when the sample is empty.
+ */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+/**
+ * The latency digest a query server reports: tail percentiles over
+ * per-query observations.
+ */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * Digest @p sample (unsorted; sorted internally, the argument is
+ * taken by value so callers keep their observation log intact).
+ */
+LatencySummary summarizeLatencies(std::vector<double> sample);
+
+/**
  * Speed-up of a measured time against a baseline time.
  *
  * @param baseline_sec Sequential (or reference) execution time.

@@ -307,6 +307,37 @@ TEST(BlockingQueue, PerProducerOrderPreserved)
     EXPECT_EQ(last_seen[1], per_producer - 1);
 }
 
+TEST(BlockingQueue, UnboundedConsumersSkipProducerNotify)
+{
+    // Regression: pop/popBatch/tryPop used to issue a _not_full
+    // notify per freed slot even on unbounded queues, where no
+    // producer can ever be blocked — pure wake-up overhead on the
+    // consumer hot path. The guard must keep the count at zero.
+    BlockingQueue<int> queue; // capacity 0 = unbounded
+    for (int i = 0; i < 32; ++i)
+        queue.push(i);
+    int out;
+    queue.pop(out);
+    queue.tryPop(out);
+    std::vector<int> batch;
+    queue.popBatch(batch, 16);
+    EXPECT_EQ(queue.producerNotifyCount(), 0u);
+}
+
+TEST(BlockingQueue, BoundedConsumersStillNotifyProducers)
+{
+    BlockingQueue<int> queue(8);
+    for (int i = 0; i < 8; ++i)
+        queue.push(i);
+    int out;
+    queue.pop(out);
+    queue.tryPop(out);
+    std::vector<int> batch;
+    ASSERT_TRUE(queue.popBatch(batch, 4));
+    // One notify per freed slot: 1 (pop) + 1 (tryPop) + 4 (batch).
+    EXPECT_EQ(queue.producerNotifyCount(), 6u);
+}
+
 TEST(BlockingQueue, MoveOnlyElements)
 {
     BlockingQueue<std::unique_ptr<int>> queue;

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/engine.hh"
 #include "fs/corpus.hh"
 #include "pipeline/thread_pool.hh"
@@ -139,6 +142,62 @@ TEST(MultiSearcher, PersistentPoolGivesSameAnswer)
         Query q = Query::parse(text);
         EXPECT_EQ(multi.run(q, pool), multi.run(q, 1)) << text;
     }
+}
+
+TEST(MultiSearcher, QueryStreamReusesOneCachedPool)
+{
+    // Regression: run(query, threads) used to construct and tear
+    // down a ThreadPool on every call — fatal per-query cost for a
+    // server loop. A stream of parallel queries must create exactly
+    // one pool.
+    std::vector<InvertedIndex> replicas(4);
+    for (DocId doc = 0; doc < 80; ++doc)
+        replicas[doc % 4].addBlock(
+            block(doc, {"w" + std::to_string(doc % 6)}));
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)), 80);
+    EXPECT_EQ(multi.poolsCreated(), 0u);
+
+    Query q = Query::parse("w1 OR w2");
+    DocSet expected = multi.run(q, 1);
+    EXPECT_EQ(multi.poolsCreated(), 0u); // serial path needs no pool
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(multi.run(q, 4), expected);
+    EXPECT_EQ(multi.poolsCreated(), 1u);
+
+    // The explicit fallback spawns fresh pools without touching the
+    // cached one.
+    EXPECT_EQ(multi.runFreshPool(q, 4), expected);
+    EXPECT_EQ(multi.poolsCreated(), 1u);
+}
+
+TEST(MultiSearcher, CachedPoolSafeAcrossConcurrentQueries)
+{
+    // Several client threads sharing one searcher: the lazily
+    // created cached pool must be created exactly once and produce
+    // correct answers under concurrency (TSan-checked in the
+    // sanitizer suite).
+    std::vector<InvertedIndex> replicas(4);
+    for (DocId doc = 0; doc < 120; ++doc)
+        replicas[doc % 4].addBlock(
+            block(doc, {"w" + std::to_string(doc % 8)}));
+    MultiSearcher multi(IndexSnapshot::seal(std::move(replicas)),
+                        120);
+    Query q = Query::parse("w3 OR (w5 AND NOT w1)");
+    DocSet expected = multi.run(q, 1);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&multi, &q, &expected, &mismatches] {
+            for (int i = 0; i < 25; ++i)
+                if (multi.run(q, 4) != expected)
+                    ++mismatches;
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(multi.poolsCreated(), 1u);
 }
 
 /**

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit and concurrency tests for the query-serving loop
+ * (search/query_server.hh).
+ *
+ * The server's contract: every admitted query is answered (even
+ * across shutdown), answers agree with the one-shot searchers, and
+ * many client threads can submit mixed boolean/ranked traffic
+ * against unified and replicated snapshots without racing. The
+ * concurrency tests here are part of the TSan suite registered by
+ * scripts/check_sanitize.sh (ctest check_tsan_query_server).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fs/corpus.hh"
+#include "search/query_server.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    for (const std::string &term : terms)
+        b.addTerm(term);
+    return b;
+}
+
+/** A small hand-built unified corpus: 4 docs over 4 terms. */
+class QueryServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (int d = 0; d < 4; ++d)
+            _docs.add("/f" + std::to_string(d), 1000);
+        InvertedIndex index;
+        index.addBlock(block(0, {"common", "rare"}));
+        index.addBlock(block(1, {"common"}));
+        index.addBlock(block(2, {"common", "other"}));
+        index.addBlock(block(3, {"common", "rare", "other"}));
+        _snapshot = IndexSnapshot::seal(std::move(index));
+    }
+
+    IndexSnapshot _snapshot;
+    DocTable _docs;
+};
+
+TEST_F(QueryServerTest, BooleanMatchesDirectSearcher)
+{
+    Searcher direct(_snapshot, _docs.docCount());
+    QueryServer server(_snapshot, _docs);
+    for (const char *text :
+         {"common", "rare", "common AND NOT other", "NOT common",
+          "rare OR other"}) {
+        Query query = Query::parse(text);
+        QueryResponse reply = server.submit(query).get();
+        EXPECT_TRUE(reply.ok) << text;
+        EXPECT_EQ(reply.hits, direct.run(query)) << text;
+        EXPECT_GE(reply.latency_sec, 0.0);
+    }
+}
+
+TEST_F(QueryServerTest, RankedMatchesDirectSearcher)
+{
+    RankedSearcher direct(_snapshot, _docs);
+    QueryServer server(_snapshot, _docs);
+    Query query = Query::parse("common OR rare");
+    QueryResponse reply = server.submitRanked(query, 3).get();
+    ASSERT_TRUE(reply.ok);
+    auto expected = direct.topK(query, 3);
+    ASSERT_EQ(reply.ranked.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(reply.ranked[i].doc, expected[i].doc);
+        EXPECT_DOUBLE_EQ(reply.ranked[i].score, expected[i].score);
+    }
+}
+
+TEST_F(QueryServerTest, InvalidQueryRejectedNotCrashed)
+{
+    QueryServer server(_snapshot, _docs);
+    QueryResponse reply = server.submit(Query::parse("AND AND")).get();
+    EXPECT_FALSE(reply.ok);
+    EXPECT_FALSE(reply.error.empty());
+    EXPECT_TRUE(reply.hits.empty());
+    EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST_F(QueryServerTest, CallbackRunsAlongsideFuture)
+{
+    QueryServer server(_snapshot, _docs);
+    std::atomic<int> called{0};
+    std::atomic<std::size_t> seen_hits{0};
+    auto future = server.submit(
+        Query::parse("common"), [&](const QueryResponse &reply) {
+            seen_hits = reply.hits.size();
+            ++called;
+        });
+    QueryResponse reply = future.get();
+    server.shutdown(); // callbacks finished once drained
+    EXPECT_EQ(called.load(), 1);
+    EXPECT_EQ(seen_hits.load(), reply.hits.size());
+    EXPECT_EQ(reply.hits.size(), 4u);
+}
+
+TEST_F(QueryServerTest, EngineResultHandoff)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(2010)).generateInMemory();
+    Engine::Result built =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedJoin)
+            .threads(2, 2, 1)
+            .build();
+    Searcher direct(built.snapshot, built.docs.docCount());
+
+    QueryServer server(std::move(built));
+    EXPECT_FALSE(server.replicated());
+    Query query = Query::parse("ba");
+    EXPECT_EQ(server.submit(query).get().hits, direct.run(query));
+    EXPECT_GT(server.docCount(), 0u);
+}
+
+TEST_F(QueryServerTest, ReplicatedSnapshotServesBoolean)
+{
+    auto fs = CorpusGenerator(CorpusSpec::tiny(2010)).generateInMemory();
+    Engine::Result built =
+        Engine::open(*fs, "/")
+            .organization(Implementation::ReplicatedNoJoin)
+            .threads(2, 2)
+            .build();
+    MultiSearcher direct(built.snapshot, built.docs.docCount());
+
+    QueryServer server(std::move(built));
+    EXPECT_TRUE(server.replicated());
+    for (const char *text : {"ba", "ba AND be", "NOT ba"}) {
+        Query query = Query::parse(text);
+        QueryResponse reply = server.submit(query).get();
+        EXPECT_TRUE(reply.ok) << text;
+        EXPECT_EQ(reply.hits, direct.run(query)) << text;
+    }
+
+    // Ranked needs a unified snapshot: refused, not wrong.
+    QueryResponse ranked =
+        server.submitRanked(Query::parse("ba"), 5).get();
+    EXPECT_FALSE(ranked.ok);
+    EXPECT_FALSE(ranked.error.empty());
+}
+
+TEST_F(QueryServerTest, ManyClientsMixedTraffic)
+{
+    Searcher direct(_snapshot, _docs.docCount());
+    RankedSearcher direct_ranked(_snapshot, _docs);
+    const DocSet expect_common = direct.run(Query::parse("common"));
+    const DocSet expect_not = direct.run(Query::parse("NOT other"));
+    const std::size_t expect_ranked =
+        direct_ranked.topK(Query::parse("common OR rare"), 2).size();
+
+    ServerOptions options;
+    options.workers = 4;
+    options.queue_capacity = 16; // small: exercises back-pressure
+    QueryServer server(_snapshot, _docs, options);
+
+    const int clients = 8;
+    const int per_client = 50;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (int i = 0; i < per_client; ++i) {
+                switch ((c + i) % 3) {
+                  case 0: {
+                    auto reply =
+                        server.submit(Query::parse("common")).get();
+                    if (!reply.ok || reply.hits != expect_common)
+                        ++mismatches;
+                    break;
+                  }
+                  case 1: {
+                    auto reply =
+                        server.submit(Query::parse("NOT other")).get();
+                    if (!reply.ok || reply.hits != expect_not)
+                        ++mismatches;
+                    break;
+                  }
+                  default: {
+                    auto reply =
+                        server
+                            .submitRanked(
+                                Query::parse("common OR rare"), 2)
+                            .get();
+                    if (!reply.ok
+                        || reply.ranked.size() != expect_ranked)
+                        ++mismatches;
+                    break;
+                  }
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed,
+              static_cast<std::uint64_t>(clients * per_client));
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.latency.count, stats.completed);
+    EXPECT_GT(stats.qps, 0.0);
+    EXPECT_LE(stats.latency.p50, stats.latency.p95);
+    EXPECT_LE(stats.latency.p95, stats.latency.p99);
+    EXPECT_LE(stats.latency.p99, stats.latency.max);
+}
+
+TEST_F(QueryServerTest, ShutdownDrainsQueuedQueries)
+{
+    ServerOptions options;
+    options.workers = 1;       // serialize: queries pile up queued
+    options.queue_capacity = 0; // unbounded so submits never block
+    QueryServer server(_snapshot, _docs, options);
+
+    const int queued = 64;
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(queued);
+    for (int i = 0; i < queued; ++i)
+        futures.push_back(server.submit(Query::parse("common")));
+
+    server.shutdown(); // must answer everything already admitted
+    for (auto &future : futures) {
+        QueryResponse reply = future.get();
+        EXPECT_TRUE(reply.ok);
+        EXPECT_EQ(reply.hits.size(), 4u);
+    }
+    EXPECT_EQ(server.stats().completed,
+              static_cast<std::uint64_t>(queued));
+}
+
+TEST_F(QueryServerTest, SubmitAfterShutdownRejected)
+{
+    QueryServer server(_snapshot, _docs);
+    server.shutdown();
+    EXPECT_FALSE(server.accepting());
+    QueryResponse reply = server.submit(Query::parse("common")).get();
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, "server has shut down");
+    EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST_F(QueryServerTest, ShutdownIdempotentAndDestructorSafe)
+{
+    QueryServer server(_snapshot, _docs);
+    auto future = server.submit(Query::parse("rare"));
+    server.shutdown();
+    server.shutdown(); // second call is a no-op
+    EXPECT_EQ(future.get().hits, (DocSet{0, 3}));
+    // Destructor after explicit shutdown must not hang or double-join.
+}
+
+TEST_F(QueryServerTest, ResetStatsStartsFreshWindow)
+{
+    QueryServer server(_snapshot, _docs);
+    server.submit(Query::parse("common")).get();
+    ASSERT_EQ(server.stats().completed, 1u);
+    server.resetStats();
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_EQ(stats.latency.count, 0u);
+    server.submit(Query::parse("common")).get();
+    EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST_F(QueryServerTest, ConcurrentShutdownWhileSubmitting)
+{
+    // Clients racing a shutdown: every future must resolve, each
+    // either served or cleanly rejected — never a broken promise.
+    ServerOptions options;
+    options.workers = 2;
+    QueryServer server(_snapshot, _docs, options);
+
+    std::atomic<int> resolved{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                auto reply =
+                    server.submit(Query::parse("common")).get();
+                if (reply.ok || reply.error == "server has shut down")
+                    ++resolved;
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.shutdown();
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_EQ(resolved.load(), 200);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed + stats.rejected, 200u);
+}
+
+} // namespace
+} // namespace dsearch

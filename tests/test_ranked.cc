@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "search/ranked.hh"
 
@@ -139,6 +141,64 @@ TEST_F(RankedTest, IdfValues)
     EXPECT_NEAR(_ranked->idf("common"), std::log(2.0), 1e-12);
     EXPECT_NEAR(_ranked->idf("rare"), std::log(3.0), 1e-12);
     EXPECT_EQ(_ranked->idf("nonexistent"), 0.0);
+}
+
+TEST_F(RankedTest, TermStatsCachedAcrossQueries)
+{
+    // Regression: idf() and topK() used to rebuild a PostingCursor
+    // per term per call. The per-searcher cache fills on first use
+    // and is bounded by the queried vocabulary — a repeated query
+    // stream must not grow it.
+    EXPECT_EQ(_ranked->cachedTermCount(), 0u);
+    auto first = _ranked->topK(Query::parse("common OR rare"), 10);
+    EXPECT_EQ(_ranked->cachedTermCount(), 2u);
+    for (int i = 0; i < 50; ++i)
+        _ranked->topK(Query::parse("common OR rare"), 10);
+    EXPECT_EQ(_ranked->cachedTermCount(), 2u);
+
+    // Cached answers stay identical to the first (uncached) ones.
+    auto again = _ranked->topK(Query::parse("common OR rare"), 10);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(again[i].doc, first[i].doc);
+        EXPECT_DOUBLE_EQ(again[i].score, first[i].score);
+    }
+
+    // Unknown terms cache too (df 0), sparing the snapshot probe.
+    EXPECT_EQ(_ranked->idf("nonexistent"), 0.0);
+    EXPECT_EQ(_ranked->cachedTermCount(), 3u);
+    EXPECT_EQ(_ranked->idf("nonexistent"), 0.0);
+    EXPECT_EQ(_ranked->cachedTermCount(), 3u);
+}
+
+TEST_F(RankedTest, TermCacheSafeUnderConcurrentQueries)
+{
+    // Server workers share one RankedSearcher: concurrent topK()
+    // must neither race the cache nor change answers (TSan-checked
+    // in the sanitizer suite).
+    auto expected = _ranked->topK(Query::parse("common OR rare"), 10);
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([this, &expected, &mismatches] {
+            for (int i = 0; i < 50; ++i) {
+                auto hits =
+                    _ranked->topK(Query::parse("common OR rare"), 10);
+                if (hits.size() != expected.size()) {
+                    ++mismatches;
+                    continue;
+                }
+                for (std::size_t j = 0; j < hits.size(); ++j)
+                    if (hits[j].doc != expected[j].doc
+                        || hits[j].score != expected[j].score)
+                        ++mismatches;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(_ranked->cachedTermCount(), 2u);
 }
 
 TEST(PositiveTerms, CollectsOnlyPositiveContext)

@@ -84,6 +84,56 @@ TEST(Summarize, EmptySample)
     EXPECT_EQ(s.mean, 0.0);
 }
 
+TEST(QuantileSorted, InterpolatesBetweenRanks)
+{
+    std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 1.0), 5.0);
+    // Type-7 interpolation: rank 0.25 * 4 = 1 exactly -> 2.0;
+    // 0.9 * 4 = 3.6 -> 4.0 + 0.6 * (5.0 - 4.0).
+    EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.25), 2.0);
+    EXPECT_NEAR(quantileSorted(sorted, 0.9), 4.6, 1e-12);
+}
+
+TEST(QuantileSorted, DegenerateInputs)
+{
+    EXPECT_EQ(quantileSorted({}, 0.5), 0.0);
+    std::vector<double> one{7.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(one, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(one, 0.99), 7.0);
+    // Out-of-range quantiles clamp instead of indexing out of range.
+    std::vector<double> two{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(two, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(two, 1.5), 2.0);
+}
+
+TEST(SummarizeLatencies, TailPercentilesOrdered)
+{
+    // 1..100 ms: p50 = 50.5, p95 = 95.05, p99 = 99.01 under linear
+    // interpolation; the digest sorts internally (feed it shuffled).
+    std::vector<double> sample;
+    for (int i = 100; i >= 1; --i)
+        sample.push_back(static_cast<double>(i) * 1e-3);
+    LatencySummary digest = summarizeLatencies(sample);
+    EXPECT_EQ(digest.count, 100u);
+    EXPECT_NEAR(digest.mean, 50.5e-3, 1e-12);
+    EXPECT_NEAR(digest.p50, 50.5e-3, 1e-9);
+    EXPECT_NEAR(digest.p95, 95.05e-3, 1e-9);
+    EXPECT_NEAR(digest.p99, 99.01e-3, 1e-9);
+    EXPECT_DOUBLE_EQ(digest.max, 100e-3);
+    EXPECT_LE(digest.p50, digest.p95);
+    EXPECT_LE(digest.p95, digest.p99);
+    EXPECT_LE(digest.p99, digest.max);
+}
+
+TEST(SummarizeLatencies, EmptySample)
+{
+    LatencySummary digest = summarizeLatencies({});
+    EXPECT_EQ(digest.count, 0u);
+    EXPECT_EQ(digest.p99, 0.0);
+}
+
 TEST(Speedup, PaperValues)
 {
     // Table 2: sequential 220 s, Implementation 1 at 46.7 s -> 4.71.
