@@ -46,9 +46,18 @@ corpus and machine — is a ratio, so it is gated absolutely
 against the baseline only when the canary says the machines are
 comparable, and reported as advisory otherwise.
 
+With --overload (requires --server-bench), the benchmark's overload
+section is additionally gated on the machine-independent
+graceful-degradation properties: under a 2x-capacity open-loop load
+some queries complete AND some are refused (shed + timed_out > 0 —
+the overload went somewhere accountable), while the p99 latency of
+the *accepted* queries stays within --overload-p99-factor times the
+configured deadline (default 2.0: the deadline bounds queue wait, so
+accepted answers cannot be arbitrarily stale).
+
 Usage:
   check_bench.py --baseline BENCH_micro.json --bench ./bench_micro \
-                 [--server-bench ./bench_search_server] \
+                 [--server-bench ./bench_search_server] [--overload] \
                  [--threshold 0.10] [--repeats 2]
 
 Exit status: 0 ok, 1 regression, 2 harness failure.
@@ -150,6 +159,52 @@ def gate_server(fresh, baseline, comparable, threshold, min_speedup):
     return failures
 
 
+def gate_overload(fresh, p99_factor):
+    """Gate the overload section; return failed metric names.
+
+    Every property here is machine-independent (counters and a
+    latency-to-deadline ratio), so no canary/baseline comparison is
+    involved.
+    """
+    failures = []
+    section = fresh.get("overload")
+    if section is None:
+        print("check_bench: server bench emitted no overload section",
+              file=sys.stderr)
+        return ["search_server.overload"]
+
+    completed = section["completed"]
+    refused = section["shed"] + section["timed_out"]
+    deadline_ms = section["deadline_ms"]
+    p99_ms = section["accepted_p99_ms"]
+    bound_ms = p99_factor * deadline_ms
+
+    status = "OK" if completed > 0 else "REGRESSION"
+    if completed == 0:
+        failures.append("search_server.overload.completed")
+    print(f"search_server.overload.completed: {completed} "
+          f"(gate > 0) {status}")
+
+    status = "OK" if refused > 0 else "REGRESSION"
+    if refused == 0:
+        failures.append("search_server.overload.shed+timed_out")
+    print(f"search_server.overload.shed+timed_out: "
+          f"{section['shed']}+{section['timed_out']} "
+          f"(gate > 0: a 2x-capacity load must be partly refused) "
+          f"{status}")
+
+    status = "OK" if p99_ms <= bound_ms else "REGRESSION"
+    if p99_ms > bound_ms:
+        failures.append("search_server.overload.accepted_p99_ms")
+    print(f"search_server.overload.accepted_p99_ms: {p99_ms:.3g} "
+          f"(gate <= {p99_factor:.3g} x {deadline_ms:.3g} ms "
+          f"deadline = {bound_ms:.3g}) {status}")
+
+    print(f"search_server.overload.offered_qps (advisory): "
+          f"{section['offered_qps']:.3g}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -162,6 +217,15 @@ def main():
                         default=1.0,
                         help="minimum QueryServer-vs-naive QPS ratio "
                              "(absolute gate, default 1.0)")
+    parser.add_argument("--overload", action="store_true",
+                        help="also gate the server bench's overload "
+                             "section (graceful degradation under "
+                             "2x-capacity load; machine-independent)")
+    parser.add_argument("--overload-p99-factor", type=float,
+                        default=2.0,
+                        help="accepted-query p99 must stay within "
+                             "this multiple of the configured "
+                             "deadline (default 2.0)")
     parser.add_argument("--server-threshold", type=float,
                         default=0.25,
                         help="fatal relative regression for absolute "
@@ -180,6 +244,9 @@ def main():
                         help="minimum sealed-segment compression "
                              "ratio (absolute gate, default 2.0)")
     args = parser.parse_args()
+
+    if args.overload and not args.server_bench:
+        parser.error("--overload requires --server-bench")
 
     with open(args.baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
@@ -291,6 +358,9 @@ def main():
         failures += gate_server(server_fresh, baseline, comparable,
                                 args.server_threshold,
                                 args.min_server_speedup)
+        if args.overload:
+            failures += gate_overload(server_fresh,
+                                      args.overload_p99_factor)
 
     if failures:
         # Each metric's own line above states the gate it failed

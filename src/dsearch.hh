@@ -44,6 +44,19 @@
  *     DocSet hits = reply.get().hits;   // or submitRanked() for topK
  *     ServerStats load = server.stats();  // qps, p50/p95/p99
  *
+ * Failure handling: the library assumes disks lie and queries
+ * misbehave. SnapshotStore persists snapshots crash-safely
+ * (write-temp + flush + rename, generation rotation, recovery walks
+ * back to the newest snapshot that validates); loadSnapshot()
+ * rejects corrupt or truncated images without allocating from
+ * untrusted headers; QueryServer enforces per-query deadlines,
+ * sheds load under overload (OverloadPolicy) and isolates throwing
+ * queries as rejected results. util/fault.hh provides deterministic
+ * named failure points (armFault()/ScopedFault) wired through disk
+ * reads, serialization streams, the snapshot store and query
+ * dispatch — and FlakyFs simulates permanently or transiently
+ * unreadable files for build-side tests.
+ *
  * Deprecation path: constructing IndexGenerator directly and binding
  * searchers to a concrete InvertedIndex (the pre-Engine API) still
  * works for build-side code — BuildResult::sealIndices() bridges into
@@ -92,6 +105,7 @@
 #include "index/posting_cursor.hh"
 #include "index/serialize.hh"
 #include "index/shared_index.hh"
+#include "index/snapshot_store.hh"
 
 #include "search/multi_searcher.hh"
 #include "search/query.hh"
@@ -110,6 +124,7 @@
 #include "tune/config_space.hh"
 #include "tune/tuner.hh"
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 #include "util/stats.hh"

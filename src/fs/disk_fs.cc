@@ -5,6 +5,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace dsearch {
@@ -82,6 +83,11 @@ DiskFs::fileSize(const std::string &path) const
 bool
 DiskFs::readFile(const std::string &path, std::string &out) const
 {
+    // Injectable I/O failure (util/fault.hh): a live filesystem loses
+    // files and permissions mid-run; tests arm this to prove callers
+    // skip or retry instead of crashing.
+    if (faultFires("disk_fs.read"))
+        return false;
     std::ifstream in(resolve(path), std::ios::binary);
     if (!in)
         return false;

@@ -9,6 +9,15 @@
  * because the failing set depends only on (path, seed) — that every
  * generator organization skips the *same* files and still produces
  * equivalent indices.
+ *
+ * Two failure shapes are covered:
+ *
+ *  - Permanent (default): reads of a failing path always fail — a
+ *    deleted file or a revoked permission. Callers must skip.
+ *  - Transient (setTransientFailures(n)): reads of a failing path
+ *    fail their first n attempts, then succeed — a file busy or
+ *    locked mid-write. Callers with bounded retry (the extractor's
+ *    read path) recover these without skipping anything.
  */
 
 #ifndef DSEARCH_FS_FLAKY_FS_HH
@@ -16,7 +25,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "fs/file_system.hh"
 #include "util/fnv_hash.hh"
@@ -48,6 +59,29 @@ class FlakyFs : public FileSystem
         std::uint64_t h = fnv1a_64(path) ^ _seed;
         double u = static_cast<double>(h >> 11) * 0x1.0p-53;
         return u < _fail_probability;
+    }
+
+    /**
+     * Make failures transient: reads of a failing path fail only
+     * their first @p attempts tries, then succeed. 0 (the default)
+     * restores permanent failures. Per-path attempt counts reset, so
+     * the mode can be flipped between build phases.
+     */
+    void
+    setTransientFailures(std::uint64_t attempts)
+    {
+        std::scoped_lock lock(_mutex);
+        _transient_attempts = attempts;
+        _attempts.clear();
+    }
+
+    /** @return Failed tries per failing path (0 = failures are
+     *          permanent). */
+    std::uint64_t
+    transientFailures() const
+    {
+        std::scoped_lock lock(_mutex);
+        return _transient_attempts;
     }
 
     /** @return Number of reads failed so far (across threads). */
@@ -87,7 +121,7 @@ class FlakyFs : public FileSystem
     bool
     readFile(const std::string &path, std::string &out) const override
     {
-        if (failsOn(path)) {
+        if (failsOn(path) && !transientExhausted(path)) {
             _failed.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
@@ -95,10 +129,36 @@ class FlakyFs : public FileSystem
     }
 
   private:
+    /**
+     * Count one read attempt against @p path's transient budget.
+     *
+     * @return True when failures are transient and this path has
+     *         already burned through them — the read should now
+     *         succeed. Permanent mode always returns false.
+     */
+    bool
+    transientExhausted(const std::string &path) const
+    {
+        std::scoped_lock lock(_mutex);
+        if (_transient_attempts == 0)
+            return false; // permanent failures
+        std::uint64_t &attempts = _attempts[path];
+        if (attempts >= _transient_attempts)
+            return true;
+        ++attempts;
+        return false;
+    }
+
     const FileSystem &_inner;
     double _fail_probability;
     std::uint64_t _seed;
     mutable std::atomic<std::uint64_t> _failed{0};
+
+    // Transient mode state: failing tries allowed per path, and how
+    // many each path has consumed. Guarded for concurrent extractors.
+    mutable std::mutex _mutex;
+    std::uint64_t _transient_attempts = 0;
+    mutable std::unordered_map<std::string, std::uint64_t> _attempts;
 };
 
 } // namespace dsearch

@@ -9,6 +9,7 @@
 
 #include "index/posting_block.hh"
 #include "index/posting_cursor.hh"
+#include "util/fault.hh"
 #include "util/fnv_hash.hh"
 #include "util/logging.hh"
 
@@ -114,6 +115,9 @@ class Reader
 
     bool done() const { return _pos == _buf.size(); }
 
+    /** @return Unconsumed payload bytes. */
+    std::size_t remaining() const { return _buf.size() - _pos; }
+
   private:
     const std::string &_buf;
     std::size_t _pos = 0;
@@ -124,6 +128,13 @@ bool
 writeFramed(std::ostream &out, std::uint32_t version,
             const std::string &payload)
 {
+    // Injectable stream failure: a full disk or yanked mount mid-save
+    // (tests arm "serialize.save.stream"; the snapshot store must
+    // keep the previous generation when this fires).
+    if (faultFires("serialize.save.stream")) {
+        out.setstate(std::ios::failbit);
+        return false;
+    }
     std::uint64_t checksum = fnv1a_64(payload.data(), payload.size());
     out.write(magic, sizeof(magic));
     std::string header;
@@ -174,10 +185,33 @@ readFramed(std::istream &in, std::uint32_t &version,
              + std::to_string(version));
         return false;
     }
+    if (faultFires("serialize.load.stream")) {
+        warn("loadIndex: injected stream failure");
+        return false;
+    }
 
-    payload.assign(payload_size, '\0');
-    in.read(payload.data(),
-            static_cast<std::streamsize>(payload_size));
+    // The declared payload_size is attacker-controlled until the
+    // checksum verifies, so never allocate it up front: a corrupt
+    // header claiming exabytes must fail cleanly at end-of-stream,
+    // not OOM the process. Read in bounded chunks; memory grows only
+    // as bytes actually arrive.
+    constexpr std::uint64_t chunk = 1u << 20;
+    payload.clear();
+    payload.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(payload_size, chunk)));
+    while (payload.size() < payload_size) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk,
+                                    payload_size - payload.size()));
+        std::size_t old = payload.size();
+        payload.resize(old + want);
+        in.read(payload.data() + old,
+                static_cast<std::streamsize>(want));
+        if (static_cast<std::size_t>(in.gcount()) != want) {
+            warn("loadIndex: truncated payload");
+            return false;
+        }
+    }
     std::string trailer(8, '\0');
     in.read(trailer.data(), 8);
     if (!in) {
@@ -213,6 +247,14 @@ parseDocs(Reader &reader, DocTable &docs)
     std::uint64_t doc_count;
     if (!reader.u64(doc_count))
         return false;
+    // Each document record is at least 12 bytes (u32 path length +
+    // u64 size); a count the payload cannot possibly hold is header
+    // corruption — fail before looping, not after filling a table
+    // from garbage.
+    if (doc_count > reader.remaining() / 12) {
+        warn("loadIndex: document count exceeds payload");
+        return false;
+    }
     for (std::uint64_t d = 0; d < doc_count; ++d) {
         std::string path;
         std::uint64_t size;
@@ -305,6 +347,13 @@ parseTermsV1(Reader &reader, InvertedIndex &index)
     std::uint64_t term_count;
     if (!reader.u64(term_count))
         return false;
+    // A v1 term record is at least 9 bytes (u32 length + u32 count +
+    // one term byte); sanity-cap before reserveTerms() turns a
+    // corrupt count into a multi-GB hash-table allocation.
+    if (term_count > reader.remaining() / 9) {
+        warn("loadIndex: term count exceeds payload");
+        return false;
+    }
     index.reserveTerms(term_count);
     TermBlock scratch;
     for (std::uint64_t t = 0; t < term_count; ++t) {
@@ -366,6 +415,12 @@ readTermV2(Reader &reader, TermRecordV2 &record)
         return false;
     }
     const std::size_t skip_count = postingSkipCount(record.count);
+    // skip_count derives from the *claimed* doc count; cap it against
+    // the bytes actually present (8 per entry) before reserving.
+    if (skip_count > reader.remaining() / 8) {
+        warn("loadIndex: skip index exceeds payload");
+        return false;
+    }
     record.skips.clear();
     record.skips.reserve(skip_count);
     for (std::size_t s = 0; s < skip_count; ++s) {
@@ -401,6 +456,13 @@ parseV2Header(Reader &reader, std::uint64_t &term_count)
     if (block_docs != posting_block_docs) {
         warn("loadIndex: unsupported posting block size "
              + std::to_string(block_docs));
+        return false;
+    }
+    // A v2 term record is at least 12 bytes (u32 term length + u32
+    // doc count + u32 byte_len); cap before any caller sizes term
+    // tables from this count.
+    if (term_count > reader.remaining() / 12) {
+        warn("loadIndex: term count exceeds payload");
         return false;
     }
     return true;

@@ -46,6 +46,19 @@
  * version 2; the InvertedIndex overloads remain for code that still
  * holds mutable indices (they canonicalize in place as a side
  * effect).
+ *
+ * Failure handling. Load never trusts the file: magic, version and
+ * checksum are verified, the payload is read in bounded chunks (a
+ * huge payload_size fails at EOF instead of allocating), and every
+ * count in the header (doc_count, term_count, skip entries) is
+ * sanity-capped against the bytes actually remaining before any
+ * table is sized from it — a corrupt header produces `false` and
+ * empty outputs, never an OOM or a crash (fuzzed in
+ * tests/test_snapshot_fuzz.cc, under ASan/UBSan in CI). Save and
+ * load streams carry the fault-injection points
+ * "serialize.save.stream" / "serialize.load.stream" (util/fault.hh)
+ * so callers' failure paths are testable; crash-safe on-disk
+ * rotation of these images lives in index/snapshot_store.hh.
  */
 
 #ifndef DSEARCH_INDEX_SERIALIZE_HH

@@ -1,0 +1,348 @@
+#include "index/snapshot_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "index/serialize.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define DSEARCH_HAVE_FSYNC 1
+#endif
+
+namespace dsearch {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+constexpr char manifest_name[] = "MANIFEST";
+constexpr char snapshot_prefix[] = "snapshot-";
+constexpr char snapshot_suffix[] = ".idx";
+
+/** Zero-padded generation stem, e.g. "snapshot-000042.idx". */
+std::string
+snapshotName(std::uint64_t gen)
+{
+    std::string digits = std::to_string(gen);
+    if (digits.size() < 6)
+        digits.insert(0, 6 - digits.size(), '0');
+    return snapshot_prefix + digits + snapshot_suffix;
+}
+
+/** @return The generation of a snapshot file name, 0 when not one. */
+std::uint64_t
+parseSnapshotName(const std::string &name)
+{
+    const std::size_t prefix_len = sizeof(snapshot_prefix) - 1;
+    const std::size_t suffix_len = sizeof(snapshot_suffix) - 1;
+    if (name.size() <= prefix_len + suffix_len)
+        return 0;
+    if (name.compare(0, prefix_len, snapshot_prefix) != 0)
+        return 0;
+    if (name.compare(name.size() - suffix_len, suffix_len,
+                     snapshot_suffix)
+        != 0) {
+        return 0;
+    }
+    std::uint64_t gen = 0;
+    for (std::size_t i = prefix_len; i < name.size() - suffix_len;
+         ++i) {
+        char c = name[i];
+        if (c < '0' || c > '9')
+            return 0;
+        gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return gen;
+}
+
+/**
+ * Flush @p path's bytes to stable storage. Opens a fresh descriptor:
+ * the data was written through a stream that is closed by now, and
+ * fsync on any descriptor of the file covers its page-cache state.
+ */
+void
+syncPath(const std::string &path)
+{
+#ifdef DSEARCH_HAVE_FSYNC
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)path;
+#endif
+}
+
+/** Flush directory metadata (the rename itself) to stable storage. */
+void
+syncDirectory(const std::string &dir)
+{
+#ifdef DSEARCH_HAVE_FSYNC
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)dir;
+#endif
+}
+
+/** Atomic within-directory rename; @return false (warned) on error. */
+bool
+renameOver(const std::string &from, const std::string &to)
+{
+    std::error_code ec;
+    stdfs::rename(from, to, ec);
+    if (ec) {
+        warn("SnapshotStore: rename '" + from + "' -> '" + to
+             + "': " + ec.message());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+SnapshotStore::SnapshotStore(std::string directory,
+                             SnapshotStoreOptions options)
+    : _directory(std::move(directory)), _options(options)
+{
+    if (_options.keep_generations == 0)
+        _options.keep_generations = 1;
+    std::error_code ec;
+    stdfs::create_directories(_directory, ec);
+    if (ec) {
+        fatal("SnapshotStore: cannot create directory '" + _directory
+              + "': " + ec.message());
+    }
+}
+
+std::string
+SnapshotStore::generationPath(std::uint64_t gen) const
+{
+    return _directory + "/" + snapshotName(gen);
+}
+
+std::vector<std::uint64_t>
+SnapshotStore::generationsLocked() const
+{
+    std::vector<std::uint64_t> gens;
+
+    // Manifest first (the common, cheap case) ...
+    std::ifstream manifest(_directory + "/" + manifest_name);
+    std::uint64_t gen = 0;
+    while (manifest >> gen) {
+        if (gen != 0)
+            gens.push_back(gen);
+    }
+
+    // ... then the scan, which also sees generations a crash landed
+    // between rename and manifest write.
+    std::error_code ec;
+    stdfs::directory_iterator it(_directory, ec);
+    if (!ec) {
+        for (const stdfs::directory_entry &entry : it) {
+            std::uint64_t found =
+                parseSnapshotName(entry.path().filename().string());
+            if (found != 0)
+                gens.push_back(found);
+        }
+    }
+
+    std::sort(gens.begin(), gens.end());
+    gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+
+    // Manifest entries whose file vanished are stale hints; drop them
+    // so load() does not chase ghosts.
+    gens.erase(std::remove_if(gens.begin(), gens.end(),
+                              [this](std::uint64_t g) {
+                                  std::error_code exists_ec;
+                                  return !stdfs::exists(
+                                      generationPath(g), exists_ec);
+                              }),
+               gens.end());
+    return gens;
+}
+
+std::vector<std::uint64_t>
+SnapshotStore::generations() const
+{
+    std::scoped_lock lock(_mutex);
+    return generationsLocked();
+}
+
+std::uint64_t
+SnapshotStore::newestGeneration() const
+{
+    std::scoped_lock lock(_mutex);
+    std::vector<std::uint64_t> gens = generationsLocked();
+    return gens.empty() ? 0 : gens.back();
+}
+
+bool
+SnapshotStore::writeManifest(const std::vector<std::uint64_t> &gens)
+{
+    const std::string path = _directory + "/" + manifest_name;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("SnapshotStore: cannot write '" + tmp + "'");
+            return false;
+        }
+        for (std::uint64_t gen : gens)
+            out << gen << "\n";
+        out.flush();
+        if (!out)
+            return false;
+    }
+    if (_options.sync)
+        syncPath(tmp);
+    if (!renameOver(tmp, path))
+        return false;
+    if (_options.sync)
+        syncDirectory(_directory);
+    return true;
+}
+
+void
+SnapshotStore::prune(std::vector<std::uint64_t> &gens)
+{
+    while (gens.size() > _options.keep_generations) {
+        std::error_code ec;
+        stdfs::remove(generationPath(gens.front()), ec);
+        gens.erase(gens.begin());
+    }
+}
+
+void
+SnapshotStore::removePartials()
+{
+    std::error_code ec;
+    stdfs::directory_iterator it(_directory, ec);
+    if (ec)
+        return;
+    for (const stdfs::directory_entry &entry : it) {
+        if (entry.path().extension() == ".tmp") {
+            std::error_code rm_ec;
+            if (stdfs::remove(entry.path(), rm_ec) && !rm_ec)
+                ++_cleaned;
+        }
+    }
+}
+
+std::uint64_t
+SnapshotStore::save(const IndexSnapshot &snapshot, const DocTable &docs)
+{
+    std::scoped_lock lock(_mutex);
+
+    std::vector<std::uint64_t> gens = generationsLocked();
+    const std::uint64_t gen = (gens.empty() ? 0 : gens.back()) + 1;
+    const std::string final_path = generationPath(gen);
+    const std::string tmp_path = final_path + ".tmp";
+
+    // Serialize to memory first: the write below is then a plain byte
+    // copy, which the crash_mid_write fault can cut at an arbitrary
+    // point — exactly the torn state a real crash leaves.
+    std::ostringstream buffer(std::ios::binary);
+    if (!saveSnapshot(snapshot, docs, buffer))
+        return 0;
+    const std::string bytes = buffer.str();
+
+    {
+        std::ofstream out(tmp_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("SnapshotStore: cannot open '" + tmp_path + "'");
+            return 0;
+        }
+        if (faultFires("snapshot_store.crash_mid_write")) {
+            // Simulated crash: half the bytes reach the temp file,
+            // no rename. Recovery must ignore and remove it.
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(bytes.size() / 2));
+            return 0;
+        }
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            warn("SnapshotStore: short write to '" + tmp_path + "'");
+            return 0;
+        }
+    }
+    if (_options.sync)
+        syncPath(tmp_path);
+
+    if (faultFires("snapshot_store.crash_before_rename")) {
+        // Simulated crash: complete temp file, never published.
+        return 0;
+    }
+
+    if (!renameOver(tmp_path, final_path))
+        return 0;
+    if (_options.sync)
+        syncDirectory(_directory);
+
+    if (faultFires("snapshot_store.crash_before_manifest")) {
+        // Simulated crash: the generation file exists but the
+        // manifest still lists the old set. The directory scan in
+        // generationsLocked() finds it anyway.
+        return gen;
+    }
+
+    gens.push_back(gen);
+    prune(gens);
+    if (!writeManifest(gens)) {
+        // The snapshot itself is durable and scan-discoverable; a
+        // manifest failure only loses the hint.
+        warn("SnapshotStore: manifest update failed for generation "
+             + std::to_string(gen));
+    }
+    return gen;
+}
+
+std::uint64_t
+SnapshotStore::load(IndexSnapshot &snapshot, DocTable &docs)
+{
+    std::scoped_lock lock(_mutex);
+
+    snapshot = IndexSnapshot();
+    docs = DocTable{};
+
+    removePartials();
+
+    std::vector<std::uint64_t> gens = generationsLocked();
+    while (!gens.empty()) {
+        const std::uint64_t gen = gens.back();
+        gens.pop_back();
+        if (loadSnapshotFile(snapshot, docs, generationPath(gen))) {
+            // Re-sync the manifest with what recovery establishes:
+            // this generation and the older fallbacks that remain.
+            std::vector<std::uint64_t> good = gens;
+            good.push_back(gen);
+            writeManifest(good);
+            return gen;
+        }
+        warn("SnapshotStore: generation " + std::to_string(gen)
+             + " failed validation; falling back");
+        std::error_code ec;
+        if (stdfs::remove(generationPath(gen), ec) && !ec)
+            ++_cleaned;
+        snapshot = IndexSnapshot();
+        docs = DocTable{};
+    }
+    return 0;
+}
+
+} // namespace dsearch

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Crash-safe, generational persistence for built indexes.
+ *
+ * saveSnapshotFile() writes one file in place; a crash (power loss,
+ * OOM-kill, a full disk) halfway through leaves a truncated file where
+ * the only copy of the index used to be. A production service cannot
+ * serve from that. SnapshotStore makes persistence atomic and
+ * recoverable by construction:
+ *
+ *  - Every save writes a NEW generation: the bytes go to
+ *    `snapshot-NNNNNN.idx.tmp`, are flushed and fsync'd, and only then
+ *    renamed to `snapshot-NNNNNN.idx` (rename within a directory is
+ *    atomic on POSIX). The previous generation is never touched, so no
+ *    crash point can lose the last good index.
+ *  - A small text MANIFEST lists the generations the store believes
+ *    in; it is itself replaced atomically (tmp + rename) after the
+ *    snapshot rename. The manifest is an optimization hint, not the
+ *    source of truth — recovery also scans the directory, so a crash
+ *    between the snapshot rename and the manifest write just means the
+ *    new generation is found by scan instead of by list.
+ *  - load() validates the newest candidate with the serialize layer's
+ *    full checking (magic, version, FNV-1a payload checksum,
+ *    structural posting-block validation) and falls back generation by
+ *    generation until one passes, deleting corrupt files and stray
+ *    `.tmp` partials as it goes. An interrupted save therefore
+ *    degrades to "serve the previous generation", never to "serve
+ *    garbage" or "serve nothing despite a good older file".
+ *
+ * Failure handling summary:
+ *   detected:  truncated/bit-flipped snapshot files (checksum +
+ *              structural validation), partial writes (`.tmp` never
+ *              considered), missing manifest (directory scan).
+ *   recovered: newest *valid* generation wins; older generations are
+ *              the fallback chain.
+ *   cleaned:   `.tmp` partials and corrupt generation files are
+ *              deleted on load; generations beyond keep_generations
+ *              are pruned on save.
+ *
+ * Crash points are injectable (util/fault.hh):
+ * `snapshot_store.crash_mid_write`, `...crash_before_rename`, and
+ * `...crash_before_manifest` make save() stop at the matching stage,
+ * leaving exactly the on-disk state a real crash there would — the
+ * kill-mid-save tests drive recovery through every stage.
+ *
+ * Thread safety: a store instance serializes its own operations with
+ * an internal mutex (hot-swap publishers call save() from a background
+ * thread while a loader recovers elsewhere); distinct instances on the
+ * same directory are not coordinated.
+ */
+
+#ifndef DSEARCH_INDEX_SNAPSHOT_STORE_HH
+#define DSEARCH_INDEX_SNAPSHOT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
+
+namespace dsearch {
+
+/** Tuning knobs for a SnapshotStore. */
+struct SnapshotStoreOptions
+{
+    /**
+     * Good generations kept on disk after a successful save (>= 1).
+     * Older ones are pruned; more survive crash-corruption of the
+     * newest file at the cost of disk.
+     */
+    std::size_t keep_generations = 3;
+
+    /**
+     * Issue fsync barriers on the data file and directory (crash
+     * durability). Tests that only need atomicity can turn it off
+     * for speed.
+     */
+    bool sync = true;
+};
+
+/** Generational snapshot persistence; see the file comment. */
+class SnapshotStore
+{
+  public:
+    /**
+     * Operate on host directory @p directory, created (with parents)
+     * when missing.
+     */
+    explicit SnapshotStore(std::string directory,
+                           SnapshotStoreOptions options = {});
+
+    /** @return The store's host directory. */
+    const std::string &directory() const { return _directory; }
+
+    /**
+     * Persist @p snapshot + @p docs as a new generation (temp ->
+     * fsync -> rename -> manifest), then prune generations beyond
+     * keep_generations.
+     *
+     * @return The new generation number, or 0 on failure — in which
+     *         case the previous generations are untouched and still
+     *         load.
+     */
+    std::uint64_t save(const IndexSnapshot &snapshot,
+                       const DocTable &docs);
+
+    /**
+     * Recover the newest valid generation into @p snapshot / @p docs,
+     * deleting `.tmp` partials and corrupt generation files along the
+     * way (see the file comment).
+     *
+     * @return The generation loaded, or 0 when no valid generation
+     *         exists (outputs left empty).
+     */
+    std::uint64_t load(IndexSnapshot &snapshot, DocTable &docs);
+
+    /**
+     * @return Generation numbers present on disk (manifest union
+     *         directory scan), ascending. Validity is not checked.
+     */
+    std::vector<std::uint64_t> generations() const;
+
+    /** @return Largest generation present on disk, 0 when none. */
+    std::uint64_t newestGeneration() const;
+
+    /** @return Host path of generation @p gen's snapshot file. */
+    std::string generationPath(std::uint64_t gen) const;
+
+    /** @return Corrupt/partial files deleted by load() so far. */
+    std::uint64_t cleanedFiles() const { return _cleaned; }
+
+  private:
+    /** generations(), caller already holding _mutex. */
+    std::vector<std::uint64_t> generationsLocked() const;
+
+    /** Atomically rewrite MANIFEST to list @p gens (ascending). */
+    bool writeManifest(const std::vector<std::uint64_t> &gens);
+
+    /** Delete generations older than the keep_generations newest. */
+    void prune(std::vector<std::uint64_t> &gens);
+
+    /** Remove every `*.tmp` in the directory (partial writes). */
+    void removePartials();
+
+    std::string _directory;
+    SnapshotStoreOptions _options;
+    mutable std::mutex _mutex;
+    std::uint64_t _cleaned = 0;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_INDEX_SNAPSHOT_STORE_HH

@@ -71,6 +71,30 @@ class BlockingQueue
     }
 
     /**
+     * Non-blocking enqueue.
+     *
+     * @return True when the element was queued; false when the queue
+     *         is full or closed (the element is dropped). Closing is
+     *         terminal, so callers can distinguish the two afterwards
+     *         with closed(). This is the admission primitive for
+     *         load-shedding producers that must never stall.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::scoped_lock lock(_mutex);
+            if (_closed
+                || (_capacity != 0 && _items.size() >= _capacity)) {
+                return false;
+            }
+            _items.push_back(std::move(item));
+        }
+        _not_empty.notify_one();
+        return true;
+    }
+
+    /**
      * Dequeue an element, blocking while the queue is empty.
      *
      * @param out Receives the element on success.

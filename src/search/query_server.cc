@@ -1,7 +1,10 @@
 #include "search/query_server.hh"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "util/fault.hh"
 
 namespace dsearch {
 
@@ -114,17 +117,47 @@ QueryServer::enqueue(Query query, Kind kind, std::size_t k,
                "(replicated snapshots serve boolean queries only)");
         return future;
     }
-    // push() blocks while the bounded queue is full: admission
-    // back-pressure. False means the server shut down first — the
-    // queue drops its copy, so answer through the one kept here.
-    std::shared_ptr<Request> kept = request;
-    if (!_queue.push(std::move(request)))
-        reject(*kept, "server has shut down");
+    admit(std::move(request));
     return future;
 }
 
 void
-QueryServer::reject(Request &request, std::string reason)
+QueryServer::admit(std::shared_ptr<Request> request)
+{
+    // The Block policy (and any unbounded queue) is the original
+    // closed-loop path: push() blocks while the queue is full —
+    // admission back-pressure. False means the server shut down
+    // first; the queue drops its copy, so answer through ours.
+    if (_options.overload_policy == OverloadPolicy::Block
+        || _options.queue_capacity == 0) {
+        std::shared_ptr<Request> kept = request;
+        if (!_queue.push(std::move(request)))
+            reject(*kept, "server has shut down");
+        return;
+    }
+
+    // Load-shedding admission: never block the submitter. Each failed
+    // tryPush either means shutdown, an immediate refusal, or (shed-
+    // oldest) one victim popped — the loop makes net progress and
+    // every dropped query gets an answered future.
+    while (!_queue.tryPush(request)) {
+        if (_queue.closed()) {
+            reject(*request, "server has shut down");
+            return;
+        }
+        if (_options.overload_policy == OverloadPolicy::RejectNewest) {
+            reject(*request, "shed under overload", Refusal::Shed);
+            return;
+        }
+        std::shared_ptr<Request> victim;
+        if (_queue.tryPop(victim))
+            reject(*victim, "shed under overload", Refusal::Shed);
+    }
+}
+
+void
+QueryServer::reject(Request &request, std::string reason,
+                    Refusal refusal)
 {
     QueryResponse response;
     response.ok = false;
@@ -136,11 +169,29 @@ QueryServer::reject(Request &request, std::string reason)
     // ready must find itself in stats().
     {
         std::scoped_lock lock(_stats_mutex);
-        ++_rejected;
+        switch (refusal) {
+          case Refusal::Rejected: ++_rejected; break;
+          case Refusal::TimedOut: ++_timed_out; break;
+          case Refusal::Shed:     ++_shed; break;
+        }
     }
     request.promise.set_value(response);
     if (request.callback)
         request.callback(response);
+}
+
+bool
+QueryServer::expireIfPastDeadline(Request &request)
+{
+    if (_options.deadline_sec <= 0.0)
+        return false;
+    double waited =
+        std::chrono::duration<double>(Clock::now() - request.admitted)
+            .count();
+    if (waited <= _options.deadline_sec)
+        return false;
+    reject(request, "deadline expired", Refusal::TimedOut);
+    return true;
 }
 
 void
@@ -149,6 +200,11 @@ QueryServer::dispatchLoop()
     std::vector<std::shared_ptr<Request>> batch;
     while (_queue.popBatch(batch, _options.batch_size)) {
         for (std::shared_ptr<Request> &request : batch) {
+            // Reject-on-expiry before dispatch: a query that already
+            // overstayed its deadline in the admission queue never
+            // costs a pool task.
+            if (expireIfPastDeadline(*request))
+                continue;
             _pool.submit([this, request = std::move(request)] {
                 execute(*request);
             });
@@ -161,20 +217,39 @@ QueryServer::dispatchLoop()
 void
 QueryServer::execute(Request &request)
 {
+    // The pool queue added wait time on top of the admission queue;
+    // re-check the budget at worker entry.
+    if (expireIfPastDeadline(request))
+        return;
+
     QueryResponse response;
-    switch (request.kind) {
-      case Kind::Boolean:
-        // Replicated snapshots evaluate their segments serially
-        // inside this one task: pool parallelism is spent across
-        // concurrent queries, not nested within one (nesting on the
-        // same pool would deadlock its wait()).
-        response.hits = _single != nullptr
-                            ? _single->run(request.query)
-                            : _multi->run(request.query, 1);
-        break;
-      case Kind::Ranked:
-        response.ranked = _ranked->topK(request.query, request.k);
-        break;
+    // Exception isolation: the pool's workers are noexcept by
+    // contract, so anything a query evaluation throws must stop
+    // here — one bad query becomes one failed response, never a
+    // dead dispatcher or a torn-down process.
+    try {
+        if (faultFires("query_server.execute"))
+            throw std::runtime_error("injected query fault");
+        switch (request.kind) {
+          case Kind::Boolean:
+            // Replicated snapshots evaluate their segments serially
+            // inside this one task: pool parallelism is spent across
+            // concurrent queries, not nested within one (nesting on
+            // the same pool would deadlock its wait()).
+            response.hits = _single != nullptr
+                                ? _single->run(request.query)
+                                : _multi->run(request.query, 1);
+            break;
+          case Kind::Ranked:
+            response.ranked = _ranked->topK(request.query, request.k);
+            break;
+        }
+    } catch (const std::exception &e) {
+        reject(request, std::string("query failed: ") + e.what());
+        return;
+    } catch (...) {
+        reject(request, "query failed: unknown exception");
+        return;
     }
     response.ok = true;
     response.latency_sec =
@@ -204,6 +279,8 @@ QueryServer::stats() const
         latencies = _latencies;
         digest.completed = _completed;
         digest.rejected = _rejected;
+        digest.timed_out = _timed_out;
+        digest.shed = _shed;
         start = _window_start;
     }
     digest.elapsed_sec =
@@ -222,6 +299,8 @@ QueryServer::resetStats()
     _latencies.clear();
     _completed = 0;
     _rejected = 0;
+    _timed_out = 0;
+    _shed = 0;
     _window_start = Clock::now();
 }
 

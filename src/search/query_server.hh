@@ -40,6 +40,31 @@
  * is spent across in-flight queries rather than nested inside one.
  * Ranked queries require a unified snapshot and are rejected (ok =
  * false) on replicated ones.
+ *
+ * Failure handling — what is detected, what is shed, what survives:
+ *
+ *  - Overload: with an admission policy other than Block, a full
+ *    queue no longer blocks the client. RejectNewest refuses the
+ *    incoming query; ShedOldest drops the longest-queued one to admit
+ *    it (freshest-first service under sustained saturation). Either
+ *    way the victim's future resolves ok = false with error
+ *    "shed under overload", and stats().shed counts it — overload is
+ *    absorbed by explicit, counted refusals, not by unbounded queues
+ *    or client stalls.
+ *  - Deadlines: options.deadline_sec > 0 gives every query a budget
+ *    from admission. Expired queries are rejected *before* dispatch
+ *    (dispatcher and worker both check, so expiry in the pool queue
+ *    is caught too) with error "deadline expired", counted in
+ *    stats().timed_out; worker time is never spent on an answer the
+ *    client has given up on. Accepted-query latency therefore stays
+ *    bounded near the deadline even under overload — the property
+ *    bench_search_server's overload scenario gates.
+ *  - Poisoned queries: an exception thrown during evaluation (or
+ *    injected via the "query_server.execute" fault point) is caught
+ *    in the worker and converted into an ok = false response carrying
+ *    the exception text. The dispatcher, the pool and every other
+ *    in-flight query are unaffected; the failure is one client's bad
+ *    answer, not a dead server.
  */
 
 #ifndef DSEARCH_SEARCH_QUERY_SERVER_HH
@@ -69,6 +94,16 @@
 
 namespace dsearch {
 
+/** What submit() does when the bounded admission queue is full. */
+enum class OverloadPolicy {
+    /** Block the client until a slot frees (closed-loop default). */
+    Block,
+    /** Refuse the incoming query immediately (counted as shed). */
+    RejectNewest,
+    /** Drop the longest-queued query to admit the incoming one. */
+    ShedOldest,
+};
+
 /** Sizing knobs for a QueryServer. */
 struct ServerOptions
 {
@@ -83,6 +118,19 @@ struct ServerOptions
 
     /** Requests the dispatcher drains per queue round (>= 1). */
     std::size_t batch_size = 8;
+
+    /**
+     * Per-query budget from admission, seconds; expired queries are
+     * rejected before evaluation (stats().timed_out). 0 = none.
+     */
+    double deadline_sec = 0.0;
+
+    /**
+     * Admission behaviour at a full queue; ignored when the queue is
+     * unbounded. Non-Block policies make submit() non-blocking (the
+     * open-loop serving shape; see the file comment).
+     */
+    OverloadPolicy overload_policy = OverloadPolicy::Block;
 };
 
 /** The answer to one served query. */
@@ -108,10 +156,13 @@ struct QueryResponse
 struct ServerStats
 {
     std::uint64_t completed = 0; ///< Queries answered ok.
-    std::uint64_t rejected = 0;  ///< Invalid / refused / shut down.
+    std::uint64_t rejected = 0;  ///< Invalid / refused / shut down / threw.
+    std::uint64_t timed_out = 0; ///< Deadline expired before dispatch.
+    std::uint64_t shed = 0;      ///< Dropped by the overload policy.
     double elapsed_sec = 0.0;    ///< Since start or resetStats().
     double qps = 0.0;            ///< completed / elapsed.
-    LatencySummary latency;      ///< p50/p95/p99 etc., seconds.
+    LatencySummary latency;      ///< p50/p95/p99 etc. of *completed*
+                                 ///< queries, seconds.
 };
 
 /** Persistent query service; see the file comment. */
@@ -229,8 +280,22 @@ class QueryServer
     enqueue(Query query, Kind kind, std::size_t k,
             std::function<void(const QueryResponse &)> callback);
 
-    /** Resolve @p request as rejected with @p reason, count it. */
-    void reject(Request &request, std::string reason);
+    /** How a non-completed query is classified in stats(). */
+    enum class Refusal { Rejected, TimedOut, Shed };
+
+    /** Resolve @p request as refused with @p reason, count it. */
+    void reject(Request &request, std::string reason,
+                Refusal refusal = Refusal::Rejected);
+
+    /** Admit @p request through the configured overload policy. */
+    void admit(std::shared_ptr<Request> request);
+
+    /**
+     * @return True (resolving the request as timed out) when the
+     *         deadline passed; called before dispatch and again at
+     *         worker entry.
+     */
+    bool expireIfPastDeadline(Request &request);
 
     /** Dispatcher thread body: popBatch -> pool until drained. */
     void dispatchLoop();
@@ -259,6 +324,8 @@ class QueryServer
     std::vector<double> _latencies;
     std::uint64_t _completed = 0;
     std::uint64_t _rejected = 0;
+    std::uint64_t _timed_out = 0;
+    std::uint64_t _shed = 0;
     Clock::time_point _window_start;
 };
 

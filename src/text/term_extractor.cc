@@ -41,15 +41,29 @@ TermExtractor::noteReadError(const FileEntry &file)
 }
 
 bool
+TermExtractor::readWithRetry(const FileEntry &file)
+{
+    // The retry loop only runs after a failure, so successful reads —
+    // the entire hot path — cost nothing extra.
+    if (_fs.readFile(file.path, _content))
+        return true;
+    for (std::size_t attempt = 0; attempt < _read_retries; ++attempt) {
+        ++_stats.read_retries;
+        if (_fs.readFile(file.path, _content))
+            return true;
+    }
+    noteReadError(file);
+    return false;
+}
+
+bool
 TermExtractor::extract(const FileEntry &file, TermBlock &block)
 {
     block.doc = file.doc;
     block.clear();
 
-    if (!_fs.readFile(file.path, _content)) {
-        noteReadError(file);
+    if (!readWithRetry(file))
         return false;
-    }
 
     // Seed the table from the previous file's unique-term count:
     // corpora with uniformly large files then skip the early rehash
@@ -113,10 +127,8 @@ TermExtractor::extractOccurrences(const FileEntry &file,
                                   std::vector<std::string> &terms)
 {
     terms.clear();
-    if (!_fs.readFile(file.path, _content)) {
-        noteReadError(file);
+    if (!readWithRetry(file))
         return false;
-    }
     _tokenizer.forEachToken(_content,
                             [this, &terms](std::string_view term) {
                                 ++_stats.tokens;

@@ -117,6 +117,7 @@ struct ExtractorStats
     std::uint64_t tokens = 0;       ///< Token occurrences seen.
     std::uint64_t unique_terms = 0; ///< Tokens surviving deduplication.
     std::uint64_t read_errors = 0;  ///< Files skipped as unreadable.
+    std::uint64_t read_retries = 0; ///< Re-read attempts after failures.
 
     /** Merge another extractor's counters into this one. */
     void
@@ -127,6 +128,7 @@ struct ExtractorStats
         tokens += other.tokens;
         unique_terms += other.unique_terms;
         read_errors += other.read_errors;
+        read_retries += other.read_retries;
     }
 };
 
@@ -162,13 +164,29 @@ class TermExtractor
     /** @return Counters for this extractor. */
     const ExtractorStats &stats() const { return _stats; }
 
+    /**
+     * Re-read attempts after a failed read before the file is skipped
+     * (default 2). Transient failures — a file locked mid-write on a
+     * live filesystem (FlakyFs's transient mode in tests) — recover
+     * here; permanent ones cost @p retries extra reads and are then
+     * skipped as before. 0 disables retrying.
+     */
+    void setReadRetries(std::size_t retries) { _read_retries = retries; }
+
   private:
     /** Record an unreadable file; message built only when emitted. */
     void noteReadError(const FileEntry &file);
 
+    /**
+     * Read @p file into _content, retrying up to _read_retries times.
+     * Failure (all attempts exhausted) is counted and warned.
+     */
+    bool readWithRetry(const FileEntry &file);
+
     const FileSystem &_fs;
     Tokenizer _tokenizer;
     ExtractorStats _stats;
+    std::size_t _read_retries = 2;
     std::string _content; ///< Reused read buffer.
 
     /**

@@ -1,0 +1,139 @@
+#include "util/fault.hh"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/rng.hh"
+
+namespace dsearch {
+
+namespace {
+
+/** One armed point: its spec plus deterministic firing state. */
+struct ArmedPoint
+{
+    FaultSpec spec;
+    Rng rng;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+
+    explicit ArmedPoint(FaultSpec s) : spec(s), rng(s.seed) {}
+
+    /** Advance one hit; @return true when this hit fires. */
+    bool
+    step()
+    {
+        ++hits;
+        if (hits <= spec.skip)
+            return false;
+        if (fires >= spec.fire_limit)
+            return false;
+        // Draw even for probability 1.0 so the stream position is a
+        // pure function of the eligible-hit ordinal.
+        if (rng.nextDouble() >= spec.probability)
+            return false;
+        ++fires;
+        return true;
+    }
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, ArmedPoint> points;
+};
+
+/** Leaked singleton: usable from static destructors, never torn down. */
+Registry &
+registry()
+{
+    static Registry *instance = new Registry;
+    return *instance;
+}
+
+/**
+ * Armed-point count, readable without the mutex: the zero check is
+ * the only cost fault points impose on an unarmed program.
+ */
+std::atomic<std::size_t> g_armed{0};
+
+} // namespace
+
+void
+armFault(const std::string &point, FaultSpec spec)
+{
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    reg.points.erase(point);
+    reg.points.emplace(point, ArmedPoint(spec));
+    g_armed.store(reg.points.size(), std::memory_order_release);
+}
+
+void
+disarmFault(const std::string &point)
+{
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    reg.points.erase(point);
+    g_armed.store(reg.points.size(), std::memory_order_release);
+}
+
+void
+disarmAllFaults()
+{
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    reg.points.clear();
+    g_armed.store(0, std::memory_order_release);
+}
+
+// The probe itself compiles away under DSEARCH_NO_FAULT_INJECTION
+// (the header supplies a constant-false inline); arming and counter
+// reads stay link-able so test binaries build in either mode.
+#ifndef DSEARCH_NO_FAULT_INJECTION
+bool
+faultFires(const char *point)
+{
+    if (g_armed.load(std::memory_order_acquire) == 0)
+        return false;
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    auto it = reg.points.find(point);
+    if (it == reg.points.end())
+        return false;
+    return it->second.step();
+}
+#endif
+
+std::uint64_t
+faultHits(const std::string &point)
+{
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    auto it = reg.points.find(point);
+    return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+faultFireCount(const std::string &point)
+{
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    auto it = reg.points.find(point);
+    return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string>
+armedFaults()
+{
+    Registry &reg = registry();
+    std::scoped_lock lock(reg.mutex);
+    std::vector<std::string> names;
+    names.reserve(reg.points.size());
+    for (const auto &[name, state] : reg.points)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace dsearch

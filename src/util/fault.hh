@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience testing.
+ *
+ * FlakyFs (fs/flaky_fs.hh) proved the pattern for one subsystem: make
+ * failures deterministic and countable, and resilience becomes a unit
+ * test instead of an ops anecdote. This module generalizes it to the
+ * whole library. Code that can fail in production declares a named
+ * *failure point*:
+ *
+ *     if (faultFires("disk_fs.read"))
+ *         return false;                  // behave as if the read failed
+ *
+ * and tests arm that point with a FaultSpec — fire the next N hits,
+ * fire every hit after a delay, or fire a seeded pseudo-random
+ * fraction of hits — then assert the caller recovered. Points fire
+ * only while armed; an unarmed program takes one relaxed atomic load
+ * per hit (the registry is globally off until the first arm), so
+ * shipping the checks costs nothing measurable. Builds that must not
+ * carry them at all can define DSEARCH_NO_FAULT_INJECTION, which
+ * compiles every faultFires() into a constant false.
+ *
+ * Determinism: a point's firing sequence is a pure function of its
+ * FaultSpec and its hit ordinal — never of wall clock or global RNG —
+ * so a failing fuzz case replays exactly. Counters (hits, fires) are
+ * readable per point for exact assertions, FlakyFs-style.
+ *
+ * Wired-in points (grep for faultFires to enumerate):
+ *   disk_fs.read                 DiskFs::readFile fails
+ *   serialize.save.stream        saveSnapshot/saveIndex stream write fails
+ *   serialize.load.stream        loadSnapshot/loadIndex stream read fails
+ *   snapshot_store.crash_mid_write    save "crashes" with a partial temp
+ *   snapshot_store.crash_before_rename save "crashes" after the temp
+ *                                      is complete but before publish
+ *   snapshot_store.crash_before_manifest save "crashes" after rename,
+ *                                      before the manifest points at it
+ *   query_server.execute         a worker throws mid-query
+ *
+ * Thread safety: arming/disarming takes a mutex; the hit path is a
+ * lock-free check while nothing is armed and a short critical section
+ * per armed-point hit (fault runs are tests, not benchmarks).
+ */
+
+#ifndef DSEARCH_UTIL_FAULT_HH
+#define DSEARCH_UTIL_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsearch {
+
+/** How an armed failure point decides to fire; see armFault(). */
+struct FaultSpec
+{
+    /**
+     * Hits that pass through unharmed before the point starts
+     * firing (0 = eligible immediately). Models "the Nth write
+     * fails" and transient-then-healthy sequences.
+     */
+    std::uint64_t skip = 0;
+
+    /**
+     * Maximum times the point fires before going dormant;
+     * UINT64_MAX = keep firing while armed.
+     */
+    std::uint64_t fire_limit = UINT64_MAX;
+
+    /**
+     * Probability that an eligible hit fires (1.0 = every hit).
+     * Drawn from a seeded per-point stream, so the fire pattern is
+     * reproducible and independent of other points.
+     */
+    double probability = 1.0;
+
+    /** Seed of the per-point probability stream. */
+    std::uint64_t seed = 0xfa017;
+};
+
+/**
+ * Arm @p point with @p spec, replacing any previous arming (counters
+ * reset). The point fires according to the spec until disarmed.
+ */
+void armFault(const std::string &point, FaultSpec spec = {});
+
+/** Disarm @p point; its faultFires() returns false again. */
+void disarmFault(const std::string &point);
+
+/** Disarm every point (test teardown). */
+void disarmAllFaults();
+
+/**
+ * The failure-point probe: @return true when the armed spec says this
+ * hit fails. Unarmed points (and unarmed programs) return false.
+ */
+#ifndef DSEARCH_NO_FAULT_INJECTION
+bool faultFires(const char *point);
+#else
+inline bool faultFires(const char *) { return false; }
+#endif
+
+/** @return Times @p point was evaluated while armed. */
+std::uint64_t faultHits(const std::string &point);
+
+/** @return Times @p point actually fired while armed. */
+std::uint64_t faultFireCount(const std::string &point);
+
+/** @return Names of currently armed points (diagnostics). */
+std::vector<std::string> armedFaults();
+
+/**
+ * RAII arming for test scopes: arms in the constructor, disarms in
+ * the destructor, so a failing assertion cannot leak an armed fault
+ * into later tests.
+ */
+class ScopedFault
+{
+  public:
+    explicit ScopedFault(std::string point, FaultSpec spec = {})
+        : _point(std::move(point))
+    {
+        armFault(_point, spec);
+    }
+
+    ~ScopedFault() { disarmFault(_point); }
+
+    ScopedFault(const ScopedFault &) = delete;
+    ScopedFault &operator=(const ScopedFault &) = delete;
+
+    /** @return Times the point was evaluated while armed. */
+    std::uint64_t hits() const { return faultHits(_point); }
+
+    /** @return Times the point fired while armed. */
+    std::uint64_t fires() const { return faultFireCount(_point); }
+
+  private:
+    std::string _point;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_UTIL_FAULT_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the fault-injection registry (util/fault.hh): arming
+ * semantics (skip, fire_limit, probability), determinism of the
+ * per-point firing stream, counter accounting, ScopedFault RAII, and
+ * the wiring into the serialize layer's stream fault points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index/serialize.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+namespace {
+
+/** Every test leaves the registry empty for the next one. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { disarmAllFaults(); }
+    void TearDown() override { disarmAllFaults(); }
+};
+
+TEST_F(FaultTest, UnarmedPointNeverFires)
+{
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(faultFires("fault_test.unarmed"));
+    // Unarmed probes are not even counted: the registry is off.
+    EXPECT_EQ(faultHits("fault_test.unarmed"), 0u);
+    EXPECT_TRUE(armedFaults().empty());
+}
+
+TEST_F(FaultTest, ArmedPointFiresEveryHitByDefault)
+{
+    armFault("fault_test.always");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(faultFires("fault_test.always"));
+    EXPECT_EQ(faultHits("fault_test.always"), 10u);
+    EXPECT_EQ(faultFireCount("fault_test.always"), 10u);
+
+    // Other points are unaffected by this arming.
+    EXPECT_FALSE(faultFires("fault_test.other"));
+
+    disarmFault("fault_test.always");
+    EXPECT_FALSE(faultFires("fault_test.always"));
+}
+
+TEST_F(FaultTest, SkipDelaysFiring)
+{
+    FaultSpec spec;
+    spec.skip = 3;
+    armFault("fault_test.skip", spec);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(faultFires("fault_test.skip")) << i;
+    EXPECT_TRUE(faultFires("fault_test.skip"));
+    EXPECT_EQ(faultHits("fault_test.skip"), 4u);
+    EXPECT_EQ(faultFireCount("fault_test.skip"), 1u);
+}
+
+TEST_F(FaultTest, FireLimitMakesPointDormant)
+{
+    FaultSpec spec;
+    spec.fire_limit = 2;
+    armFault("fault_test.limit", spec);
+    EXPECT_TRUE(faultFires("fault_test.limit"));
+    EXPECT_TRUE(faultFires("fault_test.limit"));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(faultFires("fault_test.limit"));
+    EXPECT_EQ(faultFireCount("fault_test.limit"), 2u);
+    EXPECT_EQ(faultHits("fault_test.limit"), 7u);
+}
+
+TEST_F(FaultTest, ProbabilityStreamIsDeterministic)
+{
+    FaultSpec spec;
+    spec.probability = 0.5;
+    spec.seed = 42;
+
+    auto sample = [&] {
+        armFault("fault_test.prob", spec);
+        std::vector<bool> pattern;
+        for (int i = 0; i < 256; ++i)
+            pattern.push_back(faultFires("fault_test.prob"));
+        disarmFault("fault_test.prob");
+        return pattern;
+    };
+
+    std::vector<bool> first = sample();
+    std::vector<bool> second = sample();
+    EXPECT_EQ(first, second); // re-arming replays the exact sequence
+
+    std::size_t fires = 0;
+    for (bool fired : first)
+        fires += fired ? 1 : 0;
+    // Roughly half fire; exact count pinned by determinism above.
+    EXPECT_GT(fires, 256u / 4);
+    EXPECT_LT(fires, 256u * 3 / 4);
+
+    // A different seed produces a different stream.
+    spec.seed = 43;
+    EXPECT_NE(sample(), first);
+}
+
+TEST_F(FaultTest, RearmingResetsCounters)
+{
+    armFault("fault_test.rearm");
+    faultFires("fault_test.rearm");
+    faultFires("fault_test.rearm");
+    EXPECT_EQ(faultHits("fault_test.rearm"), 2u);
+    armFault("fault_test.rearm"); // replaces the previous arming
+    EXPECT_EQ(faultHits("fault_test.rearm"), 0u);
+    EXPECT_EQ(faultFireCount("fault_test.rearm"), 0u);
+}
+
+TEST_F(FaultTest, DisarmAllAndEnumeration)
+{
+    armFault("fault_test.a");
+    armFault("fault_test.b");
+    std::vector<std::string> armed = armedFaults();
+    EXPECT_EQ(armed.size(), 2u);
+    disarmAllFaults();
+    EXPECT_TRUE(armedFaults().empty());
+    EXPECT_FALSE(faultFires("fault_test.a"));
+    EXPECT_FALSE(faultFires("fault_test.b"));
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit)
+{
+    {
+        ScopedFault fault("fault_test.scoped");
+        EXPECT_TRUE(faultFires("fault_test.scoped"));
+        EXPECT_EQ(fault.hits(), 1u);
+        EXPECT_EQ(fault.fires(), 1u);
+    }
+    EXPECT_FALSE(faultFires("fault_test.scoped"));
+    EXPECT_TRUE(armedFaults().empty());
+}
+
+TEST_F(FaultTest, SerializeSaveStreamFaultFailsSaveCleanly)
+{
+    InvertedIndex index;
+    DocTable docs;
+    docs.add("/a", 10);
+    TermBlock block;
+    block.doc = 0;
+    block.addTerm("alpha");
+    index.addBlock(block);
+
+    setLogLevel(LogLevel::Silent);
+    {
+        ScopedFault fault("serialize.save.stream");
+        std::ostringstream out(std::ios::binary);
+        EXPECT_FALSE(saveIndex(index, docs, out));
+        EXPECT_EQ(fault.fires(), 1u);
+    }
+    // Disarmed: the same save now succeeds.
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(saveIndex(index, docs, out));
+    setLogLevel(LogLevel::Info);
+}
+
+TEST_F(FaultTest, SerializeLoadStreamFaultFailsLoadCleanly)
+{
+    InvertedIndex index;
+    DocTable docs;
+    docs.add("/a", 10);
+    TermBlock block;
+    block.doc = 0;
+    block.addTerm("alpha");
+    index.addBlock(block);
+    std::ostringstream out(std::ios::binary);
+    ASSERT_TRUE(saveIndex(index, docs, out));
+
+    setLogLevel(LogLevel::Silent);
+    {
+        ScopedFault fault("serialize.load.stream");
+        InvertedIndex loaded;
+        DocTable loaded_docs;
+        std::istringstream in(out.str(), std::ios::binary);
+        EXPECT_FALSE(loadIndex(loaded, loaded_docs, in));
+        EXPECT_TRUE(loaded.empty());
+        EXPECT_EQ(loaded_docs.docCount(), 0u);
+    }
+    InvertedIndex loaded;
+    DocTable loaded_docs;
+    std::istringstream in(out.str(), std::ios::binary);
+    EXPECT_TRUE(loadIndex(loaded, loaded_docs, in));
+    setLogLevel(LogLevel::Info);
+}
+
+} // namespace
+} // namespace dsearch

@@ -2,7 +2,9 @@
  * @file
  * Failure-injection tests: the generator must survive unreadable
  * files (fs/flaky_fs.hh) in every organization, skipping exactly the
- * same deterministic set.
+ * same deterministic set; and transient failures (fail-then-succeed)
+ * must be absorbed by the extractor's bounded retry without skipping
+ * anything.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "fs/corpus.hh"
 #include "fs/flaky_fs.hh"
 #include "index/index_join.hh"
+#include "text/term_extractor.hh"
 #include "util/logging.hh"
 
 namespace dsearch {
@@ -99,6 +102,117 @@ TEST_F(FlakyFsTest, SequentialBuildSkipsAndSurvives)
     EXPECT_EQ(result.extraction.files,
               files.size() - expected_failures);
     EXPECT_GT(result.primary().termCount(), 0u);
+}
+
+TEST_F(FlakyFsTest, TransientFailuresSucceedAfterBudget)
+{
+    FlakyFs flaky(*_inner, 1.0); // every file is in the failing set
+    flaky.setTransientFailures(2);
+
+    FileList files = generateFilenames(*_inner, "/");
+    ASSERT_FALSE(files.empty());
+    const std::string &path = files.front().path;
+    std::string content;
+    EXPECT_FALSE(flaky.readFile(path, content)); // attempt 1 fails
+    EXPECT_FALSE(flaky.readFile(path, content)); // attempt 2 fails
+    EXPECT_TRUE(flaky.readFile(path, content));  // budget burned
+    EXPECT_FALSE(content.empty());
+    EXPECT_TRUE(flaky.readFile(path, content)); // and stays readable
+    EXPECT_EQ(flaky.failedReads(), 2u);
+
+    // Budgets are per path: a different file starts failing afresh.
+    std::string other;
+    EXPECT_FALSE(flaky.readFile(files.back().path, other));
+}
+
+TEST_F(FlakyFsTest, TransientModeResetsWhenReconfigured)
+{
+    FlakyFs flaky(*_inner, 1.0);
+    flaky.setTransientFailures(1);
+    FileList files = generateFilenames(*_inner, "/");
+    std::string content;
+    EXPECT_FALSE(flaky.readFile(files.front().path, content));
+    EXPECT_TRUE(flaky.readFile(files.front().path, content));
+
+    flaky.setTransientFailures(1); // counts reset: fails once again
+    EXPECT_FALSE(flaky.readFile(files.front().path, content));
+    EXPECT_TRUE(flaky.readFile(files.front().path, content));
+
+    flaky.setTransientFailures(0); // back to permanent
+    EXPECT_FALSE(flaky.readFile(files.front().path, content));
+    EXPECT_FALSE(flaky.readFile(files.front().path, content));
+}
+
+TEST_F(FlakyFsTest, ExtractorRetryRecoversTransientFailures)
+{
+    FlakyFs flaky(*_inner, 1.0);
+    flaky.setTransientFailures(2); // within the default retry budget
+
+    TermExtractor extractor(flaky);
+    FileList files = generateFilenames(flaky, "/");
+    TermBlock block;
+    for (const FileEntry &file : files) {
+        EXPECT_TRUE(extractor.extract(file, block)) << file.path;
+        EXPECT_FALSE(block.empty()) << file.path;
+    }
+
+    const ExtractorStats &stats = extractor.stats();
+    EXPECT_EQ(stats.files, files.size());
+    EXPECT_EQ(stats.read_errors, 0u); // nothing was skipped
+    EXPECT_EQ(stats.read_retries, 2u * files.size());
+}
+
+TEST_F(FlakyFsTest, ExtractorRetryIsBoundedOnPermanentFailure)
+{
+    FlakyFs flaky(*_inner, 1.0); // permanent: retrying cannot help
+
+    TermExtractor extractor(flaky);
+    FileList files = generateFilenames(flaky, "/");
+    TermBlock block;
+    ASSERT_FALSE(extractor.extract(files.front(), block));
+
+    const ExtractorStats &stats = extractor.stats();
+    EXPECT_EQ(stats.read_errors, 1u);
+    EXPECT_EQ(stats.read_retries, 2u); // default bound, then skip
+    // 1 initial + 2 retries reached the filesystem.
+    EXPECT_EQ(flaky.failedReads(), 3u);
+}
+
+TEST_F(FlakyFsTest, RetryDisabledSkipsImmediately)
+{
+    FlakyFs flaky(*_inner, 1.0);
+    flaky.setTransientFailures(1); // would recover on first retry
+
+    TermExtractor extractor(flaky);
+    extractor.setReadRetries(0);
+    FileList files = generateFilenames(flaky, "/");
+    TermBlock block;
+    EXPECT_FALSE(extractor.extract(files.front(), block));
+    EXPECT_EQ(extractor.stats().read_retries, 0u);
+    EXPECT_EQ(extractor.stats().read_errors, 1u);
+}
+
+TEST_F(FlakyFsTest, BuildUnderTransientFailuresLosesNothing)
+{
+    // A full sequential build over a filesystem where *every* read
+    // fails once: the retry path must deliver the same index a
+    // healthy filesystem produces.
+    IndexGenerator healthy_gen(*_inner, "/", Config::sequential());
+    BuildResult healthy = healthy_gen.build();
+    InvertedIndex reference = std::move(healthy.indices.front());
+    reference.sortPostings();
+
+    FlakyFs flaky(*_inner, 1.0);
+    flaky.setTransientFailures(1);
+    IndexGenerator generator(flaky, "/", Config::sequential());
+    BuildResult result = generator.build();
+
+    EXPECT_EQ(result.extraction.read_errors, 0u);
+    EXPECT_EQ(result.extraction.files, _inner->fileCount());
+    EXPECT_GT(result.extraction.read_retries, 0u);
+    InvertedIndex built = std::move(result.indices.front());
+    built.sortPostings();
+    EXPECT_TRUE(sameContents(built, reference));
 }
 
 /**

@@ -9,6 +9,12 @@
  * against unified and replicated snapshots without racing. The
  * concurrency tests here are part of the TSan suite registered by
  * scripts/check_sanitize.sh (ctest check_tsan_query_server).
+ *
+ * The overload/deadline/poisoned-query tests at the bottom cover the
+ * failure-handling contract (see query_server.hh): shedding policies
+ * refuse with counted, resolved futures; expired deadlines are
+ * rejected before evaluation; a throwing query is one bad response,
+ * not a dead server.
  */
 
 #include <gtest/gtest.h>
@@ -22,6 +28,8 @@
 #include "core/engine.hh"
 #include "fs/corpus.hh"
 #include "search/query_server.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
 
 namespace dsearch {
 namespace {
@@ -308,6 +316,239 @@ TEST_F(QueryServerTest, ConcurrentShutdownWhileSubmitting)
     EXPECT_EQ(resolved.load(), 200);
     ServerStats stats = server.stats();
     EXPECT_EQ(stats.completed + stats.rejected, 200u);
+}
+
+TEST_F(QueryServerTest, DeadlineExpiryRejectsBeforeEvaluation)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.deadline_sec = 1e-9; // every query expires by dispatch
+    QueryServer server(_snapshot, _docs, options);
+
+    const int queries = 8;
+    std::vector<std::future<QueryResponse>> futures;
+    for (int i = 0; i < queries; ++i)
+        futures.push_back(server.submit(Query::parse("common")));
+    for (auto &future : futures) {
+        QueryResponse reply = future.get();
+        EXPECT_FALSE(reply.ok);
+        EXPECT_EQ(reply.error, "deadline expired");
+        EXPECT_TRUE(reply.hits.empty());
+    }
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.timed_out, static_cast<std::uint64_t>(queries));
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_EQ(stats.rejected, 0u);
+    // Timed-out queries never enter the latency log.
+    EXPECT_EQ(stats.latency.count, 0u);
+}
+
+TEST_F(QueryServerTest, GenerousDeadlineDoesNotReject)
+{
+    ServerOptions options;
+    options.deadline_sec = 60.0;
+    QueryServer server(_snapshot, _docs, options);
+    QueryResponse reply = server.submit(Query::parse("common")).get();
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(server.stats().timed_out, 0u);
+}
+
+/**
+ * Fixture for deterministic overload: an always-expired deadline plus
+ * a callback that parks the dispatcher inside the first query's
+ * rejection, so the admission queue provably fills behind it.
+ */
+class QueryServerOverloadTest : public QueryServerTest
+{
+  protected:
+    /**
+     * Start a server whose dispatcher is parked: the first submitted
+     * query expires at dispatch and its rejection callback (which
+     * runs on the dispatcher thread) blocks on _release until
+     * releaseDispatcher(). Queries submitted after first() resolves
+     * stay in the admission queue.
+     */
+    std::unique_ptr<QueryServer>
+    makeParkedServer(OverloadPolicy policy, std::size_t capacity)
+    {
+        ServerOptions options;
+        options.workers = 1;
+        options.batch_size = 1;
+        options.queue_capacity = capacity;
+        options.deadline_sec = 1e-9;
+        options.overload_policy = policy;
+        auto server =
+            std::make_unique<QueryServer>(_snapshot, _docs, options);
+
+        std::shared_future<void> gate(_release.get_future());
+        _first = server->submit(
+            Query::parse("common"),
+            [gate](const QueryResponse &) { gate.wait(); });
+        // reject() resolves the future before invoking the callback,
+        // so once get() returns the dispatcher is entering the
+        // callback and cannot pop another request until released.
+        _first.get();
+        return server;
+    }
+
+    void releaseDispatcher() { _release.set_value(); }
+
+    std::promise<void> _release;
+    std::future<QueryResponse> _first;
+};
+
+TEST_F(QueryServerOverloadTest, ShedOldestDropsLongestQueued)
+{
+    auto server =
+        makeParkedServer(OverloadPolicy::ShedOldest, 2);
+
+    // Fill the queue behind the parked dispatcher, then overflow it.
+    auto oldest = server->submit(Query::parse("common"));
+    auto middle = server->submit(Query::parse("rare"));
+    auto newest = server->submit(Query::parse("other"));
+
+    // The overflow shed the *oldest* queued query, immediately.
+    QueryResponse shed_reply = oldest.get();
+    EXPECT_FALSE(shed_reply.ok);
+    EXPECT_EQ(shed_reply.error, "shed under overload");
+    EXPECT_EQ(server->stats().shed, 1u);
+
+    releaseDispatcher();
+    server->shutdown();
+
+    // The survivors were answered (here: expired by the tiny
+    // deadline, not lost). Every future resolved.
+    EXPECT_EQ(middle.get().error, "deadline expired");
+    EXPECT_EQ(newest.get().error, "deadline expired");
+
+    ServerStats stats = server->stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.timed_out, 3u); // parked first + two survivors
+    EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(QueryServerOverloadTest, RejectNewestRefusesTheIncoming)
+{
+    auto server =
+        makeParkedServer(OverloadPolicy::RejectNewest, 2);
+
+    auto oldest = server->submit(Query::parse("common"));
+    auto middle = server->submit(Query::parse("rare"));
+    auto newest = server->submit(Query::parse("other"));
+
+    // The incoming query was refused; the queued ones kept their
+    // slots.
+    QueryResponse shed_reply = newest.get();
+    EXPECT_FALSE(shed_reply.ok);
+    EXPECT_EQ(shed_reply.error, "shed under overload");
+    EXPECT_EQ(server->stats().shed, 1u);
+
+    releaseDispatcher();
+    server->shutdown();
+
+    EXPECT_EQ(oldest.get().error, "deadline expired");
+    EXPECT_EQ(middle.get().error, "deadline expired");
+
+    ServerStats stats = server->stats();
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.timed_out, 3u);
+}
+
+TEST_F(QueryServerTest, ShedCallbackStillRuns)
+{
+    // A shed query's callback contract matches any other rejection:
+    // invoked with the refusal response.
+    ServerOptions options;
+    options.workers = 1;
+    options.batch_size = 1;
+    options.queue_capacity = 1;
+    options.deadline_sec = 1e-9;
+    options.overload_policy = OverloadPolicy::RejectNewest;
+    QueryServer server(_snapshot, _docs, options);
+
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    auto parked = server.submit(
+        Query::parse("common"),
+        [gate](const QueryResponse &) { gate.wait(); });
+    parked.get(); // dispatcher now parked in the callback
+
+    auto queued = server.submit(Query::parse("common"));
+    std::atomic<int> called{0};
+    auto shed = server.submit(Query::parse("rare"),
+                              [&](const QueryResponse &reply) {
+                                  EXPECT_FALSE(reply.ok);
+                                  ++called;
+                              });
+    EXPECT_EQ(shed.get().error, "shed under overload");
+    EXPECT_EQ(called.load(), 1);
+
+    release.set_value();
+    server.shutdown();
+    queued.get();
+}
+
+TEST_F(QueryServerTest, ThrowingQueryIsIsolated)
+{
+    ServerOptions options;
+    options.workers = 1; // serialize: the faulting query runs first
+    QueryServer server(_snapshot, _docs, options);
+
+    FaultSpec once;
+    once.fire_limit = 1;
+    ScopedFault fault("query_server.execute", once);
+
+    QueryResponse poisoned =
+        server.submit(Query::parse("common")).get();
+    EXPECT_FALSE(poisoned.ok);
+    EXPECT_EQ(poisoned.error, "query failed: injected query fault");
+
+    // The server survived: the next query is served normally.
+    QueryResponse healthy =
+        server.submit(Query::parse("common")).get();
+    EXPECT_TRUE(healthy.ok);
+    EXPECT_EQ(healthy.hits.size(), 4u);
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(QueryServerTest, ManyThrowingQueriesNeverKillTheServer)
+{
+    ServerOptions options;
+    options.workers = 4;
+    QueryServer server(_snapshot, _docs, options);
+
+    FaultSpec half;
+    half.probability = 0.5;
+    half.seed = 77;
+    ScopedFault fault("query_server.execute", half);
+
+    const int queries = 200;
+    std::vector<std::future<QueryResponse>> futures;
+    for (int i = 0; i < queries; ++i)
+        futures.push_back(server.submit(Query::parse("common")));
+
+    std::uint64_t ok = 0, failed = 0;
+    for (auto &future : futures) {
+        QueryResponse reply = future.get();
+        if (reply.ok)
+            ++ok;
+        else {
+            EXPECT_EQ(reply.error,
+                      "query failed: injected query fault");
+            ++failed;
+        }
+    }
+    EXPECT_EQ(ok + failed, static_cast<std::uint64_t>(queries));
+    EXPECT_GT(ok, 0u);
+    EXPECT_GT(failed, 0u);
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.completed, ok);
+    EXPECT_EQ(stats.rejected, failed);
 }
 
 } // namespace

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Corruption fuzzing for snapshot loading (index/serialize.hh).
+ *
+ * loadSnapshot() is the recovery path: whatever bytes a crash, a bad
+ * disk, or a hostile file put on disk, it must return a clean false
+ * with empty outputs — never crash, never OOM, never half-populate.
+ * This suite drives it with deterministic (seeded Rng) corruption of
+ * real v1 and v2 snapshot images — single bit-flips and truncations
+ * at sampled offsets — plus hand-crafted "header bomb" frames whose
+ * counts and sizes claim more than the stream holds. Runs under
+ * ASan/UBSan via scripts/check_sanitize.sh (the check_asan_ /
+ * check_ubsan_snapshot_fuzz ctest gates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index/serialize.hh"
+#include "util/fnv_hash.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    for (const std::string &term : terms)
+        b.addTerm(term);
+    return b;
+}
+
+/** A small but structurally complete index: multi-doc posting lists,
+ *  several terms, a few documents. */
+void
+makeSample(InvertedIndex &index, DocTable &docs)
+{
+    docs.add("/docs/alpha.txt", 120);
+    docs.add("/docs/beta.txt", 450);
+    docs.add("/docs/gamma.txt", 90);
+    docs.add("/docs/delta.txt", 7000);
+    index.addBlock(block(0, {"alpha", "common", "edge"}));
+    index.addBlock(block(1, {"beta", "common"}));
+    index.addBlock(block(2, {"gamma", "common", "edge"}));
+    index.addBlock(block(3, {"delta", "common"}));
+}
+
+/** Version 1 (legacy raw) snapshot image. */
+std::string
+v1Bytes()
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(saveIndex(index, docs, out));
+    return out.str();
+}
+
+/** Version 2 (sealed compressed) snapshot image. */
+std::string
+v2Bytes()
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(saveSnapshot(snapshot, docs, out));
+    return out.str();
+}
+
+/** Assert @p bytes is rejected cleanly: false, outputs left empty. */
+void
+expectRejected(const std::string &bytes, const std::string &what)
+{
+    IndexSnapshot snapshot;
+    DocTable docs;
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_FALSE(loadSnapshot(snapshot, docs, in)) << what;
+    EXPECT_TRUE(snapshot.empty()) << what;
+    EXPECT_EQ(docs.docCount(), 0u) << what;
+}
+
+// Little-endian field patching for the hand-crafted frames.
+
+void
+putU32(std::string &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+patchU64(std::string &buf, std::size_t offset, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[offset + i] =
+            static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t
+readU32(const std::string &buf, std::size_t offset)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buf[offset + i]))
+             << (8 * i);
+    return v;
+}
+
+/**
+ * Frame @p payload as a version-@p version snapshot file with a
+ * *correct* checksum, so corruption in the payload reaches the
+ * structural validation layer instead of stopping at the checksum.
+ */
+std::string
+frame(std::uint32_t version, const std::string &payload)
+{
+    std::string bytes = "DSIX";
+    putU32(bytes, version);
+    putU64(bytes, payload.size());
+    bytes += payload;
+    putU64(bytes, fnv1a_64(payload));
+    return bytes;
+}
+
+class SnapshotFuzz : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogLevel(LogLevel::Silent); }
+    void TearDown() override { setLogLevel(LogLevel::Info); }
+};
+
+/** Flip single bits across the image: every bit of the 24-byte frame
+ *  header and checksum region, plus seeded-random samples over the
+ *  whole file. No flip may load. */
+void
+fuzzBitFlips(const std::string &pristine, const char *tag)
+{
+    ASSERT_FALSE(pristine.empty());
+
+    auto flipAndCheck = [&](std::size_t offset, int bit) {
+        std::string bytes = pristine;
+        bytes[offset] = static_cast<char>(
+            bytes[offset] ^ static_cast<char>(1 << bit));
+        expectRejected(bytes, std::string(tag) + " bit flip at offset "
+                                  + std::to_string(offset) + " bit "
+                                  + std::to_string(bit));
+    };
+
+    // Exhaustive over the header (magic, version, payload_size) and
+    // the checksum trailer — the fields that steer allocation.
+    for (std::size_t offset = 0; offset < 16; ++offset)
+        for (int bit = 0; bit < 8; ++bit)
+            flipAndCheck(offset, bit);
+    for (std::size_t offset = pristine.size() - 8;
+         offset < pristine.size(); ++offset)
+        for (int bit = 0; bit < 8; ++bit)
+            flipAndCheck(offset, bit);
+
+    // Sampled over the payload.
+    Rng rng(0xb17f11b5);
+    for (int i = 0; i < 300; ++i) {
+        std::size_t offset = static_cast<std::size_t>(
+            rng.uniform(0, pristine.size() - 1));
+        int bit = static_cast<int>(rng.uniform(0, 7));
+        flipAndCheck(offset, bit);
+    }
+}
+
+/** Truncate the image at every short length and at sampled longer
+ *  lengths. No truncation may load. */
+void
+fuzzTruncations(const std::string &pristine, const char *tag)
+{
+    auto truncateAndCheck = [&](std::size_t length) {
+        expectRejected(pristine.substr(0, length),
+                       std::string(tag) + " truncated to "
+                           + std::to_string(length) + " bytes");
+    };
+
+    // Every prefix of the header region, and every "almost complete"
+    // length (checksum partially missing).
+    for (std::size_t length = 0;
+         length < std::min<std::size_t>(32, pristine.size()); ++length)
+        truncateAndCheck(length);
+    for (std::size_t cut = 1;
+         cut <= std::min<std::size_t>(9, pristine.size()); ++cut)
+        truncateAndCheck(pristine.size() - cut);
+
+    Rng rng(0x7c5c47e);
+    for (int i = 0; i < 100; ++i)
+        truncateAndCheck(static_cast<std::size_t>(
+            rng.uniform(0, pristine.size() - 1)));
+}
+
+TEST_F(SnapshotFuzz, V1BitFlipsNeverLoad) { fuzzBitFlips(v1Bytes(), "v1"); }
+
+TEST_F(SnapshotFuzz, V2BitFlipsNeverLoad) { fuzzBitFlips(v2Bytes(), "v2"); }
+
+TEST_F(SnapshotFuzz, V1TruncationsNeverLoad)
+{
+    fuzzTruncations(v1Bytes(), "v1");
+}
+
+TEST_F(SnapshotFuzz, V2TruncationsNeverLoad)
+{
+    fuzzTruncations(v2Bytes(), "v2");
+}
+
+TEST_F(SnapshotFuzz, PristineImagesStillLoad)
+{
+    // The fuzzers above prove corruption is rejected; this pins that
+    // the fixtures themselves are valid (a broken fixture would make
+    // every rejection assertion pass vacuously).
+    for (const std::string &bytes : {v1Bytes(), v2Bytes()}) {
+        IndexSnapshot snapshot;
+        DocTable docs;
+        std::istringstream in(bytes, std::ios::binary);
+        EXPECT_TRUE(loadSnapshot(snapshot, docs, in));
+        EXPECT_EQ(docs.docCount(), 4u);
+        EXPECT_FALSE(snapshot.empty());
+    }
+}
+
+TEST_F(SnapshotFuzz, HugePayloadSizeFailsWithoutAllocating)
+{
+    // payload_size lives at offset 8; claim up to an exabyte. The
+    // loader must fail at end-of-stream, not allocate up front (ASan
+    // would abort on the attempt; plain builds would OOM).
+    for (std::uint64_t bomb :
+         {~0ull, 1ull << 62, 1ull << 40, 1ull << 32}) {
+        std::string bytes = v2Bytes();
+        patchU64(bytes, 8, bomb);
+        expectRejected(bytes, "payload_size bomb "
+                                  + std::to_string(bomb));
+    }
+}
+
+TEST_F(SnapshotFuzz, HugeDocCountFailsBeforeTableAllocation)
+{
+    // Valid checksum, hostile payload: doc_count claims 2^60 records
+    // in a 16-byte payload. The doc-count cap must fire before any
+    // table is sized from it. Applies to both versions (shared doc
+    // section).
+    for (std::uint32_t version : {1u, 2u}) {
+        std::string payload;
+        putU64(payload, 1ull << 60); // doc_count
+        putU64(payload, 0);          // filler
+        expectRejected(frame(version, payload),
+                       "doc_count bomb v" + std::to_string(version));
+    }
+}
+
+TEST_F(SnapshotFuzz, HugeTermCountV1FailsBeforeTableAllocation)
+{
+    std::string payload;
+    putU64(payload, 0);          // doc_count
+    putU64(payload, 1ull << 60); // term_count
+    expectRejected(frame(1, payload), "v1 term_count bomb");
+}
+
+TEST_F(SnapshotFuzz, HugeTermCountV2FailsBeforeTableAllocation)
+{
+    // Reuse the real file's block_docs value so the frame fails on
+    // the term count, not on an unrelated block-size mismatch.
+    std::string real = v2Bytes();
+    std::uint32_t block_docs = readU32(real, 16 + 8);
+
+    std::string payload;
+    putU64(payload, 0);          // doc_count
+    putU32(payload, block_docs);
+    putU64(payload, 1ull << 60); // term_count
+    expectRejected(frame(2, payload), "v2 term_count bomb");
+}
+
+TEST_F(SnapshotFuzz, HugeByteLenV2FailsBeforeArenaAllocation)
+{
+    std::string real = v2Bytes();
+    std::uint32_t block_docs = readU32(real, 16 + 8);
+
+    // One term whose posting block claims 4 GiB of bytes that are
+    // not there: the record scan must fail on stream bounds before
+    // the arena is reserved.
+    std::string payload;
+    putU64(payload, 0); // doc_count
+    putU32(payload, block_docs);
+    putU64(payload, 1);    // term_count
+    putU32(payload, 1);    // term length
+    payload.push_back('t');
+    putU32(payload, 1);          // doc_count of the list
+    putU32(payload, 0xffffffff); // byte_len bomb
+    expectRejected(frame(2, payload), "v2 byte_len bomb");
+}
+
+TEST_F(SnapshotFuzz, HugeSkipCountV2FailsBeforeReserve)
+{
+    std::string real = v2Bytes();
+    std::uint32_t block_docs = readU32(real, 16 + 8);
+
+    // A term claiming ~2^31 postings implies a skip index of millions
+    // of entries; with a 1-byte block section the skip-count cap must
+    // fire before the reserve.
+    std::string payload;
+    putU64(payload, 0); // doc_count
+    putU32(payload, block_docs);
+    putU64(payload, 1); // term_count
+    putU32(payload, 1); // term length
+    payload.push_back('t');
+    putU32(payload, 0x7fffffff); // posting count bomb
+    putU32(payload, 1);          // byte_len
+    payload.push_back('\x01');   // the one "block" byte
+    expectRejected(frame(2, payload), "v2 skip_count bomb");
+}
+
+} // namespace
+} // namespace dsearch
