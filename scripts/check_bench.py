@@ -55,6 +55,20 @@ the *accepted* queries stays within --overload-p99-factor times the
 configured deadline (default 2.0: the deadline bounds queue wait, so
 accepted answers cannot be arbitrarily stale).
 
+With --live (requires --server-bench), the benchmark's live_index
+section is gated on the zero-downtime-churn properties, all
+machine-independent: QPS during corpus churn stays within
+--min-churn-ratio of the steady-state QPS on the same corpus and
+machine (default 0.8 — background scanning, delta building and
+compaction may not eat the serving capacity), hot-swaps actually
+happened during the churn window (swaps > 0 — the ratio was measured
+against real republishing, not an idle pipeline), and the churn p99
+stays under --live-p99-ms (default 100 ms — a hot-swap must never
+pause in-flight queries; a lock-holding publish would show up here
+first). Update-visibility latency is reported as advisory: its floor
+is the configured scan interval, a tuning choice rather than a
+regression signal.
+
 Usage:
   check_bench.py --baseline BENCH_micro.json --bench ./bench_micro \
                  [--server-bench ./bench_search_server] [--overload] \
@@ -205,6 +219,54 @@ def gate_overload(fresh, p99_factor):
     return failures
 
 
+def gate_live(fresh, min_ratio, p99_ms):
+    """Gate the live_index section; return failed metric names.
+
+    Every property is machine-independent: a QPS ratio from one
+    machine and one corpus, a counter, and an absolute latency bound
+    far above a healthy swap's cost.
+    """
+    failures = []
+    section = fresh.get("live_index")
+    if section is None:
+        print("check_bench: server bench emitted no live_index "
+              "section", file=sys.stderr)
+        return ["search_server.live_index"]
+
+    ratio = section["churn_ratio"]
+    status = "OK" if ratio >= min_ratio else "REGRESSION"
+    if ratio < min_ratio:
+        failures.append("search_server.live_index.churn_ratio")
+    print(f"search_server.live_index.churn_ratio: "
+          f"{ratio:.3g} (churn {section['churn_qps']:.3g} / steady "
+          f"{section['steady_qps']:.3g} QPS, gate >= {min_ratio:.3g})"
+          f" {status}")
+
+    swaps = section["swaps"]
+    status = "OK" if swaps > 0 else "REGRESSION"
+    if swaps == 0:
+        failures.append("search_server.live_index.swaps")
+    print(f"search_server.live_index.swaps: {swaps} "
+          f"(gate > 0: churn must actually republish) {status}")
+
+    churn_p99 = section["churn_p99_ms"]
+    status = "OK" if churn_p99 <= p99_ms else "REGRESSION"
+    if churn_p99 > p99_ms:
+        failures.append("search_server.live_index.churn_p99_ms")
+    print(f"search_server.live_index.churn_p99_ms: {churn_p99:.3g} "
+          f"(gate <= {p99_ms:.3g}: hot-swaps must not pause queries) "
+          f"{status}")
+
+    print(f"search_server.live_index.visibility_ms (advisory): "
+          f"mean {section['visibility_ms_mean']:.3g}, max "
+          f"{section['visibility_ms_max']:.3g} "
+          f"(floor = the scan interval)")
+    print(f"search_server.live_index.writes_per_sec (advisory): "
+          f"{section['writes_per_sec']:.3g}, merges "
+          f"{section['merges']}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -226,6 +288,16 @@ def main():
                         help="accepted-query p99 must stay within "
                              "this multiple of the configured "
                              "deadline (default 2.0)")
+    parser.add_argument("--live", action="store_true",
+                        help="also gate the server bench's live_index "
+                             "section (QPS under corpus churn vs "
+                             "steady state; machine-independent)")
+    parser.add_argument("--min-churn-ratio", type=float, default=0.8,
+                        help="minimum churn-QPS / steady-QPS ratio "
+                             "(default 0.8)")
+    parser.add_argument("--live-p99-ms", type=float, default=100.0,
+                        help="maximum query p99 during churn, ms "
+                             "(default 100: bounds swap pauses)")
     parser.add_argument("--server-threshold", type=float,
                         default=0.25,
                         help="fatal relative regression for absolute "
@@ -247,6 +319,8 @@ def main():
 
     if args.overload and not args.server_bench:
         parser.error("--overload requires --server-bench")
+    if args.live and not args.server_bench:
+        parser.error("--live requires --server-bench")
 
     with open(args.baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
@@ -269,6 +343,14 @@ def main():
                 server_fresh = dict(server_fresh)
                 server_fresh["speedup_vs_naive"] = max(
                     r["speedup_vs_naive"] for r in server_runs)
+                # Same reasoning for the churn ratio: it compares two
+                # windows of one run, so take the run where the
+                # scheduler interfered least.
+                live_runs = [r["live_index"] for r in server_runs
+                             if "live_index" in r]
+                if live_runs:
+                    server_fresh["live_index"] = max(
+                        live_runs, key=lambda s: s["churn_ratio"])
     except Exception as exc:  # noqa: BLE001 - harness failure path
         print(f"check_bench: could not run bench: {exc}",
               file=sys.stderr)
@@ -361,6 +443,10 @@ def main():
         if args.overload:
             failures += gate_overload(server_fresh,
                                       args.overload_p99_factor)
+        if args.live:
+            failures += gate_live(server_fresh,
+                                  args.min_churn_ratio,
+                                  args.live_p99_ms)
 
     if failures:
         # Each metric's own line above states the gate it failed

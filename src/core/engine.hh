@@ -108,6 +108,21 @@ class Engine
     /** @return The configuration build() would run. */
     const Config &currentConfig() const { return _cfg; }
 
+    // Wiring accessors for layers that keep working against the same
+    // corpus after the one-shot build — the live-index pipeline
+    // re-scans fs()/root() and extracts deltas with
+    // tokenizerOptions(), so its increments tokenize exactly like the
+    // base build did.
+
+    /** @return The filesystem this engine builds over. */
+    const FileSystem &fs() const { return *_fs; }
+
+    /** @return The traversal root build() starts from. */
+    const std::string &root() const { return _root; }
+
+    /** @return The tokenizer settings extractors run with. */
+    const TokenizerOptions &tokenizerOptions() const { return _opts; }
+
     /**
      * Run the build once and seal the result. Reentrant; each call
      * is an independent build.

@@ -44,6 +44,33 @@
  *     DocSet hits = reply.get().hits;   // or submitRanked() for topK
  *     ServerStats load = server.stats();  // qps, p50/p95/p99
  *
+ * The one-shot build used to be the end of the story — build once,
+ * seal once, serve forever. The live/ layer removes that limit: a
+ * LiveIndex keeps a built index current against a changing corpus
+ * while the QueryServer keeps serving, through the state machine
+ *
+ *     scan -> delta -> merge -> publish -> prune
+ *
+ * A scanner thread re-walks the corpus (live/scan_diff.hh), indexes
+ * created/modified files into small sealed delta segments through
+ * the same extractor + backend path the base build used, tombstones
+ * deleted or superseded documents, and *publishes* each new
+ * generation to the QueryServer — an atomic snapshot hot-swap:
+ * in-flight queries finish on the generation they started on, new
+ * admissions see the new one, nothing pauses and nothing tears. A
+ * merger thread compacts base + deltas LSM-style (index_join)
+ * once enough accumulate, persists each compacted generation
+ * crash-safely through SnapshotStore (which prunes old generations),
+ * and publishes the unified result:
+ *
+ *     QueryServer server(std::move(built2));   // a second build
+ *     SnapshotStore store("/var/lib/dsearch");
+ *     LiveIndex live(fs, "/", server, &store);
+ *     live.adopt(std::move(built));  // or live.bootstrap() to recover
+ *     live.start();                  // background scanner + merger
+ *     ... server.submit(...) serves while files change ...
+ *     LiveStats health = live.stats();  // staleness + degraded flag
+ *
  * Failure handling: the library assumes disks lie and queries
  * misbehave. SnapshotStore persists snapshots crash-safely
  * (write-temp + flush + rename, generation rotation, recovery walks
@@ -51,11 +78,19 @@
  * rejects corrupt or truncated images without allocating from
  * untrusted headers; QueryServer enforces per-query deadlines,
  * sheds load under overload (OverloadPolicy) and isolates throwing
- * queries as rejected results. util/fault.hh provides deterministic
- * named failure points (armFault()/ScopedFault) wired through disk
- * reads, serialization streams, the snapshot store and query
- * dispatch — and FlakyFs simulates permanently or transiently
- * unreadable files for build-side tests.
+ * queries as rejected results. The live pipeline extends the same
+ * discipline to incremental indexing: a process killed mid-delta,
+ * mid-merge or mid-publish restarts via LiveIndex::bootstrap() into
+ * the newest valid generation and re-indexes what changed while it
+ * was down; a merge that keeps failing *degrades instead of dying* —
+ * deltas keep publishing, queries keep answering, and stats()
+ * reports degraded with the failure message until a merge lands.
+ * util/fault.hh provides deterministic named failure points
+ * (armFault()/ScopedFault) wired through disk reads, serialization
+ * streams, the snapshot store, query dispatch and every live-pipeline
+ * stage (live.scan / live.delta_build / live.merge / live.publish) —
+ * and FlakyFs simulates permanently or transiently unreadable files
+ * for build-side tests.
  *
  * Deprecation path: constructing IndexGenerator directly and binding
  * searchers to a concrete InvertedIndex (the pre-Engine API) still
@@ -70,9 +105,11 @@
  *  - text/      tokenizer and term extraction
  *  - index/     IndexBackend write side; IndexSnapshot/PostingCursor
  *               read side; joins, persistence, maintenance
- *  - search/    boolean, ranked and multi-segment query engines
- *               (snapshot consumers only), and the QueryServer
- *               serving loop over them
+ *  - live/      incremental pipeline: re-scan change feed, delta
+ *               builds, compaction, crash-safe generations
+ *  - search/    boolean, ranked, multi-segment and live (base +
+ *               delta + tombstone) query engines (snapshot consumers
+ *               only), and the QueryServer serving loop over them
  *  - pipeline/  queues, pools, barriers, work distribution
  *  - sim/       calibrated platform simulator (paper Tables 1-4)
  *  - tune/      configuration auto-tuner
@@ -91,6 +128,7 @@
 #include "fs/file_system.hh"
 #include "fs/flaky_fs.hh"
 #include "fs/memory_fs.hh"
+#include "fs/mutable_memory_fs.hh"
 #include "fs/traversal.hh"
 
 #include "text/term_extractor.hh"
@@ -107,6 +145,10 @@
 #include "index/shared_index.hh"
 #include "index/snapshot_store.hh"
 
+#include "live/live_index.hh"
+#include "live/scan_diff.hh"
+
+#include "search/live_searcher.hh"
 #include "search/multi_searcher.hh"
 #include "search/query.hh"
 #include "search/query_server.hh"

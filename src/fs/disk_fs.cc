@@ -80,6 +80,20 @@ DiskFs::fileSize(const std::string &path) const
     return ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
+std::uint64_t
+DiskFs::fileMtime(const std::string &path) const
+{
+    std::error_code ec;
+    stdfs::file_time_type t =
+        stdfs::last_write_time(resolve(path), ec);
+    if (ec)
+        return 0;
+    auto ticks = t.time_since_epoch().count();
+    // Host epochs can predate the clock epoch; the scan diff only
+    // compares stamps for equality/order, so clamp instead of wrap.
+    return ticks <= 0 ? 1 : static_cast<std::uint64_t>(ticks);
+}
+
 bool
 DiskFs::readFile(const std::string &path, std::string &out) const
 {

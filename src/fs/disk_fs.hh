@@ -40,6 +40,7 @@ class DiskFs : public FileSystem
     bool isDirectory(const std::string &path) const override;
     bool isFile(const std::string &path) const override;
     std::uint64_t fileSize(const std::string &path) const override;
+    std::uint64_t fileMtime(const std::string &path) const override;
     bool readFile(const std::string &path, std::string &out)
         const override;
 

@@ -70,6 +70,23 @@ class FileSystem
     virtual std::uint64_t fileSize(const std::string &path) const = 0;
 
     /**
+     * Modification stamp of a regular file; 0 when missing or when
+     * the backend tracks none (the default). The only contract is
+     * monotonicity per path: a later modification yields a larger
+     * stamp. Disk backends report host mtime; in-memory backends a
+     * logical write counter. The live-index change feed
+     * (live/scan_diff.hh) compares stamps between re-scans,
+     * ugrep-indexer style, to catch same-size rewrites that
+     * fileSize() alone would miss.
+     */
+    virtual std::uint64_t
+    fileMtime(const std::string &path) const
+    {
+        (void)path;
+        return 0;
+    }
+
+    /**
      * Read an entire file.
      *
      * @param path File to read.

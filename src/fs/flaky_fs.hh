@@ -118,6 +118,12 @@ class FlakyFs : public FileSystem
         return _inner.fileSize(path);
     }
 
+    std::uint64_t
+    fileMtime(const std::string &path) const override
+    {
+        return _inner.fileMtime(path);
+    }
+
     bool
     readFile(const std::string &path, std::string &out) const override
     {

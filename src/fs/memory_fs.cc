@@ -13,6 +13,7 @@ struct MemoryFs::Node
 {
     bool is_dir = true;
     std::string content;
+    std::uint64_t mtime = 0;
     std::map<std::string, std::unique_ptr<Node>> children;
 };
 
@@ -81,6 +82,7 @@ MemoryFs::addFile(const std::string &path, std::string content)
     file->is_dir = false;
     _total_bytes += content.size();
     file->content = std::move(content);
+    file->mtime = ++_clock;
     ++_file_count;
 }
 
@@ -124,6 +126,15 @@ MemoryFs::fileSize(const std::string &path) const
     if (node == nullptr || node->is_dir)
         return 0;
     return node->content.size();
+}
+
+std::uint64_t
+MemoryFs::fileMtime(const std::string &path) const
+{
+    const Node *node = lookup(path);
+    if (node == nullptr || node->is_dir)
+        return 0;
+    return node->mtime;
 }
 
 bool

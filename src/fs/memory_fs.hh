@@ -59,6 +59,7 @@ class MemoryFs : public FileSystem
     bool isDirectory(const std::string &path) const override;
     bool isFile(const std::string &path) const override;
     std::uint64_t fileSize(const std::string &path) const override;
+    std::uint64_t fileMtime(const std::string &path) const override;
     bool readFile(const std::string &path, std::string &out)
         const override;
 
@@ -74,6 +75,7 @@ class MemoryFs : public FileSystem
     std::unique_ptr<Node> _root;
     std::size_t _file_count = 0;
     std::uint64_t _total_bytes = 0;
+    std::uint64_t _clock = 0; ///< Logical mtime, bumped per addFile.
 };
 
 } // namespace dsearch

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Thread-safe mutable in-memory filesystem.
+ *
+ * MemoryFs is deliberately lock-free and immutable after population —
+ * that keeps the build benchmarks honest. The live-index pipeline
+ * needs the opposite: a corpus that a writer thread mutates *while*
+ * scanner and query threads read it, to model a user's documents
+ * changing under a running desktop-search service. MutableMemoryFs
+ * provides that: addFile/removeFile are safe against concurrent
+ * FileSystem reads, every write bumps a logical mtime clock (so the
+ * live/scan_diff change feed sees same-size rewrites), and listings
+ * stay deterministic (lexicographic) so DocId assignment is stable.
+ *
+ * The implementation is a flat ordered map of absolute file paths —
+ * directories are implicit (a directory exists iff some file lives
+ * under it), which keeps removal trivial and makes the whole
+ * structure one shared_mutex away from thread safety. list() derives
+ * directory entries with an ordered prefix scan. This favours
+ * correctness under churn over raw read speed; steady-state
+ * benchmarks should keep using MemoryFs.
+ */
+
+#ifndef DSEARCH_FS_MUTABLE_MEMORY_FS_HH
+#define DSEARCH_FS_MUTABLE_MEMORY_FS_HH
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "fs/file_system.hh"
+
+namespace dsearch {
+
+/** Concurrently mutable in-memory filesystem; see the file comment. */
+class MutableMemoryFs : public FileSystem
+{
+  public:
+    MutableMemoryFs() = default;
+
+    MutableMemoryFs(const MutableMemoryFs &) = delete;
+    MutableMemoryFs &operator=(const MutableMemoryFs &) = delete;
+
+    /**
+     * Create or replace a file. Parent directories spring into
+     * existence implicitly. Safe against concurrent reads.
+     *
+     * @param path    Absolute '/'-separated path ("/a/b.txt").
+     * @param content File body (moved in).
+     */
+    void addFile(const std::string &path, std::string content);
+
+    /**
+     * Remove a file. No-op when @p path is not a file. Directories
+     * left empty vanish implicitly.
+     *
+     * @return True when a file was removed.
+     */
+    bool removeFile(const std::string &path);
+
+    /** @return Number of regular files stored. */
+    std::size_t fileCount() const;
+
+    /** @return Value of the logical write clock (writes so far). */
+    std::uint64_t clock() const;
+
+    // FileSystem interface.
+    std::vector<DirEntry> list(const std::string &path) const override;
+    bool isDirectory(const std::string &path) const override;
+    bool isFile(const std::string &path) const override;
+    std::uint64_t fileSize(const std::string &path) const override;
+    std::uint64_t fileMtime(const std::string &path) const override;
+    bool readFile(const std::string &path, std::string &out)
+        const override;
+
+  private:
+    struct File
+    {
+        std::string content;
+        std::uint64_t mtime = 0;
+    };
+
+    /** Normalize to a leading-'/' path with no trailing '/'. */
+    static std::string normalize(const std::string &path);
+
+    /** Shared-lock helper: directory test on the normalized path. */
+    bool isDirectoryLocked(const std::string &norm) const;
+
+    mutable std::shared_mutex _mutex;
+    std::map<std::string, File> _files; ///< Keyed by normalized path.
+    std::uint64_t _clock = 0;           ///< Logical mtime source.
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_FS_MUTABLE_MEMORY_FS_HH

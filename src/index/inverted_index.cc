@@ -47,6 +47,18 @@ InvertedIndex::addOccurrenceHashed(std::uint64_t hash,
     ++_postings;
 }
 
+void
+InvertedIndex::addPostings(std::string_view term, const DocId *docs,
+                           std::size_t count)
+{
+    if (count == 0)
+        return;
+    PostingList &list =
+        _map.findOrEmplaceHashed(fnv1a_64(term), term);
+    list.insert(list.end(), docs, docs + count);
+    _postings += count;
+}
+
 const PostingList *
 InvertedIndex::postings(std::string_view term) const
 {

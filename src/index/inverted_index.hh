@@ -97,6 +97,16 @@ class InvertedIndex
                              DocId doc);
 
     /**
+     * Append @p count postings to @p term's list with no duplicate
+     * check — the bulk path for materializing a sealed segment back
+     * into mutable form (live-index compaction decodes each term's
+     * cursor into a scratch buffer and hands it here). The caller
+     * owns the no-duplicates invariant, exactly as in addBlock().
+     */
+    void addPostings(std::string_view term, const DocId *docs,
+                     std::size_t count);
+
+    /**
      * @return Posting list for @p term, or nullptr when the term is
      *         unknown. Heterogeneous: no std::string is allocated for
      *         the probe.

@@ -259,38 +259,51 @@ SnapshotStore::save(const IndexSnapshot &snapshot, const DocTable &docs)
         return 0;
     const std::string bytes = buffer.str();
 
-    {
-        std::ofstream out(tmp_path,
-                          std::ios::binary | std::ios::trunc);
-        if (!out) {
-            warn("SnapshotStore: cannot open '" + tmp_path + "'");
-            return 0;
-        }
-        if (faultFires("snapshot_store.crash_mid_write")) {
-            // Simulated crash: half the bytes reach the temp file,
-            // no rename. Recovery must ignore and remove it.
+    // Another store instance recovering this directory concurrently
+    // (a restarted reader) reaps *.tmp partials — including, in a
+    // narrow window, the temp this save is about to rename. That
+    // shows up as the rename's source vanishing underfoot: rewrite
+    // the temp and rename again, bounded. Any rename failure that
+    // leaves the temp in place is a real error.
+    int attempts = 3;
+    while (true) {
+        {
+            std::ofstream out(tmp_path,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                warn("SnapshotStore: cannot open '" + tmp_path + "'");
+                return 0;
+            }
+            if (faultFires("snapshot_store.crash_mid_write")) {
+                // Simulated crash: half the bytes reach the temp
+                // file, no rename. Recovery must ignore and remove
+                // it.
+                out.write(bytes.data(),
+                          static_cast<std::streamsize>(bytes.size() / 2));
+                return 0;
+            }
             out.write(bytes.data(),
-                      static_cast<std::streamsize>(bytes.size() / 2));
+                      static_cast<std::streamsize>(bytes.size()));
+            out.flush();
+            if (!out) {
+                warn("SnapshotStore: short write to '" + tmp_path + "'");
+                return 0;
+            }
+        }
+        if (_options.sync)
+            syncPath(tmp_path);
+
+        if (faultFires("snapshot_store.crash_before_rename")) {
+            // Simulated crash: complete temp file, never published.
             return 0;
         }
-        out.write(bytes.data(),
-                  static_cast<std::streamsize>(bytes.size()));
-        out.flush();
-        if (!out) {
-            warn("SnapshotStore: short write to '" + tmp_path + "'");
+
+        if (renameOver(tmp_path, final_path))
+            break;
+        std::error_code exists_ec;
+        if (stdfs::exists(tmp_path, exists_ec) || --attempts <= 0)
             return 0;
-        }
     }
-    if (_options.sync)
-        syncPath(tmp_path);
-
-    if (faultFires("snapshot_store.crash_before_rename")) {
-        // Simulated crash: complete temp file, never published.
-        return 0;
-    }
-
-    if (!renameOver(tmp_path, final_path))
-        return 0;
     if (_options.sync)
         syncDirectory(_directory);
 
@@ -322,8 +335,25 @@ SnapshotStore::load(IndexSnapshot &snapshot, DocTable &docs)
 
     removePartials();
 
+    // Another store instance on this directory (a hot-swap publisher)
+    // may prune old generations — or publish new ones — while this
+    // load walks its candidate list. A candidate that *vanished*
+    // underfoot is staleness, not corruption: re-scan the directory
+    // (which also surfaces anything published since) and keep going,
+    // instead of misdiagnosing the prune as a corrupt file. The same
+    // race can even yield an *empty* scan — a directory iteration
+    // overlapping the saver's rename + prune can miss the old entry
+    // (already unlinked) and the new one (added behind the iterator)
+    // at once — so an empty candidate list retries too. Bounded so an
+    // adversarial writer cannot spin this loop forever.
+    int rescans_left = 8;
     std::vector<std::uint64_t> gens = generationsLocked();
-    while (!gens.empty()) {
+    while (!gens.empty() || rescans_left > 0) {
+        if (gens.empty()) {
+            --rescans_left;
+            gens = generationsLocked();
+            continue;
+        }
         const std::uint64_t gen = gens.back();
         gens.pop_back();
         if (loadSnapshotFile(snapshot, docs, generationPath(gen))) {
@@ -334,13 +364,22 @@ SnapshotStore::load(IndexSnapshot &snapshot, DocTable &docs)
             writeManifest(good);
             return gen;
         }
+        snapshot = IndexSnapshot();
+        docs = DocTable{};
+
+        std::error_code exists_ec;
+        if (!stdfs::exists(generationPath(gen), exists_ec)) {
+            if (rescans_left-- > 0)
+                gens = generationsLocked();
+            continue;
+        }
         warn("SnapshotStore: generation " + std::to_string(gen)
              + " failed validation; falling back");
         std::error_code ec;
-        if (stdfs::remove(generationPath(gen), ec) && !ec)
+        if (stdfs::remove(generationPath(gen), ec) && !ec) {
             ++_cleaned;
-        snapshot = IndexSnapshot();
-        docs = DocTable{};
+            ++_corrupt;
+        }
     }
     return 0;
 }

@@ -45,8 +45,15 @@
  *
  * Thread safety: a store instance serializes its own operations with
  * an internal mutex (hot-swap publishers call save() from a background
- * thread while a loader recovers elsewhere); distinct instances on the
- * same directory are not coordinated.
+ * thread while a loader recovers elsewhere). Distinct instances on the
+ * same directory share no lock, but load() tolerates a concurrent
+ * saver pruning generations underfoot: a candidate file that vanished
+ * (rather than failed validation) triggers a bounded directory
+ * re-scan — which also picks up anything published since — instead of
+ * being misdiagnosed as corrupt. Symmetrically, save() tolerates a
+ * concurrent loader reaping its in-flight `.tmp` as a partial: a
+ * rename whose source vanished underfoot rewrites the temp and tries
+ * again (bounded) rather than failing the save.
  */
 
 #ifndef DSEARCH_INDEX_SNAPSHOT_STORE_HH
@@ -131,6 +138,14 @@ class SnapshotStore
     /** @return Corrupt/partial files deleted by load() so far. */
     std::uint64_t cleanedFiles() const { return _cleaned; }
 
+    /**
+     * @return Generation files deleted because they failed
+     *         validation — actual corruption, as opposed to reaped
+     *         `.tmp` partials (a concurrent saver's in-flight temp
+     *         counts only in cleanedFiles(); the saver rewrites it).
+     */
+    std::uint64_t corruptFiles() const { return _corrupt; }
+
   private:
     /** generations(), caller already holding _mutex. */
     std::vector<std::uint64_t> generationsLocked() const;
@@ -148,6 +163,7 @@ class SnapshotStore
     SnapshotStoreOptions _options;
     mutable std::mutex _mutex;
     std::uint64_t _cleaned = 0;
+    std::uint64_t _corrupt = 0;
 };
 
 } // namespace dsearch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Re-scan change feed for the live index.
+ *
+ * The live pipeline has no OS file watcher (the FileSystem interface
+ * is storage agnostic), so changes are detected the way ugrep-indexer
+ * does its incremental re-index: walk the tree, record (size, mtime)
+ * per file, and diff against the previous walk. A file is *modified*
+ * when its size changed, or when both scans carry a real mtime and
+ * the stamps differ — backends that report no mtime (the default 0)
+ * degrade to size-only detection rather than producing false
+ * positives.
+ *
+ * The other half of this header is crash recovery: a restarted
+ * LiveIndex has a DocTable (from the recovered snapshot) but no scan
+ * state. baselineFromDocTable() reconstructs a ScanSnapshot from the
+ * table's paths and sizes (mtime 0 = unknown), so the first re-scan
+ * after recovery reconciles everything that changed while the
+ * process was down — created files appear as created, edits as
+ * size-changed modifications, removals as deleted.
+ */
+
+#ifndef DSEARCH_LIVE_SCAN_DIFF_HH
+#define DSEARCH_LIVE_SCAN_DIFF_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fs/file_system.hh"
+#include "index/doc_table.hh"
+
+namespace dsearch {
+
+/** Per-file metadata captured by one scan. */
+struct FileState
+{
+    std::uint64_t size = 0;
+    std::uint64_t mtime = 0; ///< 0 = backend tracks no mtime.
+
+    bool
+    operator==(const FileState &o) const
+    {
+        return size == o.size && mtime == o.mtime;
+    }
+};
+
+/**
+ * One full walk of the corpus: path -> metadata, ordered by path so
+ * diffing is a linear merge and delta DocId assignment is stable.
+ */
+using ScanSnapshot = std::map<std::string, FileState>;
+
+/** Difference between two consecutive scans. */
+struct ScanDiff
+{
+    std::vector<std::string> created;  ///< In next, not in prev.
+    std::vector<std::string> modified; ///< In both, metadata changed.
+    std::vector<std::string> deleted;  ///< In prev, not in next.
+
+    bool
+    empty() const
+    {
+        return created.empty() && modified.empty() && deleted.empty();
+    }
+};
+
+/**
+ * Walk @p fs from @p root and capture every regular file's state.
+ *
+ * Traversal is depth-first over the deterministic list() order. The
+ * fault point "live.scan" aborts the walk (simulating an I/O error
+ * mid-traversal); an aborted scan must be discarded, not diffed —
+ * its missing tail would read as a mass deletion.
+ *
+ * @param fs   Filesystem to walk.
+ * @param root Directory to start from.
+ * @param out  Receives the scan (replaced).
+ * @return False when the walk was aborted by "live.scan".
+ */
+bool scanFileSystem(const FileSystem &fs, const std::string &root,
+                    ScanSnapshot &out);
+
+/**
+ * Diff two scans; see the file comment for the modification rule.
+ */
+ScanDiff diffScans(const ScanSnapshot &prev, const ScanSnapshot &next);
+
+/**
+ * Reconstruct a post-recovery scan baseline from a DocTable.
+ *
+ * Later DocIds win when several ids share a path (an id superseded by
+ * a live update); sizes come from the table, mtimes are 0 (unknown),
+ * so the first diff against a real scan falls back to size-only
+ * modification detection for every recovered file.
+ */
+ScanSnapshot baselineFromDocTable(const DocTable &docs);
+
+} // namespace dsearch
+
+#endif // DSEARCH_LIVE_SCAN_DIFF_HH

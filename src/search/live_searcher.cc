@@ -1,0 +1,184 @@
+#include "search/live_searcher.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+/** [first, end) minus the (sorted) tombstones, as a sorted DocSet. */
+DocSet
+ownedUniverse(DocId first, DocId end, const DocSet &tombstones)
+{
+    DocSet universe;
+    if (end <= first)
+        return universe;
+    auto dead = std::lower_bound(tombstones.begin(), tombstones.end(),
+                                 first);
+    universe.reserve(end - first);
+    for (DocId doc = first; doc < end; ++doc) {
+        if (dead != tombstones.end() && *dead == doc) {
+            ++dead;
+            continue;
+        }
+        universe.push_back(doc);
+    }
+    return universe;
+}
+
+} // namespace
+
+LiveSearcher::LiveSearcher(IndexSnapshot base, DocId base_docs,
+                           std::vector<DeltaSegment> deltas,
+                           DocSet tombstones, const DocTable &docs)
+    : _tombstones(std::move(tombstones)), _docs(docs)
+{
+    if (!base.unified())
+        panic("LiveSearcher: base snapshot must be unified");
+    for (std::size_t i = 1; i < _tombstones.size(); ++i) {
+        if (_tombstones[i - 1] >= _tombstones[i])
+            panic("LiveSearcher: tombstones must be sorted and "
+                  "duplicate-free");
+    }
+
+    // Deltas arrive in publish order, which is DocId order; sort
+    // defensively so segment results concatenate sorted.
+    std::sort(deltas.begin(), deltas.end(),
+              [](const DeltaSegment &a, const DeltaSegment &b) {
+                  return a.first_doc < b.first_doc;
+              });
+
+    _segments.reserve(deltas.size() + 1);
+    Segment base_segment;
+    base_segment.index = std::move(base);
+    base_segment.universe =
+        ownedUniverse(0, base_docs, _tombstones);
+    _segments.push_back(std::move(base_segment));
+
+    DocId prev_end = base_docs;
+    for (DeltaSegment &delta : deltas) {
+        if (!delta.index.unified())
+            panic("LiveSearcher: delta snapshot must be unified");
+        if (delta.first_doc < prev_end
+            || delta.end_doc < delta.first_doc
+            || delta.end_doc > _docs.docCount()) {
+            panic("LiveSearcher: delta DocId ranges must be "
+                  "disjoint, ascending and inside the doc table");
+        }
+        prev_end = delta.end_doc;
+        Segment segment;
+        segment.index = std::move(delta.index);
+        segment.universe = ownedUniverse(delta.first_doc,
+                                         delta.end_doc, _tombstones);
+        _segments.push_back(std::move(segment));
+    }
+
+    for (const Segment &segment : _segments)
+        _alive += segment.universe.size();
+}
+
+DocSet
+LiveSearcher::run(const Query &query) const
+{
+    DocSet hits;
+    if (!query.valid())
+        return hits;
+    for (const Segment &segment : _segments) {
+        if (segment.universe.empty())
+            continue;
+        SegmentReader reader = segment.index.segmentCount() == 0
+            ? SegmentReader()
+            : segment.index.segment(0);
+        DocSet part =
+            evalQueryNode(reader, segment.universe, query.root());
+        // Segments own ascending disjoint ranges: append, stay sorted.
+        hits.insert(hits.end(), part.begin(), part.end());
+    }
+    return hits;
+}
+
+std::size_t
+LiveSearcher::dfAcross(std::string_view term) const
+{
+    std::size_t df = 0;
+    for (const Segment &segment : _segments) {
+        if (segment.index.segmentCount() != 0)
+            df += segment.index.segment(0).cursor(term).count();
+    }
+    return df;
+}
+
+std::vector<ScoredHit>
+LiveSearcher::topK(const Query &query, std::size_t k) const
+{
+    std::vector<ScoredHit> hits;
+    if (!query.valid() || k == 0)
+        return hits;
+
+    DocSet matches = run(query);
+    if (matches.empty())
+        return hits;
+
+    // RankedSearcher's scoring, generalized: df sums across segments
+    // (a term's postings for one document live in exactly one
+    // segment, so the sum never double-counts a document) and N is
+    // the alive universe. Each segment's cursor is then streamed
+    // through the sorted match set exactly as the unified path does —
+    // a cursor only yields DocIds its segment owns, so per-segment
+    // streaming scores each match at most once per term.
+    const double n = static_cast<double>(_alive);
+    std::vector<double> scores(matches.size(), 0.0);
+    for (const std::string &term : positiveTerms(query.root())) {
+        const std::size_t df = dfAcross(term);
+        if (df == 0)
+            continue;
+        const double weight =
+            std::log(1.0 + n / static_cast<double>(df));
+        for (const Segment &segment : _segments) {
+            if (segment.index.segmentCount() == 0)
+                continue;
+            PostingCursor cursor =
+                segment.index.segment(0).cursor(term);
+            std::size_t i = 0;
+            while (i < matches.size() && cursor.seekGE(matches[i])) {
+                const DocId doc = cursor.doc();
+                i = static_cast<std::size_t>(
+                    std::lower_bound(
+                        matches.begin()
+                            + static_cast<std::ptrdiff_t>(i),
+                        matches.end(), doc)
+                    - matches.begin());
+                if (i == matches.size())
+                    break;
+                if (matches[i] == doc) {
+                    scores[i] += weight;
+                    ++i;
+                    cursor.next();
+                }
+            }
+        }
+    }
+
+    hits.reserve(matches.size());
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+        const DocId doc = matches[i];
+        double penalty = std::log(
+            2.0 + static_cast<double>(_docs.sizeBytes(doc)));
+        hits.push_back(ScoredHit{doc, scores[i] / penalty});
+    }
+
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const ScoredHit &a, const ScoredHit &b) {
+                         if (a.score != b.score)
+                             return a.score > b.score;
+                         return a.doc < b.doc;
+                     });
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+} // namespace dsearch

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Query evaluation over a live (base + delta) index.
+ *
+ * The live pipeline serves one sealed *base* segment plus a short
+ * chain of sealed *delta* segments, with deletions expressed as a
+ * tombstone set. Existing engines cover neither shape: Searcher and
+ * RankedSearcher require one unified segment, and MultiSearcher's
+ * replicas partition a document's postings *by term* across segments.
+ * Live segments instead partition *by document*: Stage-1 DocIds are
+ * dense and never reused, so the base owns [0, base_docs) and each
+ * delta owns the contiguous range assigned while it was built. Every
+ * alive document's postings live in exactly one segment.
+ *
+ * That ownership makes per-segment evaluation exact:
+ *
+ *  - Boolean: evaluate the query against each segment with the
+ *    segment's *owned universe* (its DocId range minus tombstones) —
+ *    NOT complements per segment, and the union over disjoint
+ *    ascending ranges is a concatenation, already sorted. A document
+ *    superseded by a re-index or delete is tombstoned, so its stale
+ *    postings in the old segment are clipped out and NOT-dominated
+ *    queries do not resurrect it.
+ *
+ *  - Ranked: identical scoring model to RankedSearcher — score(d) =
+ *    sum of idf(t) over matching positive terms, divided by
+ *    ln(2 + bytes(d)) — with df(t) summed across segments and N the
+ *    alive document count. On a base-only, tombstone-free live index
+ *    topK() therefore returns exactly what RankedSearcher would.
+ *
+ * A LiveSearcher is immutable and belongs to one published
+ * generation; publishing a new generation builds a new searcher
+ * (hot-swap is the shared_ptr flip in QueryServer, not mutation
+ * here). Term statistics are computed per query rather than cached:
+ * the searcher's lifetime is one publish interval, too short for a
+ * cache to amortize.
+ */
+
+#ifndef DSEARCH_SEARCH_LIVE_SEARCHER_HH
+#define DSEARCH_SEARCH_LIVE_SEARCHER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
+#include "search/query.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+
+namespace dsearch {
+
+/**
+ * One delta increment: a sealed snapshot of the files indexed in one
+ * live cycle, plus the dense DocId range Stage 1 assigned to them.
+ */
+struct DeltaSegment
+{
+    IndexSnapshot index; ///< Unified snapshot of the delta's postings.
+    DocId first_doc = 0; ///< First DocId this delta owns.
+    DocId end_doc = 0;   ///< One past the last owned DocId.
+};
+
+/** Base + delta + tombstone query engine; see the file comment. */
+class LiveSearcher
+{
+  public:
+    /**
+     * @param base       Unified base snapshot (panics otherwise).
+     * @param base_docs  Documents the base owns: DocIds [0, base_docs).
+     * @param deltas     Delta chain; ranges must be disjoint and lie
+     *                   in [base_docs, docs.docCount()).
+     * @param tombstones Sorted, duplicate-free dead DocIds (deleted
+     *                   or superseded documents; panics when
+     *                   unsorted).
+     * @param docs       Document table covering base and deltas (kept
+     *                   by reference, must outlive the searcher).
+     */
+    LiveSearcher(IndexSnapshot base, DocId base_docs,
+                 std::vector<DeltaSegment> deltas, DocSet tombstones,
+                 const DocTable &docs);
+
+    /** Boolean query; sorted alive matches (see the file comment). */
+    DocSet run(const Query &query) const;
+
+    /**
+     * Ranked query: best @p k alive hits, highest score first, ties
+     * toward lower DocIds — RankedSearcher's contract.
+     */
+    std::vector<ScoredHit> topK(const Query &query,
+                                std::size_t k) const;
+
+    /** @return Alive documents (doc count minus tombstones). */
+    std::size_t aliveCount() const { return _alive; }
+
+    /** @return The tombstone set (sorted). */
+    const DocSet &tombstones() const { return _tombstones; }
+
+    /** @return Number of segments evaluated per query (base counts
+     *          when non-empty; observability for compaction tests). */
+    std::size_t segmentCount() const { return _segments.size(); }
+
+  private:
+    /** One evaluation unit: a reader plus the universe it owns. */
+    struct Segment
+    {
+        IndexSnapshot index;  ///< Keeps the segment storage alive.
+        DocSet universe;      ///< Owned range minus tombstones.
+    };
+
+    /** Document frequency of @p term summed across segments. */
+    std::size_t dfAcross(std::string_view term) const;
+
+    std::vector<Segment> _segments; ///< Ascending disjoint ranges.
+    DocSet _tombstones;
+    const DocTable &_docs;
+    std::size_t _alive = 0;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_LIVE_SEARCHER_HH

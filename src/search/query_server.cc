@@ -21,24 +21,50 @@ resolveWorkers(std::size_t requested)
 
 } // namespace
 
+std::shared_ptr<const ServingState>
+ServingState::make(ServingUpdate &&update)
+{
+    auto state = std::make_shared<ServingState>();
+    // The table moves in first: RankedSearcher and LiveSearcher keep
+    // a reference to it, and a shared_ptr-owned state gives it a
+    // stable address for the generation's whole lifetime.
+    state->docs = std::move(update.docs);
+    state->snapshot = std::move(update.base);
+    state->generation = update.generation;
+
+    if (update.deltas.empty() && update.tombstones.empty()) {
+        if (state->snapshot.unified()) {
+            state->single = std::make_unique<Searcher>(
+                state->snapshot, state->docs.docCount());
+            state->ranked = std::make_unique<RankedSearcher>(
+                state->snapshot, state->docs);
+        } else {
+            state->multi = std::make_unique<MultiSearcher>(
+                state->snapshot, state->docs.docCount());
+        }
+    } else {
+        state->live = std::make_unique<LiveSearcher>(
+            state->snapshot, update.base_docs,
+            std::move(update.deltas), std::move(update.tombstones),
+            state->docs);
+    }
+    return state;
+}
+
 QueryServer::QueryServer(IndexSnapshot snapshot, DocTable docs,
                          ServerOptions options)
-    : _snapshot(std::move(snapshot)), _docs(std::move(docs)),
-      _options(options), _queue(options.queue_capacity),
+    : _options(options), _queue(options.queue_capacity),
       _pool(resolveWorkers(options.workers)),
       _window_start(Clock::now())
 {
     if (_options.batch_size == 0)
         _options.batch_size = 1;
 
-    if (_snapshot.unified()) {
-        _single = std::make_unique<Searcher>(_snapshot,
-                                             _docs.docCount());
-        _ranked = std::make_unique<RankedSearcher>(_snapshot, _docs);
-    } else {
-        _multi = std::make_unique<MultiSearcher>(_snapshot,
-                                                 _docs.docCount());
-    }
+    ServingUpdate initial;
+    initial.base = std::move(snapshot);
+    initial.docs = std::move(docs);
+    initial.base_docs = static_cast<DocId>(initial.docs.docCount());
+    _serving = ServingState::make(std::move(initial));
 
     _dispatcher = std::thread([this] { dispatchLoop(); });
 }
@@ -52,6 +78,36 @@ QueryServer::QueryServer(Engine::Result &&built, ServerOptions options)
 QueryServer::~QueryServer()
 {
     shutdown();
+}
+
+std::uint64_t
+QueryServer::publish(ServingUpdate update)
+{
+    // Build the whole next generation off to the side — searcher
+    // construction can be expensive (universe materialization) and
+    // must not happen while holding anything a query waits on.
+    std::shared_ptr<const ServingState> next =
+        ServingState::make(std::move(update));
+    {
+        std::scoped_lock lock(_serving_mutex);
+        _serving.swap(next);
+    }
+    // `next` now holds the outgoing generation; it is destroyed here
+    // (or when the last in-flight query drops its copy), never while
+    // readers wait on the slot's lock.
+    return _swaps.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t
+QueryServer::publish(IndexSnapshot snapshot, DocTable docs,
+                     std::uint64_t generation)
+{
+    ServingUpdate update;
+    update.base = std::move(snapshot);
+    update.docs = std::move(docs);
+    update.base_docs = static_cast<DocId>(update.docs.docCount());
+    update.generation = generation;
+    return publish(std::move(update));
 }
 
 void
@@ -111,12 +167,10 @@ QueryServer::enqueue(Query query, Kind kind, std::size_t k,
                reason.empty() ? "invalid query" : std::move(reason));
         return future;
     }
-    if (kind == Kind::Ranked && _ranked == nullptr) {
-        reject(*request,
-               "ranked queries require a unified snapshot "
-               "(replicated snapshots serve boolean queries only)");
-        return future;
-    }
+    // Ranked-shape rejection happens in execute(), against the state
+    // the query actually evaluates on — an admission-time check here
+    // could disagree with the generation a concurrent publish()
+    // swaps in before the worker runs.
     admit(std::move(request));
     return future;
 }
@@ -222,6 +276,19 @@ QueryServer::execute(Request &request)
     if (expireIfPastDeadline(request))
         return;
 
+    // One load, one state: every dereference below goes through this
+    // shared_ptr, so the response is consistent with exactly one
+    // generation even while publish() swaps concurrently — and the
+    // generation cannot be destroyed under us.
+    std::shared_ptr<const ServingState> state = serving();
+
+    if (request.kind == Kind::Ranked && !state->rankedCapable()) {
+        reject(request,
+               "ranked queries require a unified snapshot "
+               "(replicated snapshots serve boolean queries only)");
+        return;
+    }
+
     QueryResponse response;
     // Exception isolation: the pool's workers are noexcept by
     // contract, so anything a query evaluation throws must stop
@@ -236,12 +303,17 @@ QueryServer::execute(Request &request)
             // inside this one task: pool parallelism is spent across
             // concurrent queries, not nested within one (nesting on
             // the same pool would deadlock its wait()).
-            response.hits = _single != nullptr
-                                ? _single->run(request.query)
-                                : _multi->run(request.query, 1);
+            if (state->live != nullptr)
+                response.hits = state->live->run(request.query);
+            else if (state->single != nullptr)
+                response.hits = state->single->run(request.query);
+            else
+                response.hits = state->multi->run(request.query, 1);
             break;
           case Kind::Ranked:
-            response.ranked = _ranked->topK(request.query, request.k);
+            response.ranked = state->live != nullptr
+                ? state->live->topK(request.query, request.k)
+                : state->ranked->topK(request.query, request.k);
             break;
         }
     } catch (const std::exception &e) {
@@ -283,6 +355,8 @@ QueryServer::stats() const
         digest.shed = _shed;
         start = _window_start;
     }
+    digest.swaps = _swaps.load(std::memory_order_relaxed);
+    digest.generation = serving()->generation;
     digest.elapsed_sec =
         std::chrono::duration<double>(Clock::now() - start).count();
     if (digest.elapsed_sec > 0.0)

@@ -38,8 +38,39 @@
  * output — is served by MultiSearcher, each query evaluating its
  * segments serially inside one worker task so the pool's parallelism
  * is spent across in-flight queries rather than nested inside one.
- * Ranked queries require a unified snapshot and are rejected (ok =
- * false) on replicated ones.
+ * A live (base + delta + tombstone) generation is served by
+ * LiveSearcher. Ranked queries require a unified or live snapshot
+ * and are rejected (ok = false) on replicated ones — checked at
+ * evaluation against the state the query actually runs on, so the
+ * answer is consistent under concurrent publishes.
+ *
+ * Snapshot hot-swap — the server is no longer married to the index
+ * it was born with. Everything a query touches (snapshot, document
+ * table, searcher instances) lives in one immutable ServingState
+ * behind a shared_ptr slot whose lock covers only the pointer
+ * copy/swap. publish() builds the next generation's state off to
+ * the side and swaps the pointer:
+ *
+ *  - Zero downtime: admission never pauses; a query admitted before
+ *    the swap and still in flight finishes on the state it loaded
+ *    (its shared_ptr copy keeps the old generation alive), while
+ *    every evaluation that starts after the swap sees the new one.
+ *    No lock is held across evaluation or state construction, so a
+ *    publish never waits on queries (nor queries on a publish)
+ *    beyond one pointer exchange.
+ *  - Zero tearing: a worker loads the state pointer exactly once per
+ *    query and resolves snapshot, universe, document table and term
+ *    statistics from that one object — a result is entirely
+ *    pre-swap or entirely post-swap, never a mix.
+ *  - Shutdown-vs-swap: shutdown() closes admission and drains; a
+ *    publish racing it merely swaps which consistent state the
+ *    drained queries evaluate against. The swapped-out state is
+ *    destroyed when its last in-flight query drops it, so there is
+ *    no window where a drained query touches moved-from members.
+ *
+ * stats().swaps counts publishes; generation() names the serving
+ * generation (LiveIndex feeds it the SnapshotStore generation, so
+ * staleness is observable end to end).
  *
  * Failure handling — what is detected, what is shed, what survives:
  *
@@ -70,6 +101,7 @@
 #ifndef DSEARCH_SEARCH_QUERY_SERVER_HH
 #define DSEARCH_SEARCH_QUERY_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -86,6 +118,7 @@
 #include "index/index_snapshot.hh"
 #include "pipeline/blocking_queue.hh"
 #include "pipeline/thread_pool.hh"
+#include "search/live_searcher.hh"
 #include "search/multi_searcher.hh"
 #include "search/query.hh"
 #include "search/ranked.hh"
@@ -159,10 +192,57 @@ struct ServerStats
     std::uint64_t rejected = 0;  ///< Invalid / refused / shut down / threw.
     std::uint64_t timed_out = 0; ///< Deadline expired before dispatch.
     std::uint64_t shed = 0;      ///< Dropped by the overload policy.
+    std::uint64_t swaps = 0;     ///< publish() hot-swaps so far.
+    std::uint64_t generation = 0; ///< Serving generation (publisher's).
     double elapsed_sec = 0.0;    ///< Since start or resetStats().
     double qps = 0.0;            ///< completed / elapsed.
     LatencySummary latency;      ///< p50/p95/p99 etc. of *completed*
                                  ///< queries, seconds.
+};
+
+/**
+ * Everything one published generation serves with: the payload of a
+ * QueryServer::publish() call. deltas/tombstones empty = a plain
+ * (unified or replicated) snapshot; otherwise base must be unified
+ * and the live (base + delta + tombstone) engine serves it.
+ */
+struct ServingUpdate
+{
+    IndexSnapshot base;   ///< Base snapshot (compacted generation).
+    DocTable docs;        ///< Table covering base *and* deltas.
+    DocId base_docs = 0;  ///< DocIds the base owns: [0, base_docs).
+    std::vector<DeltaSegment> deltas; ///< Uncompacted increments.
+    DocSet tombstones;    ///< Sorted dead DocIds.
+    std::uint64_t generation = 0;     ///< Publisher's name for this.
+};
+
+/**
+ * One immutable serving generation: the snapshot, its document
+ * table, and the searcher instances bound to them. Built off to the
+ * side by publish(), swapped in atomically, destroyed when the last
+ * in-flight query releases it. Exactly one engine group is non-null:
+ * single [+ ranked], multi, or live.
+ */
+struct ServingState
+{
+    DocTable docs;
+    IndexSnapshot snapshot; ///< The base snapshot.
+    std::uint64_t generation = 0;
+    std::unique_ptr<Searcher> single;
+    std::unique_ptr<RankedSearcher> ranked;
+    std::unique_ptr<MultiSearcher> multi;
+    std::unique_ptr<LiveSearcher> live;
+
+    /** Build a state (and its searchers) from an update. */
+    static std::shared_ptr<const ServingState>
+    make(ServingUpdate &&update);
+
+    /** @return True when topK queries can be served. */
+    bool
+    rankedCapable() const
+    {
+        return ranked != nullptr || live != nullptr;
+    }
 };
 
 /** Persistent query service; see the file comment. */
@@ -225,6 +305,21 @@ class QueryServer
                  std::function<void(const QueryResponse &)> callback);
 
     /**
+     * Hot-swap the served state: build the next generation's
+     * searchers off to the side, then atomically publish them. Never
+     * blocks queries and is never blocked by them; safe to call from
+     * a background merger thread, concurrently with shutdown().
+     * Queries already evaluating finish on the state they loaded.
+     *
+     * @return The swap ordinal (1 for the first publish).
+     */
+    std::uint64_t publish(ServingUpdate update);
+
+    /** publish() a plain snapshot (no deltas, no tombstones). */
+    std::uint64_t publish(IndexSnapshot snapshot, DocTable docs,
+                          std::uint64_t generation = 0);
+
+    /**
      * Stop the server: close admission (later submits are rejected
      * immediately), drain and answer every query already admitted,
      * then park the workers. Idempotent; the destructor calls it.
@@ -235,16 +330,45 @@ class QueryServer
     bool accepting() const { return !_queue.closed(); }
 
     /** @return True when serving unjoined replicas (MultiSearcher). */
-    bool replicated() const { return _multi != nullptr; }
+    bool
+    replicated() const
+    {
+        return serving()->multi != nullptr;
+    }
 
     /** @return Worker threads executing queries. */
     std::size_t workerCount() const { return _pool.workerCount(); }
 
     /** @return Documents in the served universe. */
-    std::size_t docCount() const { return _docs.docCount(); }
+    std::size_t
+    docCount() const
+    {
+        return serving()->docs.docCount();
+    }
 
-    /** @return The served document table (paths for result display). */
-    const DocTable &docs() const { return _docs; }
+    /**
+     * @return The state queries are being admitted against right
+     *         now. The returned shared_ptr keeps that generation
+     *         alive — the handle to use when a publisher may swap
+     *         concurrently.
+     */
+    std::shared_ptr<const ServingState>
+    serving() const
+    {
+        std::scoped_lock lock(_serving_mutex);
+        return _serving;
+    }
+
+    /** @return The serving generation's publisher-assigned number. */
+    std::uint64_t generation() const { return serving()->generation; }
+
+    /**
+     * @return The served document table (paths for result display).
+     *         The reference is valid while the current generation
+     *         stays published; callers racing a publisher should
+     *         hold serving() instead.
+     */
+    const DocTable &docs() const { return serving()->docs; }
 
     /**
      * Digest of traffic served so far: counts, throughput, latency
@@ -303,15 +427,19 @@ class QueryServer
     /** Worker-side evaluation of one request. */
     void execute(Request &request);
 
-    IndexSnapshot _snapshot;
-    DocTable _docs;
     ServerOptions _options;
 
-    // Long-lived searchers: exactly one of (_single [+ _ranked]) or
-    // _multi is set, per the snapshot's shape.
-    std::unique_ptr<Searcher> _single;
-    std::unique_ptr<RankedSearcher> _ranked;
-    std::unique_ptr<MultiSearcher> _multi;
+    // The serving state: swapped whole by publish(), loaded once per
+    // query evaluation. Everything a query dereferences hangs off
+    // the one object this pointer names — the no-tearing invariant.
+    // A dedicated mutex guards the slot instead of
+    // std::atomic<std::shared_ptr>: the critical section is a bare
+    // pointer copy/swap, and libstdc++ 12's _Sp_atomic unlocks its
+    // load() with a relaxed RMW, leaving no happens-before edge to
+    // the next store — a formal data race TSan reports.
+    mutable std::mutex _serving_mutex;
+    std::shared_ptr<const ServingState> _serving;
+    std::atomic<std::uint64_t> _swaps{0};
 
     BlockingQueue<std::shared_ptr<Request>> _queue;
     ThreadPool _pool;

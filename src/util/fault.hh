@@ -35,6 +35,10 @@
  *   snapshot_store.crash_before_manifest save "crashes" after rename,
  *                                      before the manifest points at it
  *   query_server.execute         a worker throws mid-query
+ *   live.scan                    a live-index corpus walk aborts
+ *   live.delta_build             a delta extraction aborts (no commit)
+ *   live.merge                   one compaction attempt fails
+ *   live.publish                 one server hot-swap is skipped
  *
  * Thread safety: arming/disarming takes a mutex; the hit path is a
  * lock-free check while nothing is armed and a short critical section

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for base+delta+tombstone query evaluation
+ * (search/live_searcher.hh): exact equivalence with Searcher and
+ * RankedSearcher in the degenerate (base-only) case, delta
+ * visibility, tombstone masking — including the NOT-resurrection
+ * case compaction makes possible — and ranked scoring across
+ * segments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/live_searcher.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+
+namespace dsearch {
+namespace {
+
+TermBlock
+block(DocId doc, std::vector<std::string> terms)
+{
+    TermBlock b;
+    b.doc = doc;
+    for (const std::string &term : terms)
+        b.addTerm(term);
+    return b;
+}
+
+IndexSnapshot
+seal(std::vector<TermBlock> blocks)
+{
+    InvertedIndex index;
+    for (TermBlock &b : blocks)
+        index.addBlock(std::move(b));
+    return IndexSnapshot::seal(std::move(index));
+}
+
+/**
+ * Fixture corpus (6 docs, equal size so penalties cancel):
+ *   base  0: apple pie        delta 4: apple fresh
+ *         1: apple                  5: pie fresh
+ *         2: pie
+ *         3: cherry
+ */
+class LiveSearcherTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (int d = 0; d < 6; ++d)
+            _docs.add("/f" + std::to_string(d), 500);
+        _base = seal({block(0, {"apple", "pie"}),
+                      block(1, {"apple"}), block(2, {"pie"}),
+                      block(3, {"cherry"})});
+        _delta = seal({block(4, {"apple", "fresh"}),
+                       block(5, {"pie", "fresh"})});
+    }
+
+    LiveSearcher
+    makeLive(DocSet tombstones = {}) const
+    {
+        std::vector<DeltaSegment> deltas;
+        deltas.push_back(DeltaSegment{_delta, 4, 6});
+        return LiveSearcher(_base, 4, std::move(deltas),
+                            std::move(tombstones), _docs);
+    }
+
+    DocTable _docs;
+    IndexSnapshot _base;
+    IndexSnapshot _delta;
+};
+
+TEST_F(LiveSearcherTest, DegenerateCaseMatchesSearcherExactly)
+{
+    // Base only, no deltas, no tombstones: every query must return
+    // byte-identical results to the unified engines.
+    DocTable docs;
+    for (int d = 0; d < 4; ++d)
+        docs.add("/f" + std::to_string(d), 500);
+    LiveSearcher live(_base, 4, {}, {}, docs);
+    Searcher plain(_base, docs.docCount());
+    RankedSearcher ranked(_base, docs);
+
+    for (const char *text :
+         {"apple", "pie", "apple AND pie", "apple OR cherry",
+          "apple AND NOT pie", "NOT apple", "missing",
+          "NOT missing"}) {
+        Query q = Query::parse(text);
+        EXPECT_EQ(live.run(q), plain.run(q)) << text;
+
+        auto live_hits = live.topK(q, 10);
+        auto ranked_hits = ranked.topK(q, 10);
+        ASSERT_EQ(live_hits.size(), ranked_hits.size()) << text;
+        for (std::size_t i = 0; i < live_hits.size(); ++i) {
+            EXPECT_EQ(live_hits[i].doc, ranked_hits[i].doc) << text;
+            EXPECT_DOUBLE_EQ(live_hits[i].score, ranked_hits[i].score)
+                << text;
+        }
+    }
+}
+
+TEST_F(LiveSearcherTest, DeltaDocsAreVisible)
+{
+    LiveSearcher live = makeLive();
+    EXPECT_EQ(live.aliveCount(), 6u);
+    EXPECT_EQ(live.segmentCount(), 2u);
+
+    EXPECT_EQ(live.run(Query::parse("apple")), (DocSet{0, 1, 4}));
+    EXPECT_EQ(live.run(Query::parse("fresh")), (DocSet{4, 5}));
+    // AND across segments: no document spans segments, so matches
+    // must come from postings within one segment.
+    EXPECT_EQ(live.run(Query::parse("apple AND fresh")), (DocSet{4}));
+    // NOT spans the whole alive universe, both segments.
+    EXPECT_EQ(live.run(Query::parse("NOT apple")), (DocSet{2, 3, 5}));
+}
+
+TEST_F(LiveSearcherTest, TombstonesMaskEverywhere)
+{
+    // Kill one base doc and one delta doc.
+    LiveSearcher live = makeLive({1, 5});
+    EXPECT_EQ(live.aliveCount(), 4u);
+
+    EXPECT_EQ(live.run(Query::parse("apple")), (DocSet{0, 4}));
+    EXPECT_EQ(live.run(Query::parse("fresh")), (DocSet{4}));
+    // The NOT-resurrection case: dead docs must not reappear as
+    // non-matching "empty" documents.
+    EXPECT_EQ(live.run(Query::parse("NOT apple")), (DocSet{2, 3}));
+    EXPECT_EQ(live.run(Query::parse("NOT missing")),
+              (DocSet{0, 2, 3, 4}));
+
+    for (const auto &hit : live.topK(Query::parse("apple OR pie"), 10))
+        EXPECT_TRUE(hit.doc != 1 && hit.doc != 5);
+}
+
+TEST_F(LiveSearcherTest, SupersededDocumentServesNewVersionOnly)
+{
+    // Re-index doc 1 ("apple") as doc 6 ("banana"): the live chain
+    // tombstones 1 and adds a second delta owning [6, 7).
+    DocTable docs;
+    for (int d = 0; d < 6; ++d)
+        docs.add("/f" + std::to_string(d), 500);
+    docs.add("/f1", 500); // new version of /f1 -> doc 6
+
+    std::vector<DeltaSegment> deltas;
+    deltas.push_back(DeltaSegment{_delta, 4, 6});
+    deltas.push_back(
+        DeltaSegment{seal({block(6, {"banana"})}), 6, 7});
+    LiveSearcher live(_base, 4, std::move(deltas), {1}, docs);
+
+    EXPECT_EQ(live.aliveCount(), 6u);
+    EXPECT_EQ(live.run(Query::parse("apple")), (DocSet{0, 4}));
+    EXPECT_EQ(live.run(Query::parse("banana")), (DocSet{6}));
+    EXPECT_EQ(live.run(Query::parse("NOT banana")),
+              (DocSet{0, 2, 3, 4, 5}));
+}
+
+TEST_F(LiveSearcherTest, RankedAcrossSegments)
+{
+    LiveSearcher live = makeLive();
+    // df(apple) = 3 across segments (docs 0, 1, 4); df(fresh) = 2.
+    // All sizes equal, so 'fresh' docs outrank 'apple'-only docs on
+    // "apple OR fresh" only when they carry both.
+    auto hits = live.topK(Query::parse("apple OR fresh"), 10);
+    ASSERT_EQ(hits.size(), 4u); // docs 0, 1, 4, 5
+    EXPECT_EQ(hits[0].doc, 4u); // apple + fresh: both weights
+    for (std::size_t i = 1; i < hits.size(); ++i)
+        EXPECT_TRUE(hits[i - 1].score > hits[i].score
+                    || (hits[i - 1].score == hits[i].score
+                        && hits[i - 1].doc < hits[i].doc));
+}
+
+TEST_F(LiveSearcherTest, RankedMatchSetEqualsBoolean)
+{
+    LiveSearcher live = makeLive({2});
+    for (const char *text :
+         {"apple", "fresh OR cherry", "pie AND NOT fresh",
+          "NOT apple"}) {
+        Query q = Query::parse(text);
+        DocSet from_ranked;
+        for (const auto &hit : live.topK(q, 100))
+            from_ranked.push_back(hit.doc);
+        std::sort(from_ranked.begin(), from_ranked.end());
+        EXPECT_EQ(from_ranked, live.run(q)) << text;
+    }
+}
+
+TEST_F(LiveSearcherTest, EmptyDeltaRangeServesEmptyDocs)
+{
+    // A delta whose files were unreadable still owns its DocId range;
+    // those docs match only NOT queries (empty documents), exactly
+    // like the base build's unreadable files.
+    DocTable docs;
+    for (int d = 0; d < 5; ++d)
+        docs.add("/f" + std::to_string(d), 500);
+    std::vector<DeltaSegment> deltas;
+    deltas.push_back(DeltaSegment{seal({}), 4, 5});
+    LiveSearcher live(_base, 4, std::move(deltas), {}, docs);
+
+    EXPECT_EQ(live.aliveCount(), 5u);
+    EXPECT_EQ(live.run(Query::parse("apple")), (DocSet{0, 1}));
+    EXPECT_EQ(live.run(Query::parse("NOT apple")), (DocSet{2, 3, 4}));
+}
+
+TEST_F(LiveSearcherTest, InvalidQueryReturnsNothing)
+{
+    LiveSearcher live = makeLive();
+    Query bad = Query::parse("AND AND");
+    EXPECT_FALSE(bad.valid());
+    EXPECT_TRUE(live.run(bad).empty());
+    EXPECT_TRUE(live.topK(bad, 5).empty());
+}
+
+} // namespace
+} // namespace dsearch

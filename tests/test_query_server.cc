@@ -551,5 +551,157 @@ TEST_F(QueryServerTest, ManyThrowingQueriesNeverKillTheServer)
     EXPECT_EQ(stats.rejected, failed);
 }
 
+/** Seal a one-term snapshot whose every doc carries @p marker. */
+IndexSnapshot
+markerSnapshot(const std::string &marker, int doc_count)
+{
+    InvertedIndex index;
+    for (int d = 0; d < doc_count; ++d)
+        index.addBlock(block(static_cast<DocId>(d), {marker}));
+    return IndexSnapshot::seal(std::move(index));
+}
+
+TEST_F(QueryServerTest, PublishHotSwapsWithoutTearing)
+{
+    // Queries race publishes of alternating generations. Each
+    // generation is internally marked ("aaa" has 4 docs, "bbb" 5);
+    // every response must be wholly one generation: the matching
+    // marker's full doc count, the other marker's zero. Part of the
+    // check_tsan_live_index suite.
+    DocTable docs_a, docs_b;
+    for (int d = 0; d < 4; ++d)
+        docs_a.add("/a" + std::to_string(d), 100);
+    for (int d = 0; d < 5; ++d)
+        docs_b.add("/b" + std::to_string(d), 100);
+    IndexSnapshot gen_a = markerSnapshot("aaa", 4);
+    IndexSnapshot gen_b = markerSnapshot("bbb", 5);
+
+    ServerOptions options;
+    options.workers = 2;
+    QueryServer server(gen_a, docs_a, options);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c) {
+        clients.emplace_back([&] {
+            while (!stop.load()) {
+                QueryResponse a =
+                    server.submit(Query::parse("aaa OR bbb")).get();
+                ASSERT_TRUE(a.ok) << a.error;
+                EXPECT_TRUE(a.hits.size() == 4 || a.hits.size() == 5);
+
+                QueryResponse r =
+                    server.submitRanked(Query::parse("aaa OR bbb"), 10)
+                        .get();
+                ASSERT_TRUE(r.ok) << r.error;
+                EXPECT_TRUE(r.ranked.size() == 4
+                            || r.ranked.size() == 5);
+            }
+        });
+    }
+
+    const std::uint64_t swaps_before = server.stats().swaps;
+    for (int round = 1; round <= 40; ++round) {
+        if (round % 2 == 0)
+            server.publish(gen_a, docs_a,
+                           static_cast<std::uint64_t>(round));
+        else
+            server.publish(gen_b, docs_b,
+                           static_cast<std::uint64_t>(round));
+    }
+    stop.store(true);
+    for (std::thread &client : clients)
+        client.join();
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.swaps, swaps_before + 40);
+    EXPECT_EQ(stats.generation, 40u);
+    EXPECT_EQ(server.docCount(), 4u); // round 40 republished gen_a
+}
+
+TEST_F(QueryServerTest, PublishLiveShapeServesDeltasAndTombstones)
+{
+    // A live-shaped update (base + delta + tombstone) through the
+    // same publish path: the server must route both query kinds to
+    // the LiveSearcher and honor the mask.
+    QueryServer server(_snapshot, _docs, {});
+
+    ServingUpdate update;
+    update.base = _snapshot;
+    update.docs = _docs;
+    update.docs.add("/f4", 1000); // delta doc: "common fresh"
+    update.base_docs = 4;
+    InvertedIndex delta;
+    delta.addBlock(block(4, {"common", "fresh"}));
+    DeltaSegment segment;
+    segment.index = IndexSnapshot::seal(std::move(delta));
+    segment.first_doc = 4;
+    segment.end_doc = 5;
+    update.deltas.push_back(std::move(segment));
+    update.tombstones = {1};
+    update.generation = 7;
+    server.publish(std::move(update));
+
+    QueryResponse boolean =
+        server.submit(Query::parse("common")).get();
+    ASSERT_TRUE(boolean.ok);
+    EXPECT_EQ(boolean.hits, (DocSet{0, 2, 3, 4}));
+
+    QueryResponse negated =
+        server.submit(Query::parse("NOT fresh")).get();
+    ASSERT_TRUE(negated.ok);
+    EXPECT_EQ(negated.hits, (DocSet{0, 2, 3})); // doc 1 stays dead
+
+    QueryResponse ranked =
+        server.submitRanked(Query::parse("fresh"), 3).get();
+    ASSERT_TRUE(ranked.ok);
+    ASSERT_EQ(ranked.ranked.size(), 1u);
+    EXPECT_EQ(ranked.ranked[0].doc, 4u);
+    EXPECT_EQ(server.stats().generation, 7u);
+}
+
+TEST_F(QueryServerTest, ShutdownRacingPublishIsSafe)
+{
+    // The shutdown-vs-swap ordering contract: a publisher thread
+    // hammering publish() while the server shuts down must never
+    // touch freed serving state (in-flight queries hold their
+    // generation; the atomic swap outlives the pools), every future
+    // must resolve, and publishes after shutdown() must remain legal
+    // (the next generation simply has no queries to serve). TSan
+    // asserts the no-use-after-move half.
+    for (int round = 0; round < 10; ++round) {
+        ServerOptions options;
+        options.workers = 2;
+        QueryServer server(_snapshot, _docs, options);
+
+        std::atomic<bool> stop{false};
+        std::thread publisher([&] {
+            DocTable docs = _docs;
+            int gen = 0;
+            while (!stop.load())
+                server.publish(_snapshot, docs,
+                               static_cast<std::uint64_t>(++gen));
+        });
+        std::thread client([&] {
+            while (!stop.load()) {
+                auto reply =
+                    server.submit(Query::parse("common")).get();
+                EXPECT_TRUE(reply.ok
+                            || reply.error == "server has shut down");
+            }
+        });
+
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        server.shutdown();
+        stop.store(true);
+        publisher.join();
+        client.join();
+
+        // Post-shutdown publish: still well-defined.
+        server.publish(_snapshot, _docs, 9999);
+        EXPECT_EQ(server.stats().generation, 9999u);
+    }
+}
+
 } // namespace
 } // namespace dsearch

@@ -337,5 +337,58 @@ TEST_F(SnapshotStoreTest, ConcurrentSaveAndLoad)
               static_cast<std::uint64_t>(rounds) + 1);
 }
 
+TEST_F(SnapshotStoreTest, PruneUnderConcurrentLoadFromSecondStore)
+{
+    // Two store instances on one directory (a live-index compactor
+    // and a recovering reader do exactly this): the saver's mutex
+    // does not protect the loader, so aggressive pruning
+    // (keep_generations = 1) deletes generations under the loader's
+    // feet. The loader must treat a vanished file as "pruned, rescan"
+    // — land on some newer valid generation — never as corruption
+    // (no deletions, no cleaned() growth) and never as total failure.
+    SnapshotStoreOptions aggressive = fast();
+    aggressive.keep_generations = 1;
+    SnapshotStore saver_store(_dir, aggressive);
+    SnapshotStore loader_store(_dir, aggressive);
+
+    IndexSnapshot snapshot;
+    DocTable docs;
+    makeSample(snapshot, docs, "base");
+    ASSERT_EQ(saver_store.save(snapshot, docs), 1u);
+
+    const int rounds = 24;
+    std::thread saver([&] {
+        IndexSnapshot mine;
+        DocTable mine_docs;
+        for (int i = 0; i < rounds; ++i) {
+            makeSample(mine, mine_docs, "round" + std::to_string(i));
+            EXPECT_GT(saver_store.save(mine, mine_docs), 0u);
+        }
+    });
+    std::thread loader([&] {
+        IndexSnapshot mine;
+        DocTable mine_docs;
+        for (int i = 0; i < rounds; ++i) {
+            std::uint64_t gen = loader_store.load(mine, mine_docs);
+            EXPECT_GT(gen, 0u);
+        }
+    });
+    saver.join();
+    loader.join();
+
+    // Every hiccup along the way was a race, not corruption: no
+    // generation file may have been deleted as "corrupt". (The
+    // loader may legitimately reap the saver's in-flight .tmp —
+    // counted in cleanedFiles(), retried by the saver — so only the
+    // corruption counter must stay zero.)
+    EXPECT_EQ(loader_store.corruptFiles(), 0u);
+    IndexSnapshot loaded;
+    DocTable loaded_docs;
+    EXPECT_EQ(loader_store.load(loaded, loaded_docs),
+              static_cast<std::uint64_t>(rounds) + 1);
+    EXPECT_TRUE(hasMarker(loaded, loaded_docs,
+                          "round" + std::to_string(rounds - 1)));
+}
+
 } // namespace
 } // namespace dsearch
