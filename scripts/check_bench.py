@@ -69,9 +69,27 @@ first). Update-visibility latency is reported as advisory: its floor
 is the configured scan interval, a tuning choice rather than a
 regression signal.
 
+With --shard-bench, the sharded serving-tier benchmark
+(bench_shard_broker) also runs; adding --shard gates its
+BENCH_shard.json "shard_broker" section. The machine-independent
+properties are always fatal: under the skewed-hotness flood no
+submitted query may be lost (every future resolves), some queries
+must complete, some replies must be partial (the hot shard's refusals
+degraded them instead of hanging the broker), the hot shard must have
+actually shed or timed out work, and the accepted-query p99 must stay
+under a loose sanity ceiling (10x the summed shard + broker admission
+deadlines — a miss there means a query bypassed admission control
+entirely). The sharp gates — QPS(4 shards) >= --min-shard-scaling x
+QPS(1 shard), and accepted p99 within --shard-p99-factor of the
+summed deadlines — only bind when the canary says the machines are
+comparable AND the fresh host has >= 4 cores; a 1-core box runs N
+shard workers on one CPU, so its scaling curve is flat by
+construction and both are reported as advisory.
+
 Usage:
   check_bench.py --baseline BENCH_micro.json --bench ./bench_micro \
                  [--server-bench ./bench_search_server] [--overload] \
+                 [--shard-bench ./bench_shard_broker] [--shard] \
                  [--threshold 0.10] [--repeats 2]
 
 Exit status: 0 ok, 1 regression, 2 harness failure.
@@ -128,6 +146,118 @@ def run_server_bench(bench, workdir):
     path = os.path.join(workdir, "BENCH_server.json")
     with open(path, encoding="utf-8") as fh:
         return json.load(fh)["search_server"]
+
+
+def run_shard_bench(bench, workdir):
+    """Run bench_shard_broker in workdir; return its JSON section.
+
+    The binary exits 1 when the degradation properties fail — that
+    verdict is re-derived from the JSON by gate_shard, so both 0 and
+    1 count as a successful measurement here.
+    """
+    cmd = [os.path.abspath(bench)]
+    result = subprocess.run(
+        cmd, cwd=workdir, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, timeout=600)
+    if result.returncode not in (0, 1):
+        sys.stderr.write(result.stdout.decode(errors="replace"))
+        raise RuntimeError(f"{cmd} exited {result.returncode}")
+    path = os.path.join(workdir, "BENCH_shard.json")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)["shard_broker"]
+
+
+def gate_shard(fresh, comparable, min_scaling, p99_factor):
+    """Gate the shard_broker section; return failed metric names.
+
+    The lossless/degraded/absorbed properties are counters and hold
+    on any machine. The scaling ratio and the sharp p99 bound need
+    real parallel hardware: they bind only when the canary says the
+    machines are comparable AND the fresh host has >= 4 cores.
+    """
+    failures = []
+    skew = fresh.get("skew")
+    if skew is None:
+        print("check_bench: shard bench emitted no skew section",
+              file=sys.stderr)
+        return ["shard_broker.skew"]
+
+    cores = fresh.get("cores", 0)
+    sharp = comparable and cores >= 4
+
+    lost = skew["lost"]
+    status = "OK" if lost == 0 else "REGRESSION"
+    if lost != 0:
+        failures.append("shard_broker.skew.lost")
+    print(f"shard_broker.skew.lost: {lost} of {skew['submitted']} "
+          f"(gate == 0: every submitted query must resolve) {status}")
+
+    completed = skew["completed"]
+    status = "OK" if completed > 0 else "REGRESSION"
+    if completed == 0:
+        failures.append("shard_broker.skew.completed")
+    print(f"shard_broker.skew.completed: {completed} "
+          f"(gate > 0) {status}")
+
+    partial = skew["partial"]
+    status = "OK" if partial > 0 else "REGRESSION"
+    if partial == 0:
+        failures.append("shard_broker.skew.partial")
+    print(f"shard_broker.skew.partial: {partial} "
+          f"(gate > 0: a flooded hot shard must degrade replies to "
+          f"partial, not hang the broker) {status}")
+
+    absorbed = skew["hot_shard_shed"] + skew["hot_shard_timed_out"]
+    status = "OK" if absorbed > 0 else "REGRESSION"
+    if absorbed == 0:
+        failures.append("shard_broker.skew.hot_shard_shed+timed_out")
+    print(f"shard_broker.skew.hot_shard_shed+timed_out: "
+          f"{skew['hot_shard_shed']}+{skew['hot_shard_timed_out']} "
+          f"(gate > 0: the flood must be absorbed as counted "
+          f"refusals) {status}")
+
+    # Both admission layers bound the accepted tail by construction;
+    # the loose 10x ceiling is machine-independent (it catches a
+    # query path that bypasses admission control), the sharp factor
+    # needs hardware that can actually keep up.
+    budget_ms = skew["deadline_ms"] + skew["broker_deadline_ms"]
+    p99_ms = skew["accepted_p99_ms"]
+    ceiling_ms = 10.0 * budget_ms
+    status = "OK" if p99_ms <= ceiling_ms else "REGRESSION"
+    if p99_ms > ceiling_ms:
+        failures.append("shard_broker.skew.accepted_p99_ms")
+    print(f"shard_broker.skew.accepted_p99_ms: {p99_ms:.3g} "
+          f"(sanity gate <= 10 x {budget_ms:.3g} ms admission "
+          f"budget = {ceiling_ms:.3g}) {status}")
+
+    bound_ms = p99_factor * budget_ms
+    status = "OK" if sharp else "advisory"
+    if sharp and p99_ms > bound_ms:
+        status = "REGRESSION"
+        failures.append("shard_broker.skew.accepted_p99_ms.sharp")
+    print(f"shard_broker.skew.accepted_p99_ms (sharp): {p99_ms:.3g} "
+          f"(gate <= {p99_factor:.3g} x {budget_ms:.3g} ms = "
+          f"{bound_ms:.3g}; binds on comparable hosts with >= 4 "
+          f"cores, fresh has {cores}) {status}")
+
+    ratio = fresh["scaling_ratio"]
+    status = "OK" if sharp else "advisory"
+    if sharp and ratio < min_scaling:
+        status = "REGRESSION"
+        failures.append("shard_broker.scaling_ratio")
+    print(f"shard_broker.scaling_ratio: {ratio:.3g} "
+          f"(QPS(4) {fresh['qps_4']:.3g} / QPS(1) "
+          f"{fresh['qps_1']:.3g}, gate >= {min_scaling:.3g}; binds "
+          f"on comparable hosts with >= 4 cores, fresh has {cores}) "
+          f"{status}")
+
+    print(f"shard_broker.skew.refused (advisory): "
+          f"{skew.get('refused', 0)} of {skew['submitted']} "
+          f"(broker admission control under the flood)")
+    print(f"shard_broker.skew.offered_qps (advisory): "
+          f"{skew['offered_qps']:.3g}, antagonist "
+          f"{skew['antagonist_queries']} direct hot-shard queries")
+    return failures
 
 
 def gate_server(fresh, baseline, comparable, threshold, min_speedup):
@@ -288,6 +418,23 @@ def main():
                         help="accepted-query p99 must stay within "
                              "this multiple of the configured "
                              "deadline (default 2.0)")
+    parser.add_argument("--shard-bench",
+                        help="bench_shard_broker binary (optional)")
+    parser.add_argument("--shard", action="store_true",
+                        help="gate the shard bench's shard_broker "
+                             "section (lossless degradation under a "
+                             "skewed hot-shard flood, plus the "
+                             "scaling curve on multi-core hosts)")
+    parser.add_argument("--min-shard-scaling", type=float,
+                        default=1.5,
+                        help="minimum QPS(4 shards) / QPS(1 shard); "
+                             "binds only on comparable hosts with "
+                             ">= 4 cores (default 1.5)")
+    parser.add_argument("--shard-p99-factor", type=float, default=3.0,
+                        help="sharp accepted-p99 bound as a multiple "
+                             "of the summed shard + broker admission "
+                             "deadlines; binds only on comparable "
+                             "hosts with >= 4 cores (default 3.0)")
     parser.add_argument("--live", action="store_true",
                         help="also gate the server bench's live_index "
                              "section (QPS under corpus churn vs "
@@ -321,6 +468,8 @@ def main():
         parser.error("--overload requires --server-bench")
     if args.live and not args.server_bench:
         parser.error("--live requires --server-bench")
+    if args.shard and not args.shard_bench:
+        parser.error("--shard requires --shard-bench")
 
     with open(args.baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
@@ -351,6 +500,16 @@ def main():
                 if live_runs:
                     server_fresh["live_index"] = max(
                         live_runs, key=lambda s: s["churn_ratio"])
+            shard_fresh = None
+            if args.shard_bench:
+                shard_runs = [run_shard_bench(args.shard_bench,
+                                              workdir)
+                              for _ in range(max(1, args.repeats))]
+                # The scaling ratio compares two widths of one run,
+                # so keep the run where the scheduler interfered
+                # least with the wide configuration.
+                shard_fresh = max(shard_runs,
+                                  key=lambda r: r["scaling_ratio"])
     except Exception as exc:  # noqa: BLE001 - harness failure path
         print(f"check_bench: could not run bench: {exc}",
               file=sys.stderr)
@@ -447,6 +606,11 @@ def main():
             failures += gate_live(server_fresh,
                                   args.min_churn_ratio,
                                   args.live_p99_ms)
+
+    if shard_fresh is not None and args.shard:
+        failures += gate_shard(shard_fresh, comparable,
+                               args.min_shard_scaling,
+                               args.shard_p99_factor)
 
     if failures:
         # Each metric's own line above states the gate it failed

@@ -71,6 +71,33 @@
  *     ... server.submit(...) serves while files change ...
  *     LiveStats health = live.stats();  // staleness + degraded flag
  *
+ * When one server is not enough, the shard/ layer scales the serving
+ * tier *out* instead of up: a ShardPlanner document-partitions the
+ * corpus into N disjoint shards (round-robin or hash-by-path over
+ * one global traversal, so every shard knows its local-to-global
+ * DocId map), each shard is built by its own Engine run and served
+ * by its own QueryServer, and a Broker in front scatters every query
+ * to all shards and merges the partial answers — boolean DocSets by
+ * multiway merge of the disjoint remapped runs, ranked top-K by
+ * k-way heap merge. Ranked merging is *bit-identical* to a single
+ * unsharded RankedSearcher because the broker aggregates per-shard
+ * document frequencies into global weights and sends the same weight
+ * vector to every shard; per-shard truncation is lossless under the
+ * strict (score desc, doc asc) order. A failed, flooded or injected-
+ * faulty shard costs only its own documents: the reply comes back
+ * ok with partial = true rather than hanging the client, and only
+ * zero answering shards make an error:
+ *
+ *     ShardPlanOptions plan;
+ *     plan.shards = 4;
+ *     Broker broker(ShardPlanner::build(fs, "/", plan));
+ *     auto reply = broker.submitRanked(Query::parse("report"), 10);
+ *     BrokerStats load = broker.stats();  // rollup + per-shard view
+ *
+ * The rollup merges per-shard latency digests through the mergeable
+ * log-bucket LatencyHistogram (util/stats.hh) instead of
+ * concatenating raw sample logs.
+ *
  * Failure handling: the library assumes disks lie and queries
  * misbehave. SnapshotStore persists snapshots crash-safely
  * (write-temp + flush + rename, generation rotation, recovery walks
@@ -110,6 +137,9 @@
  *  - search/    boolean, ranked, multi-segment and live (base +
  *               delta + tombstone) query engines (snapshot consumers
  *               only), and the QueryServer serving loop over them
+ *  - shard/     scatter-gather serving tier: ShardPlanner document
+ *               partitioning, Broker fan-out/merge over per-shard
+ *               QueryServers with global-df ranked scoring
  *  - pipeline/  queues, pools, barriers, work distribution
  *  - sim/       calibrated platform simulator (paper Tables 1-4)
  *  - tune/      configuration auto-tuner
@@ -154,6 +184,9 @@
 #include "search/query_server.hh"
 #include "search/ranked.hh"
 #include "search/searcher.hh"
+
+#include "shard/broker.hh"
+#include "shard/shard_planner.hh"
 
 #include "pipeline/barrier.hh"
 #include "pipeline/blocking_queue.hh"

@@ -151,12 +151,23 @@ QueryServer::submitRanked(Query query, std::size_t k,
 }
 
 std::future<QueryResponse>
+QueryServer::submitRankedWeighted(Query query, std::size_t k,
+                                  std::shared_ptr<const TermWeights>
+                                      weights)
+{
+    return enqueue(std::move(query), Kind::RankedWeighted, k, nullptr,
+                   std::move(weights));
+}
+
+std::future<QueryResponse>
 QueryServer::enqueue(Query query, Kind kind, std::size_t k,
-                     std::function<void(const QueryResponse &)> callback)
+                     std::function<void(const QueryResponse &)> callback,
+                     std::shared_ptr<const TermWeights> weights)
 {
     auto request = std::make_shared<Request>(std::move(query));
     request->kind = kind;
     request->k = k;
+    request->weights = std::move(weights);
     request->callback = std::move(callback);
     request->admitted = Clock::now();
     std::future<QueryResponse> future = request->promise.get_future();
@@ -288,6 +299,15 @@ QueryServer::execute(Request &request)
                "(replicated snapshots serve boolean queries only)");
         return;
     }
+    if (request.kind == Kind::RankedWeighted
+        && (state->ranked == nullptr || request.weights == nullptr)) {
+        reject(request,
+               request.weights == nullptr
+                   ? "weighted ranked query carries no weights"
+                   : "weighted ranked queries require a plain "
+                     "unified snapshot");
+        return;
+    }
 
     QueryResponse response;
     // Exception isolation: the pool's workers are noexcept by
@@ -315,6 +335,10 @@ QueryServer::execute(Request &request)
                 ? state->live->topK(request.query, request.k)
                 : state->ranked->topK(request.query, request.k);
             break;
+          case Kind::RankedWeighted:
+            response.ranked = state->ranked->topKWeighted(
+                request.query, request.k, *request.weights);
+            break;
         }
     } catch (const std::exception &e) {
         reject(request, std::string("query failed: ") + e.what());
@@ -333,6 +357,7 @@ QueryServer::execute(Request &request)
     {
         std::scoped_lock lock(_stats_mutex);
         _latencies.push_back(response.latency_sec);
+        _hist.record(response.latency_sec);
         ++_completed;
     }
     request.promise.set_value(response);
@@ -366,11 +391,19 @@ QueryServer::stats() const
     return digest;
 }
 
+LatencyHistogram
+QueryServer::latencyHistogram() const
+{
+    std::scoped_lock lock(_stats_mutex);
+    return _hist;
+}
+
 void
 QueryServer::resetStats()
 {
     std::scoped_lock lock(_stats_mutex);
     _latencies.clear();
+    _hist.clear();
     _completed = 0;
     _rejected = 0;
     _timed_out = 0;

@@ -305,6 +305,22 @@ class QueryServer
                  std::function<void(const QueryResponse &)> callback);
 
     /**
+     * Submit a ranked query scored with externally supplied term
+     * weights (RankedSearcher::topKWeighted) instead of this index's
+     * own idf. The sharded serving tier's broker computes *global*
+     * idf from aggregated per-shard df and sends the same weights to
+     * every shard, making shard-local scores globally comparable.
+     * Requires a plain unified snapshot (rejected on replicated and
+     * live states — a shard is always a sealed unified build).
+     *
+     * @p weights is shared, not copied: the broker fans one weight
+     * vector out to N shards.
+     */
+    std::future<QueryResponse>
+    submitRankedWeighted(Query query, std::size_t k,
+                         std::shared_ptr<const TermWeights> weights);
+
+    /**
      * Hot-swap the served state: build the next generation's
      * searchers off to the side, then atomically publish them. Never
      * blocks queries and is never blocked by them; safe to call from
@@ -380,11 +396,20 @@ class QueryServer
     /** Restart the stats window (after warm-up, between load phases). */
     void resetStats();
 
+    /**
+     * Mergeable digest of completed-query latencies (the same
+     * observations stats() summarizes exactly). A broker folds N of
+     * these together for its rollup without concatenating raw
+     * sample vectors; see util/stats LatencyHistogram.
+     */
+    LatencyHistogram latencyHistogram() const;
+
   private:
     using Clock = std::chrono::steady_clock;
 
-    /** What a query needs: boolean matches or a ranked topK. */
-    enum class Kind { Boolean, Ranked };
+    /** What a query needs: boolean matches, a ranked topK, or a
+     *  ranked topK under broker-supplied global weights. */
+    enum class Kind { Boolean, Ranked, RankedWeighted };
 
     /** One admitted query in flight. */
     struct Request
@@ -394,15 +419,17 @@ class QueryServer
         Query query;
         Kind kind = Kind::Boolean;
         std::size_t k = 0;
+        std::shared_ptr<const TermWeights> weights; ///< RankedWeighted.
         std::promise<QueryResponse> promise;
         std::function<void(const QueryResponse &)> callback;
         Clock::time_point admitted;
     };
 
-    /** Shared enqueue path behind the four submit overloads. */
+    /** Shared enqueue path behind the submit overloads. */
     std::future<QueryResponse>
     enqueue(Query query, Kind kind, std::size_t k,
-            std::function<void(const QueryResponse &)> callback);
+            std::function<void(const QueryResponse &)> callback,
+            std::shared_ptr<const TermWeights> weights = nullptr);
 
     /** How a non-completed query is classified in stats(). */
     enum class Refusal { Rejected, TimedOut, Shed };
@@ -450,6 +477,7 @@ class QueryServer
     // workers append one double per query).
     mutable std::mutex _stats_mutex;
     std::vector<double> _latencies;
+    LatencyHistogram _hist;
     std::uint64_t _completed = 0;
     std::uint64_t _rejected = 0;
     std::uint64_t _timed_out = 0;

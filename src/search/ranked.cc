@@ -42,6 +42,15 @@ positiveTerms(const QueryNode &root)
     return terms;
 }
 
+double
+idfFromCounts(std::size_t doc_count, std::size_t df)
+{
+    if (df == 0)
+        return 0.0;
+    double n = static_cast<double>(doc_count);
+    return std::log(1.0 + n / static_cast<double>(df));
+}
+
 RankedSearcher::RankedSearcher(IndexSnapshot snapshot,
                                const DocTable &docs)
     : _snapshot(std::move(snapshot)), _docs(docs),
@@ -53,10 +62,7 @@ RankedSearcher::RankedSearcher(IndexSnapshot snapshot,
 double
 RankedSearcher::idfFromDf(std::size_t df) const
 {
-    if (df == 0)
-        return 0.0;
-    double n = static_cast<double>(_docs.docCount());
-    return std::log(1.0 + n / static_cast<double>(df));
+    return idfFromCounts(_docs.docCount(), df);
 }
 
 RankedSearcher::TermStats
@@ -100,46 +106,43 @@ RankedSearcher::idf(const std::string &term) const
     return termStats(term).idf;
 }
 
-std::vector<ScoredHit>
-RankedSearcher::topK(const Query &query, std::size_t k) const
+std::size_t
+RankedSearcher::df(const std::string &term) const
 {
-    std::vector<ScoredHit> hits;
-    if (!query.valid() || k == 0)
-        return hits;
+    return termStats(term).df;
+}
 
-    DocSet matches = _boolean.run(query);
-    if (matches.empty())
-        return hits;
-
-    // Per positive term, stream the cursor through the sorted match
-    // set — both ascend, so one seekGE-driven pass scores every match
-    // without materializing a per-term DocId vector. The only scoring
-    // allocation is the score accumulator, parallel to `matches`.
-    std::vector<double> scores(matches.size(), 0.0);
-    for (const std::string &term : positiveTerms(query.root())) {
-        PostingCursor cursor;
-        const TermStats stats = termStats(term, &cursor);
-        if (stats.df == 0)
-            continue; // cache hit spares the cursor rebuild entirely
-        const double weight = stats.idf;
-        std::size_t i = 0;
-        while (i < matches.size() && cursor.seekGE(matches[i])) {
-            const DocId doc = cursor.doc();
-            i = static_cast<std::size_t>(
-                std::lower_bound(matches.begin()
-                                     + static_cast<std::ptrdiff_t>(i),
-                                 matches.end(), doc)
-                - matches.begin());
-            if (i == matches.size())
-                break;
-            if (matches[i] == doc) {
-                scores[i] += weight;
-                ++i;
-                cursor.next();
-            }
+void
+RankedSearcher::accumulate(const DocSet &matches, PostingCursor cursor,
+                           double weight, std::vector<double> &scores)
+{
+    // Stream the cursor through the sorted match set — both ascend,
+    // so one seekGE-driven pass scores every match without
+    // materializing a per-term DocId vector.
+    std::size_t i = 0;
+    while (i < matches.size() && cursor.seekGE(matches[i])) {
+        const DocId doc = cursor.doc();
+        i = static_cast<std::size_t>(
+            std::lower_bound(matches.begin()
+                                 + static_cast<std::ptrdiff_t>(i),
+                             matches.end(), doc)
+            - matches.begin());
+        if (i == matches.size())
+            break;
+        if (matches[i] == doc) {
+            scores[i] += weight;
+            ++i;
+            cursor.next();
         }
     }
+}
 
+std::vector<ScoredHit>
+RankedSearcher::finishRanking(const DocSet &matches,
+                              const std::vector<double> &scores,
+                              std::size_t k) const
+{
+    std::vector<ScoredHit> hits;
     hits.reserve(matches.size());
     for (std::size_t i = 0; i < matches.size(); ++i) {
         const DocId doc = matches[i];
@@ -159,6 +162,52 @@ RankedSearcher::topK(const Query &query, std::size_t k) const
     if (hits.size() > k)
         hits.resize(k);
     return hits;
+}
+
+std::vector<ScoredHit>
+RankedSearcher::topK(const Query &query, std::size_t k) const
+{
+    if (!query.valid() || k == 0)
+        return {};
+
+    DocSet matches = _boolean.run(query);
+    if (matches.empty())
+        return {};
+
+    // The only scoring allocation is the score accumulator, parallel
+    // to `matches`.
+    std::vector<double> scores(matches.size(), 0.0);
+    for (const std::string &term : positiveTerms(query.root())) {
+        PostingCursor cursor;
+        const TermStats stats = termStats(term, &cursor);
+        if (stats.df == 0)
+            continue; // cache hit spares the cursor rebuild entirely
+        accumulate(matches, cursor, stats.idf, scores);
+    }
+    return finishRanking(matches, scores, k);
+}
+
+std::vector<ScoredHit>
+RankedSearcher::topKWeighted(const Query &query, std::size_t k,
+                             const TermWeights &weights) const
+{
+    if (!query.valid() || k == 0)
+        return {};
+
+    DocSet matches = _boolean.run(query);
+    if (matches.empty())
+        return {};
+
+    std::vector<double> scores(matches.size(), 0.0);
+    for (const auto &[term, weight] : weights) {
+        if (weight == 0.0)
+            continue; // globally unknown term: no contribution
+        PostingCursor cursor = _snapshot.cursor(term);
+        if (cursor.count() == 0)
+            continue; // term lives in other shards only
+        accumulate(matches, cursor, weight, scores);
+    }
+    return finishRanking(matches, scores, k);
 }
 
 } // namespace dsearch

@@ -51,6 +51,26 @@ struct ScoredHit
  */
 std::vector<std::string> positiveTerms(const QueryNode &root);
 
+/**
+ * The scoring formula's idf, computable away from any one index:
+ * ln(1 + doc_count / df); 0 when df is 0. RankedSearcher uses it
+ * with its own (doc_count, df); the sharded serving tier's broker
+ * uses it with the *global* document count and the per-shard df sum,
+ * so scores computed inside a shard are bit-identical to what the
+ * unsharded searcher would produce (the classic document-partitioned
+ * ranking pitfall: per-shard idf makes scores incomparable across
+ * shards).
+ */
+double idfFromCounts(std::size_t doc_count, std::size_t df);
+
+/**
+ * Externally supplied per-term score weights for topKWeighted():
+ * (term, weight) in the order contributions should accumulate.
+ * Matching positiveTerms() order with weight = idf reproduces topK()
+ * exactly.
+ */
+using TermWeights = std::vector<std::pair<std::string, double>>;
+
 /** Ranked query engine over one unified snapshot. */
 class RankedSearcher
 {
@@ -71,8 +91,28 @@ class RankedSearcher
     std::vector<ScoredHit> topK(const Query &query,
                                 std::size_t k) const;
 
+    /**
+     * topK() with the per-term weights dictated from outside instead
+     * of derived from this index's own df. The broker of a
+     * document-partitioned shard set aggregates df across shards,
+     * turns it into global idf (idfFromCounts) and passes the same
+     * weights to every shard — each shard then scores its local
+     * matches on the global scale, and the merged ranking equals the
+     * unsharded one bit for bit (contributions accumulate in the
+     * given order, so the floating-point sums match too). Terms
+     * absent from this index contribute nothing, exactly as in
+     * topK().
+     */
+    std::vector<ScoredHit> topKWeighted(const Query &query,
+                                        std::size_t k,
+                                        const TermWeights &weights)
+        const;
+
     /** Inverse document frequency of @p term in this index. */
     double idf(const std::string &term) const;
+
+    /** Document frequency of @p term (cached like idf). */
+    std::size_t df(const std::string &term) const;
 
     /**
      * @return Distinct terms currently held by the term-statistics
@@ -116,6 +156,21 @@ class RankedSearcher
      */
     TermStats termStats(const std::string &term,
                         PostingCursor *cursor_out = nullptr) const;
+
+    /**
+     * Stream @p cursor through the sorted @p matches, adding
+     * @p weight to each matched position of @p scores — the one
+     * accumulation loop topK() and topKWeighted() share, so the two
+     * paths cannot drift apart arithmetically.
+     */
+    static void accumulate(const DocSet &matches, PostingCursor cursor,
+                           double weight, std::vector<double> &scores);
+
+    /** Length-penalize, sort (score desc, doc asc), truncate to k. */
+    std::vector<ScoredHit> finishRanking(const DocSet &matches,
+                                         const std::vector<double>
+                                             &scores,
+                                         std::size_t k) const;
 
     IndexSnapshot _snapshot;
     const DocTable &_docs;

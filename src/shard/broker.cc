@@ -1,0 +1,479 @@
+#include "shard/broker.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+/**
+ * Multiway merge of disjoint sorted DocId runs into one sorted set.
+ * The runs come from different shards, so equal keys cannot occur.
+ */
+DocSet
+mergeSortedRuns(std::vector<DocSet> &runs)
+{
+    std::size_t total = 0;
+    std::size_t live = 0;
+    for (const DocSet &run : runs) {
+        total += run.size();
+        if (!run.empty())
+            ++live;
+    }
+    if (live == 1) {
+        for (DocSet &run : runs)
+            if (!run.empty())
+                return std::move(run);
+    }
+
+    DocSet merged;
+    merged.reserve(total);
+
+    struct Head
+    {
+        DocId doc;
+        std::size_t run;
+        std::size_t pos;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Head &a, const Head &b) const
+        {
+            return a.doc > b.doc; // min-heap on DocId
+        }
+    };
+    std::priority_queue<Head, std::vector<Head>, Later> heap;
+    for (std::size_t r = 0; r < runs.size(); ++r)
+        if (!runs[r].empty())
+            heap.push(Head{runs[r][0], r, 0});
+    while (!heap.empty()) {
+        Head head = heap.top();
+        heap.pop();
+        merged.push_back(head.doc);
+        if (head.pos + 1 < runs[head.run].size())
+            heap.push(Head{runs[head.run][head.pos + 1], head.run,
+                           head.pos + 1});
+    }
+    return merged;
+}
+
+/**
+ * K-way merge of per-shard top-k lists, each already sorted by the
+ * ranking's total order (score desc, global doc asc), truncated to
+ * @p k. Equal scores across shards break toward the lower global
+ * DocId — the same tie rule finishRanking() applies — so the merged
+ * prefix is exactly what one global sort would produce.
+ */
+std::vector<ScoredHit>
+mergeRankedRuns(std::vector<std::vector<ScoredHit>> &runs,
+                std::size_t k)
+{
+    struct Head
+    {
+        double score;
+        DocId doc;
+        std::size_t run;
+        std::size_t pos;
+    };
+    struct Worse
+    {
+        bool
+        operator()(const Head &a, const Head &b) const
+        {
+            if (a.score != b.score)
+                return a.score < b.score; // max-heap on score
+            return a.doc > b.doc;         // lower doc wins ties
+        }
+    };
+    std::priority_queue<Head, std::vector<Head>, Worse> heap;
+    for (std::size_t r = 0; r < runs.size(); ++r)
+        if (!runs[r].empty())
+            heap.push(Head{runs[r][0].score, runs[r][0].doc, r, 0});
+
+    std::vector<ScoredHit> merged;
+    merged.reserve(std::min(k, static_cast<std::size_t>(64)));
+    while (!heap.empty() && merged.size() < k) {
+        Head head = heap.top();
+        heap.pop();
+        merged.push_back(runs[head.run][head.pos]);
+        std::size_t next = head.pos + 1;
+        if (next < runs[head.run].size())
+            heap.push(Head{runs[head.run][next].score,
+                           runs[head.run][next].doc, head.run, next});
+    }
+    return merged;
+}
+
+} // namespace
+
+Broker::Broker(ShardedBuild build, BrokerOptions options)
+    : _options(options), _global_docs(std::move(build.global_docs)),
+      _queue(options.queue_capacity),
+      _pool(std::max<std::size_t>(options.merge_workers, 1)),
+      _window_start(Clock::now())
+{
+    if (build.shards.empty())
+        panic("Broker: a sharded build must carry at least one shard");
+    if (_options.batch_size == 0)
+        _options.batch_size = 1;
+
+    // workers = 0 means one per shard here (see BrokerOptions): the
+    // shard stands in for a single remote node, and N shards times
+    // hardware_concurrency workers would oversubscribe one box.
+    ServerOptions shard_opts = _options.shard_options;
+    if (shard_opts.workers == 0)
+        shard_opts.workers = 1;
+
+    _shards.reserve(build.shards.size());
+    for (BuiltShard &built : build.shards) {
+        Shard shard;
+        shard.server = std::make_unique<QueryServer>(
+            std::move(built.snapshot), std::move(built.docs),
+            shard_opts);
+        shard.to_global = std::move(built.to_global);
+        _shards.push_back(std::move(shard));
+    }
+
+    _dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+Broker::~Broker()
+{
+    shutdown();
+}
+
+void
+Broker::shutdown()
+{
+    std::call_once(_shutdown_once, [this] {
+        _queue.close();          // later submits are rejected
+        if (_dispatcher.joinable())
+            _dispatcher.join();  // queue drained into the merge pool
+        _pool.wait();            // every admitted query answered
+        // Only now are the shards idle from the broker's point of
+        // view: no merge worker is still waiting on a shard future.
+        for (Shard &shard : _shards)
+            shard.server->shutdown();
+    });
+}
+
+std::future<BrokerResponse>
+Broker::submit(Query query)
+{
+    return enqueue(std::move(query), Kind::Boolean, 0);
+}
+
+std::future<BrokerResponse>
+Broker::submitRanked(Query query, std::size_t k)
+{
+    return enqueue(std::move(query), Kind::Ranked, k);
+}
+
+QueryServer &
+Broker::shardServer(std::size_t shard)
+{
+    if (shard >= _shards.size())
+        panic("Broker::shardServer: shard index out of range");
+    return *_shards[shard].server;
+}
+
+std::future<BrokerResponse>
+Broker::enqueue(Query query, Kind kind, std::size_t k)
+{
+    auto request = std::make_shared<Request>(std::move(query));
+    request->kind = kind;
+    request->k = k;
+    request->admitted = Clock::now();
+    std::future<BrokerResponse> future =
+        request->promise.get_future();
+
+    if (!request->query.valid()) {
+        std::string reason = request->query.error();
+        reject(*request,
+               reason.empty() ? "invalid query" : std::move(reason));
+        return future;
+    }
+    admit(std::move(request));
+    return future;
+}
+
+void
+Broker::admit(std::shared_ptr<Request> request)
+{
+    // Same admission contract as QueryServer: Block (or unbounded)
+    // is closed-loop back-pressure; the shedding policies never
+    // block the submitter and answer every victim's future.
+    if (_options.overload_policy == OverloadPolicy::Block
+        || _options.queue_capacity == 0) {
+        std::shared_ptr<Request> kept = request;
+        if (!_queue.push(std::move(request)))
+            reject(*kept, "broker has shut down");
+        return;
+    }
+
+    while (!_queue.tryPush(request)) {
+        if (_queue.closed()) {
+            reject(*request, "broker has shut down");
+            return;
+        }
+        if (_options.overload_policy == OverloadPolicy::RejectNewest) {
+            reject(*request, "shed under overload", Refusal::Shed);
+            return;
+        }
+        std::shared_ptr<Request> victim;
+        if (_queue.tryPop(victim))
+            reject(*victim, "shed under overload", Refusal::Shed);
+    }
+}
+
+void
+Broker::reject(Request &request, std::string reason, Refusal refusal)
+{
+    BrokerResponse response;
+    response.ok = false;
+    response.error = std::move(reason);
+    response.latency_sec =
+        std::chrono::duration<double>(Clock::now() - request.admitted)
+            .count();
+    {
+        std::scoped_lock lock(_stats_mutex);
+        switch (refusal) {
+          case Refusal::Rejected: ++_rejected; break;
+          case Refusal::TimedOut: ++_timed_out; break;
+          case Refusal::Shed:     ++_shed; break;
+        }
+    }
+    request.promise.set_value(std::move(response));
+}
+
+bool
+Broker::expireIfPastDeadline(Request &request)
+{
+    if (_options.deadline_sec <= 0.0)
+        return false;
+    double waited =
+        std::chrono::duration<double>(Clock::now() - request.admitted)
+            .count();
+    if (waited <= _options.deadline_sec)
+        return false;
+    reject(request, "deadline expired", Refusal::TimedOut);
+    return true;
+}
+
+void
+Broker::dispatchLoop()
+{
+    std::vector<std::shared_ptr<Request>> batch;
+    while (_queue.popBatch(batch, _options.batch_size)) {
+        for (std::shared_ptr<Request> &request : batch) {
+            if (expireIfPastDeadline(*request))
+                continue;
+            _pool.submit([this, request = std::move(request)] {
+                execute(*request);
+            });
+        }
+    }
+}
+
+std::shared_ptr<const TermWeights>
+Broker::globalWeights(const Query &query) const
+{
+    std::vector<std::string> terms = positiveTerms(query.root());
+    auto weights = std::make_shared<TermWeights>();
+    weights->reserve(terms.size());
+    const std::size_t doc_count = _global_docs.docCount();
+    for (std::string &term : terms) {
+        // df is a corpus statistic, not a per-replica one: sum over
+        // every shard regardless of which shards later answer, so a
+        // partial response still scores on the one global scale.
+        std::size_t df = 0;
+        for (const Shard &shard : _shards) {
+            std::shared_ptr<const ServingState> state =
+                shard.server->serving();
+            if (state->ranked != nullptr)
+                df += state->ranked->df(term);
+        }
+        weights->emplace_back(std::move(term),
+                              idfFromCounts(doc_count, df));
+    }
+    return weights;
+}
+
+void
+Broker::execute(Request &request)
+{
+    // Pool queueing added wait on top of admission; re-check.
+    if (expireIfPastDeadline(request))
+        return;
+
+    BrokerResponse response;
+    try {
+        std::shared_ptr<const TermWeights> weights;
+        if (request.kind == Kind::Ranked)
+            weights = globalWeights(request.query);
+
+        // Scatter: one asynchronous sub-query per shard, each into
+        // that shard's own admission queue. The fault point models a
+        // dead or unreachable shard: the sub-query is never sent.
+        struct Pending
+        {
+            std::size_t shard;
+            std::future<QueryResponse> future;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(_shards.size());
+        for (std::size_t s = 0; s < _shards.size(); ++s) {
+            if (faultFires("shard.dispatch"))
+                continue;
+            pending.push_back(Pending{
+                s,
+                request.kind == Kind::Boolean
+                    ? _shards[s].server->submit(request.query)
+                    : _shards[s].server->submitRankedWeighted(
+                          request.query, request.k, weights)});
+        }
+
+        // Gather: collect whatever answers arrive in time. A shard
+        // that refused (shed, deadline, poisoned), outwaited
+        // shard_wait_sec, or hits the merge fault point contributes
+        // nothing — its absence is recorded, never a torn merge.
+        struct Answer
+        {
+            std::size_t shard;
+            QueryResponse reply;
+        };
+        std::vector<Answer> answers;
+        answers.reserve(pending.size());
+        for (Pending &p : pending) {
+            if (_options.shard_wait_sec > 0.0
+                && p.future.wait_for(std::chrono::duration<double>(
+                       _options.shard_wait_sec))
+                       != std::future_status::ready)
+                continue; // abandoned; the future dies with `p`
+            QueryResponse reply = p.future.get();
+            if (!reply.ok)
+                continue;
+            if (faultFires("shard.merge"))
+                continue;
+            answers.push_back(Answer{p.shard, std::move(reply)});
+        }
+
+        response.shards_answered = answers.size();
+        response.partial = answers.size() < _shards.size();
+        if (answers.empty()) {
+            reject(request, "no shard answered");
+            return;
+        }
+
+        // Merge in the global DocId space. to_global is strictly
+        // increasing, so remapped runs stay sorted and the multiway
+        // merges below need no re-sort.
+        if (request.kind == Kind::Boolean) {
+            std::vector<DocSet> runs;
+            runs.reserve(answers.size());
+            for (Answer &answer : answers) {
+                const std::vector<DocId> &map =
+                    _shards[answer.shard].to_global;
+                DocSet run;
+                run.reserve(answer.reply.hits.size());
+                for (DocId local : answer.reply.hits)
+                    run.push_back(map[local]);
+                runs.push_back(std::move(run));
+            }
+            response.hits = mergeSortedRuns(runs);
+        } else {
+            std::vector<std::vector<ScoredHit>> runs;
+            runs.reserve(answers.size());
+            for (Answer &answer : answers) {
+                const std::vector<DocId> &map =
+                    _shards[answer.shard].to_global;
+                for (ScoredHit &hit : answer.reply.ranked)
+                    hit.doc = map[hit.doc];
+                runs.push_back(std::move(answer.reply.ranked));
+            }
+            response.ranked = mergeRankedRuns(runs, request.k);
+        }
+    } catch (const std::exception &e) {
+        reject(request, std::string("query failed: ") + e.what());
+        return;
+    } catch (...) {
+        reject(request, "query failed: unknown exception");
+        return;
+    }
+
+    response.ok = true;
+    response.latency_sec =
+        std::chrono::duration<double>(Clock::now() - request.admitted)
+            .count();
+    {
+        std::scoped_lock lock(_stats_mutex);
+        _latencies.push_back(response.latency_sec);
+        ++_completed;
+        if (response.partial)
+            ++_partial;
+    }
+    request.promise.set_value(std::move(response));
+}
+
+BrokerStats
+Broker::stats() const
+{
+    BrokerStats digest;
+    std::vector<double> latencies;
+    Clock::time_point start;
+    {
+        std::scoped_lock lock(_stats_mutex);
+        latencies = _latencies;
+        digest.completed = _completed;
+        digest.rejected = _rejected;
+        digest.timed_out = _timed_out;
+        digest.shed = _shed;
+        digest.partial = _partial;
+        start = _window_start;
+    }
+    digest.elapsed_sec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (digest.elapsed_sec > 0.0)
+        digest.qps = static_cast<double>(digest.completed)
+                     / digest.elapsed_sec;
+    digest.latency = summarizeLatencies(std::move(latencies));
+
+    // The rollup the histogram satellite exists for: fold N shards'
+    // digests together with counter adds instead of concatenating N
+    // raw sample vectors.
+    LatencyHistogram rollup;
+    digest.shards.reserve(_shards.size());
+    for (const Shard &shard : _shards) {
+        rollup.merge(shard.server->latencyHistogram());
+        digest.shards.push_back(shard.server->stats());
+    }
+    digest.shard_latency = rollup.summarize();
+    return digest;
+}
+
+void
+Broker::resetStats()
+{
+    {
+        std::scoped_lock lock(_stats_mutex);
+        _latencies.clear();
+        _completed = 0;
+        _rejected = 0;
+        _timed_out = 0;
+        _shed = 0;
+        _partial = 0;
+        _window_start = Clock::now();
+    }
+    for (Shard &shard : _shards)
+        shard.server->resetStats();
+}
+
+} // namespace dsearch

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Broker: scatter-gather front end over N document-partitioned shards.
+ *
+ * One QueryServer saturates at one machine's worth of cores; the
+ * ROADMAP's next step toward "millions of users" is N of them behind
+ * a broker — the architecture the related distributed-web-search
+ * work (Orlando/Perego/Silvestri) analyzes. This module is that tier,
+ * in-process: every shard is a full QueryServer (own admission queue,
+ * own deadline and overload policy, own workers over its own sealed
+ * snapshot), and the broker is itself shaped like a QueryServer —
+ * bounded admission, a dispatcher, a pool — whose "evaluation" is
+ * scatter + gather + merge:
+ *
+ *   clients --submit()--> BlockingQueue --dispatcher--> merge pool
+ *                                                        |  scatter:
+ *                                                        |  one sub-
+ *                                                        v  query per
+ *                                          shard QueryServers (async)
+ *                                                        |
+ *                              gather futures, merge <---+
+ *
+ * Merging is where document partitioning earns its keep:
+ *
+ *  - Boolean: each shard answers in its local DocId space; the
+ *    broker remaps through BuiltShard::to_global (strictly
+ *    increasing, so sorted runs stay sorted) and multiway-merges the
+ *    disjoint runs into one sorted global result — exactly the set
+ *    the unsharded Searcher returns, NOT queries included (a local
+ *    complement unions to the global complement because every
+ *    global document lives in exactly one shard).
+ *
+ *  - Ranked: the classic document-partitioned pitfall is per-shard
+ *    idf — a term rare in one shard but common globally would score
+ *    high there, and per-shard scores would not be comparable. The
+ *    broker therefore aggregates df per positive term across all
+ *    shards (df_global = sum of shard df), converts with the global
+ *    document count (idfFromCounts), and sends every shard the same
+ *    weight vector in positiveTerms() order via
+ *    submitRankedWeighted(). Each shard scores its local matches on
+ *    the global scale — accumulating contributions in the same
+ *    order the unsharded RankedSearcher would, so the doubles are
+ *    bit-identical — and the broker k-way heap-merges the per-shard
+ *    top-k lists under the same total order (score desc, global doc
+ *    asc). Per-shard truncation to k is lossless: the global top-k
+ *    is contained in the union of shard top-k's under a total order.
+ *
+ * Failure containment — a slow or dead shard must cost its own
+ * results, not the query:
+ *
+ *  - options.shard_wait_sec bounds the per-shard gather; a shard
+ *    still silent past it is abandoned (its eventual answer is
+ *    dropped with its future).
+ *  - A shard answering ok = false (shed, deadline, poisoned) or
+ *    failing to dispatch contributes nothing.
+ *  - Either way the broker reply is degraded but well-formed:
+ *    ok = true, partial = true, shards_answered < shardCount(), the
+ *    merge covering exactly the shards that answered — never a hang,
+ *    never a torn merge. Only zero answering shards make ok = false.
+ *  - Fault points "shard.dispatch" (scatter: the sub-query is never
+ *    sent) and "shard.merge" (gather: the shard's partial result is
+ *    dropped) inject both failure modes deterministically for tests.
+ *
+ * Stats roll up without centralizing samples: the broker keeps exact
+ * end-to-end latencies (it owns those observations), and folds the
+ * per-shard views together by merging each server's
+ * LatencyHistogram — counter adds, not sample concatenation — plus
+ * the full per-shard ServerStats for drill-down (who shed, who timed
+ * out: the skewed-load observability bench_shard_broker exercises).
+ */
+
+#ifndef DSEARCH_SHARD_BROKER_HH
+#define DSEARCH_SHARD_BROKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/blocking_queue.hh"
+#include "pipeline/thread_pool.hh"
+#include "search/query.hh"
+#include "search/query_server.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+#include "shard/shard_planner.hh"
+#include "util/stats.hh"
+
+namespace dsearch {
+
+/** Sizing and policy knobs for a Broker. */
+struct BrokerOptions
+{
+    /**
+     * Per-shard QueryServer options. workers = 0 here means one
+     * worker per shard (each shard stands in for one remote node),
+     * not hardware concurrency — a broker over N shards on one box
+     * should not start N full pools.
+     */
+    ServerOptions shard_options;
+
+    /** Merge workers: client queries in flight at once (>= 1). */
+    std::size_t merge_workers = 2;
+
+    /** Broker admission queue bound; 0 = unbounded. */
+    std::size_t queue_capacity = 1024;
+
+    /** Requests the broker dispatcher drains per round (>= 1). */
+    std::size_t batch_size = 8;
+
+    /** Broker-level per-query deadline from admission; 0 = none. */
+    double deadline_sec = 0.0;
+
+    /** Broker admission behaviour at a full queue. */
+    OverloadPolicy overload_policy = OverloadPolicy::Block;
+
+    /**
+     * Longest the gather waits on any one shard, seconds; a shard
+     * still silent past it is abandoned and the reply goes out
+     * partial. 0 = wait indefinitely (trust shard deadlines).
+     */
+    double shard_wait_sec = 0.0;
+};
+
+/** The answer to one brokered query, in global DocIds. */
+struct BrokerResponse
+{
+    /** False when rejected or no shard answered (error says why). */
+    bool ok = false;
+
+    /** Rejection reason (empty when ok). */
+    std::string error;
+
+    /** Boolean matches, sorted global DocIds (boolean queries). */
+    DocSet hits;
+
+    /** Scored hits, best first, global DocIds (ranked queries). */
+    std::vector<ScoredHit> ranked;
+
+    /** True when at least one shard's answer is missing. */
+    bool partial = false;
+
+    /** Shards whose results the merge covers. */
+    std::size_t shards_answered = 0;
+
+    /** Admission-to-completion latency at the broker, seconds. */
+    double latency_sec = 0.0;
+};
+
+/** Broker-level traffic digest; see Broker::stats(). */
+struct BrokerStats
+{
+    std::uint64_t completed = 0; ///< Queries answered ok.
+    std::uint64_t rejected = 0;  ///< Invalid / refused / all-shards-failed.
+    std::uint64_t timed_out = 0; ///< Broker deadline expired.
+    std::uint64_t shed = 0;      ///< Dropped by the overload policy.
+    std::uint64_t partial = 0;   ///< Completed with missing shards.
+    double elapsed_sec = 0.0;    ///< Since start or resetStats().
+    double qps = 0.0;            ///< completed / elapsed.
+
+    /** Broker end-to-end latency digest (exact: the broker owns
+     *  these samples). */
+    LatencySummary latency;
+
+    /** Rollup of per-shard completed-query latencies, merged from
+     *  each shard's LatencyHistogram (bounded-error quantiles). */
+    LatencySummary shard_latency;
+
+    /** Each shard's own ServerStats, for drill-down. */
+    std::vector<ServerStats> shards;
+};
+
+/** Scatter-gather serving tier; see the file comment. */
+class Broker
+{
+  public:
+    /**
+     * Serve @p build (from ShardPlanner::build()). One QueryServer
+     * starts per shard; the broker accepts queries as soon as the
+     * constructor returns.
+     */
+    explicit Broker(ShardedBuild build, BrokerOptions options = {});
+
+    /** Shuts down (draining admitted queries) if still running. */
+    ~Broker();
+
+    Broker(const Broker &) = delete;
+    Broker &operator=(const Broker &) = delete;
+
+    /**
+     * Submit a boolean query; the future always becomes ready.
+     * Blocking behaviour at a full queue follows
+     * options.overload_policy, exactly as on QueryServer.
+     */
+    std::future<BrokerResponse> submit(Query query);
+
+    /** Submit a ranked query for the global best @p k hits. */
+    std::future<BrokerResponse> submitRanked(Query query,
+                                             std::size_t k);
+
+    /**
+     * Stop the tier: close broker admission, drain and answer every
+     * admitted query, then shut the shard servers down. Idempotent;
+     * the destructor calls it.
+     */
+    void shutdown();
+
+    /** @return True while submit() can still admit queries. */
+    bool accepting() const { return !_queue.closed(); }
+
+    /** @return Number of shards behind this broker. */
+    std::size_t shardCount() const { return _shards.size(); }
+
+    /** @return Documents across all shards. */
+    std::size_t docCount() const { return _global_docs.docCount(); }
+
+    /** @return The global document table (paths for display). */
+    const DocTable &docs() const { return _global_docs; }
+
+    /** Traffic digest: broker counters + per-shard rollup. */
+    BrokerStats stats() const;
+
+    /** Restart the stats window, broker and every shard. */
+    void resetStats();
+
+    /**
+     * One shard's server, for targeted inspection and load in tests
+     * and benchmarks (panics on an out-of-range index).
+     */
+    QueryServer &shardServer(std::size_t shard);
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One shard: its server plus the local -> global id map. */
+    struct Shard
+    {
+        std::unique_ptr<QueryServer> server;
+        std::vector<DocId> to_global;
+    };
+
+    enum class Kind { Boolean, Ranked };
+
+    /** One admitted client query in flight at the broker. */
+    struct Request
+    {
+        explicit Request(Query q) : query(std::move(q)) {}
+
+        Query query;
+        Kind kind = Kind::Boolean;
+        std::size_t k = 0;
+        std::promise<BrokerResponse> promise;
+        Clock::time_point admitted;
+    };
+
+    enum class Refusal { Rejected, TimedOut, Shed };
+
+    std::future<BrokerResponse> enqueue(Query query, Kind kind,
+                                        std::size_t k);
+    void admit(std::shared_ptr<Request> request);
+    void reject(Request &request, std::string reason,
+                Refusal refusal = Refusal::Rejected);
+    bool expireIfPastDeadline(Request &request);
+    void dispatchLoop();
+
+    /** Merge-worker body: scatter, gather, merge, resolve. */
+    void execute(Request &request);
+
+    /**
+     * Global per-term weights for a ranked query: df summed across
+     * shards, idf on the global document count, positiveTerms order.
+     */
+    std::shared_ptr<const TermWeights>
+    globalWeights(const Query &query) const;
+
+    BrokerOptions _options;
+    DocTable _global_docs;
+    std::vector<Shard> _shards;
+
+    BlockingQueue<std::shared_ptr<Request>> _queue;
+    ThreadPool _pool;
+    std::thread _dispatcher;
+    std::once_flag _shutdown_once;
+
+    mutable std::mutex _stats_mutex;
+    std::vector<double> _latencies;
+    std::uint64_t _completed = 0;
+    std::uint64_t _rejected = 0;
+    std::uint64_t _timed_out = 0;
+    std::uint64_t _shed = 0;
+    std::uint64_t _partial = 0;
+    Clock::time_point _window_start;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SHARD_BROKER_HH

@@ -1,0 +1,156 @@
+#include "shard/shard_planner.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "fs/traversal.hh"
+#include "util/fnv_hash.hh"
+#include "util/hash_set.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+/**
+ * A read-only view of a base filesystem restricted to one shard's
+ * files. Directories pass through untouched (traversal still walks
+ * the whole tree in the same order); regular files exist only when
+ * the placement assigned them to this shard. Because list() keeps
+ * the base's deterministic order and merely drops entries, the
+ * filtered traversal enumerates the shard's files in exactly the
+ * global traversal order restricted to the shard — the invariant
+ * that makes BuiltShard::to_global strictly increasing.
+ */
+class FilteredFs : public FileSystem
+{
+  public:
+    FilteredFs(const FileSystem &base, HashSet<std::string> allowed)
+        : _base(base), _allowed(std::move(allowed))
+    {
+    }
+
+    std::vector<DirEntry>
+    list(const std::string &path) const override
+    {
+        std::vector<DirEntry> entries = _base.list(path);
+        std::vector<DirEntry> kept;
+        kept.reserve(entries.size());
+        for (DirEntry &entry : entries) {
+            if (entry.is_dir
+                || _allowed.contains(joinPath(path, entry.name)))
+                kept.push_back(std::move(entry));
+        }
+        return kept;
+    }
+
+    bool
+    isDirectory(const std::string &path) const override
+    {
+        return _base.isDirectory(path);
+    }
+
+    bool
+    isFile(const std::string &path) const override
+    {
+        return _allowed.contains(path) && _base.isFile(path);
+    }
+
+    std::uint64_t
+    fileSize(const std::string &path) const override
+    {
+        return _allowed.contains(path) ? _base.fileSize(path) : 0;
+    }
+
+    std::uint64_t
+    fileMtime(const std::string &path) const override
+    {
+        return _allowed.contains(path) ? _base.fileMtime(path) : 0;
+    }
+
+    bool
+    readFile(const std::string &path, std::string &out) const override
+    {
+        return _allowed.contains(path) && _base.readFile(path, out);
+    }
+
+  private:
+    const FileSystem &_base;
+    HashSet<std::string> _allowed;
+};
+
+} // namespace
+
+std::size_t
+ShardPlanner::shardForPath(const std::string &path, std::size_t shards)
+{
+    if (shards <= 1)
+        return 0;
+    return static_cast<std::size_t>(fnv1a_64(path) % shards);
+}
+
+ShardedBuild
+ShardPlanner::build(const FileSystem &fs, const std::string &root,
+                    const ShardPlanOptions &options)
+{
+    const std::size_t shard_count = std::max<std::size_t>(
+        options.shards, 1);
+
+    // One global Stage-1 traversal names every document: this is the
+    // DocId space the broker answers in, identical to what an
+    // unsharded Engine build over the same corpus would assign.
+    FileList files = generateFilenames(fs, root);
+
+    ShardedBuild out;
+    out.global_docs = DocTable::fromFileList(files);
+    out.shards.resize(shard_count);
+
+    // Assign every file to its shard.
+    std::vector<HashSet<std::string>> allowed(shard_count);
+    std::vector<std::vector<DocId>> to_global(shard_count);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::size_t shard =
+            options.placement == ShardPlacement::RoundRobin
+                ? i % shard_count
+                : shardForPath(files[i].path, shard_count);
+        allowed[shard].insert(files[i].path);
+        to_global[shard].push_back(files[i].doc);
+    }
+
+    // Build each shard over its filtered view of the corpus.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        FilteredFs view(fs, std::move(allowed[s]));
+        Engine::Result built =
+            Engine::open(view, root)
+                .organization(options.organization)
+                .threads(std::max(options.extractors, 1u),
+                         options.updaters, options.joiners)
+                .tokenizer(options.tokenizer)
+                .build();
+        if (!built.snapshot.unified())
+            panic("ShardPlanner: shard build produced a non-unified "
+                  "snapshot (use a joined organization)");
+
+        BuiltShard &shard = out.shards[s];
+        shard.snapshot = std::move(built.snapshot);
+        shard.docs = std::move(built.docs);
+        shard.to_global = std::move(to_global[s]);
+
+        // The local-order invariant everything downstream leans on:
+        // shard-local DocId i must name the same file as global DocId
+        // to_global[i]. A violation means FileSystem::list() broke
+        // its determinism contract.
+        if (shard.docs.docCount() != shard.to_global.size())
+            panic("ShardPlanner: shard indexed a different document "
+                  "count than the placement assigned");
+        for (std::size_t i = 0; i < shard.to_global.size(); ++i) {
+            if (shard.docs.path(static_cast<DocId>(i))
+                != out.global_docs.path(shard.to_global[i]))
+                panic("ShardPlanner: shard-local document order "
+                      "diverged from the global traversal order");
+        }
+    }
+    return out;
+}
+
+} // namespace dsearch

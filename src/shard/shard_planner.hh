@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ShardPlanner: document-partition one corpus into N sealed shards.
+ *
+ * The distributed-web-search architecture in the related work
+ * (Orlando/Perego/Silvestri) splits the *document collection* across
+ * workers: every shard holds the full vocabulary over its own slice
+ * of the documents, a query is evaluated against every shard, and a
+ * broker merges the partial answers. This module builds that layout
+ * in-process:
+ *
+ *   generateFilenames(fs, root)        one Stage-1 traversal names
+ *        |                             every document once — the
+ *        v                             *global* DocId order
+ *   placement (round-robin | hash)     assigns each file to a shard
+ *        |
+ *        v
+ *   N Engine builds over FilteredFs    each shard indexes only its
+ *        |                             own files; DocIds are dense
+ *        v                             and *local* per shard
+ *   BuiltShard{snapshot, docs, to_global}
+ *
+ * The key invariant the broker's merge relies on: a shard's local
+ * DocIds are assigned by the same deterministic traversal order as
+ * the global table, restricted to the shard's files (FileSystem::
+ * list() is lexicographic, and filtering a DFS preserves relative
+ * order). So `to_global` — local id -> global id — is *strictly
+ * increasing*, every global id appears in exactly one shard, and a
+ * shard's sorted local result set stays sorted after remapping.
+ * Boolean merge is therefore a multiway merge of sorted runs, and a
+ * NOT evaluated against the shard-local universe unions to exactly
+ * the global complement.
+ *
+ * Placement:
+ *  - RoundRobin spreads documents evenly (traversal index mod N) —
+ *    the balanced default for benchmarking scaling curves.
+ *  - HashByPath (FNV-1a of the virtual path mod N) keeps a
+ *    document's shard stable when the corpus grows or shrinks —
+ *    re-sharding moves only ~1/N of documents on a shard-count
+ *    change, and a path maps to the same shard on every machine.
+ */
+
+#ifndef DSEARCH_SHARD_SHARD_PLANNER_HH
+#define DSEARCH_SHARD_SHARD_PLANNER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fs/file_system.hh"
+#include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
+#include "text/tokenizer.hh"
+
+namespace dsearch {
+
+/** How documents are assigned to shards. */
+enum class ShardPlacement {
+    /** Traversal index mod N: maximally even spread. */
+    RoundRobin,
+    /** FNV-1a(path) mod N: stable under corpus growth. */
+    HashByPath,
+};
+
+/** Knobs for ShardPlanner::build(). */
+struct ShardPlanOptions
+{
+    /** Number of shards (>= 1; 0 is clamped to 1). */
+    std::size_t shards = 1;
+
+    /** Document-to-shard assignment rule. */
+    ShardPlacement placement = ShardPlacement::RoundRobin;
+
+    /** Tokenizer settings shared by every shard build (and by the
+     *  unsharded reference build, when comparing). */
+    TokenizerOptions tokenizer;
+
+    /**
+     * Generator organization for each shard's Engine build. Must be
+     * a joined organization (unified snapshot): the serving tier
+     * ranks with RankedSearcher, which replicated snapshots cannot.
+     */
+    Implementation organization = Implementation::Sequential;
+
+    /** The paper's (x, y, z) thread tuple for each shard build
+     *  (extractors < 1 is clamped to 1). */
+    unsigned extractors = 1;
+    unsigned updaters = 0;
+    unsigned joiners = 0;
+};
+
+/** One sealed shard, ready to be served by its own QueryServer. */
+struct BuiltShard
+{
+    /** Unified snapshot over this shard's documents only. */
+    IndexSnapshot snapshot;
+
+    /** Shard-local document table (dense local DocIds from 0). */
+    DocTable docs;
+
+    /**
+     * Local DocId -> global DocId, strictly increasing (see the file
+     * comment); size == docs.docCount().
+     */
+    std::vector<DocId> to_global;
+};
+
+/** The complete output of one sharded build. */
+struct ShardedBuild
+{
+    /** Global document table in unsharded traversal order — the
+     *  DocId space broker responses are expressed in. */
+    DocTable global_docs;
+
+    /** The shards; every global document is in exactly one. */
+    std::vector<BuiltShard> shards;
+};
+
+/** Document-partitioning build driver; see the file comment. */
+class ShardPlanner
+{
+  public:
+    /**
+     * Partition the corpus under @p root into options.shards shards
+     * and build each one. Deterministic: the same corpus and options
+     * produce the same shards, tables and snapshots.
+     *
+     * Shards may legitimately end up empty (more shards than
+     * documents, or an unlucky hash); an empty shard serves an empty
+     * snapshot and answers every query with no hits.
+     *
+     * Panics if a shard build violates the local-order invariant
+     * (would mean FileSystem::list() broke its determinism contract)
+     * or produces a non-unified snapshot.
+     */
+    static ShardedBuild build(const FileSystem &fs,
+                              const std::string &root,
+                              const ShardPlanOptions &options);
+
+    /**
+     * The HashByPath placement rule, exposed so tests and external
+     * routers agree with the planner byte for byte.
+     */
+    static std::size_t shardForPath(const std::string &path,
+                                    std::size_t shards);
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SHARD_SHARD_PLANNER_HH

@@ -35,6 +35,10 @@
  *   snapshot_store.crash_before_manifest save "crashes" after rename,
  *                                      before the manifest points at it
  *   query_server.execute         a worker throws mid-query
+ *   shard.dispatch               the broker cannot reach one shard
+ *                                (the sub-query is never scattered)
+ *   shard.merge                  one shard's partial result is lost
+ *                                at gather time (dropped, not torn)
  *   live.scan                    a live-index corpus walk aborts
  *   live.delta_build             a delta extraction aborts (no commit)
  *   live.merge                   one compaction attempt fails

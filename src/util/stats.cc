@@ -93,6 +93,135 @@ summarizeLatencies(std::vector<double> sample)
     return digest;
 }
 
+void
+LatencyHistogram::record(double seconds)
+{
+    if (seconds < 0.0)
+        seconds = 0.0;
+    ++_buckets[bucketFor(seconds)];
+    if (_count == 0) {
+        _min = seconds;
+        _max = seconds;
+    } else {
+        if (seconds < _min)
+            _min = seconds;
+        if (seconds > _max)
+            _max = seconds;
+    }
+    ++_count;
+    _sum += seconds;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other._count == 0)
+        return;
+    for (std::size_t i = 0; i < bucket_count; ++i)
+        _buckets[i] += other._buckets[i];
+    if (_count == 0) {
+        _min = other._min;
+        _max = other._max;
+    } else {
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+    _count += other._count;
+    _sum += other._sum;
+}
+
+std::size_t
+LatencyHistogram::bucketFor(double seconds)
+{
+    if (seconds < min_bound)
+        return 0; // underflow: [0, min_bound)
+    double decades_up = std::log10(seconds / min_bound);
+    auto index = static_cast<std::size_t>(
+        decades_up * static_cast<double>(buckets_per_decade));
+    // +1 for the underflow bucket; everything past the last finite
+    // bucket lands in the overflow bucket.
+    return std::min(index + 1, bucket_count - 1);
+}
+
+double
+LatencyHistogram::bucketLow(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    return min_bound
+           * std::pow(10.0, static_cast<double>(index - 1)
+                                / static_cast<double>(
+                                    buckets_per_decade));
+}
+
+double
+LatencyHistogram::bucketHigh(std::size_t index)
+{
+    if (index == 0)
+        return min_bound;
+    return min_bound
+           * std::pow(10.0, static_cast<double>(index)
+                                / static_cast<double>(
+                                    buckets_per_decade));
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The extremes are tracked exactly; report them exactly.
+    if (q == 0.0)
+        return _min;
+    if (q == 1.0)
+        return _max;
+    // Target the same fractional rank the exact estimator uses, then
+    // interpolate linearly inside the containing bucket.
+    double rank = q * static_cast<double>(_count - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+        std::uint64_t in_bucket = _buckets[i];
+        if (in_bucket == 0)
+            continue;
+        double first = static_cast<double>(seen);
+        double last = static_cast<double>(seen + in_bucket - 1);
+        if (rank <= last) {
+            double lo = bucketLow(i);
+            double hi = bucketHigh(i);
+            double frac = in_bucket > 1
+                              ? (rank - first)
+                                    / static_cast<double>(in_bucket - 1)
+                              : 0.5;
+            double value = lo + (hi - lo) * frac;
+            return std::clamp(value, _min, _max);
+        }
+        seen += in_bucket;
+    }
+    return _max; // unreachable with consistent counters
+}
+
+LatencySummary
+LatencyHistogram::summarize() const
+{
+    LatencySummary digest;
+    if (_count == 0)
+        return digest;
+    digest.count = static_cast<std::size_t>(_count);
+    digest.mean = _sum / static_cast<double>(_count);
+    digest.p50 = quantile(0.50);
+    digest.p95 = quantile(0.95);
+    digest.p99 = quantile(0.99);
+    digest.max = _max;
+    return digest;
+}
+
+void
+LatencyHistogram::clear()
+{
+    *this = LatencyHistogram{};
+}
+
 double
 speedup(double baseline_sec, double measured_sec)
 {

@@ -10,7 +10,9 @@
 #ifndef DSEARCH_UTIL_STATS_HH
 #define DSEARCH_UTIL_STATS_HH
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace dsearch {
@@ -102,6 +104,89 @@ struct LatencySummary
  * taken by value so callers keep their observation log intact).
  */
 LatencySummary summarizeLatencies(std::vector<double> sample);
+
+/**
+ * Fixed-size, mergeable latency histogram with log-spaced buckets.
+ *
+ * The exact-quantile path (quantileSorted over a raw sample vector)
+ * is the right tool when one owner holds all observations — but a
+ * rollup across servers (the sharded serving tier's broker over N
+ * per-shard QueryServers) would have to concatenate every shard's
+ * raw log on every stats() call. This histogram is the mergeable
+ * alternative: 16 buckets per decade from 1 microsecond to 1000
+ * seconds (145 fixed buckets, no allocation after construction), so
+ * merge() is a counter add and quantile() is bounded-error — the
+ * bucket ratio is 10^(1/16) ~= 1.155, so any reported quantile is
+ * within ~16% of the exact sample value, plenty for tail monitoring.
+ * min/max/mean are tracked exactly.
+ *
+ * Keep exact quantiles where the samples are already centralized;
+ * use this where they are not.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Lower bound of the first finite bucket, seconds. */
+    static constexpr double min_bound = 1e-6;
+
+    /** Log-spaced resolution. */
+    static constexpr std::size_t buckets_per_decade = 16;
+
+    /** Decades covered: 1e-6 .. 1e+3 seconds. */
+    static constexpr std::size_t decades = 9;
+
+    /** Finite buckets plus one underflow and one overflow bucket. */
+    static constexpr std::size_t bucket_count =
+        buckets_per_decade * decades + 2;
+
+    /** Record one observation (negative values clamp to 0). */
+    void record(double seconds);
+
+    /** Fold @p other into this histogram (counter adds). */
+    void merge(const LatencyHistogram &other);
+
+    /**
+     * Quantile @p q in [0, 1] (clamped), interpolated linearly
+     * within the containing bucket and clamped to the exact
+     * [min, max] observed; q = 0 and q = 1 report the exact
+     * extremes. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Digest into the same shape the exact path reports. */
+    LatencySummary summarize() const;
+
+    /** @return Observations recorded (or merged in). */
+    std::uint64_t count() const { return _count; }
+
+    /** @return Sum of all observations (exact). */
+    double sum() const { return _sum; }
+
+    /** @return Smallest observation (exact), 0 when empty. */
+    double min() const { return _count != 0 ? _min : 0.0; }
+
+    /** @return Largest observation (exact), 0 when empty. */
+    double max() const { return _count != 0 ? _max : 0.0; }
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    /** @return Bucket index for an observation. */
+    static std::size_t bucketFor(double seconds);
+
+    /** @return Inclusive lower bound of bucket @p index, seconds. */
+    static double bucketLow(std::size_t index);
+
+    /** @return Exclusive upper bound of bucket @p index, seconds. */
+    static double bucketHigh(std::size_t index);
+
+    std::array<std::uint64_t, bucket_count> _buckets{};
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
 
 /**
  * Speed-up of a measured time against a baseline time.

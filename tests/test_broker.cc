@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Unit, equivalence and concurrency tests for the scatter-gather
+ * serving tier (shard/broker.hh).
+ *
+ * The headline contract — the acceptance criterion of the sharded
+ * tier — is *bit-identical* equivalence: the same corpus built
+ * unsharded and N-sharded must answer every boolean query with the
+ * same DocId set and every ranked query with the same top-K, same
+ * ids, same order, and the same doubles (global-idf scoring through
+ * submitRankedWeighted accumulates contributions in the same order
+ * the unsharded RankedSearcher does). The suite sweeps N over
+ * {1, 2, 4, 7} and both placements, covering empty shards and an
+ * uneven last shard.
+ *
+ * The fault-injection tests cover the degradation contract: a shard
+ * that cannot be reached (shard.dispatch), loses its partial at
+ * gather (shard.merge), or throws mid-query (query_server.execute)
+ * costs exactly its own results — the broker reply comes back
+ * well-formed with partial = true, never a hang or a torn merge; only
+ * zero answering shards make an error.
+ *
+ * The concurrency tests are part of the TSan suite registered as
+ * ctest check_tsan_shard_broker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fs/corpus.hh"
+#include "fs/memory_fs.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+#include "shard/broker.hh"
+#include "shard/shard_planner.hh"
+#include "util/fault.hh"
+
+namespace dsearch {
+namespace {
+
+/** Queries spanning the synthetic corpus vocabulary, NOTs included. */
+const char *const kQueries[] = {
+    "ba",
+    "zu",
+    "ba AND be",
+    "ba OR zu",
+    "ba AND NOT be",
+    "NOT ba",
+    "(ba AND be) OR cido",
+    "zu AND NOT (ba OR be)",
+};
+
+/**
+ * Shared fixture: one synthetic corpus, one unsharded reference
+ * build. Each test constructs the sharded builds it needs.
+ */
+class BrokerEquivalenceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        CorpusGenerator gen(CorpusSpec::tiny());
+        _fs = gen.generateInMemory().release();
+        _root = gen.spec().root;
+        _reference = new Engine::Result(
+            Engine::open(*_fs, _root).threads(1).build());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete _reference;
+        _reference = nullptr;
+        delete _fs;
+        _fs = nullptr;
+    }
+
+    static Broker
+    makeBroker(std::size_t shards, ShardPlacement placement,
+               BrokerOptions options = {})
+    {
+        ShardPlanOptions plan;
+        plan.shards = shards;
+        plan.placement = placement;
+        return Broker(ShardPlanner::build(*_fs, _root, plan), options);
+    }
+
+    static MemoryFs *_fs;
+    static std::string _root;
+    static Engine::Result *_reference;
+};
+
+MemoryFs *BrokerEquivalenceTest::_fs = nullptr;
+std::string BrokerEquivalenceTest::_root;
+Engine::Result *BrokerEquivalenceTest::_reference = nullptr;
+
+TEST_F(BrokerEquivalenceTest, BooleanMatchesUnshardedSearcher)
+{
+    Searcher direct(_reference->snapshot,
+                    _reference->docs.docCount());
+    for (std::size_t n : {1u, 2u, 4u, 7u}) {
+        for (ShardPlacement placement : {ShardPlacement::RoundRobin,
+                                         ShardPlacement::HashByPath}) {
+            Broker broker = makeBroker(n, placement);
+            ASSERT_EQ(broker.shardCount(), n);
+            for (const char *text : kQueries) {
+                Query query = Query::parse(text);
+                BrokerResponse reply = broker.submit(query).get();
+                ASSERT_TRUE(reply.ok) << text;
+                EXPECT_FALSE(reply.partial) << text;
+                EXPECT_EQ(reply.shards_answered, n) << text;
+                EXPECT_EQ(reply.hits, direct.run(query))
+                    << "n=" << n << " query=" << text;
+            }
+        }
+    }
+}
+
+TEST_F(BrokerEquivalenceTest, RankedTopKBitIdenticalToUnsharded)
+{
+    RankedSearcher direct(_reference->snapshot, _reference->docs);
+    const std::size_t all = _reference->docs.docCount();
+    for (std::size_t n : {1u, 2u, 4u, 7u}) {
+        for (ShardPlacement placement : {ShardPlacement::RoundRobin,
+                                         ShardPlacement::HashByPath}) {
+            Broker broker = makeBroker(n, placement);
+            for (const char *text : kQueries) {
+                Query query = Query::parse(text);
+                // k small, k mid, k = every document: the merge must
+                // reproduce the full global order, not just a prefix.
+                for (std::size_t k : {std::size_t{3}, std::size_t{10},
+                                      all}) {
+                    auto expected = direct.topK(query, k);
+                    BrokerResponse reply =
+                        broker.submitRanked(query, k).get();
+                    ASSERT_TRUE(reply.ok) << text;
+                    ASSERT_EQ(reply.ranked.size(), expected.size())
+                        << "n=" << n << " k=" << k << " " << text;
+                    for (std::size_t i = 0; i < expected.size(); ++i) {
+                        EXPECT_EQ(reply.ranked[i].doc,
+                                  expected[i].doc)
+                            << "n=" << n << " k=" << k << " i=" << i
+                            << " " << text;
+                        // Bit-identical, not nearly-equal: global
+                        // weights + shared accumulation order.
+                        EXPECT_EQ(reply.ranked[i].score,
+                                  expected[i].score)
+                            << "n=" << n << " k=" << k << " i=" << i
+                            << " " << text;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_F(BrokerEquivalenceTest, UnevenLastShardStillExact)
+{
+    // tiny() has a file count that 7 does not divide; round-robin
+    // leaves the last shards one document short. docCount() must
+    // still cover everything and NOT queries must still complement
+    // exactly.
+    Broker broker = makeBroker(7, ShardPlacement::RoundRobin);
+    EXPECT_EQ(broker.docCount(), _reference->docs.docCount());
+    Searcher direct(_reference->snapshot,
+                    _reference->docs.docCount());
+    Query query = Query::parse("NOT zu");
+    BrokerResponse reply = broker.submit(query).get();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_EQ(reply.hits, direct.run(query));
+}
+
+/** Hand-built corpus where every score is easy to reason about. */
+class BrokerSmallTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _fs.addFile("/c/a.txt", "alpha beta gamma");
+        _fs.addFile("/c/b.txt", "alpha beta");
+        _fs.addFile("/c/c.txt", "beta gamma delta");
+        _fs.addFile("/c/d.txt", "alpha delta");
+        _fs.addFile("/c/e.txt", "gamma");
+        _fs.addFile("/c/f.txt", "delta epsilon");
+    }
+
+    Broker
+    makeBroker(std::size_t shards, BrokerOptions options = {})
+    {
+        ShardPlanOptions plan;
+        plan.shards = shards;
+        return Broker(ShardPlanner::build(_fs, "/c", plan), options);
+    }
+
+    MemoryFs _fs;
+};
+
+TEST_F(BrokerSmallTest, DispatchFaultYieldsWellFormedPartial)
+{
+    Broker broker = makeBroker(3);
+    Engine::Result reference = Engine::open(_fs, "/c").threads(1).build();
+    Searcher direct(reference.snapshot, reference.docs.docCount());
+    DocSet full = direct.run(Query::parse("alpha OR delta"));
+
+    ScopedFault fault("shard.dispatch", {.fire_limit = 1});
+    BrokerResponse reply =
+        broker.submit(Query::parse("alpha OR delta")).get();
+    EXPECT_EQ(fault.fires(), 1u);
+    ASSERT_TRUE(reply.ok);
+    EXPECT_TRUE(reply.partial);
+    EXPECT_EQ(reply.shards_answered, 2u);
+    // Degraded, never torn: a strict subset of the full answer, each
+    // hit a genuine global match.
+    EXPECT_LT(reply.hits.size(), full.size());
+    for (DocId doc : reply.hits)
+        EXPECT_TRUE(std::binary_search(full.begin(), full.end(), doc));
+    EXPECT_EQ(broker.stats().partial, 1u);
+}
+
+TEST_F(BrokerSmallTest, MergeFaultDropsOneShardsPartial)
+{
+    Broker broker = makeBroker(3);
+    ScopedFault fault("shard.merge", {.fire_limit = 1});
+    BrokerResponse reply = broker.submit(Query::parse("beta")).get();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_TRUE(reply.partial);
+    EXPECT_EQ(reply.shards_answered, 2u);
+}
+
+TEST_F(BrokerSmallTest, AllShardsUnreachableIsErrorNotHang)
+{
+    Broker broker = makeBroker(3);
+    ScopedFault fault("shard.dispatch", {.fire_limit = 3});
+    BrokerResponse reply = broker.submit(Query::parse("alpha")).get();
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, "no shard answered");
+    EXPECT_TRUE(reply.hits.empty());
+    EXPECT_EQ(broker.stats().rejected, 1u);
+    EXPECT_EQ(broker.stats().completed, 0u);
+
+    // The tier heals once the fault clears.
+    disarmAllFaults();
+    EXPECT_TRUE(broker.submit(Query::parse("alpha")).get().ok);
+}
+
+TEST_F(BrokerSmallTest, ThrowingShardCostsOnlyItsOwnResults)
+{
+    Broker broker = makeBroker(3);
+    ScopedFault fault("query_server.execute", {.fire_limit = 1});
+    BrokerResponse reply = broker.submit(Query::parse("beta")).get();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_TRUE(reply.partial);
+    EXPECT_EQ(reply.shards_answered, 2u);
+}
+
+TEST_F(BrokerSmallTest, PartialRankedStillScoresOnTheGlobalScale)
+{
+    Broker broker = makeBroker(3);
+    Engine::Result reference = Engine::open(_fs, "/c").threads(1).build();
+    RankedSearcher direct(reference.snapshot, reference.docs);
+    auto expected = direct.topK(Query::parse("alpha OR beta"), 6);
+
+    ScopedFault fault("shard.dispatch", {.fire_limit = 1});
+    BrokerResponse reply =
+        broker.submitRanked(Query::parse("alpha OR beta"), 6).get();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_TRUE(reply.partial);
+    // Every returned hit carries exactly the score the unsharded
+    // searcher assigns that document: df aggregation covers all
+    // shards whether or not they answered, so a degraded reply is a
+    // subsequence of the full ranking, not a rescored one.
+    for (const ScoredHit &hit : reply.ranked) {
+        bool found = false;
+        for (const ScoredHit &exp : expected) {
+            if (exp.doc == hit.doc) {
+                EXPECT_EQ(hit.score, exp.score);
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "doc " << hit.doc;
+    }
+}
+
+TEST_F(BrokerSmallTest, InvalidQueryRejectedUpFront)
+{
+    Broker broker = makeBroker(2);
+    BrokerResponse reply = broker.submit(Query::parse("AND AND")).get();
+    EXPECT_FALSE(reply.ok);
+    EXPECT_FALSE(reply.error.empty());
+    EXPECT_EQ(broker.stats().rejected, 1u);
+}
+
+TEST_F(BrokerSmallTest, ExpiredDeadlineRejectedBeforeScatter)
+{
+    BrokerOptions options;
+    options.deadline_sec = 1e-9; // expired by the time it dispatches
+    Broker broker = makeBroker(2, options);
+    BrokerResponse reply = broker.submit(Query::parse("alpha")).get();
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, "deadline expired");
+    EXPECT_EQ(broker.stats().timed_out, 1u);
+}
+
+TEST_F(BrokerSmallTest, ShutdownDrainsAdmittedAndRefusesLater)
+{
+    Broker broker = makeBroker(2);
+    std::vector<std::future<BrokerResponse>> inflight;
+    for (int i = 0; i < 32; ++i)
+        inflight.push_back(broker.submit(Query::parse("alpha")));
+    broker.shutdown();
+    for (auto &future : inflight)
+        EXPECT_TRUE(future.get().ok); // every admitted query answered
+
+    EXPECT_FALSE(broker.accepting());
+    BrokerResponse late = broker.submit(Query::parse("alpha")).get();
+    EXPECT_FALSE(late.ok);
+    EXPECT_EQ(late.error, "broker has shut down");
+}
+
+TEST_F(BrokerSmallTest, StatsRollUpAcrossShards)
+{
+    const std::size_t shards = 3;
+    Broker broker = makeBroker(shards);
+    const int boolean_queries = 8;
+    const int ranked_queries = 4;
+    for (int i = 0; i < boolean_queries; ++i)
+        EXPECT_TRUE(broker.submit(Query::parse("alpha")).get().ok);
+    for (int i = 0; i < ranked_queries; ++i)
+        EXPECT_TRUE(
+            broker.submitRanked(Query::parse("beta"), 3).get().ok);
+
+    BrokerStats stats = broker.stats();
+    EXPECT_EQ(stats.completed,
+              static_cast<std::uint64_t>(boolean_queries
+                                         + ranked_queries));
+    EXPECT_EQ(stats.partial, 0u);
+    EXPECT_GT(stats.qps, 0.0);
+    EXPECT_EQ(stats.latency.count,
+              static_cast<std::size_t>(boolean_queries
+                                       + ranked_queries));
+    ASSERT_EQ(stats.shards.size(), shards);
+
+    // Every query fans out to every shard, so the merged histogram
+    // holds shards x queries observations — and matches the sum of
+    // the per-shard completed counters exactly.
+    std::uint64_t shard_completed = 0;
+    for (const ServerStats &s : stats.shards)
+        shard_completed += s.completed;
+    EXPECT_EQ(shard_completed,
+              stats.completed * static_cast<std::uint64_t>(shards));
+    EXPECT_EQ(stats.shard_latency.count,
+              static_cast<std::size_t>(shard_completed));
+
+    broker.resetStats();
+    BrokerStats fresh = broker.stats();
+    EXPECT_EQ(fresh.completed, 0u);
+    EXPECT_EQ(fresh.shard_latency.count, 0u);
+    for (const ServerStats &s : fresh.shards)
+        EXPECT_EQ(s.completed, 0u);
+}
+
+TEST_F(BrokerEquivalenceTest, ConcurrentMixedTrafficStaysExact)
+{
+    Searcher direct(_reference->snapshot,
+                    _reference->docs.docCount());
+    RankedSearcher ranked(_reference->snapshot, _reference->docs);
+
+    BrokerOptions options;
+    options.merge_workers = 3;
+    Broker broker = makeBroker(4, ShardPlacement::RoundRobin,
+                               options);
+
+    const int threads = 4;
+    const int per_thread = 25;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                const char *text =
+                    kQueries[static_cast<std::size_t>(t + i)
+                             % (sizeof(kQueries)
+                                / sizeof(kQueries[0]))];
+                Query query = Query::parse(text);
+                if (i % 2 == 0) {
+                    BrokerResponse reply =
+                        broker.submit(query).get();
+                    if (!reply.ok || reply.hits != direct.run(query))
+                        ++mismatches;
+                } else {
+                    BrokerResponse reply =
+                        broker.submitRanked(query, 5).get();
+                    auto expected = ranked.topK(query, 5);
+                    bool same = reply.ok
+                                && reply.ranked.size()
+                                       == expected.size();
+                    for (std::size_t j = 0; same && j < expected.size();
+                         ++j)
+                        same = reply.ranked[j].doc == expected[j].doc
+                               && reply.ranked[j].score
+                                      == expected[j].score;
+                    if (!same)
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(broker.stats().completed,
+              static_cast<std::uint64_t>(threads * per_thread));
+}
+
+TEST_F(BrokerSmallTest, ConcurrentSubmittersSurviveShutdown)
+{
+    Broker broker = makeBroker(2);
+    std::atomic<int> resolved{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 3; ++t) {
+        clients.emplace_back([&] {
+            for (int i = 0; i < 40; ++i) {
+                // Either a real answer or a clean shutdown refusal —
+                // the future must always become ready.
+                broker.submit(Query::parse("alpha")).get();
+                ++resolved;
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    broker.shutdown();
+    for (std::thread &client : clients)
+        client.join();
+    EXPECT_EQ(resolved.load(), 120);
+}
+
+} // namespace
+} // namespace dsearch

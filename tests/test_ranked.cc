@@ -222,5 +222,61 @@ TEST(PositiveTerms, AllNegatedYieldsNothing)
     EXPECT_TRUE(positiveTerms(q.root()).empty());
 }
 
+TEST(IdfFromCounts, MatchesFormulaAndHandlesZeroDf)
+{
+    EXPECT_EQ(idfFromCounts(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(idfFromCounts(100, 4),
+                     std::log(1.0 + 100.0 / 4.0));
+    EXPECT_DOUBLE_EQ(idfFromCounts(0, 1), std::log(1.0));
+}
+
+TEST_F(RankedTest, DfReportsDocumentFrequency)
+{
+    EXPECT_EQ(_ranked->df("common"), 4u);
+    EXPECT_EQ(_ranked->df("rare"), 2u);
+    EXPECT_EQ(_ranked->df("other"), 1u);
+    EXPECT_EQ(_ranked->df("absent"), 0u);
+}
+
+TEST_F(RankedTest, TopKWeightedWithOwnIdfReproducesTopK)
+{
+    // Bit-identical, not approximately equal: the broker's whole
+    // equivalence argument rests on the two paths sharing one
+    // accumulation loop and one finishing pass.
+    for (const char *text :
+         {"common", "rare", "common OR rare", "common AND NOT other",
+          "rare OR other", "(common AND rare) OR other"}) {
+        Query query = Query::parse(text);
+        TermWeights weights;
+        for (const std::string &term : positiveTerms(query.root()))
+            weights.emplace_back(term, _ranked->idf(term));
+        auto expected = _ranked->topK(query, 4);
+        auto got = _ranked->topKWeighted(query, 4, weights);
+        ASSERT_EQ(got.size(), expected.size()) << text;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(got[i].doc, expected[i].doc) << text;
+            EXPECT_EQ(got[i].score, expected[i].score) << text;
+        }
+    }
+}
+
+TEST_F(RankedTest, TopKWeightedSkipsZeroAndUnknownTerms)
+{
+    Query query = Query::parse("common OR rare");
+    TermWeights weights;
+    weights.emplace_back("common", 0.0);    // globally unknown: df 0
+    weights.emplace_back("absent", 1.5);    // not in this index
+    weights.emplace_back("rare", 2.0);
+    auto got = _ranked->topKWeighted(query, 4, weights);
+    ASSERT_EQ(got.size(), 4u);
+    // Only "rare" contributes: docs 0 and 3 outrank 1 and 2, which
+    // score exactly zero.
+    EXPECT_EQ(got[0].doc, 0u);
+    EXPECT_EQ(got[1].doc, 3u);
+    EXPECT_GT(got[1].score, 0.0);
+    EXPECT_EQ(got[2].score, 0.0);
+    EXPECT_EQ(got[3].score, 0.0);
+}
+
 } // namespace
 } // namespace dsearch

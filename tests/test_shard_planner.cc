@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for document partitioning (shard/shard_planner.hh).
+ *
+ * The invariants the broker's merge correctness rests on: every
+ * global document lands in exactly one shard, each shard's to_global
+ * map is strictly increasing, shard-local tables align with the
+ * global traversal order, and the whole partition is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fs/corpus.hh"
+#include "fs/memory_fs.hh"
+#include "index/serialize.hh"
+#include "search/searcher.hh"
+#include "shard/shard_planner.hh"
+
+namespace dsearch {
+namespace {
+
+/** Checks the partition invariants for one build. */
+void
+expectValidPartition(const ShardedBuild &build)
+{
+    std::vector<bool> covered(build.global_docs.docCount(), false);
+    for (const BuiltShard &shard : build.shards) {
+        ASSERT_EQ(shard.docs.docCount(), shard.to_global.size());
+        for (std::size_t i = 0; i < shard.to_global.size(); ++i) {
+            DocId global = shard.to_global[i];
+            ASSERT_LT(global, build.global_docs.docCount());
+            EXPECT_FALSE(covered[global]) << "doc in two shards";
+            covered[global] = true;
+            if (i > 0)
+                EXPECT_LT(shard.to_global[i - 1], global)
+                    << "to_global must be strictly increasing";
+            EXPECT_EQ(shard.docs.path(static_cast<DocId>(i)),
+                      build.global_docs.path(global));
+            EXPECT_EQ(shard.docs.sizeBytes(static_cast<DocId>(i)),
+                      build.global_docs.sizeBytes(global));
+        }
+    }
+    for (std::size_t d = 0; d < covered.size(); ++d)
+        EXPECT_TRUE(covered[d]) << "doc " << d << " unassigned";
+}
+
+class ShardPlannerTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        CorpusGenerator gen(CorpusSpec::tiny());
+        _fs = gen.generateInMemory().release();
+        _root = gen.spec().root;
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete _fs;
+        _fs = nullptr;
+    }
+
+    static MemoryFs *_fs;
+    static std::string _root;
+};
+
+MemoryFs *ShardPlannerTest::_fs = nullptr;
+std::string ShardPlannerTest::_root;
+
+TEST_F(ShardPlannerTest, RoundRobinPartitionsEveryDocumentOnce)
+{
+    ShardPlanOptions options;
+    options.shards = 4;
+    ShardedBuild build = ShardPlanner::build(*_fs, _root, options);
+    ASSERT_EQ(build.shards.size(), 4u);
+    expectValidPartition(build);
+
+    // Round-robin spreads maximally evenly: shard sizes differ by at
+    // most one document.
+    std::size_t smallest = build.global_docs.docCount();
+    std::size_t largest = 0;
+    for (const BuiltShard &shard : build.shards) {
+        smallest = std::min(smallest, shard.docs.docCount());
+        largest = std::max(largest, shard.docs.docCount());
+    }
+    EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST_F(ShardPlannerTest, HashPlacementMatchesShardForPath)
+{
+    ShardPlanOptions options;
+    options.shards = 3;
+    options.placement = ShardPlacement::HashByPath;
+    ShardedBuild build = ShardPlanner::build(*_fs, _root, options);
+    expectValidPartition(build);
+    for (std::size_t s = 0; s < build.shards.size(); ++s) {
+        const BuiltShard &shard = build.shards[s];
+        for (std::size_t i = 0; i < shard.to_global.size(); ++i)
+            EXPECT_EQ(ShardPlanner::shardForPath(
+                          shard.docs.path(static_cast<DocId>(i)), 3),
+                      s);
+    }
+}
+
+TEST_F(ShardPlannerTest, SingleShardEqualsUnshardedTraversal)
+{
+    ShardPlanOptions options;
+    options.shards = 1;
+    ShardedBuild build = ShardPlanner::build(*_fs, _root, options);
+    ASSERT_EQ(build.shards.size(), 1u);
+    const BuiltShard &only = build.shards[0];
+    ASSERT_EQ(only.docs.docCount(), build.global_docs.docCount());
+    for (std::size_t i = 0; i < only.to_global.size(); ++i)
+        EXPECT_EQ(only.to_global[i], static_cast<DocId>(i));
+}
+
+TEST_F(ShardPlannerTest, DeterministicAcrossBuilds)
+{
+    ShardPlanOptions options;
+    options.shards = 5;
+    options.placement = ShardPlacement::HashByPath;
+    ShardedBuild a = ShardPlanner::build(*_fs, _root, options);
+    ShardedBuild b = ShardPlanner::build(*_fs, _root, options);
+    ASSERT_EQ(a.shards.size(), b.shards.size());
+    EXPECT_EQ(a.global_docs.docCount(), b.global_docs.docCount());
+    for (std::size_t s = 0; s < a.shards.size(); ++s)
+        EXPECT_EQ(a.shards[s].to_global, b.shards[s].to_global);
+}
+
+TEST(ShardPlannerSmall, MoreShardsThanDocumentsLeavesEmptyShards)
+{
+    MemoryFs fs;
+    fs.addFile("/c/a.txt", "alpha beta");
+    fs.addFile("/c/b.txt", "beta gamma");
+    fs.addFile("/c/c.txt", "gamma alpha");
+    ShardPlanOptions options;
+    options.shards = 7;
+    ShardedBuild build = ShardPlanner::build(fs, "/c", options);
+    ASSERT_EQ(build.shards.size(), 7u);
+    expectValidPartition(build);
+
+    std::size_t empty = 0;
+    for (const BuiltShard &shard : build.shards) {
+        if (shard.docs.docCount() == 0) {
+            ++empty;
+            EXPECT_TRUE(shard.to_global.empty());
+            // An empty shard still answers: no hits, no crash.
+            Searcher searcher(shard.snapshot, shard.docs.docCount());
+            EXPECT_TRUE(searcher.run(Query::parse("alpha")).empty());
+        }
+    }
+    EXPECT_EQ(empty, 4u); // 3 docs round-robin into 7 shards
+}
+
+TEST(ShardPlannerSmall, ShardSnapshotsSurviveSerializeRoundTrip)
+{
+    MemoryFs fs;
+    fs.addFile("/c/a.txt", "alpha beta");
+    fs.addFile("/c/b.txt", "beta gamma");
+    fs.addFile("/c/c.txt", "gamma alpha delta");
+    fs.addFile("/c/d.txt", "delta");
+    ShardPlanOptions options;
+    options.shards = 2;
+    ShardedBuild build = ShardPlanner::build(fs, "/c", options);
+
+    for (const BuiltShard &shard : build.shards) {
+        std::string path = ::testing::TempDir() + "shard_rt.bin";
+        ASSERT_TRUE(saveSnapshotFile(shard.snapshot, shard.docs, path));
+        IndexSnapshot reloaded;
+        DocTable docs;
+        ASSERT_TRUE(loadSnapshotFile(reloaded, docs, path));
+        ASSERT_EQ(docs.docCount(), shard.docs.docCount());
+
+        Searcher before(shard.snapshot, shard.docs.docCount());
+        Searcher after(reloaded, docs.docCount());
+        for (const char *text :
+             {"alpha", "beta", "gamma", "delta", "alpha OR delta"}) {
+            Query query = Query::parse(text);
+            EXPECT_EQ(after.run(query), before.run(query)) << text;
+        }
+    }
+}
+
+TEST(ShardForPath, StableAndInRange)
+{
+    EXPECT_EQ(ShardPlanner::shardForPath("/any/path", 1), 0u);
+    for (int i = 0; i < 50; ++i) {
+        std::string path = "/dir/file" + std::to_string(i);
+        std::size_t shard = ShardPlanner::shardForPath(path, 6);
+        EXPECT_LT(shard, 6u);
+        EXPECT_EQ(shard, ShardPlanner::shardForPath(path, 6));
+    }
+}
+
+} // namespace
+} // namespace dsearch

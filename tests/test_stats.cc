@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
 #include "util/stats.hh"
 
 namespace dsearch {
@@ -162,6 +167,122 @@ TEST(PercentDelta, DegenerateReference)
 {
     EXPECT_EQ(percentDelta(1.0, 0.0), 0.0);
     EXPECT_EQ(percentDelta(1.0, -5.0), 0.0);
+}
+
+TEST(LatencyHistogram, EmptyState)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.sum(), 0.0);
+    EXPECT_EQ(hist.min(), 0.0);
+    EXPECT_EQ(hist.max(), 0.0);
+    EXPECT_EQ(hist.quantile(0.5), 0.0);
+    EXPECT_EQ(hist.summarize().count, 0u);
+}
+
+TEST(LatencyHistogram, ExactFieldsAreExact)
+{
+    LatencyHistogram hist;
+    hist.record(0.001);
+    hist.record(0.004);
+    hist.record(0.010);
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 0.015);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.001);
+    EXPECT_DOUBLE_EQ(hist.max(), 0.010);
+    EXPECT_DOUBLE_EQ(hist.summarize().mean, 0.005);
+}
+
+TEST(LatencyHistogram, QuantileWithinBucketError)
+{
+    // Log-uniform sample across the serving-latency range; every
+    // quantile must land within one bucket ratio (10^(1/16) ~ 1.155)
+    // of the exact estimate.
+    Rng rng(42);
+    std::vector<double> sample;
+    LatencyHistogram hist;
+    for (int i = 0; i < 5000; ++i) {
+        double x = 1e-5 * std::pow(10.0, rng.nextDouble() * 4.0);
+        sample.push_back(x);
+        hist.record(x);
+    }
+    std::sort(sample.begin(), sample.end());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        double exact = quantileSorted(sample, q);
+        double approx = hist.quantile(q);
+        EXPECT_LE(approx, exact * 1.16) << "q=" << q;
+        EXPECT_GE(approx, exact / 1.16) << "q=" << q;
+    }
+}
+
+TEST(LatencyHistogram, QuantileBoundsAreExactExtremes)
+{
+    LatencyHistogram hist;
+    hist.record(0.0021);
+    hist.record(0.033);
+    hist.record(0.0007);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0007);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 0.033);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording)
+{
+    Rng rng(7);
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram combined;
+    for (int i = 0; i < 1000; ++i) {
+        double x = 1e-4 * std::pow(10.0, rng.nextDouble() * 3.0);
+        if (i % 2 == 0)
+            a.record(x);
+        else
+            b.record(x);
+        combined.record(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    // Sums accumulate in a different order on the two sides, so
+    // exact double equality is not guaranteed — only tightness.
+    EXPECT_NEAR(a.sum(), combined.sum(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+    for (double q : {0.1, 0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << q;
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram hist;
+    hist.record(0.5);
+    LatencyHistogram empty;
+    hist.merge(empty);
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+
+    empty.merge(hist);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.max(), 0.5);
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowClampToObserved)
+{
+    LatencyHistogram hist;
+    hist.record(0.0);    // underflow bucket
+    hist.record(1e9);    // far past the last finite bucket
+    EXPECT_EQ(hist.count(), 2u);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1e9);
+    EXPECT_DOUBLE_EQ(hist.summarize().max, 1e9);
+}
+
+TEST(LatencyHistogram, ClearResets)
+{
+    LatencyHistogram hist;
+    hist.record(0.25);
+    hist.clear();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.quantile(0.5), 0.0);
+    EXPECT_EQ(hist.sum(), 0.0);
 }
 
 } // namespace
