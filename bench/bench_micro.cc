@@ -17,9 +17,19 @@
  *
  * A third section seals the zero-copy index and reports the
  * compressed posting storage: bytes per posting raw (one DocId each)
- * versus sealed (delta+varint blocks + skip entries), the resulting
+ * versus sealed (compressed blocks + skip entries), the resulting
  * compression ratio — gated >= 2x by scripts/check_bench.py — and
  * seal/decode throughput in postings per second.
+ *
+ * A fourth section benches the posting codecs head to head on
+ * synthetic lists spanning the realistic delta widths: full-list
+ * block-view decode through delta+varint versus bit-packed blocks
+ * (SIMD tier reported via postingSimdLevel()), and a two-list AND
+ * through the per-doc seekGE merge versus the bulk SIMD
+ * intersectTermCursors() path. check_bench.py gates the
+ * machine-independent ratios (packed >= varint decode, bulk >= merge
+ * intersection) absolutely and the absolute packed postings/sec
+ * against the baseline on comparable hosts.
  */
 
 #include <benchmark/benchmark.h>
@@ -38,7 +48,10 @@
 #include "fs/corpus.hh"
 #include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
+#include "index/posting_block.hh"
+#include "index/posting_cursor.hh"
 #include "pipeline/blocking_queue.hh"
+#include "search/searcher.hh"
 #include "text/tokenizer.hh"
 #include "util/fnv_hash.hh"
 #include "util/hash_map.hh"
@@ -551,9 +564,215 @@ runSealedSegment(const FileSystem &fs, const FileList &files)
     return m;
 }
 
+// ----------------------------------------------------------------------
+// Posting-codec head-to-head: varint vs bit-packed decode, seekGE
+// merge vs bulk SIMD intersection. Synthetic lists isolate the codec
+// from corpus shape; the gap profiles cover the packed widths a real
+// index produces (dense runs through sparse jumps).
+// ----------------------------------------------------------------------
+
+/** One synthetic posting list in both encodings. */
+struct CodecList
+{
+    std::vector<DocId> docs;
+    std::vector<std::uint8_t> varint_bytes;
+    std::vector<SkipEntry> varint_skips;
+    std::vector<std::uint8_t> packed_bytes;
+    std::vector<SkipEntry> packed_skips;
+
+    explicit CodecList(std::vector<DocId> d) : docs(std::move(d))
+    {
+        encodePostings(docs.data(), docs.size(), varint_bytes,
+                       varint_skips);
+        encodePostingsPacked(docs.data(), docs.size(), packed_bytes,
+                             packed_skips);
+    }
+
+    PostingCursor
+    cursor(PostingCodec codec) const
+    {
+        const bool packed = codec == PostingCodec::Packed;
+        const auto &bytes = packed ? packed_bytes : varint_bytes;
+        const auto &skips = packed ? packed_skips : varint_skips;
+        return PostingCursor(
+            bytes.data(), skips.empty() ? nullptr : skips.data(),
+            static_cast<std::uint32_t>(skips.size()),
+            static_cast<std::uint32_t>(docs.size()), codec);
+    }
+};
+
+/** Sorted list of @p n docs with average gap @p mean_gap. */
+std::vector<DocId>
+syntheticDocs(Rng &rng, std::size_t n, DocId mean_gap)
+{
+    std::vector<DocId> docs;
+    docs.reserve(n);
+    DocId doc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        doc += 1 + static_cast<DocId>(rng.nextU64() % (2 * mean_gap));
+        docs.push_back(doc);
+    }
+    return docs;
+}
+
+struct CodecDecodeMetrics
+{
+    std::uint64_t postings = 0;
+    double varint_seconds = 0;
+    double packed_seconds = 0;
+
+    double varintPostingsPerSec() const
+    {
+        return postings / varint_seconds;
+    }
+    double packedPostingsPerSec() const
+    {
+        return postings / packed_seconds;
+    }
+    /** Throughput ratio: > 1 means bit-packed decodes faster. */
+    double packedVsVarint() const
+    {
+        return varint_seconds / packed_seconds;
+    }
+};
+
+/** Best-of-passes block-view walk over every list in @p lists. */
+double
+timeDecodeWalk(const std::vector<CodecList> &lists, PostingCodec codec,
+               int passes)
+{
+    double best = 0;
+    for (int pass = 0; pass < passes; ++pass) {
+        Timer timer;
+        DocId checksum = 0;
+        for (const CodecList &list : lists) {
+            PostingCursor c = list.cursor(codec);
+            while (c.valid()) {
+                const DocId *p = c.blockDocs();
+                const std::size_t n = c.blockRemaining();
+                checksum ^= p[0] ^ p[n - 1];
+                c.skipInBlock(n);
+            }
+        }
+        const double seconds = timer.elapsedSec();
+        benchmark::DoNotOptimize(checksum);
+        if (pass == 0 || seconds < best)
+            best = seconds;
+    }
+    return best;
+}
+
+CodecDecodeMetrics
+runCodecDecode()
+{
+    // Four gap profiles -> packed widths ~2 through ~14 bits.
+    Rng rng(0xdec0de);
+    std::vector<CodecList> lists;
+    const std::size_t per_list = 1 << 19;
+    for (DocId mean_gap : {1, 4, 100, 5000})
+        lists.emplace_back(syntheticDocs(rng, per_list, mean_gap));
+
+    CodecDecodeMetrics m;
+    for (const CodecList &list : lists)
+        m.postings += list.docs.size();
+    timeDecodeWalk(lists, PostingCodec::Varint, 1); // warm-up
+    timeDecodeWalk(lists, PostingCodec::Packed, 1);
+    m.varint_seconds = timeDecodeWalk(lists, PostingCodec::Varint, 5);
+    m.packed_seconds = timeDecodeWalk(lists, PostingCodec::Packed, 5);
+    return m;
+}
+
+struct IntersectMetrics
+{
+    std::uint64_t postings = 0; ///< Summed input list lengths.
+    std::uint64_t matches = 0;
+    double merge_seconds = 0; ///< Per-doc seekGE merge.
+    double bulk_seconds = 0;  ///< Blockwise SIMD path.
+
+    double mergePostingsPerSec() const
+    {
+        return postings / merge_seconds;
+    }
+    double bulkPostingsPerSec() const
+    {
+        return postings / bulk_seconds;
+    }
+    double speedup() const { return merge_seconds / bulk_seconds; }
+};
+
+/** The pre-SIMD AND loop: advance the behind cursor with seekGE. */
+std::size_t
+mergeIntersect(PostingCursor a, PostingCursor b)
+{
+    std::size_t matches = 0;
+    DocId checksum = 0;
+    while (a.valid() && b.valid()) {
+        if (a.doc() == b.doc()) {
+            checksum ^= a.doc();
+            ++matches;
+            a.next();
+            b.next();
+        } else if (a.doc() < b.doc()) {
+            if (!a.seekGE(b.doc()))
+                break;
+        } else if (!b.seekGE(a.doc())) {
+            break;
+        }
+    }
+    benchmark::DoNotOptimize(checksum);
+    return matches;
+}
+
+IntersectMetrics
+runIntersection()
+{
+    // A dense 2M list against a 4:1 sparser one over the same doc
+    // space: enough overlap that the kernel does real work, enough
+    // skew that galloping matters.
+    Rng rng(0xa17d);
+    CodecList a(syntheticDocs(rng, 2 << 20, 2));
+    CodecList b(syntheticDocs(rng, 1 << 19, 8));
+
+    IntersectMetrics m;
+    m.postings = a.docs.size() + b.docs.size();
+
+    const int passes = 5;
+    std::size_t merge_matches = 0;
+    std::size_t bulk_matches = 0;
+    for (int pass = -1; pass < passes; ++pass) { // pass -1 warms up
+        Timer merge_timer;
+        merge_matches = mergeIntersect(a.cursor(PostingCodec::Packed),
+                                       b.cursor(PostingCodec::Packed));
+        const double merge_s = merge_timer.elapsedSec();
+
+        Timer bulk_timer;
+        std::vector<PostingCursor> cursors;
+        cursors.push_back(a.cursor(PostingCodec::Packed));
+        cursors.push_back(b.cursor(PostingCodec::Packed));
+        DocSet out = intersectTermCursors(std::move(cursors));
+        const double bulk_s = bulk_timer.elapsedSec();
+        bulk_matches = out.size();
+        benchmark::DoNotOptimize(out.data());
+
+        if (pass < 0)
+            continue;
+        if (pass == 0 || merge_s < m.merge_seconds)
+            m.merge_seconds = merge_s;
+        if (pass == 0 || bulk_s < m.bulk_seconds)
+            m.bulk_seconds = bulk_s;
+    }
+    m.matches = bulk_matches;
+    if (merge_matches != bulk_matches)
+        std::cerr << "bench_micro: intersection mismatch: "
+                  << merge_matches << " != " << bulk_matches << "\n";
+    return m;
+}
+
 void
 writeJson(std::ostream &out, const StageMetrics &legacy,
           const StageMetrics &zero_copy, const SealedMetrics &sealed,
+          const CodecDecodeMetrics &decode,
+          const IntersectMetrics &intersect,
           std::size_t corpus_files, std::uint64_t corpus_bytes)
 {
     auto section = [&out](const char *name, const StageMetrics &m,
@@ -586,6 +805,23 @@ writeJson(std::ostream &out, const StageMetrics &legacy,
         << sealed.sealPostingsPerSec() << ",\n"
         << "    \"decode_postings_per_sec\": "
         << sealed.decodePostingsPerSec() << "\n  },\n";
+    out << "  \"posting_decode\": {\n"
+        << "    \"postings\": " << decode.postings << ",\n"
+        << "    \"simd_level\": \"" << postingSimdLevel() << "\",\n"
+        << "    \"varint_postings_per_sec\": "
+        << decode.varintPostingsPerSec() << ",\n"
+        << "    \"packed_postings_per_sec\": "
+        << decode.packedPostingsPerSec() << ",\n"
+        << "    \"packed_vs_varint\": " << decode.packedVsVarint()
+        << "\n  },\n";
+    out << "  \"intersection\": {\n"
+        << "    \"postings\": " << intersect.postings << ",\n"
+        << "    \"matches\": " << intersect.matches << ",\n"
+        << "    \"merge_postings_per_sec\": "
+        << intersect.mergePostingsPerSec() << ",\n"
+        << "    \"bulk_postings_per_sec\": "
+        << intersect.bulkPostingsPerSec() << ",\n"
+        << "    \"speedup\": " << intersect.speedup() << "\n  },\n";
     out << "  \"speedup\": "
         << legacy.seconds / zero_copy.seconds << ",\n"
         << "  \"alloc_bytes_per_block_ratio\": "
@@ -623,15 +859,18 @@ runStage23Comparison()
             sealed = s;
     }
 
+    CodecDecodeMetrics decode = runCodecDecode();
+    IntersectMetrics intersect = runIntersection();
+
     std::uint64_t corpus_bytes = 0;
     for (const FileEntry &file : files)
         corpus_bytes += file.size;
 
     std::ofstream json("BENCH_micro.json");
-    writeJson(json, legacy, zero_copy, sealed, files.size(),
-              corpus_bytes);
-    writeJson(std::cout, legacy, zero_copy, sealed, files.size(),
-              corpus_bytes);
+    writeJson(json, legacy, zero_copy, sealed, decode, intersect,
+              files.size(), corpus_bytes);
+    writeJson(std::cout, legacy, zero_copy, sealed, decode, intersect,
+              files.size(), corpus_bytes);
 }
 
 } // namespace

@@ -24,10 +24,22 @@ prints a loud warning in that case; regenerate the baseline on the
 current machine (run bench_micro, commit BENCH_micro.json) to
 restore absolute gating, which does catch shared-path regressions.
 
-The sealed-segment compression ratio (raw bytes over delta+varint
+The sealed-segment compression ratio (raw bytes over compressed
 block bytes) is gated absolutely: it is machine-independent, so
 fresh sealed_segment.compression_ratio must stay >= --min-ratio
 (default 2.0) regardless of the canary.
+
+The posting-codec head-to-head is gated the same way: the
+posting_decode.packed_vs_varint throughput ratio (bit-packed SIMD
+block decode over delta+varint, same lists, same machine) must stay
+>= --min-decode-ratio (default 2.0), and intersection.speedup (bulk
+SIMD AND over the per-doc seekGE merge) must stay >=
+--min-intersect-speedup (default 1.2); both are ratios from one
+machine, so they hold anywhere. The absolute bit-packed decode
+throughput (posting_decode.packed_postings_per_sec, ~4e9 on the
+baseline box) is gated against --min-decode-pps (default 1e9) only
+when the canary says the machines are comparable, and reported as
+advisory otherwise.
 
 Advisory metrics (reported, never fatal):
 alloc_bytes_per_block_ratio, sealed_segment.seal_postings_per_sec,
@@ -462,6 +474,19 @@ def main():
     parser.add_argument("--min-ratio", type=float, default=2.0,
                         help="minimum sealed-segment compression "
                              "ratio (absolute gate, default 2.0)")
+    parser.add_argument("--min-decode-ratio", type=float, default=2.0,
+                        help="minimum bit-packed-vs-varint decode "
+                             "throughput ratio (absolute gate, "
+                             "machine-independent, default 2.0)")
+    parser.add_argument("--min-decode-pps", type=float, default=1e9,
+                        help="minimum bit-packed decode postings/sec; "
+                             "binds only on comparable hosts "
+                             "(default 1e9)")
+    parser.add_argument("--min-intersect-speedup", type=float,
+                        default=1.2,
+                        help="minimum bulk-vs-merge intersection "
+                             "speedup (absolute gate, "
+                             "machine-independent, default 1.2)")
     args = parser.parse_args()
 
     if args.overload and not args.server_bench:
@@ -586,6 +611,56 @@ def main():
         base_text = f"{base:.3g}" if base is not None else "n/a"
         print(f"sealed_segment.{metric} (advisory): baseline "
               f"{base_text} -> fresh {now:.3g}")
+
+    # Posting-codec head-to-head: ratios are machine-independent and
+    # gated absolutely; the absolute packed decode rate binds only on
+    # comparable hosts.
+    decode = fresh.get("posting_decode")
+    intersect = fresh.get("intersection")
+    if decode is None or intersect is None:
+        print("check_bench: fresh run lacks posting_decode/"
+              "intersection metrics", file=sys.stderr)
+        return 2
+    base_decode = baseline.get("posting_decode", {})
+    base_intersect = baseline.get("intersection", {})
+
+    ratio = decode["packed_vs_varint"]
+    status = "OK" if ratio >= args.min_decode_ratio else "REGRESSION"
+    if ratio < args.min_decode_ratio:
+        failures.append("posting_decode.packed_vs_varint")
+    base_text = base_decode.get("packed_vs_varint")
+    print(f"posting_decode.packed_vs_varint: baseline "
+          f"{base_text if base_text is not None else float('nan'):.3g}"
+          f" -> fresh {ratio:.3g} (gate >= "
+          f"{args.min_decode_ratio:.3g}, simd "
+          f"{decode.get('simd_level', '?')}) {status}")
+
+    pps = decode["packed_postings_per_sec"]
+    status = "OK" if comparable else "advisory"
+    if comparable and pps < args.min_decode_pps:
+        status = "REGRESSION"
+        failures.append("posting_decode.packed_postings_per_sec")
+    base = base_decode.get("packed_postings_per_sec")
+    base_text = f"{base:.3g}" if base is not None else "n/a"
+    print(f"posting_decode.packed_postings_per_sec: baseline "
+          f"{base_text} -> fresh {pps:.3g} (gate >= "
+          f"{args.min_decode_pps:.3g}; binds on comparable hosts) "
+          f"{status}")
+    print(f"posting_decode.varint_postings_per_sec (advisory): "
+          f"fresh {decode['varint_postings_per_sec']:.3g}")
+
+    speedup = intersect["speedup"]
+    status = ("OK" if speedup >= args.min_intersect_speedup
+              else "REGRESSION")
+    if speedup < args.min_intersect_speedup:
+        failures.append("intersection.speedup")
+    base = base_intersect.get("speedup")
+    base_text = f"{base:.3g}" if base is not None else "n/a"
+    print(f"intersection.speedup: baseline {base_text} -> fresh "
+          f"{speedup:.3g} (bulk {intersect['bulk_postings_per_sec']:.3g}"
+          f" / merge {intersect['merge_postings_per_sec']:.3g} "
+          f"postings/s, gate >= {args.min_intersect_speedup:.3g}) "
+          f"{status}")
 
     for metric in ADVISORY:
         base = baseline.get(metric)

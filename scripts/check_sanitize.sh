@@ -35,8 +35,11 @@ shift $(( $# > 2 ? 2 : $# ))
 TESTS=("$@")
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# DSEARCH_FORCE_SCALAR=ON in the environment pins the scalar posting
+# codepaths in the nested tree (the check_asan_scalar_postings leg).
 cmake -B "$BUILD_DIR" -S "$ROOT" \
       -DDSEARCH_SANITIZE="$SANITIZER" \
+      -DDSEARCH_FORCE_SCALAR="${DSEARCH_FORCE_SCALAR:-OFF}" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 if [ "${#TESTS[@]}" -eq 0 ]; then

@@ -98,6 +98,24 @@
  * log-bucket LatencyHistogram (util/stats.hh) instead of
  * concatenating raw sample logs.
  *
+ * Performance: the read side is built to run at memory speed. Sealed
+ * posting lists live in one arena per segment as bit-packed 128-doc
+ * blocks (SIMD-BP128 style; index/posting_block.hh) decoded by
+ * AVX2/SSE2 kernels — billions of postings per second on current
+ * x86, ~7x the delta+varint codec they replaced, with a bit-exact
+ * scalar fallback on other targets (or under -DDSEARCH_FORCE_SCALAR,
+ * which CI runs to keep the fallback honest). Query evaluation
+ * consumes whole decoded blocks: AND over plain terms runs a
+ * vectorized set-intersection kernel blockwise with skip-index
+ * galloping (and prefetch) between blocks, ranked scoring
+ * accumulates per-block with the same kernel, and term metadata
+ * (df, count()) is answered from headers without decoding anything.
+ * All of it sits behind the unchanged PostingCursor API, measured
+ * and regression-gated in BENCH_micro.json (posting_decode /
+ * intersection sections) by scripts/check_bench.py. Builds default
+ * to -march=native (DSEARCH_NATIVE_ARCH=OFF for distributable
+ * binaries).
+ *
  * Failure handling: the library assumes disks lie and queries
  * misbehave. SnapshotStore persists snapshots crash-safely
  * (write-temp + flush + rename, generation rotation, recovery walks

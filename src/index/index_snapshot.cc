@@ -11,13 +11,15 @@ namespace dsearch {
 // ----------------------------------------------------------------------
 
 PostingSegment
-PostingSegment::build(InvertedIndex &&index)
+PostingSegment::build(InvertedIndex &&index, PostingCodec codec)
 {
     InvertedIndex source = std::move(index);
     source.sortPostings();
 
     PostingSegment segment;
     segment._postings = source.postingCount();
+    segment._codec = codec;
+    const bool packed = codec == PostingCodec::Packed;
 
     // Sizing pass: exact arena and skip-table sizes, so each is a
     // single allocation regardless of term count.
@@ -25,7 +27,10 @@ PostingSegment::build(InvertedIndex &&index)
     std::size_t skip_entries = 0;
     source.forEachTerm(
         [&](const std::string &, const PostingList &list) {
-            arena_bytes += encodedPostingBytes(list.data(), list.size());
+            arena_bytes +=
+                packed ? encodedPostingBytesPacked(list.data(),
+                                                   list.size())
+                       : encodedPostingBytes(list.data(), list.size());
             skip_entries += postingSkipCount(list.size());
         });
     segment.reserveSealed(source.termCount(), arena_bytes,
@@ -33,15 +38,20 @@ PostingSegment::build(InvertedIndex &&index)
 
     // Encoding pass: every term's blocks, back to back.
     source.forEachTerm(
-        [&segment](const std::string &term, const PostingList &list) {
+        [&segment, packed](const std::string &term,
+                           const PostingList &list) {
             if (list.empty())
                 return; // removeDoc() leftovers carry no postings
             TermEntry entry;
             entry.offset = segment._arena.size();
             entry.skip_begin =
                 static_cast<std::uint32_t>(segment._skips.size());
-            encodePostings(list.data(), list.size(), segment._arena,
-                           segment._skips);
+            if (packed)
+                encodePostingsPacked(list.data(), list.size(),
+                                     segment._arena, segment._skips);
+            else
+                encodePostings(list.data(), list.size(), segment._arena,
+                               segment._skips);
             entry.bytes = static_cast<std::uint32_t>(
                 segment._arena.size() - entry.offset);
             entry.count = static_cast<std::uint32_t>(list.size());
@@ -140,27 +150,40 @@ SegmentReader::postingCount() const
     return _raw == nullptr ? 0 : _raw->postingCount();
 }
 
+std::uint32_t
+SegmentReader::termDocCount(std::string_view term) const
+{
+    if (_segment != nullptr)
+        return _segment->termDocCount(term);
+    if (_raw == nullptr)
+        return 0;
+    const PostingList *list = _raw->postings(term);
+    return list == nullptr ? 0
+                           : static_cast<std::uint32_t>(list->size());
+}
+
 // ----------------------------------------------------------------------
 // IndexSnapshot
 // ----------------------------------------------------------------------
 
 IndexSnapshot
-IndexSnapshot::seal(InvertedIndex &&index)
+IndexSnapshot::seal(InvertedIndex &&index, PostingCodec codec)
 {
     IndexSnapshot snapshot;
     snapshot._segments.push_back(std::make_shared<PostingSegment>(
-        PostingSegment::build(std::move(index))));
+        PostingSegment::build(std::move(index), codec)));
     return snapshot;
 }
 
 IndexSnapshot
-IndexSnapshot::seal(std::vector<InvertedIndex> &&replicas)
+IndexSnapshot::seal(std::vector<InvertedIndex> &&replicas,
+                    PostingCodec codec)
 {
     IndexSnapshot snapshot;
     snapshot._segments.reserve(replicas.size());
     for (InvertedIndex &replica : replicas) {
         snapshot._segments.push_back(std::make_shared<PostingSegment>(
-            PostingSegment::build(std::move(replica))));
+            PostingSegment::build(std::move(replica), codec)));
     }
     replicas.clear();
     return snapshot;
@@ -200,6 +223,12 @@ PostingCursor
 IndexSnapshot::cursor(std::string_view term) const
 {
     return unifiedReader().cursor(term);
+}
+
+std::uint32_t
+IndexSnapshot::termDocCount(std::string_view term) const
+{
+    return unifiedReader().termDocCount(term);
 }
 
 std::size_t

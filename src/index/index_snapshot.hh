@@ -77,9 +77,33 @@ class PostingSegment
      * Seal @p index: sort its posting lists, encode every term into
      * the arena (sized exactly in a first pass, so the arena is one
      * allocation), and cache the lexicographic term order. The index
-     * is consumed.
+     * is consumed. Fresh seals default to the bit-packed codec; the
+     * varint option exists for the v2 writer and A/B benching.
      */
-    static PostingSegment build(InvertedIndex &&index);
+    static PostingSegment build(InvertedIndex &&index,
+                                PostingCodec codec = PostingCodec::Packed);
+
+    /** @return The block codec this segment's postings use. */
+    PostingCodec codec() const { return _codec; }
+
+    /**
+     * Set the codec before assembling via addSealedTerm() (the v2/v3
+     * loaders; bytes must already match the codec's layout).
+     */
+    void setCodec(PostingCodec codec) { _codec = codec; }
+
+    /**
+     * @return Documents in @p term's posting list, 0 for unknown
+     *         terms. Pure term-table lookup — unlike cursor(), this
+     *         never decodes a block, so df/metadata aggregation stays
+     *         O(1) per term.
+     */
+    std::uint32_t
+    termDocCount(std::string_view term) const
+    {
+        const TermEntry *entry = _terms.find(term);
+        return entry == nullptr ? 0 : entry->count;
+    }
 
     /**
      * @return Decoding cursor over @p term's postings; an exhausted
@@ -173,7 +197,7 @@ class PostingSegment
             _arena.data() + entry.offset,
             entry.skip_count != 0 ? _skips.data() + entry.skip_begin
                                   : nullptr,
-            entry.skip_count, entry.count);
+            entry.skip_count, entry.count, _codec);
     }
 
     TermMap _terms;
@@ -181,6 +205,7 @@ class PostingSegment
     std::vector<std::uint8_t> _arena;      ///< All blocks, contiguous.
     std::vector<SkipEntry> _skips;         ///< All skip entries.
     std::uint64_t _postings = 0;
+    PostingCodec _codec = PostingCodec::Packed;
 };
 
 /**
@@ -222,6 +247,13 @@ class SegmentReader
 
     /** @return Total (term, doc) postings in this segment. */
     std::uint64_t postingCount() const;
+
+    /**
+     * @return Documents in @p term's posting list, 0 when unknown —
+     *         a metadata lookup that never decodes a posting block
+     *         (unlike cursor(term).count(), which decodes the first).
+     */
+    std::uint32_t termDocCount(std::string_view term) const;
 
     /** @return True when the segment holds nothing. */
     bool empty() const { return termCount() == 0; }
@@ -265,15 +297,18 @@ class IndexSnapshot
 
     /**
      * Seal one index into a single-segment snapshot: sort, block-
-     * compress into the segment arena, drop the build-side vectors.
+     * compress into the segment arena (bit-packed by default), drop
+     * the build-side vectors.
      */
-    static IndexSnapshot seal(InvertedIndex &&index);
+    static IndexSnapshot seal(InvertedIndex &&index,
+                              PostingCodec codec = PostingCodec::Packed);
 
     /**
      * Seal a replica set, one segment per replica (empty replicas
      * keep their position so segment i is still replica i's slice).
      */
-    static IndexSnapshot seal(std::vector<InvertedIndex> &&replicas);
+    static IndexSnapshot seal(std::vector<InvertedIndex> &&replicas,
+                              PostingCodec codec = PostingCodec::Packed);
 
     /**
      * Wrap an already-sealed segment (the v2 snapshot loader, whose
@@ -301,6 +336,12 @@ class IndexSnapshot
 
     /** @return Cursor over @p term in the unified segment. */
     PostingCursor cursor(std::string_view term) const;
+
+    /**
+     * @return termDocCount() of the unified segment: @p term's df
+     *         without decoding any posting block.
+     */
+    std::uint32_t termDocCount(std::string_view term) const;
 
     /** @return Distinct terms in the unified segment. */
     std::size_t termCount() const;

@@ -1,6 +1,28 @@
 #include "index/posting_block.hh"
 
+#include <bit>
+#include <cstring>
+
+// Compile-time SIMD tier for the packed codec and the intersection
+// kernel. DSEARCH_FORCE_SCALAR (CMake option) wins over everything;
+// otherwise AVX2 implies the SSE paths too, and SSE2 is the x86-64
+// baseline.
+#if !defined(DSEARCH_FORCE_SCALAR) && defined(__AVX2__)
+#define DSEARCH_POSTING_AVX2 1
+#define DSEARCH_POSTING_SSE2 1
+#elif !defined(DSEARCH_FORCE_SCALAR) && defined(__SSE2__)
+#define DSEARCH_POSTING_SSE2 1
+#endif
+
+#ifdef DSEARCH_POSTING_SSE2
+#include <immintrin.h>
+#endif
+
 namespace dsearch {
+
+namespace detail {
+thread_local std::uint64_t posting_blocks_decoded = 0;
+} // namespace detail
 
 namespace {
 
@@ -50,6 +72,136 @@ decodeVarint32Bounded(const std::uint8_t *p, const std::uint8_t *limit,
     return p;
 }
 
+inline std::uint32_t
+loadLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0])
+           | static_cast<std::uint32_t>(p[1]) << 8
+           | static_cast<std::uint32_t>(p[2]) << 16
+           | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline void
+storeLe32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/**
+ * @return Bit width of a full block starting at @p docs: the widest
+ *         (delta - 1) among its 127 gaps, 0 for a consecutive run.
+ */
+unsigned
+packedBlockWidth(const DocId *docs)
+{
+    std::uint32_t acc = 0;
+    for (std::size_t i = 1; i < posting_block_docs; ++i)
+        acc |= docs[i] - docs[i - 1] - 1;
+    return static_cast<unsigned>(std::bit_width(acc));
+}
+
+/**
+ * Unpack the 128 packed values of one full block (pad + deltas, not
+ * yet prefix-summed) into @p vals. Portable scalar path; reads
+ * exactly 16 * @p width bytes.
+ */
+void
+unpackPackedValsScalar(const std::uint8_t *payload, unsigned width,
+                       std::uint32_t *vals)
+{
+    if (width == 0) {
+        std::memset(vals, 0, posting_block_docs * sizeof(std::uint32_t));
+        return;
+    }
+    const std::uint64_t mask =
+        width >= 32 ? 0xffffffffull : (1ull << width) - 1;
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        const std::uint8_t *wp = payload + 4 * lane;
+        std::uint64_t acc = 0;
+        unsigned have = 0;
+        for (unsigned r = 0; r < 32; ++r) {
+            if (have < width) {
+                acc |= static_cast<std::uint64_t>(loadLe32(wp)) << have;
+                wp += 16; // lane words interleave at 16-byte stride
+                have += 32;
+            }
+            vals[4 * r + lane] = static_cast<std::uint32_t>(acc & mask);
+            acc >>= width;
+            have -= width;
+        }
+    }
+}
+
+#ifdef DSEARCH_POSTING_SSE2
+
+/**
+ * Unpack + delta-reconstruct one full packed block of bit width @p W.
+ * Each 128-bit load yields one packed word per lane = four
+ * consecutive values; unpack is shift/mask (straddling words OR in
+ * the next load), then an in-register inclusive prefix sum with a
+ * broadcast carry turns (delta - 1) values into absolute documents.
+ *
+ * @return Pointer past the payload.
+ */
+template <unsigned W>
+const std::uint8_t *
+unpackPrefixSse(const std::uint8_t *payload, std::uint32_t first,
+                DocId *out)
+{
+    const __m128i mask =
+        W >= 32 ? _mm_set1_epi32(-1)
+                : _mm_set1_epi32(static_cast<int>((1u << W) - 1));
+    __m128i carry = _mm_set1_epi32(static_cast<int>(first));
+    // Row 0's lane 0 is the pad: +0 instead of the usual delta +1.
+    __m128i incr = _mm_setr_epi32(0, 1, 1, 1);
+    const std::uint8_t *wp = payload;
+    __m128i cur = _mm_setzero_si128();
+    if constexpr (W != 0)
+        cur = _mm_loadu_si128(reinterpret_cast<const __m128i *>(wp));
+    unsigned shift = 0;
+#pragma GCC unroll 32
+    for (unsigned r = 0; r < 32; ++r) {
+        __m128i v;
+        if constexpr (W == 0) {
+            v = _mm_setzero_si128();
+        } else if (shift + W <= 32) {
+            v = _mm_and_si128(
+                _mm_srli_epi32(cur, static_cast<int>(shift)), mask);
+            shift += W;
+            if (shift == 32 && r + 1 < 32) {
+                wp += 16;
+                cur = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(wp));
+                shift = 0;
+            }
+        } else {
+            __m128i nxt = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(wp + 16));
+            v = _mm_and_si128(
+                _mm_or_si128(
+                    _mm_srli_epi32(cur, static_cast<int>(shift)),
+                    _mm_slli_epi32(nxt, static_cast<int>(32 - shift))),
+                mask);
+            wp += 16;
+            cur = nxt;
+            shift = shift + W - 32;
+        }
+        __m128i x = _mm_add_epi32(v, incr);
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+        x = _mm_add_epi32(x, carry);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 4 * r), x);
+        carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+        incr = _mm_set1_epi32(1);
+    }
+    return payload + 16 * W;
+}
+
+#endif // DSEARCH_POSTING_SSE2
+
 } // namespace
 
 std::size_t
@@ -57,6 +209,22 @@ encodedPostingBytes(const DocId *docs, std::size_t count)
 {
     std::size_t bytes = 0;
     for (std::size_t i = 0; i < count; ++i) {
+        if (i % posting_block_docs == 0)
+            bytes += varintBytes(docs[i]);
+        else
+            bytes += varintBytes(docs[i] - docs[i - 1]);
+    }
+    return bytes;
+}
+
+std::size_t
+encodedPostingBytesPacked(const DocId *docs, std::size_t count)
+{
+    std::size_t bytes = 0;
+    std::size_t i = 0;
+    for (; i + posting_block_docs <= count; i += posting_block_docs)
+        bytes += packedBlockBytes(packedBlockWidth(docs + i));
+    for (; i < count; ++i) {
         if (i % posting_block_docs == 0)
             bytes += varintBytes(docs[i]);
         else
@@ -83,6 +251,257 @@ encodePostings(const DocId *docs, std::size_t count,
             putVarint(arena, docs[i] - docs[i - 1]);
         }
     }
+}
+
+void
+encodePostingsPacked(const DocId *docs, std::size_t count,
+                     std::vector<std::uint8_t> &arena,
+                     std::vector<SkipEntry> &skips)
+{
+    const std::size_t base = arena.size();
+    std::size_t i = 0;
+    for (; i + posting_block_docs <= count; i += posting_block_docs) {
+        if (i != 0) {
+            skips.push_back(SkipEntry{
+                docs[i],
+                static_cast<std::uint32_t>(arena.size() - base)});
+        }
+        const unsigned width = packedBlockWidth(docs + i);
+        const std::size_t header = arena.size();
+        arena.resize(header + packedBlockBytes(width), 0);
+        std::uint8_t *out = arena.data() + header;
+        storeLe32(out, docs[i]);
+        out[4] = static_cast<std::uint8_t>(width);
+        if (width == 0)
+            continue;
+        std::uint8_t *payload = out + packed_block_header_bytes;
+        for (unsigned lane = 0; lane < 4; ++lane) {
+            std::uint8_t *wp = payload + 4 * lane;
+            std::uint64_t acc = 0;
+            unsigned have = 0;
+            for (unsigned r = 0; r < 32; ++r) {
+                const std::size_t k = 4 * r + lane;
+                // Value 0 is the pad; value k is delta - 1.
+                const std::uint32_t v =
+                    k == 0 ? 0 : docs[i + k] - docs[i + k - 1] - 1;
+                acc |= static_cast<std::uint64_t>(v) << have;
+                have += width;
+                if (have >= 32) {
+                    storeLe32(wp, static_cast<std::uint32_t>(acc));
+                    wp += 16;
+                    acc >>= 32;
+                    have -= 32;
+                }
+            }
+            // 32 values * width bits is a whole number of words, so
+            // the accumulator always drains exactly.
+        }
+    }
+    for (; i < count; ++i) {
+        if (i % posting_block_docs == 0) {
+            if (i != 0) {
+                skips.push_back(SkipEntry{
+                    docs[i],
+                    static_cast<std::uint32_t>(arena.size() - base)});
+            }
+            putVarint(arena, docs[i]);
+        } else {
+            putVarint(arena, docs[i] - docs[i - 1]);
+        }
+    }
+}
+
+const std::uint8_t *
+decodePackedBlockScalar(const std::uint8_t *p, DocId *out)
+{
+    const std::uint32_t first = loadLe32(p);
+    const unsigned width = p[4];
+    std::uint32_t vals[posting_block_docs];
+    unpackPackedValsScalar(p + packed_block_header_bytes, width, vals);
+    // The pad value participates so scalar and SIMD agree bit-for-bit
+    // even on non-canonical input (the validator rejects pad != 0).
+    DocId doc = first + vals[0];
+    out[0] = doc;
+    for (std::size_t i = 1; i < posting_block_docs; ++i) {
+        doc += vals[i] + 1;
+        out[i] = doc;
+    }
+    return p + packedBlockBytes(width);
+}
+
+const std::uint8_t *
+decodePackedBlock(const std::uint8_t *p, DocId *out)
+{
+#ifdef DSEARCH_POSTING_SSE2
+    const std::uint32_t first = loadLe32(p);
+    switch (p[4]) {
+#define DSEARCH_UNPACK_CASE(W)                                          \
+    case W:                                                             \
+        return unpackPrefixSse<W>(p + packed_block_header_bytes, first, \
+                                  out);
+        DSEARCH_UNPACK_CASE(0)
+        DSEARCH_UNPACK_CASE(1)
+        DSEARCH_UNPACK_CASE(2)
+        DSEARCH_UNPACK_CASE(3)
+        DSEARCH_UNPACK_CASE(4)
+        DSEARCH_UNPACK_CASE(5)
+        DSEARCH_UNPACK_CASE(6)
+        DSEARCH_UNPACK_CASE(7)
+        DSEARCH_UNPACK_CASE(8)
+        DSEARCH_UNPACK_CASE(9)
+        DSEARCH_UNPACK_CASE(10)
+        DSEARCH_UNPACK_CASE(11)
+        DSEARCH_UNPACK_CASE(12)
+        DSEARCH_UNPACK_CASE(13)
+        DSEARCH_UNPACK_CASE(14)
+        DSEARCH_UNPACK_CASE(15)
+        DSEARCH_UNPACK_CASE(16)
+        DSEARCH_UNPACK_CASE(17)
+        DSEARCH_UNPACK_CASE(18)
+        DSEARCH_UNPACK_CASE(19)
+        DSEARCH_UNPACK_CASE(20)
+        DSEARCH_UNPACK_CASE(21)
+        DSEARCH_UNPACK_CASE(22)
+        DSEARCH_UNPACK_CASE(23)
+        DSEARCH_UNPACK_CASE(24)
+        DSEARCH_UNPACK_CASE(25)
+        DSEARCH_UNPACK_CASE(26)
+        DSEARCH_UNPACK_CASE(27)
+        DSEARCH_UNPACK_CASE(28)
+        DSEARCH_UNPACK_CASE(29)
+        DSEARCH_UNPACK_CASE(30)
+        DSEARCH_UNPACK_CASE(31)
+        DSEARCH_UNPACK_CASE(32)
+#undef DSEARCH_UNPACK_CASE
+    default:
+        // Width > 32 never survives validatePostingsPacked.
+        return decodePackedBlockScalar(p, out);
+    }
+#else
+    return decodePackedBlockScalar(p, out);
+#endif
+}
+
+std::size_t
+intersectU32Scalar(const DocId *a, std::size_t na, const DocId *b,
+                   std::size_t nb, DocId *out)
+{
+    std::size_t i = 0, j = 0, k = 0;
+    while (i < na && j < nb) {
+        const DocId x = a[i];
+        const DocId y = b[j];
+        if (x == y) {
+            out[k++] = x;
+            ++i;
+            ++j;
+        } else {
+            i += x < y;
+            j += y < x;
+        }
+    }
+    return k;
+}
+
+std::size_t
+intersectU32(const DocId *a, std::size_t na, const DocId *b,
+             std::size_t nb, DocId *out)
+{
+#if defined(DSEARCH_POSTING_AVX2)
+    std::size_t i = 0, j = 0, k = 0;
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    while (i + 8 <= na && j + 8 <= nb) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + j));
+        __m256i eq = _mm256_cmpeq_epi32(va, vb);
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot1)));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot2)));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot3)));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot4)));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot5)));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot6)));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(va,
+                                   _mm256_permutevar8x32_epi32(vb, rot7)));
+        int mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+        while (mask) {
+            const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+            out[k++] = a[i + static_cast<std::size_t>(bit)];
+            mask &= mask - 1;
+        }
+        const DocId amax = a[i + 7];
+        const DocId bmax = b[j + 7];
+        if (amax <= bmax)
+            i += 8;
+        if (bmax <= amax)
+            j += 8;
+    }
+    return k + intersectU32Scalar(a + i, na - i, b + j, nb - j, out + k);
+#elif defined(DSEARCH_POSTING_SSE2)
+    std::size_t i = 0, j = 0, k = 0;
+    while (i + 4 <= na && j + 4 <= nb) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b + j));
+        __m128i eq = _mm_cmpeq_epi32(va, vb);
+        eq = _mm_or_si128(
+            eq, _mm_cmpeq_epi32(
+                    va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+        eq = _mm_or_si128(
+            eq, _mm_cmpeq_epi32(
+                    va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+        eq = _mm_or_si128(
+            eq, _mm_cmpeq_epi32(
+                    va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+        int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+        while (mask) {
+            const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+            out[k++] = a[i + static_cast<std::size_t>(bit)];
+            mask &= mask - 1;
+        }
+        const DocId amax = a[i + 3];
+        const DocId bmax = b[j + 3];
+        if (amax <= bmax)
+            i += 4;
+        if (bmax <= amax)
+            j += 4;
+    }
+    return k + intersectU32Scalar(a + i, na - i, b + j, nb - j, out + k);
+#else
+    return intersectU32Scalar(a, na, b, nb, out);
+#endif
+}
+
+const char *
+postingSimdLevel()
+{
+#if defined(DSEARCH_POSTING_AVX2)
+    return "avx2";
+#elif defined(DSEARCH_POSTING_SSE2)
+    return "sse2";
+#else
+    return "scalar";
+#endif
 }
 
 bool
@@ -124,6 +543,82 @@ validatePostings(const std::uint8_t *bytes, std::uint32_t byte_len,
         }
         if (p != block_end)
             return false; // trailing bytes inside the block
+    }
+    return p == end;
+}
+
+bool
+validatePostingsPacked(const std::uint8_t *bytes, std::uint32_t byte_len,
+                       const SkipEntry *skips, std::uint32_t skip_count,
+                       std::uint32_t count)
+{
+    if (count == 0)
+        return byte_len == 0 && skip_count == 0;
+    if (byte_len == 0
+        || skip_count != postingSkipCount(count))
+        return false;
+
+    const std::uint8_t *p = bytes;
+    const std::uint8_t *const end = bytes + byte_len;
+    std::uint64_t prev = 0; // one past the last doc seen, 0 = none
+    for (std::uint32_t b = 0; b <= skip_count; ++b) {
+        const std::uint8_t *block_end =
+            b < skip_count ? bytes + skips[b].offset : end;
+        if (block_end <= p || block_end > end)
+            return false;
+        std::size_t docs_in_block = std::min<std::size_t>(
+            posting_block_docs,
+            count - static_cast<std::size_t>(b) * posting_block_docs);
+        if (docs_in_block == posting_block_docs) {
+            // Bit-packed full block: exact size for its width, pad
+            // zero, strictly ascending without u32 overflow. Only
+            // after those checks may the (exact-length, unchecked)
+            // decoder ever see these bytes.
+            if (block_end - p
+                < static_cast<std::ptrdiff_t>(packed_block_header_bytes))
+                return false;
+            const unsigned width = p[4];
+            if (width > 32)
+                return false;
+            if (block_end - p
+                != static_cast<std::ptrdiff_t>(packedBlockBytes(width)))
+                return false;
+            const std::uint32_t first = loadLe32(p);
+            if (static_cast<std::uint64_t>(first) + 1 <= prev)
+                return false;
+            if (b > 0 && skips[b - 1].first_doc != first)
+                return false;
+            std::uint32_t vals[posting_block_docs];
+            unpackPackedValsScalar(p + packed_block_header_bytes, width,
+                                   vals);
+            if (vals[0] != 0)
+                return false; // non-canonical pad
+            std::uint64_t doc = first;
+            for (std::size_t i = 1; i < posting_block_docs; ++i) {
+                doc += static_cast<std::uint64_t>(vals[i]) + 1;
+                if (doc > 0xffffffffull)
+                    return false; // would wrap in the u32 decoder
+            }
+            prev = doc + 1;
+            p = block_end;
+        } else {
+            // Varint tail block, identical to the v2 rules.
+            std::uint32_t doc = 0;
+            for (std::size_t i = 0; i < docs_in_block; ++i) {
+                std::uint32_t v;
+                p = decodeVarint32Bounded(p, block_end, v);
+                if (p == nullptr)
+                    return false;
+                doc = i == 0 ? v : doc + v;
+                if (static_cast<std::uint64_t>(doc) + 1 <= prev)
+                    return false;
+                prev = static_cast<std::uint64_t>(doc) + 1;
+                if (i == 0 && b > 0 && skips[b - 1].first_doc != doc)
+                    return false;
+            }
+            if (p != block_end)
+                return false;
+        }
     }
     return p == end;
 }

@@ -1,25 +1,58 @@
 /**
  * @file
- * Delta + varint block codec for sealed posting lists.
+ * Block codecs for sealed posting lists: delta + varint (v2) and
+ * bit-packed SIMD blocks (v3), plus the vectorized intersection
+ * kernel the searchers' AND loops run on.
  *
  * A sorted, duplicate-free posting list is encoded in fixed-size
  * blocks of posting_block_docs documents (the last block may be
- * shorter). Within a block the first document is stored as an
- * absolute LEB128 varint and every following document as the varint
- * of its delta to the predecessor (always >= 1). Typical desktop
- * corpora encode to 1-2 bytes per posting versus 4 for a raw DocId.
+ * shorter). Two codecs share that geometry:
+ *
+ *  - PostingCodec::Varint (snapshot format v2). Within a block the
+ *    first document is an absolute LEB128 varint and every following
+ *    document the varint of its delta to the predecessor (>= 1).
+ *    Decode is a byte-at-a-time branch per posting — simple, but the
+ *    serving tier's innermost loop was measured at ~450M postings/s
+ *    on it.
+ *
+ *  - PostingCodec::Packed (snapshot format v3, SIMD-BP128 style).
+ *    Full 128-document blocks are bit-packed: a 5-byte header (u32
+ *    little-endian first document + u8 bit width b) followed by
+ *    exactly 16*b payload bytes holding 128 values at b bits each.
+ *    Value 0 is a pad (always zero); value i (i >= 1) is
+ *    doc[i] - doc[i-1] - 1, so a run of consecutive documents packs
+ *    to width 0 — five bytes for 128 postings. The tail block (< 128
+ *    documents) keeps the LEB128 varint coding, so short lists — the
+ *    overwhelming majority of terms — are byte-identical between the
+ *    codecs.
+ *
+ *    Packed payload layout: the 128 values are split into four
+ *    interleaved lanes (value i belongs to lane i % 4), and each
+ *    lane's 32 values are concatenated little-endian into b 32-bit
+ *    words; the four lanes' words interleave word by word. One
+ *    128-bit load therefore yields one packed word of four
+ *    *consecutive* values, which is what lets decode run as a
+ *    shift/mask unpack plus an in-register prefix sum.
+ *
+ * SIMD dispatch is compile-time: with __AVX2__ the intersection
+ * kernel runs 8 lanes wide and decode uses the SSE unpack (VEX
+ * encoded); with SSE2 (the x86-64 baseline) decode and intersection
+ * run 4 lanes wide; defining DSEARCH_FORCE_SCALAR (CMake option of
+ * the same name) compiles the portable scalar fallbacks only — the
+ * byte layout is identical either way, and the scalar entry points
+ * stay exported so tests can run the two in lockstep.
+ * postingSimdLevel() reports which tier this binary uses.
  *
  * Every block after the first carries a SkipEntry — the block's first
  * document and its byte offset relative to the term's first block —
  * so a cursor can jump straight to the block that may contain a
  * seek target and decode only that block. The first block needs no
  * entry (offset 0, and a seek below the second block's first doc
- * always lands in it), which keeps short lists — the overwhelming
- * majority of terms — free of skip overhead.
+ * always lands in it), which keeps short lists free of skip overhead.
  *
- * The encoder appends into caller-owned vectors so a whole segment's
+ * The encoders append into caller-owned vectors so a whole segment's
  * terms can share one contiguous arena (see PostingSegment); the
- * decoder unpacks exactly one block at a time into a caller buffer
+ * decoders unpack exactly one block at a time into a caller buffer
  * (see PostingCursor).
  */
 
@@ -36,6 +69,22 @@ namespace dsearch {
 
 /** Documents per compressed block; the last block may be shorter. */
 inline constexpr std::size_t posting_block_docs = 128;
+
+/** Which block codec a sealed segment's postings use. */
+enum class PostingCodec : std::uint8_t {
+    Varint = 0, ///< Delta + LEB128 varint blocks (snapshot v2).
+    Packed = 1, ///< Bit-packed full blocks, varint tail (snapshot v3).
+};
+
+/** Bytes of a packed full block's header (u32 first_doc + u8 width). */
+inline constexpr std::size_t packed_block_header_bytes = 5;
+
+/** @return Total bytes of a packed full block of bit width @p width. */
+inline std::size_t
+packedBlockBytes(unsigned width)
+{
+    return packed_block_header_bytes + 16 * width;
+}
 
 /** Skip entry for one block after a term's first; see file comment. */
 struct SkipEntry
@@ -67,15 +116,21 @@ postingSkipCount(std::size_t count)
 
 /**
  * @return Exact encoded byte size of @p docs (sorted ascending,
- *         duplicate-free), excluding skip entries. Used for the
- *         single-allocation sizing pass before encoding a segment.
+ *         duplicate-free) under the varint codec, excluding skip
+ *         entries. Used for the single-allocation sizing pass before
+ *         encoding a segment.
  */
 std::size_t encodedPostingBytes(const DocId *docs, std::size_t count);
 
+/** encodedPostingBytes() for the bit-packed codec. */
+std::size_t encodedPostingBytesPacked(const DocId *docs,
+                                      std::size_t count);
+
 /**
- * Append the block encoding of @p docs to @p arena and one SkipEntry
- * per block after the first to @p skips (offsets relative to the
- * arena position at the time of the call, i.e. the term's base).
+ * Append the varint block encoding of @p docs to @p arena and one
+ * SkipEntry per block after the first to @p skips (offsets relative
+ * to the arena position at the time of the call, i.e. the term's
+ * base).
  *
  * @param docs  Sorted ascending, duplicate-free documents.
  * @param count Number of documents.
@@ -85,6 +140,11 @@ std::size_t encodedPostingBytes(const DocId *docs, std::size_t count);
 void encodePostings(const DocId *docs, std::size_t count,
                     std::vector<std::uint8_t> &arena,
                     std::vector<SkipEntry> &skips);
+
+/** encodePostings() for the bit-packed codec (same contracts). */
+void encodePostingsPacked(const DocId *docs, std::size_t count,
+                          std::vector<std::uint8_t> &arena,
+                          std::vector<SkipEntry> &skips);
 
 /**
  * Decode one LEB128 varint at @p p.
@@ -109,9 +169,10 @@ decodeVarint32(const std::uint8_t *p, std::uint32_t &value)
 }
 
 /**
- * Decode one whole block of @p count documents starting at @p p into
- * @p out. The caller supplies the count (blocks are full except the
- * last; see PostingCursor) and a buffer of at least @p count DocIds.
+ * Decode one whole varint block of @p count documents starting at
+ * @p p into @p out. The caller supplies the count (blocks are full
+ * except the last; see PostingCursor) and a buffer of at least
+ * @p count DocIds.
  *
  * @return Pointer past the block's last varint.
  */
@@ -131,8 +192,68 @@ decodePostingBlock(const std::uint8_t *p, std::size_t count, DocId *out)
 }
 
 /**
- * Structurally validate one term's encoded postings: every block
- * decodes within its byte bounds (block boundaries taken from
+ * Decode one FULL bit-packed block (posting_block_docs documents) at
+ * @p p into @p out. Dispatches to the widest compiled SIMD tier; the
+ * byte layout is validated beforehand (validatePostingsPacked), so
+ * exactly packedBlockBytes(width) bytes are read.
+ *
+ * @return Pointer past the block.
+ */
+const std::uint8_t *decodePackedBlock(const std::uint8_t *p,
+                                      DocId *out);
+
+/**
+ * The portable scalar implementation of decodePackedBlock(), always
+ * compiled, byte-for-byte equivalent — the lockstep-fuzz oracle and
+ * the DSEARCH_FORCE_SCALAR code path.
+ */
+const std::uint8_t *decodePackedBlockScalar(const std::uint8_t *p,
+                                            DocId *out);
+
+/**
+ * Intersect two sorted, duplicate-free DocId arrays into @p out
+ * (which must hold min(na, nb) entries). Dispatches to the widest
+ * compiled SIMD tier (AVX2 8-lane / SSE2 4-lane block compares);
+ * the searchers' AND loops and ranked accumulation feed it decoded
+ * posting blocks.
+ *
+ * @return Number of common documents written to @p out.
+ */
+std::size_t intersectU32(const DocId *a, std::size_t na,
+                         const DocId *b, std::size_t nb, DocId *out);
+
+/** Scalar two-pointer intersectU32(); the lockstep-fuzz oracle. */
+std::size_t intersectU32Scalar(const DocId *a, std::size_t na,
+                               const DocId *b, std::size_t nb,
+                               DocId *out);
+
+/**
+ * @return The SIMD tier this binary's posting codec was compiled
+ *         for: "avx2", "sse2", or "scalar" (non-x86 or
+ *         DSEARCH_FORCE_SCALAR builds).
+ */
+const char *postingSimdLevel();
+
+namespace detail {
+/** Blocks decoded by cursors on this thread; see below. */
+extern thread_local std::uint64_t posting_blocks_decoded;
+} // namespace detail
+
+/**
+ * @return Posting blocks decoded by PostingCursor on the calling
+ *         thread since it started. A metadata query (count()/df())
+ *         must not move this counter — regression observable for the
+ *         "counts come from the header, not a decode" contract.
+ */
+inline std::uint64_t
+postingBlocksDecoded()
+{
+    return detail::posting_blocks_decoded;
+}
+
+/**
+ * Structurally validate one term's varint-coded postings: every
+ * block decodes within its byte bounds (block boundaries taken from
  * @p skips), documents are strictly ascending across the whole list,
  * and skip entries agree with the decoded block firsts. Used by the
  * snapshot loader so a corrupt (but checksum-colliding) file can
@@ -143,6 +264,21 @@ decodePostingBlock(const std::uint8_t *p, std::size_t count, DocId *out)
 bool validatePostings(const std::uint8_t *bytes, std::uint32_t byte_len,
                       const SkipEntry *skips, std::uint32_t skip_count,
                       std::uint32_t count);
+
+/**
+ * validatePostings() for the bit-packed codec: full blocks must
+ * carry a width <= 32 and exactly packedBlockBytes(width) bytes,
+ * decoded documents must be strictly ascending without u32 overflow,
+ * headers and skip entries must agree, and the varint tail is
+ * bounds-checked like the v2 format. A truncated or width-corrupted
+ * payload fails here and is never handed to the (unchecked, exact-
+ * length) decoder.
+ */
+bool validatePostingsPacked(const std::uint8_t *bytes,
+                            std::uint32_t byte_len,
+                            const SkipEntry *skips,
+                            std::uint32_t skip_count,
+                            std::uint32_t count);
 
 } // namespace dsearch
 

@@ -19,12 +19,15 @@
  *    paths, tests). next() is a pointer bump; seekGE() gallops, then
  *    binary-searches the bracket.
  *
- *  - Compressed: delta + varint blocks from a sealed PostingSegment
- *    (see posting_block.hh). The cursor decodes one block at a time
- *    into a small stack buffer; next() walks the buffer and refills
- *    it at block boundaries, seekGE() binary-searches the skip index
- *    to jump to the one block that can contain the target, decodes
- *    it, and gallops within the decoded buffer.
+ *  - Compressed: delta-coded blocks from a sealed PostingSegment —
+ *    either varint (PostingCodec::Varint) or bit-packed SIMD blocks
+ *    (PostingCodec::Packed); see posting_block.hh. The cursor decodes
+ *    one block at a time into a small stack buffer; next() walks the
+ *    buffer and refills it at block boundaries, seekGE()
+ *    binary-searches the skip index to jump to the one block that can
+ *    contain the target, decodes it (prefetching the following skip
+ *    target so a subsequent jump finds warm cache lines), and gallops
+ *    within the decoded buffer.
  *
  * Either way the iteration state is a [pos, end) pointer pair, so
  * valid()/doc() are branch-free and identical for both forms. The
@@ -32,6 +35,14 @@
  * must stay alive for the cursor's lifetime; the snapshot guarantees
  * this for cursors it vends. Cursors are freely copyable — a copy
  * continues independently from the same position.
+ *
+ * Bulk consumers (the searchers' AND loops, ranked accumulation, the
+ * decode bench) bypass per-posting next() calls via the block view:
+ * blockDocs()/blockRemaining() expose the decoded span from the
+ * current position to the end of the current block (the whole list
+ * for raw cursors), and skipInBlock() consumes a prefix of that span,
+ * refilling at the boundary. count() never decodes anything — a
+ * metadata query (e.g. a broker df aggregation) costs O(1).
  */
 
 #ifndef DSEARCH_INDEX_POSTING_CURSOR_HH
@@ -70,13 +81,15 @@ class PostingCursor
      * blocks, @p skips at its skip entries (one per block after the
      * first; may be null when @p skip_count is 0), @p doc_count is
      * the total documents — block boundaries and byte extents all
-     * follow from those. The encoded storage must stay alive for the
-     * cursor's lifetime.
+     * follow from those. @p codec selects how full blocks decode
+     * (varint for v2 segments, bit-packed for v3). The encoded
+     * storage must stay alive for the cursor's lifetime.
      */
     PostingCursor(const std::uint8_t *bytes, const SkipEntry *skips,
-                  std::uint32_t skip_count, std::uint32_t doc_count)
+                  std::uint32_t skip_count, std::uint32_t doc_count,
+                  PostingCodec codec = PostingCodec::Varint)
         : _count(doc_count), _bytes(bytes), _skips(skips),
-          _skip_count(skip_count)
+          _skip_count(skip_count), _codec(codec)
     {
         if (doc_count != 0)
             loadBlock(0);
@@ -139,6 +152,13 @@ class PostingCursor
                 [](DocId t, const SkipEntry &e) {
                     return t < e.first_doc;
                 });
+            // Warm the next skip target: if the gallop below exhausts
+            // the landed block, the following block's bytes are
+            // already on their way in.
+#if defined(__GNUC__) || defined(__clang__)
+            if (it != send)
+                __builtin_prefetch(_bytes + it->offset);
+#endif
             loadBlock(static_cast<std::uint32_t>(
                 it == sbegin ? _block + 1 : it - _skips));
         }
@@ -151,7 +171,10 @@ class PostingCursor
         return true;
     }
 
-    /** @return Total postings in the underlying list (not remaining). */
+    /**
+     * @return Total postings in the underlying list (not remaining).
+     *         Comes from the term header — never triggers a decode.
+     */
     std::size_t count() const { return _count; }
 
     /** @return Documents not yet consumed (including the current). */
@@ -159,6 +182,36 @@ class PostingCursor
     remaining() const
     {
         return static_cast<std::size_t>(_end - _pos) + _tail;
+    }
+
+    /**
+     * @return The decoded span from the current position to the end
+     *         of the current block (the whole remaining list for raw
+     *         cursors): blockDocs()[0 .. blockRemaining()) are sorted
+     *         ascending and blockDocs()[0] == doc(). Empty only when
+     *         the cursor is exhausted. The span is invalidated by any
+     *         advance past the current block and by copying.
+     */
+    const DocId *blockDocs() const { return _pos; }
+
+    /** @return Number of documents in the blockDocs() span. */
+    std::size_t
+    blockRemaining() const
+    {
+        return static_cast<std::size_t>(_end - _pos);
+    }
+
+    /**
+     * Consume @p n documents of the current block view
+     * (n <= blockRemaining()), refilling the next block when the view
+     * is exhausted — the bulk counterpart of n calls to next().
+     */
+    void
+    skipInBlock(std::size_t n)
+    {
+        _pos += n;
+        if (_pos == _end && _tail != 0)
+            loadBlock(_block + 1);
     }
 
     /**
@@ -212,10 +265,20 @@ class PostingCursor
             std::min(posting_block_docs, _count - first);
         const std::uint8_t *p =
             _bytes + (b == 0 ? 0 : _skips[b - 1].offset);
-        decodePostingBlock(p, n, _buf);
+        if (_codec == PostingCodec::Packed && n == posting_block_docs)
+            decodePackedBlock(p, _buf);
+        else
+            decodePostingBlock(p, n, _buf);
+        ++detail::posting_blocks_decoded;
         _pos = _buf;
         _end = _buf + n;
         _tail = _count - first - n;
+#if defined(__GNUC__) || defined(__clang__)
+        // Start the next block's bytes toward the cache while this
+        // one is being walked.
+        if (_tail != 0)
+            __builtin_prefetch(_bytes + _skips[b].offset);
+#endif
     }
 
     void
@@ -225,6 +288,7 @@ class PostingCursor
         _bytes = other._bytes;
         _skips = other._skips;
         _skip_count = other._skip_count;
+        _codec = other._codec;
         _block = other._block;
         _tail = other._tail;
         if (other._bytes != nullptr && other._count != 0) {
@@ -248,6 +312,7 @@ class PostingCursor
     const std::uint8_t *_bytes = nullptr;
     const SkipEntry *_skips = nullptr;
     std::uint32_t _skip_count = 0;
+    PostingCodec _codec = PostingCodec::Varint;
     std::uint32_t _block = 0;  ///< Block currently decoded in _buf.
     std::size_t _tail = 0;     ///< Documents in blocks after _buf.
     DocId _buf[posting_block_docs];

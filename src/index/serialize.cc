@@ -20,6 +20,15 @@ namespace {
 constexpr char magic[4] = {'D', 'S', 'I', 'X'};
 constexpr std::uint32_t format_v1 = 1;
 constexpr std::uint32_t format_v2 = 2;
+constexpr std::uint32_t format_v3 = 3;
+
+/** @return The block codec a sealed on-disk version stores. */
+PostingCodec
+codecForVersion(std::uint32_t version)
+{
+    return version == format_v3 ? PostingCodec::Packed
+                                : PostingCodec::Varint;
+}
 
 void
 putU32(std::string &buf, std::uint32_t v)
@@ -123,6 +132,32 @@ class Reader
     std::size_t _pos = 0;
 };
 
+/**
+ * Trailer checksum for one frame. v1/v2 hash the payload alone (the
+ * historical, frozen definition); v3 folds the version field in
+ * first, making a version bit-flip tamper-evident. The sealed
+ * formats differ only in block semantics — a short list is a varint
+ * tail block under both codecs, so a v2 and a v3 payload can be
+ * byte-identical and the payload checksum alone could not tell a
+ * flipped version byte from a valid file of the other codec.
+ */
+std::uint64_t
+frameChecksum(std::uint32_t version, const std::string &payload)
+{
+    std::uint64_t h = fnv64_offset;
+    if (version >= format_v3) {
+        for (int i = 0; i < 4; ++i) {
+            h ^= (version >> (8 * i)) & 0xff;
+            h *= fnv64_prime;
+        }
+    }
+    for (char c : payload) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= fnv64_prime;
+    }
+    return h;
+}
+
 /** Write magic + header + payload + checksum trailer. */
 bool
 writeFramed(std::ostream &out, std::uint32_t version,
@@ -135,7 +170,7 @@ writeFramed(std::ostream &out, std::uint32_t version,
         out.setstate(std::ios::failbit);
         return false;
     }
-    std::uint64_t checksum = fnv1a_64(payload.data(), payload.size());
+    std::uint64_t checksum = frameChecksum(version, payload);
     out.write(magic, sizeof(magic));
     std::string header;
     putU32(header, version);
@@ -180,7 +215,8 @@ readFramed(std::istream &in, std::uint32_t &version,
         warn("loadIndex: malformed header");
         return false;
     }
-    if (version != format_v1 && version != format_v2) {
+    if (version != format_v1 && version != format_v2
+        && version != format_v3) {
         warn("loadIndex: unsupported format version "
              + std::to_string(version));
         return false;
@@ -224,7 +260,7 @@ readFramed(std::istream &in, std::uint32_t &version,
         warn("loadIndex: malformed trailer");
         return false;
     }
-    if (fnv1a_64(payload.data(), payload.size()) != stored_checksum) {
+    if (frameChecksum(version, payload) != stored_checksum) {
         warn("loadIndex: checksum mismatch");
         return false;
     }
@@ -304,13 +340,16 @@ writeSegmentV1(const SegmentReader &segment, const DocTable &docs,
 }
 
 /**
- * Write a sealed segment + docs in the version 2 layout: the
+ * Write a sealed segment + docs in the shared v2/v3 layout: the
  * segment's compressed blocks and skip entries verbatim, terms in
- * the cached lexicographic order (no sort, no re-encode).
+ * the cached lexicographic order (no sort, no re-encode). The two
+ * versions differ only in block semantics — v2 blocks are varint,
+ * v3 full blocks bit-packed — so @p version is simply the one that
+ * matches the segment's codec.
  */
 bool
-writeSegmentV2(const PostingSegment *segment, const DocTable &docs,
-               std::ostream &out)
+writeSegmentSealed(const PostingSegment *segment, const DocTable &docs,
+                   std::ostream &out, std::uint32_t version)
 {
     std::string payload;
     putDocs(payload, docs);
@@ -337,7 +376,7 @@ writeSegmentV2(const PostingSegment *segment, const DocTable &docs,
                 }
             });
     }
-    return writeFramed(out, format_v2, payload);
+    return writeFramed(out, version, payload);
 }
 
 /** Parse the version 1 term section into a mutable index. */
@@ -396,9 +435,12 @@ struct TermRecordV2
     std::vector<SkipEntry> skips;
 };
 
-/** Read and validate one v2 term record. */
+/**
+ * Read and validate one v2/v3 term record; @p codec picks the
+ * validator matching the version's block semantics.
+ */
 bool
-readTermV2(Reader &reader, TermRecordV2 &record)
+readTermV2(Reader &reader, TermRecordV2 &record, PostingCodec codec)
 {
     if (!reader.str(record.term) || !reader.u32(record.count)
         || !reader.u32(record.byte_len)) {
@@ -431,10 +473,15 @@ readTermV2(Reader &reader, TermRecordV2 &record)
         }
         record.skips.push_back(skip);
     }
-    if (!validatePostings(record.blocks, record.byte_len,
-                          record.skips.data(),
-                          static_cast<std::uint32_t>(skip_count),
-                          record.count)) {
+    const bool valid =
+        codec == PostingCodec::Packed
+            ? validatePostingsPacked(
+                  record.blocks, record.byte_len, record.skips.data(),
+                  static_cast<std::uint32_t>(skip_count), record.count)
+            : validatePostings(
+                  record.blocks, record.byte_len, record.skips.data(),
+                  static_cast<std::uint32_t>(skip_count), record.count);
+    if (!valid) {
         warn("loadIndex: malformed posting blocks");
         return false;
     }
@@ -492,9 +539,10 @@ scanTermsV2(Reader reader, std::uint64_t term_count,
     return reader.done();
 }
 
-/** Parse the version 2 term section into a sealed segment. */
+/** Parse the v2/v3 term section into a sealed segment. */
 bool
-parseTermsV2(Reader &reader, PostingSegment &segment)
+parseTermsV2(Reader &reader, PostingSegment &segment,
+             PostingCodec codec)
 {
     std::uint64_t term_count;
     if (!parseV2Header(reader, term_count))
@@ -504,11 +552,12 @@ parseTermsV2(Reader &reader, PostingSegment &segment)
         warn("loadIndex: corrupt term table");
         return false;
     }
+    segment.setCodec(codec);
     segment.reserveSealed(term_count, arena_bytes, skip_entries);
 
     TermRecordV2 record;
     for (std::uint64_t t = 0; t < term_count; ++t) {
-        if (!readTermV2(reader, record))
+        if (!readTermV2(reader, record, codec))
             return false;
         if (!segment.addSealedTerm(
                 std::move(record.term), record.count, record.blocks,
@@ -527,11 +576,12 @@ parseTermsV2(Reader &reader, PostingSegment &segment)
 }
 
 /**
- * Parse the version 2 term section into a mutable index, decoding
- * each term's blocks through a cursor.
+ * Parse the v2/v3 term section into a mutable index, decoding each
+ * term's blocks through a cursor.
  */
 bool
-parseTermsV2Index(Reader &reader, InvertedIndex &index)
+parseTermsV2Index(Reader &reader, InvertedIndex &index,
+                  PostingCodec codec)
 {
     std::uint64_t term_count;
     if (!parseV2Header(reader, term_count))
@@ -540,14 +590,14 @@ parseTermsV2Index(Reader &reader, InvertedIndex &index)
     TermRecordV2 record;
     TermBlock scratch;
     for (std::uint64_t t = 0; t < term_count; ++t) {
-        if (!readTermV2(reader, record))
+        if (!readTermV2(reader, record, codec))
             return false;
         scratch.clear();
         scratch.addTerm(record.term);
         PostingCursor cursor(
             record.blocks, record.skips.data(),
             static_cast<std::uint32_t>(record.skips.size()),
-            record.count);
+            record.count, codec);
         for (; cursor.valid(); cursor.next()) {
             scratch.doc = cursor.doc();
             index.addBlock(scratch);
@@ -572,7 +622,14 @@ saveSnapshot(const IndexSnapshot &snapshot, const DocTable &docs,
     const PostingSegment *segment =
         snapshot.segmentCount() == 0 ? nullptr
                                      : snapshot.segment(0).sealed();
-    return writeSegmentV2(segment, docs, out);
+    // The on-disk version simply names the segment's codec: fresh
+    // seals are bit-packed (v3); a segment loaded from a v2 file and
+    // re-saved round-trips as v2 without transcoding.
+    const std::uint32_t version =
+        segment != nullptr && segment->codec() == PostingCodec::Varint
+            ? format_v2
+            : format_v3;
+    return writeSegmentSealed(segment, docs, out, version);
 }
 
 bool
@@ -634,7 +691,7 @@ loadSnapshot(IndexSnapshot &snapshot, DocTable &docs, std::istream &in)
     }
 
     PostingSegment segment;
-    if (!parseTermsV2(reader, segment)) {
+    if (!parseTermsV2(reader, segment, codecForVersion(version))) {
         docs = DocTable{};
         return false;
     }
@@ -670,7 +727,8 @@ loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in)
     bool ok = parseDocs(reader, docs)
               && (version == format_v1
                       ? parseTermsV1(reader, index)
-                      : parseTermsV2Index(reader, index));
+                      : parseTermsV2Index(reader, index,
+                                          codecForVersion(version)));
     if (!ok) {
         index.clear();
         docs = DocTable{};

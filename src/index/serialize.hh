@@ -8,17 +8,24 @@
  * of the payload so truncated or corrupted files are detected on
  * load.
  *
- * Common framing (both versions):
+ * Common framing (all versions):
  *
  *     magic "DSIX" | u32 version | u64 payload_size
  *     payload (payload_size bytes)
- *     u64 fnv1a-64(payload)
+ *     u64 checksum
  *
- * Version 2 payload — the sealed-segment format. Posting blocks are
- * copied verbatim from the segment arena on save and back into an
- * arena on load; nothing is decoded or re-encoded, and terms are
- * written in the segment's cached lexicographic order (no save-time
- * sort). Layout:
+ * The checksum is FNV-1a-64 of the payload for v1/v2 (the frozen
+ * historical definition) and of the little-endian version field
+ * followed by the payload for v3 — v2 and v3 payloads can be
+ * byte-identical (short lists are varint tails under both codecs),
+ * so v3 folds the version in to make a flipped version byte a
+ * checksum mismatch instead of a silent codec swap.
+ *
+ * Versions 2 and 3 share the sealed-segment payload layout. Posting
+ * blocks are copied verbatim from the segment arena on save and back
+ * into an arena on load; nothing is decoded or re-encoded, and terms
+ * are written in the segment's cached lexicographic order (no
+ * save-time sort). Layout:
  *
  *     u64 doc_count | { str path, u64 size_bytes } * doc_count
  *     u32 block_docs          -- posting_block_docs at write time;
@@ -28,7 +35,7 @@
  *       str term
  *       u32 doc_count         -- postings in the list (> 0)
  *       u32 byte_len          -- encoded block bytes
- *       byte_len bytes        -- delta+varint blocks, verbatim
+ *       byte_len bytes        -- posting blocks, verbatim
  *                                (posting_block.hh layout)
  *       { u32 first_doc, u32 offset } * (ceil(doc_count /
  *           block_docs) - 1) -- skip entries, one per block after
@@ -36,16 +43,28 @@
  *
  *     (str = u32 length + bytes.)
  *
+ * The versions differ only in block semantics: v2 blocks are
+ * delta + LEB128 varint (PostingCodec::Varint); v3 full blocks are
+ * bit-packed SIMD-BP128-style with a varint tail block
+ * (PostingCodec::Packed) — see posting_block.hh for both byte
+ * layouts. v3 term records are validated with
+ * validatePostingsPacked() (width bounds, exact packed-payload
+ * sizes, overflow-free ascending docs) before any block reaches the
+ * exact-length packed decoder.
+ *
  * Version 1 payload — the legacy raw format: same document table,
  * then `u64 term_count` and per term `str term, u32 doc_count,
  * u32 doc * doc_count`. Still written by the mutable-InvertedIndex
  * overloads (which have no compressed blocks to copy and sort terms
  * at write time) and still loaded by every load entry point.
  *
- * saveSnapshot()/loadSnapshot() are the primary entry points and use
- * version 2; the InvertedIndex overloads remain for code that still
- * holds mutable indices (they canonicalize in place as a side
- * effect).
+ * saveSnapshot()/loadSnapshot() are the primary entry points. Save
+ * writes the version matching the segment's codec — v3 for fresh
+ * (bit-packed) seals, v2 for a segment that was itself loaded from a
+ * v2 file, so either vintage round-trips without transcoding. All
+ * three versions load everywhere; the InvertedIndex overloads remain
+ * for code that still holds mutable indices (they canonicalize in
+ * place as a side effect).
  *
  * Failure handling. Load never trusts the file: magic, version and
  * checksum are verified, the payload is read in bounded chunks (a
@@ -74,9 +93,10 @@
 namespace dsearch {
 
 /**
- * Write a sealed snapshot and @p docs to a stream (version 2: the
- * segment's compressed blocks verbatim, terms in the cached
- * lexicographic order).
+ * Write a sealed snapshot and @p docs to a stream (version 3 for
+ * bit-packed segments, version 2 for varint ones: the segment's
+ * compressed blocks verbatim, terms in the cached lexicographic
+ * order).
  *
  * @param snapshot Unified snapshot (panics when multi-segment; join
  *                 the build before persisting).
@@ -93,9 +113,10 @@ bool saveSnapshotFile(const IndexSnapshot &snapshot,
 
 /**
  * Read a snapshot + document table written by saveSnapshot() (or
- * saveIndex()). Version 2 files load straight into a sealed segment
- * — blocks are copied, not re-encoded; version 1 files are read into
- * a mutable index and sealed.
+ * saveIndex()). Version 2/3 files load straight into a sealed
+ * segment — blocks are copied, not re-encoded, and the segment keeps
+ * the file's codec; version 1 files are read into a mutable index
+ * and sealed (bit-packed).
  *
  * @param snapshot Receives the sealed index (replaced).
  * @param docs     Receives the document table (replaced).
@@ -125,7 +146,7 @@ bool saveIndexFile(InvertedIndex &index, const DocTable &docs,
 /**
  * Read an index + document table into a mutable InvertedIndex (for
  * incremental maintenance; prefer loadSnapshot() for querying).
- * Accepts both versions; version 2 blocks are decoded back into raw
+ * Accepts all versions; version 2/3 blocks are decoded back into raw
  * posting lists.
  */
 bool loadIndex(InvertedIndex &index, DocTable &docs, std::istream &in);

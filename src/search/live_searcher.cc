@@ -105,8 +105,10 @@ LiveSearcher::dfAcross(std::string_view term) const
 {
     std::size_t df = 0;
     for (const Segment &segment : _segments) {
+        // Header probe only — a df aggregation across many segments
+        // must not decode a posting block per (term, segment).
         if (segment.index.segmentCount() != 0)
-            df += segment.index.segment(0).cursor(term).count();
+            df += segment.index.segment(0).termDocCount(term);
     }
     return df;
 }
@@ -140,25 +142,11 @@ LiveSearcher::topK(const Query &query, std::size_t k) const
         for (const Segment &segment : _segments) {
             if (segment.index.segmentCount() == 0)
                 continue;
-            PostingCursor cursor =
-                segment.index.segment(0).cursor(term);
-            std::size_t i = 0;
-            while (i < matches.size() && cursor.seekGE(matches[i])) {
-                const DocId doc = cursor.doc();
-                i = static_cast<std::size_t>(
-                    std::lower_bound(
-                        matches.begin()
-                            + static_cast<std::ptrdiff_t>(i),
-                        matches.end(), doc)
-                    - matches.begin());
-                if (i == matches.size())
-                    break;
-                if (matches[i] == doc) {
-                    scores[i] += weight;
-                    ++i;
-                    cursor.next();
-                }
-            }
+            SegmentReader reader = segment.index.segment(0);
+            if (reader.termDocCount(term) == 0)
+                continue;
+            accumulateCursor(matches, reader.cursor(term), weight,
+                             scores);
         }
     }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
 
 #include "util/hash_set.hh"
 
@@ -78,15 +79,19 @@ RankedSearcher::termStats(const std::string &term,
         }
     }
 
-    // Miss: one snapshot probe (cursor construction decodes the
-    // first block — the cost the cache exists to amortize), shared
-    // with the caller's scoring pass via cursor_out.
-    PostingCursor cursor = _snapshot.cursor(term);
+    // Miss: one snapshot probe, shared with the caller's scoring
+    // pass via cursor_out. Metadata-only callers read df straight
+    // from the term header — no cursor, no block decode.
     TermStats stats;
-    stats.df = cursor.count();
+    if (cursor_out == nullptr) {
+        stats.df = _snapshot.termDocCount(term);
+    } else {
+        PostingCursor cursor = _snapshot.cursor(term);
+        stats.df = cursor.count();
+        if (stats.df != 0)
+            *cursor_out = cursor;
+    }
     stats.idf = idfFromDf(stats.df);
-    if (cursor_out != nullptr && stats.df != 0)
-        *cursor_out = cursor;
 
     std::unique_lock lock(_cache->mutex);
     _cache->map.insert(term, stats); // a racing filler won
@@ -113,27 +118,44 @@ RankedSearcher::df(const std::string &term) const
 }
 
 void
-RankedSearcher::accumulate(const DocSet &matches, PostingCursor cursor,
-                           double weight, std::vector<double> &scores)
+accumulateCursor(const DocSet &matches, PostingCursor cursor,
+                 double weight, std::vector<double> &scores)
 {
-    // Stream the cursor through the sorted match set — both ascend,
-    // so one seekGE-driven pass scores every match without
-    // materializing a per-term DocId vector.
+    // Blockwise streaming: intersect each decoded block view with
+    // the match prefix it can cover, then credit the matched
+    // positions in ascending order (the order the scalar streaming
+    // loop used, so floating-point sums are unchanged).
+    DocId tmp[posting_block_docs];
     std::size_t i = 0;
-    while (i < matches.size() && cursor.seekGE(matches[i])) {
-        const DocId doc = cursor.doc();
-        i = static_cast<std::size_t>(
-            std::lower_bound(matches.begin()
-                                 + static_cast<std::ptrdiff_t>(i),
-                             matches.end(), doc)
-            - matches.begin());
-        if (i == matches.size())
-            break;
-        if (matches[i] == doc) {
-            scores[i] += weight;
-            ++i;
-            cursor.next();
+    while (i < matches.size() && cursor.valid()) {
+        const DocId *cp = cursor.blockDocs();
+        // Cap the consumed view at one block so `tmp` bounds the
+        // kernel output (raw cursors expose the whole list as one
+        // view).
+        const std::size_t cn =
+            std::min(cursor.blockRemaining(), posting_block_docs);
+        const DocId clast = cp[cn - 1];
+        if (matches[i] > clast) {
+            if (!cursor.seekGE(matches[i]))
+                break;
+            continue;
         }
+        const std::size_t an = static_cast<std::size_t>(
+            std::upper_bound(matches.begin()
+                                 + static_cast<std::ptrdiff_t>(i),
+                             matches.end(), clast)
+            - (matches.begin() + static_cast<std::ptrdiff_t>(i)));
+        const std::size_t k =
+            intersectU32(&matches[i], an, cp, cn, tmp);
+        std::size_t m = i;
+        for (std::size_t t = 0; t < k; ++t) {
+            while (matches[m] != tmp[t])
+                ++m;
+            scores[m] += weight;
+            ++m;
+        }
+        i += an;
+        cursor.skipInBlock(cn);
     }
 }
 
@@ -182,7 +204,8 @@ RankedSearcher::topK(const Query &query, std::size_t k) const
         const TermStats stats = termStats(term, &cursor);
         if (stats.df == 0)
             continue; // cache hit spares the cursor rebuild entirely
-        accumulate(matches, cursor, stats.idf, scores);
+        accumulateCursor(matches, std::move(cursor), stats.idf,
+                         scores);
     }
     return finishRanking(matches, scores, k);
 }
@@ -202,10 +225,11 @@ RankedSearcher::topKWeighted(const Query &query, std::size_t k,
     for (const auto &[term, weight] : weights) {
         if (weight == 0.0)
             continue; // globally unknown term: no contribution
-        PostingCursor cursor = _snapshot.cursor(term);
-        if (cursor.count() == 0)
-            continue; // term lives in other shards only
-        accumulate(matches, cursor, weight, scores);
+        if (_snapshot.termDocCount(term) == 0)
+            continue; // term lives in other shards only (header
+                      // probe: no block decode for absent terms)
+        accumulateCursor(matches, _snapshot.cursor(term), weight,
+                         scores);
     }
     return finishRanking(matches, scores, k);
 }

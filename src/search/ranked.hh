@@ -71,6 +71,20 @@ double idfFromCounts(std::size_t doc_count, std::size_t df);
  */
 using TermWeights = std::vector<std::pair<std::string, double>>;
 
+/**
+ * Stream @p cursor through the sorted @p matches, adding @p weight to
+ * each matched position of @p scores. Works blockwise: the SIMD
+ * intersection kernel (posting_block.hh) runs over each decoded block
+ * view and the skip index gallops across blocks no match can touch.
+ * Contributions land in ascending match order, so callers that issue
+ * terms in a fixed order get bit-identical floating-point sums — the
+ * invariant the sharded broker's merged ranking depends on. Shared by
+ * RankedSearcher and LiveSearcher so the paths cannot drift apart
+ * arithmetically.
+ */
+void accumulateCursor(const DocSet &matches, PostingCursor cursor,
+                      double weight, std::vector<double> &scores);
+
 /** Ranked query engine over one unified snapshot. */
 class RankedSearcher
 {
@@ -152,19 +166,13 @@ class RankedSearcher
      * When @p cursor_out is non-null and the term has postings, it
      * receives a cursor over them — built from the one snapshot
      * probe either path performs, so scoring never constructs a
-     * second cursor for the same term.
+     * second cursor for the same term. Metadata-only calls
+     * (cursor_out == nullptr, e.g. df()/idf()) fill misses from the
+     * term header via IndexSnapshot::termDocCount() and never decode
+     * a posting block.
      */
     TermStats termStats(const std::string &term,
                         PostingCursor *cursor_out = nullptr) const;
-
-    /**
-     * Stream @p cursor through the sorted @p matches, adding
-     * @p weight to each matched position of @p scores — the one
-     * accumulation loop topK() and topKWeighted() share, so the two
-     * paths cannot drift apart arithmetically.
-     */
-    static void accumulate(const DocSet &matches, PostingCursor cursor,
-                           double weight, std::vector<double> &scores);
 
     /** Length-penalize, sort (score desc, doc asc), truncate to k. */
     std::vector<ScoredHit> finishRanking(const DocSet &matches,

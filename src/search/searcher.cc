@@ -37,6 +37,142 @@ subtractSets(const DocSet &a, const DocSet &b)
     return out;
 }
 
+namespace {
+
+/**
+ * Intersect two term cursors blockwise: the SIMD kernel runs over
+ * the overlap of the two decoded block views, and seekGE() (skip
+ * index + prefetch) jumps across block ranges that cannot overlap.
+ */
+DocSet
+intersectCursorPair(PostingCursor a, PostingCursor b)
+{
+    DocSet out;
+    out.reserve(std::min(a.remaining(), b.remaining()));
+    while (a.valid() && b.valid()) {
+        const DocId *ap = a.blockDocs();
+        std::size_t an = a.blockRemaining();
+        const DocId *bp = b.blockDocs();
+        std::size_t bn = b.blockRemaining();
+        const DocId alast = ap[an - 1];
+        const DocId blast = bp[bn - 1];
+        // Disjoint views: gallop the trailing cursor forward.
+        if (ap[0] > blast) {
+            if (!b.seekGE(ap[0]))
+                break;
+            continue;
+        }
+        if (bp[0] > alast) {
+            if (!a.seekGE(bp[0]))
+                break;
+            continue;
+        }
+        // Consume in full the view that ends first, and the other's
+        // prefix up to that bound — docs beyond it may still match
+        // the next block.
+        if (alast <= blast)
+            bn = static_cast<std::size_t>(
+                std::upper_bound(bp, bp + bn, alast) - bp);
+        else
+            an = static_cast<std::size_t>(
+                std::upper_bound(ap, ap + an, blast) - ap);
+        const std::size_t base = out.size();
+        out.resize(base + std::min(an, bn));
+        const std::size_t k =
+            intersectU32(ap, an, bp, bn, out.data() + base);
+        out.resize(base + k);
+        a.skipInBlock(an);
+        b.skipInBlock(bn);
+    }
+    return out;
+}
+
+/** @p acc ∩ @p cursor, blockwise (see intersectCursorPair). */
+DocSet
+intersectDocsCursor(const DocSet &acc, PostingCursor cursor)
+{
+    DocSet out;
+    out.reserve(std::min(acc.size(), cursor.remaining()));
+    std::size_t i = 0;
+    while (i < acc.size() && cursor.valid()) {
+        const DocId *cp = cursor.blockDocs();
+        const std::size_t cn = cursor.blockRemaining();
+        const DocId clast = cp[cn - 1];
+        if (acc[i] > clast) {
+            if (!cursor.seekGE(acc[i]))
+                break;
+            continue;
+        }
+        const std::size_t an = static_cast<std::size_t>(
+            std::upper_bound(acc.begin() + static_cast<std::ptrdiff_t>(i),
+                             acc.end(), clast)
+            - (acc.begin() + static_cast<std::ptrdiff_t>(i)));
+        const std::size_t base = out.size();
+        out.resize(base + std::min(an, cn));
+        const std::size_t k =
+            intersectU32(&acc[i], an, cp, cn, out.data() + base);
+        out.resize(base + k);
+        i += an;
+        cursor.skipInBlock(cn);
+    }
+    return out;
+}
+
+/**
+ * Intersect @p docs with @p universe: a range trim when the universe
+ * is contiguous (the common full-corpus Searcher), a galloping merge
+ * otherwise (live/replica subset universes).
+ */
+DocSet
+clipToUniverse(DocSet &&docs, const DocSet &universe)
+{
+    if (docs.empty() || universe.empty())
+        return {};
+    if (universe.back() - universe.front()
+        == static_cast<DocId>(universe.size() - 1)) {
+        auto lo = std::lower_bound(docs.begin(), docs.end(),
+                                   universe.front());
+        auto hi = std::upper_bound(lo, docs.end(), universe.back());
+        docs.erase(hi, docs.end());
+        docs.erase(docs.begin(), lo);
+        return std::move(docs);
+    }
+    DocSet out;
+    out.reserve(std::min(docs.size(), universe.size()));
+    auto it = universe.begin();
+    for (DocId doc : docs) {
+        it = std::lower_bound(it, universe.end(), doc);
+        if (it == universe.end())
+            break;
+        if (*it == doc)
+            out.push_back(doc);
+    }
+    return out;
+}
+
+} // namespace
+
+DocSet
+intersectTermCursors(std::vector<PostingCursor> cursors)
+{
+    if (cursors.empty())
+        return {};
+    // Smallest list first: it bounds every later intersection.
+    std::sort(cursors.begin(), cursors.end(),
+              [](const PostingCursor &a, const PostingCursor &b) {
+                  return a.count() < b.count();
+              });
+    if (cursors.front().count() == 0)
+        return {};
+    if (cursors.size() == 1)
+        return cursors.front().toDocSet();
+    DocSet acc = intersectCursorPair(std::move(cursors[0]),
+                                     std::move(cursors[1]));
+    for (std::size_t i = 2; i < cursors.size() && !acc.empty(); ++i)
+        acc = intersectDocsCursor(acc, std::move(cursors[i]));
+    return acc;
+}
+
 DocSet
 intersectCursor(PostingCursor cursor, const DocSet &universe)
 {
@@ -69,6 +205,20 @@ evalQueryNode(const SegmentReader &segment, const DocSet &universe,
       case QueryNode::Kind::And: {
         if (node.children.empty())
             panic("evalQueryNode: AND without operands");
+        // AND over plain terms — the hottest query shape — takes the
+        // blockwise SIMD path; clipping to the universe afterwards is
+        // equivalent to clipping every leaf (intersection commutes).
+        if (std::all_of(node.children.begin(), node.children.end(),
+                        [](const QueryNode &child) {
+                            return child.kind == QueryNode::Kind::Term;
+                        })) {
+            std::vector<PostingCursor> cursors;
+            cursors.reserve(node.children.size());
+            for (const QueryNode &child : node.children)
+                cursors.push_back(segment.cursor(child.term));
+            return clipToUniverse(
+                intersectTermCursors(std::move(cursors)), universe);
+        }
         DocSet acc =
             evalQueryNode(segment, universe, node.children.front());
         for (std::size_t i = 1; i < node.children.size(); ++i) {

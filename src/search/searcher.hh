@@ -9,6 +9,13 @@
  * against the universe with seekGE(), so skewed posting lists are
  * skipped rather than scanned.
  *
+ * The hottest shape — AND over plain terms — takes a bulk path
+ * instead: intersectTermCursors() runs the SIMD block-intersection
+ * kernel (posting_block.hh) over whole decoded blocks, galloping via
+ * the skip index only between blocks, and the result is clipped to
+ * the universe once at the end (set algebra makes the two orders
+ * equivalent). Mixed AND/OR/NOT trees keep the general merge path.
+ *
  * Searchers hold their snapshot by value — snapshots are two pointer
  * copies and keep the underlying segments alive — so there is no
  * "index must outlive the searcher" contract to get wrong.
@@ -42,6 +49,16 @@ DocSet subtractSets(const DocSet &a, const DocSet &b);
  * O(|universe| log skip) rather than materialize-then-merge).
  */
 DocSet intersectCursor(PostingCursor cursor, const DocSet &universe);
+
+/**
+ * AND together any number of term cursors blockwise: the smallest
+ * list drives, whole decoded blocks are intersected branch-free with
+ * the SIMD kernel (intersectU32), and the skip index gallops across
+ * non-overlapping block ranges. An empty vector or any exhausted
+ * cursor yields the empty set. Exposed for tests and the
+ * intersection bench.
+ */
+DocSet intersectTermCursors(std::vector<PostingCursor> cursors);
 
 /**
  * Evaluate @p node against one segment with NOT complemented against

@@ -3,15 +3,21 @@
  * Unit tests for the snapshot read API.
  *
  * The cursor conformance suite runs every PostingCursor case against
- * both representations — a raw sorted DocId array and the delta +
- * varint block encoding of posting_block.hh — so the two can never
- * drift apart. Block-specific edge cases (block-boundary seekGE,
- * max-delta varints, skip-entry layout) and a randomized
- * raw-vs-compressed equivalence check follow, then the
- * IndexSnapshot sealing/segment tests (index/index_snapshot.hh).
+ * all three representations — a raw sorted DocId array, the delta +
+ * varint block encoding, and the bit-packed SIMD block encoding of
+ * posting_block.hh — so none can drift apart. Block-specific edge
+ * cases (block-boundary seekGE, max-width deltas, 1/127/128/129
+ * posting lists, skip-entry layout), randomized cross-representation
+ * equivalence, scalar-vs-SIMD lockstep fuzzing of the packed decoder
+ * and the intersection kernel, and the no-decode metadata contract
+ * follow, then the IndexSnapshot sealing/segment tests
+ * (index/index_snapshot.hh).
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
 
 #include "index/index_snapshot.hh"
 #include "index/posting_block.hh"
@@ -35,9 +41,9 @@ block(DocId doc, std::vector<std::string> terms)
 // Cursor conformance: every case runs for both representations.
 // ----------------------------------------------------------------------
 
-enum class Rep { Raw, Compressed };
+enum class Rep { Raw, Varint, Packed };
 
-/** Owns one posting list's storage in either form; vends cursors. */
+/** Owns one posting list's storage in any form; vends cursors. */
 struct CursorSource
 {
     std::vector<DocId> docs;
@@ -48,9 +54,12 @@ struct CursorSource
     CursorSource(Rep r, std::vector<DocId> d)
         : docs(std::move(d)), rep(r)
     {
-        if (rep == Rep::Compressed)
+        if (rep == Rep::Varint)
             encodePostings(docs.data(), docs.size(), bytes,
                            skip_entries);
+        else if (rep == Rep::Packed)
+            encodePostingsPacked(docs.data(), docs.size(), bytes,
+                                 skip_entries);
     }
 
     PostingCursor
@@ -62,7 +71,9 @@ struct CursorSource
             bytes.data(),
             skip_entries.empty() ? nullptr : skip_entries.data(),
             static_cast<std::uint32_t>(skip_entries.size()),
-            static_cast<std::uint32_t>(docs.size()));
+            static_cast<std::uint32_t>(docs.size()),
+            rep == Rep::Packed ? PostingCodec::Packed
+                               : PostingCodec::Varint);
     }
 };
 
@@ -78,9 +89,14 @@ class CursorConformance : public ::testing::TestWithParam<Rep>
 
 INSTANTIATE_TEST_SUITE_P(
     Representations, CursorConformance,
-    ::testing::Values(Rep::Raw, Rep::Compressed),
+    ::testing::Values(Rep::Raw, Rep::Varint, Rep::Packed),
     [](const ::testing::TestParamInfo<Rep> &info) {
-        return info.param == Rep::Raw ? "Raw" : "Compressed";
+        switch (info.param) {
+          case Rep::Raw: return "Raw";
+          case Rep::Varint: return "Varint";
+          case Rep::Packed: return "Packed";
+        }
+        return "Unknown";
     });
 
 TEST_P(CursorConformance, EmptyListIsExhausted)
@@ -168,7 +184,7 @@ TEST_P(CursorConformance, ExactlyOneBlock)
     for (std::size_t d = 0; d < docs.size(); ++d)
         docs[d] = static_cast<DocId>(2 * d + 1);
     CursorSource src = make(docs);
-    if (GetParam() == Rep::Compressed)
+    if (GetParam() != Rep::Raw)
         EXPECT_TRUE(src.skip_entries.empty()); // first block: no skip
     PostingCursor cursor = src.cursor();
     EXPECT_EQ(cursor.toDocSet(), docs);
@@ -180,7 +196,7 @@ TEST_P(CursorConformance, OneBlockPlusOne)
     for (std::size_t d = 0; d < docs.size(); ++d)
         docs[d] = static_cast<DocId>(5 * d);
     CursorSource src = make(docs);
-    if (GetParam() == Rep::Compressed) {
+    if (GetParam() != Rep::Raw) {
         ASSERT_EQ(src.skip_entries.size(), 1u);
         EXPECT_EQ(src.skip_entries[0].first_doc, docs.back());
     }
@@ -270,6 +286,94 @@ TEST_P(CursorConformance, MaxDeltaVarints)
     PostingCursor cursor2 = high.cursor();
     ASSERT_TRUE(cursor2.seekGE(max_doc));
     EXPECT_EQ(cursor2.doc(), max_doc);
+}
+
+TEST_P(CursorConformance, EdgeListLengths)
+{
+    // 1 / 127 / 128 / 129 postings: the tail-only, almost-full,
+    // exactly-one-full-block and full-block-plus-tail shapes.
+    for (std::size_t n : {std::size_t(1), posting_block_docs - 1,
+                          posting_block_docs,
+                          posting_block_docs + 1}) {
+        std::vector<DocId> docs(n);
+        for (std::size_t d = 0; d < n; ++d)
+            docs[d] = static_cast<DocId>(6 * d + 3);
+        CursorSource src = make(docs);
+
+        PostingCursor walk = src.cursor();
+        EXPECT_EQ(walk.toDocSet(), docs) << "n=" << n;
+
+        PostingCursor seek = src.cursor();
+        ASSERT_TRUE(seek.seekGE(docs.back())) << "n=" << n;
+        EXPECT_EQ(seek.doc(), docs.back());
+        EXPECT_FALSE(seek.seekGE(docs.back() + 1));
+
+        PostingCursor gap = src.cursor();
+        ASSERT_TRUE(gap.seekGE(docs.back() - 1)) << "n=" << n;
+        EXPECT_EQ(gap.doc(), docs.back());
+    }
+}
+
+TEST_P(CursorConformance, MaxWidthDeltaInFullBlock)
+{
+    // 127 consecutive docs, then a jump to the top of the doc space:
+    // the full block needs 32-bit deltas (packed width 32, 5-byte
+    // varints), and the endpoints must round-trip exactly.
+    std::vector<DocId> docs;
+    for (DocId d = 0; d < posting_block_docs - 1; ++d)
+        docs.push_back(d);
+    docs.push_back(invalid_doc - 1); // 0xfffffffe
+    CursorSource src = make(docs);
+
+    PostingCursor cursor = src.cursor();
+    EXPECT_EQ(cursor.toDocSet(), docs);
+
+    PostingCursor seek = src.cursor();
+    ASSERT_TRUE(seek.seekGE(posting_block_docs - 1));
+    EXPECT_EQ(seek.doc(), invalid_doc - 1);
+}
+
+TEST_P(CursorConformance, BlockViewWalksWholeList)
+{
+    std::vector<DocId> docs(2 * posting_block_docs + 9);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(11 * d);
+    CursorSource src = make(docs);
+
+    PostingCursor cursor = src.cursor();
+    std::vector<DocId> seen;
+    while (cursor.valid()) {
+        const DocId *p = cursor.blockDocs();
+        const std::size_t n = cursor.blockRemaining();
+        ASSERT_GT(n, 0u);
+        EXPECT_EQ(p[0], cursor.doc());
+        seen.insert(seen.end(), p, p + n);
+        cursor.skipInBlock(n);
+    }
+    EXPECT_EQ(seen, docs);
+    EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST_P(CursorConformance, PartialSkipInBlockMatchesNext)
+{
+    std::vector<DocId> docs(posting_block_docs + 40);
+    for (std::size_t d = 0; d < docs.size(); ++d)
+        docs[d] = static_cast<DocId>(2 * d + 1);
+    CursorSource src = make(docs);
+
+    PostingCursor bulk = src.cursor();
+    PostingCursor step = src.cursor();
+    while (bulk.valid()) {
+        const std::size_t n =
+            std::min<std::size_t>(3, bulk.blockRemaining());
+        bulk.skipInBlock(n);
+        for (std::size_t i = 0; i < n; ++i)
+            step.next();
+        ASSERT_EQ(bulk.valid(), step.valid());
+        if (bulk.valid())
+            ASSERT_EQ(bulk.doc(), step.doc());
+        ASSERT_EQ(bulk.remaining(), step.remaining());
+    }
 }
 
 TEST_P(CursorConformance, CopiedCursorContinuesIndependently)
@@ -378,48 +482,179 @@ randomDocs(Rng &rng, std::size_t max_len, DocId max_gap)
     return docs;
 }
 
-TEST(PostingBlock, RandomizedRawVsCompressedEquivalence)
+TEST(PostingBlock, RandomizedThreeCodecEquivalence)
 {
     Rng rng(20260727);
     for (int round = 0; round < 60; ++round) {
-        // Mix densities: dense lists exercise 1-byte deltas, sparse
-        // ones multi-byte varints and skip jumps.
+        // Mix densities: dense lists exercise 1-byte deltas and
+        // narrow packed widths, sparse ones multi-byte varints, wide
+        // packed lanes and skip jumps.
         DocId max_gap = round % 3 == 0   ? 3
                         : round % 3 == 1 ? 700
                                          : 2'000'000;
         std::vector<DocId> docs =
             randomDocs(rng, 4 * posting_block_docs + 50, max_gap);
         CursorSource raw(Rep::Raw, docs);
-        CursorSource compressed(Rep::Compressed, docs);
+        CursorSource varint(Rep::Varint, docs);
+        CursorSource packed(Rep::Packed, docs);
 
         // Full-iteration equivalence.
         {
-            PostingCursor a = raw.cursor();
-            PostingCursor b = compressed.cursor();
-            EXPECT_EQ(a.toDocSet(), b.toDocSet());
+            EXPECT_EQ(raw.cursor().toDocSet(), docs);
+            EXPECT_EQ(varint.cursor().toDocSet(), docs);
+            EXPECT_EQ(packed.cursor().toDocSet(), docs);
         }
 
-        // Random interleaving of next() and seekGE() must keep the
-        // two cursors in lockstep.
+        // Random interleaving of next() and seekGE() must keep all
+        // three cursors in lockstep.
         PostingCursor a = raw.cursor();
-        PostingCursor b = compressed.cursor();
+        PostingCursor b = varint.cursor();
+        PostingCursor c = packed.cursor();
         while (a.valid()) {
             ASSERT_TRUE(b.valid());
+            ASSERT_TRUE(c.valid());
             ASSERT_EQ(a.doc(), b.doc());
+            ASSERT_EQ(a.doc(), c.doc());
             ASSERT_EQ(a.remaining(), b.remaining());
+            ASSERT_EQ(a.remaining(), c.remaining());
             if (rng.nextU64() % 2 == 0) {
                 a.next();
                 b.next();
+                c.next();
             } else {
                 DocId target =
                     a.doc() + static_cast<DocId>(rng.nextU64() % 5000);
-                ASSERT_EQ(a.seekGE(target), b.seekGE(target));
+                const bool hit = a.seekGE(target);
+                ASSERT_EQ(b.seekGE(target), hit);
+                ASSERT_EQ(c.seekGE(target), hit);
             }
         }
         EXPECT_FALSE(b.valid());
+        EXPECT_FALSE(c.valid());
         EXPECT_EQ(a.remaining(), 0u);
         EXPECT_EQ(b.remaining(), 0u);
+        EXPECT_EQ(c.remaining(), 0u);
     }
+}
+
+// ----------------------------------------------------------------------
+// Scalar vs SIMD lockstep fuzzing.
+// ----------------------------------------------------------------------
+
+TEST(PostingSimd, LevelIsKnown)
+{
+    const std::string level = postingSimdLevel();
+    EXPECT_TRUE(level == "avx2" || level == "sse2" ||
+                level == "scalar")
+        << level;
+#if defined(DSEARCH_FORCE_SCALAR)
+    EXPECT_EQ(level, "scalar");
+#endif
+}
+
+TEST(PostingSimd, PackedDecodeScalarSimdLockstepOnRandomBits)
+{
+    // The scalar decoder is defined to match the SIMD one bit for bit
+    // on ARBITRARY payload bytes (both decode the pad slot), so we
+    // can fuzz with raw random bits — no need to construct valid
+    // delta streams.
+    Rng rng(20260808);
+    for (int round = 0; round < 500; ++round) {
+        const std::uint8_t width =
+            static_cast<std::uint8_t>(rng.nextU64() % 33);
+        std::vector<std::uint8_t> blockb;
+        const std::uint32_t first =
+            static_cast<std::uint32_t>(rng.nextU64());
+        blockb.push_back(static_cast<std::uint8_t>(first));
+        blockb.push_back(static_cast<std::uint8_t>(first >> 8));
+        blockb.push_back(static_cast<std::uint8_t>(first >> 16));
+        blockb.push_back(static_cast<std::uint8_t>(first >> 24));
+        blockb.push_back(width);
+        for (std::size_t i = 0; i < 16u * width; ++i)
+            blockb.push_back(
+                static_cast<std::uint8_t>(rng.nextU64()));
+        ASSERT_EQ(blockb.size(), packedBlockBytes(width));
+
+        DocId simd_out[posting_block_docs];
+        DocId scalar_out[posting_block_docs];
+        const std::uint8_t *simd_end =
+            decodePackedBlock(blockb.data(), simd_out);
+        const std::uint8_t *scalar_end =
+            decodePackedBlockScalar(blockb.data(), scalar_out);
+        ASSERT_EQ(simd_end, blockb.data() + blockb.size());
+        ASSERT_EQ(scalar_end, blockb.data() + blockb.size());
+        ASSERT_EQ(std::memcmp(simd_out, scalar_out, sizeof simd_out),
+                  0)
+            << "round " << round << " width " << int(width);
+    }
+}
+
+TEST(PostingSimd, IntersectScalarSimdLockstep)
+{
+    Rng rng(20260809);
+    for (int round = 0; round < 300; ++round) {
+        const DocId max_gap = round % 2 == 0 ? 2 : 900;
+        std::vector<DocId> a = randomDocs(rng, 260, max_gap);
+        std::vector<DocId> b = randomDocs(rng, 260, max_gap);
+        if (round % 17 == 0)
+            a.clear(); // empty-side edge
+        const std::size_t cap = std::min(a.size(), b.size());
+
+        std::vector<DocId> expected;
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(expected));
+
+        std::vector<DocId> simd_out(cap + 1, invalid_doc);
+        std::vector<DocId> scalar_out(cap + 1, invalid_doc);
+        const std::size_t ns = intersectU32(
+            a.data(), a.size(), b.data(), b.size(), simd_out.data());
+        const std::size_t nc =
+            intersectU32Scalar(a.data(), a.size(), b.data(), b.size(),
+                               scalar_out.data());
+        ASSERT_EQ(ns, expected.size()) << "round " << round;
+        ASSERT_EQ(nc, expected.size()) << "round " << round;
+        ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                               simd_out.begin()));
+        ASSERT_TRUE(std::equal(expected.begin(), expected.end(),
+                               scalar_out.begin()));
+        // Neither kernel may write past min(na, nb) results.
+        EXPECT_EQ(simd_out[cap], invalid_doc);
+        EXPECT_EQ(scalar_out[cap], invalid_doc);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Metadata queries never decode posting blocks.
+// ----------------------------------------------------------------------
+
+TEST(PostingCursorMetadata, CountNeverDecodesBlocks)
+{
+    InvertedIndex index;
+    TermBlock b;
+    b.addTerm("t");
+    for (DocId doc = 0; doc < 4 * posting_block_docs; ++doc) {
+        b.doc = 3 * doc;
+        index.addBlock(b);
+    }
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+
+    // df via the metadata accessor: no cursor, no decode.
+    const std::uint64_t before = postingBlocksDecoded();
+    EXPECT_EQ(snapshot.termDocCount("t"), 4 * posting_block_docs);
+    EXPECT_EQ(snapshot.termDocCount("missing"), 0u);
+    EXPECT_EQ(postingBlocksDecoded(), before);
+
+    // Cursor construction decodes exactly the first block; count()
+    // comes from the term header and decodes nothing further.
+    PostingCursor cursor = snapshot.cursor("t");
+    EXPECT_EQ(postingBlocksDecoded(), before + 1);
+    EXPECT_EQ(cursor.count(), 4 * posting_block_docs);
+    EXPECT_EQ(cursor.remaining(), 4 * posting_block_docs);
+    EXPECT_EQ(postingBlocksDecoded(), before + 1);
+
+    // Walking the list decodes the remaining blocks, one each.
+    EXPECT_EQ(cursor.toDocSet().size(), 4 * posting_block_docs);
+    EXPECT_EQ(postingBlocksDecoded(), before + 4);
 }
 
 // ----------------------------------------------------------------------

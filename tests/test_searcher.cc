@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "search/searcher.hh"
+#include "util/rng.hh"
 
 namespace dsearch {
 namespace {
@@ -155,6 +156,49 @@ TEST(SearcherEmptyDoc, MatchesEmptyDocumentPredicate)
         Query::parse("NOT a AND NOT b").root()));
     EXPECT_FALSE(matchesEmptyDocument(
         Query::parse("NOT NOT a").root()));
+}
+
+TEST(SearcherIntersect, RandomizedTermCursorsMatchSetFold)
+{
+    // The bulk SIMD AND path (intersectTermCursors) must agree with
+    // folding intersectSets over fully materialized lists, across
+    // random multi-term indexes of mixed densities.
+    Rng rng(20260810);
+    for (int round = 0; round < 40; ++round) {
+        const std::size_t nterms = 2 + rng.nextU64() % 3;
+        const DocId ndocs =
+            64 + static_cast<DocId>(rng.nextU64() % 700);
+        InvertedIndex index;
+        std::vector<std::string> terms;
+        for (std::size_t t = 0; t < nterms; ++t)
+            terms.push_back("t" + std::to_string(t));
+        TermBlock b;
+        for (DocId doc = 0; doc < ndocs; ++doc) {
+            b.clear();
+            b.doc = doc;
+            for (std::size_t t = 0; t < nterms; ++t) {
+                // Term t matches with density ~1/(t+2).
+                if (rng.nextU64() % (t + 2) == 0)
+                    b.addTerm(terms[t]);
+            }
+            if (!b.empty())
+                index.addBlock(b);
+        }
+        IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+
+        DocSet expected;
+        bool first = true;
+        std::vector<PostingCursor> cursors;
+        for (const std::string &term : terms) {
+            PostingCursor cursor = snapshot.cursor(term);
+            DocSet docs = cursor.toDocSet();
+            expected = first ? docs : intersectSets(expected, docs);
+            first = false;
+            cursors.push_back(snapshot.cursor(term));
+        }
+        EXPECT_EQ(intersectTermCursors(std::move(cursors)), expected)
+            << "round " << round;
+    }
 }
 
 TEST(SearcherUniverse, EmptyIndexNotQuery)

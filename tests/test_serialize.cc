@@ -1,14 +1,16 @@
 /**
  * @file
- * Unit tests for index persistence (index/serialize.hh): the v2
- * sealed-segment format (compressed blocks verbatim), the legacy v1
- * raw format including a checked-in back-compat fixture, and
- * corruption detection for both.
+ * Unit tests for index persistence (index/serialize.hh): the sealed
+ * formats (v3 bit-packed by default, v2 varint for segments sealed or
+ * loaded with that codec — compressed blocks verbatim either way),
+ * the legacy v1 raw format, checked-in v1/v2 back-compat fixtures,
+ * and corruption detection for all of them.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -218,14 +220,14 @@ serializeSnapshotToString(const IndexSnapshot &snapshot,
     return out.str();
 }
 
-TEST(SerializeV2, SnapshotRoundTripPreservesContents)
+TEST(SerializeSealed, SnapshotRoundTripPreservesContents)
 {
     InvertedIndex index;
     DocTable docs;
     makeSample(index, docs);
     IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
     std::string bytes = serializeSnapshotToString(snapshot, docs);
-    EXPECT_EQ(bytes[4], 2); // version field
+    EXPECT_EQ(bytes[4], 3); // version field (bit-packed seal)
 
     IndexSnapshot loaded;
     DocTable loaded_docs;
@@ -238,7 +240,7 @@ TEST(SerializeV2, SnapshotRoundTripPreservesContents)
     EXPECT_EQ(loaded_docs.sizeBytes(2), 300u);
 }
 
-TEST(SerializeV2, MultiBlockListsRoundTripLosslessly)
+TEST(SerializeSealed, MultiBlockListsRoundTripLosslessly)
 {
     // > 2 blocks, so skip entries go to disk and back.
     InvertedIndex index;
@@ -265,7 +267,7 @@ TEST(SerializeV2, MultiBlockListsRoundTripLosslessly)
     EXPECT_EQ(cursor.doc(), 9000u);
 }
 
-TEST(SerializeV2, CanonicalBytesIndependentOfInsertionOrder)
+TEST(SerializeSealed, CanonicalBytesIndependentOfInsertionOrder)
 {
     InvertedIndex a, b;
     DocTable docs;
@@ -282,7 +284,7 @@ TEST(SerializeV2, CanonicalBytesIndependentOfInsertionOrder)
                                   docs));
 }
 
-TEST(SerializeV2, EmptySnapshotRoundTrips)
+TEST(SerializeSealed, EmptySnapshotRoundTrips)
 {
     IndexSnapshot snapshot;
     DocTable docs;
@@ -295,7 +297,7 @@ TEST(SerializeV2, EmptySnapshotRoundTrips)
     EXPECT_EQ(loaded_docs.docCount(), 0u);
 }
 
-TEST(SerializeV2, LoadsIntoMutableIndex)
+TEST(SerializeSealed, LoadsIntoMutableIndex)
 {
     // loadIndex() must decode v2 blocks back into raw posting lists.
     InvertedIndex index;
@@ -314,7 +316,7 @@ TEST(SerializeV2, LoadsIntoMutableIndex)
     EXPECT_TRUE(sameContents(expected, loaded));
 }
 
-TEST(SerializeV2, DetectsPayloadCorruptionAndTruncation)
+TEST(SerializeSealed, DetectsPayloadCorruptionAndTruncation)
 {
     InvertedIndex index;
     DocTable docs;
@@ -343,6 +345,89 @@ TEST(SerializeV2, DetectsPayloadCorruptionAndTruncation)
             << "accepted truncation to " << keep << " bytes";
     }
     setLogLevel(LogLevel::Info);
+}
+
+TEST(SerializeSealed, PackedAndVarintSealsAgreeOnContents)
+{
+    // The two codecs are different bytes for the same list; loading
+    // either must produce the same logical index.
+    InvertedIndex a, b;
+    DocTable docs;
+    TermBlock block;
+    block.addTerm("common");
+    for (DocId doc = 0; doc < 1000; ++doc) {
+        docs.add("/f" + std::to_string(doc), doc);
+        block.doc = doc * 7;
+        a.addBlock(block);
+        b.addBlock(block);
+    }
+    IndexSnapshot packed =
+        IndexSnapshot::seal(std::move(a), PostingCodec::Packed);
+    IndexSnapshot varint =
+        IndexSnapshot::seal(std::move(b), PostingCodec::Varint);
+
+    for (const std::string &bytes :
+         {serializeSnapshotToString(packed, docs),
+          serializeSnapshotToString(varint, docs)}) {
+        IndexSnapshot loaded;
+        DocTable loaded_docs;
+        std::istringstream in(bytes, std::ios::binary);
+        ASSERT_TRUE(loadSnapshot(loaded, loaded_docs, in));
+        EXPECT_EQ(contents(loaded), contents(packed));
+    }
+}
+
+TEST(SerializeV2, VarintSealWritesV2AndRoundTripsByteIdentically)
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    IndexSnapshot snapshot =
+        IndexSnapshot::seal(std::move(index), PostingCodec::Varint);
+    std::string bytes = serializeSnapshotToString(snapshot, docs);
+    EXPECT_EQ(bytes[4], 2); // varint segments keep the v2 format
+
+    IndexSnapshot loaded;
+    DocTable loaded_docs;
+    std::istringstream in(bytes, std::ios::binary);
+    ASSERT_TRUE(loadSnapshot(loaded, loaded_docs, in));
+    EXPECT_EQ(contents(loaded), contents(snapshot));
+
+    // A loaded v2 segment keeps its codec: re-saving transcodes
+    // nothing and reproduces the file byte for byte.
+    EXPECT_EQ(serializeSnapshotToString(loaded, loaded_docs), bytes);
+}
+
+TEST(SerializeV2, BackCompatFixtureLoads)
+{
+    // tests/data/v2_snapshot.idx is a checked-in version 2 file with
+    // the same corpus as the v1 fixture: 300 docs; "common" in every
+    // even doc, "weekly" every 7th, "third" every 3rd, "answer" only
+    // in doc 42. It must keep loading (and re-saving as v2)
+    // regardless of what fresh seals write.
+    const std::string path =
+        std::string(DSEARCH_TEST_DATA_DIR) + "/v2_snapshot.idx";
+
+    IndexSnapshot snapshot;
+    DocTable docs;
+    ASSERT_TRUE(loadSnapshotFile(snapshot, docs, path));
+    ASSERT_EQ(docs.docCount(), 300u);
+    EXPECT_EQ(docs.path(7), "/corpus/f7.txt");
+    EXPECT_EQ(snapshot.termCount(), 4u);
+    EXPECT_EQ(snapshot.cursor("common").count(), 150u);
+    EXPECT_EQ(snapshot.cursor("answer").toDocSet(),
+              (std::vector<DocId>{42}));
+    PostingCursor weekly = snapshot.cursor("weekly");
+    ASSERT_TRUE(weekly.seekGE(100));
+    EXPECT_EQ(weekly.doc(), 105u);
+
+    // Byte-identical v2 round trip through the current writer.
+    std::string resaved = serializeSnapshotToString(snapshot, docs);
+    EXPECT_EQ(resaved[4], 2);
+    std::ifstream original(path, std::ios::binary);
+    std::stringstream pristine;
+    pristine << original.rdbuf();
+    EXPECT_EQ(resaved, pristine.str());
 }
 
 TEST(SerializeV1, CurrentWriterStillLoadsAsSnapshot)
@@ -395,12 +480,12 @@ TEST(SerializeV1, BackCompatFixtureLoads)
     EXPECT_EQ(index.postings("third")->size(), 100u);
 
     // And a v1 file re-saved through the snapshot path upgrades to
-    // v2 with identical contents.
-    std::string v2_bytes = serializeSnapshotToString(snapshot, docs);
-    EXPECT_EQ(v2_bytes[4], 2);
+    // the current (bit-packed v3) format with identical contents.
+    std::string v3_bytes = serializeSnapshotToString(snapshot, docs);
+    EXPECT_EQ(v3_bytes[4], 3);
     IndexSnapshot reloaded;
     DocTable docs3;
-    std::istringstream in(v2_bytes, std::ios::binary);
+    std::istringstream in(v3_bytes, std::ios::binary);
     ASSERT_TRUE(loadSnapshot(reloaded, docs3, in));
     EXPECT_EQ(contents(reloaded), contents(snapshot));
 }

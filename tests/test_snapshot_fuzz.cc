@@ -6,10 +6,13 @@
  * disk, or a hostile file put on disk, it must return a clean false
  * with empty outputs — never crash, never OOM, never half-populate.
  * This suite drives it with deterministic (seeded Rng) corruption of
- * real v1 and v2 snapshot images — single bit-flips and truncations
- * at sampled offsets — plus hand-crafted "header bomb" frames whose
- * counts and sizes claim more than the stream holds. Runs under
- * ASan/UBSan via scripts/check_sanitize.sh (the check_asan_ /
+ * real v1, v2 and v3 snapshot images — single bit-flips and
+ * truncations at sampled offsets — plus hand-crafted "header bomb"
+ * frames whose counts and sizes claim more than the stream holds and
+ * malformed bit-packed v3 term records (bad widths, truncated packed
+ * payloads, nonzero pad slots) that must fail structural validation
+ * without over-reading. Runs under ASan/UBSan via
+ * scripts/check_sanitize.sh (the check_asan_ /
  * check_ubsan_snapshot_fuzz ctest gates).
  */
 
@@ -65,13 +68,38 @@ v1Bytes()
     return out.str();
 }
 
-/** Version 2 (sealed compressed) snapshot image. */
+/** Version 2 (sealed varint) snapshot image. */
 std::string
 v2Bytes()
 {
     InvertedIndex index;
     DocTable docs;
     makeSample(index, docs);
+    IndexSnapshot snapshot =
+        IndexSnapshot::seal(std::move(index), PostingCodec::Varint);
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(saveSnapshot(snapshot, docs, out));
+    return out.str();
+}
+
+/**
+ * Version 3 (sealed bit-packed) snapshot image, with a posting list
+ * long enough to carry full packed blocks (and a skip index), so the
+ * fuzzers actually exercise the packed validator and decoder.
+ */
+std::string
+v3Bytes()
+{
+    InvertedIndex index;
+    DocTable docs;
+    makeSample(index, docs);
+    TermBlock dense;
+    dense.addTerm("common");
+    for (DocId doc = 4; doc < 4 + 300; ++doc) {
+        docs.add("/docs/f" + std::to_string(doc) + ".txt", doc);
+        dense.doc = doc;
+        index.addBlock(dense);
+    }
     IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
     std::ostringstream out(std::ios::binary);
     EXPECT_TRUE(saveSnapshot(snapshot, docs, out));
@@ -137,7 +165,13 @@ frame(std::uint32_t version, const std::string &payload)
     putU32(bytes, version);
     putU64(bytes, payload.size());
     bytes += payload;
-    putU64(bytes, fnv1a_64(payload));
+    // v3 folds the version field into the checksum (serialize.hh);
+    // v1/v2 hash the payload alone.
+    std::string hashed;
+    if (version >= 3)
+        putU32(hashed, version);
+    hashed += payload;
+    putU64(bytes, fnv1a_64(hashed));
     return bytes;
 }
 
@@ -225,6 +259,13 @@ TEST_F(SnapshotFuzz, V2TruncationsNeverLoad)
     fuzzTruncations(v2Bytes(), "v2");
 }
 
+TEST_F(SnapshotFuzz, V3BitFlipsNeverLoad) { fuzzBitFlips(v3Bytes(), "v3"); }
+
+TEST_F(SnapshotFuzz, V3TruncationsNeverLoad)
+{
+    fuzzTruncations(v3Bytes(), "v3");
+}
+
 TEST_F(SnapshotFuzz, PristineImagesStillLoad)
 {
     // The fuzzers above prove corruption is rejected; this pins that
@@ -238,6 +279,12 @@ TEST_F(SnapshotFuzz, PristineImagesStillLoad)
         EXPECT_EQ(docs.docCount(), 4u);
         EXPECT_FALSE(snapshot.empty());
     }
+    IndexSnapshot snapshot;
+    DocTable docs;
+    std::istringstream in(v3Bytes(), std::ios::binary);
+    EXPECT_TRUE(loadSnapshot(snapshot, docs, in));
+    EXPECT_EQ(docs.docCount(), 304u);
+    EXPECT_EQ(snapshot.cursor("common").count(), 304u);
 }
 
 TEST_F(SnapshotFuzz, HugePayloadSizeFailsWithoutAllocating)
@@ -308,6 +355,98 @@ TEST_F(SnapshotFuzz, HugeByteLenV2FailsBeforeArenaAllocation)
     putU32(payload, 1);          // doc_count of the list
     putU32(payload, 0xffffffff); // byte_len bomb
     expectRejected(frame(2, payload), "v2 byte_len bomb");
+}
+
+/**
+ * A v3 payload holding one hand-built 128-doc term record: empty doc
+ * table, then term "t" with the given packed block bytes. 128 docs is
+ * exactly one full (packed) block, so there is no skip index and no
+ * varint tail — whatever @p blocks holds is what the packed validator
+ * sees.
+ */
+std::string
+v3PackedTermPayload(const std::string &blocks)
+{
+    std::string payload;
+    putU64(payload, 0); // doc_count
+    putU32(payload, 128); // block_docs (posting_block_docs)
+    putU64(payload, 1); // term_count
+    putU32(payload, 1); // term length
+    payload.push_back('t');
+    putU32(payload, 128); // doc_count of the list
+    putU32(payload, static_cast<std::uint32_t>(blocks.size()));
+    payload += blocks;
+    return payload;
+}
+
+/** One packed block: u32 first_doc, u8 width, @p body payload bytes. */
+std::string
+packedBlock(std::uint32_t first_doc, std::uint8_t width,
+            std::string body)
+{
+    std::string block;
+    putU32(block, first_doc);
+    block.push_back(static_cast<char>(width));
+    block += body;
+    return block;
+}
+
+TEST_F(SnapshotFuzz, V3PackedWidthBombRejected)
+{
+    // Width 33 cannot encode a u32 delta; the validator must reject
+    // it even though the byte length (5 + 16*33) is self-consistent.
+    expectRejected(
+        frame(3, v3PackedTermPayload(
+                     packedBlock(0, 33, std::string(16 * 33, '\0')))),
+        "v3 packed width 33");
+    // Width 255: the size check alone must not be fooled either.
+    expectRejected(
+        frame(3, v3PackedTermPayload(
+                     packedBlock(0, 255, std::string(16 * 255, '\0')))),
+        "v3 packed width 255");
+}
+
+TEST_F(SnapshotFuzz, V3PackedTruncatedPayloadRejected)
+{
+    // A width-4 block owes 16*4 payload bytes; every shorter payload
+    // must fail validation before any decoder reads past byte_len.
+    for (std::size_t have : {std::size_t(0), std::size_t(1),
+                             std::size_t(16 * 4 - 1)}) {
+        expectRejected(
+            frame(3, v3PackedTermPayload(
+                         packedBlock(0, 4, std::string(have, '\0')))),
+            "v3 packed payload truncated to "
+                + std::to_string(have) + " bytes");
+    }
+    // Header-only block (no width byte at all).
+    std::string header_only;
+    putU32(header_only, 0);
+    expectRejected(frame(3, v3PackedTermPayload(header_only)),
+                   "v3 packed block without width byte");
+}
+
+TEST_F(SnapshotFuzz, V3PackedNonzeroPadRejected)
+{
+    // Slot 0 of a packed block is padding and must encode 0 (the
+    // canonical form the scalar/SIMD decoders agree on); a width-1
+    // block with the pad bit set must be rejected.
+    std::string body(16, '\0');
+    body[0] = '\x01'; // lane 0, word 0, bit 0 = value slot 0
+    expectRejected(frame(3, v3PackedTermPayload(packedBlock(0, 1,
+                                                            body))),
+                   "v3 packed nonzero pad");
+}
+
+TEST_F(SnapshotFuzz, V3PackedOverflowingDocsRejected)
+{
+    // first_doc near the DocId ceiling with max-width deltas walks
+    // past 2^32; the validator accumulates in 64 bits and must
+    // reject the wraparound rather than accept a non-ascending list.
+    std::string body(16 * 32, '\xff');
+    expectRejected(
+        frame(3, v3PackedTermPayload(
+                     packedBlock(0xfffffff0u, 32, body))),
+        "v3 packed doc overflow");
 }
 
 TEST_F(SnapshotFuzz, HugeSkipCountV2FailsBeforeReserve)
