@@ -34,7 +34,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -46,11 +48,14 @@
 
 #include "core/index_generator.hh"
 #include "fs/corpus.hh"
+#include "index/doc_table.hh"
 #include "index/index_snapshot.hh"
 #include "index/inverted_index.hh"
 #include "index/posting_block.hh"
 #include "index/posting_cursor.hh"
 #include "pipeline/blocking_queue.hh"
+#include "search/plan.hh"
+#include "search/ranked.hh"
 #include "search/searcher.hh"
 #include "text/tokenizer.hh"
 #include "util/fnv_hash.hh"
@@ -768,11 +773,178 @@ runIntersection()
     return m;
 }
 
+// ----------------------------------------------------------------------
+// Query execution head-to-head: the legacy recursive AST walk
+// (evalQueryNode + the inline ranked loop it used to feed) versus the
+// planner/operator path every serving tier now runs (compile a
+// QueryPlan per request, evaluate its operator tree). The plan side
+// pays compilation per query — exactly the production shape — so the
+// gated ratio proves the refactor costs nothing end to end.
+// ----------------------------------------------------------------------
+
+struct QueryExecMetrics
+{
+    std::uint64_t queries = 0; ///< Evaluations per timed pass.
+    double legacy_seconds = 0;
+    double plan_seconds = 0;
+
+    double legacyQps() const { return queries / legacy_seconds; }
+    double planQps() const { return queries / plan_seconds; }
+    /** > 1 means the planner path answers faster than the AST walk. */
+    double speedup() const { return legacy_seconds / plan_seconds; }
+};
+
+/** The pre-planner ranked loop, inlined as the legacy side. */
+std::vector<ScoredHit>
+legacyRankedTopK(const IndexSnapshot &snapshot, const DocTable &docs,
+                 const DocSet &universe, const Query &query,
+                 std::size_t k)
+{
+    DocSet matches =
+        evalQueryNode(snapshot.segment(0), universe, query.root());
+    if (matches.empty())
+        return {};
+    std::vector<double> scores(matches.size(), 0.0);
+    for (const std::string &term : positiveTerms(query.root())) {
+        const std::size_t df = snapshot.termDocCount(term);
+        if (df == 0)
+            continue;
+        accumulateCursor(matches, snapshot.cursor(term),
+                         idfFromCounts(docs.docCount(), df), scores);
+    }
+    std::vector<ScoredHit> hits;
+    hits.reserve(matches.size());
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+        double penalty = std::log(
+            2.0 + static_cast<double>(docs.sizeBytes(matches[i])));
+        hits.push_back(ScoredHit{matches[i], scores[i] / penalty});
+    }
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const ScoredHit &a, const ScoredHit &b) {
+                         if (a.score != b.score)
+                             return a.score > b.score;
+                         return a.doc < b.doc;
+                     });
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+QueryExecMetrics
+runQueryExec()
+{
+    // A synthetic unified snapshot with Zipf-flavoured term densities:
+    // t0 matches roughly half the corpus, t19 a sliver — the skew that
+    // makes df-ordering and the bulk AND kernel matter.
+    constexpr std::size_t vocab = 20;
+    constexpr DocId doc_count = 100000;
+    Rng rng(0x9e7a);
+    InvertedIndex index;
+    DocTable docs;
+    for (DocId doc = 0; doc < doc_count; ++doc) {
+        TermBlock block;
+        block.doc = doc;
+        bool any = false;
+        for (std::size_t v = 0; v < vocab; ++v) {
+            if (rng.bernoulli(0.5 / static_cast<double>(v + 1))) {
+                block.addTerm("t" + std::to_string(v));
+                any = true;
+            }
+        }
+        if (any)
+            index.addBlock(block);
+        docs.add("/f" + std::to_string(doc),
+                 100 + rng.uniform(0, 4000));
+    }
+    IndexSnapshot snapshot = IndexSnapshot::seal(std::move(index));
+    Searcher searcher(snapshot, doc_count);
+    RankedSearcher ranked(snapshot, docs);
+    DocSet universe(doc_count);
+    for (DocId doc = 0; doc < doc_count; ++doc)
+        universe[doc] = doc;
+    const SegmentReader segment = snapshot.segment(0);
+
+    // The shapes every tier serves: plain ANDs wide and narrow, an
+    // OR, NOT as a difference, a mixed tree, and a ranked top-10.
+    struct Shape
+    {
+        Query query;
+        bool is_ranked;
+    };
+    std::vector<Shape> shapes;
+    for (const char *text :
+         {"t0 AND t3", "t0 AND t1 AND t2 AND t5", "t4 OR t7 OR t9",
+          "t0 AND NOT t2", "(t0 AND t1) OR (t3 AND NOT t4)"})
+        shapes.push_back(Shape{Query::parse(text), false});
+    shapes.push_back(Shape{Query::parse("t1 AND (t6 OR t8)"), true});
+
+    constexpr int iterations = 30;
+    QueryExecMetrics m;
+    m.queries =
+        static_cast<std::uint64_t>(shapes.size()) * iterations;
+
+    // Cross-check once before timing: both paths must agree.
+    for (const Shape &shape : shapes) {
+        if (shape.is_ranked)
+            continue;
+        const DocSet plan_hits = searcher.run(shape.query);
+        const DocSet legacy_hits =
+            evalQueryNode(segment, universe, shape.query.root());
+        if (plan_hits != legacy_hits)
+            std::cerr << "bench_micro: query_exec mismatch: "
+                      << shape.query.toString() << "\n";
+    }
+
+    const int passes = 5;
+    for (int pass = -1; pass < passes; ++pass) { // pass -1 warms up
+        Timer legacy_timer;
+        std::size_t checksum = 0;
+        for (int i = 0; i < iterations; ++i) {
+            for (const Shape &shape : shapes) {
+                if (shape.is_ranked)
+                    checksum += legacyRankedTopK(snapshot, docs,
+                                                 universe,
+                                                 shape.query, 10)
+                                    .size();
+                else
+                    checksum += evalQueryNode(segment, universe,
+                                              shape.query.root())
+                                    .size();
+            }
+        }
+        const double legacy_s = legacy_timer.elapsedSec();
+        benchmark::DoNotOptimize(checksum);
+
+        Timer plan_timer;
+        checksum = 0;
+        for (int i = 0; i < iterations; ++i) {
+            for (const Shape &shape : shapes) {
+                if (shape.is_ranked)
+                    checksum +=
+                        ranked.topK(shape.query, 10).size();
+                else
+                    checksum += searcher.run(shape.query).size();
+            }
+        }
+        const double plan_s = plan_timer.elapsedSec();
+        benchmark::DoNotOptimize(checksum);
+
+        if (pass < 0)
+            continue;
+        if (pass == 0 || legacy_s < m.legacy_seconds)
+            m.legacy_seconds = legacy_s;
+        if (pass == 0 || plan_s < m.plan_seconds)
+            m.plan_seconds = plan_s;
+    }
+    return m;
+}
+
 void
 writeJson(std::ostream &out, const StageMetrics &legacy,
           const StageMetrics &zero_copy, const SealedMetrics &sealed,
           const CodecDecodeMetrics &decode,
           const IntersectMetrics &intersect,
+          const QueryExecMetrics &query_exec,
           std::size_t corpus_files, std::uint64_t corpus_bytes)
 {
     auto section = [&out](const char *name, const StageMetrics &m,
@@ -822,6 +994,11 @@ writeJson(std::ostream &out, const StageMetrics &legacy,
         << "    \"bulk_postings_per_sec\": "
         << intersect.bulkPostingsPerSec() << ",\n"
         << "    \"speedup\": " << intersect.speedup() << "\n  },\n";
+    out << "  \"query_exec\": {\n"
+        << "    \"queries\": " << query_exec.queries << ",\n"
+        << "    \"legacy_qps\": " << query_exec.legacyQps() << ",\n"
+        << "    \"plan_qps\": " << query_exec.planQps() << ",\n"
+        << "    \"speedup\": " << query_exec.speedup() << "\n  },\n";
     out << "  \"speedup\": "
         << legacy.seconds / zero_copy.seconds << ",\n"
         << "  \"alloc_bytes_per_block_ratio\": "
@@ -861,6 +1038,7 @@ runStage23Comparison()
 
     CodecDecodeMetrics decode = runCodecDecode();
     IntersectMetrics intersect = runIntersection();
+    QueryExecMetrics query_exec = runQueryExec();
 
     std::uint64_t corpus_bytes = 0;
     for (const FileEntry &file : files)
@@ -868,9 +1046,9 @@ runStage23Comparison()
 
     std::ofstream json("BENCH_micro.json");
     writeJson(json, legacy, zero_copy, sealed, decode, intersect,
-              files.size(), corpus_bytes);
+              query_exec, files.size(), corpus_bytes);
     writeJson(std::cout, legacy, zero_copy, sealed, decode, intersect,
-              files.size(), corpus_bytes);
+              query_exec, files.size(), corpus_bytes);
 }
 
 } // namespace

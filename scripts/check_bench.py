@@ -41,6 +41,13 @@ baseline box) is gated against --min-decode-pps (default 1e9) only
 when the canary says the machines are comparable, and reported as
 advisory otherwise.
 
+query_exec.speedup — the planner/operator execution path (compile a
+QueryPlan per query, evaluate its operator tree: what every serving
+tier runs) over the legacy recursive AST walk on the same synthetic
+snapshot — is also a same-machine ratio, gated absolutely at
+>= --min-query-exec-speedup (default 0.95): the unified execution
+layer may not cost more than 5% against the code it replaced.
+
 Advisory metrics (reported, never fatal):
 alloc_bytes_per_block_ratio, sealed_segment.seal_postings_per_sec,
 sealed_segment.decode_postings_per_sec, plus whichever of
@@ -487,6 +494,11 @@ def main():
                         help="minimum bulk-vs-merge intersection "
                              "speedup (absolute gate, "
                              "machine-independent, default 1.2)")
+    parser.add_argument("--min-query-exec-speedup", type=float,
+                        default=0.95,
+                        help="minimum planner-vs-legacy query "
+                             "execution speedup (absolute gate, "
+                             "machine-independent, default 0.95)")
     args = parser.parse_args()
 
     if args.overload and not args.server_bench:
@@ -661,6 +673,24 @@ def main():
           f" / merge {intersect['merge_postings_per_sec']:.3g} "
           f"postings/s, gate >= {args.min_intersect_speedup:.3g}) "
           f"{status}")
+
+    # Planner/operator execution vs the legacy AST walk: a ratio from
+    # one binary on one machine, so it gates absolutely everywhere.
+    # The plan side compiles per query (the production shape); the
+    # gate asserts the refactor never costs more than 5% end to end.
+    query_exec = fresh.get("query_exec")
+    if query_exec is not None:
+        speedup = query_exec["speedup"]
+        status = ("OK" if speedup >= args.min_query_exec_speedup
+                  else "REGRESSION")
+        if speedup < args.min_query_exec_speedup:
+            failures.append("query_exec.speedup")
+        base = baseline.get("query_exec", {}).get("speedup")
+        base_text = f"{base:.3g}" if base is not None else "n/a"
+        print(f"query_exec.speedup: baseline {base_text} -> fresh "
+              f"{speedup:.3g} (plan {query_exec['plan_qps']:.3g} / "
+              f"legacy {query_exec['legacy_qps']:.3g} qps, gate >= "
+              f"{args.min_query_exec_speedup:.3g}) {status}")
 
     for metric in ADVISORY:
         base = baseline.get(metric)

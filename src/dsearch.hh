@@ -98,6 +98,45 @@
  * log-bucket LatencyHistogram (util/stats.hh) instead of
  * concatenating raw sample logs.
  *
+ * Query execution architecture — every tier, one pipeline:
+ *
+ *     parse                plan                      execute
+ *     Query::parse() ->    QueryPlan::compile() ->   CursorOp tree
+ *     (AST, flattened      (canonical, immutable,    (And/Or/Diff/
+ *      + deduplicated)      fingerprinted)            Score over any
+ *                                                     segment set)
+ *
+ * Query::parse() canonicalizes the AST as it builds it: nested
+ * And/Or chains flatten and structurally duplicate operands drop
+ * ("a AND a AND (b AND c)" parses as one 3-way AND). The planner
+ * (search/plan.hh) then compiles the AST into the canonical
+ * execution form: NOT is pushed down via De Morgan until negation
+ * survives only as set difference — Diff(positive, negative) or
+ * Diff(*, x) against the universe — conjunctions hoist their
+ * negatives into a single anti-join, operands sort into a canonical
+ * source-independent order, and AND operands re-order cheapest-df
+ * first when the compiling tier supplies term statistics. Every plan
+ * carries a stable 64-bit structural fingerprint, computed before
+ * df-ordering, so textual variants of the same query ("b AND a",
+ * "a AND (b AND a)") share one identity — the key an upcoming
+ * result cache will live on.
+ *
+ * The plan's operator tree (search/operators.hh) is the one
+ * execution engine: AndOp feeds plain terms to the bulk SIMD
+ * intersection kernel, OrOp k-way heap-merges posting cursors with
+ * block-view bulk copies, DiffOp anti-joins (NOT and live-tier
+ * tombstones alike), ScoreOp accumulates ranked contributions
+ * blockwise. Every serving tier evaluates the same tree over its own
+ * segments: Searcher/RankedSearcher over the sealed snapshot,
+ * LiveSearcher over base + delta segments (tombstones anti-joined
+ * once at the end), MultiSearcher across replicas, and
+ * QueryServer/Broker compile a query exactly once at admission and
+ * ship the immutable plan — never re-parsed text — through queues,
+ * worker pools and shard fan-out (plans are thread-safe to share).
+ * The legacy recursive evaluator survives only as the equivalence
+ * oracle (tests/test_plan_equivalence) and the query_exec bench
+ * baseline in BENCH_micro.json.
+ *
  * Performance: the read side is built to run at memory speed. Sealed
  * posting lists live in one arena per segment as bit-packed 128-doc
  * blocks (SIMD-BP128 style; index/posting_block.hh) decoded by
@@ -152,9 +191,11 @@
  *               read side; joins, persistence, maintenance
  *  - live/      incremental pipeline: re-scan change feed, delta
  *               builds, compaction, crash-safe generations
- *  - search/    boolean, ranked, multi-segment and live (base +
- *               delta + tombstone) query engines (snapshot consumers
- *               only), and the QueryServer serving loop over them
+ *  - search/    the query planner (plan.hh) and cursor-operator
+ *               execution layer (operators.hh); boolean, ranked,
+ *               multi-segment and live (base + delta + tombstone)
+ *               query engines (snapshot consumers only), and the
+ *               QueryServer serving loop over them
  *  - shard/     scatter-gather serving tier: ShardPlanner document
  *               partitioning, Broker fan-out/merge over per-shard
  *               QueryServers with global-df ranked scoring
@@ -198,6 +239,8 @@
 
 #include "search/live_searcher.hh"
 #include "search/multi_searcher.hh"
+#include "search/operators.hh"
+#include "search/plan.hh"
 #include "search/query.hh"
 #include "search/query_server.hh"
 #include "search/ranked.hh"

@@ -2,31 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "search/operators.hh"
 #include "util/logging.hh"
 
 namespace dsearch {
 
 namespace {
 
-/** [first, end) minus the (sorted) tombstones, as a sorted DocSet. */
+/** The contiguous range [first, end) as a sorted DocSet. */
 DocSet
-ownedUniverse(DocId first, DocId end, const DocSet &tombstones)
+rangeUniverse(DocId first, DocId end)
 {
     DocSet universe;
     if (end <= first)
         return universe;
-    auto dead = std::lower_bound(tombstones.begin(), tombstones.end(),
-                                 first);
-    universe.reserve(end - first);
-    for (DocId doc = first; doc < end; ++doc) {
-        if (dead != tombstones.end() && *dead == doc) {
-            ++dead;
-            continue;
-        }
-        universe.push_back(doc);
-    }
+    universe.resize(end - first);
+    std::iota(universe.begin(), universe.end(), first);
     return universe;
+}
+
+/** How many of the (sorted) tombstones fall inside [first, end). */
+std::size_t
+deadInRange(DocId first, DocId end, const DocSet &tombstones)
+{
+    auto lo = std::lower_bound(tombstones.begin(), tombstones.end(),
+                               first);
+    auto hi = std::lower_bound(lo, tombstones.end(), end);
+    return static_cast<std::size_t>(hi - lo);
 }
 
 } // namespace
@@ -51,12 +55,16 @@ LiveSearcher::LiveSearcher(IndexSnapshot base, DocId base_docs,
                   return a.first_doc < b.first_doc;
               });
 
+    // Segment universes are the *full* owned ranges; one tombstone
+    // anti-join per query (DiffOp::apply in run()) replaces the old
+    // per-segment universe punching — see the file comment for why
+    // the two are equivalent.
     _segments.reserve(deltas.size() + 1);
     Segment base_segment;
     base_segment.index = std::move(base);
-    base_segment.universe =
-        ownedUniverse(0, base_docs, _tombstones);
+    base_segment.universe = rangeUniverse(0, base_docs);
     _segments.push_back(std::move(base_segment));
+    _alive += base_docs - deadInRange(0, base_docs, _tombstones);
 
     DocId prev_end = base_docs;
     for (DeltaSegment &delta : deltas) {
@@ -71,20 +79,37 @@ LiveSearcher::LiveSearcher(IndexSnapshot base, DocId base_docs,
         prev_end = delta.end_doc;
         Segment segment;
         segment.index = std::move(delta.index);
-        segment.universe = ownedUniverse(delta.first_doc,
-                                         delta.end_doc, _tombstones);
+        segment.universe =
+            rangeUniverse(delta.first_doc, delta.end_doc);
+        _alive += (delta.end_doc - delta.first_doc)
+                  - deadInRange(delta.first_doc, delta.end_doc,
+                                _tombstones);
         _segments.push_back(std::move(segment));
     }
+}
 
-    for (const Segment &segment : _segments)
-        _alive += segment.universe.size();
+QueryPlan
+LiveSearcher::compilePlan(const Query &query) const
+{
+    return QueryPlan::compile(query,
+                              [this](const std::string &term) {
+                                  return dfAcross(term);
+                              });
 }
 
 DocSet
 LiveSearcher::run(const Query &query) const
 {
-    DocSet hits;
     if (!query.valid())
+        return {};
+    return run(compilePlan(query));
+}
+
+DocSet
+LiveSearcher::run(const QueryPlan &plan) const
+{
+    DocSet hits;
+    if (!plan.valid())
         return hits;
     for (const Segment &segment : _segments) {
         if (segment.universe.empty())
@@ -92,12 +117,14 @@ LiveSearcher::run(const Query &query) const
         SegmentReader reader = segment.index.segmentCount() == 0
             ? SegmentReader()
             : segment.index.segment(0);
-        DocSet part =
-            evalQueryNode(reader, segment.universe, query.root());
+        DocSet part = plan.ops().eval(
+            OpContext{reader, segment.universe});
         // Segments own ascending disjoint ranges: append, stay sorted.
         hits.insert(hits.end(), part.begin(), part.end());
     }
-    return hits;
+    // One anti-join removes every tombstoned document — including
+    // those NOT-dominated plans matched through their All leaf.
+    return DiffOp::apply(std::move(hits), _tombstones);
 }
 
 std::size_t
@@ -116,11 +143,19 @@ LiveSearcher::dfAcross(std::string_view term) const
 std::vector<ScoredHit>
 LiveSearcher::topK(const Query &query, std::size_t k) const
 {
-    std::vector<ScoredHit> hits;
     if (!query.valid() || k == 0)
+        return {};
+    return topK(compilePlan(query), k);
+}
+
+std::vector<ScoredHit>
+LiveSearcher::topK(const QueryPlan &plan, std::size_t k) const
+{
+    std::vector<ScoredHit> hits;
+    if (!plan.valid() || k == 0)
         return hits;
 
-    DocSet matches = run(query);
+    DocSet matches = run(plan);
     if (matches.empty())
         return hits;
 
@@ -133,7 +168,7 @@ LiveSearcher::topK(const Query &query, std::size_t k) const
     // streaming scores each match at most once per term.
     const double n = static_cast<double>(_alive);
     std::vector<double> scores(matches.size(), 0.0);
-    for (const std::string &term : positiveTerms(query.root())) {
+    for (const std::string &term : plan.scoreTerms()) {
         const std::size_t df = dfAcross(term);
         if (df == 0)
             continue;
@@ -145,8 +180,8 @@ LiveSearcher::topK(const Query &query, std::size_t k) const
             SegmentReader reader = segment.index.segment(0);
             if (reader.termDocCount(term) == 0)
                 continue;
-            accumulateCursor(matches, reader.cursor(term), weight,
-                             scores);
+            ScoreOp::apply(matches, reader.cursor(term), weight,
+                           scores);
         }
     }
 

@@ -14,13 +14,20 @@
  *
  * That ownership makes per-segment evaluation exact:
  *
- *  - Boolean: evaluate the query against each segment with the
- *    segment's *owned universe* (its DocId range minus tombstones) —
- *    NOT complements per segment, and the union over disjoint
- *    ascending ranges is a concatenation, already sorted. A document
- *    superseded by a re-index or delete is tombstoned, so its stale
- *    postings in the old segment are clipped out and NOT-dominated
- *    queries do not resurrect it.
+ *  - Boolean: compile the query once into a QueryPlan and evaluate
+ *    the *same* operator tree (search/operators.hh) against each
+ *    segment with the segment's full owned DocId range as the
+ *    universe — NOT complements per segment, and the union over
+ *    disjoint ascending ranges is a concatenation, already sorted.
+ *    Tombstones are then removed once, by a single DiffOp::apply()
+ *    anti-join over the concatenated result: because every leaf is
+ *    clipped to the universe and the plan algebra is built from
+ *    ∩, ∪ and \, evaluating over the full range and subtracting the
+ *    dead set afterwards equals evaluating over the alive universe
+ *    directly (Q(U) \ T == Q(U \ T), by induction over the
+ *    operators). A document superseded by a re-index or delete is
+ *    therefore clipped out, and NOT-dominated queries do not
+ *    resurrect it.
  *
  *  - Ranked: identical scoring model to RankedSearcher — score(d) =
  *    sum of idf(t) over matching positive terms, divided by
@@ -44,6 +51,7 @@
 
 #include "index/doc_table.hh"
 #include "index/index_snapshot.hh"
+#include "search/plan.hh"
 #include "search/query.hh"
 #include "search/ranked.hh"
 #include "search/searcher.hh"
@@ -80,15 +88,31 @@ class LiveSearcher
                  std::vector<DeltaSegment> deltas, DocSet tombstones,
                  const DocTable &docs);
 
-    /** Boolean query; sorted alive matches (see the file comment). */
+    /** Boolean query; sorted alive matches (see the file comment).
+     *  Compiles once via compilePlan() and delegates. */
     DocSet run(const Query &query) const;
+
+    /** run() over a precompiled plan: the one operator tree
+     *  evaluates against every base/delta segment, and tombstones
+     *  are anti-joined once at the end (DiffOp::apply). */
+    DocSet run(const QueryPlan &plan) const;
 
     /**
      * Ranked query: best @p k alive hits, highest score first, ties
-     * toward lower DocIds — RankedSearcher's contract.
+     * toward lower DocIds — RankedSearcher's contract. Compiles once
+     * via compilePlan() and delegates.
      */
     std::vector<ScoredHit> topK(const Query &query,
                                 std::size_t k) const;
+
+    /** topK() over a precompiled plan; scoring iterates the plan's
+     *  scoreTerms() in source order (bit-identical sums). */
+    std::vector<ScoredHit> topK(const QueryPlan &plan,
+                                std::size_t k) const;
+
+    /** Compile @p query with AND operands ordered by df summed
+     *  across this generation's segments (header probes only). */
+    QueryPlan compilePlan(const Query &query) const;
 
     /** @return Alive documents (doc count minus tombstones). */
     std::size_t aliveCount() const { return _alive; }
@@ -105,7 +129,8 @@ class LiveSearcher
     struct Segment
     {
         IndexSnapshot index;  ///< Keeps the segment storage alive.
-        DocSet universe;      ///< Owned range minus tombstones.
+        DocSet universe;      ///< Full owned DocId range (tombstones
+                              ///< included; filtered once per query).
     };
 
     /** Document frequency of @p term summed across segments. */

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "pipeline/thread_pool.hh"
+#include "search/operators.hh"
 #include "util/logging.hh"
 
 namespace dsearch {
@@ -45,7 +46,7 @@ MultiSearcher::ownedDocs(std::size_t i) const
 }
 
 DocSet
-MultiSearcher::combine(const Query &query,
+MultiSearcher::combine(const QueryPlan &plan,
                        std::vector<DocSet> partial) const
 {
     DocSet result;
@@ -53,7 +54,7 @@ MultiSearcher::combine(const Query &query,
         result = uniteSets(result, set);
 
     // Documents that appear in no segment match NOT-style queries.
-    if (!_orphans.empty() && matchesEmptyDocument(query.root()))
+    if (!_orphans.empty() && plan.matchesEmpty())
         result = uniteSets(result, _orphans);
     return result;
 }
@@ -82,16 +83,27 @@ MultiSearcher::run(const Query &query, std::size_t threads) const
 {
     if (!query.valid())
         return {};
+    // Replicas partition a document's postings by *term*, so no one
+    // segment's header df describes the query term: compile without
+    // statistics (the structural order is already deterministic).
+    return run(QueryPlan::compile(query), threads);
+}
+
+DocSet
+MultiSearcher::run(const QueryPlan &plan, std::size_t threads) const
+{
+    if (!plan.valid())
+        return {};
 
     const std::size_t segments = _snapshot.segmentCount();
     if (threads <= 1 || segments <= 1) {
         std::vector<DocSet> partial(segments);
         for (std::size_t i = 0; i < segments; ++i)
-            partial[i] = evalQueryNode(_snapshot.segment(i),
-                                       _owned[i], query.root());
-        return combine(query, std::move(partial));
+            partial[i] = plan.ops().eval(
+                OpContext{_snapshot.segment(i), _owned[i]});
+        return combine(plan, std::move(partial));
     }
-    return run(query, cachedPool(std::min(threads, segments)));
+    return run(plan, cachedPool(std::min(threads, segments)));
 }
 
 DocSet
@@ -113,18 +125,27 @@ MultiSearcher::run(const Query &query, ThreadPool &pool) const
 {
     if (!query.valid())
         return {};
+    return run(QueryPlan::compile(query), pool);
+}
+
+DocSet
+MultiSearcher::run(const QueryPlan &plan, ThreadPool &pool) const
+{
+    if (!plan.valid())
+        return {};
 
     // One task per segment; partial[i] is written by exactly one
     // task, so no synchronization beyond the pool's own is needed.
+    // Every worker evaluates the same immutable operator tree.
     std::vector<DocSet> partial(_snapshot.segmentCount());
     for (std::size_t i = 0; i < partial.size(); ++i) {
-        pool.submit([this, &partial, &query, i] {
-            partial[i] = evalQueryNode(_snapshot.segment(i),
-                                       _owned[i], query.root());
+        pool.submit([this, &partial, &plan, i] {
+            partial[i] = plan.ops().eval(
+                OpContext{_snapshot.segment(i), _owned[i]});
         });
     }
     pool.wait();
-    return combine(query, std::move(partial));
+    return combine(plan, std::move(partial));
 }
 
 } // namespace dsearch

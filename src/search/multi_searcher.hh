@@ -27,6 +27,7 @@
 
 #include "index/index_snapshot.hh"
 #include "pipeline/thread_pool.hh"
+#include "search/plan.hh"
 #include "search/query.hh"
 #include "search/searcher.hh"
 
@@ -47,6 +48,10 @@ class MultiSearcher
     /**
      * Run a query across all segments.
      *
+     * Compiles the query once into a QueryPlan; the same immutable
+     * operator tree then evaluates against every segment (serially
+     * or from pool workers — sharing it is safe, eval() is const).
+     *
      * @param query   Query to evaluate.
      * @param threads Worker threads (1 = evaluate serially; > 1 runs
      *                on a pool cached inside this searcher — created
@@ -57,12 +62,19 @@ class MultiSearcher
      */
     DocSet run(const Query &query, std::size_t threads = 1) const;
 
+    /** run() over a precompiled plan. */
+    DocSet run(const QueryPlan &plan, std::size_t threads = 1) const;
+
     /**
      * Run a query using an existing thread pool, amortizing thread
      * creation across a query stream (the deployment shape the
      * paper's future-work section points at).
      */
     DocSet run(const Query &query, ThreadPool &pool) const;
+
+    /** run() over a precompiled plan on an existing pool: one plan,
+     *  one task per segment, every worker evaluating the same tree. */
+    DocSet run(const QueryPlan &plan, ThreadPool &pool) const;
 
     /**
      * Run a query on a freshly spawned pool that is torn down before
@@ -107,8 +119,9 @@ class MultiSearcher
         std::size_t created = 0;
     };
 
-    /** Union partial results and add orphan matches. */
-    DocSet combine(const Query &query,
+    /** Union partial results and add orphan matches (documents in no
+     *  segment match exactly when the plan matches empty docs). */
+    DocSet combine(const QueryPlan &plan,
                    std::vector<DocSet> partial) const;
 
     /**

@@ -1,0 +1,290 @@
+#include "search/operators.hh"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "search/ranked.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+/**
+ * K-way union of sorted runs with duplicate elimination: the heap
+ * holds each run's head, and the popped run bulk-copies its prefix
+ * while it stays strictly below every other head. The same merge
+ * shape uniteTermCursors() runs over cursors, applied to
+ * already-materialized compound results.
+ */
+DocSet
+uniteMany(std::vector<DocSet> parts)
+{
+    parts.erase(std::remove_if(parts.begin(), parts.end(),
+                               [](const DocSet &part) {
+                                   return part.empty();
+                               }),
+                parts.end());
+    if (parts.empty())
+        return {};
+    if (parts.size() == 1)
+        return std::move(parts.front());
+
+    std::size_t total = 0;
+    for (const DocSet &part : parts)
+        total += part.size();
+    DocSet out;
+    out.reserve(total);
+
+    struct Head
+    {
+        DocId doc;
+        std::size_t run;
+        std::size_t pos;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Head &a, const Head &b) const
+        {
+            return a.doc > b.doc; // min-heap on DocId
+        }
+    };
+    std::priority_queue<Head, std::vector<Head>, Later> heap;
+    for (std::size_t r = 0; r < parts.size(); ++r)
+        heap.push(Head{parts[r][0], r, 0});
+
+    while (!heap.empty()) {
+        Head head = heap.top();
+        heap.pop();
+        const DocSet &run = parts[head.run];
+        if (heap.empty()) {
+            out.insert(out.end(),
+                       run.begin()
+                           + static_cast<std::ptrdiff_t>(head.pos),
+                       run.end());
+            break;
+        }
+        const DocId bound = heap.top().doc;
+        std::size_t pos = head.pos;
+        if (run[pos] == bound) {
+            ++pos; // duplicate head: the other run emits it
+        } else {
+            const std::size_t stop = static_cast<std::size_t>(
+                std::lower_bound(
+                    run.begin() + static_cast<std::ptrdiff_t>(pos),
+                    run.end(), bound)
+                - run.begin());
+            out.insert(out.end(),
+                       run.begin() + static_cast<std::ptrdiff_t>(pos),
+                       run.begin()
+                           + static_cast<std::ptrdiff_t>(stop));
+            pos = stop;
+        }
+        if (pos < run.size())
+            heap.push(Head{run[pos], head.run, pos});
+    }
+    return out;
+}
+
+} // namespace
+
+DocSet
+uniteTermCursors(std::vector<PostingCursor> cursors)
+{
+    std::vector<PostingCursor> live;
+    live.reserve(cursors.size());
+    std::size_t total = 0;
+    for (PostingCursor &cursor : cursors) {
+        if (cursor.valid()) {
+            total += cursor.remaining();
+            live.push_back(std::move(cursor));
+        }
+    }
+    if (live.empty())
+        return {};
+    if (live.size() == 1)
+        return live.front().toDocSet();
+
+    DocSet out;
+    out.reserve(total);
+
+    struct Head
+    {
+        DocId doc;
+        std::size_t idx;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Head &a, const Head &b) const
+        {
+            return a.doc > b.doc; // min-heap on DocId
+        }
+    };
+    std::priority_queue<Head, std::vector<Head>, Later> heap;
+    for (std::size_t i = 0; i < live.size(); ++i)
+        heap.push(Head{live[i].doc(), i});
+
+    while (!heap.empty()) {
+        const Head head = heap.top();
+        heap.pop();
+        PostingCursor &cursor = live[head.idx];
+        if (heap.empty()) {
+            // Last list standing: drain whole block views.
+            while (cursor.valid()) {
+                const DocId *docs = cursor.blockDocs();
+                const std::size_t n = cursor.blockRemaining();
+                out.insert(out.end(), docs, docs + n);
+                cursor.skipInBlock(n);
+            }
+            break;
+        }
+        const DocId bound = heap.top().doc;
+        if (cursor.doc() == bound) {
+            // Duplicate of the next head: that list emits it.
+            cursor.next();
+        } else {
+            // Bulk-copy decoded views strictly below the bound —
+            // whole blocks while they fit, a binary-searched prefix
+            // of the block that straddles it.
+            while (cursor.valid()) {
+                const DocId *docs = cursor.blockDocs();
+                const std::size_t n = cursor.blockRemaining();
+                if (docs[n - 1] < bound) {
+                    out.insert(out.end(), docs, docs + n);
+                    cursor.skipInBlock(n);
+                    continue;
+                }
+                const std::size_t k = static_cast<std::size_t>(
+                    std::lower_bound(docs, docs + n, bound) - docs);
+                out.insert(out.end(), docs, docs + k);
+                cursor.skipInBlock(k);
+                break;
+            }
+        }
+        if (cursor.valid())
+            heap.push(Head{cursor.doc(), head.idx});
+    }
+    return out;
+}
+
+DocSet
+TermOp::eval(const OpContext &ctx) const
+{
+    return intersectCursor(ctx.segment.cursor(_term), ctx.universe);
+}
+
+DocSet
+AllOp::eval(const OpContext &ctx) const
+{
+    return ctx.universe;
+}
+
+DocSet
+AndOp::eval(const OpContext &ctx) const
+{
+    DocSet acc;
+    bool have = false;
+    if (!_terms.empty()) {
+        // The hottest shape — AND over plain terms — in one kernel
+        // call: blockwise SIMD intersection, smallest list driving,
+        // clipped to the universe once (intersection commutes).
+        std::vector<PostingCursor> cursors;
+        cursors.reserve(_terms.size());
+        for (const std::string &term : _terms)
+            cursors.push_back(ctx.segment.cursor(term));
+        acc = clipToUniverse(intersectTermCursors(std::move(cursors)),
+                             ctx.universe);
+        have = true;
+    }
+    for (const std::shared_ptr<const CursorOp> &op : _rest) {
+        if (have && acc.empty())
+            return acc; // empty intersection: nothing can revive it
+        DocSet part = op->eval(ctx);
+        acc = have ? intersectSets(acc, part) : std::move(part);
+        have = true;
+    }
+    return acc;
+}
+
+DocSet
+OrOp::eval(const OpContext &ctx) const
+{
+    std::vector<DocSet> parts;
+    parts.reserve(_rest.size() + 1);
+    if (!_terms.empty()) {
+        std::vector<PostingCursor> cursors;
+        cursors.reserve(_terms.size());
+        for (const std::string &term : _terms)
+            cursors.push_back(ctx.segment.cursor(term));
+        parts.push_back(
+            clipToUniverse(uniteTermCursors(std::move(cursors)),
+                           ctx.universe));
+    }
+    for (const std::shared_ptr<const CursorOp> &op : _rest)
+        parts.push_back(op->eval(ctx));
+    return uniteMany(std::move(parts));
+}
+
+DocSet
+DiffOp::eval(const OpContext &ctx) const
+{
+    DocSet positive = _positive->eval(ctx);
+    if (positive.empty())
+        return positive;
+    return apply(std::move(positive), _negative->eval(ctx));
+}
+
+DocSet
+DiffOp::apply(DocSet &&matches, const DocSet &dead)
+{
+    if (matches.empty() || dead.empty())
+        return std::move(matches);
+    return subtractSets(matches, dead);
+}
+
+void
+ScoreOp::apply(const DocSet &matches, PostingCursor cursor,
+               double weight, std::vector<double> &scores)
+{
+    accumulateCursor(matches, std::move(cursor), weight, scores);
+}
+
+std::shared_ptr<const CursorOp>
+buildOperators(const PlanNode &node)
+{
+    switch (node.kind) {
+      case PlanNode::Kind::Term:
+        return std::make_shared<TermOp>(node.term);
+      case PlanNode::Kind::All:
+        return std::make_shared<AllOp>();
+      case PlanNode::Kind::And:
+      case PlanNode::Kind::Or: {
+        // Term leaves are kept as terms so eval can feed all their
+        // cursors to one bulk kernel call; compound children keep
+        // the plan's (df-ascending) order.
+        std::vector<std::string> terms;
+        std::vector<std::shared_ptr<const CursorOp>> rest;
+        for (const PlanNode &child : node.children) {
+            if (child.kind == PlanNode::Kind::Term)
+                terms.push_back(child.term);
+            else
+                rest.push_back(buildOperators(child));
+        }
+        if (node.kind == PlanNode::Kind::And)
+            return std::make_shared<AndOp>(std::move(terms),
+                                           std::move(rest));
+        return std::make_shared<OrOp>(std::move(terms),
+                                      std::move(rest));
+      }
+      case PlanNode::Kind::Diff:
+        return std::make_shared<DiffOp>(
+            buildOperators(node.children[0]),
+            buildOperators(node.children[1]));
+    }
+    panic("buildOperators: unknown plan node kind");
+}
+
+} // namespace dsearch

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cursor-operator algebra: the one executable form of a QueryPlan.
+ *
+ * A compiled plan (search/plan.hh) is a tree of set expressions; this
+ * module turns it into a tree of **operators** that evaluate those
+ * expressions over any segment. Evaluation is parameterized by an
+ * OpContext — the segment to read postings from plus the universe the
+ * caller owns — so the *same* operator tree answers:
+ *
+ *  - a sealed unified snapshot (Searcher: universe = [0, docs)),
+ *  - each base/delta segment of a live index (LiveSearcher: universe
+ *    = the segment's owned DocId range; tombstones are anti-joined
+ *    afterwards with DiffOp::apply),
+ *  - each replica of an unjoined build (MultiSearcher: universe =
+ *    the documents that replica owns),
+ *  - every shard of a document-partitioned tier (each shard's
+ *    QueryServer evaluates the broker-shipped plan over its local
+ *    universe).
+ *
+ * The algebra:
+ *
+ *  - TermOp    one posting list, clipped to the universe
+ *              (seekGE-driven, skips rather than scans).
+ *  - AllOp     the universe itself (the planner's `All` leaf; NOT-
+ *              only queries difference against it).
+ *  - AndOp     intersection. Term operands take the bulk path: the
+ *              SIMD block-intersection kernel via
+ *              intersectTermCursors(), smallest list driving, one
+ *              universe clip at the end. Compound operands are
+ *              evaluated (cheapest-first per the planner's df order)
+ *              and merged in.
+ *  - OrOp      union. Term operands run a k-way heap union directly
+ *              over posting cursors — whole decoded block views are
+ *              bulk-copied while they stay below every other
+ *              cursor's head (uniteTermCursors()). Compound operands
+ *              merge through the same k-way heap over DocSets.
+ *  - DiffOp    difference: NOT after De Morgan push-down, and the
+ *              live tier's tombstone anti-join (DiffOp::apply).
+ *  - ScoreOp   ranked accumulation: streams a term cursor through
+ *              the sorted match set via the shared accumulateCursor,
+ *              crediting matches in ascending order so the
+ *              floating-point sums are bit-identical across every
+ *              tier that scores (the broker equivalence invariant).
+ *
+ * Operator trees are immutable after construction: eval() is const,
+ * takes every mutable input through the context, and allocates only
+ * its result — one tree is safely shared by any number of concurrent
+ * queries and threads (check_tsan_query_plan exercises exactly
+ * this). Build one with buildOperators(); QueryPlan::ops() holds the
+ * tree built at compile().
+ */
+
+#ifndef DSEARCH_SEARCH_OPERATORS_HH
+#define DSEARCH_SEARCH_OPERATORS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index_snapshot.hh"
+#include "index/posting_cursor.hh"
+#include "search/plan.hh"
+#include "search/searcher.hh"
+
+namespace dsearch {
+
+/**
+ * Everything one evaluation reads: the segment postings come from
+ * and the sorted universe the caller owns (NOT complements against
+ * it; term hits are clipped to it). Both are borrowed for the call.
+ */
+struct OpContext
+{
+    const SegmentReader &segment;
+    const DocSet &universe;
+};
+
+/**
+ * Base of the operator tree. eval() returns the sorted, duplicate-
+ * free matches within ctx.universe; it is const and thread-safe
+ * (see the file comment).
+ */
+class CursorOp
+{
+  public:
+    virtual ~CursorOp() = default;
+
+    /** @return Sorted matches of this subexpression in the context's
+     *          universe. */
+    virtual DocSet eval(const OpContext &ctx) const = 0;
+
+  protected:
+    CursorOp() = default;
+    CursorOp(const CursorOp &) = delete;
+    CursorOp &operator=(const CursorOp &) = delete;
+};
+
+/**
+ * Union any number of term cursors: k-way heap merge keyed on each
+ * cursor's current doc, bulk-copying whole decoded block views while
+ * they stay strictly below every other cursor's head. Duplicates
+ * across lists are emitted once. Exposed for tests and the
+ * query_exec bench.
+ */
+DocSet uniteTermCursors(std::vector<PostingCursor> cursors);
+
+/** One term's postings clipped to the universe. */
+class TermOp final : public CursorOp
+{
+  public:
+    explicit TermOp(std::string term) : _term(std::move(term)) {}
+
+    DocSet eval(const OpContext &ctx) const override;
+
+    const std::string &term() const { return _term; }
+
+  private:
+    std::string _term;
+};
+
+/** The universe itself (the planner's All leaf). */
+class AllOp final : public CursorOp
+{
+  public:
+    AllOp() = default;
+
+    DocSet eval(const OpContext &ctx) const override;
+};
+
+/**
+ * Intersection. Term operands are stored as terms (not TermOps) so
+ * eval can hand their cursors to the blockwise SIMD kernel in one
+ * call; compound operands evaluate in plan order (ascending df when
+ * the plan was compiled with statistics) and merge in, cheapest
+ * first, with early exit on an empty accumulator.
+ */
+class AndOp final : public CursorOp
+{
+  public:
+    AndOp(std::vector<std::string> terms,
+          std::vector<std::shared_ptr<const CursorOp>> rest)
+        : _terms(std::move(terms)), _rest(std::move(rest))
+    {
+    }
+
+    DocSet eval(const OpContext &ctx) const override;
+
+  private:
+    std::vector<std::string> _terms;
+    std::vector<std::shared_ptr<const CursorOp>> _rest;
+};
+
+/**
+ * Union. Term operands merge directly from their cursors
+ * (uniteTermCursors, one universe clip at the end); compound operand
+ * results join the same k-way heap merge.
+ */
+class OrOp final : public CursorOp
+{
+  public:
+    OrOp(std::vector<std::string> terms,
+         std::vector<std::shared_ptr<const CursorOp>> rest)
+        : _terms(std::move(terms)), _rest(std::move(rest))
+    {
+    }
+
+    DocSet eval(const OpContext &ctx) const override;
+
+  private:
+    std::vector<std::string> _terms;
+    std::vector<std::shared_ptr<const CursorOp>> _rest;
+};
+
+/**
+ * Difference: positive minus negative. The planner emits every NOT
+ * as one of these (against a positive branch or AllOp); the live
+ * tier reuses apply() as its tombstone anti-join.
+ */
+class DiffOp final : public CursorOp
+{
+  public:
+    DiffOp(std::shared_ptr<const CursorOp> positive,
+           std::shared_ptr<const CursorOp> negative)
+        : _positive(std::move(positive)),
+          _negative(std::move(negative))
+    {
+    }
+
+    DocSet eval(const OpContext &ctx) const override;
+
+    /** @p matches minus the sorted @p dead set — the anti-join
+     *  itself, shared with tombstone filtering. */
+    static DocSet apply(DocSet &&matches, const DocSet &dead);
+
+  private:
+    std::shared_ptr<const CursorOp> _positive;
+    std::shared_ptr<const CursorOp> _negative;
+};
+
+/**
+ * Ranked accumulation over a boolean result: add @p weight to
+ * scores[i] for every matches[i] present in @p cursor. Delegates to
+ * the shared accumulateCursor (ranked.hh) — blockwise SIMD
+ * intersection, contributions credited in ascending match order, so
+ * every tier that scores through here produces bit-identical sums
+ * for the same (matches, term order, weights).
+ */
+class ScoreOp
+{
+  public:
+    static void apply(const DocSet &matches, PostingCursor cursor,
+                      double weight, std::vector<double> &scores);
+};
+
+/**
+ * Compile @p root (a canonical plan tree) into its operator tree.
+ * Pure function of the plan: no index or universe is bound until
+ * eval(). The returned tree is immutable and shareable.
+ */
+std::shared_ptr<const CursorOp> buildOperators(const PlanNode &root);
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_OPERATORS_HH

@@ -1,0 +1,421 @@
+#include "search/plan.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "search/operators.hh"
+#include "search/ranked.hh"
+#include "util/logging.hh"
+
+namespace dsearch {
+
+namespace {
+
+/** Fixed rank per kind for the canonical total order. */
+int
+kindRank(PlanNode::Kind kind)
+{
+    switch (kind) {
+      case PlanNode::Kind::Term: return 0;
+      case PlanNode::Kind::All:  return 1;
+      case PlanNode::Kind::And:  return 2;
+      case PlanNode::Kind::Or:   return 3;
+      case PlanNode::Kind::Diff: return 4;
+    }
+    return 5;
+}
+
+/** Total structural order: kind rank, term, then children. */
+bool
+planLess(const PlanNode &a, const PlanNode &b)
+{
+    if (a.kind != b.kind)
+        return kindRank(a.kind) < kindRank(b.kind);
+    if (a.term != b.term)
+        return a.term < b.term;
+    const std::size_t n =
+        std::min(a.children.size(), b.children.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (planLess(a.children[i], b.children[i]))
+            return true;
+        if (planLess(b.children[i], a.children[i]))
+            return false;
+    }
+    return a.children.size() < b.children.size();
+}
+
+/** Structural equality under the same total order. */
+bool
+planEqual(const PlanNode &a, const PlanNode &b)
+{
+    return !planLess(a, b) && !planLess(b, a);
+}
+
+/** Sort children canonically and drop structural duplicates. */
+void
+sortDedupe(std::vector<PlanNode> &children)
+{
+    std::sort(children.begin(), children.end(), planLess);
+    children.erase(std::unique(children.begin(), children.end(),
+                               planEqual),
+                   children.end());
+}
+
+PlanNode
+makeAll()
+{
+    PlanNode node;
+    node.kind = PlanNode::Kind::All;
+    return node;
+}
+
+/** Wrap @p children as And/Or, collapsing empties and singletons. */
+PlanNode
+makeNary(PlanNode::Kind kind, std::vector<PlanNode> children)
+{
+    if (children.empty())
+        return makeAll(); // only reachable for And: empty product
+    if (children.size() == 1)
+        return std::move(children.front());
+    PlanNode node;
+    node.kind = kind;
+    node.children = std::move(children);
+    return node;
+}
+
+PlanNode conjunction(std::vector<PlanNode> operands);
+PlanNode disjunction(std::vector<PlanNode> operands);
+
+/**
+ * De Morgan normalization: compile @p node under a negation parity.
+ * NOT never survives as a node — a negated subtree either flips into
+ * its dual connective (De Morgan), cancels (double negation), or
+ * bottoms out as Diff(All, term).
+ */
+PlanNode
+normalize(const QueryNode &node, bool negated)
+{
+    switch (node.kind) {
+      case QueryNode::Kind::Term: {
+        PlanNode term;
+        term.kind = PlanNode::Kind::Term;
+        term.term = node.term;
+        if (!negated)
+            return term;
+        PlanNode diff;
+        diff.kind = PlanNode::Kind::Diff;
+        diff.children.push_back(makeAll());
+        diff.children.push_back(std::move(term));
+        return diff;
+      }
+      case QueryNode::Kind::Not:
+        return normalize(node.children.front(), !negated);
+      case QueryNode::Kind::And:
+      case QueryNode::Kind::Or: {
+        std::vector<PlanNode> operands;
+        operands.reserve(node.children.size());
+        for (const QueryNode &child : node.children)
+            operands.push_back(normalize(child, negated));
+        const bool conjunctive =
+            (node.kind == QueryNode::Kind::And) != negated;
+        return conjunctive ? conjunction(std::move(operands))
+                           : disjunction(std::move(operands));
+      }
+    }
+    panic("QueryPlan: unknown query node kind");
+}
+
+/**
+ * Build the canonical conjunction of @p operands: flatten nested
+ * Ands, hoist every negative branch into one difference —
+ * And(a, Diff(p, n), Diff(All, m)) == Diff(And(a, p), Or(n, m)) —
+ * then sort + dedupe both sides. The result is either a pure
+ * positive node or a single Diff whose negative side is evaluated
+ * exactly once.
+ */
+PlanNode
+conjunction(std::vector<PlanNode> operands)
+{
+    std::vector<PlanNode> positives;
+    std::vector<PlanNode> negatives;
+    for (PlanNode &operand : operands) {
+        PlanNode *positive = &operand;
+        if (operand.kind == PlanNode::Kind::Diff) {
+            PlanNode &neg = operand.children[1];
+            if (neg.kind == PlanNode::Kind::Or) {
+                for (PlanNode &grand : neg.children)
+                    negatives.push_back(std::move(grand));
+            } else {
+                negatives.push_back(std::move(neg));
+            }
+            positive = &operand.children[0];
+        }
+        if (positive->kind == PlanNode::Kind::All)
+            continue; // intersection identity
+        if (positive->kind == PlanNode::Kind::And) {
+            for (PlanNode &grand : positive->children)
+                positives.push_back(std::move(grand));
+        } else {
+            positives.push_back(std::move(*positive));
+        }
+    }
+    sortDedupe(positives);
+    PlanNode positive = makeNary(PlanNode::Kind::And,
+                                 std::move(positives));
+    if (negatives.empty())
+        return positive;
+    sortDedupe(negatives);
+    PlanNode diff;
+    diff.kind = PlanNode::Kind::Diff;
+    diff.children.push_back(std::move(positive));
+    diff.children.push_back(
+        makeNary(PlanNode::Kind::Or, std::move(negatives)));
+    return diff;
+}
+
+/**
+ * Build the canonical disjunction of @p operands: flatten nested
+ * Ors, absorb into All when any operand is the universe, then sort +
+ * dedupe. Diff operands stay as-is — negation inside a union is
+ * already in its allowed form (a difference operand).
+ */
+PlanNode
+disjunction(std::vector<PlanNode> operands)
+{
+    std::vector<PlanNode> flat;
+    flat.reserve(operands.size());
+    for (PlanNode &operand : operands) {
+        if (operand.kind == PlanNode::Kind::All)
+            return makeAll(); // union identity: x OR * == *
+        if (operand.kind == PlanNode::Kind::Or) {
+            for (PlanNode &grand : operand.children)
+                flat.push_back(std::move(grand));
+        } else {
+            flat.push_back(std::move(operand));
+        }
+    }
+    sortDedupe(flat);
+    return makeNary(PlanNode::Kind::Or, std::move(flat));
+}
+
+/** FNV-1a over the canonical structure; see fingerprint(). */
+std::uint64_t
+mixByte(std::uint64_t hash, unsigned char byte)
+{
+    hash ^= byte;
+    return hash * 0x100000001b3ull;
+}
+
+std::uint64_t
+mixU64(std::uint64_t hash, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        hash = mixByte(hash,
+                       static_cast<unsigned char>(value >> (i * 8)));
+    return hash;
+}
+
+std::uint64_t
+structuralHash(const PlanNode &node)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    hash = mixByte(hash,
+                   static_cast<unsigned char>(kindRank(node.kind) + 1));
+    for (char c : node.term)
+        hash = mixByte(hash, static_cast<unsigned char>(c));
+    hash = mixByte(hash, 0xff); // terminator: "ab"+"" != "a"+"b"
+    for (const PlanNode &child : node.children)
+        hash = mixU64(hash, structuralHash(child));
+    return hash;
+}
+
+/** Does the plan match a document containing no terms at all? */
+bool
+emptyDocMatches(const PlanNode &node)
+{
+    switch (node.kind) {
+      case PlanNode::Kind::Term:
+        return false;
+      case PlanNode::Kind::All:
+        return true;
+      case PlanNode::Kind::And:
+        return std::all_of(node.children.begin(), node.children.end(),
+                           emptyDocMatches);
+      case PlanNode::Kind::Or:
+        return std::any_of(node.children.begin(), node.children.end(),
+                           emptyDocMatches);
+      case PlanNode::Kind::Diff:
+        return emptyDocMatches(node.children[0])
+               && !emptyDocMatches(node.children[1]);
+    }
+    panic("QueryPlan: unknown plan node kind");
+}
+
+/**
+ * Estimated result size for execution ordering: a term is its df,
+ * And is bounded by its smallest child, Or by the (saturating) sum,
+ * Diff by its positive branch, All by everything.
+ */
+std::size_t
+dfEstimate(const PlanNode &node, const DfLookup &df)
+{
+    switch (node.kind) {
+      case PlanNode::Kind::Term:
+        return df(node.term);
+      case PlanNode::Kind::All:
+        return std::numeric_limits<std::size_t>::max();
+      case PlanNode::Kind::And: {
+        std::size_t best = std::numeric_limits<std::size_t>::max();
+        for (const PlanNode &child : node.children)
+            best = std::min(best, dfEstimate(child, df));
+        return best;
+      }
+      case PlanNode::Kind::Or: {
+        std::size_t sum = 0;
+        for (const PlanNode &child : node.children) {
+            const std::size_t part = dfEstimate(child, df);
+            if (part > std::numeric_limits<std::size_t>::max() - sum)
+                return std::numeric_limits<std::size_t>::max();
+            sum += part;
+        }
+        return sum;
+      }
+      case PlanNode::Kind::Diff:
+        return dfEstimate(node.children[0], df);
+    }
+    panic("QueryPlan: unknown plan node kind");
+}
+
+/**
+ * Stably reorder every And's children by ascending estimated df —
+ * cheapest operand first bounds every later intersection. Runs after
+ * the fingerprint is taken, so equal queries keep equal fingerprints
+ * whatever index they are bound to.
+ */
+void
+orderByDf(PlanNode &node, const DfLookup &df)
+{
+    for (PlanNode &child : node.children)
+        orderByDf(child, df);
+    if (node.kind != PlanNode::Kind::And)
+        return;
+    std::vector<std::pair<std::size_t, std::size_t>> keyed;
+    keyed.reserve(node.children.size());
+    for (std::size_t i = 0; i < node.children.size(); ++i)
+        keyed.emplace_back(dfEstimate(node.children[i], df), i);
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<PlanNode> ordered;
+    ordered.reserve(node.children.size());
+    for (const auto &[estimate, index] : keyed)
+        ordered.push_back(std::move(node.children[index]));
+    node.children = std::move(ordered);
+}
+
+void
+renderPlan(const PlanNode &node, std::string &out)
+{
+    switch (node.kind) {
+      case PlanNode::Kind::Term:
+        out += node.term;
+        return;
+      case PlanNode::Kind::All:
+        out += '*';
+        return;
+      case PlanNode::Kind::Diff:
+        out += '(';
+        renderPlan(node.children[0], out);
+        out += " \\ ";
+        renderPlan(node.children[1], out);
+        out += ')';
+        return;
+      case PlanNode::Kind::And:
+      case PlanNode::Kind::Or: {
+        const char *op =
+            node.kind == PlanNode::Kind::And ? " AND " : " OR ";
+        out += '(';
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+            if (i > 0)
+                out += op;
+            renderPlan(node.children[i], out);
+        }
+        out += ')';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+QueryPlan
+QueryPlan::compile(const Query &query)
+{
+    static const DfLookup no_df;
+    return compile(query, no_df);
+}
+
+QueryPlan
+QueryPlan::compile(const Query &query, const DfLookup &df)
+{
+    if (!query.valid())
+        return QueryPlan();
+    auto impl = std::make_shared<Impl>();
+    impl->root = normalize(query.root(), false);
+    impl->fingerprint = structuralHash(impl->root);
+    impl->score_terms = positiveTerms(query.root());
+    impl->matches_empty = emptyDocMatches(impl->root);
+    if (df)
+        orderByDf(impl->root, df);
+    impl->ops = buildOperators(impl->root);
+    return QueryPlan(std::move(impl));
+}
+
+const PlanNode &
+QueryPlan::root() const
+{
+    if (_impl == nullptr)
+        panic("QueryPlan::root on an invalid plan");
+    return _impl->root;
+}
+
+std::uint64_t
+QueryPlan::fingerprint() const
+{
+    return _impl == nullptr ? 0 : _impl->fingerprint;
+}
+
+const std::vector<std::string> &
+QueryPlan::scoreTerms() const
+{
+    static const std::vector<std::string> empty;
+    return _impl == nullptr ? empty : _impl->score_terms;
+}
+
+bool
+QueryPlan::matchesEmpty() const
+{
+    return _impl != nullptr && _impl->matches_empty;
+}
+
+const CursorOp &
+QueryPlan::ops() const
+{
+    if (_impl == nullptr)
+        panic("QueryPlan::ops on an invalid plan");
+    return *_impl->ops;
+}
+
+std::string
+QueryPlan::toString() const
+{
+    if (_impl == nullptr)
+        return "<invalid plan>";
+    std::string out;
+    renderPlan(_impl->root, out);
+    return out;
+}
+
+} // namespace dsearch

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * QueryPlan: the canonical, executable form of a parsed query.
+ *
+ * Every serving tier used to walk the raw Query AST itself —
+ * Searcher, RankedSearcher, LiveSearcher, MultiSearcher and the
+ * sharded Broker each re-implemented boolean traversal with subtly
+ * different NOT/universe handling. The planner replaces all of that
+ * with one compilation step and one executable form:
+ *
+ *     Query::parse(text)                 user syntax -> AST
+ *           |
+ *     QueryPlan::compile(query[, df])    AST -> canonical plan
+ *           |
+ *     operators.hh (AndOp/OrOp/DiffOp)   plan -> DocSet per segment
+ *
+ * Canonicalization performs, in order:
+ *
+ *  1. **De Morgan push-down.** NOT is eliminated as a node kind
+ *     entirely: `NOT (a OR b)` becomes `And(Diff(All,a),
+ *     Diff(All,b))` and so on, recursively, with double negation
+ *     cancelling on the way down. Negation survives only as a
+ *     `Diff` (set difference) node — against a positive branch
+ *     (`a AND NOT b` -> `Diff(a, b)`) or against the universe
+ *     (`NOT a` -> `Diff(All, a)`). Every tier therefore resolves
+ *     NOT against *its* universe the same way: by evaluating the
+ *     same Diff node, not by ad-hoc complement logic.
+ *
+ *  2. **Conjunction hoisting.** Inside an And, negative operands are
+ *     factored into one difference: `a AND NOT b AND NOT c` ->
+ *     `Diff(a, Or(b, c))` — one anti-join instead of two universe
+ *     complements, and the shape tombstone filtering reuses.
+ *
+ *  3. **Flatten + dedupe + canonical order.** Nested same-kind
+ *     And/Or children are spliced flat, structurally equal operands
+ *     are deduplicated, and children are sorted by a total
+ *     structural order (terms alphabetically, compounds after).
+ *     `b AND a`, `a AND b` and `a AND (b AND a)` all compile to the
+ *     identical plan.
+ *
+ *  4. **Fingerprint.** A stable 64-bit structural hash (FNV-1a over
+ *     the canonical tree; no pointers, seeds or machine state) is
+ *     derived from the canonical form. Equal-modulo-canonicalization
+ *     queries get equal fingerprints across processes and machines —
+ *     the cache key the ROADMAP's query-result-cache item needs.
+ *
+ *  5. **df ordering (optional).** When compiled with a DfLookup, And
+ *     children are stably reordered by ascending estimated document
+ *     frequency so the cheapest operand runs (and bounds the
+ *     intersection) first. The reorder happens *after* the
+ *     fingerprint is taken: the fingerprint names the query, not the
+ *     index it happens to run against.
+ *
+ * The plan also precomputes what the ranked tiers need:
+ * scoreTerms() — the positive-context terms in first-appearance
+ * *query* order (NOT under canonical order: scoring accumulates
+ * floating-point contributions term by term, and keeping the
+ * original order keeps ranked scores bit-identical across the
+ * unsharded, live and broker paths) — and matchesEmpty(), whether a
+ * document with no terms at all satisfies the query (the
+ * NOT-dominated case MultiSearcher's orphan documents hang on).
+ *
+ * A QueryPlan is immutable after compile() and holds its state in
+ * one shared heap object: copying a plan is a shared_ptr copy, and
+ * one plan may be evaluated concurrently from any number of threads
+ * (QueryServer workers, broker shards) without synchronization —
+ * the property check_tsan_query_plan verifies.
+ */
+
+#ifndef DSEARCH_SEARCH_PLAN_HH
+#define DSEARCH_SEARCH_PLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/query.hh"
+
+namespace dsearch {
+
+class CursorOp; // operators.hh; plans own their compiled operator tree
+
+/**
+ * One node of a canonical plan. Unlike QueryNode there is no Not
+ * kind: negation appears only as Diff (see the file comment).
+ */
+struct PlanNode
+{
+    enum class Kind {
+        Term, ///< One vocabulary term; `term` holds it.
+        And,  ///< Intersection of 2+ children.
+        Or,   ///< Union of 2+ children.
+        Diff, ///< children[0] minus children[1] (exactly 2).
+        All,  ///< The evaluation universe (leaf).
+    };
+
+    Kind kind = Kind::Term;
+
+    /** The search term (Kind::Term only). */
+    std::string term;
+
+    /** Operands: 2+ for And/Or, exactly [positive, negative] for
+     *  Diff, none for Term/All. */
+    std::vector<PlanNode> children;
+};
+
+/**
+ * Estimated document frequency of a term, supplied by whoever owns
+ * index statistics (snapshot header probes — never a block decode).
+ */
+using DfLookup = std::function<std::size_t(const std::string &)>;
+
+/** Canonical compiled query; see the file comment. */
+class QueryPlan
+{
+  public:
+    /** An invalid (empty) plan; valid() is false, evaluation of it
+     *  is a caller bug. */
+    QueryPlan() = default;
+
+    /**
+     * Compile @p query into canonical form (invalid queries yield an
+     * invalid plan). Deterministic: one query text always produces
+     * one plan and one fingerprint, on every machine.
+     */
+    static QueryPlan compile(const Query &query);
+
+    /**
+     * compile(), then stably reorder every And's children by
+     * ascending estimated df from @p df (Term: df(term); And: min
+     * over children; Or: sum; Diff: the positive branch; All:
+     * unbounded). The fingerprint is taken before the reorder and is
+     * identical to the plain compile()'s.
+     */
+    static QueryPlan compile(const Query &query, const DfLookup &df);
+
+    /** @return True when compiled from a valid query. */
+    bool valid() const { return _impl != nullptr; }
+
+    /** @return Canonical root; panics on an invalid plan. */
+    const PlanNode &root() const;
+
+    /**
+     * @return Stable 64-bit structural hash of the canonical form
+     *         (0 for an invalid plan). Canonically equal queries
+     *         collide on purpose; it is the future result-cache key.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * @return Positive-context terms (not under an odd number of
+     *         NOTs in the source query), deduplicated, in
+     *         first-appearance source order — the exact order ranked
+     *         scoring must accumulate in for bit-identical sums.
+     *         Empty for an invalid plan.
+     */
+    const std::vector<std::string> &scoreTerms() const;
+
+    /** @return Whether a document containing no terms matches
+     *          (NOT-dominated queries); false for invalid plans. */
+    bool matchesEmpty() const;
+
+    /**
+     * @return The compiled operator tree (operators.hh), built once
+     *         at compile() and immutable after — safe to evaluate
+     *         from any number of threads. Panics on invalid plans.
+     */
+    const CursorOp &ops() const;
+
+    /** @return Canonical text rendering of the plan (debugging and
+     *          tests; All renders as `*`, Diff as infix `\`). */
+    std::string toString() const;
+
+  private:
+    /** Everything a plan owns, immutable after compile(). */
+    struct Impl
+    {
+        PlanNode root;
+        std::uint64_t fingerprint = 0;
+        std::vector<std::string> score_terms;
+        bool matches_empty = false;
+        std::shared_ptr<const CursorOp> ops;
+    };
+
+    explicit QueryPlan(std::shared_ptr<const Impl> impl)
+        : _impl(std::move(impl))
+    {
+    }
+
+    std::shared_ptr<const Impl> _impl;
+};
+
+} // namespace dsearch
+
+#endif // DSEARCH_SEARCH_PLAN_HH

@@ -183,6 +183,78 @@ class Parser
     std::string _error;
 };
 
+/** Structural equality of two query subtrees. */
+bool
+sameNode(const QueryNode &a, const QueryNode &b)
+{
+    if (a.kind != b.kind || a.term != b.term
+        || a.children.size() != b.children.size())
+        return false;
+    for (std::size_t i = 0; i < a.children.size(); ++i)
+        if (!sameNode(a.children[i], b.children[i]))
+            return false;
+    return true;
+}
+
+/**
+ * Canonicalize a parsed tree in place so toString() is a stable
+ * canonical form:
+ *
+ *  - nested same-kind And/Or children are flattened into their parent
+ *    (`a AND (b AND c)` == `a AND b AND c` by associativity);
+ *  - duplicate operands of an And/Or are dropped, keeping the first
+ *    appearance (`a AND a` == `a` by idempotence);
+ *  - an And/Or left with a single operand collapses to that operand.
+ *
+ * NOT is left untouched (`NOT NOT a` keeps its shape here): the AST
+ * stays faithful to what the user wrote modulo associativity and
+ * idempotence; negation normalization is the planner's job
+ * (plan.hh), which needs the universe to express it.
+ */
+void
+canonicalize(QueryNode &node)
+{
+    for (QueryNode &child : node.children)
+        canonicalize(child);
+    if (node.kind != QueryNode::Kind::And
+        && node.kind != QueryNode::Kind::Or)
+        return;
+
+    // Flatten: splice same-kind children into this level. Children
+    // are already canonical, so one pass suffices.
+    std::vector<QueryNode> flat;
+    flat.reserve(node.children.size());
+    for (QueryNode &child : node.children) {
+        if (child.kind == node.kind) {
+            for (QueryNode &grand : child.children)
+                flat.push_back(std::move(grand));
+        } else {
+            flat.push_back(std::move(child));
+        }
+    }
+
+    // Dedupe: drop operands structurally equal to an earlier one.
+    std::vector<QueryNode> unique;
+    unique.reserve(flat.size());
+    for (QueryNode &child : flat) {
+        bool seen = false;
+        for (const QueryNode &kept : unique)
+            if (sameNode(kept, child)) {
+                seen = true;
+                break;
+            }
+        if (!seen)
+            unique.push_back(std::move(child));
+    }
+
+    if (unique.size() == 1) {
+        QueryNode only = std::move(unique.front());
+        node = std::move(only);
+        return;
+    }
+    node.children = std::move(unique);
+}
+
 void
 render(const QueryNode &node, std::string &out)
 {
@@ -227,6 +299,7 @@ Query::parse(const std::string &text)
         query._error = parser.error();
         return query;
     }
+    canonicalize(query._root);
     query._valid = true;
     return query;
 }

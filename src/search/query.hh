@@ -14,6 +14,15 @@
  * and digits, case-folded), so a query term always matches the index's
  * vocabulary form. The words "and", "or", "not" are reserved
  * operators and cannot be searched for.
+ *
+ * Parsed trees are canonicalized: nested same-kind And/Or groups are
+ * flattened and duplicate operands dropped (first appearance wins),
+ * so `a AND a AND (b AND c)` parses to the same tree — and the same
+ * toString() — as `a AND b AND c`. toString() is therefore a stable
+ * canonical text form for trees that are equal modulo associativity
+ * and idempotence. Deeper normalization (De Morgan, double negation)
+ * belongs to the query planner (search/plan.hh), which compiles this
+ * AST into the form the execution tiers share.
  */
 
 #ifndef DSEARCH_SEARCH_QUERY_HH

@@ -128,6 +128,12 @@ QueryServer::submit(Query query)
 }
 
 std::future<QueryResponse>
+QueryServer::submitPlan(QueryPlan plan)
+{
+    return enqueue(std::move(plan), Kind::Boolean, 0, nullptr);
+}
+
+std::future<QueryResponse>
 QueryServer::submit(Query query,
                     std::function<void(const QueryResponse &)> callback)
 {
@@ -160,11 +166,57 @@ QueryServer::submitRankedWeighted(Query query, std::size_t k,
 }
 
 std::future<QueryResponse>
+QueryServer::submitRankedWeighted(QueryPlan plan, std::size_t k,
+                                  std::shared_ptr<const TermWeights>
+                                      weights)
+{
+    return enqueue(std::move(plan), Kind::RankedWeighted, k, nullptr,
+                   std::move(weights));
+}
+
+QueryPlan
+QueryServer::compileForServing(const Query &query) const
+{
+    std::shared_ptr<const ServingState> state = serving();
+    if (state->live != nullptr)
+        return state->live->compilePlan(query);
+    if (state->single != nullptr)
+        return state->single->compilePlan(query);
+    // Replicated: no one segment's df describes a term; the
+    // structural order is already deterministic.
+    return QueryPlan::compile(query);
+}
+
+std::future<QueryResponse>
 QueryServer::enqueue(Query query, Kind kind, std::size_t k,
                      std::function<void(const QueryResponse &)> callback,
                      std::shared_ptr<const TermWeights> weights)
 {
-    auto request = std::make_shared<Request>(std::move(query));
+    if (!query.valid()) {
+        // Keep the parser's message: reject through a plan-less
+        // request so the client learns *why* the text was refused.
+        auto request = std::make_shared<Request>(QueryPlan());
+        request->kind = kind;
+        request->k = k;
+        request->callback = std::move(callback);
+        request->admitted = Clock::now();
+        std::future<QueryResponse> future =
+            request->promise.get_future();
+        std::string reason = query.error();
+        reject(*request,
+               reason.empty() ? "invalid query" : std::move(reason));
+        return future;
+    }
+    return enqueue(compileForServing(query), kind, k,
+                   std::move(callback), std::move(weights));
+}
+
+std::future<QueryResponse>
+QueryServer::enqueue(QueryPlan plan, Kind kind, std::size_t k,
+                     std::function<void(const QueryResponse &)> callback,
+                     std::shared_ptr<const TermWeights> weights)
+{
+    auto request = std::make_shared<Request>(std::move(plan));
     request->kind = kind;
     request->k = k;
     request->weights = std::move(weights);
@@ -172,10 +224,8 @@ QueryServer::enqueue(Query query, Kind kind, std::size_t k,
     request->admitted = Clock::now();
     std::future<QueryResponse> future = request->promise.get_future();
 
-    if (!request->query.valid()) {
-        std::string reason = request->query.error();
-        reject(*request,
-               reason.empty() ? "invalid query" : std::move(reason));
+    if (!request->plan.valid()) {
+        reject(*request, "invalid query plan");
         return future;
     }
     // Ranked-shape rejection happens in execute(), against the state
@@ -324,20 +374,20 @@ QueryServer::execute(Request &request)
             // concurrent queries, not nested within one (nesting on
             // the same pool would deadlock its wait()).
             if (state->live != nullptr)
-                response.hits = state->live->run(request.query);
+                response.hits = state->live->run(request.plan);
             else if (state->single != nullptr)
-                response.hits = state->single->run(request.query);
+                response.hits = state->single->run(request.plan);
             else
-                response.hits = state->multi->run(request.query, 1);
+                response.hits = state->multi->run(request.plan, 1);
             break;
           case Kind::Ranked:
             response.ranked = state->live != nullptr
-                ? state->live->topK(request.query, request.k)
-                : state->ranked->topK(request.query, request.k);
+                ? state->live->topK(request.plan, request.k)
+                : state->ranked->topK(request.plan, request.k);
             break;
           case Kind::RankedWeighted:
             response.ranked = state->ranked->topKWeighted(
-                request.query, request.k, *request.weights);
+                request.plan, request.k, *request.weights);
             break;
         }
     } catch (const std::exception &e) {

@@ -32,6 +32,16 @@
  *  - Per-query latency (admission to completion) feeds a latency log
  *    digested on demand into throughput and p50/p95/p99 (util/stats).
  *
+ * A query is compiled **once**, at admission: enqueue() turns the
+ * Query into a QueryPlan (search/plan.hh) ordered by the serving
+ * state's term statistics, and that immutable plan is what travels
+ * through the queue and what every worker evaluates — workers never
+ * re-walk query text, and a plan compiled elsewhere (the sharded
+ * tier's broker compiles one per request and fans it out) enters
+ * directly through submitPlan() / the plan-taking
+ * submitRankedWeighted(). Plans are shareable: the same object may
+ * be evaluated concurrently by many workers and many servers.
+ *
  * Unified snapshots are served by Searcher (boolean) and
  * RankedSearcher (topK; its term-stats cache is shared across the
  * stream). A replicated snapshot — Implementation 3's unjoined
@@ -120,6 +130,7 @@
 #include "pipeline/thread_pool.hh"
 #include "search/live_searcher.hh"
 #include "search/multi_searcher.hh"
+#include "search/plan.hh"
 #include "search/query.hh"
 #include "search/ranked.hh"
 #include "search/searcher.hh"
@@ -285,6 +296,14 @@ class QueryServer
      */
     std::future<QueryResponse> submit(Query query);
 
+    /**
+     * Submit a boolean query as an already-compiled plan — the
+     * sharded tier's path: the broker compiles one plan per request
+     * and fans the same immutable object out to every shard, so no
+     * shard ever re-parses or re-plans query text.
+     */
+    std::future<QueryResponse> submitPlan(QueryPlan plan);
+
     /** Submit a boolean query with a completion callback in addition
      *  to the returned future. Served queries invoke it on a worker
      *  thread; rejected ones (invalid, refused, shut down) invoke it
@@ -318,6 +337,12 @@ class QueryServer
      */
     std::future<QueryResponse>
     submitRankedWeighted(Query query, std::size_t k,
+                         std::shared_ptr<const TermWeights> weights);
+
+    /** Weighted ranked submission of an already-compiled plan (the
+     *  broker ships one plan + one weight vector to every shard). */
+    std::future<QueryResponse>
+    submitRankedWeighted(QueryPlan plan, std::size_t k,
                          std::shared_ptr<const TermWeights> weights);
 
     /**
@@ -411,12 +436,13 @@ class QueryServer
      *  ranked topK under broker-supplied global weights. */
     enum class Kind { Boolean, Ranked, RankedWeighted };
 
-    /** One admitted query in flight. */
+    /** One admitted query in flight: the compiled plan is all a
+     *  worker evaluates — query text never crosses the queue. */
     struct Request
     {
-        explicit Request(Query q) : query(std::move(q)) {}
+        explicit Request(QueryPlan p) : plan(std::move(p)) {}
 
-        Query query;
+        QueryPlan plan;
         Kind kind = Kind::Boolean;
         std::size_t k = 0;
         std::shared_ptr<const TermWeights> weights; ///< RankedWeighted.
@@ -425,9 +451,21 @@ class QueryServer
         Clock::time_point admitted;
     };
 
-    /** Shared enqueue path behind the submit overloads. */
+    /** Compile @p query against the state queries are currently
+     *  admitted against (df ordering is a hint — a plan stays
+     *  correct on whatever generation later serves it). */
+    QueryPlan compileForServing(const Query &query) const;
+
+    /** Shared enqueue path behind the Query-taking submits: compile
+     *  once, then hand the plan to the plan enqueue. */
     std::future<QueryResponse>
     enqueue(Query query, Kind kind, std::size_t k,
+            std::function<void(const QueryResponse &)> callback,
+            std::shared_ptr<const TermWeights> weights = nullptr);
+
+    /** Shared enqueue path behind every submit overload. */
+    std::future<QueryResponse>
+    enqueue(QueryPlan plan, Kind kind, std::size_t k,
             std::function<void(const QueryResponse &)> callback,
             std::shared_ptr<const TermWeights> weights = nullptr);
 

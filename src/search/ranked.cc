@@ -6,6 +6,7 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "search/operators.hh"
 #include "util/hash_set.hh"
 
 namespace dsearch {
@@ -186,26 +187,41 @@ RankedSearcher::finishRanking(const DocSet &matches,
     return hits;
 }
 
+QueryPlan
+RankedSearcher::compilePlan(const Query &query) const
+{
+    return _boolean.compilePlan(query);
+}
+
 std::vector<ScoredHit>
 RankedSearcher::topK(const Query &query, std::size_t k) const
 {
     if (!query.valid() || k == 0)
         return {};
+    return topK(compilePlan(query), k);
+}
 
-    DocSet matches = _boolean.run(query);
+std::vector<ScoredHit>
+RankedSearcher::topK(const QueryPlan &plan, std::size_t k) const
+{
+    if (!plan.valid() || k == 0)
+        return {};
+
+    DocSet matches = _boolean.run(plan);
     if (matches.empty())
         return {};
 
     // The only scoring allocation is the score accumulator, parallel
-    // to `matches`.
+    // to `matches`. scoreTerms() preserves the query's source term
+    // order, so the accumulation (and its floating-point sums) is
+    // exactly what the legacy positiveTerms() loop produced.
     std::vector<double> scores(matches.size(), 0.0);
-    for (const std::string &term : positiveTerms(query.root())) {
+    for (const std::string &term : plan.scoreTerms()) {
         PostingCursor cursor;
         const TermStats stats = termStats(term, &cursor);
         if (stats.df == 0)
             continue; // cache hit spares the cursor rebuild entirely
-        accumulateCursor(matches, std::move(cursor), stats.idf,
-                         scores);
+        ScoreOp::apply(matches, std::move(cursor), stats.idf, scores);
     }
     return finishRanking(matches, scores, k);
 }
@@ -216,8 +232,17 @@ RankedSearcher::topKWeighted(const Query &query, std::size_t k,
 {
     if (!query.valid() || k == 0)
         return {};
+    return topKWeighted(compilePlan(query), k, weights);
+}
 
-    DocSet matches = _boolean.run(query);
+std::vector<ScoredHit>
+RankedSearcher::topKWeighted(const QueryPlan &plan, std::size_t k,
+                             const TermWeights &weights) const
+{
+    if (!plan.valid() || k == 0)
+        return {};
+
+    DocSet matches = _boolean.run(plan);
     if (matches.empty())
         return {};
 
@@ -228,8 +253,8 @@ RankedSearcher::topKWeighted(const Query &query, std::size_t k,
         if (_snapshot.termDocCount(term) == 0)
             continue; // term lives in other shards only (header
                       // probe: no block decode for absent terms)
-        accumulateCursor(matches, _snapshot.cursor(term), weight,
-                         scores);
+        ScoreOp::apply(matches, _snapshot.cursor(term), weight,
+                       scores);
     }
     return finishRanking(matches, scores, k);
 }

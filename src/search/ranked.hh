@@ -99,10 +99,22 @@ class RankedSearcher
     /**
      * Run a query and return the best @p k hits, highest score
      * first; ties break toward lower document IDs (deterministic).
+     * Compiles the query (topK(const QueryPlan &, k) is the serving
+     * path) and evaluates through the shared operator layer.
      *
      * @return At most @p k scored hits; empty for invalid queries.
      */
     std::vector<ScoredHit> topK(const Query &query,
+                                std::size_t k) const;
+
+    /**
+     * topK() over a precompiled plan. Boolean matches come from the
+     * plan's operator tree; scoring accumulates one ScoreOp pass per
+     * plan scoreTerm, in the plan's source-order term list — the
+     * fixed order that keeps floating-point sums bit-identical
+     * across the unsharded, live and broker paths.
+     */
+    std::vector<ScoredHit> topK(const QueryPlan &plan,
                                 std::size_t k) const;
 
     /**
@@ -121,6 +133,17 @@ class RankedSearcher
                                         std::size_t k,
                                         const TermWeights &weights)
         const;
+
+    /** topKWeighted() over a precompiled plan (the broker ships one
+     *  plan plus one weight vector to every shard). */
+    std::vector<ScoredHit> topKWeighted(const QueryPlan &plan,
+                                        std::size_t k,
+                                        const TermWeights &weights)
+        const;
+
+    /** Compile @p query ordered by this index's df statistics
+     *  (delegates to the boolean engine's compilePlan()). */
+    QueryPlan compilePlan(const Query &query) const;
 
     /** Inverse document frequency of @p term in this index. */
     double idf(const std::string &term) const;

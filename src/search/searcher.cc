@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "search/operators.hh"
 #include "util/logging.hh"
 
 namespace dsearch {
@@ -118,11 +119,8 @@ intersectDocsCursor(const DocSet &acc, PostingCursor cursor)
     return out;
 }
 
-/**
- * Intersect @p docs with @p universe: a range trim when the universe
- * is contiguous (the common full-corpus Searcher), a galloping merge
- * otherwise (live/replica subset universes).
- */
+} // namespace
+
 DocSet
 clipToUniverse(DocSet &&docs, const DocSet &universe)
 {
@@ -149,8 +147,6 @@ clipToUniverse(DocSet &&docs, const DocSet &universe)
     }
     return out;
 }
-
-} // namespace
 
 DocSet
 intersectTermCursors(std::vector<PostingCursor> cursors)
@@ -291,15 +287,36 @@ Searcher::Searcher(IndexSnapshot snapshot, DocSet universe)
         panic("Searcher: universe contains duplicates");
 }
 
+QueryPlan
+Searcher::compilePlan(const Query &query) const
+{
+    if (_snapshot.segmentCount() == 0)
+        return QueryPlan::compile(query);
+    // df from term headers only: ordering a plan must never decode
+    // a posting block.
+    return QueryPlan::compile(query,
+                              [this](const std::string &term) {
+                                  return _snapshot.termDocCount(term);
+                              });
+}
+
 DocSet
 Searcher::run(const Query &query) const
 {
     if (!query.valid())
         return {};
+    return run(compilePlan(query));
+}
+
+DocSet
+Searcher::run(const QueryPlan &plan) const
+{
+    if (!plan.valid())
+        return {};
     const SegmentReader segment = _snapshot.segmentCount() == 0
                                       ? SegmentReader()
                                       : _snapshot.segment(0);
-    return evalQueryNode(segment, _universe, query.root());
+    return plan.ops().eval(OpContext{segment, _universe});
 }
 
 } // namespace dsearch

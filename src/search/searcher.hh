@@ -19,6 +19,15 @@
  * Searchers hold their snapshot by value — snapshots are two pointer
  * copies and keep the underlying segments alive — so there is no
  * "index must outlive the searcher" contract to get wrong.
+ *
+ * Since the planner refactor, Searcher evaluates through the shared
+ * QueryPlan/operator layer (search/plan.hh, search/operators.hh):
+ * run(Query) compiles a plan against this snapshot's statistics and
+ * evaluates its operator tree; run(QueryPlan) evaluates a plan
+ * compiled elsewhere (the serving tiers ship one plan everywhere).
+ * The set kernels below (intersect/unite/subtract, cursor
+ * intersection) are the primitives the operator layer is built on;
+ * evalQueryNode() survives only as the legacy reference oracle.
  */
 
 #ifndef DSEARCH_SEARCH_SEARCHER_HH
@@ -28,6 +37,7 @@
 #include <vector>
 
 #include "index/index_snapshot.hh"
+#include "search/plan.hh"
 #include "search/query.hh"
 
 namespace dsearch {
@@ -61,11 +71,25 @@ DocSet intersectCursor(PostingCursor cursor, const DocSet &universe);
 DocSet intersectTermCursors(std::vector<PostingCursor> cursors);
 
 /**
+ * Intersect @p docs with @p universe: a range trim when the universe
+ * is contiguous (the common full-corpus case), a galloping merge
+ * otherwise (live/replica subset universes). Shared by the operator
+ * layer (operators.hh); intersection commutes, so clipping a
+ * composite result once equals clipping every leaf.
+ */
+DocSet clipToUniverse(DocSet &&docs, const DocSet &universe);
+
+/**
  * Evaluate @p node against one segment with NOT complemented against
  * @p universe (a sorted DocSet).
  *
- * Shared by the single-index and multi-index searchers; exposed for
- * tests.
+ * This is the **legacy reference evaluator**: a direct recursive walk
+ * of the Query AST. Production tiers no longer call it — they compile
+ * a QueryPlan (search/plan.hh) and evaluate the shared operator tree
+ * (search/operators.hh) instead. It is kept as the independent oracle
+ * the plan-vs-legacy equivalence fuzz and the query_exec bench
+ * compare against; it must keep producing exactly the sets the
+ * planner path produces.
  */
 DocSet evalQueryNode(const SegmentReader &segment,
                      const DocSet &universe, const QueryNode &node);
@@ -99,12 +123,27 @@ class Searcher
     Searcher(IndexSnapshot snapshot, DocSet universe);
 
     /**
-     * Run a query.
+     * Run a query: compiles it into a QueryPlan — ordered by this
+     * snapshot's term statistics — and evaluates the plan's operator
+     * tree. One-shot convenience over run(const QueryPlan &).
      *
      * @return Sorted matching document IDs; empty for invalid
      *         queries.
      */
     DocSet run(const Query &query) const;
+
+    /**
+     * Evaluate a compiled plan (the serving path: QueryServer and
+     * the broker compile once and reuse the plan across workers,
+     * generations and shards).
+     *
+     * @return Sorted matching document IDs; empty for invalid plans.
+     */
+    DocSet run(const QueryPlan &plan) const;
+
+    /** Compile @p query ordered by this snapshot's df statistics
+     *  (header probes only). */
+    QueryPlan compilePlan(const Query &query) const;
 
   private:
     IndexSnapshot _snapshot;

@@ -185,22 +185,50 @@ Broker::shardServer(std::size_t shard)
     return *_shards[shard].server;
 }
 
+QueryPlan
+Broker::compilePlan(const Query &query) const
+{
+    // Global df: the sum over shards — every document lives in
+    // exactly one shard, so shard df's add without double-counting.
+    // The same statistic globalWeights() turns into idf; here it
+    // only orders AND operands (cheapest shard-spanning list first).
+    return QueryPlan::compile(
+        query, [this](const std::string &term) {
+            std::size_t df = 0;
+            for (const Shard &shard : _shards) {
+                std::shared_ptr<const ServingState> state =
+                    shard.server->serving();
+                if (state->ranked != nullptr)
+                    df += state->ranked->df(term);
+            }
+            return df;
+        });
+}
+
 std::future<BrokerResponse>
 Broker::enqueue(Query query, Kind kind, std::size_t k)
 {
-    auto request = std::make_shared<Request>(std::move(query));
+    if (!query.valid()) {
+        auto request = std::make_shared<Request>(QueryPlan());
+        request->kind = kind;
+        request->k = k;
+        request->admitted = Clock::now();
+        std::future<BrokerResponse> future =
+            request->promise.get_future();
+        std::string reason = query.error();
+        reject(*request,
+               reason.empty() ? "invalid query" : std::move(reason));
+        return future;
+    }
+
+    // Parse-and-plan happens exactly once, here; the shards receive
+    // the compiled plan, never the text.
+    auto request = std::make_shared<Request>(compilePlan(query));
     request->kind = kind;
     request->k = k;
     request->admitted = Clock::now();
     std::future<BrokerResponse> future =
         request->promise.get_future();
-
-    if (!request->query.valid()) {
-        std::string reason = request->query.error();
-        reject(*request,
-               reason.empty() ? "invalid query" : std::move(reason));
-        return future;
-    }
     admit(std::move(request));
     return future;
 }
@@ -284,13 +312,13 @@ Broker::dispatchLoop()
 }
 
 std::shared_ptr<const TermWeights>
-Broker::globalWeights(const Query &query) const
+Broker::globalWeights(const QueryPlan &plan) const
 {
-    std::vector<std::string> terms = positiveTerms(query.root());
+    const std::vector<std::string> &terms = plan.scoreTerms();
     auto weights = std::make_shared<TermWeights>();
     weights->reserve(terms.size());
     const std::size_t doc_count = _global_docs.docCount();
-    for (std::string &term : terms) {
+    for (const std::string &term : terms) {
         // df is a corpus statistic, not a per-replica one: sum over
         // every shard regardless of which shards later answer, so a
         // partial response still scores on the one global scale.
@@ -301,8 +329,7 @@ Broker::globalWeights(const Query &query) const
             if (state->ranked != nullptr)
                 df += state->ranked->df(term);
         }
-        weights->emplace_back(std::move(term),
-                              idfFromCounts(doc_count, df));
+        weights->emplace_back(term, idfFromCounts(doc_count, df));
     }
     return weights;
 }
@@ -318,7 +345,7 @@ Broker::execute(Request &request)
     try {
         std::shared_ptr<const TermWeights> weights;
         if (request.kind == Kind::Ranked)
-            weights = globalWeights(request.query);
+            weights = globalWeights(request.plan);
 
         // Scatter: one asynchronous sub-query per shard, each into
         // that shard's own admission queue. The fault point models a
@@ -336,9 +363,9 @@ Broker::execute(Request &request)
             pending.push_back(Pending{
                 s,
                 request.kind == Kind::Boolean
-                    ? _shards[s].server->submit(request.query)
+                    ? _shards[s].server->submitPlan(request.plan)
                     : _shards[s].server->submitRankedWeighted(
-                          request.query, request.k, weights)});
+                          request.plan, request.k, weights)});
         }
 
         // Gather: collect whatever answers arrive in time. A shard

@@ -20,6 +20,14 @@
  *                                                        |
  *                              gather futures, merge <---+
  *
+ * A client query is parsed and planned exactly once: the broker
+ * compiles it into a QueryPlan (search/plan.hh) — AND operands
+ * ordered by *global* df, summed across shards — and scatters that
+ * one immutable plan to every shard through submitPlan() /
+ * submitRankedWeighted(plan, ...). Shards never re-parse or re-plan
+ * query text; the plan object is shared, not copied (compiled plans
+ * are immutable and thread-safe by construction).
+ *
  * Merging is where document partitioning earns its keep:
  *
  *  - Boolean: each shard answers in its local DocId space; the
@@ -36,8 +44,9 @@
  *    broker therefore aggregates df per positive term across all
  *    shards (df_global = sum of shard df), converts with the global
  *    document count (idfFromCounts), and sends every shard the same
- *    weight vector in positiveTerms() order via
- *    submitRankedWeighted(). Each shard scores its local matches on
+ *    weight vector in the plan's scoreTerms() order (= the query's
+ *    positive-term source order) via submitRankedWeighted(). Each
+ *    shard scores its local matches on
  *    the global scale — accumulating contributions in the same
  *    order the unsharded RankedSearcher would, so the doubles are
  *    bit-identical — and the broker k-way heap-merges the per-shard
@@ -84,6 +93,7 @@
 
 #include "pipeline/blocking_queue.hh"
 #include "pipeline/thread_pool.hh"
+#include "search/plan.hh"
 #include "search/query.hh"
 #include "search/query_server.hh"
 #include "search/ranked.hh"
@@ -246,12 +256,14 @@ class Broker
 
     enum class Kind { Boolean, Ranked };
 
-    /** One admitted client query in flight at the broker. */
+    /** One admitted client query in flight at the broker. The plan
+     *  is compiled once at admission and is what the scatter ships
+     *  to every shard. */
     struct Request
     {
-        explicit Request(Query q) : query(std::move(q)) {}
+        explicit Request(QueryPlan p) : plan(std::move(p)) {}
 
-        Query query;
+        QueryPlan plan;
         Kind kind = Kind::Boolean;
         std::size_t k = 0;
         std::promise<BrokerResponse> promise;
@@ -259,6 +271,10 @@ class Broker
     };
 
     enum class Refusal { Rejected, TimedOut, Shed };
+
+    /** Compile @p query with AND operands ordered by global df
+     *  (summed across shards; header-cache probes only). */
+    QueryPlan compilePlan(const Query &query) const;
 
     std::future<BrokerResponse> enqueue(Query query, Kind kind,
                                         std::size_t k);
@@ -273,10 +289,11 @@ class Broker
 
     /**
      * Global per-term weights for a ranked query: df summed across
-     * shards, idf on the global document count, positiveTerms order.
+     * shards, idf on the global document count, in the plan's
+     * scoreTerms() order (the query's positive-term source order).
      */
     std::shared_ptr<const TermWeights>
-    globalWeights(const Query &query) const;
+    globalWeights(const QueryPlan &plan) const;
 
     BrokerOptions _options;
     DocTable _global_docs;

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit and property tests for the cursor-operator algebra
+ * (search/operators.hh): the k-way heap union over posting cursors
+ * against a sorted-merge fold oracle, each operator (Term/All/And/
+ * Or/Diff) against plain set algebra on random corpora, and the
+ * bulk term paths against their general counterparts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "search/operators.hh"
+#include "search/plan.hh"
+#include "search/searcher.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+constexpr std::size_t vocab = 10;
+constexpr std::size_t doc_count = 600;
+
+std::string
+word(std::size_t v)
+{
+    return "w" + std::to_string(v);
+}
+
+/**
+ * Random index big enough that posting lists span several 128-doc
+ * blocks, so the bulk block-copy paths (whole blocks, straddling
+ * prefixes, duplicate heads) all execute.
+ */
+struct Fixture
+{
+    IndexSnapshot snapshot;
+    std::vector<DocSet> postings; // per term, sorted
+
+    explicit
+    Fixture(std::uint64_t seed)
+        : postings(vocab)
+    {
+        Rng rng(seed);
+        InvertedIndex index;
+        for (DocId doc = 0; doc < doc_count; ++doc) {
+            TermBlock block;
+            block.doc = doc;
+            bool any = false;
+            for (std::size_t v = 0; v < vocab; ++v) {
+                // Skewed densities: w0 is common, w9 rare.
+                if (rng.bernoulli(0.7 / static_cast<double>(v + 1))) {
+                    block.addTerm(word(v));
+                    postings[v].push_back(doc);
+                    any = true;
+                }
+            }
+            if (any)
+                index.addBlock(block);
+        }
+        snapshot = IndexSnapshot::seal(std::move(index));
+    }
+
+    SegmentReader
+    reader() const
+    {
+        return snapshot.segment(0);
+    }
+};
+
+DocSet
+fullUniverse()
+{
+    DocSet universe(doc_count);
+    for (DocId doc = 0; doc < doc_count; ++doc)
+        universe[doc] = doc;
+    return universe;
+}
+
+class OperatorsTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(OperatorsTest, UniteTermCursorsMatchesSetUnionFold)
+{
+    Fixture fixture(GetParam());
+    Rng rng(GetParam() * 101 + 13);
+    for (int round = 0; round < 40; ++round) {
+        const std::size_t n = 1 + rng.uniform(0, 5);
+        std::vector<PostingCursor> cursors;
+        DocSet expected;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t v = rng.uniform(0, vocab + 2);
+            const std::string term =
+                v < vocab ? word(v) : "missing"; // absent terms too
+            cursors.push_back(fixture.reader().cursor(term));
+            if (v < vocab)
+                expected = uniteSets(expected, fixture.postings[v]);
+        }
+        EXPECT_EQ(uniteTermCursors(std::move(cursors)), expected);
+    }
+}
+
+TEST_P(OperatorsTest, UniteTermCursorsEdgeCases)
+{
+    Fixture fixture(GetParam());
+    EXPECT_TRUE(uniteTermCursors({}).empty());
+    EXPECT_TRUE(
+        uniteTermCursors(
+            {fixture.reader().cursor("missing"),
+             fixture.reader().cursor("also-missing")})
+            .empty());
+    // Single live list: the drain path.
+    std::vector<PostingCursor> one;
+    one.push_back(fixture.reader().cursor(word(0)));
+    EXPECT_EQ(uniteTermCursors(std::move(one)), fixture.postings[0]);
+    // The same list twice: every head is a duplicate head.
+    std::vector<PostingCursor> twice;
+    twice.push_back(fixture.reader().cursor(word(1)));
+    twice.push_back(fixture.reader().cursor(word(1)));
+    EXPECT_EQ(uniteTermCursors(std::move(twice)),
+              fixture.postings[1]);
+}
+
+TEST_P(OperatorsTest, TermOpClipsToUniverse)
+{
+    Fixture fixture(GetParam());
+    TermOp op(word(0));
+    const DocSet universe = fullUniverse();
+    SegmentReader reader = fixture.reader();
+    EXPECT_EQ(op.eval(OpContext{reader, universe}),
+              fixture.postings[0]);
+
+    // Subset universe: only even docs survive.
+    DocSet evens;
+    for (DocId doc = 0; doc < doc_count; doc += 2)
+        evens.push_back(doc);
+    DocSet expected;
+    for (DocId doc : fixture.postings[0])
+        if (doc % 2 == 0)
+            expected.push_back(doc);
+    EXPECT_EQ(op.eval(OpContext{reader, evens}), expected);
+}
+
+TEST_P(OperatorsTest, AllOpReturnsUniverse)
+{
+    Fixture fixture(GetParam());
+    AllOp op;
+    DocSet universe{3, 5, 9};
+    SegmentReader reader = fixture.reader();
+    EXPECT_EQ(op.eval(OpContext{reader, universe}), universe);
+}
+
+TEST_P(OperatorsTest, AndOpMatchesSetIntersection)
+{
+    Fixture fixture(GetParam());
+    SegmentReader reader = fixture.reader();
+    const DocSet universe = fullUniverse();
+
+    // Pure term form (the bulk SIMD path).
+    AndOp terms({word(0), word(1), word(2)}, {});
+    DocSet expected = intersectSets(
+        intersectSets(fixture.postings[0], fixture.postings[1]),
+        fixture.postings[2]);
+    EXPECT_EQ(terms.eval(OpContext{reader, universe}), expected);
+
+    // Mixed form: terms plus a compound operand.
+    std::vector<std::shared_ptr<const CursorOp>> rest;
+    rest.push_back(std::make_shared<OrOp>(
+        std::vector<std::string>{word(3), word(4)},
+        std::vector<std::shared_ptr<const CursorOp>>{}));
+    AndOp mixed({word(0)}, std::move(rest));
+    DocSet expected_mixed = intersectSets(
+        fixture.postings[0],
+        uniteSets(fixture.postings[3], fixture.postings[4]));
+    EXPECT_EQ(mixed.eval(OpContext{reader, universe}),
+              expected_mixed);
+
+    // An absent term empties the intersection early.
+    AndOp dead({word(0), "missing"}, {});
+    EXPECT_TRUE(dead.eval(OpContext{reader, universe}).empty());
+}
+
+TEST_P(OperatorsTest, OrOpMatchesSetUnion)
+{
+    Fixture fixture(GetParam());
+    SegmentReader reader = fixture.reader();
+    const DocSet universe = fullUniverse();
+
+    std::vector<std::shared_ptr<const CursorOp>> rest;
+    rest.push_back(std::make_shared<AndOp>(
+        std::vector<std::string>{word(0), word(1)},
+        std::vector<std::shared_ptr<const CursorOp>>{}));
+    OrOp op({word(5), word(6)}, std::move(rest));
+    DocSet expected = uniteSets(
+        uniteSets(fixture.postings[5], fixture.postings[6]),
+        intersectSets(fixture.postings[0], fixture.postings[1]));
+    EXPECT_EQ(op.eval(OpContext{reader, universe}), expected);
+}
+
+TEST_P(OperatorsTest, DiffOpMatchesSetDifference)
+{
+    Fixture fixture(GetParam());
+    SegmentReader reader = fixture.reader();
+    const DocSet universe = fullUniverse();
+
+    DiffOp op(std::make_shared<TermOp>(word(0)),
+              std::make_shared<TermOp>(word(1)));
+    EXPECT_EQ(op.eval(OpContext{reader, universe}),
+              subtractSets(fixture.postings[0],
+                           fixture.postings[1]));
+
+    // NOT-only form: universe minus a term.
+    DiffOp not_only(std::make_shared<AllOp>(),
+                    std::make_shared<TermOp>(word(2)));
+    EXPECT_EQ(not_only.eval(OpContext{reader, universe}),
+              subtractSets(universe, fixture.postings[2]));
+}
+
+TEST_P(OperatorsTest, DiffApplyIsTheAntiJoin)
+{
+    Fixture fixture(GetParam());
+    DocSet matches = fixture.postings[0];
+    const DocSet dead = fixture.postings[1];
+    EXPECT_EQ(DiffOp::apply(DocSet(matches), dead),
+              subtractSets(matches, dead));
+    EXPECT_EQ(DiffOp::apply(DocSet(matches), {}), matches);
+    EXPECT_TRUE(DiffOp::apply({}, dead).empty());
+}
+
+TEST_P(OperatorsTest, BuildOperatorsEvaluatesWholePlans)
+{
+    Fixture fixture(GetParam());
+    SegmentReader reader = fixture.reader();
+    const DocSet universe = fullUniverse();
+
+    Query query = Query::parse(
+        "(w0 AND w1) OR (w5 AND NOT w2) OR NOT w0");
+    ASSERT_TRUE(query.valid());
+    QueryPlan plan = QueryPlan::compile(query);
+    DocSet expected = uniteSets(
+        uniteSets(
+            intersectSets(fixture.postings[0], fixture.postings[1]),
+            subtractSets(fixture.postings[5], fixture.postings[2])),
+        subtractSets(universe, fixture.postings[0]));
+    EXPECT_EQ(plan.ops().eval(OpContext{reader, universe}),
+              expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorsTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Randomized plan-vs-legacy equivalence fuzz across every serving
+ * tier. The legacy recursive evaluator (evalQueryNode) and a literal
+ * replication of the pre-planner ranked loops serve as independent
+ * oracles; the planner/operator path must reproduce their answers
+ * exactly — boolean sets element-for-element and ranked scores
+ * bit-for-bit — on:
+ *
+ *  - a sealed unified snapshot (Searcher / RankedSearcher),
+ *  - a live base+delta generation with tombstones (LiveSearcher,
+ *    whose planner port evaluates full-range universes and
+ *    anti-joins tombstones once),
+ *  - a document-partitioned sharded tier (Broker over N in {1, 2, 4}
+ *    shards vs the unsharded reference, bit-identical ranked merge).
+ *
+ * Also the NOT-only cross-tier regression (satellite 2): `NOT a` and
+ * `NOT NOT a` answer identically through Searcher, LiveSearcher and
+ * Broker, with the planner as the single source of truth for the
+ * universe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fs/corpus.hh"
+#include "fs/memory_fs.hh"
+#include "search/live_searcher.hh"
+#include "search/plan.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+#include "shard/broker.hh"
+#include "shard/shard_planner.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+std::string
+word(std::size_t v)
+{
+    return "w" + std::to_string(v);
+}
+
+/** Random query text over a fixed vocabulary, NOTs included. */
+std::string
+randomQuery(Rng &rng, std::size_t vocab, int depth)
+{
+    if (depth <= 0 || rng.bernoulli(0.35))
+        return word(rng.uniform(0, vocab)); // index == vocab: absent
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        return "(" + randomQuery(rng, vocab, depth - 1) + " AND "
+               + randomQuery(rng, vocab, depth - 1) + ")";
+      case 1:
+        return "(" + randomQuery(rng, vocab, depth - 1) + " OR "
+               + randomQuery(rng, vocab, depth - 1) + ")";
+      case 2:
+        return "(NOT " + randomQuery(rng, vocab, depth - 1) + ")";
+      default: // duplicate-operand shapes stress dedupe
+        return "(" + randomQuery(rng, vocab, depth - 1) + " AND "
+               + randomQuery(rng, vocab, depth - 1) + " AND "
+               + randomQuery(rng, vocab, depth - 1) + ")";
+    }
+}
+
+IndexSnapshot
+randomSnapshot(Rng &rng, DocId first_doc, DocId end_doc,
+               std::size_t vocab, double density)
+{
+    InvertedIndex index;
+    for (DocId doc = first_doc; doc < end_doc; ++doc) {
+        TermBlock block;
+        block.doc = doc;
+        bool any = false;
+        for (std::size_t v = 0; v < vocab; ++v) {
+            if (rng.bernoulli(density / static_cast<double>(v + 1))) {
+                block.addTerm(word(v));
+                any = true;
+            }
+        }
+        if (any)
+            index.addBlock(block);
+    }
+    return IndexSnapshot::seal(std::move(index));
+}
+
+/** The pre-planner ranked loop, replicated literally as an oracle. */
+std::vector<ScoredHit>
+legacyTopK(const IndexSnapshot &snapshot, const DocTable &docs,
+           const DocSet &universe, const Query &query, std::size_t k)
+{
+    const SegmentReader segment = snapshot.segment(0);
+    DocSet matches = evalQueryNode(segment, universe, query.root());
+    if (matches.empty() || k == 0)
+        return {};
+    std::vector<double> scores(matches.size(), 0.0);
+    for (const std::string &term : positiveTerms(query.root())) {
+        const std::size_t df = snapshot.termDocCount(term);
+        if (df == 0)
+            continue;
+        accumulateCursor(matches, snapshot.cursor(term),
+                         idfFromCounts(docs.docCount(), df), scores);
+    }
+    std::vector<ScoredHit> hits;
+    hits.reserve(matches.size());
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+        double penalty = std::log(
+            2.0 + static_cast<double>(docs.sizeBytes(matches[i])));
+        hits.push_back(ScoredHit{matches[i], scores[i] / penalty});
+    }
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const ScoredHit &a, const ScoredHit &b) {
+                         if (a.score != b.score)
+                             return a.score > b.score;
+                         return a.doc < b.doc;
+                     });
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+void
+expectSameRanking(const std::vector<ScoredHit> &got,
+                  const std::vector<ScoredHit> &want,
+                  const std::string &text)
+{
+    ASSERT_EQ(got.size(), want.size()) << text;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].doc, want[i].doc) << text << " @" << i;
+        // Bit-identical, not approximately equal: the planner path
+        // must accumulate in exactly the legacy order.
+        EXPECT_EQ(got[i].score, want[i].score) << text << " @" << i;
+    }
+}
+
+class PlanEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+// ---------------------------------------------------------------
+// Sealed tier: Searcher / RankedSearcher vs the legacy oracles.
+
+TEST_P(PlanEquivalence, SealedBooleanAndRanked)
+{
+    constexpr std::size_t vocab = 8;
+    constexpr DocId docs_n = 400;
+    Rng rng(GetParam());
+    IndexSnapshot snapshot =
+        randomSnapshot(rng, 0, docs_n, vocab, 0.6);
+    DocTable docs;
+    for (DocId d = 0; d < docs_n; ++d)
+        docs.add("/f" + std::to_string(d),
+                 100 + rng.uniform(0, 4000));
+
+    Searcher searcher(snapshot, docs_n);
+    RankedSearcher ranked(snapshot, docs);
+    DocSet universe(docs_n);
+    for (DocId d = 0; d < docs_n; ++d)
+        universe[d] = d;
+    const SegmentReader segment = snapshot.segment(0);
+
+    for (int i = 0; i < 80; ++i) {
+        const std::string text = randomQuery(rng, vocab, 3);
+        Query query = Query::parse(text);
+        ASSERT_TRUE(query.valid()) << text;
+
+        EXPECT_EQ(searcher.run(query),
+                  evalQueryNode(segment, universe, query.root()))
+            << text;
+        // The precompiled-plan entry point answers identically.
+        EXPECT_EQ(searcher.run(searcher.compilePlan(query)),
+                  searcher.run(query))
+            << text;
+        expectSameRanking(ranked.topK(query, 10),
+                          legacyTopK(snapshot, docs, universe, query,
+                                     10),
+                          text);
+    }
+}
+
+// ---------------------------------------------------------------
+// Live tier: full-range universes + one tombstone anti-join vs the
+// legacy per-segment punched-universe evaluation.
+
+TEST_P(PlanEquivalence, LiveWithTombstones)
+{
+    constexpr std::size_t vocab = 8;
+    constexpr DocId base_docs = 200;
+    constexpr DocId total_docs = 300;
+    Rng rng(GetParam() * 131 + 7);
+
+    IndexSnapshot base =
+        randomSnapshot(rng, 0, base_docs, vocab, 0.6);
+    IndexSnapshot delta =
+        randomSnapshot(rng, base_docs, total_docs, vocab, 0.6);
+    DocTable docs;
+    for (DocId d = 0; d < total_docs; ++d)
+        docs.add("/f" + std::to_string(d),
+                 100 + rng.uniform(0, 4000));
+    DocSet tombstones;
+    for (DocId d = 0; d < total_docs; ++d)
+        if (rng.bernoulli(0.15))
+            tombstones.push_back(d);
+
+    std::vector<DeltaSegment> deltas;
+    deltas.push_back(DeltaSegment{delta, base_docs, total_docs});
+    LiveSearcher live(base, base_docs, deltas, tombstones, docs);
+
+    // Legacy oracle: per-segment owned universe (range minus
+    // tombstones), evalQueryNode, concatenate — the pre-planner
+    // implementation, replicated here.
+    auto punched = [&tombstones](DocId first, DocId end) {
+        DocSet out;
+        for (DocId d = first; d < end; ++d)
+            if (!std::binary_search(tombstones.begin(),
+                                    tombstones.end(), d))
+                out.push_back(d);
+        return out;
+    };
+    const DocSet base_universe = punched(0, base_docs);
+    const DocSet delta_universe = punched(base_docs, total_docs);
+
+    for (int i = 0; i < 80; ++i) {
+        const std::string text = randomQuery(rng, vocab, 3);
+        Query query = Query::parse(text);
+        ASSERT_TRUE(query.valid()) << text;
+
+        DocSet expected = evalQueryNode(base.segment(0),
+                                        base_universe, query.root());
+        DocSet delta_part = evalQueryNode(
+            delta.segment(0), delta_universe, query.root());
+        expected.insert(expected.end(), delta_part.begin(),
+                        delta_part.end());
+        EXPECT_EQ(live.run(query), expected) << text;
+        EXPECT_EQ(live.run(live.compilePlan(query)), expected)
+            << text;
+    }
+}
+
+// ---------------------------------------------------------------
+// Sharded tier: broker over N shards vs the unsharded reference,
+// boolean sets equal and ranked merges bit-identical.
+
+class BrokerPlanEquivalence : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        CorpusGenerator gen(CorpusSpec::tiny());
+        _fs = gen.generateInMemory().release();
+        _root = gen.spec().root;
+        _reference = new Engine::Result(
+            Engine::open(*_fs, _root).threads(1).build());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete _reference;
+        _reference = nullptr;
+        delete _fs;
+        _fs = nullptr;
+    }
+
+    static MemoryFs *_fs;
+    static std::string _root;
+    static Engine::Result *_reference;
+};
+
+MemoryFs *BrokerPlanEquivalence::_fs = nullptr;
+std::string BrokerPlanEquivalence::_root;
+Engine::Result *BrokerPlanEquivalence::_reference = nullptr;
+
+/** Random query over the synthetic corpus vocabulary. */
+std::string
+randomCorpusQuery(Rng &rng, int depth)
+{
+    static const char *const kTerms[] = {"ba",   "be",   "zu",
+                                         "cido", "dula", "missing"};
+    if (depth <= 0 || rng.bernoulli(0.35))
+        return kTerms[rng.uniform(0, 5)];
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        return "(" + randomCorpusQuery(rng, depth - 1) + " AND "
+               + randomCorpusQuery(rng, depth - 1) + ")";
+      case 1:
+        return "(" + randomCorpusQuery(rng, depth - 1) + " OR "
+               + randomCorpusQuery(rng, depth - 1) + ")";
+      default:
+        return "(NOT " + randomCorpusQuery(rng, depth - 1) + ")";
+    }
+}
+
+TEST_F(BrokerPlanEquivalence, RandomizedBooleanAndRankedVsUnsharded)
+{
+    Searcher direct(_reference->snapshot,
+                    _reference->docs.docCount());
+    RankedSearcher ranked(_reference->snapshot, _reference->docs);
+
+    for (std::size_t n : {1u, 2u, 4u}) {
+        ShardPlanOptions plan_opts;
+        plan_opts.shards = n;
+        Broker broker(ShardPlanner::build(*_fs, _root, plan_opts));
+        Rng rng(n * 977 + 5);
+        for (int i = 0; i < 25; ++i) {
+            const std::string text = randomCorpusQuery(rng, 3);
+            Query query = Query::parse(text);
+            ASSERT_TRUE(query.valid()) << text;
+
+            BrokerResponse boolean =
+                broker.submit(query).get();
+            ASSERT_TRUE(boolean.ok) << text;
+            EXPECT_FALSE(boolean.partial) << text;
+            EXPECT_EQ(boolean.hits, direct.run(query))
+                << "shards=" << n << " " << text;
+
+            BrokerResponse top = broker.submitRanked(query, 10).get();
+            ASSERT_TRUE(top.ok) << text;
+            auto want = ranked.topK(query, 10);
+            ASSERT_EQ(top.ranked.size(), want.size())
+                << "shards=" << n << " " << text;
+            for (std::size_t j = 0; j < want.size(); ++j) {
+                EXPECT_EQ(top.ranked[j].doc, want[j].doc)
+                    << "shards=" << n << " " << text;
+                EXPECT_EQ(top.ranked[j].score, want[j].score)
+                    << "shards=" << n << " " << text;
+            }
+        }
+        broker.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------
+// Satellite 2: NOT-only queries cross-tier. `NOT a` and `NOT NOT a`
+// must answer identically everywhere — the planner's universe
+// handling is the single source of truth.
+
+TEST_F(BrokerPlanEquivalence, NotOnlyQueriesAgreeAcrossTiers)
+{
+    const std::size_t doc_count = _reference->docs.docCount();
+    Searcher direct(_reference->snapshot, doc_count);
+    LiveSearcher live(_reference->snapshot,
+                      static_cast<DocId>(doc_count), {}, {},
+                      _reference->docs);
+    ShardPlanOptions plan_opts;
+    plan_opts.shards = 3;
+    Broker broker(ShardPlanner::build(*_fs, _root, plan_opts));
+
+    for (const char *term : {"ba", "zu", "missing"}) {
+        Query pos = Query::parse(term);
+        Query neg = Query::parse(std::string("NOT ") + term);
+        Query dbl =
+            Query::parse(std::string("NOT NOT ") + term);
+
+        const DocSet direct_pos = direct.run(pos);
+        const DocSet direct_neg = direct.run(neg);
+
+        // NOT a == universe \ a; NOT NOT a == a, on every tier.
+        DocSet complement;
+        for (DocId d = 0; d < doc_count; ++d)
+            if (!std::binary_search(direct_pos.begin(),
+                                    direct_pos.end(), d))
+                complement.push_back(d);
+        EXPECT_EQ(direct_neg, complement) << term;
+        EXPECT_EQ(direct.run(dbl), direct_pos) << term;
+
+        EXPECT_EQ(live.run(neg), direct_neg) << term;
+        EXPECT_EQ(live.run(dbl), direct_pos) << term;
+
+        BrokerResponse broker_neg = broker.submit(neg).get();
+        BrokerResponse broker_dbl = broker.submit(dbl).get();
+        ASSERT_TRUE(broker_neg.ok && broker_dbl.ok) << term;
+        EXPECT_EQ(broker_neg.hits, direct_neg) << term;
+        EXPECT_EQ(broker_dbl.hits, direct_pos) << term;
+    }
+    broker.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalence,
+                         ::testing::Values(1, 2, 3, 42, 2718));
+
+} // namespace
+} // namespace dsearch

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the query planner (search/plan.hh): Query AST
+ * canonicalization at parse time (flatten + dedupe), De Morgan
+ * push-down into the Diff-only plan form, conjunction hoisting,
+ * canonical child ordering, df-based execution ordering, fingerprint
+ * stability across textual variants and statistics, matchesEmpty and
+ * scoreTerms derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "search/operators.hh"
+#include "search/plan.hh"
+#include "search/ranked.hh"
+
+namespace dsearch {
+namespace {
+
+QueryPlan
+plan(const std::string &text)
+{
+    Query query = Query::parse(text);
+    EXPECT_TRUE(query.valid()) << text;
+    return QueryPlan::compile(query);
+}
+
+// ---------------------------------------------------------------
+// Satellite 1: Query AST canonicalization at parse time.
+
+TEST(QueryCanonicalize, FlattensNestedAnd)
+{
+    Query q = Query::parse("a AND (b AND c)");
+    ASSERT_TRUE(q.valid());
+    ASSERT_EQ(q.root().kind, QueryNode::Kind::And);
+    ASSERT_EQ(q.root().children.size(), 3u);
+    EXPECT_EQ(q.toString(), "(a AND b AND c)");
+}
+
+TEST(QueryCanonicalize, FlattensNestedOr)
+{
+    Query q = Query::parse("(a OR b) OR (c OR d)");
+    ASSERT_TRUE(q.valid());
+    ASSERT_EQ(q.root().kind, QueryNode::Kind::Or);
+    ASSERT_EQ(q.root().children.size(), 4u);
+    EXPECT_EQ(q.toString(), "(a OR b OR c OR d)");
+}
+
+TEST(QueryCanonicalize, DeduplicatesOperandsKeepingFirstAppearance)
+{
+    // The motivating bug: `a AND a AND (b AND c)` used to keep the
+    // duplicate and the nesting.
+    Query q = Query::parse("a AND a AND (b AND c)");
+    ASSERT_TRUE(q.valid());
+    EXPECT_EQ(q.toString(), "(a AND b AND c)");
+
+    EXPECT_EQ(Query::parse("b AND a AND b").toString(), "(b AND a)");
+    EXPECT_EQ(Query::parse("a OR a OR a").toString(), "a");
+}
+
+TEST(QueryCanonicalize, SingletonCollapses)
+{
+    // Dedupe down to one operand erases the connective entirely.
+    EXPECT_EQ(Query::parse("a AND a").toString(), "a");
+    EXPECT_EQ(Query::parse("(a OR a) AND (a OR a)").toString(), "a");
+}
+
+TEST(QueryCanonicalize, StructuralDuplicatesAreDetected)
+{
+    // Dedupe is structural, not textual.
+    EXPECT_EQ(Query::parse("(a OR b) AND (a OR b)").toString(),
+              "(a OR b)");
+    EXPECT_EQ(
+        Query::parse("(NOT a) AND (NOT a) AND b").toString(),
+        "((NOT a) AND b)");
+}
+
+TEST(QueryCanonicalize, NotIsLeftUntouched)
+{
+    // Double negation survives in the AST (the planner cancels it);
+    // distinct operands keep their order.
+    EXPECT_EQ(Query::parse("NOT NOT a").toString(),
+              "(NOT (NOT a))");
+    EXPECT_EQ(Query::parse("b AND a").toString(), "(b AND a)");
+}
+
+// ---------------------------------------------------------------
+// Planner structure: De Morgan push-down and conjunction hoisting.
+
+TEST(QueryPlanStructure, TermCompilesToTermLeaf)
+{
+    QueryPlan p = plan("alpha");
+    ASSERT_TRUE(p.valid());
+    EXPECT_EQ(p.root().kind, PlanNode::Kind::Term);
+    EXPECT_EQ(p.toString(), "alpha");
+}
+
+TEST(QueryPlanStructure, BareNotBecomesDiffAgainstUniverse)
+{
+    EXPECT_EQ(plan("NOT a").toString(), "(* \\ a)");
+}
+
+TEST(QueryPlanStructure, DoubleNegationCancels)
+{
+    QueryPlan p = plan("NOT NOT a");
+    EXPECT_EQ(p.root().kind, PlanNode::Kind::Term);
+    EXPECT_EQ(p.toString(), "a");
+    EXPECT_EQ(p.fingerprint(), plan("a").fingerprint());
+}
+
+TEST(QueryPlanStructure, DeMorganOverOr)
+{
+    // NOT (a OR b) == (NOT a) AND (NOT b); the conjunction of two
+    // universe differences re-hoists into one Diff against the union.
+    QueryPlan p = plan("NOT (a OR b)");
+    ASSERT_EQ(p.root().kind, PlanNode::Kind::Diff);
+    EXPECT_EQ(p.toString(), "(* \\ (a OR b))");
+    EXPECT_EQ(p.fingerprint(),
+              plan("(NOT a) AND (NOT b)").fingerprint());
+}
+
+TEST(QueryPlanStructure, DeMorganOverAnd)
+{
+    QueryPlan p = plan("NOT (a AND b)");
+    ASSERT_EQ(p.root().kind, PlanNode::Kind::Or);
+    EXPECT_EQ(p.toString(), "((* \\ a) OR (* \\ b))");
+    EXPECT_EQ(p.fingerprint(),
+              plan("(NOT a) OR (NOT b)").fingerprint());
+}
+
+TEST(QueryPlanStructure, ConjunctionHoistsNegativesIntoOneDiff)
+{
+    // a AND NOT b -> Diff(a, b); with two negatives the anti-join
+    // runs once against their union.
+    EXPECT_EQ(plan("a AND NOT b").toString(), "(a \\ b)");
+    EXPECT_EQ(plan("a AND NOT b AND NOT c").toString(),
+              "(a \\ (b OR c))");
+    EXPECT_EQ(plan("a AND b AND NOT c").toString(),
+              "((a AND b) \\ c)");
+}
+
+TEST(QueryPlanStructure, CanonicalChildOrderIsSourceIndependent)
+{
+    // Commuted and re-nested variants compile to the same plan.
+    const std::string expected = plan("a AND b AND c").toString();
+    EXPECT_EQ(plan("c AND b AND a").toString(), expected);
+    EXPECT_EQ(plan("b AND (c AND a)").toString(), expected);
+    EXPECT_EQ(plan("a OR b").toString(), plan("b OR a").toString());
+}
+
+TEST(QueryPlanStructure, NoNotKindSurvives)
+{
+    // Negation exists only as Diff: check a deeply mixed query.
+    QueryPlan p =
+        plan("NOT (a AND (NOT b OR c)) AND NOT NOT (d OR NOT e)");
+    std::function<void(const PlanNode &)> walk =
+        [&](const PlanNode &node) {
+            EXPECT_TRUE(node.kind == PlanNode::Kind::Term
+                        || node.kind == PlanNode::Kind::And
+                        || node.kind == PlanNode::Kind::Or
+                        || node.kind == PlanNode::Kind::Diff
+                        || node.kind == PlanNode::Kind::All);
+            if (node.kind == PlanNode::Kind::Diff)
+                ASSERT_EQ(node.children.size(), 2u);
+            for (const PlanNode &child : node.children)
+                walk(child);
+        };
+    walk(p.root());
+}
+
+// ---------------------------------------------------------------
+// Fingerprints: stable across variants, processes and statistics.
+
+TEST(QueryPlanFingerprint, EqualAcrossTextualVariants)
+{
+    const std::uint64_t reference = plan("a AND b").fingerprint();
+    EXPECT_EQ(plan("b AND a").fingerprint(), reference);
+    EXPECT_EQ(plan("a AND (b AND a)").fingerprint(), reference);
+    EXPECT_EQ(plan("(a AND b) AND (a AND b)").fingerprint(),
+              reference);
+    EXPECT_NE(plan("a OR b").fingerprint(), reference);
+    EXPECT_NE(plan("a AND c").fingerprint(), reference);
+    EXPECT_NE(plan("a").fingerprint(), reference);
+}
+
+TEST(QueryPlanFingerprint, IndependentOfDfOrdering)
+{
+    Query query = Query::parse("rare AND common AND NOT dead");
+    ASSERT_TRUE(query.valid());
+    QueryPlan plain = QueryPlan::compile(query);
+    QueryPlan with_df = QueryPlan::compile(
+        query, [](const std::string &term) -> std::size_t {
+            return term == "rare" ? 3 : 1000;
+        });
+    // The fingerprint names the query, not the index it is bound to.
+    EXPECT_EQ(with_df.fingerprint(), plain.fingerprint());
+    EXPECT_NE(plain.fingerprint(), 0u);
+}
+
+TEST(QueryPlanFingerprint, DistinguishesTermBoundaries)
+{
+    // The per-node terminator keeps concatenation ambiguity out.
+    EXPECT_NE(plan("ab").fingerprint(),
+              plan("a AND b").fingerprint());
+}
+
+// ---------------------------------------------------------------
+// df ordering: cheapest AND operand first, stable, order-only.
+
+TEST(QueryPlanDfOrder, AndChildrenSortAscendingByDf)
+{
+    Query query = Query::parse("a AND b AND c");
+    ASSERT_TRUE(query.valid());
+    QueryPlan p = QueryPlan::compile(
+        query, [](const std::string &term) -> std::size_t {
+            if (term == "a")
+                return 100;
+            if (term == "b")
+                return 5;
+            return 50;
+        });
+    EXPECT_EQ(p.toString(), "(b AND c AND a)");
+    // Without statistics the canonical (structural) order stands.
+    EXPECT_EQ(QueryPlan::compile(query).toString(), "(a AND b AND c)");
+}
+
+TEST(QueryPlanDfOrder, DiffOrdersByPositiveBranch)
+{
+    Query query = Query::parse("x AND (a AND NOT b)");
+    ASSERT_TRUE(query.valid());
+    // Conjunction hoisting folds this to Diff(And(a, x), b); the df
+    // order inside the positive And still applies.
+    QueryPlan p = QueryPlan::compile(
+        query, [](const std::string &term) -> std::size_t {
+            return term == "x" ? 1 : 100;
+        });
+    EXPECT_EQ(p.toString(), "((x AND a) \\ b)");
+}
+
+// ---------------------------------------------------------------
+// Derived properties the tiers consume.
+
+TEST(QueryPlanProperties, MatchesEmptyFollowsNotDominance)
+{
+    EXPECT_FALSE(plan("a").matchesEmpty());
+    EXPECT_TRUE(plan("NOT a").matchesEmpty());
+    EXPECT_FALSE(plan("NOT NOT a").matchesEmpty());
+    EXPECT_TRUE(plan("a OR NOT b").matchesEmpty());
+    EXPECT_FALSE(plan("a AND NOT b").matchesEmpty());
+    EXPECT_TRUE(plan("NOT (a AND b)").matchesEmpty());
+    EXPECT_FALSE(plan("NOT (a OR NOT b)").matchesEmpty());
+}
+
+TEST(QueryPlanProperties, ScoreTermsKeepSourceOrderAndParity)
+{
+    // Source-appearance order, deduplicated, odd-NOT terms excluded —
+    // exactly positiveTerms(), the order ranked accumulation needs.
+    Query query = Query::parse("beta AND alpha AND NOT dead AND beta");
+    ASSERT_TRUE(query.valid());
+    QueryPlan p = QueryPlan::compile(query);
+    EXPECT_EQ(p.scoreTerms(),
+              (std::vector<std::string>{"beta", "alpha"}));
+    EXPECT_EQ(p.scoreTerms(), positiveTerms(query.root()));
+
+    // Even-parity (double-negated) terms are positive context.
+    Query dn = Query::parse("a AND NOT NOT b");
+    ASSERT_TRUE(dn.valid());
+    EXPECT_EQ(QueryPlan::compile(dn).scoreTerms(),
+              positiveTerms(dn.root()));
+}
+
+TEST(QueryPlanProperties, InvalidQueryYieldsInvalidPlan)
+{
+    Query bad = Query::parse("AND AND");
+    EXPECT_FALSE(bad.valid());
+    QueryPlan p = QueryPlan::compile(bad);
+    EXPECT_FALSE(p.valid());
+    EXPECT_EQ(p.fingerprint(), 0u);
+    EXPECT_TRUE(p.scoreTerms().empty());
+    EXPECT_FALSE(p.matchesEmpty());
+    EXPECT_EQ(p.toString(), "<invalid plan>");
+}
+
+TEST(QueryPlanProperties, PlansShareStateOnCopy)
+{
+    QueryPlan a = plan("x AND y");
+    QueryPlan b = a; // shared_ptr copy, same operator tree
+    EXPECT_EQ(&a.ops(), &b.ops());
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+} // namespace
+} // namespace dsearch

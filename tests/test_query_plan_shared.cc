@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Concurrency tests for compiled query plans: one QueryPlan object is
+ * immutable after compile() and is meant to be evaluated by many
+ * threads at once — QueryServer workers, several servers standing in
+ * for broker shards, and raw searcher threads all share the same
+ * operator tree and the same weight vector. This is the TSan target
+ * behind the check_tsan_query_plan CI leg: any hidden mutation inside
+ * plan evaluation (operator state, lazy caches, shared_ptr misuse)
+ * shows up as a race here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/doc_table.hh"
+#include "index/index_snapshot.hh"
+#include "search/plan.hh"
+#include "search/query_server.hh"
+#include "search/ranked.hh"
+#include "search/searcher.hh"
+#include "util/rng.hh"
+
+namespace dsearch {
+namespace {
+
+constexpr std::size_t vocab = 6;
+constexpr DocId doc_count = 500;
+
+std::string
+word(std::size_t v)
+{
+    return "w" + std::to_string(v);
+}
+
+struct Fixture
+{
+    IndexSnapshot snapshot;
+    DocTable docs;
+
+    Fixture()
+    {
+        Rng rng(99);
+        InvertedIndex index;
+        for (DocId doc = 0; doc < doc_count; ++doc) {
+            TermBlock block;
+            block.doc = doc;
+            bool any = false;
+            for (std::size_t v = 0; v < vocab; ++v) {
+                if (rng.bernoulli(0.5 / static_cast<double>(v + 1))) {
+                    block.addTerm(word(v));
+                    any = true;
+                }
+            }
+            if (any)
+                index.addBlock(block);
+            docs.add("/f" + std::to_string(doc),
+                     100 + rng.uniform(0, 4000));
+        }
+        snapshot = IndexSnapshot::seal(std::move(index));
+    }
+};
+
+/** A plan with every operator kind: And, Or, Diff (NOT) and terms. */
+QueryPlan
+sharedPlan(const Searcher &searcher)
+{
+    Query query = Query::parse(
+        "(w0 AND w1) OR (w2 AND NOT w3) OR (w4 AND w0)");
+    EXPECT_TRUE(query.valid());
+    return searcher.compilePlan(query);
+}
+
+TEST(QueryPlanShared, RawThreadsEvaluateOnePlanConcurrently)
+{
+    Fixture fixture;
+    Searcher searcher(fixture.snapshot, doc_count);
+    RankedSearcher ranked(fixture.snapshot, fixture.docs);
+    const QueryPlan plan = sharedPlan(searcher);
+
+    const DocSet expected_hits = searcher.run(plan);
+    const std::vector<ScoredHit> expected_top = ranked.topK(plan, 10);
+
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                if (searcher.run(plan) != expected_hits)
+                    mismatches.fetch_add(1);
+                const auto top = ranked.topK(plan, 10);
+                if (top.size() != expected_top.size()) {
+                    mismatches.fetch_add(1);
+                    continue;
+                }
+                for (std::size_t j = 0; j < top.size(); ++j)
+                    if (top[j].doc != expected_top[j].doc
+                        || top[j].score != expected_top[j].score)
+                        mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(QueryPlanShared, OnePlanAcrossServerWorkersAndServers)
+{
+    // Two servers over the same snapshot stand in for broker shards:
+    // the broker compiles one plan per request and fans the same
+    // object out to every shard's worker pool.
+    Fixture fixture;
+    ServerOptions options;
+    options.workers = 3;
+    QueryServer a(fixture.snapshot, fixture.docs, options);
+    QueryServer b(fixture.snapshot, fixture.docs, options);
+
+    Searcher reference(fixture.snapshot, doc_count);
+    const QueryPlan plan = sharedPlan(reference);
+    const DocSet expected = reference.run(plan);
+
+    // One weight vector shared by every weighted submission, exactly
+    // as the broker ships it.
+    auto weights = std::make_shared<TermWeights>();
+    for (const std::string &term : plan.scoreTerms())
+        weights->emplace_back(
+            term, idfFromCounts(doc_count,
+                                fixture.snapshot.termDocCount(term)));
+
+    std::vector<std::future<QueryResponse>> futures;
+    for (int i = 0; i < 64; ++i) {
+        QueryServer &server = (i % 2 == 0) ? a : b;
+        if (i % 3 == 0)
+            futures.push_back(
+                server.submitRankedWeighted(plan, 10, weights));
+        else
+            futures.push_back(server.submitPlan(plan));
+    }
+
+    RankedSearcher ranked(fixture.snapshot, fixture.docs);
+    const std::vector<ScoredHit> expected_top =
+        ranked.topKWeighted(plan, 10, *weights);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        QueryResponse response = futures[i].get();
+        ASSERT_TRUE(response.ok) << response.error;
+        if (i % 3 == 0) {
+            ASSERT_EQ(response.ranked.size(), expected_top.size());
+            for (std::size_t j = 0; j < expected_top.size(); ++j) {
+                EXPECT_EQ(response.ranked[j].doc,
+                          expected_top[j].doc);
+                EXPECT_EQ(response.ranked[j].score,
+                          expected_top[j].score);
+            }
+        } else {
+            EXPECT_EQ(response.hits, expected);
+        }
+    }
+    a.shutdown();
+    b.shutdown();
+}
+
+TEST(QueryPlanShared, PlanOutlivesTheQueryItCameFrom)
+{
+    // The plan owns everything it needs: evaluating after the source
+    // Query is gone (and from another thread) is safe.
+    Fixture fixture;
+    Searcher searcher(fixture.snapshot, doc_count);
+    QueryPlan plan;
+    {
+        Query query = Query::parse("w0 AND NOT w1");
+        ASSERT_TRUE(query.valid());
+        plan = searcher.compilePlan(query);
+    }
+    DocSet expected;
+    std::thread worker([&] { expected = searcher.run(plan); });
+    worker.join();
+    EXPECT_EQ(searcher.run(plan), expected);
+    EXPECT_EQ(expected,
+              subtractSets(searcher.run(Query::parse("w0")),
+                           searcher.run(Query::parse("w1"))));
+}
+
+} // namespace
+} // namespace dsearch
